@@ -1,0 +1,329 @@
+//! AES-128 block cipher (software implementation, FIPS-197).
+//!
+//! The §6.2 secure-computing server on the Intel VCA "receives an
+//! AES-encrypted message (4 bytes) via Lynx, decrypts it, multiplies it by
+//! a constant, encrypts it and sends the result back", all inside an SGX
+//! enclave. This module provides the cipher and that exact enclave
+//! computation.
+
+use std::fmt;
+use std::time::Duration;
+
+use lynx_device::RequestProcessor;
+
+/// E3-core time of one decrypt + multiply + encrypt inside the enclave.
+pub const SGX_COMPUTE_TIME: Duration = Duration::from_micros(3);
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+fn inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &v) in SBOX.iter().enumerate() {
+        inv[v as usize] = i as u8;
+    }
+    inv
+}
+
+#[inline]
+fn xtime(a: u8) -> u8 {
+    (a << 1) ^ if a & 0x80 != 0 { 0x1b } else { 0 }
+}
+
+#[inline]
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// AES-128 with a fixed key.
+///
+/// # Example
+///
+/// ```
+/// use lynx_apps::aes::Aes128;
+///
+/// let aes = Aes128::new([0u8; 16]);
+/// let pt = *b"sixteen byte msg";
+/// let ct = aes.encrypt_block(pt);
+/// assert_eq!(aes.decrypt_block(ct), pt);
+/// ```
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Aes128 { key: <redacted> }")
+    }
+}
+
+impl Aes128 {
+    /// Expands `key` into the round-key schedule.
+    pub fn new(key: [u8; 16]) -> Aes128 {
+        let mut w = [[0u8; 4]; 44];
+        for (i, chunk) in key.chunks(4).enumerate() {
+            w[i].copy_from_slice(chunk);
+        }
+        for i in 4..44 {
+            let mut t = w[i - 1];
+            if i % 4 == 0 {
+                t.rotate_left(1);
+                for b in t.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+                t[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ t[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk) {
+            *s ^= k;
+        }
+    }
+
+    fn shift_rows(state: &mut [u8; 16]) {
+        // State is column-major: byte (row r, col c) at index c*4 + r.
+        for r in 1..4 {
+            let mut row = [0u8; 4];
+            for c in 0..4 {
+                row[c] = state[c * 4 + r];
+            }
+            row.rotate_left(r);
+            for c in 0..4 {
+                state[c * 4 + r] = row[c];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let mut row = [0u8; 4];
+            for c in 0..4 {
+                row[c] = state[c * 4 + r];
+            }
+            row.rotate_right(r);
+            for c in 0..4 {
+                state[c * 4 + r] = row[c];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col: [u8; 4] = state[c * 4..c * 4 + 4].try_into().expect("4 bytes");
+            state[c * 4] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+            state[c * 4 + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+            state[c * 4 + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+            state[c * 4 + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col: [u8; 4] = state[c * 4..c * 4 + 4].try_into().expect("4 bytes");
+            state[c * 4] =
+                gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+            state[c * 4 + 1] =
+                gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+            state[c * 4 + 2] =
+                gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+            state[c * 4 + 3] =
+                gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+        }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let mut s = block;
+        Self::add_round_key(&mut s, &self.round_keys[0]);
+        for round in 1..10 {
+            for b in s.iter_mut() {
+                *b = SBOX[*b as usize];
+            }
+            Self::shift_rows(&mut s);
+            Self::mix_columns(&mut s);
+            Self::add_round_key(&mut s, &self.round_keys[round]);
+        }
+        for b in s.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+        Self::shift_rows(&mut s);
+        Self::add_round_key(&mut s, &self.round_keys[10]);
+        s
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let inv = inv_sbox();
+        let mut s = block;
+        Self::add_round_key(&mut s, &self.round_keys[10]);
+        for round in (1..10).rev() {
+            Self::inv_shift_rows(&mut s);
+            for b in s.iter_mut() {
+                *b = inv[*b as usize];
+            }
+            Self::add_round_key(&mut s, &self.round_keys[round]);
+            Self::inv_mix_columns(&mut s);
+        }
+        Self::inv_shift_rows(&mut s);
+        for b in s.iter_mut() {
+            *b = inv[*b as usize];
+        }
+        Self::add_round_key(&mut s, &self.round_keys[0]);
+        s
+    }
+}
+
+/// The §6.2 enclave computation: decrypt a 16-byte block whose first four
+/// bytes are a little-endian `u32`, multiply it by `factor`, re-encrypt.
+///
+/// Also usable as a [`RequestProcessor`] so the same logic can run behind
+/// either the Lynx or the baseline network path.
+#[derive(Clone, Debug)]
+pub struct SgxMultiplyService {
+    aes: Aes128,
+    factor: u32,
+}
+
+impl SgxMultiplyService {
+    /// Creates the service with the enclave-held `key` and multiplier.
+    pub fn new(key: [u8; 16], factor: u32) -> SgxMultiplyService {
+        SgxMultiplyService {
+            aes: Aes128::new(key),
+            factor,
+        }
+    }
+
+    /// Encrypts a plaintext value for sending (client side).
+    pub fn seal(&self, value: u32) -> [u8; 16] {
+        let mut block = [0u8; 16];
+        block[..4].copy_from_slice(&value.to_le_bytes());
+        self.aes.encrypt_block(block)
+    }
+
+    /// Decrypts a sealed result (client side).
+    pub fn open(&self, block: [u8; 16]) -> u32 {
+        let pt = self.aes.decrypt_block(block);
+        u32::from_le_bytes(pt[..4].try_into().expect("4 bytes"))
+    }
+
+    /// The enclave computation itself.
+    pub fn compute(&self, sealed: [u8; 16]) -> [u8; 16] {
+        let v = self.open(sealed);
+        self.seal(v.wrapping_mul(self.factor))
+    }
+}
+
+impl RequestProcessor for SgxMultiplyService {
+    fn name(&self) -> &str {
+        "sgx-multiply"
+    }
+
+    fn service_time(&self, _request: &[u8]) -> Duration {
+        SGX_COMPUTE_TIME
+    }
+
+    fn process(&self, request: &[u8]) -> Vec<u8> {
+        match <[u8; 16]>::try_from(request) {
+            Ok(block) => self.compute(block).to_vec(),
+            Err(_) => vec![0xFF],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips_197_appendix_b_vector() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expect = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes128::new(key);
+        assert_eq!(aes.encrypt_block(pt), expect);
+        assert_eq!(aes.decrypt_block(expect), pt);
+    }
+
+    #[test]
+    fn roundtrip_many_blocks() {
+        let aes = Aes128::new([7; 16]);
+        for i in 0..64u8 {
+            let block = [i; 16];
+            assert_eq!(aes.decrypt_block(aes.encrypt_block(block)), block);
+        }
+    }
+
+    #[test]
+    fn sgx_service_multiplies_under_seal() {
+        let svc = SgxMultiplyService::new([1; 16], 3);
+        let sealed = svc.seal(14);
+        let result = svc.compute(sealed);
+        assert_eq!(svc.open(result), 42);
+    }
+
+    #[test]
+    fn processor_handles_wire_format() {
+        let svc = SgxMultiplyService::new([9; 16], 5);
+        let req = svc.seal(8).to_vec();
+        let resp = svc.process(&req);
+        assert_eq!(svc.open(resp.try_into().unwrap()), 40);
+        assert_eq!(svc.process(&[0; 3]), vec![0xFF]);
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let svc = SgxMultiplyService::new([3; 16], 1);
+        let sealed = svc.seal(0xdead_beef);
+        assert_ne!(&sealed[..4], &0xdead_beefu32.to_le_bytes());
+    }
+}

@@ -1,0 +1,283 @@
+//! Local Binary Patterns face verification (§6.4).
+//!
+//! "The comparison is performed using a well-known local binary patterns
+//! (LBP) algorithm for Face Verification." A client sends a picture plus a
+//! label (person id); the server fetches the label's reference picture
+//! from the database tier (memcached) and compares the two with LBP
+//! histograms under a χ² distance.
+//!
+//! Images are 32×32 grayscale ("images from a color FERET Database resized
+//! to 32×32"); labels are 12-byte strings. The FERET data itself is not
+//! redistributable, so [`FaceDb`] synthesizes deterministic per-person
+//! face textures with the same geometry.
+
+
+use std::time::Duration;
+
+use lynx_device::RequestProcessor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Face image side length.
+pub const FACE_SIDE: usize = 32;
+
+/// Bytes per face image.
+pub const FACE_BYTES: usize = FACE_SIDE * FACE_SIDE;
+
+/// Bytes per label ("labels are random 12-byte strings").
+pub const LABEL_BYTES: usize = 12;
+
+/// GPU kernel time of one LBP comparison ("kernel execution time (about
+/// 50 µsec)", §6.4).
+pub const LBP_KERNEL_TIME: Duration = Duration::from_micros(50);
+
+/// χ² distance below which two faces verify as the same person.
+pub const MATCH_THRESHOLD: f64 = 90.0;
+
+/// Computes the 256-bin LBP histogram of a grayscale image.
+///
+/// Each interior pixel is compared against its 8 neighbors (clockwise from
+/// the top-left); bit `i` is set when the neighbor is at least as bright.
+///
+/// # Panics
+///
+/// Panics if `img.len() != w * h` or the image is smaller than 3×3.
+pub fn lbp_histogram(img: &[u8], w: usize, h: usize) -> [u32; 256] {
+    assert_eq!(img.len(), w * h, "image size mismatch");
+    assert!(w >= 3 && h >= 3, "image too small for LBP");
+    const NEIGHBORS: [(isize, isize); 8] = [
+        (-1, -1),
+        (-1, 0),
+        (-1, 1),
+        (0, 1),
+        (1, 1),
+        (1, 0),
+        (1, -1),
+        (0, -1),
+    ];
+    let mut hist = [0u32; 256];
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let c = img[y * w + x];
+            let mut code = 0u8;
+            for (i, (dy, dx)) in NEIGHBORS.iter().enumerate() {
+                let ny = (y as isize + dy) as usize;
+                let nx = (x as isize + dx) as usize;
+                if img[ny * w + nx] >= c {
+                    code |= 1 << i;
+                }
+            }
+            hist[code as usize] += 1;
+        }
+    }
+    hist
+}
+
+/// χ² distance between two LBP histograms (symmetric form).
+pub fn chi_square(a: &[u32; 256], b: &[u32; 256]) -> f64 {
+    let mut d = 0.0;
+    for i in 0..256 {
+        let (x, y) = (a[i] as f64, b[i] as f64);
+        if x + y > 0.0 {
+            d += (x - y) * (x - y) / (x + y);
+        }
+    }
+    d
+}
+
+/// Verifies whether two images show the same person.
+///
+/// # Panics
+///
+/// Panics if either image is not `FACE_BYTES` long.
+pub fn verify(probe: &[u8], reference: &[u8]) -> bool {
+    let a = lbp_histogram(probe, FACE_SIDE, FACE_SIDE);
+    let b = lbp_histogram(reference, FACE_SIDE, FACE_SIDE);
+    chi_square(&a, &b) < MATCH_THRESHOLD
+}
+
+/// A deterministic synthetic face database keyed by 12-byte labels.
+///
+/// Each person's face is a smooth pseudo-random texture derived from the
+/// label, so the same label always yields the same face and different
+/// labels yield LBP-distinguishable faces.
+#[derive(Clone, Debug, Default)]
+pub struct FaceDb;
+
+impl FaceDb {
+    /// Creates the generator.
+    pub fn new() -> FaceDb {
+        FaceDb
+    }
+
+    /// The canonical label for person `i`.
+    pub fn label(i: u32) -> [u8; LABEL_BYTES] {
+        let mut l = *b"person-00000";
+        let digits = format!("{i:05}");
+        l[7..12].copy_from_slice(digits.as_bytes());
+        l
+    }
+
+    /// The reference face for a label.
+    pub fn face(&self, label: &[u8]) -> Vec<u8> {
+        let seed = label.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Smooth texture: coarse 8x8 grid, bilinear upsampled, slight noise.
+        let mut coarse = [[0f32; 9]; 9];
+        for row in coarse.iter_mut() {
+            for v in row.iter_mut() {
+                *v = rng.gen_range(40.0..220.0);
+            }
+        }
+        let mut img = vec![0u8; FACE_BYTES];
+        for y in 0..FACE_SIDE {
+            for x in 0..FACE_SIDE {
+                let (fy, fx) = (y as f32 / 4.0, x as f32 / 4.0);
+                let (y0, x0) = (fy as usize, fx as usize);
+                let (dy, dx) = (fy - y0 as f32, fx - x0 as f32);
+                let v = coarse[y0][x0] * (1.0 - dy) * (1.0 - dx)
+                    + coarse[y0][x0 + 1] * (1.0 - dy) * dx
+                    + coarse[y0 + 1][x0] * dy * (1.0 - dx)
+                    + coarse[y0 + 1][x0 + 1] * dy * dx;
+                img[y * FACE_SIDE + x] = v as u8;
+            }
+        }
+        img
+    }
+
+    /// A "probe" photo of the same person: the reference face with mild
+    /// sensor noise — still verifies as a match.
+    pub fn probe(&self, label: &[u8], noise_seed: u64) -> Vec<u8> {
+        let mut img = self.face(label);
+        let mut rng = StdRng::seed_from_u64(noise_seed);
+        for px in img.iter_mut() {
+            let jitter: i16 = rng.gen_range(-1..=1);
+            *px = (*px as i16 + jitter).clamp(0, 255) as u8;
+        }
+        img
+    }
+}
+
+/// Builds a client request: `label ‖ probe image` (12 + 1024 bytes).
+pub fn encode_request(label: &[u8], probe: &[u8]) -> Vec<u8> {
+    assert_eq!(label.len(), LABEL_BYTES, "bad label size");
+    assert_eq!(probe.len(), FACE_BYTES, "bad image size");
+    let mut req = Vec::with_capacity(LABEL_BYTES + FACE_BYTES);
+    req.extend_from_slice(label);
+    req.extend_from_slice(probe);
+    req
+}
+
+/// Splits a request back into `(label, probe)`.
+///
+/// Returns `None` when the request has the wrong size.
+pub fn decode_request(req: &[u8]) -> Option<(&[u8], &[u8])> {
+    if req.len() != LABEL_BYTES + FACE_BYTES {
+        return None;
+    }
+    Some(req.split_at(LABEL_BYTES))
+}
+
+/// Host-centric face-verification processor: kernel input is the client
+/// request concatenated with the database's reference image (the baseline
+/// fetches the reference on the CPU before launching the kernel, §6.4).
+#[derive(Clone, Debug, Default)]
+pub struct FaceVerProcessor;
+
+impl RequestProcessor for FaceVerProcessor {
+    fn name(&self) -> &str {
+        "face-verification"
+    }
+
+    fn service_time(&self, _request: &[u8]) -> Duration {
+        LBP_KERNEL_TIME
+    }
+
+    fn process(&self, input: &[u8]) -> Vec<u8> {
+        // input = label (12) + probe (1024) + reference (1024)
+        if input.len() != LABEL_BYTES + 2 * FACE_BYTES {
+            return vec![0xFF];
+        }
+        let probe = &input[LABEL_BYTES..LABEL_BYTES + FACE_BYTES];
+        let reference = &input[LABEL_BYTES + FACE_BYTES..];
+        vec![u8::from(verify(probe, reference))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_interior_pixels() {
+        let img = vec![128u8; FACE_BYTES];
+        let h = lbp_histogram(&img, FACE_SIDE, FACE_SIDE);
+        let total: u32 = h.iter().sum();
+        assert_eq!(total, ((FACE_SIDE - 2) * (FACE_SIDE - 2)) as u32);
+        // Uniform image: all neighbors equal => code 0xFF everywhere.
+        assert_eq!(h[255], total);
+    }
+
+    #[test]
+    fn chi_square_identity_is_zero() {
+        let db = FaceDb::new();
+        let img = db.face(&FaceDb::label(1));
+        let h = lbp_histogram(&img, FACE_SIDE, FACE_SIDE);
+        assert_eq!(chi_square(&h, &h), 0.0);
+    }
+
+    #[test]
+    fn same_person_verifies() {
+        let db = FaceDb::new();
+        let label = FaceDb::label(42);
+        let reference = db.face(&label);
+        let probe = db.probe(&label, 9);
+        assert!(verify(&probe, &reference));
+    }
+
+    #[test]
+    fn different_people_do_not_verify() {
+        let db = FaceDb::new();
+        let a = db.face(&FaceDb::label(1));
+        let b = db.face(&FaceDb::label(2));
+        assert!(!verify(&a, &b));
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let db = FaceDb::new();
+        let label = FaceDb::label(7);
+        let probe = db.probe(&label, 1);
+        let req = encode_request(&label, &probe);
+        let (l, p) = decode_request(&req).unwrap();
+        assert_eq!(l, label);
+        assert_eq!(p, &probe[..]);
+        assert!(decode_request(&req[1..]).is_none());
+    }
+
+    #[test]
+    fn processor_end_to_end() {
+        let db = FaceDb::new();
+        let label = FaceDb::label(3);
+        let probe = db.probe(&label, 2);
+        let reference = db.face(&label);
+        let mut input = encode_request(&label, &probe);
+        input.extend_from_slice(&reference);
+        let p = FaceVerProcessor;
+        assert_eq!(p.process(&input), vec![1]);
+        // Mismatched person.
+        let mut bad = encode_request(&label, &db.face(&FaceDb::label(4)));
+        bad.extend_from_slice(&reference);
+        assert_eq!(p.process(&bad), vec![0]);
+        assert_eq!(p.process(&[0; 4]), vec![0xFF]);
+    }
+
+    #[test]
+    fn faces_are_deterministic_per_label() {
+        let db = FaceDb::new();
+        assert_eq!(db.face(&FaceDb::label(5)), db.face(&FaceDb::label(5)));
+        assert_ne!(db.face(&FaceDb::label(5)), db.face(&FaceDb::label(6)));
+    }
+}

@@ -1,0 +1,32 @@
+//! # lynx-apps — application logic for the Lynx evaluation workloads
+//!
+//! Every server evaluated in the paper is implemented here *functionally* —
+//! the algorithms really compute their results, so end-to-end simulations
+//! verify payload correctness, not just timing:
+//!
+//! * [`nn`] — a small tensor library and a complete LeNet-5 forward pass
+//!   (conv → tanh → pool ×2 → three dense layers → softmax) for the digit
+//!   recognition inference server of §6.3, plus a synthetic MNIST-style
+//!   digit generator.
+//! * [`lbp`] — Local Binary Patterns face verification (histogram + χ²
+//!   distance), the §6.4 multi-tier workload.
+//! * [`kv`] — a memcached-style key-value store with LRU eviction and a
+//!   compact binary protocol (the §6.3 efficiency comparison and the §6.4
+//!   database tier).
+//! * [`aes`] — AES-128 block encryption for the SGX secure-computing
+//!   server on the Intel VCA (§6.2).
+//! * [`vecscale`] — the vector-by-constant microbenchmark server and its
+//!   cache-filling matrix-product noisy neighbor (§3.2).
+//!
+//! Each workload also provides a [`lynx_device::RequestProcessor`] with its
+//! calibrated accelerator service time, ready to deploy on the simulated
+//! testbed.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aes;
+pub mod kv;
+pub mod lbp;
+pub mod nn;
+pub mod vecscale;

@@ -1,0 +1,208 @@
+//! Neural-network layers (reference implementations).
+
+use super::Tensor;
+
+/// 2-D convolution with square kernels, stride 1 and symmetric zero
+/// padding.
+///
+/// `weights` is `out_ch` kernels of shape `in_ch × k × k` (flattened,
+/// row-major); `bias` has one entry per output channel.
+///
+/// # Panics
+///
+/// Panics if the weight/bias sizes do not match the declared geometry or
+/// the padded input is smaller than the kernel.
+pub fn conv2d(
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    out_ch: usize,
+    k: usize,
+    pad: usize,
+) -> Tensor {
+    let (in_ch, h, w) = input.shape();
+    assert_eq!(weights.len(), out_ch * in_ch * k * k, "bad conv weights");
+    assert_eq!(bias.len(), out_ch, "bad conv bias");
+    assert!(h + 2 * pad >= k && w + 2 * pad >= k, "kernel larger than input");
+    let oh = h + 2 * pad - k + 1;
+    let ow = w + 2 * pad - k + 1;
+    let mut out = Tensor::zeros(out_ch, oh, ow);
+    for oc in 0..out_ch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bias[oc];
+                for ic in 0..in_ch {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = oy + ky;
+                            let ix = ox + kx;
+                            if iy < pad || ix < pad {
+                                continue;
+                            }
+                            let (iy, ix) = (iy - pad, ix - pad);
+                            if iy >= h || ix >= w {
+                                continue;
+                            }
+                            let wv = weights[((oc * in_ch + ic) * k + ky) * k + kx];
+                            acc += wv * input.get(ic, iy, ix);
+                        }
+                    }
+                }
+                out.set(oc, oy, ox, acc);
+            }
+        }
+    }
+    out
+}
+
+/// 2×2 average pooling with stride 2.
+///
+/// # Panics
+///
+/// Panics if height or width is odd.
+pub fn avg_pool2(input: &Tensor) -> Tensor {
+    let (c, h, w) = input.shape();
+    assert!(h % 2 == 0 && w % 2 == 0, "avg_pool2 needs even dims");
+    let mut out = Tensor::zeros(c, h / 2, w / 2);
+    for ch in 0..c {
+        for y in 0..h / 2 {
+            for x in 0..w / 2 {
+                let s = input.get(ch, 2 * y, 2 * x)
+                    + input.get(ch, 2 * y, 2 * x + 1)
+                    + input.get(ch, 2 * y + 1, 2 * x)
+                    + input.get(ch, 2 * y + 1, 2 * x + 1);
+                out.set(ch, y, x, s / 4.0);
+            }
+        }
+    }
+    out
+}
+
+/// Element-wise hyperbolic tangent (LeNet's classic activation).
+pub fn tanh(input: &Tensor) -> Tensor {
+    let (c, h, w) = input.shape();
+    Tensor::from_vec(c, h, w, input.as_slice().iter().map(|v| v.tanh()).collect())
+}
+
+/// Element-wise rectified linear unit.
+pub fn relu(input: &Tensor) -> Tensor {
+    let (c, h, w) = input.shape();
+    Tensor::from_vec(
+        c,
+        h,
+        w,
+        input.as_slice().iter().map(|v| v.max(0.0)).collect(),
+    )
+}
+
+/// Fully connected layer: `out[i] = bias[i] + Σ_j W[i][j] · in[j]`,
+/// flattening the input.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != out_n * input.len()` or
+/// `bias.len() != out_n`.
+pub fn dense(input: &Tensor, weights: &[f32], bias: &[f32], out_n: usize) -> Tensor {
+    let n = input.len();
+    assert_eq!(weights.len(), out_n * n, "bad dense weights");
+    assert_eq!(bias.len(), out_n, "bad dense bias");
+    let x = input.as_slice();
+    let mut out = vec![0.0f32; out_n];
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = &weights[i * n..(i + 1) * n];
+        *o = bias[i] + row.iter().zip(x).map(|(a, b)| a * b).sum::<f32>();
+    }
+    Tensor::vector(out)
+}
+
+/// Numerically stable softmax over the flattened input.
+pub fn softmax(input: &Tensor) -> Tensor {
+    let x = input.as_slice();
+    let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = x.iter().map(|v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::vector(exps.into_iter().map(|e| e / sum).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 kernel of weight 1: output equals input.
+        let input = Tensor::from_vec(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let out = conv2d(&input, &[1.0], &[0.0], 1, 1, 0);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv_known_values() {
+        // 2x2 input, 2x2 kernel of ones, no pad: single output = sum.
+        let input = Tensor::from_vec(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let out = conv2d(&input, &[1.0; 4], &[0.5], 1, 2, 0);
+        assert_eq!(out.shape(), (1, 1, 1));
+        assert_eq!(out.get(0, 0, 0), 10.5);
+    }
+
+    #[test]
+    fn conv_padding_preserves_size() {
+        let input = Tensor::zeros(1, 28, 28);
+        let out = conv2d(&input, &[0.0; 25], &[0.0], 1, 5, 2);
+        assert_eq!(out.shape(), (1, 28, 28));
+    }
+
+    #[test]
+    fn conv_multi_channel_sums_contributions() {
+        // Two input channels of constant 1 and 2; kernel weight 1 each.
+        let mut input = Tensor::zeros(2, 1, 1);
+        input.set(0, 0, 0, 1.0);
+        input.set(1, 0, 0, 2.0);
+        let out = conv2d(&input, &[1.0, 1.0], &[0.0], 1, 1, 0);
+        assert_eq!(out.get(0, 0, 0), 3.0);
+    }
+
+    #[test]
+    fn pool_averages_quads() {
+        let input = Tensor::from_vec(1, 2, 2, vec![1.0, 3.0, 5.0, 7.0]);
+        let out = avg_pool2(&input);
+        assert_eq!(out.shape(), (1, 1, 1));
+        assert_eq!(out.get(0, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn dense_matches_manual_dot() {
+        let input = Tensor::vector(vec![1.0, 2.0]);
+        // W = [[1,2],[3,4]], b = [10, 20]
+        let out = dense(&input, &[1.0, 2.0, 3.0, 4.0], &[10.0, 20.0], 2);
+        assert_eq!(out.as_slice(), &[15.0, 31.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let out = softmax(&Tensor::vector(vec![1.0, 2.0, 3.0]));
+        let s: f32 = out.as_slice().iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert_eq!(out.argmax(), 2);
+        assert!(out.as_slice().iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let out = softmax(&Tensor::vector(vec![1000.0, 1001.0]));
+        assert!(out.as_slice().iter().all(|p| p.is_finite()));
+        assert!((out.as_slice().iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let out = relu(&Tensor::vector(vec![-1.0, 0.5]));
+        assert_eq!(out.as_slice(), &[0.0, 0.5]);
+    }
+
+    #[test]
+    fn tanh_bounds() {
+        let out = tanh(&Tensor::vector(vec![-100.0, 0.0, 100.0]));
+        assert_eq!(out.as_slice(), &[-1.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,284 @@
+//! LeNet-5 digit recognition (§6.3).
+
+use std::fmt;
+use std::time::Duration;
+
+use lynx_device::RequestProcessor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::{avg_pool2, conv2d, dense, softmax, tanh, Tensor};
+use super::{IMAGE_BYTES, IMAGE_SIDE};
+
+/// Measured LeNet inference time on the reference GPU. The paper reports a
+/// theoretical single-GPU maximum of 3.6 Kreq/s (§6.3) ⇒ ≈278 µs per
+/// request of pure kernel time.
+pub const LENET_KERNEL_TIME: Duration = Duration::from_micros(278);
+
+/// Number of fused TVM kernels (one per layer group): two conv+pool
+/// blocks, three dense layers and the classifier epilogue, launched
+/// per-request — 8 dependent launches on the host-centric path, 8 dynamic-
+/// parallelism spawns under Lynx.
+pub const LENET_LAUNCHES: u32 = 8;
+
+struct ConvParams {
+    w: Vec<f32>,
+    b: Vec<f32>,
+    out_ch: usize,
+    k: usize,
+    pad: usize,
+}
+
+struct DenseParams {
+    w: Vec<f32>,
+    b: Vec<f32>,
+    out_n: usize,
+}
+
+/// The LeNet-5 network: conv(6@5×5, pad 2) → tanh → pool → conv(16@5×5)
+/// → tanh → pool → dense 120 → tanh → dense 84 → tanh → dense 10 →
+/// softmax.
+///
+/// Weights are generated from a seeded PRNG (no training data ships with
+/// the repository); classification is therefore arbitrary but fully
+/// deterministic, which is what the timing experiments need. Use
+/// [`LeNet::infer`] for the class-probability vector.
+pub struct LeNet {
+    conv1: ConvParams,
+    conv2: ConvParams,
+    fc1: DenseParams,
+    fc2: DenseParams,
+    fc3: DenseParams,
+    seed: u64,
+}
+
+impl fmt::Debug for LeNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LeNet")
+            .field("seed", &self.seed)
+            .field("params", &self.param_count())
+            .finish()
+    }
+}
+
+impl LeNet {
+    /// Builds the network with weights drawn from `seed`.
+    pub fn new(seed: u64) -> LeNet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut draw = |n: usize, fan_in: usize| -> Vec<f32> {
+            let scale = (1.0 / fan_in as f32).sqrt();
+            (0..n).map(|_| rng.gen_range(-scale..scale)).collect()
+        };
+        LeNet {
+            conv1: ConvParams {
+                w: draw(6 * 5 * 5, 25),
+                b: draw(6, 25),
+                out_ch: 6,
+                k: 5,
+                pad: 2,
+            },
+            conv2: ConvParams {
+                w: draw(16 * 6 * 5 * 5, 150),
+                b: draw(16, 150),
+                out_ch: 16,
+                k: 5,
+                pad: 0,
+            },
+            fc1: DenseParams {
+                w: draw(120 * 400, 400),
+                b: draw(120, 400),
+                out_n: 120,
+            },
+            fc2: DenseParams {
+                w: draw(84 * 120, 120),
+                b: draw(84, 120),
+                out_n: 84,
+            },
+            fc3: DenseParams {
+                w: draw(10 * 84, 84),
+                b: draw(10, 84),
+                out_n: 10,
+            },
+            seed,
+        }
+    }
+
+    /// Total trainable parameters (the classic LeNet-5 count).
+    pub fn param_count(&self) -> usize {
+        self.conv1.w.len()
+            + self.conv1.b.len()
+            + self.conv2.w.len()
+            + self.conv2.b.len()
+            + self.fc1.w.len()
+            + self.fc1.b.len()
+            + self.fc2.w.len()
+            + self.fc2.b.len()
+            + self.fc3.w.len()
+            + self.fc3.b.len()
+    }
+
+    /// Runs the forward pass on a 28×28 grayscale image (one byte per
+    /// pixel), returning the 10 class probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image.len() != 784`.
+    pub fn infer(&self, image: &[u8]) -> [f32; 10] {
+        assert_eq!(image.len(), IMAGE_BYTES, "LeNet expects a 28x28 image");
+        let input = Tensor::from_vec(
+            1,
+            IMAGE_SIDE,
+            IMAGE_SIDE,
+            image.iter().map(|&p| p as f32 / 255.0).collect(),
+        );
+        let c1 = tanh(&conv2d(
+            &input,
+            &self.conv1.w,
+            &self.conv1.b,
+            self.conv1.out_ch,
+            self.conv1.k,
+            self.conv1.pad,
+        ));
+        let p1 = avg_pool2(&c1);
+        let c2 = tanh(&conv2d(
+            &p1,
+            &self.conv2.w,
+            &self.conv2.b,
+            self.conv2.out_ch,
+            self.conv2.k,
+            self.conv2.pad,
+        ));
+        let p2 = avg_pool2(&c2);
+        debug_assert_eq!(p2.len(), 400);
+        let f1 = tanh(&dense(&p2, &self.fc1.w, &self.fc1.b, self.fc1.out_n));
+        let f2 = tanh(&dense(&f1, &self.fc2.w, &self.fc2.b, self.fc2.out_n));
+        let logits = dense(&f2, &self.fc3.w, &self.fc3.b, self.fc3.out_n);
+        let probs = softmax(&logits);
+        let mut out = [0.0f32; 10];
+        out.copy_from_slice(probs.as_slice());
+        out
+    }
+
+    /// Returns the most likely digit for an image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image.len() != 784`.
+    pub fn classify(&self, image: &[u8]) -> u8 {
+        let probs = self.infer(image);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+            .map(|(i, _)| i as u8)
+            .expect("ten classes")
+    }
+}
+
+/// [`RequestProcessor`] wrapper: request = 784-byte image, response = one
+/// byte carrying the recognized digit.
+pub struct LeNetProcessor {
+    net: LeNet,
+}
+
+impl fmt::Debug for LeNetProcessor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LeNetProcessor").finish_non_exhaustive()
+    }
+}
+
+impl LeNetProcessor {
+    /// Creates the inference server logic with model weights from `seed`.
+    pub fn new(seed: u64) -> LeNetProcessor {
+        LeNetProcessor {
+            net: LeNet::new(seed),
+        }
+    }
+}
+
+impl RequestProcessor for LeNetProcessor {
+    fn name(&self) -> &str {
+        "lenet"
+    }
+
+    fn service_time(&self, _request: &[u8]) -> Duration {
+        LENET_KERNEL_TIME
+    }
+
+    fn process(&self, request: &[u8]) -> Vec<u8> {
+        if request.len() != IMAGE_BYTES {
+            return vec![0xFF]; // malformed request marker
+        }
+        vec![self.net.classify(request)]
+    }
+
+    fn launches(&self) -> u32 {
+        LENET_LAUNCHES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::DigitGenerator;
+
+    #[test]
+    fn parameter_count_matches_lenet5() {
+        // Classic LeNet-5: 61,706 parameters.
+        assert_eq!(LeNet::new(0).param_count(), 61_706);
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let net = LeNet::new(7);
+        let mut gen = DigitGenerator::new(3);
+        let img = gen.image(5);
+        assert_eq!(net.infer(&img), net.infer(&img));
+        assert_eq!(LeNet::new(7).infer(&img), net.infer(&img));
+    }
+
+    #[test]
+    fn probabilities_are_a_distribution() {
+        let net = LeNet::new(1);
+        let mut gen = DigitGenerator::new(1);
+        for d in 0..10 {
+            let p = net.infer(&gen.image(d));
+            let sum: f32 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn different_images_can_differ() {
+        let net = LeNet::new(1);
+        let mut gen = DigitGenerator::new(1);
+        let a = net.infer(&gen.image(0));
+        let b = net.infer(&gen.image(8));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn processor_roundtrip() {
+        let p = LeNetProcessor::new(0);
+        let mut gen = DigitGenerator::new(0);
+        let img = gen.image(3);
+        let resp = p.process(&img);
+        assert_eq!(resp.len(), 1);
+        assert!(resp[0] < 10);
+        assert_eq!(p.launches(), 8);
+        assert_eq!(p.service_time(&img), LENET_KERNEL_TIME);
+    }
+
+    #[test]
+    fn malformed_request_flagged() {
+        let p = LeNetProcessor::new(0);
+        assert_eq!(p.process(&[0; 10]), vec![0xFF]);
+    }
+
+    #[test]
+    #[should_panic(expected = "28x28")]
+    fn wrong_image_size_panics() {
+        LeNet::new(0).classify(&[0; 100]);
+    }
+}

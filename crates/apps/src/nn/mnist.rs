@@ -1,0 +1,170 @@
+//! Synthetic MNIST-style digit images.
+//!
+//! The paper's clients send "28×28 grayscale images from the standard
+//! MNIST dataset" (§6.3). The dataset itself does not ship with this
+//! repository, so [`DigitGenerator`] synthesizes deterministic
+//! seven-segment-style digit bitmaps with pixel noise — structurally
+//! similar inputs (same size, same value range, distinct per class) that
+//! exercise the identical code path.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image side length in pixels.
+pub const IMAGE_SIDE: usize = 28;
+
+/// Bytes per image (one grayscale byte per pixel).
+pub const IMAGE_BYTES: usize = IMAGE_SIDE * IMAGE_SIDE;
+
+/// Segment layout of each digit 0–9 in a seven-segment display:
+/// `[top, top-left, top-right, middle, bottom-left, bottom-right, bottom]`.
+const SEGMENTS: [[bool; 7]; 10] = [
+    [true, true, true, false, true, true, true],    // 0
+    [false, false, true, false, false, true, false], // 1
+    [true, false, true, true, true, false, true],   // 2
+    [true, false, true, true, false, true, true],   // 3
+    [false, true, true, true, false, true, false],  // 4
+    [true, true, false, true, false, true, true],   // 5
+    [true, true, false, true, true, true, true],    // 6
+    [true, false, true, false, false, true, false], // 7
+    [true, true, true, true, true, true, true],     // 8
+    [true, true, true, true, false, true, true],    // 9
+];
+
+/// Deterministic generator of digit images.
+///
+/// # Example
+///
+/// ```
+/// use lynx_apps::nn::{DigitGenerator, IMAGE_BYTES};
+///
+/// let mut gen = DigitGenerator::new(42);
+/// let img = gen.image(7);
+/// assert_eq!(img.len(), IMAGE_BYTES);
+/// ```
+#[derive(Debug)]
+pub struct DigitGenerator {
+    rng: StdRng,
+}
+
+impl DigitGenerator {
+    /// Creates a generator whose noise stream derives from `seed`.
+    pub fn new(seed: u64) -> DigitGenerator {
+        DigitGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Renders digit `d` (0–9) with random background noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d > 9`.
+    pub fn image(&mut self, d: u8) -> Vec<u8> {
+        assert!(d <= 9, "digits are 0-9");
+        let mut img = vec![0u8; IMAGE_BYTES];
+        // Low-amplitude background noise.
+        for px in img.iter_mut() {
+            *px = self.rng.gen_range(0..24);
+        }
+        let seg = SEGMENTS[d as usize];
+        let stroke = 3usize;
+        let (x0, x1) = (7usize, 20usize);
+        let (y0, ym, y1) = (4usize, 13usize, 22usize);
+        let hline = |img: &mut [u8], y: usize| {
+            for yy in y..y + stroke {
+                for x in x0..=x1 {
+                    img[yy * IMAGE_SIDE + x] = 230;
+                }
+            }
+        };
+        let vline = |img: &mut [u8], x: usize, ya: usize, yb: usize| {
+            for y in ya..=yb {
+                for xx in x..x + stroke {
+                    img[y * IMAGE_SIDE + xx] = 230;
+                }
+            }
+        };
+        if seg[0] {
+            hline(&mut img, y0);
+        }
+        if seg[3] {
+            hline(&mut img, ym);
+        }
+        if seg[6] {
+            hline(&mut img, y1);
+        }
+        if seg[1] {
+            vline(&mut img, x0, y0, ym);
+        }
+        if seg[2] {
+            vline(&mut img, x1 - stroke + 1, y0, ym);
+        }
+        if seg[4] {
+            vline(&mut img, x0, ym, y1);
+        }
+        if seg[5] {
+            vline(&mut img, x1 - stroke + 1, ym, y1);
+        }
+        img
+    }
+
+    /// A batch of images cycling through all ten digits.
+    pub fn batch(&mut self, n: usize) -> Vec<(u8, Vec<u8>)> {
+        (0..n)
+            .map(|i| {
+                let d = (i % 10) as u8;
+                (d, self.image(d))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_have_correct_size_and_range() {
+        let mut gen = DigitGenerator::new(0);
+        for d in 0..10 {
+            let img = gen.image(d);
+            assert_eq!(img.len(), IMAGE_BYTES);
+            assert!(img.iter().any(|&p| p > 200), "digit {d} has strokes");
+        }
+    }
+
+    #[test]
+    fn digit_shapes_differ() {
+        let mut gen = DigitGenerator::new(0);
+        // Strip noise by thresholding; shapes of 1 and 8 must differ.
+        let a: Vec<bool> = gen.image(1).iter().map(|&p| p > 128).collect();
+        let b: Vec<bool> = gen.image(8).iter().map(|&p| p > 128).collect();
+        assert_ne!(a, b);
+        // 8 lights every segment: strictly more lit pixels than 1.
+        let lit = |v: &[bool]| v.iter().filter(|&&x| x).count();
+        assert!(lit(&b) > lit(&a) * 2);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = DigitGenerator::new(5).image(3);
+        let b = DigitGenerator::new(5).image(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_cycles_digits() {
+        let mut gen = DigitGenerator::new(1);
+        let batch = gen.batch(12);
+        assert_eq!(batch[0].0, 0);
+        assert_eq!(batch[9].0, 9);
+        assert_eq!(batch[10].0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0-9")]
+    fn out_of_range_digit_panics() {
+        DigitGenerator::new(0).image(10);
+    }
+}

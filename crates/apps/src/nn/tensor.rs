@@ -1,0 +1,156 @@
+//! A minimal dense tensor.
+
+use std::fmt;
+
+/// A dense, row-major `f32` tensor with up to three dimensions
+/// (channels × height × width; lower-rank tensors use size-1 dims).
+///
+/// # Example
+///
+/// ```
+/// use lynx_apps::nn::Tensor;
+///
+/// let mut t = Tensor::zeros(1, 2, 3);
+/// t.set(0, 1, 2, 5.0);
+/// assert_eq!(t.get(0, 1, 2), 5.0);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    c: usize,
+    h: usize,
+    w: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}x{}x{}]", self.c, self.h, self.w)
+    }
+}
+
+impl Tensor {
+    /// A zero-filled tensor of shape `c × h × w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(c: usize, h: usize, w: usize) -> Tensor {
+        assert!(c > 0 && h > 0 && w > 0, "tensor dims must be positive");
+        Tensor {
+            c,
+            h,
+            w,
+            data: vec![0.0; c * h * w],
+        }
+    }
+
+    /// Builds a tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != c * h * w`.
+    pub fn from_vec(c: usize, h: usize, w: usize, data: Vec<f32>) -> Tensor {
+        assert_eq!(data.len(), c * h * w, "shape/data mismatch");
+        Tensor { c, h, w, data }
+    }
+
+    /// A rank-1 tensor (vector) of length `n`.
+    pub fn vector(data: Vec<f32>) -> Tensor {
+        let n = data.len();
+        Tensor::from_vec(1, 1, n, data)
+    }
+
+    /// Shape as `(channels, height, width)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.c, self.h, self.w)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` only for an impossible empty tensor (dims are positive).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn idx(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.c && y < self.h && x < self.w, "index out of bounds");
+        (c * self.h + y) * self.w + x
+    }
+
+    /// Element at `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the index is out of bounds.
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[self.idx(c, y, x)]
+    }
+
+    /// Sets the element at `(c, y, x)`.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        let i = self.idx(c, y, x);
+        self.data[i] = v;
+    }
+
+    /// The flat data slice (row-major, channel-first).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Index of the maximum element (ties resolve to the first).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, v) in self.data.iter().enumerate().skip(1) {
+            if *v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_layout() {
+        let t = Tensor::from_vec(2, 2, 2, (0..8).map(|i| i as f32).collect());
+        assert_eq!(t.get(0, 0, 0), 0.0);
+        assert_eq!(t.get(0, 0, 1), 1.0);
+        assert_eq!(t.get(0, 1, 0), 2.0);
+        assert_eq!(t.get(1, 0, 0), 4.0);
+        assert_eq!(t.get(1, 1, 1), 7.0);
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        let t = Tensor::vector(vec![0.1, 0.9, 0.3]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn argmax_tie_prefers_first() {
+        let t = Tensor::vector(vec![0.5, 0.5]);
+        assert_eq!(t.argmax(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn from_vec_validates_shape() {
+        let _ = Tensor::from_vec(2, 2, 2, vec![0.0; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        let _ = Tensor::zeros(0, 1, 1);
+    }
+}

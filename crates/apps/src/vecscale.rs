@@ -1,0 +1,171 @@
+//! The §3.2 motivation microbenchmark pair: a GPU vector-scale server and
+//! its cache-filling matrix-product noisy neighbor.
+
+use std::time::Duration;
+
+use lynx_device::RequestProcessor;
+
+/// Elements per request ("Each request comprises 256 integers").
+pub const VEC_ELEMS: usize = 256;
+
+/// Request payload size in bytes.
+pub const VEC_BYTES: usize = VEC_ELEMS * 4;
+
+/// GPU kernel time of one vector-scale request. With the host-centric
+/// 30 µs management overhead this lands the baseline's quiet p99 at the
+/// paper's 0.13 ms.
+pub const VECSCALE_KERNEL_TIME: Duration = Duration::from_micros(100);
+
+/// Side of the noisy neighbor's matrix ("Matrix product of two integer
+/// matrices of size 1140×1140, that fully occupies the Last Level Cache").
+pub const NEIGHBOR_MATRIX_SIDE: usize = 1140;
+
+/// Xeon-core time of one neighbor matrix product iteration (1140³ MACs).
+pub const NEIGHBOR_ITERATION: Duration = Duration::from_millis(1_200);
+
+/// Multiplies each element of a 256-integer little-endian vector by
+/// `factor`.
+///
+/// Returns `None` when the payload has the wrong size.
+pub fn scale_vec(payload: &[u8], factor: i32) -> Option<Vec<u8>> {
+    if payload.len() != VEC_BYTES {
+        return None;
+    }
+    let mut out = Vec::with_capacity(VEC_BYTES);
+    for chunk in payload.chunks_exact(4) {
+        let v = i32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        out.extend_from_slice(&v.wrapping_mul(factor).to_le_bytes());
+    }
+    Some(out)
+}
+
+/// Builds a request payload from 256 integers.
+///
+/// # Panics
+///
+/// Panics if `values.len() != 256`.
+pub fn encode_vec(values: &[i32]) -> Vec<u8> {
+    assert_eq!(values.len(), VEC_ELEMS, "expected 256 integers");
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Parses a payload back into integers; `None` on bad size.
+pub fn decode_vec(payload: &[u8]) -> Option<Vec<i32>> {
+    if payload.len() != VEC_BYTES {
+        return None;
+    }
+    Some(
+        payload
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect(),
+    )
+}
+
+/// Naive integer matrix product (functional reference for the neighbor).
+///
+/// # Panics
+///
+/// Panics if the slices are not `n × n`.
+pub fn matmul_i32(a: &[i32], b: &[i32], n: usize) -> Vec<i32> {
+    assert_eq!(a.len(), n * n, "a is not n x n");
+    assert_eq!(b.len(), n * n, "b is not n x n");
+    let mut c = vec![0i32; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] = c[i * n + j].wrapping_add(aik.wrapping_mul(b[k * n + j]));
+            }
+        }
+    }
+    c
+}
+
+/// The vector-scale server kernel as a [`RequestProcessor`].
+#[derive(Clone, Copy, Debug)]
+pub struct VecScaleProcessor {
+    factor: i32,
+}
+
+impl VecScaleProcessor {
+    /// Creates the processor with the multiplication constant.
+    pub fn new(factor: i32) -> VecScaleProcessor {
+        VecScaleProcessor { factor }
+    }
+}
+
+impl Default for VecScaleProcessor {
+    fn default() -> Self {
+        VecScaleProcessor::new(3)
+    }
+}
+
+impl RequestProcessor for VecScaleProcessor {
+    fn name(&self) -> &str {
+        "vector-scale"
+    }
+
+    fn service_time(&self, _request: &[u8]) -> Duration {
+        VECSCALE_KERNEL_TIME
+    }
+
+    fn process(&self, request: &[u8]) -> Vec<u8> {
+        scale_vec(request, self.factor).unwrap_or_else(|| vec![0xFF])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_roundtrip() {
+        let vals: Vec<i32> = (0..256).map(|i| i - 128).collect();
+        let req = encode_vec(&vals);
+        let resp = scale_vec(&req, 3).unwrap();
+        let out = decode_vec(&resp).unwrap();
+        for (o, v) in out.iter().zip(&vals) {
+            assert_eq!(*o, v * 3);
+        }
+    }
+
+    #[test]
+    fn wrong_size_rejected() {
+        assert!(scale_vec(&[0; 100], 2).is_none());
+        assert!(decode_vec(&[0; 7]).is_none());
+    }
+
+    #[test]
+    fn wrapping_multiplication() {
+        let mut vals = vec![0i32; 256];
+        vals[0] = i32::MAX;
+        let out = decode_vec(&scale_vec(&encode_vec(&vals), 2).unwrap()).unwrap();
+        assert_eq!(out[0], i32::MAX.wrapping_mul(2));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let n = 4;
+        let mut eye = vec![0i32; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1;
+        }
+        let a: Vec<i32> = (0..(n * n) as i32).collect();
+        assert_eq!(matmul_i32(&a, &eye, n), a);
+        assert_eq!(matmul_i32(&eye, &a, n), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
+        let c = matmul_i32(&[1, 2, 3, 4], &[5, 6, 7, 8], 2);
+        assert_eq!(c, vec![19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn processor_flags_malformed() {
+        let p = VecScaleProcessor::default();
+        assert_eq!(p.process(&[1, 2, 3]), vec![0xFF]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests of the application algorithms.
+
+use proptest::prelude::*;
+
+use lynx_apps::aes::Aes128;
+use lynx_apps::kv::{self, KvStore};
+use lynx_apps::lbp;
+use lynx_apps::nn::{conv2d, dense, softmax, Tensor};
+use lynx_apps::vecscale;
+
+proptest! {
+    /// AES-128 decrypt(encrypt(x)) == x for arbitrary keys and blocks.
+    #[test]
+    fn aes_roundtrip(key in proptest::array::uniform16(any::<u8>()),
+                     block in proptest::array::uniform16(any::<u8>())) {
+        let aes = Aes128::new(key);
+        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(block)), block);
+    }
+
+    /// Encryption is a permutation: two distinct blocks never collide.
+    #[test]
+    fn aes_injective(key in proptest::array::uniform16(any::<u8>()),
+                     a in proptest::array::uniform16(any::<u8>()),
+                     b in proptest::array::uniform16(any::<u8>())) {
+        prop_assume!(a != b);
+        let aes = Aes128::new(key);
+        prop_assert_ne!(aes.encrypt_block(a), aes.encrypt_block(b));
+    }
+
+    /// KV protocol requests survive an encode/decode roundtrip.
+    #[test]
+    fn kv_request_roundtrip(key in proptest::collection::vec(any::<u8>(), 0..64),
+                            val in proptest::collection::vec(any::<u8>(), 0..512),
+                            is_set in any::<bool>()) {
+        let req = if is_set {
+            kv::Request::Set { key, val }
+        } else {
+            kv::Request::Get { key }
+        };
+        prop_assert_eq!(kv::Request::decode(&req.encode()), Some(req));
+    }
+
+    /// The request decoder never panics and rejects trailing garbage.
+    #[test]
+    fn kv_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = kv::Request::decode(&bytes);
+        let _ = kv::Response::decode(&bytes);
+        // Appending garbage to a valid message invalidates it.
+        let valid = kv::Request::Get { key: b"k".to_vec() }.encode();
+        let mut padded = valid;
+        padded.extend_from_slice(&bytes);
+        if !bytes.is_empty() {
+            prop_assert_eq!(kv::Request::decode(&padded), None);
+        }
+    }
+
+    /// The LRU store agrees with a naive most-recent-first reference
+    /// model under arbitrary get/set sequences.
+    #[test]
+    fn kv_lru_reference_model(
+        ops in proptest::collection::vec((any::<bool>(), 0u8..16, 0u8..8), 1..300)
+    ) {
+        const ENTRIES: usize = 4;
+        let mut kv = KvStore::new(ENTRIES * 5); // key 2B + val 3B per entry
+        let mut model: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for (is_set, k, v) in ops {
+            let key = vec![k, 0xAA];
+            let val = vec![v, v, v];
+            if is_set {
+                kv.set(key.clone(), val.clone());
+                if let Some(pos) = model.iter().position(|(mk, _)| *mk == key) {
+                    model.remove(pos);
+                }
+                model.insert(0, (key, val));
+                model.truncate(ENTRIES);
+            } else {
+                let got = kv.get(&key).map(|s| s.to_vec());
+                let expect = model.iter().position(|(mk, _)| *mk == key).map(|pos| {
+                    let entry = model.remove(pos);
+                    let value = entry.1.clone();
+                    model.insert(0, entry);
+                    value
+                });
+                prop_assert_eq!(got, expect);
+            }
+            prop_assert_eq!(kv.len(), model.len());
+        }
+    }
+
+    /// Vector scaling roundtrips and is linear in the factor sign.
+    #[test]
+    fn vecscale_roundtrip(vals in proptest::collection::vec(any::<i32>(), 256),
+                          factor in -1000i32..1000) {
+        let req = vecscale::encode_vec(&vals);
+        let out = vecscale::decode_vec(&vecscale::scale_vec(&req, factor).unwrap()).unwrap();
+        for (o, v) in out.iter().zip(&vals) {
+            prop_assert_eq!(*o, v.wrapping_mul(factor));
+        }
+    }
+
+    /// LBP histograms always count exactly the interior pixels, whatever
+    /// the image content.
+    #[test]
+    fn lbp_histogram_mass(img in proptest::collection::vec(any::<u8>(), 1024)) {
+        let h = lbp::lbp_histogram(&img, 32, 32);
+        prop_assert_eq!(h.iter().map(|&c| c as u64).sum::<u64>(), 30 * 30);
+    }
+
+    /// Chi-square is a symmetric premetric: d(a,b) == d(b,a), d(a,a) == 0,
+    /// and nonnegative.
+    #[test]
+    fn chi_square_properties(a in proptest::collection::vec(any::<u8>(), 1024),
+                             b in proptest::collection::vec(any::<u8>(), 1024)) {
+        let ha = lbp::lbp_histogram(&a, 32, 32);
+        let hb = lbp::lbp_histogram(&b, 32, 32);
+        let d_ab = lbp::chi_square(&ha, &hb);
+        let d_ba = lbp::chi_square(&hb, &ha);
+        prop_assert!((d_ab - d_ba).abs() < 1e-9);
+        prop_assert!(d_ab >= 0.0);
+        prop_assert_eq!(lbp::chi_square(&ha, &ha), 0.0);
+    }
+
+    /// Softmax outputs a probability distribution for any finite logits.
+    #[test]
+    fn softmax_distribution(logits in proptest::collection::vec(-50f32..50.0, 1..64)) {
+        let out = softmax(&Tensor::vector(logits));
+        let sum: f32 = out.as_slice().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(out.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// Convolution is linear: conv(a + b) == conv(a) + conv(b) with zero
+    /// bias.
+    #[test]
+    fn conv_linearity(
+        a in proptest::collection::vec(-2f32..2.0, 36),
+        b in proptest::collection::vec(-2f32..2.0, 36),
+        w in proptest::collection::vec(-1f32..1.0, 9),
+    ) {
+        let ta = Tensor::from_vec(1, 6, 6, a.clone());
+        let tb = Tensor::from_vec(1, 6, 6, b.clone());
+        let sum = Tensor::from_vec(1, 6, 6, a.iter().zip(&b).map(|(x, y)| x + y).collect());
+        let ca = conv2d(&ta, &w, &[0.0], 1, 3, 1);
+        let cb = conv2d(&tb, &w, &[0.0], 1, 3, 1);
+        let csum = conv2d(&sum, &w, &[0.0], 1, 3, 1);
+        for ((x, y), z) in ca.as_slice().iter().zip(cb.as_slice()).zip(csum.as_slice()) {
+            prop_assert!((x + y - z).abs() < 1e-3, "{x} + {y} != {z}");
+        }
+    }
+
+    /// Dense layers are linear too.
+    #[test]
+    fn dense_linearity(
+        x in proptest::collection::vec(-2f32..2.0, 8),
+        y in proptest::collection::vec(-2f32..2.0, 8),
+        w in proptest::collection::vec(-1f32..1.0, 16),
+    ) {
+        let dx = dense(&Tensor::vector(x.clone()), &w, &[0.0, 0.0], 2);
+        let dy = dense(&Tensor::vector(y.clone()), &w, &[0.0, 0.0], 2);
+        let sum: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let dsum = dense(&Tensor::vector(sum), &w, &[0.0, 0.0], 2);
+        for ((a, b), c) in dx.as_slice().iter().zip(dy.as_slice()).zip(dsum.as_slice()) {
+            prop_assert!((a + b - c).abs() < 1e-3);
+        }
+    }
+}

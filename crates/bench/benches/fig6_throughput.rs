@@ -1,0 +1,148 @@
+//! Figure 6: "Relative throughput of GPU server implementations for
+//! different request execution times (higher is better)."
+//!
+//! Sweep: request execution time {20, 200, 800, 1600} µs × mqueue count
+//! {1, 120, 240} × four designs (host-centric baseline, Lynx on a single
+//! Xeon core, Lynx on 6 Xeon cores, Lynx on BlueField). 64 B UDP
+//! messages, closed-loop saturation load.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx_bench::{client_stack, echo_rig, Design, ShapeReport};
+use lynx_core::SnicPlatform;
+use lynx_workload::report::{banner, Table};
+use lynx_workload::{run_measured, ClosedLoopClient, RunSpec};
+
+const DELAYS_US: [u64; 4] = [20, 200, 800, 1600];
+const MQUEUES: [usize; 3] = [1, 120, 240];
+const DESIGNS: [Design; 4] = [
+    Design::HostCentric,
+    Design::Lynx(SnicPlatform::HostCores(1)),
+    Design::Lynx(SnicPlatform::HostCores(6)),
+    Design::Lynx(SnicPlatform::Bluefield),
+];
+
+fn saturation_throughput(design: Design, delay_us: u64, mqueues: usize) -> f64 {
+    let mut rig = echo_rig(design, Duration::from_micros(delay_us), mqueues);
+    // Stay below the mqueue in-flight capacity so closed-loop slots are
+    // never dropped; 2 client machines as in the paper's testbed.
+    let window = match design {
+        Design::HostCentric => 128,
+        Design::Lynx(_) => (mqueues + 16).min(mqueues * 32),
+    };
+    let c1 = ClosedLoopClient::new(
+        client_stack(&rig.net, "client-0", 2),
+        rig.addr,
+        window,
+        Rc::new(|_| vec![0x5A; 64]),
+    );
+    let c2 = ClosedLoopClient::new(
+        client_stack(&rig.net, "client-1", 2),
+        rig.addr,
+        window,
+        Rc::new(|_| vec![0x5A; 64]),
+    );
+    let spec = RunSpec {
+        warmup: Duration::from_millis(50),
+        measure: Duration::from_millis(200),
+    };
+    let summary = run_measured(&mut rig.sim, &[&c1, &c2], spec);
+    summary.throughput
+}
+
+fn main() {
+    banner("Figure 6 — GPU echo server throughput vs host-centric");
+    println!("\n64B UDP requests; GPU busy-waits the request execution time.\n");
+
+    let mut table = Table::new(&[
+        "exec [us]",
+        "mqueues",
+        "design",
+        "Kreq/s",
+        "speedup vs host-centric",
+    ]);
+    // speedup[delay][mq][design]
+    let mut speedup = vec![vec![vec![0.0f64; DESIGNS.len()]; MQUEUES.len()]; DELAYS_US.len()];
+    for (di, &delay) in DELAYS_US.iter().enumerate() {
+        for (mi, &mq) in MQUEUES.iter().enumerate() {
+            let base = saturation_throughput(Design::HostCentric, delay, mq);
+            for (gi, &design) in DESIGNS.iter().enumerate() {
+                let t = if design == Design::HostCentric {
+                    base
+                } else {
+                    saturation_throughput(design, delay, mq)
+                };
+                speedup[di][mi][gi] = t / base;
+                table.row(&[
+                    format!("{delay}"),
+                    format!("{mq}"),
+                    design.to_string(),
+                    format!("{:.1}", t / 1e3),
+                    format!("{:.2}x", t / base),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+    table
+        .write_csv(lynx_bench::results_dir().join("fig6_throughput.csv"))
+        .expect("write csv");
+
+    let mut report = ShapeReport::new();
+    let bf = 3usize; // Bluefield column
+    let x1 = 1usize; // single Xeon core
+    let x6 = 2usize; // 6 Xeon cores
+    report.check(
+        "host-centric is the slowest design at every 120/240-mqueue config",
+        speedup
+            .iter()
+            .all(|d| d[1..].iter().all(|row| row.iter().skip(1).all(|&s| s >= 1.0))),
+        "all Lynx speedups >= 1.0 for mqueues in {120, 240}".to_string(),
+    );
+    report.check(
+        "Bluefield ~2x host-centric for short requests, one mqueue (paper: 2x)",
+        (1.3..=3.0).contains(&speedup[0][0][bf]),
+        format!("{:.2}x at 20us/1mq", speedup[0][0][bf]),
+    );
+    let best_bf = speedup
+        .iter()
+        .map(|d| d[2][bf])
+        .fold(f64::NEG_INFINITY, f64::max);
+    report.check(
+        "Bluefield reaches ~15x host-centric at 240 mqueues (paper: 15.3x)",
+        (10.0..=20.0).contains(&best_bf),
+        format!("max {best_bf:.1}x across request times at 240mq"),
+    );
+    report.check(
+        "Bluefield always beats a single Xeon core",
+        DELAYS_US.iter().enumerate().all(|(di, _)| {
+            MQUEUES
+                .iter()
+                .enumerate()
+                .all(|(mi, _)| speedup[di][mi][bf] >= speedup[di][mi][x1] * 0.98)
+        }),
+        "BF >= 1 Xeon core everywhere".to_string(),
+    );
+    let bf_vs_x6 = speedup[0][2][bf] / speedup[0][2][x6];
+    report.check(
+        "Bluefield up to ~45% slower than 6 Xeon cores (short requests, 240mq)",
+        (0.5..=0.9).contains(&bf_vs_x6),
+        format!("BF/6-core = {bf_vs_x6:.2} at 20us/240mq"),
+    );
+    let d1600 = &speedup[3][2];
+    report.check(
+        "for 1.6ms requests Bluefield and 6 Xeon cores converge (GPU-bound)",
+        (d1600[bf] / d1600[x6] - 1.0).abs() < 0.1,
+        format!("BF/6-core = {:.2} at 1600us/240mq", d1600[bf] / d1600[x6]),
+    );
+    report.check(
+        "a single Xeon core cannot drive 240 mqueues even at 1.6ms requests",
+        speedup[3][2][x1] < speedup[3][2][x6] * 0.95,
+        format!(
+            "1-core {:.1}x vs 6-core {:.1}x at 1600us/240mq",
+            speedup[3][2][x1], speedup[3][2][x6]
+        ),
+    );
+    report.print();
+}

@@ -1,0 +1,128 @@
+//! Figure 7: "Relative latency of a GPU server with Lynx on Bluefield vs.
+//! Lynx on 6-core CPU (lower is better)."
+//!
+//! Request runtimes {5..1600} µs × mqueue counts {1, 120, 240}; mean
+//! latency of Lynx on BlueField divided by Lynx on 6 Xeon cores at a light
+//! open-loop load. Paper shape: shorter requests are slower on BlueField
+//! (up to ~1.4×); the gap vanishes above ~150 µs; with many mqueues both
+//! platforms spend their time round-robin polling, so the ratio stays
+//! within 10 % at every request size.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx_bench::{client_stack, echo_rig, Design, ShapeReport};
+use lynx_core::SnicPlatform;
+use lynx_workload::report::{banner, Table};
+use lynx_workload::{run_measured, OpenLoopClient, RunSpec};
+
+const DELAYS_US: [u64; 7] = [5, 20, 50, 200, 400, 800, 1600];
+const MQUEUES: [usize; 3] = [1, 120, 240];
+
+fn mean_latency_us(platform: SnicPlatform, delay_us: u64, mqueues: usize) -> f64 {
+    let mut rig = echo_rig(
+        Design::Lynx(platform),
+        Duration::from_micros(delay_us),
+        mqueues,
+    );
+    // Light load: ~20% of the per-mqueue service capacity, capped well
+    // below the SNIC's limits so queueing stays negligible.
+    let rate = (0.2 * mqueues as f64 / (delay_us as f64 * 1e-6)).min(40_000.0);
+    let client = OpenLoopClient::new(
+        client_stack(&rig.net, "client-0", 2),
+        rig.addr,
+        rate,
+        Rc::new(|_| vec![0x5A; 64]),
+    );
+    // Size the window to collect at least ~300 samples even at low rates.
+    let measure = Duration::from_secs_f64((300.0 / rate).max(0.25));
+    let spec = RunSpec {
+        warmup: Duration::from_millis(40),
+        measure,
+    };
+    let summary = run_measured(&mut rig.sim, &[&client], spec);
+    assert!(
+        summary.received > 50,
+        "too few samples: sent={} recv={} platform={platform:?} delay={delay_us} mq={mqueues}",
+        summary.sent,
+        summary.received,
+    );
+    summary.mean_us()
+}
+
+fn main() {
+    banner("Figure 7 — Lynx on Bluefield vs Lynx on 6-core Xeon: latency ratio");
+    println!("\n64B UDP echo with emulated request runtime, light open-loop load.\n");
+
+    let mut table = Table::new(&[
+        "runtime [us]",
+        "mqueues",
+        "Bluefield [us]",
+        "6-core Xeon [us]",
+        "slowdown",
+    ]);
+    let mut ratios = vec![vec![0.0f64; MQUEUES.len()]; DELAYS_US.len()];
+    for (di, &delay) in DELAYS_US.iter().enumerate() {
+        for (mi, &mq) in MQUEUES.iter().enumerate() {
+            let bf = mean_latency_us(SnicPlatform::Bluefield, delay, mq);
+            let xeon = mean_latency_us(SnicPlatform::HostCores(6), delay, mq);
+            ratios[di][mi] = bf / xeon;
+            table.row(&[
+                format!("{delay}"),
+                format!("{mq}"),
+                format!("{bf:.1}"),
+                format!("{xeon:.1}"),
+                format!("{:.3}", bf / xeon),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    table
+        .write_csv(lynx_bench::results_dir().join("fig7_latency.csv"))
+        .expect("write csv");
+
+    let mut report = ShapeReport::new();
+    report.check(
+        "short requests are slower on Bluefield (1 mqueue)",
+        ratios[0][0] > 1.15,
+        format!("{:.2}x at 5us", ratios[0][0]),
+    );
+    report.check(
+        "the Bluefield penalty peaks below ~1.5x",
+        ratios.iter().flatten().all(|&r| r < 1.5),
+        format!(
+            "max ratio {:.2}",
+            ratios.iter().flatten().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        ),
+    );
+    report.check(
+        "the gap diminishes for requests of 200us and higher (1 mqueue)",
+        (3..DELAYS_US.len()).all(|d| ratios[d][0] < 1.1),
+        format!(
+            "ratios at >=200us/1mq: {:?}",
+            (3..DELAYS_US.len())
+                .map(|d| format!("{:.2}", ratios[d][0]))
+                .collect::<Vec<_>>()
+        ),
+    );
+    report.check(
+        "with 120-240 mqueues the platforms stay within ~10% at every size",
+        (0..DELAYS_US.len()).all(|d| (1..MQUEUES.len()).all(|m| ratios[d][m] < 1.12)),
+        format!(
+            "max many-mqueue ratio {:.2}",
+            (0..DELAYS_US.len())
+                .flat_map(|d| (1..MQUEUES.len()).map(move |m| (d, m)))
+                .map(|(d, m)| ratios[d][m])
+                .fold(f64::NEG_INFINITY, f64::max)
+        ),
+    );
+    report.check(
+        "ratios decrease monotonically-ish with request runtime (1 mqueue)",
+        ratios[0][0] >= ratios[2][0] && ratios[2][0] >= ratios[5][0],
+        format!(
+            "{:.2} -> {:.2} -> {:.2}",
+            ratios[0][0], ratios[2][0], ratios[5][0]
+        ),
+    );
+    report.print();
+}

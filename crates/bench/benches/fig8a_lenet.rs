@@ -1,0 +1,219 @@
+//! Figure 8a + §6.3 "LeNet end-to-end performance": digit-recognition
+//! inference serving on one K40m GPU.
+//!
+//! Paper results reproduced:
+//! * Lynx on BlueField and on a Xeon core both reach 3.5 Kreq/s — 25 %
+//!   above the 2.8 Kreq/s host-centric baseline and within 3 % of the
+//!   3.6 Kreq/s theoretical single-GPU maximum;
+//! * p90 latency ≈ 295/300 µs (Xeon/BlueField), host-centric 14 % slower;
+//! * TCP costs ~10 % of throughput on BlueField and ~5 % on Xeon, and adds
+//!   ~20–50 µs of latency (322/346 µs p90).
+//!
+//! Responses are *real* classifications: the GPU worker runs the full
+//! LeNet-5 forward pass over synthetic MNIST-style digits.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx_apps::nn::{DigitGenerator, LeNetProcessor};
+use lynx_bench::{client_stack, ShapeReport};
+use lynx_core::testbed::{deploy_processor, DeployConfig, Machine};
+use lynx_core::{HostCentricServer, MqueueConfig, SnicPlatform};
+use lynx_device::GpuSpec;
+use lynx_net::{Proto, StackKind};
+use lynx_sim::Sim;
+use lynx_workload::report::{banner, Table};
+use lynx_workload::{
+    run_measured, ClosedLoopClient, RunSpec, RunSummary, TcpClosedLoopClient,
+};
+
+const MODEL_SEED: u64 = 99;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Config {
+    HostCentric,
+    Lynx(SnicPlatform, Proto),
+}
+
+fn spec() -> RunSpec {
+    RunSpec {
+        warmup: Duration::from_millis(100),
+        measure: Duration::from_secs(2),
+    }
+}
+
+fn lenet_mq() -> MqueueConfig {
+    MqueueConfig {
+        slots: 16,
+        slot_size: 1024, // fits a 784-byte image + header
+        ..MqueueConfig::default()
+    }
+}
+
+fn payload_fn() -> lynx_workload::PayloadFn {
+    let gen = Rc::new(RefCell::new(DigitGenerator::new(7)));
+    Rc::new(move |seq| gen.borrow_mut().image((seq % 10) as u8))
+}
+
+fn run(config: Config, window: usize) -> RunSummary {
+    let mut sim = Sim::new(88);
+    let net = lynx_net::Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let proc = Rc::new(LeNetProcessor::new(MODEL_SEED));
+    let addr;
+    let mut _keep: Option<Box<dyn std::any::Any>> = None;
+    match config {
+        Config::HostCentric => {
+            // The TVM-generated LeNet occupies the whole GPU per kernel:
+            // one execution lane.
+            let gpu = machine.add_gpu(GpuSpec::k40m());
+            let stack = machine.host_stack(1, StackKind::Vma);
+            let server = HostCentricServer::new(stack, gpu, proc, 7777);
+            addr = lynx_net::SockAddr::new(machine.host_id(), 7777);
+            _keep = Some(Box::new(server));
+        }
+        Config::Lynx(platform, proto) => {
+            let gpu = machine.add_gpu(GpuSpec::k40m());
+            let cfg = DeployConfig {
+                platform,
+                tcp: proto == Proto::Tcp,
+                mqueues_per_gpu: 1, // "the GPU has only one server mqueue"
+                mq: lenet_mq(),
+                ..DeployConfig::default()
+            };
+            let d = deploy_processor(
+                &mut sim,
+                &net,
+                &machine,
+                &[machine.gpu_site(&gpu)],
+                &cfg,
+                proc,
+            );
+            addr = d.server_addr;
+            _keep = Some(Box::new(d));
+        }
+    }
+    let proto = match config {
+        Config::Lynx(_, p) => p,
+        Config::HostCentric => Proto::Udp,
+    };
+    let validate = |_seq: u64, payload: &[u8]| payload.len() == 1 && payload[0] < 10;
+    let summary = match proto {
+        Proto::Udp => {
+            let c =
+                ClosedLoopClient::new(client_stack(&net, "client", 2), addr, window, payload_fn())
+                    .validate(validate);
+            run_measured(&mut sim, &[&c], spec())
+        }
+        Proto::Tcp => {
+            let c = TcpClosedLoopClient::new(
+                client_stack(&net, "client", 2),
+                addr,
+                window,
+                payload_fn(),
+            );
+            run_measured(&mut sim, &[&c], spec())
+        }
+    };
+    assert_eq!(summary.invalid, 0, "classifications must be valid digits");
+    summary
+}
+
+fn main() {
+    banner("Figure 8a / §6.3 — LeNet inference server");
+    println!("\n28x28 MNIST-style digits; full LeNet-5 forward pass on the GPU.\n");
+
+    // Saturation throughput is measured with a small pipeline of requests
+    // (window 3); latency percentiles with a single request in flight,
+    // matching the paper's ~1 outstanding request at max load
+    // (3.5 Kreq/s x 300 us).
+    let configs = [
+        Config::HostCentric,
+        Config::Lynx(SnicPlatform::Bluefield, Proto::Udp),
+        Config::Lynx(SnicPlatform::HostCores(1), Proto::Udp),
+        Config::Lynx(SnicPlatform::Bluefield, Proto::Tcp),
+        Config::Lynx(SnicPlatform::HostCores(1), Proto::Tcp),
+    ];
+    let tput: Vec<RunSummary> = configs.iter().map(|c| run(*c, 3)).collect();
+    let lat: Vec<RunSummary> = configs.iter().map(|c| run(*c, 1)).collect();
+    let (hc, bf_udp, xeon_udp, bf_tcp, xeon_tcp) = (
+        (&tput[0], &lat[0]),
+        (&tput[1], &lat[1]),
+        (&tput[2], &lat[2]),
+        (&tput[3], &lat[3]),
+        (&tput[4], &lat[4]),
+    );
+
+    let mut table = Table::new(&["configuration", "Kreq/s", "p50 [us]", "p90 [us]", "p99 [us]", "paper"]);
+    for (name, (t, l), paper) in [
+        ("host-centric (UDP)", &hc, "2.8K, p90 ~342us"),
+        ("Lynx on Bluefield (UDP)", &bf_udp, "3.5K, p90 300us"),
+        ("Lynx on Xeon (UDP)", &xeon_udp, "3.5K, p90 295us"),
+        ("Lynx on Bluefield (TCP)", &bf_tcp, "3.1K, 346us"),
+        ("Lynx on Xeon (TCP)", &xeon_tcp, "3.3K, 322us"),
+    ] {
+        table.row(&[
+            name.to_string(),
+            format!("{:.2}", t.kreq_per_sec()),
+            format!("{:.0}", l.percentile_us(50.0)),
+            format!("{:.0}", l.percentile_us(90.0)),
+            format!("{:.0}", l.percentile_us(99.0)),
+            paper.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    table
+        .write_csv(lynx_bench::results_dir().join("fig8a_lenet.csv"))
+        .expect("write csv");
+
+    let mut report = ShapeReport::new();
+    let speedup = bf_udp.0.throughput / hc.0.throughput;
+    report.check(
+        "Lynx on Bluefield is ~25% faster than host-centric",
+        (1.15..=1.40).contains(&speedup),
+        format!("{:.1}%", (speedup - 1.0) * 100.0),
+    );
+    report.check(
+        "Lynx throughput lands near the paper's 3.5 Kreq/s",
+        (3.2e3..=3.7e3).contains(&bf_udp.0.throughput),
+        format!("{:.2} Kreq/s", bf_udp.0.kreq_per_sec()),
+    );
+    let bf_vs_xeon = (bf_udp.0.throughput - xeon_udp.0.throughput).abs() / xeon_udp.0.throughput;
+    report.check(
+        "Bluefield and Xeon Lynx are equivalent on UDP (paper: both 3.5K)",
+        bf_vs_xeon < 0.03,
+        format!("{:.1}% apart", bf_vs_xeon * 100.0),
+    );
+    report.check(
+        "Lynx p90 is ~300us",
+        (270.0..=340.0).contains(&bf_udp.1.percentile_us(90.0)),
+        format!("{:.0} us", bf_udp.1.percentile_us(90.0)),
+    );
+    let hc_slower = hc.1.percentile_us(90.0) / xeon_udp.1.percentile_us(90.0);
+    report.check(
+        "host-centric p90 is ~14% slower than Lynx",
+        (1.05..=1.30).contains(&hc_slower),
+        format!("{:.1}% slower", (hc_slower - 1.0) * 100.0),
+    );
+    // At equal (single-request) concurrency, TCP's extra per-message
+    // processing shows up directly as lost throughput.
+    let bf_tcp_drop = 1.0 - bf_tcp.1.throughput / bf_udp.1.throughput;
+    report.check(
+        "TCP costs ~10% of throughput on Bluefield",
+        (0.04..=0.18).contains(&bf_tcp_drop),
+        format!("{:.1}%", bf_tcp_drop * 100.0),
+    );
+    let xeon_tcp_drop = 1.0 - xeon_tcp.1.throughput / xeon_udp.1.throughput;
+    report.check(
+        "TCP costs ~5% of throughput on Xeon",
+        (0.02..=0.11).contains(&xeon_tcp_drop),
+        format!("{:.1}%", xeon_tcp_drop * 100.0),
+    );
+    report.check(
+        "TCP on Bluefield suffers more than on Xeon (ARM cores, heavier stack)",
+        bf_tcp_drop > xeon_tcp_drop,
+        format!("{:.1}% vs {:.1}%", bf_tcp_drop * 100.0, xeon_tcp_drop * 100.0),
+    );
+    report.print();
+}

@@ -1,0 +1,143 @@
+//! Figure 8b: "Lynx scaleout to remote GPUs" — one BlueField SmartNIC
+//! drives 4 local K80 GPUs plus up to 8 remote K80s in two other physical
+//! machines, reached over 40 Gbps RDMA. "The system throughput scales
+//! linearly with the number of GPUs, regardless whether remote or local...
+//! Using remote GPUs adds about 8 µsec latency."
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx_apps::nn::{DigitGenerator, LeNetProcessor};
+use lynx_bench::{client_stack, ShapeReport};
+use lynx_core::testbed::{deploy_processor, DeployConfig, Machine};
+use lynx_core::{MqueueConfig, SnicPlatform};
+use lynx_device::GpuSpec;
+use lynx_sim::Sim;
+use lynx_workload::report::{banner, Table};
+use lynx_workload::{run_measured, ClosedLoopClient, LoadClient, RunSpec, RunSummary};
+
+const MODEL_SEED: u64 = 99;
+
+fn payload_fn() -> lynx_workload::PayloadFn {
+    let gen = Rc::new(RefCell::new(DigitGenerator::new(7)));
+    Rc::new(move |seq| gen.borrow_mut().image((seq % 10) as u8))
+}
+
+/// Deploys LeNet over `local` GPUs on the SmartNIC's machine and `remote`
+/// GPUs spread over two other machines; returns the measured summary.
+fn run(local: usize, remote: usize, window: usize, clients: usize) -> RunSummary {
+    let mut sim = Sim::new(1234);
+    let net = lynx_net::Network::new();
+    let local_machine = Machine::new(&net, "server-0");
+    let remote_1 = Machine::new(&net, "server-1");
+    let remote_2 = Machine::new(&net, "server-2");
+
+    let mut sites = Vec::new();
+    for _ in 0..local {
+        let gpu = local_machine.add_gpu(GpuSpec::k80());
+        sites.push(local_machine.gpu_site(&gpu));
+    }
+    for i in 0..remote {
+        let m = if i % 2 == 0 { &remote_1 } else { &remote_2 };
+        let gpu = m.add_gpu(GpuSpec::k80());
+        sites.push(m.gpu_site(&gpu));
+    }
+
+    let cfg = DeployConfig {
+        platform: SnicPlatform::Bluefield,
+        mqueues_per_gpu: 1,
+        mq: MqueueConfig {
+            slots: 16,
+            slot_size: 1024,
+            ..MqueueConfig::default()
+        },
+        ..DeployConfig::default()
+    };
+    let proc = Rc::new(LeNetProcessor::new(MODEL_SEED));
+    let d = deploy_processor(&mut sim, &net, &local_machine, &sites, &cfg, proc);
+
+    let cs: Vec<ClosedLoopClient> = (0..clients)
+        .map(|i| {
+            ClosedLoopClient::new(
+                client_stack(&net, &format!("client-{i}"), 2),
+                d.server_addr,
+                window,
+                payload_fn(),
+            )
+            .validate(|_, p| p.len() == 1 && p[0] < 10)
+        })
+        .collect();
+    let refs: Vec<&dyn LoadClient> = cs.iter().map(|c| c as &dyn LoadClient).collect();
+    let spec = RunSpec {
+        warmup: Duration::from_millis(100),
+        measure: Duration::from_secs(1),
+    };
+    let summary = run_measured(&mut sim, &refs, spec);
+    assert_eq!(summary.invalid, 0);
+    summary
+}
+
+fn main() {
+    banner("Figure 8b — LeNet scaleout to remote GPUs (K80s over 3 machines)");
+    println!("\nOne BlueField SmartNIC drives all GPUs; remote GPUs via 40Gbps RDMA.\n");
+
+    // Throughput bars: saturation load (enough in-flight per GPU).
+    let t4 = run(4, 0, 8, 2);
+    let t8 = run(4, 4, 16, 2);
+    let t12 = run(4, 8, 24, 2);
+
+    // Latency comparison: one request in flight (single client) against a
+    // single local vs a single remote GPU.
+    let lat_local = run(1, 0, 1, 1);
+    let lat_remote = run(0, 1, 1, 1);
+
+    let mut table = Table::new(&["configuration", "GPUs", "Kreq/s", "per-GPU Kreq/s"]);
+    for (name, gpus, s) in [
+        ("4 local", 4, &t4),
+        ("4 local + 4 remote", 8, &t8),
+        ("4 local + 8 remote", 12, &t12),
+    ] {
+        table.row(&[
+            name.to_string(),
+            format!("{gpus}"),
+            format!("{:.1}", s.kreq_per_sec()),
+            format!("{:.2}", s.kreq_per_sec() / gpus as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    table
+        .write_csv(lynx_bench::results_dir().join("fig8b_scaleout.csv"))
+        .expect("write csv");
+    println!(
+        "latency, 1 in flight: local GPU {:.1} us, remote GPU {:.1} us\n",
+        lat_local.mean_us(),
+        lat_remote.mean_us()
+    );
+
+    let mut report = ShapeReport::new();
+    report.check(
+        "4 K80s deliver ~13.2 Kreq/s (4 x 3.3K, paper footnote 2)",
+        (11.5e3..=14.0e3).contains(&t4.throughput),
+        format!("{:.1} Kreq/s", t4.kreq_per_sec()),
+    );
+    let lin8 = t8.throughput / t4.throughput;
+    report.check(
+        "8 GPUs scale linearly from 4 (2x +-10%)",
+        (1.8..=2.1).contains(&lin8),
+        format!("{lin8:.2}x"),
+    );
+    let lin12 = t12.throughput / t4.throughput;
+    report.check(
+        "12 GPUs scale linearly from 4 (3x +-10%)",
+        (2.7..=3.15).contains(&lin12),
+        format!("{lin12:.2}x"),
+    );
+    let extra = lat_remote.mean_us() - lat_local.mean_us();
+    report.check(
+        "a remote GPU adds ~8us of latency",
+        (4.0..=14.0).contains(&extra),
+        format!("{extra:.1} us"),
+    );
+    report.print();
+}

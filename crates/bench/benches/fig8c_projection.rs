@@ -1,0 +1,192 @@
+//! Figure 8c: "Scalability projection with Lynx" — how many LeNet GPUs a
+//! single SmartNIC can drive before its network processing saturates.
+//!
+//! Following the paper's methodology, request processing is *emulated*: a
+//! kernel with a single thread blocks for the LeNet execution time, one
+//! mqueue per emulated GPU, all on one physical GPU ("the emulation
+//! results precisely match the performance of Lynx on 12 real GPUs").
+//!
+//! Paper saturation points: UDP — 102 GPUs on BlueField vs 74 on a Xeon
+//! core; TCP — 15 vs 7 (TCP processing overheads, especially on the ARM
+//! cores).
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx_bench::{client_stack, ShapeReport};
+use lynx_core::testbed::{deploy_processor, DeployConfig, Machine};
+use lynx_core::{MqueueConfig, SnicPlatform};
+use lynx_device::{DelayProcessor, GpuSpec};
+use lynx_net::Proto;
+use lynx_sim::Sim;
+use lynx_workload::report::{banner, Table};
+use lynx_workload::{run_measured, ClosedLoopClient, RunSpec, TcpClosedLoopClient};
+
+/// Per-request LeNet service time: 3.5 Kreq/s per GPU.
+const LENET_EMU: Duration = Duration::from_micros(286);
+
+fn run(platform: SnicPlatform, proto: Proto, gpus: usize) -> f64 {
+    let mut sim = Sim::new(42);
+    let net = lynx_net::Network::new();
+    let machine = Machine::new(&net, "server-0");
+    // All emulated GPUs live on one physical GPU: one single-thread
+    // blocking kernel (threadblock) + mqueue per emulated GPU.
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let cfg = DeployConfig {
+        platform,
+        tcp: proto == Proto::Tcp,
+        mqueues_per_gpu: gpus,
+        mq: MqueueConfig {
+            slots: 16,
+            slot_size: 256,
+            ..MqueueConfig::default()
+        },
+        ..DeployConfig::default()
+    };
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(DelayProcessor::new(LENET_EMU)),
+    );
+    let window = gpus * 2 + 16;
+    let spec = RunSpec {
+        warmup: Duration::from_millis(60),
+        measure: Duration::from_millis(400),
+    };
+    let payload: lynx_workload::PayloadFn = Rc::new(|_| vec![0x42; 64]);
+    match proto {
+        Proto::Udp => {
+            let c1 = ClosedLoopClient::new(
+                client_stack(&net, "client-0", 2),
+                d.server_addr,
+                window,
+                Rc::clone(&payload),
+            );
+            let c2 = ClosedLoopClient::new(
+                client_stack(&net, "client-1", 2),
+                d.server_addr,
+                window,
+                payload,
+            );
+            run_measured(&mut sim, &[&c1, &c2], spec).throughput
+        }
+        Proto::Tcp => {
+            let c1 = TcpClosedLoopClient::new(
+                client_stack(&net, "client-0", 2),
+                d.server_addr,
+                window,
+                Rc::clone(&payload),
+            );
+            let c2 = TcpClosedLoopClient::new(
+                client_stack(&net, "client-1", 2),
+                d.server_addr,
+                window,
+                payload,
+            );
+            run_measured(&mut sim, &[&c1, &c2], spec).throughput
+        }
+    }
+}
+
+/// Finds where the throughput curve flattens: the last GPU count that
+/// still improves throughput by >2% per added GPU step, interpolated to a
+/// saturation GPU count = saturated throughput / 3.5 Kreq/s.
+fn saturation_gpus(points: &[(usize, f64)]) -> f64 {
+    let max = points.iter().map(|p| p.1).fold(0.0, f64::max);
+    max / (1.0 / LENET_EMU.as_secs_f64())
+}
+
+fn main() {
+    banner("Figure 8c — multi-GPU scalability projection (emulated LeNet)");
+
+    let sweeps: [(&str, SnicPlatform, Proto, Vec<usize>); 4] = [
+        (
+            "UDP Lynx on BlueField",
+            SnicPlatform::Bluefield,
+            Proto::Udp,
+            vec![15, 30, 60, 90, 105, 120, 150],
+        ),
+        (
+            "UDP Lynx on Xeon",
+            SnicPlatform::HostCores(1),
+            Proto::Udp,
+            vec![15, 30, 45, 60, 75, 90, 105],
+        ),
+        (
+            "TCP Lynx on BlueField",
+            SnicPlatform::Bluefield,
+            Proto::Tcp,
+            vec![4, 7, 15, 22, 30],
+        ),
+        (
+            "TCP Lynx on Xeon",
+            SnicPlatform::HostCores(1),
+            Proto::Tcp,
+            vec![2, 4, 7, 11, 15],
+        ),
+    ];
+
+    let mut table = Table::new(&["series", "emulated GPUs", "Kreq/s"]);
+    let mut saturation = Vec::new();
+    for (name, platform, proto, counts) in &sweeps {
+        let mut points = Vec::new();
+        for &n in counts {
+            let t = run(*platform, *proto, n);
+            table.row(&[name.to_string(), format!("{n}"), format!("{:.1}", t / 1e3)]);
+            points.push((n, t));
+        }
+        saturation.push((name.to_string(), saturation_gpus(&points)));
+    }
+    println!("\n{}", table.render());
+    table
+        .write_csv(lynx_bench::results_dir().join("fig8c_projection.csv"))
+        .expect("write csv");
+
+    println!("saturation points (GPUs fully utilized):");
+    for (name, gpus) in &saturation {
+        println!("  {name}: {gpus:.0} GPUs");
+    }
+
+    let mut report = ShapeReport::new();
+    let get = |i: usize| saturation[i].1;
+    report.check(
+        "UDP on BlueField saturates near ~102 GPUs",
+        (80.0..=140.0).contains(&get(0)),
+        format!("{:.0} GPUs", get(0)),
+    );
+    report.check(
+        "UDP on a Xeon core saturates near ~74 GPUs",
+        (45.0..=90.0).contains(&get(1)),
+        format!("{:.0} GPUs", get(1)),
+    );
+    report.check(
+        "TCP on BlueField saturates near ~15 GPUs",
+        (10.0..=22.0).contains(&get(2)),
+        format!("{:.0} GPUs", get(2)),
+    );
+    report.check(
+        "TCP on a Xeon core saturates near ~7 GPUs",
+        (4.0..=11.0).contains(&get(3)),
+        format!("{:.0} GPUs", get(3)),
+    );
+    report.check(
+        "UDP scales ~7x further than TCP on BlueField",
+        get(0) / get(2) > 4.0,
+        format!("{:.1}x", get(0) / get(2)),
+    );
+    report.check(
+        "BlueField drives more GPUs than a single Xeon core on both protocols",
+        get(0) > get(1) && get(2) > get(3),
+        format!(
+            "UDP {:.0} vs {:.0}; TCP {:.0} vs {:.0}",
+            get(0),
+            get(1),
+            get(2),
+            get(3)
+        ),
+    );
+    report.print();
+}

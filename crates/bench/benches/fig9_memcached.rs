@@ -1,0 +1,204 @@
+//! Figure 9 + §6.3 "Comparing CPU efficiency of Lynx and server
+//! workloads": is the freed Xeon core worth more to memcached than the
+//! BlueField cores are?
+//!
+//! Configurations (the LeNet GPU service runs at 3.5 Kreq/s in all of
+//! them, managed either by BlueField or by the sixth host core — see
+//! fig8a for that equivalence):
+//!
+//! * `5 cores` — memcached on five host cores (LeNet's Lynx on the sixth);
+//! * `5 cores & Bluefield (throughput-optimized)` — plus memcached on the
+//!   SmartNIC's 7 ARM cores at its maximum throughput;
+//! * `5 cores & Bluefield (latency-optimized)` — the BlueField instance
+//!   must meet the Xeon's ~15 µs p99 target, which it cannot: its service
+//!   time alone exceeds the target, so it contributes nothing;
+//! * `6 cores` — memcached on all six host cores (LeNet managed by
+//!   BlueField).
+//!
+//! Paper: a Xeon core yields 250 Ktps at ~15 µs p99; BlueField yields
+//! 400 Ktps but at ~160 µs p99 — so "6 cores" beats "5 cores + BlueField"
+//! whenever latency matters, and offloading *Lynx* (not memcached) to the
+//! SmartNIC is the efficient placement.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx_apps::kv;
+use lynx_bench::{client_stack, KvServer, ShapeReport};
+use lynx_device::calib;
+use lynx_net::{HostStack, LinkSpec, Network, Platform, StackKind, StackProfile};
+use lynx_sim::{rng::Zipf, MultiServer, Sim};
+use lynx_workload::report::{banner, Table};
+use lynx_workload::{run_measured, ClosedLoopClient, LoadClient, RunSpec, RunSummary};
+
+const KEYS: usize = 10_000;
+
+/// Runs a memcached instance on the given platform/core count at a target
+/// closed-loop window; returns `(throughput, p99_us)`.
+fn run_memcached(platform: Platform, cores: usize, window_per_core: usize) -> RunSummary {
+    let mut sim = Sim::new(9);
+    let net = Network::new();
+    let host = net.add_host("mc-server", LinkSpec::gbps40());
+    let stack = HostStack::new(
+        &net,
+        host,
+        MultiServer::new(cores, 1.0),
+        StackProfile::of(platform, StackKind::Vma),
+    );
+    let server = KvServer::start_with_speed(
+        stack,
+        11211,
+        match platform {
+            Platform::Xeon => 1.0,
+            Platform::ArmA72 => calib::ARM_RELATIVE_SPEED,
+        },
+    );
+    // Preload the keyspace.
+    {
+        let store = server.store();
+        let mut st = store.borrow_mut();
+        for k in 0..KEYS {
+            st.set(format!("key-{k:06}").into_bytes(), vec![0xAB; 32]);
+        }
+    }
+    let zipf = Rc::new(Zipf::new(KEYS, 0.99));
+    let addr = server.addr();
+    let payload: lynx_workload::PayloadFn = {
+        let zipf = Rc::clone(&zipf);
+        Rc::new(move |seq| {
+            // Deterministic zipf-ish pick keyed by the sequence number.
+            let mut h = seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 33;
+            let rank = (h as usize) % zipf.len();
+            kv::Request::Get {
+                key: format!("key-{rank:06}").into_bytes(),
+            }
+            .encode()
+        })
+    };
+    let clients: Vec<ClosedLoopClient> = (0..2)
+        .map(|i| {
+            ClosedLoopClient::new(
+                client_stack(&net, &format!("client-{i}"), 3),
+                addr,
+                window_per_core * cores / 2 + 1,
+                Rc::clone(&payload),
+            )
+            .validate(|_, p| {
+                matches!(
+                    kv::Response::decode(p),
+                    Some(kv::Response::Value(_) | kv::Response::Miss)
+                )
+            })
+        })
+        .collect();
+    let refs: Vec<&dyn LoadClient> = clients.iter().map(|c| c as &dyn LoadClient).collect();
+    let spec = RunSpec {
+        warmup: Duration::from_millis(100),
+        measure: Duration::from_millis(500),
+    };
+    let summary = run_measured(&mut sim, &refs, spec);
+    assert_eq!(summary.invalid, 0);
+    summary
+}
+
+fn main() {
+    banner("Figure 9 — memcached placement: freed Xeon cores vs BlueField cores");
+
+    // Per-unit building blocks.
+    let xeon1 = run_memcached(Platform::Xeon, 1, 4);
+    let xeon5 = run_memcached(Platform::Xeon, 5, 4);
+    let xeon6 = run_memcached(Platform::Xeon, 6, 4);
+    let bf_tput = run_memcached(Platform::ArmA72, 7, 10);
+
+    let latency_target_us = 16.0;
+    // Latency-optimized BlueField: the smallest possible load is one
+    // request at a time; if p99 still exceeds the Xeon-level target, the
+    // SmartNIC contributes nothing under the SLO.
+    let bf_min = run_memcached(Platform::ArmA72, 7, 1);
+    let bf_latency_ok = bf_min.percentile_us(99.0) <= latency_target_us;
+    let bf_lat_contrib = if bf_latency_ok { bf_min.throughput } else { 0.0 };
+
+    let mut table = Table::new(&["configuration", "memcached Mtps", "p99 [us]", "paper"]);
+    table.row(&[
+        "5 Xeon cores".to_string(),
+        format!("{:.2}", xeon5.throughput / 1e6),
+        format!("{:.1}", xeon5.percentile_us(99.0)),
+        "~1.25 Mtps @ ~15us".to_string(),
+    ]);
+    table.row(&[
+        "5 cores + Bluefield (tput-opt)".to_string(),
+        format!("{:.2}", (xeon5.throughput + bf_tput.throughput) / 1e6),
+        format!(
+            "{:.1} (Xeon) / {:.1} (BF)",
+            xeon5.percentile_us(99.0),
+            bf_tput.percentile_us(99.0)
+        ),
+        "BF adds 400Ktps @ 160us".to_string(),
+    ]);
+    table.row(&[
+        "5 cores + Bluefield (latency-opt)".to_string(),
+        format!("{:.2}", (xeon5.throughput + bf_lat_contrib) / 1e6),
+        format!("{:.1}", xeon5.percentile_us(99.0)),
+        "BF cannot meet 15us".to_string(),
+    ]);
+    table.row(&[
+        "6 Xeon cores".to_string(),
+        format!("{:.2}", xeon6.throughput / 1e6),
+        format!("{:.1}", xeon6.percentile_us(99.0)),
+        "~1.5 Mtps @ ~15us".to_string(),
+    ]);
+    println!("\n{}", table.render());
+    table
+        .write_csv(lynx_bench::results_dir().join("fig9_memcached.csv"))
+        .expect("write csv");
+
+    let mut report = ShapeReport::new();
+    report.check(
+        "one Xeon core yields ~250 Ktps",
+        (200e3..=320e3).contains(&xeon1.throughput),
+        format!("{:.0} Ktps", xeon1.throughput / 1e3),
+    );
+    report.check(
+        "Xeon p99 stays near ~15us at max throughput",
+        xeon1.percentile_us(99.0) < 25.0,
+        format!("{:.1} us", xeon1.percentile_us(99.0)),
+    );
+    report.check(
+        "Bluefield yields ~400 Ktps at maximum",
+        (320e3..=500e3).contains(&bf_tput.throughput),
+        format!("{:.0} Ktps", bf_tput.throughput / 1e3),
+    );
+    report.check(
+        "but at a dramatic latency increase (paper: 160us vs 15us)",
+        bf_tput.percentile_us(99.0) > 6.0 * xeon1.percentile_us(99.0),
+        format!(
+            "{:.0} us vs {:.1} us",
+            bf_tput.percentile_us(99.0),
+            xeon1.percentile_us(99.0)
+        ),
+    );
+    report.check(
+        "Bluefield cannot meet the Xeon-level latency target at all",
+        !bf_latency_ok,
+        format!(
+            "minimum-load p99 {:.1} us > {latency_target_us} us target",
+            bf_min.percentile_us(99.0)
+        ),
+    );
+    report.check(
+        "memcached scales linearly with freed host cores (6 vs 5)",
+        (1.15..=1.25).contains(&(xeon6.throughput / xeon5.throughput)),
+        format!("{:.2}x", xeon6.throughput / xeon5.throughput),
+    );
+    report.check(
+        "under the latency SLO, '6 cores' beats '5 cores + Bluefield'",
+        xeon6.throughput > xeon5.throughput + bf_lat_contrib,
+        format!(
+            "{:.2} Mtps vs {:.2} Mtps",
+            xeon6.throughput / 1e6,
+            (xeon5.throughput + bf_lat_contrib) / 1e6
+        ),
+    );
+    report.print();
+}

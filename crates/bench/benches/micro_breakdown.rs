@@ -1,0 +1,98 @@
+//! §6.2 "Latency of Lynx on Bluefield vs. host CPU" — the latency
+//! breakdown for a zero-time GPU kernel (copy 20 bytes from input to
+//! output):
+//!
+//! * "the request spends 14 µsec from the point it completes the UDP
+//!   processing till the GPU response is ready to be sent" (BlueField);
+//!   11 µsec on the host CPU;
+//! * "end-to-end latency of 25 µsec and 19 µsec for Bluefield and CPU
+//!   respectively".
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx_bench::{client_stack, echo_rig, Design, ShapeReport};
+use lynx_core::SnicPlatform;
+use lynx_net::{Platform, StackKind, StackProfile};
+use lynx_workload::report::{banner, Table};
+use lynx_workload::{run_measured, ClosedLoopClient, RunSpec};
+
+/// End-to-end latency of a 20-byte echo with one request in flight.
+fn e2e_us(platform: SnicPlatform) -> f64 {
+    let mut rig = echo_rig(Design::Lynx(platform), Duration::ZERO, 1);
+    let client = ClosedLoopClient::new(
+        client_stack(&rig.net, "client-0", 1),
+        rig.addr,
+        1,
+        Rc::new(|_| vec![0x11; 20]),
+    );
+    let summary = run_measured(&mut rig.sim, &[&client], RunSpec::quick());
+    summary.mean_us()
+}
+
+fn main() {
+    banner("§6.2 — latency breakdown, zero-time GPU kernel (20B echo)");
+
+    let bf = e2e_us(SnicPlatform::Bluefield);
+    let xeon = e2e_us(SnicPlatform::HostCores(6));
+
+    // Derive the SNIC-resident portion (UDP done -> response ready) by
+    // subtracting the client-side costs, the wire, and the server's own
+    // UDP processing from the measured end-to-end latency.
+    let client_prof = StackProfile::of(Platform::Xeon, StackKind::Vma);
+    let wire_us = 2.0 * (0.5 + 0.3 + 0.5) + 0.4; // prop + switch + serialization
+    let client_us = (client_prof.udp_tx + client_prof.udp_rx).as_secs_f64() * 1e6;
+    let derive = |e2e: f64, prof: StackProfile| {
+        e2e - client_us - wire_us - (prof.udp_rx + prof.udp_tx).as_secs_f64() * 1e6
+    };
+    let bf_snic = derive(bf, StackProfile::of(Platform::ArmA72, StackKind::Vma));
+    let xeon_snic = derive(xeon, StackProfile::of(Platform::Xeon, StackKind::Vma));
+
+    let mut table = Table::new(&["platform", "e2e [us]", "UDP-done -> resp-ready [us]", "paper e2e", "paper middle"]);
+    table.row(&[
+        "Lynx on Bluefield".to_string(),
+        format!("{bf:.1}"),
+        format!("{bf_snic:.1}"),
+        "25".to_string(),
+        "14".to_string(),
+    ]);
+    table.row(&[
+        "Lynx on host CPU".to_string(),
+        format!("{xeon:.1}"),
+        format!("{xeon_snic:.1}"),
+        "19".to_string(),
+        "11".to_string(),
+    ]);
+    println!("\n{}", table.render());
+    table
+        .write_csv(lynx_bench::results_dir().join("micro_breakdown.csv"))
+        .expect("write csv");
+
+    let mut report = ShapeReport::new();
+    report.check(
+        "Bluefield e2e ~25us for a zero-time kernel",
+        (21.0..=31.0).contains(&bf),
+        format!("{bf:.1} us"),
+    );
+    report.check(
+        "host CPU e2e ~19us for a zero-time kernel",
+        (14.0..=23.0).contains(&xeon),
+        format!("{xeon:.1} us"),
+    );
+    report.check(
+        "Bluefield middle portion ~14us (paper: 14us)",
+        (11.0..=18.0).contains(&bf_snic),
+        format!("{bf_snic:.1} us"),
+    );
+    report.check(
+        "host middle portion ~11us (paper: 11us)",
+        (7.0..=14.0).contains(&xeon_snic),
+        format!("{xeon_snic:.1} us"),
+    );
+    report.check(
+        "GPU interaction dominates: middle portion is most of the e2e gap",
+        bf - xeon < 12.0 && bf > xeon,
+        format!("gap {:.1} us", bf - xeon),
+    );
+    report.print();
+}

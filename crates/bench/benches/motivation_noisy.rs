@@ -1,0 +1,220 @@
+//! §3.2 / §6.2 "Interference with co-located applications": a GPU-backed
+//! vector-scale server co-runs with a cache-filling 1140×1140 matrix
+//! product on the same host CPU.
+//!
+//! Paper results reproduced:
+//! * host-centric: 13× higher p99 (0.13 ms → 1.7 ms) and 21 % matmul
+//!   slowdown under co-location;
+//! * Lynx on BlueField: "we observe no interference between them".
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx_apps::vecscale::{self, VecScaleProcessor, VECSCALE_KERNEL_TIME};
+use lynx_bench::{client_stack, ShapeReport};
+use lynx_core::testbed::{deploy_processor, DeployConfig, Machine};
+use lynx_core::SnicPlatform;
+use lynx_device::{GpuSpec, LlcModel};
+use lynx_net::Network;
+use lynx_sim::{Server, Sim};
+use lynx_workload::report::{banner, Table};
+use lynx_workload::{run_measured, OpenLoopClient, RunSpec};
+
+const LOAD: f64 = 2_000.0;
+const SPEC: RunSpec = RunSpec {
+    warmup: Duration::from_millis(100),
+    measure: Duration::from_millis(1_000),
+};
+
+/// Runs the matmul neighbor on a dedicated core, returning a counter of
+/// completed tiles. Each "tile" is 1/100 of the full 1140^3 product so the
+/// slowdown factor is sampled frequently.
+fn start_neighbor(sim: &mut Sim, core: Server, llc: LlcModel) -> Rc<Cell<u64>> {
+    let tiles = Rc::new(Cell::new(0u64));
+    let t = Rc::clone(&tiles);
+    fn tile(sim: &mut Sim, core: Server, llc: LlcModel, t: Rc<Cell<u64>>) {
+        let slice = vecscale::NEIGHBOR_ITERATION / 100;
+        let work = slice.mul_f64(llc.neighbor_factor());
+        let c2 = core.clone();
+        core.submit(sim, work, move |sim| {
+            t.set(t.get() + 1);
+            tile(sim, c2, llc, t);
+        });
+    }
+    tile(sim, core, llc, t);
+    tiles
+}
+
+struct Outcome {
+    p50_ms: f64,
+    p99_ms: f64,
+    neighbor_tiles_per_sec: f64,
+}
+
+/// Host-centric victim: the server's CPU-side processing shares the LLC
+/// with the neighbor, so each request pays an interference penalty drawn
+/// from the LLC model before the GPU pipeline runs.
+fn run_hostcentric(neighbor_on: bool) -> Outcome {
+    let mut sim = Sim::new(11);
+    let net = Network::new();
+    let machine = Machine::new(&net, "server");
+    let gpu = machine.add_gpu_with_exec_lanes(GpuSpec::k40m(), 64);
+    let llc = machine.cpu().llc();
+    llc.set_victim_active(true);
+    llc.set_neighbor_active(neighbor_on);
+    let stack = machine.host_stack(1, lynx_net::StackKind::Vma);
+
+    let port = 7777;
+    let stack2 = stack.clone();
+    let llc2 = llc.clone();
+    stack.bind_udp(port, move |sim, dgram| {
+        // LLC interference hits the CPU-side request handling.
+        let nominal = VECSCALE_KERNEL_TIME;
+        let penalty = llc2.victim_service_time(sim, nominal) - nominal;
+        let gpu = gpu.clone();
+        let stack3 = stack2.clone();
+        let reply_to = dgram.src;
+        stack2.charge(sim, penalty, move |sim| {
+            let stack4 = stack3.clone();
+            gpu.hostcentric_request(sim, VECSCALE_KERNEL_TIME, 1, move |sim| {
+                let resp = vecscale::scale_vec(&dgram.payload, 3).unwrap_or_default();
+                stack4.send_udp(sim, port, reply_to, resp);
+            });
+        });
+    });
+
+    let neighbor_core = machine.cpu().take_core();
+    let tiles = start_neighbor(&mut sim, neighbor_core, llc.clone());
+
+    let payload: Vec<u8> = vecscale::encode_vec(&[7i32; 256]);
+    let client = OpenLoopClient::new(
+        client_stack(&net, "client", 2),
+        lynx_net::SockAddr::new(machine.host_id(), port),
+        LOAD,
+        Rc::new(move |_| payload.clone()),
+    );
+    let t0 = tiles.get();
+    let summary = run_measured(&mut sim, &[&client], SPEC);
+    let tile_rate = (tiles.get() - t0) as f64 / (SPEC.measure + SPEC.warmup).as_secs_f64();
+    Outcome {
+        p50_ms: summary.percentile_us(50.0) / 1e3,
+        p99_ms: summary.percentile_us(99.0) / 1e3,
+        neighbor_tiles_per_sec: tile_rate,
+    }
+}
+
+/// Lynx victim: the data/control plane lives on the SmartNIC; the host CPU
+/// never touches requests, so the LLC model's victim path is idle.
+fn run_lynx(neighbor_on: bool) -> Outcome {
+    let mut sim = Sim::new(11);
+    let net = Network::new();
+    let machine = Machine::new(&net, "server");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let llc = machine.cpu().llc();
+    llc.set_victim_active(false); // server does not run on the host CPU
+    llc.set_neighbor_active(neighbor_on);
+    let cfg = DeployConfig {
+        platform: SnicPlatform::Bluefield,
+        mqueues_per_gpu: 8,
+        ..DeployConfig::default()
+    };
+    let deployment = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(VecScaleProcessor::new(3)),
+    );
+    let neighbor_core = machine.cpu().take_core();
+    let tiles = start_neighbor(&mut sim, neighbor_core, llc.clone());
+    let payload: Vec<u8> = vecscale::encode_vec(&[7i32; 256]);
+    let client = OpenLoopClient::new(
+        client_stack(&net, "client", 2),
+        deployment.server_addr,
+        LOAD,
+        Rc::new(move |_| payload.clone()),
+    );
+    let t0 = tiles.get();
+    let summary = run_measured(&mut sim, &[&client], SPEC);
+    let tile_rate = (tiles.get() - t0) as f64 / (SPEC.measure + SPEC.warmup).as_secs_f64();
+    Outcome {
+        p50_ms: summary.percentile_us(50.0) / 1e3,
+        p99_ms: summary.percentile_us(99.0) / 1e3,
+        neighbor_tiles_per_sec: tile_rate,
+    }
+}
+
+fn main() {
+    banner("Motivation §3.2 — noisy neighbor interference (and §6.2 isolation)");
+    println!("\nVictim: GPU vector-scale server (256 ints/request) at 2 Kreq/s.");
+    println!("Neighbor: 1140x1140 integer matrix product filling the LLC.\n");
+
+    let hc_quiet = run_hostcentric(false);
+    let hc_noisy = run_hostcentric(true);
+    let lx_quiet = run_lynx(false);
+    let lx_noisy = run_lynx(true);
+
+    let mut table = Table::new(&[
+        "configuration",
+        "victim p50 [ms]",
+        "victim p99 [ms]",
+        "neighbor tiles/s",
+    ]);
+    for (name, o) in [
+        ("host-centric, quiet", &hc_quiet),
+        ("host-centric, neighbor", &hc_noisy),
+        ("Lynx on Bluefield, quiet", &lx_quiet),
+        ("Lynx on Bluefield, neighbor", &lx_noisy),
+    ] {
+        table.row(&[
+            name.to_string(),
+            format!("{:.3}", o.p50_ms),
+            format!("{:.3}", o.p99_ms),
+            format!("{:.1}", o.neighbor_tiles_per_sec),
+        ]);
+    }
+    println!("{}", table.render());
+    table
+        .write_csv(lynx_bench::results_dir().join("motivation_noisy.csv"))
+        .expect("write csv");
+
+    let mut report = ShapeReport::new();
+    let inflation = hc_noisy.p99_ms / hc_quiet.p99_ms;
+    report.check(
+        "host-centric p99 inflates ~13x under the neighbor (0.13ms -> 1.7ms)",
+        (6.0..=25.0).contains(&inflation),
+        format!(
+            "{:.2}ms -> {:.2}ms ({inflation:.1}x)",
+            hc_quiet.p99_ms, hc_noisy.p99_ms
+        ),
+    );
+    report.check(
+        "host-centric quiet p99 is ~0.13ms",
+        (0.09..=0.20).contains(&hc_quiet.p99_ms),
+        format!("{:.3} ms", hc_quiet.p99_ms),
+    );
+    let lynx_ratio = lx_noisy.p99_ms / lx_quiet.p99_ms;
+    report.check(
+        "Lynx on Bluefield shows no interference",
+        (0.9..=1.15).contains(&lynx_ratio),
+        format!("p99 ratio {lynx_ratio:.2}"),
+    );
+    // The neighbor's rate when running in full isolation (no victim on the
+    // CPU): 100 tiles per NEIGHBOR_ITERATION.
+    let isolated_rate = 100.0 / vecscale::NEIGHBOR_ITERATION.as_secs_f64();
+    let slowdown = isolated_rate / hc_noisy.neighbor_tiles_per_sec;
+    report.check(
+        "matmul slows ~21% next to the host-centric server",
+        (1.1..=1.35).contains(&slowdown),
+        format!("{:.1}% slowdown vs isolation", (slowdown - 1.0) * 100.0),
+    );
+    let lynx_slow = isolated_rate / lx_noisy.neighbor_tiles_per_sec;
+    report.check(
+        "matmul unaffected next to the Lynx server",
+        (0.97..=1.05).contains(&lynx_slow),
+        format!("{:.1}% slowdown vs isolation", (lynx_slow - 1.0) * 100.0),
+    );
+    report.print();
+}

@@ -1,0 +1,70 @@
+//! §3.2 "Accelerator invocation overhead": a GPU echo kernel with a 100 µs
+//! busy-wait driven host-centrically measures 130 µs end-to-end — 30 µs of
+//! pure GPU management overhead per request.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx_core::testbed::Machine;
+use lynx_device::GpuSpec;
+use lynx_net::Network;
+use lynx_sim::{Sim, Time};
+use lynx_workload::report::{banner, Table};
+
+fn pipeline_latency(kernel: Duration) -> Duration {
+    let mut sim = Sim::new(1);
+    let net = Network::new();
+    let machine = Machine::new(&net, "server");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let done = Rc::new(Cell::new(Time::ZERO));
+    let d = Rc::clone(&done);
+    gpu.hostcentric_request(&mut sim, kernel, 1, move |sim| d.set(sim.now()));
+    sim.run();
+    done.get() - Time::ZERO
+}
+
+fn main() {
+    banner("Motivation §3.2 — GPU invocation overhead (host-centric pipeline)");
+    println!(
+        "\nPipeline: CPU->GPU copy, kernel launch, kernel, GPU->CPU copy\n\
+         Paper: 100 us kernel measures 130 us end-to-end (30 us overhead).\n"
+    );
+    let mut table = Table::new(&["kernel [us]", "end-to-end [us]", "overhead [us]", "paper e2e [us]"]);
+    let mut measured_overhead_100us = 0.0;
+    for kernel_us in [0u64, 20, 50, 100, 200, 278] {
+        let kernel = Duration::from_micros(kernel_us);
+        let e2e = pipeline_latency(kernel);
+        let overhead = (e2e - kernel).as_secs_f64() * 1e6;
+        if kernel_us == 100 {
+            measured_overhead_100us = overhead;
+        }
+        let paper = if kernel_us == 100 { "130" } else { "-" };
+        table.row(&[
+            format!("{kernel_us}"),
+            format!("{:.1}", e2e.as_secs_f64() * 1e6),
+            format!("{overhead:.1}"),
+            paper.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    table
+        .write_csv(lynx_bench::results_dir().join("motivation_overhead.csv"))
+        .expect("write csv");
+
+    let mut report = lynx_bench::ShapeReport::new();
+    report.check(
+        "100us kernel pays ~30us of management overhead (130us e2e)",
+        (25.0..=35.0).contains(&measured_overhead_100us),
+        format!("{measured_overhead_100us:.1} us"),
+    );
+    let lenet = pipeline_latency(Duration::from_micros(278));
+    let lenet_us = lenet.as_secs_f64() * 1e6;
+    let frac = (lenet_us - 278.0) / lenet_us;
+    report.check(
+        "overhead is ~10%+ of a ~300us LeNet-class request",
+        (0.05..=0.35).contains(&frac),
+        format!("{:.1}% of {lenet_us:.0}us", frac * 100.0),
+    );
+    report.print();
+}

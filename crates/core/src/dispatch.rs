@@ -1,0 +1,171 @@
+//! Message dispatch policies (§4.2: "load balancing for stateless
+//! services, or steering messages to specific queues for stateful ones").
+
+use std::fmt;
+
+use crate::Mqueue;
+
+/// How the Message Dispatcher assigns incoming requests to mqueues.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// Rotate over mqueues (the paper's default; used by the Face
+    /// Verification server's 28 mqueues "managed in a round-robin manner").
+    #[default]
+    RoundRobin,
+    /// Pick the mqueue with the fewest requests in flight.
+    LeastLoaded,
+    /// Hash the client's identity so a given client always lands on the
+    /// same mqueue (stateful services).
+    Steering,
+}
+
+/// The dispatcher: picks a target mqueue for each request.
+#[derive(Default)]
+pub struct Dispatcher {
+    policy: DispatchPolicy,
+    cursor: usize,
+}
+
+impl fmt::Debug for Dispatcher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dispatcher")
+            .field("policy", &self.policy)
+            .field("cursor", &self.cursor)
+            .finish()
+    }
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher with the given policy.
+    pub fn new(policy: DispatchPolicy) -> Dispatcher {
+        Dispatcher { policy, cursor: 0 }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// Picks a target mqueue index for a request from `client_key`,
+    /// skipping full queues. Returns `None` when every queue is full
+    /// (the request is dropped, as UDP overload would).
+    pub fn pick(&mut self, mqueues: &[Mqueue], client_key: u64) -> Option<usize> {
+        if mqueues.is_empty() {
+            return None;
+        }
+        let n = mqueues.len();
+        let start = match self.policy {
+            DispatchPolicy::RoundRobin => {
+                let s = self.cursor;
+                self.cursor = (self.cursor + 1) % n;
+                s
+            }
+            DispatchPolicy::LeastLoaded => mqueues
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, q)| q.in_flight())
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+            DispatchPolicy::Steering => (client_key % n as u64) as usize,
+        };
+        // Steering must not fail over to another queue (it would break
+        // state affinity); the others skip full queues.
+        match self.policy {
+            DispatchPolicy::Steering => {
+                let q = &mqueues[start];
+                (q.in_flight() < q.config().slots).then_some(start)
+            }
+            _ => (0..n)
+                .map(|i| (start + i) % n)
+                .find(|&i| mqueues[i].in_flight() < mqueues[i].config().slots),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MqueueConfig, MqueueKind, ReturnAddr};
+    use lynx_fabric::{MemRegion, NodeId};
+
+    fn queues(n: usize, slots: usize) -> Vec<Mqueue> {
+        (0..n)
+            .map(|i| {
+                let cfg = MqueueConfig {
+                    slots,
+                    slot_size: 128,
+                    ..MqueueConfig::default()
+                };
+                let mem =
+                    MemRegion::new(NodeId::host(), cfg.required_bytes(), format!("mq{i}"));
+                Mqueue::new(MqueueKind::Server, mem, 0, cfg)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let qs = queues(3, 4);
+        let mut d = Dispatcher::new(DispatchPolicy::RoundRobin);
+        let picks: Vec<_> = (0..6).map(|_| d.pick(&qs, 0).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_full_queues() {
+        let qs = queues(3, 1);
+        // Fill queue 0.
+        qs[0].try_reserve(ReturnAddr::Fixed).unwrap();
+        let mut d = Dispatcher::new(DispatchPolicy::RoundRobin);
+        assert_eq!(d.pick(&qs, 0), Some(1)); // cursor 0 -> skip to 1
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle_queue() {
+        let qs = queues(3, 8);
+        qs[0].try_reserve(ReturnAddr::Fixed).unwrap();
+        qs[0].try_reserve(ReturnAddr::Fixed).unwrap();
+        qs[1].try_reserve(ReturnAddr::Fixed).unwrap();
+        let mut d = Dispatcher::new(DispatchPolicy::LeastLoaded);
+        assert_eq!(d.pick(&qs, 0), Some(2));
+    }
+
+    #[test]
+    fn steering_is_sticky_per_client() {
+        let qs = queues(4, 8);
+        let mut d = Dispatcher::new(DispatchPolicy::Steering);
+        let a = d.pick(&qs, 0xabcd).unwrap();
+        for _ in 0..10 {
+            assert_eq!(d.pick(&qs, 0xabcd), Some(a));
+        }
+        // A different client key may land elsewhere.
+        let b = d.pick(&qs, 0xabce).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn steering_drops_when_its_queue_is_full() {
+        let qs = queues(2, 1);
+        let mut d = Dispatcher::new(DispatchPolicy::Steering);
+        let target = d.pick(&qs, 7).unwrap();
+        qs[target].try_reserve(ReturnAddr::Fixed).unwrap();
+        assert_eq!(d.pick(&qs, 7), None);
+    }
+
+    #[test]
+    fn all_full_returns_none() {
+        let qs = queues(2, 1);
+        for q in &qs {
+            q.try_reserve(ReturnAddr::Fixed).unwrap();
+        }
+        let mut d = Dispatcher::new(DispatchPolicy::RoundRobin);
+        assert_eq!(d.pick(&qs, 0), None);
+        assert_eq!(Dispatcher::new(DispatchPolicy::LeastLoaded).pick(&qs, 0), None);
+    }
+
+    #[test]
+    fn empty_queue_set_returns_none() {
+        let mut d = Dispatcher::default();
+        assert_eq!(d.pick(&[], 0), None);
+    }
+}

@@ -1,0 +1,357 @@
+//! The traditional host-centric baseline server (Figure 1a, §6.1).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use lynx_device::{Gpu, RequestProcessor};
+use lynx_net::{ConnId, HostStack, SockAddr};
+use lynx_sim::Sim;
+
+/// Counters of a [`HostCentricServer`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HostCentricStats {
+    /// Requests received from clients.
+    pub requests: u64,
+    /// Responses sent back.
+    pub responses: u64,
+    /// Backend fetches issued.
+    pub backend_fetches: u64,
+}
+
+struct Inner {
+    stack: HostStack,
+    gpu: Gpu,
+    proc: Rc<dyn RequestProcessor>,
+    port: u16,
+    stats: HostCentricStats,
+    backend: Option<BackendState>,
+}
+
+/// A payload transformation hook (key derivation, response unwrapping).
+type PayloadHook = Box<dyn Fn(&[u8]) -> Vec<u8>>;
+
+struct BackendState {
+    conn: Option<ConnId>,
+    /// Requests waiting for their backend response (FIFO per connection),
+    /// each carrying the original request and its reply address.
+    pending: VecDeque<(Vec<u8>, SockAddr)>,
+    /// Requests that arrived before the connection established.
+    preconnect: Vec<(Vec<u8>, SockAddr)>,
+    make_key: PayloadHook,
+    extract: PayloadHook,
+}
+
+/// The CPU-driven baseline: "network messages are received by the CPU,
+/// which then invokes a GPU kernel for each request" (§6.1).
+///
+/// Per request the host CPU pays the protocol stack, then drives the GPU
+/// through the driver — `cudaMemcpyAsync` in, kernel launch(es), sync,
+/// copy out — paying both the ~30 µs latency overhead and the serialized
+/// driver occupancy of §3.2. The paper runs this server on **one** CPU
+/// core "because more threads result in a slowdown due to an NVIDIA driver
+/// bottleneck".
+///
+/// For multi-tier workloads (§6.4) the server can be given a backend: each
+/// request first fetches from the backend over TCP (asynchronously — the
+/// server keeps handling other requests), then runs the kernel on
+/// `[request ‖ backend response]`.
+#[derive(Clone)]
+pub struct HostCentricServer {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for HostCentricServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("HostCentricServer")
+            .field("processor", &inner.proc.name())
+            .field("port", &inner.port)
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl HostCentricServer {
+    /// Creates the baseline server for `proc` on `gpu`, listening on UDP
+    /// `port` of `stack`.
+    pub fn new(stack: HostStack, gpu: Gpu, proc: Rc<dyn RequestProcessor>, port: u16) -> Self {
+        let server = HostCentricServer {
+            inner: Rc::new(RefCell::new(Inner {
+                stack: stack.clone(),
+                gpu,
+                proc,
+                port,
+                stats: HostCentricStats::default(),
+                backend: None,
+            })),
+        };
+        let this = server.clone();
+        stack.bind_udp(port, move |sim, dgram| {
+            this.on_request(sim, dgram.src, dgram.payload);
+        });
+        server
+    }
+
+    /// Attaches a backend service at `dst`: every request first fetches
+    /// `make_key(request)` from the backend; `extract` unwraps the
+    /// backend's wire response into the bytes appended to the request to
+    /// form the kernel input.
+    pub fn with_backend(
+        &self,
+        sim: &mut Sim,
+        dst: SockAddr,
+        make_key: impl Fn(&[u8]) -> Vec<u8> + 'static,
+        extract: impl Fn(&[u8]) -> Vec<u8> + 'static,
+    ) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            assert!(inner.backend.is_none(), "backend already attached");
+            inner.backend = Some(BackendState {
+                conn: None,
+                pending: VecDeque::new(),
+                preconnect: Vec::new(),
+                make_key: Box::new(make_key),
+                extract: Box::new(extract),
+            });
+        }
+        let stack = self.inner.borrow().stack.clone();
+        let this = self.clone();
+        let on_msg = move |sim: &mut Sim, _conn: ConnId, payload: Vec<u8>| {
+            this.on_backend_response(sim, payload);
+        };
+        let this2 = self.clone();
+        let on_connected = move |sim: &mut Sim, conn: ConnId| {
+            let preconnect = {
+                let mut inner = this2.inner.borrow_mut();
+                let b = inner.backend.as_mut().expect("backend state exists");
+                b.conn = Some(conn);
+                std::mem::take(&mut b.preconnect)
+            };
+            for (req, from) in preconnect {
+                this2.fetch_backend(sim, req, from);
+            }
+        };
+        stack.connect_tcp(sim, dst, on_msg, on_connected);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> HostCentricStats {
+        self.inner.borrow().stats
+    }
+
+    fn on_request(&self, sim: &mut Sim, from: SockAddr, payload: Vec<u8>) {
+        let has_backend = {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.requests += 1;
+            inner.backend.is_some()
+        };
+        if has_backend {
+            self.fetch_backend(sim, payload, from);
+        } else {
+            self.run_kernel(sim, payload, from);
+        }
+    }
+
+    fn fetch_backend(&self, sim: &mut Sim, request: Vec<u8>, from: SockAddr) {
+        let (stack, conn, key) = {
+            let mut inner = self.inner.borrow_mut();
+            let stack = inner.stack.clone();
+            let b = inner.backend.as_mut().expect("fetch requires a backend");
+            match b.conn {
+                Some(conn) => {
+                    let key = (b.make_key)(&request);
+                    b.pending.push_back((request, from));
+                    inner.stats.backend_fetches += 1;
+                    (stack, conn, key)
+                }
+                None => {
+                    b.preconnect.push((request, from));
+                    return;
+                }
+            }
+        };
+        stack.send_tcp(sim, conn, key);
+    }
+
+    fn on_backend_response(&self, sim: &mut Sim, db_payload: Vec<u8>) {
+        let (request, from, extracted) = {
+            let mut inner = self.inner.borrow_mut();
+            let b = inner.backend.as_mut().expect("response requires a backend");
+            let (request, from) = b
+                .pending
+                .pop_front()
+                .expect("backend response without pending request");
+            let extracted = (b.extract)(&db_payload);
+            (request, from, extracted)
+        };
+        let mut input = request;
+        input.extend_from_slice(&extracted);
+        self.run_kernel(sim, input, from);
+    }
+
+    fn run_kernel(&self, sim: &mut Sim, input: Vec<u8>, from: SockAddr) {
+        let (gpu, work, launches, response, stack, port) = {
+            let inner = self.inner.borrow();
+            (
+                inner.gpu.clone(),
+                inner.proc.service_time(&input),
+                inner.proc.launches(),
+                inner.proc.process(&input),
+                inner.stack.clone(),
+                inner.port,
+            )
+        };
+        let this = self.clone();
+        gpu.hostcentric_request(sim, work, launches, move |sim| {
+            this.inner.borrow_mut().stats.responses += 1;
+            stack.send_udp(sim, port, from, response);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lynx_device::{DelayProcessor, EchoProcessor, GpuSpec};
+    use lynx_fabric::{PcieFabric, PcieLink};
+    use lynx_net::{LinkSpec, Network, Platform, StackKind, StackProfile};
+    use lynx_sim::{MultiServer, Sim, Time};
+    use std::cell::Cell;
+    use std::time::Duration;
+
+    fn rig() -> (Sim, Network, HostStack, HostStack, Gpu) {
+        let sim = Sim::new(0);
+        let net = Network::new();
+        let server_host = net.add_host("server", LinkSpec::gbps40());
+        let client_host = net.add_host("client", LinkSpec::gbps40());
+        let server_stack = HostStack::new(
+            &net,
+            server_host,
+            MultiServer::new(1, 1.0),
+            StackProfile::of(Platform::Xeon, StackKind::Vma),
+        );
+        let client_stack = HostStack::new(
+            &net,
+            client_host,
+            MultiServer::new(1, 1.0),
+            StackProfile::of(Platform::Xeon, StackKind::Vma),
+        );
+        let fabric = PcieFabric::new();
+        let host = fabric.add_node("host");
+        let gnode = fabric.add_node("gpu");
+        fabric.link(host, gnode, PcieLink::gen3_x16());
+        let gpu = Gpu::new(&fabric, gnode, GpuSpec::k40m());
+        (sim, net, server_stack, client_stack, gpu)
+    }
+
+    #[test]
+    fn serves_an_echo_request_through_the_gpu() {
+        let (mut sim, _net, server_stack, client_stack, gpu) = rig();
+        let server_host = server_stack.host();
+        let server = HostCentricServer::new(server_stack, gpu, Rc::new(EchoProcessor), 7777);
+        let got = Rc::new(Cell::new(false));
+        let g = Rc::clone(&got);
+        client_stack.bind_udp(5000, move |_sim, d| {
+            assert_eq!(d.payload, b"ping");
+            g.set(true);
+        });
+        client_stack.send_udp(
+            &mut sim,
+            5000,
+            SockAddr::new(server_host, 7777),
+            b"ping".to_vec(),
+        );
+        sim.run();
+        assert!(got.get());
+        let stats = server.stats();
+        assert_eq!((stats.requests, stats.responses), (1, 1));
+        assert_eq!(stats.backend_fetches, 0);
+    }
+
+    #[test]
+    fn request_latency_includes_management_overhead() {
+        let (mut sim, _net, server_stack, client_stack, gpu) = rig();
+        let server_host = server_stack.host();
+        let _server = HostCentricServer::new(
+            server_stack,
+            gpu,
+            Rc::new(DelayProcessor::new(Duration::from_micros(100))),
+            7777,
+        );
+        let done = Rc::new(Cell::new(Time::ZERO));
+        let d = Rc::clone(&done);
+        client_stack.bind_udp(5000, move |sim, _| d.set(sim.now()));
+        client_stack.send_udp(
+            &mut sim,
+            5000,
+            SockAddr::new(server_host, 7777),
+            vec![0; 64],
+        );
+        sim.run();
+        // Kernel 100us + 30us GPU management + stacks + wire.
+        let e2e = done.get() - Time::ZERO;
+        assert!(e2e >= Duration::from_micros(130), "e2e {e2e:?}");
+        assert!(e2e < Duration::from_micros(160), "e2e {e2e:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "backend already attached")]
+    fn double_backend_rejected() {
+        let (mut sim, net, server_stack, _client, gpu) = rig();
+        let db = net.add_host("db", LinkSpec::gbps40());
+        let db_stack = HostStack::new(
+            &net,
+            db,
+            MultiServer::new(1, 1.0),
+            StackProfile::of(Platform::Xeon, StackKind::Vma),
+        );
+        db_stack.listen_tcp(11211, |_, _, _| {});
+        let server = HostCentricServer::new(server_stack, gpu, Rc::new(EchoProcessor), 7777);
+        let addr = SockAddr::new(db, 11211);
+        server.with_backend(&mut sim, addr, |r| r.to_vec(), |r| r.to_vec());
+        server.with_backend(&mut sim, addr, |r| r.to_vec(), |r| r.to_vec());
+    }
+
+    #[test]
+    fn backend_fetch_concatenates_response_into_kernel_input() {
+        let (mut sim, net, server_stack, client_stack, gpu) = rig();
+        let server_host = server_stack.host();
+        // Backend: replies "-world" to any key.
+        let db = net.add_host("db", LinkSpec::gbps40());
+        let db_stack = HostStack::new(
+            &net,
+            db,
+            MultiServer::new(1, 1.0),
+            StackProfile::of(Platform::Xeon, StackKind::Vma),
+        );
+        let db2 = db_stack.clone();
+        db_stack.listen_tcp(11211, move |sim, conn, _key| {
+            db2.send_tcp(sim, conn, b"-world".to_vec());
+        });
+        let server = HostCentricServer::new(server_stack, gpu, Rc::new(EchoProcessor), 7777);
+        server.with_backend(
+            &mut sim,
+            SockAddr::new(db, 11211),
+            |req| req.to_vec(),
+            |wire| wire.to_vec(),
+        );
+        let got = Rc::new(Cell::new(false));
+        let g = Rc::clone(&got);
+        client_stack.bind_udp(5000, move |_sim, d| {
+            // EchoProcessor echoes the concatenated kernel input.
+            assert_eq!(d.payload, b"hello-world");
+            g.set(true);
+        });
+        client_stack.send_udp(
+            &mut sim,
+            5000,
+            SockAddr::new(server_host, 7777),
+            b"hello".to_vec(),
+        );
+        sim.run();
+        assert!(got.get());
+        assert_eq!(server.stats().backend_fetches, 1);
+    }
+}

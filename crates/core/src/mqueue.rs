@@ -1,0 +1,611 @@
+//! Message queues — the accelerator I/O abstraction of Lynx (§4.2–§4.3).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use lynx_fabric::MemRegion;
+use lynx_net::{ConnId, SockAddr};
+use lynx_sim::Sim;
+
+/// Per-slot header: message length (u32) + sequence/doorbell (u32).
+///
+/// The paper appends 4 bytes of metadata (size, error status, notification
+/// register) to each message so that a single RDMA write delivers payload
+/// and doorbell together; we use 8 for alignment with an explicit sequence
+/// number that doubles as the doorbell.
+pub const SLOT_HEADER: usize = 8;
+
+/// Where a response to a request must be sent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReturnAddr {
+    /// Reply with a UDP datagram to the originating client.
+    Udp(SockAddr),
+    /// Reply on the TCP connection the request arrived on.
+    Tcp(ConnId),
+    /// No reply routing (client mqueues have a fixed destination).
+    Fixed,
+}
+
+/// Kind of mqueue (§4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MqueueKind {
+    /// Connection-less RPC endpoint bound to a server port. Multiple client
+    /// connections multiplex onto one server mqueue; each response returns
+    /// to the client its request came from.
+    Server,
+    /// Fixed-destination queue for calling a backend service (destination
+    /// assigned at initialization; favors simplicity over dynamic
+    /// connection establishment).
+    Client,
+}
+
+/// Configuration of one mqueue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MqueueConfig {
+    /// Ring depth (requests that may be in flight on this mqueue).
+    pub slots: usize,
+    /// Bytes per slot including the [`SLOT_HEADER`].
+    pub slot_size: usize,
+    /// Deliver metadata and payload in one RDMA write (§5.1 optimization).
+    /// When disabled, the doorbell is a separate (ordered) RDMA write.
+    pub coalesce_metadata: bool,
+    /// Issue an RDMA-read write barrier between data and doorbell — the GPU
+    /// memory-consistency workaround (§5.1, +5 µs/message, forces
+    /// `coalesce_metadata` off).
+    pub write_barrier: bool,
+}
+
+impl Default for MqueueConfig {
+    fn default() -> Self {
+        MqueueConfig {
+            slots: 64,
+            slot_size: 2048,
+            coalesce_metadata: true,
+            write_barrier: false,
+        }
+    }
+}
+
+impl MqueueConfig {
+    /// Bytes of accelerator memory one mqueue occupies (RX + TX rings).
+    pub fn required_bytes(&self) -> usize {
+        2 * self.slots * self.slot_size
+    }
+
+    /// Maximum payload bytes per message.
+    pub fn max_payload(&self) -> usize {
+        self.slot_size - SLOT_HEADER
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0` or `slot_size <= SLOT_HEADER`.
+    pub fn validate(&self) {
+        assert!(self.slots > 0, "mqueue needs at least one slot");
+        assert!(
+            self.slot_size > SLOT_HEADER,
+            "slot_size must exceed the {SLOT_HEADER}-byte header"
+        );
+    }
+}
+
+type Watcher = Rc<RefCell<dyn FnMut(&mut Sim)>>;
+
+struct Inner {
+    kind: MqueueKind,
+    cfg: MqueueConfig,
+    mem: MemRegion,
+    rx_base: usize,
+    tx_base: usize,
+    /// Requests pushed by the SNIC (producer count).
+    rx_pushed: u64,
+    /// Requests consumed by the accelerator.
+    rx_popped: u64,
+    /// Responses produced by the accelerator.
+    tx_pushed: u64,
+    /// Responses collected by the SNIC.
+    tx_popped: u64,
+    /// Responses whose RDMA read is in flight (pull cursor ≥ `tx_popped`).
+    tx_pulled: u64,
+    /// Reply routing, FIFO-matched to requests (server mqueues).
+    inflight: VecDeque<ReturnAddr>,
+    rx_watcher: Option<Watcher>,
+    tx_watcher: Option<Watcher>,
+    drops: u64,
+}
+
+/// One message queue residing in accelerator memory.
+///
+/// The rings and doorbells are real bytes in the accelerator's
+/// [`MemRegion`]; the SmartNIC reaches them via RDMA
+/// ([`crate::RemoteMqManager`]) while the accelerator accesses them as
+/// plain local memory. This struct additionally holds the SNIC-side
+/// bookkeeping (in-flight return addresses, flow-control counters) that the
+/// real system keeps in SNIC DRAM.
+///
+/// Flow control: a request occupies its RX slot until its response has been
+/// collected from the matching TX slot, so at most `slots` requests are in
+/// flight; [`Mqueue::try_reserve`] fails (and counts a drop) beyond that.
+pub struct Mqueue {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Clone for Mqueue {
+    fn clone(&self) -> Self {
+        Mqueue {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl fmt::Debug for Mqueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Mqueue")
+            .field("kind", &inner.kind)
+            .field("slots", &inner.cfg.slots)
+            .field("in_flight", &inner.inflight.len())
+            .field("rx_pushed", &inner.rx_pushed)
+            .field("tx_popped", &inner.tx_popped)
+            .field("drops", &inner.drops)
+            .finish()
+    }
+}
+
+impl Mqueue {
+    /// Carves an mqueue out of accelerator memory at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the region is too small.
+    pub fn new(kind: MqueueKind, mem: MemRegion, base: usize, cfg: MqueueConfig) -> Mqueue {
+        cfg.validate();
+        assert!(
+            base + cfg.required_bytes() <= mem.len(),
+            "mqueue does not fit in region '{}'",
+            mem.name()
+        );
+        let ring = cfg.slots * cfg.slot_size;
+        Mqueue {
+            inner: Rc::new(RefCell::new(Inner {
+                kind,
+                cfg,
+                mem,
+                rx_base: base,
+                tx_base: base + ring,
+                rx_pushed: 0,
+                rx_popped: 0,
+                tx_pushed: 0,
+                tx_popped: 0,
+                tx_pulled: 0,
+                inflight: VecDeque::new(),
+                rx_watcher: None,
+                tx_watcher: None,
+                drops: 0,
+            })),
+        }
+    }
+
+    /// The queue's kind.
+    pub fn kind(&self) -> MqueueKind {
+        self.inner.borrow().kind
+    }
+
+    /// The queue's configuration.
+    pub fn config(&self) -> MqueueConfig {
+        self.inner.borrow().cfg
+    }
+
+    /// The accelerator memory region holding the rings.
+    pub fn mem(&self) -> MemRegion {
+        self.inner.borrow().mem.clone()
+    }
+
+    /// Requests currently in flight.
+    ///
+    /// For a server mqueue: requests pushed whose responses have not yet
+    /// been collected. For a client mqueue: backend calls sent by the
+    /// accelerator whose responses have not yet arrived.
+    pub fn in_flight(&self) -> usize {
+        let inner = self.inner.borrow();
+        match inner.kind {
+            MqueueKind::Server => (inner.rx_pushed - inner.tx_popped) as usize,
+            MqueueKind::Client => inner.tx_pushed.saturating_sub(inner.rx_pushed) as usize,
+        }
+    }
+
+    /// Requests rejected because the ring was full.
+    pub fn drops(&self) -> u64 {
+        self.inner.borrow().drops
+    }
+
+    /// Total requests pushed so far.
+    pub fn pushed(&self) -> u64 {
+        self.inner.borrow().rx_pushed
+    }
+
+    // --- SNIC (producer/collector) side -----------------------------------
+
+    /// Reserves the next RX slot for a request, recording where its
+    /// response must go. Returns the slot's byte offset in the region.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` — and counts a drop — when `slots` requests are
+    /// already in flight.
+    #[allow(clippy::result_unit_err)]
+    pub fn try_reserve(&self, ret: ReturnAddr) -> Result<u64, ()> {
+        let mut inner = self.inner.borrow_mut();
+        let occupied = match inner.kind {
+            // A server RX slot stays occupied until its response leaves.
+            MqueueKind::Server => inner.rx_pushed - inner.tx_popped,
+            // A client RX slot holds a backend response until consumed.
+            MqueueKind::Client => inner.rx_pushed - inner.rx_popped,
+        };
+        if occupied as usize >= inner.cfg.slots {
+            inner.drops += 1;
+            return Err(());
+        }
+        let seq = inner.rx_pushed;
+        inner.rx_pushed += 1;
+        if inner.kind == MqueueKind::Server {
+            inner.inflight.push_back(ret);
+        }
+        Ok(seq)
+    }
+
+    /// Byte offset of RX slot `seq` within the region.
+    pub fn rx_slot_offset(&self, seq: u64) -> usize {
+        let inner = self.inner.borrow();
+        inner.rx_base + (seq as usize % inner.cfg.slots) * inner.cfg.slot_size
+    }
+
+    /// Byte offset of TX slot `seq` within the region.
+    pub fn tx_slot_offset(&self, seq: u64) -> usize {
+        let inner = self.inner.borrow();
+        inner.tx_base + (seq as usize % inner.cfg.slots) * inner.cfg.slot_size
+    }
+
+    /// Encodes a slot image (header + payload) for RDMA delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MqueueConfig::max_payload`].
+    pub fn encode_slot(&self, seq: u64, payload: &[u8]) -> Vec<u8> {
+        let cfg = self.inner.borrow().cfg;
+        assert!(
+            payload.len() <= cfg.max_payload(),
+            "payload of {} bytes exceeds slot capacity {}",
+            payload.len(),
+            cfg.max_payload()
+        );
+        let mut slot = Vec::with_capacity(SLOT_HEADER + payload.len());
+        slot.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        // Doorbell value: seq + 1 (0 means empty). Written last on the
+        // wire: Mellanox NICs DMA from lower to higher addresses (§5.1),
+        // but we place it first in memory and rely on the single-write
+        // atomicity of the model; ordering correctness is exercised by the
+        // non-coalesced mode instead.
+        slot.extend_from_slice(&((seq + 1) as u32).to_le_bytes());
+        slot.extend_from_slice(payload);
+        slot
+    }
+
+    /// Fires the accelerator-side RX doorbell notification.
+    pub fn notify_rx(&self, sim: &mut Sim) {
+        // Drop the inner borrow before invoking the watcher: the watcher
+        // is accelerator code and may immediately pop the request.
+        let watcher = self.inner.borrow().rx_watcher.clone();
+        if let Some(w) = watcher {
+            (w.borrow_mut())(sim);
+        }
+    }
+
+    /// Collects the next ready response header, if any: returns
+    /// `(seq, return address, payload length)`. The payload bytes must then
+    /// be fetched (RDMA read) from [`Mqueue::tx_slot_offset`] and the slot
+    /// released with [`Mqueue::complete`].
+    pub fn peek_response(&self) -> Option<(u64, ReturnAddr, usize)> {
+        let inner = self.inner.borrow();
+        if inner.tx_popped >= inner.tx_pushed {
+            return None;
+        }
+        let seq = inner.tx_popped;
+        let off = inner.tx_base + (seq as usize % inner.cfg.slots) * inner.cfg.slot_size;
+        let len = inner.mem.read_u32(off) as usize;
+        let ret = match inner.kind {
+            MqueueKind::Server => *inner
+                .inflight
+                .front()
+                .expect("response without matching request"),
+            MqueueKind::Client => ReturnAddr::Fixed,
+        };
+        Some((seq, ret, len))
+    }
+
+    /// Claims the next response for collection, advancing the pull cursor:
+    /// returns `(seq, return address, payload length)`. Unlike
+    /// [`Mqueue::peek_response`], consecutive calls claim consecutive
+    /// responses, so overlapping RDMA reads never collect the same slot.
+    /// The slot must still be released with [`Mqueue::complete`] once the
+    /// read lands.
+    pub fn begin_pull(&self) -> Option<(u64, ReturnAddr, usize)> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.tx_pulled >= inner.tx_pushed {
+            return None;
+        }
+        let seq = inner.tx_pulled;
+        inner.tx_pulled += 1;
+        let off = inner.tx_base + (seq as usize % inner.cfg.slots) * inner.cfg.slot_size;
+        let len = inner.mem.read_u32(off) as usize;
+        let ret = match inner.kind {
+            MqueueKind::Server => {
+                let idx = (seq - inner.tx_popped) as usize;
+                *inner
+                    .inflight
+                    .get(idx)
+                    .expect("response without matching request")
+            }
+            MqueueKind::Client => ReturnAddr::Fixed,
+        };
+        Some((seq, ret, len))
+    }
+
+    /// Releases the slot of a collected response, freeing an RX credit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not the oldest outstanding response (responses
+    /// are collected in order).
+    pub fn complete(&self, seq: u64) {
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(seq, inner.tx_popped, "responses complete in order");
+        inner.tx_popped += 1;
+        if inner.kind == MqueueKind::Server {
+            inner.inflight.pop_front();
+        }
+    }
+
+    // --- Accelerator side --------------------------------------------------
+
+    /// Pops the next pending request (local-memory access on the
+    /// accelerator): returns `(seq, payload)`.
+    pub fn acc_pop_request(&self) -> Option<(u64, Vec<u8>)> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.rx_popped >= inner.rx_pushed {
+            return None;
+        }
+        let seq = inner.rx_popped;
+        let off = inner.rx_base + (seq as usize % inner.cfg.slots) * inner.cfg.slot_size;
+        // Check the doorbell: the RDMA write may not have landed yet.
+        let bell = inner.mem.read_u32(off + 4);
+        if bell as u64 != seq + 1 {
+            return None;
+        }
+        let len = inner.mem.read_u32(off) as usize;
+        let payload = inner.mem.read(off + SLOT_HEADER, len);
+        inner.rx_popped += 1;
+        Some((seq, payload))
+    }
+
+    /// Releases the RX credit of a consumed request *without* producing a
+    /// response — receive-only operation, as in the Innova prototype's
+    /// custom rings (§5.2: the paper's FPGA port "does not yet support the
+    /// send path").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not the oldest outstanding request.
+    pub fn release_request(&self, seq: u64) {
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(seq, inner.tx_popped, "requests release in order");
+        assert!(seq < inner.rx_pushed, "release of a request never pushed");
+        inner.tx_pushed = inner.tx_pushed.max(seq + 1);
+        inner.tx_pulled = inner.tx_pulled.max(seq + 1);
+        inner.tx_popped += 1;
+        if inner.kind == MqueueKind::Server {
+            inner.inflight.pop_front();
+        }
+    }
+
+    /// Sends a message on the TX ring using the next sequence number —
+    /// the accelerator-side `send` of the I/O shim. Returns the sequence
+    /// used.
+    pub fn acc_send(&self, sim: &mut Sim, payload: &[u8]) -> u64 {
+        let seq = self.inner.borrow().tx_pushed;
+        self.acc_push_response(sim, seq, payload);
+        seq
+    }
+
+    /// Writes a response into TX slot `seq` and rings the TX doorbell
+    /// (local-memory stores on the accelerator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds the slot capacity, or if `seq` is out
+    /// of order (a worker produces responses in request order).
+    pub fn acc_push_response(&self, sim: &mut Sim, seq: u64, payload: &[u8]) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            assert_eq!(seq, inner.tx_pushed, "responses must be produced in order");
+            assert!(
+                payload.len() <= inner.cfg.max_payload(),
+                "response exceeds slot capacity"
+            );
+            let off = inner.tx_base + (seq as usize % inner.cfg.slots) * inner.cfg.slot_size;
+            let mem = inner.mem.clone();
+            mem.write_u32(off, payload.len() as u32);
+            mem.write_u32(off + 4, (seq + 1) as u32);
+            mem.write(off + SLOT_HEADER, payload);
+            inner.tx_pushed += 1;
+        }
+        let w = self.inner.borrow().tx_watcher.clone();
+        if let Some(w) = w {
+            (w.borrow_mut())(sim);
+        }
+    }
+
+    // --- Watchers -----------------------------------------------------------
+
+    /// Registers the accelerator-side request watcher (persistent kernel
+    /// poll loop).
+    pub fn set_rx_watcher(&self, f: impl FnMut(&mut Sim) + 'static) {
+        self.inner.borrow_mut().rx_watcher = Some(Rc::new(RefCell::new(f)));
+    }
+
+    /// Registers the SNIC-side response watcher (Message Forwarder poll).
+    pub fn set_tx_watcher(&self, f: impl FnMut(&mut Sim) + 'static) {
+        self.inner.borrow_mut().tx_watcher = Some(Rc::new(RefCell::new(f)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lynx_fabric::NodeId;
+
+    fn mq(kind: MqueueKind, slots: usize) -> Mqueue {
+        let cfg = MqueueConfig {
+            slots,
+            slot_size: 256,
+            ..MqueueConfig::default()
+        };
+        let mem = MemRegion::new(NodeId::host(), cfg.required_bytes(), "mq-test");
+        Mqueue::new(kind, mem, 0, cfg)
+    }
+
+    /// Simulates the RDMA landing of an encoded slot.
+    fn land(q: &Mqueue, seq: u64, payload: &[u8]) {
+        let slot = q.encode_slot(seq, payload);
+        q.mem().write(q.rx_slot_offset(seq), &slot);
+    }
+
+    #[test]
+    fn request_roundtrip_preserves_payload() {
+        let mut sim = Sim::new(0);
+        let q = mq(MqueueKind::Server, 4);
+        let client = ReturnAddr::Udp(SockAddr::new(lynx_net::HostId(9), 1234));
+        let seq = q.try_reserve(client).unwrap();
+        land(&q, seq, b"face-image-bytes");
+        let (s2, payload) = q.acc_pop_request().unwrap();
+        assert_eq!(s2, seq);
+        assert_eq!(payload, b"face-image-bytes");
+        q.acc_push_response(&mut sim, seq, b"match");
+        let (s3, ret, len) = q.peek_response().unwrap();
+        assert_eq!((s3, ret, len), (seq, client, 5));
+        let bytes = q.mem().read(q.tx_slot_offset(seq) + SLOT_HEADER, len);
+        assert_eq!(bytes, b"match");
+        q.complete(seq);
+        assert_eq!(q.in_flight(), 0);
+    }
+
+    #[test]
+    fn doorbell_gates_consumption() {
+        let q = mq(MqueueKind::Server, 4);
+        let seq = q.try_reserve(ReturnAddr::Fixed).unwrap();
+        // Data written without the doorbell (e.g. non-coalesced mode,
+        // doorbell write still in flight): must not be consumable.
+        q.mem().write_u32(q.rx_slot_offset(seq), 4);
+        q.mem().write(q.rx_slot_offset(seq) + SLOT_HEADER, &[1, 2, 3, 4]);
+        assert!(q.acc_pop_request().is_none());
+        // Doorbell lands: now visible.
+        q.mem().write_u32(q.rx_slot_offset(seq) + 4, (seq + 1) as u32);
+        assert!(q.acc_pop_request().is_some());
+    }
+
+    #[test]
+    fn ring_full_counts_drop() {
+        let q = mq(MqueueKind::Server, 2);
+        assert!(q.try_reserve(ReturnAddr::Fixed).is_ok());
+        assert!(q.try_reserve(ReturnAddr::Fixed).is_ok());
+        assert!(q.try_reserve(ReturnAddr::Fixed).is_err());
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.in_flight(), 2);
+    }
+
+    #[test]
+    fn slot_is_reusable_after_completion() {
+        let mut sim = Sim::new(0);
+        let q = mq(MqueueKind::Server, 1);
+        for round in 0..5u64 {
+            let seq = q.try_reserve(ReturnAddr::Fixed).unwrap();
+            assert_eq!(seq, round);
+            land(&q, seq, &[round as u8]);
+            let (_, p) = q.acc_pop_request().unwrap();
+            assert_eq!(p, vec![round as u8]);
+            q.acc_push_response(&mut sim, seq, &[round as u8 + 100]);
+            let (s, _, _) = q.peek_response().unwrap();
+            q.complete(s);
+        }
+        assert_eq!(q.drops(), 0);
+    }
+
+    #[test]
+    fn responses_route_to_their_clients_in_order() {
+        let mut sim = Sim::new(0);
+        let q = mq(MqueueKind::Server, 8);
+        let c1 = ReturnAddr::Udp(SockAddr::new(lynx_net::HostId(1), 1));
+        let c2 = ReturnAddr::Udp(SockAddr::new(lynx_net::HostId(2), 2));
+        let s1 = q.try_reserve(c1).unwrap();
+        let s2 = q.try_reserve(c2).unwrap();
+        land(&q, s1, b"a");
+        land(&q, s2, b"b");
+        q.acc_pop_request().unwrap();
+        q.acc_pop_request().unwrap();
+        q.acc_push_response(&mut sim, s1, b"ra");
+        q.acc_push_response(&mut sim, s2, b"rb");
+        let (seq, ret, _) = q.peek_response().unwrap();
+        assert_eq!(ret, c1);
+        q.complete(seq);
+        let (_, ret2, _) = q.peek_response().unwrap();
+        assert_eq!(ret2, c2);
+    }
+
+    #[test]
+    fn watchers_fire() {
+        use std::cell::Cell;
+        let mut sim = Sim::new(0);
+        let q = mq(MqueueKind::Server, 4);
+        let rx_hits = Rc::new(Cell::new(0));
+        let tx_hits = Rc::new(Cell::new(0));
+        let (r, t) = (Rc::clone(&rx_hits), Rc::clone(&tx_hits));
+        q.set_rx_watcher(move |_| r.set(r.get() + 1));
+        q.set_tx_watcher(move |_| t.set(t.get() + 1));
+        let seq = q.try_reserve(ReturnAddr::Fixed).unwrap();
+        land(&q, seq, b"x");
+        q.notify_rx(&mut sim);
+        q.acc_pop_request().unwrap();
+        q.acc_push_response(&mut sim, seq, b"y");
+        assert_eq!((rx_hits.get(), tx_hits.get()), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds slot capacity")]
+    fn oversized_payload_rejected() {
+        let q = mq(MqueueKind::Server, 2);
+        let _ = q.encode_slot(0, &vec![0; 4096]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn region_too_small_rejected() {
+        let mem = MemRegion::new(NodeId::host(), 64, "tiny");
+        let _ = Mqueue::new(MqueueKind::Server, mem, 0, MqueueConfig::default());
+    }
+
+    #[test]
+    fn client_mqueue_has_fixed_return() {
+        let mut sim = Sim::new(0);
+        let q = mq(MqueueKind::Client, 4);
+        // Client mqueue TX: the accelerator sends a backend request.
+        q.acc_push_response(&mut sim, 0, b"get key7");
+        let (seq, ret, len) = q.peek_response().unwrap();
+        assert_eq!(ret, ReturnAddr::Fixed);
+        assert_eq!(len, 8);
+        q.complete(seq);
+    }
+}

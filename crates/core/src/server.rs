@@ -1,0 +1,546 @@
+//! The generic network server running on the SmartNIC (§4.2).
+
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx_device::{calib, CpuKind};
+use lynx_net::{ConnId, HostStack, SockAddr};
+use lynx_sim::Sim;
+
+use crate::{DispatchPolicy, Dispatcher, Mqueue, RemoteMqManager, ReturnAddr};
+
+/// Where the Lynx server logic runs — selects core counts and cost models
+/// for the paper's evaluated configurations (§6.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnicPlatform {
+    /// Mellanox BlueField: 7 ARM A72 cores with the VMA user-level stack.
+    Bluefield,
+    /// The same Lynx code running on `n` host Xeon cores ("Lynx on the
+    /// host CPU: runs the same code as on Bluefield").
+    HostCores(usize),
+}
+
+impl SnicPlatform {
+    /// Number of cores running the Lynx pipeline.
+    pub fn cores(self) -> usize {
+        match self {
+            SnicPlatform::Bluefield => calib::BLUEFIELD_LYNX_CORES,
+            SnicPlatform::HostCores(n) => n,
+        }
+    }
+
+    /// The CPU kind of those cores.
+    pub fn cpu_kind(self) -> CpuKind {
+        match self {
+            SnicPlatform::Bluefield => CpuKind::ArmA72,
+            SnicPlatform::HostCores(_) => CpuKind::XeonE5,
+        }
+    }
+}
+
+impl fmt::Display for SnicPlatform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnicPlatform::Bluefield => f.write_str("Bluefield"),
+            SnicPlatform::HostCores(1) => f.write_str("1 Xeon core"),
+            SnicPlatform::HostCores(n) => write!(f, "{n} Xeon cores"),
+        }
+    }
+}
+
+/// Per-message CPU costs of the Lynx server logic itself (in addition to
+/// protocol-stack costs charged by [`HostStack`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Message Dispatcher work per request.
+    pub dispatch: Duration,
+    /// Message Forwarder work per response.
+    pub forward: Duration,
+    /// Round-robin scan cost, per registered mqueue, added to both paths.
+    pub scan_per_mqueue: Duration,
+    /// Detection latency per mqueue in the forwarder's poll cycle
+    /// (RDMA-bound, platform-independent; average delay is half a cycle).
+    pub poll_rtt_per_mqueue: Duration,
+}
+
+impl CostModel {
+    /// Cost model for the given CPU kind.
+    pub fn for_cpu(kind: CpuKind) -> CostModel {
+        match kind {
+            CpuKind::ArmA72 => CostModel {
+                dispatch: calib::DISPATCH_COST_ARM,
+                forward: calib::FORWARD_COST_ARM,
+                scan_per_mqueue: calib::MQ_SCAN_COST_ARM,
+                poll_rtt_per_mqueue: calib::MQ_POLL_RTT_PER_QUEUE,
+            },
+            CpuKind::XeonE5 | CpuKind::E3 => CostModel {
+                dispatch: calib::DISPATCH_COST_XEON,
+                forward: calib::FORWARD_COST_XEON,
+                scan_per_mqueue: calib::MQ_SCAN_COST_XEON,
+                poll_rtt_per_mqueue: calib::MQ_POLL_RTT_PER_QUEUE,
+            },
+        }
+    }
+}
+
+/// End-to-end counters of a [`LynxServer`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests that reached the dispatcher.
+    pub requests: u64,
+    /// Requests delivered into an mqueue.
+    pub dispatched: u64,
+    /// Requests dropped (all eligible mqueues full).
+    pub dropped: u64,
+    /// Responses sent back to clients.
+    pub responses: u64,
+    /// Backend calls bridged from client mqueues.
+    pub backend_calls: u64,
+}
+
+struct BackendBridge {
+    conn: Option<ConnId>,
+    queued: Vec<Vec<u8>>,
+}
+
+/// Identifier of one tenant service hosted by a [`LynxServer`] (§4.5:
+/// "Lynx runtime can be shared among multiple servers ... while ensuring
+/// full state protection among them").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ServiceId(pub usize);
+
+impl ServiceId {
+    /// The default service every [`LynxServer`] starts with.
+    pub const DEFAULT: ServiceId = ServiceId(0);
+}
+
+struct Service {
+    dispatcher: Dispatcher,
+    mqs: Vec<Mqueue>,
+    owners: Vec<Rc<RemoteMqManager>>,
+    udp_port: Option<u16>,
+    stats: ServerStats,
+}
+
+impl Service {
+    fn new(policy: DispatchPolicy) -> Service {
+        Service {
+            dispatcher: Dispatcher::new(policy),
+            mqs: Vec::new(),
+            owners: Vec::new(),
+            udp_port: None,
+            stats: ServerStats::default(),
+        }
+    }
+}
+
+struct Inner {
+    stack: HostStack,
+    costs: CostModel,
+    services: Vec<Service>,
+    accels: Vec<Rc<RemoteMqManager>>,
+    backend_calls: u64,
+    backends: Vec<Rc<RefCell<BackendBridge>>>,
+}
+
+/// The Lynx network server: the application-agnostic frontend on the
+/// SmartNIC (or, for comparison, on host cores).
+///
+/// It listens on UDP/TCP ports, dispatches each request to a server mqueue
+/// via one-sided RDMA, collects responses and sends them back, and bridges
+/// client mqueues to backend services. "No application development is
+/// necessary for the SNIC" — the same server code serves every workload in
+/// the benchmarks.
+#[derive(Clone)]
+pub struct LynxServer {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for LynxServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("LynxServer")
+            .field("services", &inner.services.len())
+            .field(
+                "mqueues",
+                &inner.services.iter().map(|s| s.mqs.len()).sum::<usize>(),
+            )
+            .field("accelerators", &inner.accels.len())
+            .finish()
+    }
+}
+
+impl LynxServer {
+    /// Creates a server processing messages on `stack` with the given cost
+    /// model and dispatch policy.
+    pub fn new(stack: HostStack, costs: CostModel, policy: DispatchPolicy) -> LynxServer {
+        LynxServer {
+            inner: Rc::new(RefCell::new(Inner {
+                stack,
+                costs,
+                services: vec![Service::new(policy)],
+                accels: Vec::new(),
+                backend_calls: 0,
+                backends: Vec::new(),
+            })),
+        }
+    }
+
+    /// Adds an independent tenant service with its own mqueues, dispatcher
+    /// and ports (§4.5 multi-tenancy). State is fully partitioned: a
+    /// request arriving on one service's port can only reach that
+    /// service's mqueues.
+    pub fn add_service(&self, policy: DispatchPolicy) -> ServiceId {
+        let mut inner = self.inner.borrow_mut();
+        inner.services.push(Service::new(policy));
+        ServiceId(inner.services.len() - 1)
+    }
+
+    /// Number of tenant services.
+    pub fn services(&self) -> usize {
+        self.inner.borrow().services.len()
+    }
+
+    /// Registers an accelerator through its Remote MQ Manager; returns the
+    /// accelerator id.
+    pub fn add_accelerator(&self, rmq: RemoteMqManager) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        inner.accels.push(Rc::new(rmq));
+        inner.accels.len() - 1
+    }
+
+    /// Registers a server mqueue of accelerator `accel` and installs the
+    /// Message Forwarder on its TX doorbell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accel` is not a registered accelerator id.
+    pub fn add_server_mqueue(&self, accel: usize, mq: Mqueue) {
+        self.add_server_mqueue_to(ServiceId::DEFAULT, accel, mq);
+    }
+
+    /// Registers a server mqueue under a specific tenant service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service or accelerator id is unknown.
+    pub fn add_server_mqueue_to(&self, service: ServiceId, accel: usize, mq: Mqueue) {
+        let rmq = {
+            let mut inner = self.inner.borrow_mut();
+            let rmq = Rc::clone(&inner.accels[accel]);
+            let svc = &mut inner.services[service.0];
+            svc.mqs.push(mq.clone());
+            svc.owners.push(Rc::clone(&rmq));
+            rmq
+        };
+        let this = self.clone();
+        let mq2 = mq.clone();
+        mq.set_tx_watcher(move |sim| {
+            this.on_response_ready(sim, service, mq2.clone(), Rc::clone(&rmq));
+        });
+    }
+
+    /// Bridges a client mqueue of accelerator `accel` to the backend
+    /// service at `dst` over a persistent TCP connection (§4.3: the
+    /// destination is assigned at initialization). Messages the accelerator
+    /// sends before the connection establishes are queued.
+    pub fn add_backend_bridge(&self, sim: &mut Sim, accel: usize, mq: Mqueue, dst: SockAddr) {
+        let (stack, rmq) = {
+            let inner = self.inner.borrow();
+            (inner.stack.clone(), Rc::clone(&inner.accels[accel]))
+        };
+        let bridge = Rc::new(RefCell::new(BackendBridge {
+            conn: None,
+            queued: Vec::new(),
+        }));
+        self.inner.borrow_mut().backends.push(Rc::clone(&bridge));
+
+        // Backend responses -> client mqueue RX ring.
+        let this = self.clone();
+        let mq_rx = mq.clone();
+        let rmq_rx = Rc::clone(&rmq);
+        let on_msg = move |sim: &mut Sim, _conn: ConnId, payload: Vec<u8>| {
+            this.on_backend_response(sim, mq_rx.clone(), Rc::clone(&rmq_rx), payload);
+        };
+        let bridge2 = Rc::clone(&bridge);
+        let stack2 = stack.clone();
+        let on_connected = move |sim: &mut Sim, conn: ConnId| {
+            let queued = {
+                let mut b = bridge2.borrow_mut();
+                b.conn = Some(conn);
+                std::mem::take(&mut b.queued)
+            };
+            for msg in queued {
+                stack2.send_tcp(sim, conn, msg);
+            }
+        };
+        stack.connect_tcp(sim, dst, on_msg, on_connected);
+
+        // Accelerator sends on the client mqueue -> forward to backend.
+        let this = self.clone();
+        let mq2 = mq.clone();
+        mq.set_tx_watcher(move |sim| {
+            this.on_backend_call(sim, mq2.clone(), Rc::clone(&rmq), Rc::clone(&bridge));
+        });
+    }
+
+    /// Starts listening for UDP clients on `port` (the reply source port).
+    pub fn listen_udp(&self, port: u16) {
+        self.listen_udp_for(ServiceId::DEFAULT, port);
+    }
+
+    /// Starts listening for UDP clients of a specific tenant service.
+    pub fn listen_udp_for(&self, service: ServiceId, port: u16) {
+        let stack = {
+            let mut inner = self.inner.borrow_mut();
+            inner.services[service.0].udp_port.get_or_insert(port);
+            inner.stack.clone()
+        };
+        let this = self.clone();
+        stack.bind_udp(port, move |sim, dgram| {
+            let key = hash_client(&dgram.src);
+            this.on_request(sim, service, ReturnAddr::Udp(dgram.src), key, dgram.payload);
+        });
+    }
+
+    /// Starts listening for TCP clients on `port`. Multiple client
+    /// connections multiplex onto the same server mqueues (§4.5).
+    pub fn listen_tcp(&self, port: u16) {
+        self.listen_tcp_for(ServiceId::DEFAULT, port);
+    }
+
+    /// Starts listening for TCP clients of a specific tenant service.
+    pub fn listen_tcp_for(&self, service: ServiceId, port: u16) {
+        let stack = self.inner.borrow().stack.clone();
+        let this = self.clone();
+        stack.listen_tcp(port, move |sim, conn, payload| {
+            let mut h = DefaultHasher::new();
+            conn.hash(&mut h);
+            this.on_request(sim, service, ReturnAddr::Tcp(conn), h.finish(), payload);
+        });
+    }
+
+    /// Aggregate counters across all tenant services.
+    pub fn stats(&self) -> ServerStats {
+        let inner = self.inner.borrow();
+        let mut total = ServerStats {
+            backend_calls: inner.backend_calls,
+            ..ServerStats::default()
+        };
+        for svc in &inner.services {
+            total.requests += svc.stats.requests;
+            total.dispatched += svc.stats.dispatched;
+            total.dropped += svc.stats.dropped;
+            total.responses += svc.stats.responses;
+        }
+        total
+    }
+
+    /// Counters of one tenant service (its `backend_calls` is always 0;
+    /// backend bridges are accounted at the server level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service id is unknown.
+    pub fn service_stats(&self, service: ServiceId) -> ServerStats {
+        self.inner.borrow().services[service.0].stats
+    }
+
+    /// Total mqueue-level drops across all registered server mqueues.
+    pub fn mqueue_drops(&self) -> u64 {
+        self.inner
+            .borrow()
+            .services
+            .iter()
+            .flat_map(|s| s.mqs.iter())
+            .map(|m| m.drops())
+            .sum()
+    }
+
+    fn total_mqueues(inner: &Inner) -> u32 {
+        inner.services.iter().map(|s| s.mqs.len() as u32).sum()
+    }
+
+    /// The dispatcher and forwarder scan every registered mqueue of every
+    /// tenant, so the per-message scan cost grows with the server-wide
+    /// queue count — tenants share the SNIC's cores.
+    fn dispatch_cost(inner: &Inner) -> Duration {
+        inner.costs.dispatch + inner.costs.scan_per_mqueue * Self::total_mqueues(inner)
+    }
+
+    fn forward_cost(inner: &Inner) -> Duration {
+        inner.costs.forward + inner.costs.scan_per_mqueue * Self::total_mqueues(inner)
+    }
+
+    fn on_request(
+        &self,
+        sim: &mut Sim,
+        service: ServiceId,
+        ret: ReturnAddr,
+        key: u64,
+        payload: Vec<u8>,
+    ) {
+        let (stack, cost) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.services[service.0].stats.requests += 1;
+            (inner.stack.clone(), Self::dispatch_cost(&inner))
+        };
+        let this = self.clone();
+        stack.charge(sim, cost, move |sim| {
+            this.dispatch_now(sim, service, ret, key, payload);
+        });
+    }
+
+    fn dispatch_now(
+        &self,
+        sim: &mut Sim,
+        service: ServiceId,
+        ret: ReturnAddr,
+        key: u64,
+        payload: Vec<u8>,
+    ) {
+        let picked = {
+            let mut inner = self.inner.borrow_mut();
+            let svc = &mut inner.services[service.0];
+            match svc.dispatcher.pick(&svc.mqs, key) {
+                Some(i) => {
+                    let pair = (Rc::clone(&svc.owners[i]), svc.mqs[i].clone());
+                    svc.stats.dispatched += 1;
+                    Some(pair)
+                }
+                None => {
+                    svc.stats.dropped += 1;
+                    None
+                }
+            }
+        };
+        if let Some((rmq, mq)) = picked {
+            rmq.push_request(sim, &mq, ret, &payload, |_, _| {});
+        }
+    }
+
+    /// Average delay before the forwarder's round-robin poll cycle reaches
+    /// a freshly-rung TX doorbell (half a full scan over every tenant's
+    /// queues).
+    fn detection_delay(inner: &Inner) -> Duration {
+        inner.costs.poll_rtt_per_mqueue * Self::total_mqueues(inner) / 2
+    }
+
+    fn on_response_ready(
+        &self,
+        sim: &mut Sim,
+        service: ServiceId,
+        mq: Mqueue,
+        rmq: Rc<RemoteMqManager>,
+    ) {
+        let (stack, cost, detect) = {
+            let inner = self.inner.borrow();
+            (
+                inner.stack.clone(),
+                Self::forward_cost(&inner),
+                Self::detection_delay(&inner),
+            )
+        };
+        let this = self.clone();
+        sim.schedule_in(detect, move |sim| {
+            stack.charge(sim, cost, move |sim| {
+                let this2 = this.clone();
+                rmq.pull_response(sim, &mq, move |sim, ret, payload| {
+                    this2.send_reply(sim, service, ret, payload);
+                });
+            });
+        });
+    }
+
+    fn send_reply(&self, sim: &mut Sim, service: ServiceId, ret: ReturnAddr, payload: Vec<u8>) {
+        let (stack, port) = {
+            let mut inner = self.inner.borrow_mut();
+            let stack = inner.stack.clone();
+            let svc = &mut inner.services[service.0];
+            svc.stats.responses += 1;
+            (stack, svc.udp_port.unwrap_or(0))
+        };
+        match ret {
+            ReturnAddr::Udp(addr) => stack.send_udp(sim, port, addr, payload),
+            ReturnAddr::Tcp(conn) => stack.send_tcp(sim, conn, payload),
+            ReturnAddr::Fixed => unreachable!("server mqueue responses carry a client address"),
+        }
+    }
+
+    fn on_backend_call(
+        &self,
+        sim: &mut Sim,
+        mq: Mqueue,
+        rmq: Rc<RemoteMqManager>,
+        bridge: Rc<RefCell<BackendBridge>>,
+    ) {
+        let (stack, cost) = {
+            let inner = self.inner.borrow();
+            (inner.stack.clone(), Self::forward_cost(&inner))
+        };
+        let this = self.clone();
+        let stack2 = stack.clone();
+        stack.charge(sim, cost, move |sim| {
+            rmq.pull_response(sim, &mq, move |sim, _ret, payload| {
+                this.inner.borrow_mut().backend_calls += 1;
+                let conn = bridge.borrow().conn;
+                match conn {
+                    Some(conn) => stack2.send_tcp(sim, conn, payload),
+                    None => bridge.borrow_mut().queued.push(payload),
+                }
+            });
+        });
+    }
+
+    fn on_backend_response(
+        &self,
+        sim: &mut Sim,
+        mq: Mqueue,
+        rmq: Rc<RemoteMqManager>,
+        payload: Vec<u8>,
+    ) {
+        let (stack, cost) = {
+            let inner = self.inner.borrow();
+            (inner.stack.clone(), Self::dispatch_cost(&inner))
+        };
+        stack.charge(sim, cost, move |sim| {
+            rmq.push_request(sim, &mq, ReturnAddr::Fixed, &payload, |_, _| {});
+        });
+    }
+}
+
+/// Steering key for a UDP client: the client's *host* identity, not its
+/// ephemeral source port — a client machine keeps hitting the same mqueue
+/// across requests (stateful services, §4.2).
+fn hash_client(addr: &SockAddr) -> u64 {
+    let mut h = DefaultHasher::new();
+    addr.host.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_properties() {
+        assert_eq!(SnicPlatform::Bluefield.cores(), 7);
+        assert_eq!(SnicPlatform::HostCores(6).cores(), 6);
+        assert_eq!(SnicPlatform::Bluefield.cpu_kind(), CpuKind::ArmA72);
+        assert_eq!(SnicPlatform::Bluefield.to_string(), "Bluefield");
+        assert_eq!(SnicPlatform::HostCores(1).to_string(), "1 Xeon core");
+    }
+
+    #[test]
+    fn arm_cost_model_is_heavier() {
+        let arm = CostModel::for_cpu(CpuKind::ArmA72);
+        let xeon = CostModel::for_cpu(CpuKind::XeonE5);
+        assert!(arm.dispatch > xeon.dispatch);
+        assert!(arm.forward > xeon.forward);
+        assert!(arm.scan_per_mqueue > xeon.scan_per_mqueue);
+    }
+}

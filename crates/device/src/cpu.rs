@@ -1,0 +1,212 @@
+//! Host and SmartNIC CPU models.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use lynx_net::Platform;
+use lynx_sim::{MultiServer, Server};
+
+use crate::{calib, LlcModel};
+
+/// CPU microarchitecture of a processing element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CpuKind {
+    /// Intel Xeon E5-2620 v2 (the testbed's host CPU, 6 cores).
+    XeonE5,
+    /// ARM Cortex-A72 @ 800 MHz (BlueField's cores).
+    ArmA72,
+    /// Intel E3 (the VCA's per-node processors).
+    E3,
+}
+
+impl CpuKind {
+    /// Relative speed for general application work (Xeon = 1.0).
+    pub fn speed(self) -> f64 {
+        match self {
+            CpuKind::XeonE5 => 1.0,
+            CpuKind::ArmA72 => calib::ARM_RELATIVE_SPEED,
+            CpuKind::E3 => 0.9,
+        }
+    }
+
+    /// The network-stack platform this CPU maps to.
+    pub fn platform(self) -> Platform {
+        match self {
+            CpuKind::XeonE5 | CpuKind::E3 => Platform::Xeon,
+            CpuKind::ArmA72 => Platform::ArmA72,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    kind: CpuKind,
+    total: usize,
+    taken: usize,
+}
+
+/// A host (or SmartNIC) CPU: a fixed budget of cores handed out to
+/// workloads, plus the shared last-level cache.
+///
+/// Core allocation is explicit so experiments can reproduce the paper's
+/// configurations ("memcached running on five host cores ... and LeNet with
+/// Lynx on the sixth host core", §6.3) and over-allocation is a setup bug
+/// caught by a panic.
+///
+/// # Example
+///
+/// ```
+/// use lynx_device::{CpuKind, HostCpu};
+///
+/// let cpu = HostCpu::new(CpuKind::XeonE5, 6);
+/// let lynx_core = cpu.take_pool(1);
+/// let memcached_cores = cpu.take_pool(5);
+/// assert_eq!(cpu.remaining(), 0);
+/// # let _ = (lynx_core, memcached_cores);
+/// ```
+#[derive(Clone)]
+pub struct HostCpu {
+    inner: Rc<RefCell<Inner>>,
+    llc: LlcModel,
+}
+
+impl fmt::Debug for HostCpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("HostCpu")
+            .field("kind", &inner.kind)
+            .field("total", &inner.total)
+            .field("taken", &inner.taken)
+            .finish()
+    }
+}
+
+impl HostCpu {
+    /// Creates a CPU with `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn new(kind: CpuKind, cores: usize) -> HostCpu {
+        assert!(cores > 0, "a CPU needs at least one core");
+        HostCpu {
+            inner: Rc::new(RefCell::new(Inner {
+                kind,
+                total: cores,
+                taken: 0,
+            })),
+            llc: LlcModel::new(),
+        }
+    }
+
+    /// The testbed host CPU: a 6-core Xeon E5-2620 v2.
+    pub fn xeon_e5() -> HostCpu {
+        HostCpu::new(CpuKind::XeonE5, calib::XEON_CORES)
+    }
+
+    /// BlueField's Lynx core budget: 7 of the 8 ARM A72 cores (§6.1).
+    pub fn bluefield_arm() -> HostCpu {
+        HostCpu::new(CpuKind::ArmA72, calib::BLUEFIELD_LYNX_CORES)
+    }
+
+    /// This CPU's kind.
+    pub fn kind(&self) -> CpuKind {
+        self.inner.borrow().kind
+    }
+
+    /// Cores not yet allocated.
+    pub fn remaining(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner.total - inner.taken
+    }
+
+    /// The shared last-level cache model.
+    pub fn llc(&self) -> LlcModel {
+        self.llc.clone()
+    }
+
+    /// Allocates `n` cores as a work-sharing pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` cores remain.
+    pub fn take_pool(&self, n: usize) -> MultiServer {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            inner.taken + n <= inner.total,
+            "CPU over-allocated: {} of {} cores taken, {n} more requested",
+            inner.taken,
+            inner.total
+        );
+        inner.taken += n;
+        MultiServer::new(n, inner.kind.speed())
+    }
+
+    /// Allocates a single dedicated core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cores remain.
+    pub fn take_core(&self) -> Server {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            inner.taken < inner.total,
+            "CPU over-allocated: all {} cores taken",
+            inner.total
+        );
+        inner.taken += 1;
+        Server::new(inner.kind.speed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lynx_sim::{Sim, Time};
+    use std::cell::Cell;
+    use std::time::Duration;
+
+    #[test]
+    fn arm_cores_are_slower() {
+        let mut sim = Sim::new(0);
+        let arm = HostCpu::bluefield_arm().take_core();
+        let done = Rc::new(Cell::new(Time::ZERO));
+        let d = Rc::clone(&done);
+        arm.submit(&mut sim, Duration::from_micros(15), move |sim| d.set(sim.now()));
+        sim.run();
+        // 15us of Xeon-equivalent work at 0.15 speed = 100us.
+        assert_eq!(done.get(), Time::from_micros(100));
+    }
+
+    #[test]
+    fn allocation_budget_enforced() {
+        let cpu = HostCpu::xeon_e5();
+        let _a = cpu.take_pool(5);
+        let _b = cpu.take_core();
+        assert_eq!(cpu.remaining(), 0);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cpu.take_core())).is_err());
+    }
+
+    #[test]
+    fn bluefield_has_seven_lynx_cores() {
+        let bf = HostCpu::bluefield_arm();
+        let pool = bf.take_pool(7);
+        assert_eq!(pool.lanes(), 7);
+        assert_eq!(bf.remaining(), 0);
+    }
+
+    #[test]
+    fn platform_mapping() {
+        assert_eq!(CpuKind::XeonE5.platform(), Platform::Xeon);
+        assert_eq!(CpuKind::ArmA72.platform(), Platform::ArmA72);
+        assert_eq!(CpuKind::E3.platform(), Platform::Xeon);
+    }
+
+    #[test]
+    fn llc_is_shared_across_clones() {
+        let cpu = HostCpu::xeon_e5();
+        cpu.llc().set_neighbor_active(true);
+        assert!(cpu.clone().llc().neighbor_active());
+    }
+}

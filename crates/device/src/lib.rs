@@ -1,0 +1,40 @@
+//! # lynx-device — hardware device models
+//!
+//! Simulation models of every hardware component in the Lynx (ASPLOS '20)
+//! testbed, calibrated against the timing constants the paper reports:
+//!
+//! * [`Gpu`] — NVIDIA K40m/K80-class GPU with persistent-kernel
+//!   threadblocks ([`Threadblock`]), BAR-exposed device memory, and the
+//!   host-centric launch path whose driver serialization and per-launch
+//!   overheads produce the baseline's behaviour (§3.2).
+//! * [`HostCpu`] + [`LlcModel`] — the Xeon E5-2620 v2 host and the
+//!   last-level-cache interference that creates the noisy-neighbor effect.
+//! * [`FpgaNic`] — the Innova Flex bump-in-the-wire FPGA receive pipeline
+//!   (7.4 M pkt/s in §6.2).
+//! * [`Vca`] — the Intel Visual Compute Accelerator: three E3 nodes with
+//!   SGX enclave transition costs and the host-bridge network path used by
+//!   its baseline.
+//! * [`RequestProcessor`] — the interface application kernels implement so
+//!   they can run inside any of these accelerators (functional result +
+//!   calibrated service time).
+//!
+//! All calibration constants live in [`calib`], each annotated with the
+//! paper measurement it reproduces.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod calib;
+mod cpu;
+mod fpga;
+mod gpu;
+mod llc;
+mod processor;
+mod vca;
+
+pub use cpu::{CpuKind, HostCpu};
+pub use fpga::FpgaNic;
+pub use gpu::{Gpu, GpuSpec, Threadblock};
+pub use llc::LlcModel;
+pub use processor::{DelayProcessor, EchoProcessor, RequestProcessor};
+pub use vca::{Vca, VcaNode};

@@ -1,0 +1,121 @@
+//! The interface between accelerators and application kernels.
+
+use std::fmt::Debug;
+use std::time::Duration;
+
+use crate::calib;
+
+/// A request-processing kernel that can run inside a simulated accelerator.
+///
+/// Implementations provide both the *functional* result (real computed
+/// bytes, so end-to-end tests verify payload integrity) and the *timing*
+/// (service time on the reference accelerator, scaled by the device's
+/// relative speed).
+///
+/// Simple RPC-style servers (echo, vector-scale, LeNet inference) implement
+/// this trait; servers that perform accelerator-side I/O mid-request (the
+/// face-verification server talking to memcached) are instead written
+/// directly against the accelerator I/O shim in `lynx-core`.
+pub trait RequestProcessor: Debug {
+    /// Kernel name (diagnostics and reports).
+    fn name(&self) -> &str;
+
+    /// Service time of this request on the reference accelerator.
+    fn service_time(&self, request: &[u8]) -> Duration;
+
+    /// Computes the response payload.
+    fn process(&self, request: &[u8]) -> Vec<u8>;
+
+    /// Number of dependent child-kernel launches the computation needs
+    /// (one per fused layer for neural nets). Drives launch-overhead
+    /// charges: [`calib::KERNEL_LAUNCH_GAP`] each on the host-centric
+    /// path, [`calib::DYNAMIC_PARALLELISM_GAP`] each under Lynx.
+    fn launches(&self) -> u32 {
+        1
+    }
+}
+
+/// The echo kernel of the paper's microbenchmarks: "1 thread which copies
+/// the input to the output" (§6.2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EchoProcessor;
+
+impl RequestProcessor for EchoProcessor {
+    fn name(&self) -> &str {
+        "echo"
+    }
+
+    fn service_time(&self, request: &[u8]) -> Duration {
+        // A single GPU thread copies the payload.
+        Duration::from_secs_f64(request.len() as f64 / calib::GPU_THREAD_COPY_BPS)
+    }
+
+    fn process(&self, request: &[u8]) -> Vec<u8> {
+        request.to_vec()
+    }
+}
+
+/// Echo plus a fixed busy-wait, emulating request processing of a given
+/// length — the paper's throughput/latency sweeps ("waits for a predefined
+/// period emulating request processing", §6.2).
+#[derive(Clone, Copy, Debug)]
+pub struct DelayProcessor {
+    delay: Duration,
+}
+
+impl DelayProcessor {
+    /// Creates a processor that busy-waits `delay` per request.
+    pub fn new(delay: Duration) -> DelayProcessor {
+        DelayProcessor { delay }
+    }
+
+    /// The configured busy-wait.
+    pub fn delay(&self) -> Duration {
+        self.delay
+    }
+}
+
+impl RequestProcessor for DelayProcessor {
+    fn name(&self) -> &str {
+        "delay-echo"
+    }
+
+    fn service_time(&self, request: &[u8]) -> Duration {
+        self.delay + EchoProcessor.service_time(request)
+    }
+
+    fn process(&self, request: &[u8]) -> Vec<u8> {
+        request.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_copies_input() {
+        let p = EchoProcessor;
+        assert_eq!(p.process(b"abc"), b"abc");
+        assert_eq!(p.launches(), 1);
+    }
+
+    #[test]
+    fn echo_service_time_scales_with_size() {
+        let p = EchoProcessor;
+        let small = p.service_time(&[0; 4]);
+        let large = p.service_time(&[0; 1416]);
+        assert!(large > small * 100);
+        // 1416 B at 0.25 GB/s is ~5.7 us.
+        assert!((large.as_secs_f64() - 1416.0 / 0.25e9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_processor_adds_fixed_cost() {
+        let p = DelayProcessor::new(Duration::from_micros(100));
+        let t = p.service_time(&[0; 4]);
+        assert!(t >= Duration::from_micros(100));
+        assert!(t < Duration::from_micros(101));
+        assert_eq!(p.process(&[1, 2]), vec![1, 2]);
+    }
+}

@@ -1,0 +1,157 @@
+//! The Intel Visual Compute Accelerator (§5.4, §6.2).
+
+use std::fmt;
+use std::time::Duration;
+
+use lynx_sim::{Server, Sim};
+
+use crate::{calib, CpuKind};
+
+/// One of the VCA's three independent Intel E3 processors.
+///
+/// Each node runs Linux with its own IP, reached from the host via
+/// IP-over-PCIe tunneling; SGX provides trusted execution for the secure
+/// computing server of §6.2.
+#[derive(Clone)]
+pub struct VcaNode {
+    core: Server,
+    index: usize,
+}
+
+impl fmt::Debug for VcaNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VcaNode")
+            .field("index", &self.index)
+            .field("jobs", &self.core.jobs())
+            .finish()
+    }
+}
+
+impl VcaNode {
+    /// Executes `work` inside the SGX enclave with `transitions` enclave
+    /// boundary crossings (ecalls/ocalls), each costing
+    /// [`calib::SGX_TRANSITION`].
+    ///
+    /// The Lynx path uses **zero** transitions per request: the 20-line I/O
+    /// library is statically linked *into* the enclave and polls the mqueue
+    /// from inside (§6.2), whereas the baseline pays an ecall/ocall pair
+    /// per request.
+    pub fn exec_enclave(
+        &self,
+        sim: &mut Sim,
+        work: Duration,
+        transitions: u32,
+        done: impl FnOnce(&mut Sim) + 'static,
+    ) {
+        let total = work + calib::SGX_TRANSITION * transitions;
+        self.core.submit(sim, total, done);
+    }
+
+    /// Requests executed on this node so far.
+    pub fn requests(&self) -> u64 {
+        self.core.jobs()
+    }
+
+    /// Latency for enclave code to poll + access an mqueue in mapped host
+    /// memory over PCIe (the paper's workaround for the RDMA-into-VCA bug).
+    pub fn mapped_mqueue_access(&self) -> Duration {
+        calib::VCA_MAPPED_POLL + calib::VCA_MAPPED_ACCESS
+    }
+}
+
+/// The VCA card: three E3 nodes behind a PCIe switch.
+#[derive(Clone, Debug)]
+pub struct Vca {
+    nodes: Vec<VcaNode>,
+}
+
+impl Default for Vca {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vca {
+    /// Creates the three-node card.
+    pub fn new() -> Vca {
+        Vca {
+            nodes: (0..3)
+                .map(|index| VcaNode {
+                    core: Server::new(CpuKind::E3.speed()),
+                    index,
+                })
+                .collect(),
+        }
+    }
+
+    /// The card's nodes (always three).
+    pub fn nodes(&self) -> &[VcaNode] {
+        &self.nodes
+    }
+
+    /// A specific node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 3`.
+    pub fn node(&self, i: usize) -> VcaNode {
+        self.nodes[i].clone()
+    }
+
+    /// One-way latency of the baseline network path into a node: host
+    /// bridge forwarding plus IP-over-PCIe tunneling. The Lynx path skips
+    /// both (SmartNIC writes the mqueue in mapped memory directly).
+    pub fn bridge_path_latency(&self) -> Duration {
+        calib::VCA_BRIDGE_FORWARD + calib::VCA_IP_OVER_PCIE
+    }
+
+    /// Per-message kernel network stack costs on a VCA node `(rx, tx)` —
+    /// paid by the baseline, bypassed by Lynx.
+    pub fn kernel_stack_cost(&self) -> (Duration, Duration) {
+        (calib::VCA_KERNEL_RX, calib::VCA_KERNEL_TX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lynx_sim::Time;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn three_nodes() {
+        assert_eq!(Vca::new().nodes().len(), 3);
+    }
+
+    #[test]
+    fn enclave_transitions_cost_extra() {
+        let mut sim = Sim::new(0);
+        let vca = Vca::new();
+        let node = vca.node(0);
+        let t0 = Rc::new(Cell::new(Time::ZERO));
+        let t2 = Rc::new(Cell::new(Time::ZERO));
+        let a = Rc::clone(&t0);
+        node.exec_enclave(&mut sim, Duration::from_micros(9), 0, move |sim| {
+            a.set(sim.now());
+        });
+        sim.run();
+        let mut sim = Sim::new(0);
+        let node = Vca::new().node(0);
+        let b = Rc::clone(&t2);
+        node.exec_enclave(&mut sim, Duration::from_micros(9), 2, move |sim| {
+            b.set(sim.now());
+        });
+        sim.run();
+        // Two transitions at 8us each, scaled by the E3's 0.9 speed.
+        let diff = t2.get() - t0.get();
+        assert!(diff > Duration::from_micros(17) && diff < Duration::from_micros(19));
+    }
+
+    #[test]
+    fn bridge_path_is_much_slower_than_mapped_access() {
+        let vca = Vca::new();
+        let node = vca.node(0);
+        assert!(vca.bridge_path_latency() > node.mapped_mqueue_access() * 4);
+    }
+}

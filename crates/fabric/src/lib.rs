@@ -1,0 +1,35 @@
+//! # lynx-fabric — PCIe fabric, DMA and RDMA models
+//!
+//! The Lynx paper's data plane is built from three hardware mechanisms, all
+//! reproduced here as deterministic simulation models:
+//!
+//! * **PCIe peer-to-peer DMA** ([`PcieFabric`], [`DmaEngine`]) — devices on
+//!   the same fabric (SmartNIC, GPU, host DRAM) move data without host CPU
+//!   involvement. Transfer time = per-hop latency + size / bottleneck-lane
+//!   bandwidth, serialized on the issuing DMA engine.
+//! * **One-sided RDMA** ([`RdmaNic`], [`QueuePair`]) — the SmartNIC accesses
+//!   mqueues in accelerator memory via RDMA READ/WRITE on a Reliable
+//!   Connection QP (§5.1 of the paper: one RC QP per accelerator, all
+//!   mqueues of an accelerator share it). Writes on one QP complete in
+//!   order, which the mqueue doorbell protocol relies on.
+//! * **Memory access mechanisms** ([`xfer`]) — cost models for the three
+//!   ways of reaching accelerator memory compared in Figure 5:
+//!   `cudaMemcpyAsync`, `gdrcopy`, and one-sided RDMA.
+//!
+//! Data movement is *functional*: bytes really move between [`MemRegion`]s,
+//! so end-to-end tests can verify payload integrity through the whole
+//! simulated machine.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dma;
+mod mem;
+mod pcie;
+mod rdma;
+pub mod xfer;
+
+pub use dma::DmaEngine;
+pub use mem::MemRegion;
+pub use pcie::{NoPathError, NodeId, PcieFabric, PcieLink};
+pub use rdma::{QpKind, QueuePair, RdmaNic, WireProfile};

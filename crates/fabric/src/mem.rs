@@ -1,0 +1,233 @@
+//! Device memory regions.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::NodeId;
+
+/// A byte-addressable memory region residing on a PCIe fabric node.
+///
+/// Regions model accelerator local memory (GPU global memory exposed via a
+/// PCIe BAR, per §4.4 of the paper), host DRAM, or SmartNIC-local buffers.
+/// The region is a cheap `Rc` handle — clones alias the same bytes, exactly
+/// like two PCIe peers referencing the same physical memory.
+///
+/// Data access is functional and instantaneous; *timing* is charged by the
+/// engine performing the access ([`crate::DmaEngine`], [`crate::QueuePair`],
+/// or a CPU model).
+///
+/// # Example
+///
+/// ```
+/// use lynx_fabric::{MemRegion, NodeId};
+///
+/// let m = MemRegion::new(NodeId::host(), 64, "gpu0-ring");
+/// m.write(8, &[1, 2, 3]);
+/// assert_eq!(m.read(8, 3), vec![1, 2, 3]);
+/// ```
+#[derive(Clone)]
+pub struct MemRegion {
+    bytes: Rc<RefCell<Vec<u8>>>,
+    node: NodeId,
+    name: Rc<str>,
+}
+
+impl fmt::Debug for MemRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemRegion")
+            .field("name", &self.name)
+            .field("node", &self.node)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl MemRegion {
+    /// Allocates a zeroed region of `len` bytes on fabric node `node`.
+    pub fn new(node: NodeId, len: usize, name: impl Into<Rc<str>>) -> MemRegion {
+        MemRegion {
+            bytes: Rc::new(RefCell::new(vec![0; len])),
+            node,
+            name: name.into(),
+        }
+    }
+
+    /// The PCIe fabric node this memory physically resides on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Human-readable region name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Size of the region in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.borrow().len()
+    }
+
+    /// Returns `true` for a zero-length region.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies `len` bytes starting at `offset` out of the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + len` exceeds the region size.
+    pub fn read(&self, offset: usize, len: usize) -> Vec<u8> {
+        let bytes = self.bytes.borrow();
+        self.check_range(offset, len);
+        bytes[offset..offset + len].to_vec()
+    }
+
+    /// Copies bytes from the region into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + buf.len()` exceeds the region size.
+    pub fn read_into(&self, offset: usize, buf: &mut [u8]) {
+        let bytes = self.bytes.borrow();
+        self.check_range(offset, buf.len());
+        buf.copy_from_slice(&bytes[offset..offset + buf.len()]);
+    }
+
+    /// Writes `data` into the region starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + data.len()` exceeds the region size.
+    pub fn write(&self, offset: usize, data: &[u8]) {
+        self.check_range(offset, data.len());
+        let mut bytes = self.bytes.borrow_mut();
+        bytes[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads a little-endian `u32` (doorbell/status registers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + 4` exceeds the region size.
+    pub fn read_u32(&self, offset: usize) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_into(offset, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + 4` exceeds the region size.
+    pub fn write_u32(&self, offset: usize, v: u32) {
+        self.write(offset, &v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + 8` exceeds the region size.
+    pub fn read_u64(&self, offset: usize) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_into(offset, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + 8` exceeds the region size.
+    pub fn write_u64(&self, offset: usize, v: u64) {
+        self.write(offset, &v.to_le_bytes());
+    }
+
+    /// Zeroes the whole region.
+    pub fn clear(&self) {
+        self.bytes.borrow_mut().iter_mut().for_each(|b| *b = 0);
+    }
+
+    /// Returns `true` if `other` aliases the same underlying memory.
+    pub fn same_region(&self, other: &MemRegion) -> bool {
+        Rc::ptr_eq(&self.bytes, &other.bytes)
+    }
+
+    fn check_range(&self, offset: usize, len: usize) {
+        let size = self.bytes.borrow().len();
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= size),
+            "access [{offset}, {offset}+{len}) out of bounds for region '{}' of {size} bytes",
+            self.name
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(len: usize) -> MemRegion {
+        MemRegion::new(NodeId::host(), len, "test")
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let m = region(32);
+        m.write(4, b"lynx");
+        assert_eq!(m.read(4, 4), b"lynx");
+        // Other bytes stay zero.
+        assert_eq!(m.read(0, 4), vec![0; 4]);
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        let m = region(16);
+        m.write_u32(0, 0xdead_beef);
+        m.write_u64(8, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u32(0), 0xdead_beef);
+        assert_eq!(m.read_u64(8), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn clones_alias_same_bytes() {
+        let a = region(8);
+        let b = a.clone();
+        a.write(0, &[7]);
+        assert_eq!(b.read(0, 1), vec![7]);
+        assert!(a.same_region(&b));
+        assert!(!a.same_region(&region(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_write_panics() {
+        region(4).write(2, &[0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        region(4).read(4, 1);
+    }
+
+    #[test]
+    fn overflow_offset_panics_cleanly() {
+        let m = region(4);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.read(usize::MAX, 2);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let m = region(4);
+        m.write(0, &[1, 2, 3, 4]);
+        m.clear();
+        assert_eq!(m.read(0, 4), vec![0; 4]);
+    }
+}

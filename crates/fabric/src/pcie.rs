@@ -1,0 +1,306 @@
+//! PCIe fabric topology and transfer timing.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Identifier of a node (device or bridge) on a PCIe fabric.
+///
+/// Node 0 is conventionally the host root complex; use [`NodeId::host`] for
+/// readability when building single-machine topologies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The conventional host root-complex node.
+    pub const fn host() -> NodeId {
+        NodeId(0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Characteristics of one PCIe link (both directions symmetric).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PcieLink {
+    /// Usable payload bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation + forwarding latency of the hop.
+    pub latency: Duration,
+}
+
+impl PcieLink {
+    /// PCIe Gen3 ×16 (≈15.75 GB/s usable), typical GPU slot.
+    pub fn gen3_x16() -> PcieLink {
+        PcieLink {
+            bandwidth_bps: 15.75e9,
+            latency: Duration::from_nanos(350),
+        }
+    }
+
+    /// PCIe Gen3 ×8 (≈7.88 GB/s usable), typical NIC slot.
+    pub fn gen3_x8() -> PcieLink {
+        PcieLink {
+            bandwidth_bps: 7.88e9,
+            latency: Duration::from_nanos(350),
+        }
+    }
+
+    /// An internal switch hop (e.g. the PCIe switch inside BlueField).
+    pub fn internal_switch() -> PcieLink {
+        PcieLink {
+            bandwidth_bps: 15.75e9,
+            latency: Duration::from_nanos(150),
+        }
+    }
+}
+
+/// Error returned when two fabric nodes are not connected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NoPathError {
+    /// Source node of the failed route lookup.
+    pub from: NodeId,
+    /// Destination node of the failed route lookup.
+    pub to: NodeId,
+}
+
+impl fmt::Display for NoPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no PCIe path from {} to {}", self.from, self.to)
+    }
+}
+
+impl Error for NoPathError {}
+
+#[derive(Debug, Default)]
+struct Topology {
+    names: Vec<String>,
+    adj: Vec<Vec<(usize, PcieLink)>>,
+}
+
+/// A PCIe fabric: nodes (root complex, switches, endpoints) joined by links.
+///
+/// The fabric answers *how long* a peer-to-peer transfer of `n` bytes takes
+/// between two nodes: the sum of per-hop latencies along the (fewest-hop)
+/// path plus `n` divided by the bottleneck link bandwidth. Routing uses BFS
+/// and is recomputed per query — topologies here have < 20 nodes.
+///
+/// # Example
+///
+/// ```
+/// use lynx_fabric::{PcieFabric, PcieLink};
+/// use std::time::Duration;
+///
+/// let fabric = PcieFabric::new();
+/// let host = fabric.add_node("host");
+/// let gpu = fabric.add_node("gpu0");
+/// let nic = fabric.add_node("nic");
+/// fabric.link(host, gpu, PcieLink::gen3_x16());
+/// fabric.link(host, nic, PcieLink::gen3_x8());
+/// // NIC -> GPU p2p DMA crosses two hops through the root complex.
+/// let t = fabric.transfer_time(nic, gpu, 4096).unwrap();
+/// assert!(t > Duration::from_nanos(700));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PcieFabric {
+    topo: Rc<RefCell<Topology>>,
+}
+
+impl PcieFabric {
+    /// Creates an empty fabric.
+    pub fn new() -> PcieFabric {
+        PcieFabric::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&self, name: impl Into<String>) -> NodeId {
+        let mut topo = self.topo.borrow_mut();
+        let id = topo.names.len() as u32;
+        topo.names.push(name.into());
+        topo.adj.push(Vec::new());
+        NodeId(id)
+    }
+
+    /// Connects two nodes with a bidirectional link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id does not belong to this fabric.
+    pub fn link(&self, a: NodeId, b: NodeId, link: PcieLink) {
+        let mut topo = self.topo.borrow_mut();
+        let n = topo.names.len();
+        assert!(
+            (a.0 as usize) < n && (b.0 as usize) < n,
+            "link endpoints must be fabric nodes"
+        );
+        topo.adj[a.0 as usize].push((b.0 as usize, link));
+        topo.adj[b.0 as usize].push((a.0 as usize, link));
+    }
+
+    /// Returns `true` if `other` is a handle to this same fabric.
+    pub fn same_fabric(&self, other: &PcieFabric) -> bool {
+        Rc::ptr_eq(&self.topo, &other.topo)
+    }
+
+    /// Number of nodes in the fabric.
+    pub fn node_count(&self) -> usize {
+        self.topo.borrow().names.len()
+    }
+
+    /// Name of a node (for diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is not part of this fabric.
+    pub fn node_name(&self, id: NodeId) -> String {
+        self.topo.borrow().names[id.0 as usize].clone()
+    }
+
+    /// Fewest-hop route between two nodes: total hop latency and bottleneck
+    /// bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoPathError`] when the nodes are disconnected.
+    pub fn route(&self, from: NodeId, to: NodeId) -> Result<(Duration, f64), NoPathError> {
+        if from == to {
+            // Same-device access: no PCIe traversal.
+            return Ok((Duration::ZERO, f64::INFINITY));
+        }
+        let topo = self.topo.borrow();
+        let n = topo.names.len();
+        let err = NoPathError { from, to };
+        if from.0 as usize >= n || to.0 as usize >= n {
+            return Err(err);
+        }
+        // BFS tracking predecessor edges.
+        let mut prev: Vec<Option<(usize, PcieLink)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut q = VecDeque::new();
+        seen[from.0 as usize] = true;
+        q.push_back(from.0 as usize);
+        while let Some(u) = q.pop_front() {
+            if u == to.0 as usize {
+                break;
+            }
+            for &(v, link) in &topo.adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    prev[v] = Some((u, link));
+                    q.push_back(v);
+                }
+            }
+        }
+        if !seen[to.0 as usize] {
+            return Err(err);
+        }
+        let mut latency = Duration::ZERO;
+        let mut bw = f64::INFINITY;
+        let mut cur = to.0 as usize;
+        while let Some((p, link)) = prev[cur] {
+            latency += link.latency;
+            bw = bw.min(link.bandwidth_bps);
+            cur = p;
+        }
+        Ok((latency, bw))
+    }
+
+    /// Time for a `bytes`-sized transfer between two nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoPathError`] when the nodes are disconnected.
+    pub fn transfer_time(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+    ) -> Result<Duration, NoPathError> {
+        let (latency, bw) = self.route(from, to)?;
+        let wire = if bw.is_finite() {
+            Duration::from_secs_f64(bytes as f64 / bw)
+        } else {
+            Duration::ZERO
+        };
+        Ok(latency + wire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (PcieFabric, NodeId, NodeId, NodeId) {
+        let f = PcieFabric::new();
+        let host = f.add_node("host");
+        let gpu = f.add_node("gpu");
+        let nic = f.add_node("nic");
+        f.link(host, gpu, PcieLink::gen3_x16());
+        f.link(host, nic, PcieLink::gen3_x8());
+        (f, host, gpu, nic)
+    }
+
+    #[test]
+    fn same_node_is_free() {
+        let (f, host, ..) = triangle();
+        assert_eq!(f.transfer_time(host, host, 1 << 20).unwrap(), Duration::ZERO);
+    }
+
+    #[test]
+    fn two_hop_path_adds_latencies_and_uses_bottleneck() {
+        let (f, _, gpu, nic) = triangle();
+        let (lat, bw) = f.route(nic, gpu).unwrap();
+        assert_eq!(lat, Duration::from_nanos(700));
+        assert_eq!(bw, 7.88e9);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let (f, host, gpu, _) = triangle();
+        let small = f.transfer_time(host, gpu, 64).unwrap();
+        let large = f.transfer_time(host, gpu, 1 << 20).unwrap();
+        assert!(large > small);
+        // 1 MiB over 15.75 GB/s ~ 66.6 us.
+        assert!((large.as_secs_f64() - (1048576.0 / 15.75e9 + 350e-9)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_nodes_error() {
+        let f = PcieFabric::new();
+        let a = f.add_node("a");
+        let b = f.add_node("b");
+        let err = f.route(a, b).unwrap_err();
+        assert_eq!(err, NoPathError { from: a, to: b });
+        assert!(err.to_string().contains("no PCIe path"));
+    }
+
+    #[test]
+    fn route_prefers_fewest_hops() {
+        let f = PcieFabric::new();
+        let a = f.add_node("a");
+        let mid = f.add_node("mid");
+        let b = f.add_node("b");
+        f.link(a, mid, PcieLink::internal_switch());
+        f.link(mid, b, PcieLink::internal_switch());
+        f.link(a, b, PcieLink::gen3_x8()); // direct: 1 hop
+        let (lat, _) = f.route(a, b).unwrap();
+        assert_eq!(lat, Duration::from_nanos(350));
+    }
+
+    #[test]
+    fn clone_shares_topology() {
+        let (f, _, gpu, nic) = triangle();
+        let f2 = f.clone();
+        let extra = f2.add_node("extra");
+        f2.link(extra, gpu, PcieLink::gen3_x16());
+        assert_eq!(f.node_count(), 4);
+        assert!(f.route(extra, nic).is_ok());
+    }
+}

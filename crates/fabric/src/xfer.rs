@@ -1,0 +1,161 @@
+//! Accelerator-memory access mechanisms (Figure 5 of the paper).
+//!
+//! The paper compares three ways for the entity running the Lynx dispatcher
+//! to read/write mqueues residing in GPU memory:
+//!
+//! * **`cudaMemcpyAsync`** — a driver call with a 7–8 µs constant overhead
+//!   that dominates small transfers (§5.1, Figure 5 discussion).
+//! * **`gdrcopy`** — mapped BAR accesses issued directly by CPU stores.
+//!   Cheap to start but *blocking*: the issuing core stalls until the PCIe
+//!   writes retire, and bandwidth is poor, "on the critical path of the
+//!   Message Dispatcher".
+//! * **one-sided RDMA** — posted to the NIC in < 1 µs of CPU time; the NIC
+//!   ASIC moves the data asynchronously. This is the mechanism Lynx adopts.
+//!
+//! [`Mechanism::cost`] returns both the CPU occupancy and the data landing
+//! latency so server models can charge the right resource.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One mechanism for accessing accelerator memory from the dispatcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// `cudaMemcpyAsync` through the CUDA driver.
+    CudaMemcpyAsync,
+    /// `gdrcopy`-style mapped BAR stores from the CPU.
+    GdrCopy,
+    /// One-sided RDMA posted to the local NIC.
+    Rdma,
+}
+
+impl Mechanism {
+    /// All mechanisms, in the order Figure 5 presents them.
+    pub const ALL: [Mechanism; 3] = [
+        Mechanism::CudaMemcpyAsync,
+        Mechanism::GdrCopy,
+        Mechanism::Rdma,
+    ];
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Mechanism::CudaMemcpyAsync => "CuMemcpyAsync",
+            Mechanism::GdrCopy => "gdrcopy",
+            Mechanism::Rdma => "RDMA",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Cost of one access with a given mechanism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessCost {
+    /// Time the issuing CPU core is occupied (blocking portion).
+    pub cpu: Duration,
+    /// Time until the data is visible in accelerator memory.
+    pub latency: Duration,
+}
+
+/// Calibration constants, each annotated with its source in the paper.
+mod calib {
+    use std::time::Duration;
+
+    /// "cudaMemcpyAsync incurs a constant overhead of 7-8 µs" (§5.1).
+    pub const CUDA_MEMCPY_FIXED: Duration = Duration::from_nanos(7_500);
+    /// Driver-managed copies stream at roughly PCIe Gen3 x16 rate.
+    pub const CUDA_MEMCPY_BPS: f64 = 10.0e9;
+    /// gdrcopy setup: a handful of stores and a fence.
+    pub const GDRCOPY_FIXED: Duration = Duration::from_nanos(200);
+    /// The blocking PCIe round trip of a fenced BAR store sequence.
+    pub const GDRCOPY_FLUSH: Duration = Duration::from_nanos(1_300);
+    /// Write-combined BAR store bandwidth is poor (~0.8 GB/s).
+    pub const GDRCOPY_BPS: f64 = 0.8e9;
+    /// "IB RDMA requires less than 1 µs to invoke by the CPU" (§5.1).
+    pub const RDMA_POST: Duration = Duration::from_nanos(900);
+    /// NIC-side landing latency for a small RDMA (loopback + 2 PCIe hops).
+    pub const RDMA_LANDING: Duration = Duration::from_nanos(1_400);
+    /// NIC DMA bandwidth.
+    pub const RDMA_BPS: f64 = 10.0e9;
+}
+
+impl Mechanism {
+    /// Cost of moving `bytes` to/from accelerator memory with this
+    /// mechanism.
+    pub fn cost(self, bytes: usize) -> AccessCost {
+        let wire = |bps: f64| Duration::from_secs_f64(bytes as f64 / bps);
+        match self {
+            Mechanism::CudaMemcpyAsync => AccessCost {
+                // The driver call itself occupies the CPU for the fixed
+                // overhead; the copy engine streams the bytes.
+                cpu: calib::CUDA_MEMCPY_FIXED,
+                latency: calib::CUDA_MEMCPY_FIXED + wire(calib::CUDA_MEMCPY_BPS),
+            },
+            Mechanism::GdrCopy => {
+                // The CPU performs (and waits out) every store itself.
+                let busy = calib::GDRCOPY_FIXED + calib::GDRCOPY_FLUSH + wire(calib::GDRCOPY_BPS);
+                AccessCost {
+                    cpu: busy,
+                    latency: busy,
+                }
+            }
+            Mechanism::Rdma => AccessCost {
+                cpu: calib::RDMA_POST,
+                latency: calib::RDMA_POST + calib::RDMA_LANDING + wire(calib::RDMA_BPS),
+            },
+        }
+    }
+
+    /// CPU occupancy for a 4-byte control-register (doorbell) update.
+    pub fn control_cost(self) -> AccessCost {
+        self.cost(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdma_has_cheapest_cpu_cost_for_small_transfers() {
+        let bytes = 20;
+        let rdma = Mechanism::Rdma.cost(bytes).cpu;
+        assert!(rdma < Mechanism::GdrCopy.cost(bytes).cpu);
+        assert!(rdma < Mechanism::CudaMemcpyAsync.cost(bytes).cpu);
+    }
+
+    #[test]
+    fn cuda_memcpy_fixed_cost_dominates_small_transfers() {
+        let small = Mechanism::CudaMemcpyAsync.cost(4);
+        let big = Mechanism::CudaMemcpyAsync.cost(1416);
+        // CPU cost is size-independent; latency grows only slightly.
+        assert_eq!(small.cpu, big.cpu);
+        assert!(big.latency < small.latency * 2);
+    }
+
+    #[test]
+    fn gdrcopy_blocks_cpu_for_full_transfer() {
+        let c = Mechanism::GdrCopy.cost(1416);
+        assert_eq!(c.cpu, c.latency);
+        // 1416 B at 0.8 GB/s adds ~1.8 us of blocking stores.
+        assert!(c.cpu > Duration::from_nanos(3_000));
+    }
+
+    #[test]
+    fn costs_are_monotonic_in_size() {
+        for mech in Mechanism::ALL {
+            let a = mech.cost(16);
+            let b = mech.cost(4096);
+            assert!(b.latency >= a.latency, "{mech}");
+            assert!(b.cpu >= a.cpu, "{mech}");
+        }
+    }
+
+    #[test]
+    fn display_names_match_figure5_labels() {
+        assert_eq!(Mechanism::CudaMemcpyAsync.to_string(), "CuMemcpyAsync");
+        assert_eq!(Mechanism::GdrCopy.to_string(), "gdrcopy");
+        assert_eq!(Mechanism::Rdma.to_string(), "RDMA");
+    }
+}

@@ -1,0 +1,80 @@
+//! Network addressing primitives.
+
+use std::fmt;
+
+/// Identifier of a host (machine or SmartNIC in multi-homed mode) on the
+/// simulated network.
+///
+/// The BlueField SmartNIC runs "as a separate machine with its own network
+/// stack and IP address" (§2 of the paper), so a SmartNIC gets its own
+/// `HostId` distinct from the server that hosts it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// Transport protocol of a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Proto {
+    /// Connectionless datagrams.
+    Udp,
+    /// Stream transport; modelled as framed messages on a connection.
+    Tcp,
+}
+
+impl fmt::Display for Proto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Proto::Udp => "UDP",
+            Proto::Tcp => "TCP",
+        })
+    }
+}
+
+/// A `(host, port)` socket address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SockAddr {
+    /// Host part.
+    pub host: HostId,
+    /// Port part.
+    pub port: u16,
+}
+
+impl SockAddr {
+    /// Creates an address from host and port.
+    pub const fn new(host: HostId, port: u16) -> SockAddr {
+        SockAddr { host, port }
+    }
+}
+
+impl fmt::Display for SockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.host, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let a = SockAddr::new(HostId(3), 7777);
+        assert_eq!(a.to_string(), "host3:7777");
+        assert_eq!(Proto::Udp.to_string(), "UDP");
+        assert_eq!(Proto::Tcp.to_string(), "TCP");
+    }
+
+    #[test]
+    fn addr_equality_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(SockAddr::new(HostId(1), 80));
+        assert!(set.contains(&SockAddr::new(HostId(1), 80)));
+        assert!(!set.contains(&SockAddr::new(HostId(1), 81)));
+    }
+}

@@ -1,0 +1,34 @@
+//! # lynx-net — datacenter network and protocol-stack models
+//!
+//! Models the client-facing network of the Lynx testbed (§6 of the paper):
+//! hosts joined by 25/40 Gbps links through one switch, and the cost of
+//! UDP/TCP protocol processing on different processors and stacks.
+//!
+//! Two observations from the paper drive the design:
+//!
+//! * Protocol processing cost is **per message and per core**, and differs
+//!   sharply between platforms: BlueField's ARM cores pay ~3–4× more per
+//!   UDP message than a Xeon core, and its TCP listening path is an order of
+//!   magnitude costlier still — this single constant produces the UDP/TCP
+//!   scaling split of Figure 8c.
+//! * Kernel-bypass matters: VMA reduces UDP processing latency 4× on
+//!   BlueField and 2× on the host (§5.1.1). [`StackProfile`] captures the
+//!   kernel vs. VMA variants of both platforms.
+//!
+//! The wire itself is modelled by [`Network`]: per-host full-duplex links
+//! with serialization + propagation delay and a store-and-forward switch.
+//! Delivery is functional — real payload bytes arrive at the destination
+//! handler — so end-to-end tests verify data integrity.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod network;
+mod stack;
+mod tcp;
+
+pub use addr::{HostId, Proto, SockAddr};
+pub use network::{Datagram, LinkSpec, Network};
+pub use stack::{HostStack, Platform, StackKind, StackProfile};
+pub use tcp::{ConnId, TcpConn};

@@ -1,0 +1,344 @@
+//! The physical network: links, switch, datagram delivery.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx_sim::{Server, Sim};
+
+use crate::{ConnId, HostId, Proto, SockAddr};
+
+/// Ethernet + IP + UDP framing overhead added to every message on the wire.
+const FRAME_OVERHEAD: usize = 46;
+
+/// Characteristics of a host's network attachment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation latency to the switch.
+    pub latency: Duration,
+}
+
+impl LinkSpec {
+    /// A 40 Gbps port (ConnectX-4 / Innova in the paper's testbed).
+    pub fn gbps40() -> LinkSpec {
+        LinkSpec {
+            bandwidth_bps: 5.0e9,
+            latency: Duration::from_nanos(500),
+        }
+    }
+
+    /// A 25 Gbps port (the BlueField SmartNIC in the paper's testbed).
+    pub fn gbps25() -> LinkSpec {
+        LinkSpec {
+            bandwidth_bps: 3.125e9,
+            latency: Duration::from_nanos(500),
+        }
+    }
+}
+
+/// A transport-level message travelling on the network.
+///
+/// TCP segmentation is not modelled; a `Datagram` with [`Proto::Tcp`]
+/// carries one framed application message on an established connection
+/// (identified by `conn`), delivered reliably and in order.
+#[derive(Clone, Debug)]
+pub struct Datagram {
+    /// Sender address.
+    pub src: SockAddr,
+    /// Destination address.
+    pub dst: SockAddr,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Connection id for TCP messages (assigned by [`crate::HostStack`]).
+    pub conn: Option<ConnId>,
+    /// Application payload.
+    pub payload: Vec<u8>,
+}
+
+impl Datagram {
+    /// Creates a UDP datagram.
+    pub fn udp(src: SockAddr, dst: SockAddr, payload: Vec<u8>) -> Datagram {
+        Datagram {
+            src,
+            dst,
+            proto: Proto::Udp,
+            conn: None,
+            payload,
+        }
+    }
+
+    /// Size on the wire, including framing overhead.
+    pub fn wire_bytes(&self) -> usize {
+        self.payload.len() + FRAME_OVERHEAD
+    }
+}
+
+type Handler = Rc<RefCell<dyn FnMut(&mut Sim, Datagram)>>;
+
+struct HostPort {
+    name: String,
+    link: LinkSpec,
+    egress: Server,
+    ingress: Server,
+    handler: Option<Handler>,
+    rx_count: u64,
+    tx_count: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    hosts: Vec<HostPort>,
+    switch_latency: Duration,
+    dropped: u64,
+}
+
+/// A single-switch datacenter network.
+///
+/// Every host hangs off one switch via a full-duplex link. A message from
+/// `a` to `b` serializes on `a`'s egress lane, propagates through the
+/// store-and-forward switch, serializes on `b`'s ingress lane, and is then
+/// handed to `b`'s receive handler. Lanes are FIFO [`Server`]s, so
+/// congestion and head-of-line blocking emerge naturally.
+///
+/// # Example
+///
+/// ```
+/// use lynx_net::{Datagram, LinkSpec, Network, SockAddr};
+/// use lynx_sim::Sim;
+///
+/// let mut sim = Sim::new(0);
+/// let net = Network::new();
+/// let a = net.add_host("client", LinkSpec::gbps40());
+/// let b = net.add_host("server", LinkSpec::gbps40());
+/// net.set_handler(b, |_sim, dgram| {
+///     assert_eq!(dgram.payload, b"ping");
+/// });
+/// net.send(&mut sim, Datagram::udp(
+///     SockAddr::new(a, 1000),
+///     SockAddr::new(b, 7777),
+///     b"ping".to_vec(),
+/// ));
+/// sim.run();
+/// ```
+#[derive(Clone, Default)]
+pub struct Network {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Network")
+            .field("hosts", &inner.hosts.len())
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates a network with the default store-and-forward switch latency
+    /// (300 ns, typical of the paper's Mellanox SN2100).
+    pub fn new() -> Network {
+        let net = Network::default();
+        net.inner.borrow_mut().switch_latency = Duration::from_nanos(300);
+        net
+    }
+
+    /// Attaches a host and returns its id.
+    pub fn add_host(&self, name: impl Into<String>, link: LinkSpec) -> HostId {
+        let mut inner = self.inner.borrow_mut();
+        let id = HostId(inner.hosts.len() as u32);
+        inner.hosts.push(HostPort {
+            name: name.into(),
+            link,
+            egress: Server::new(1.0),
+            ingress: Server::new(1.0),
+            handler: None,
+            rx_count: 0,
+            tx_count: 0,
+        });
+        id
+    }
+
+    /// Installs (or replaces) the receive handler of `host`. All datagrams
+    /// addressed to any port of the host are delivered to this handler;
+    /// port demultiplexing is done by [`crate::HostStack`].
+    pub fn set_handler(&self, host: HostId, f: impl FnMut(&mut Sim, Datagram) + 'static) {
+        self.inner.borrow_mut().hosts[host.0 as usize].handler = Some(Rc::new(RefCell::new(f)));
+    }
+
+    /// Name of a host (diagnostics).
+    pub fn host_name(&self, host: HostId) -> String {
+        self.inner.borrow().hosts[host.0 as usize].name.clone()
+    }
+
+    /// `(received, sent)` datagram counts for a host.
+    pub fn host_counters(&self, host: HostId) -> (u64, u64) {
+        let inner = self.inner.borrow();
+        let h = &inner.hosts[host.0 as usize];
+        (h.rx_count, h.tx_count)
+    }
+
+    /// Datagrams dropped because the destination had no handler.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Injects a datagram into the network at its source host.
+    ///
+    /// Protocol-stack CPU costs are *not* charged here — that is
+    /// [`crate::HostStack`]'s job; `send` models only the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source or destination host id is unknown.
+    pub fn send(&self, sim: &mut Sim, dgram: Datagram) {
+        let bytes = dgram.wire_bytes();
+        let (egress, src_lat, switch_lat, ingress, dst_lat) = {
+            let mut inner = self.inner.borrow_mut();
+            let n = inner.hosts.len();
+            let (s, d) = (dgram.src.host.0 as usize, dgram.dst.host.0 as usize);
+            assert!(s < n && d < n, "datagram between unknown hosts");
+            inner.hosts[s].tx_count += 1;
+            (
+                inner.hosts[s].egress.clone(),
+                inner.hosts[s].link.latency,
+                inner.switch_latency,
+                inner.hosts[d].ingress.clone(),
+                inner.hosts[d].link.latency,
+            )
+        };
+        let src_ser = {
+            let inner = self.inner.borrow();
+            Duration::from_secs_f64(bytes as f64 / inner.hosts[dgram.src.host.0 as usize].link.bandwidth_bps)
+        };
+        let dst_ser = {
+            let inner = self.inner.borrow();
+            Duration::from_secs_f64(bytes as f64 / inner.hosts[dgram.dst.host.0 as usize].link.bandwidth_bps)
+        };
+        let net = self.clone();
+        egress.submit(sim, src_ser, move |sim| {
+            let net2 = net.clone();
+            sim.schedule_in(src_lat + switch_lat + dst_lat, move |sim| {
+                ingress.submit(sim, dst_ser, move |sim| {
+                    net2.deliver(sim, dgram);
+                });
+            });
+        });
+    }
+
+    fn deliver(&self, sim: &mut Sim, dgram: Datagram) {
+        let handler = {
+            let mut inner = self.inner.borrow_mut();
+            let h = &mut inner.hosts[dgram.dst.host.0 as usize];
+            h.rx_count += 1;
+            match &h.handler {
+                Some(f) => Rc::clone(f),
+                None => {
+                    inner.dropped += 1;
+                    return;
+                }
+            }
+        };
+        (handler.borrow_mut())(sim, dgram);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lynx_sim::Time;
+    use std::cell::Cell;
+
+    fn two_hosts() -> (Sim, Network, HostId, HostId) {
+        let sim = Sim::new(0);
+        let net = Network::new();
+        let a = net.add_host("a", LinkSpec::gbps40());
+        let b = net.add_host("b", LinkSpec::gbps40());
+        (sim, net, a, b)
+    }
+
+    #[test]
+    fn delivery_carries_payload_and_takes_time() {
+        let (mut sim, net, a, b) = two_hosts();
+        let arrived = Rc::new(Cell::new(Time::ZERO));
+        let t = Rc::clone(&arrived);
+        net.set_handler(b, move |sim, d| {
+            assert_eq!(d.payload, b"hello");
+            t.set(sim.now());
+        });
+        net.send(
+            &mut sim,
+            Datagram::udp(SockAddr::new(a, 1), SockAddr::new(b, 2), b"hello".to_vec()),
+        );
+        sim.run();
+        // Two 500ns propagations + 300ns switch + 2 serializations.
+        assert!(arrived.get() > Time::from_nanos(1_300));
+        assert!(arrived.get() < Time::from_micros(3));
+        assert_eq!(net.host_counters(b).0, 1);
+        assert_eq!(net.host_counters(a).1, 1);
+    }
+
+    #[test]
+    fn fifo_ordering_per_path() {
+        let (mut sim, net, a, b) = two_hosts();
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s = Rc::clone(&seen);
+        net.set_handler(b, move |_, d| s.borrow_mut().push(d.payload[0]));
+        for i in 0..10u8 {
+            net.send(
+                &mut sim,
+                Datagram::udp(SockAddr::new(a, 1), SockAddr::new(b, 2), vec![i]),
+            );
+        }
+        sim.run();
+        assert_eq!(*seen.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn missing_handler_counts_drop() {
+        let (mut sim, net, a, b) = two_hosts();
+        net.send(
+            &mut sim,
+            Datagram::udp(SockAddr::new(a, 1), SockAddr::new(b, 2), vec![0]),
+        );
+        sim.run();
+        assert_eq!(net.dropped(), 1);
+    }
+
+    #[test]
+    fn big_messages_serialize_longer() {
+        let (mut sim, net, a, b) = two_hosts();
+        let t = Rc::new(Cell::new(Time::ZERO));
+        let t2 = Rc::clone(&t);
+        net.set_handler(b, move |sim, _| t2.set(sim.now()));
+        net.send(
+            &mut sim,
+            Datagram::udp(SockAddr::new(a, 1), SockAddr::new(b, 2), vec![0; 1 << 20]),
+        );
+        sim.run();
+        let big = t.get();
+        // 1 MiB at 5 GB/s is ~210us per serialization, twice.
+        assert!(big > Time::from_micros(400), "big={big}");
+    }
+
+    #[test]
+    fn link_congestion_delays_later_messages() {
+        let (mut sim, net, a, b) = two_hosts();
+        let last = Rc::new(Cell::new(Time::ZERO));
+        let l = Rc::clone(&last);
+        net.set_handler(b, move |sim, _| l.set(sim.now()));
+        for _ in 0..100 {
+            net.send(
+                &mut sim,
+                Datagram::udp(SockAddr::new(a, 1), SockAddr::new(b, 2), vec![0; 64 * 1024]),
+            );
+        }
+        sim.run();
+        // 100 x 64KiB at 5GB/s ~ 1.3ms of serialization alone.
+        assert!(last.get() > Time::from_millis(1));
+    }
+}

@@ -1,0 +1,748 @@
+//! Protocol-stack cost profiles and per-host stack instances.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx_sim::{MultiServer, Sim};
+
+use crate::tcp::ConnRole;
+use crate::{ConnId, Datagram, HostId, Network, Proto, SockAddr, TcpConn};
+
+/// Processor on which the stack runs. Protocol costs are strongly
+/// platform-dependent: the paper's §5.1.1 observes that "ARM cores on
+/// Bluefield incur high system call cost" and that TCP "demands more compute
+/// resources, and ARM cores suffer from higher impact" (§6.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Intel Xeon E5-2620 v2 class host core.
+    Xeon,
+    /// BlueField's ARM Cortex-A72 @ 800 MHz.
+    ArmA72,
+}
+
+/// Which I/O stack processes the messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StackKind {
+    /// The OS kernel socket path.
+    Kernel,
+    /// VMA user-level kernel-bypass networking. The paper measured VMA
+    /// reducing UDP processing latency 4× on BlueField and 2× on the host.
+    Vma,
+}
+
+/// Per-message CPU costs of protocol processing.
+///
+/// `tcp_conn_*` applies to an established, initiator-side connection (e.g.
+/// the persistent memcached connection of the face-verification server);
+/// `tcp_server_*` applies to the listening side multiplexing many client
+/// connections, which is far more expensive (connection demux, flow state,
+/// timers) and is what limits TCP scaling in Figure 8c.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StackProfile {
+    /// Cost of receiving one UDP datagram.
+    pub udp_rx: Duration,
+    /// Cost of sending one UDP datagram.
+    pub udp_tx: Duration,
+    /// Cost of receiving one message on a client-side TCP connection.
+    pub tcp_conn_rx: Duration,
+    /// Cost of sending one message on a client-side TCP connection.
+    pub tcp_conn_tx: Duration,
+    /// Latency-critical cost of receiving one message on a
+    /// listening-side TCP connection.
+    pub tcp_server_rx: Duration,
+    /// Latency-critical cost of sending one message on a listening-side
+    /// TCP connection.
+    pub tcp_server_tx: Duration,
+    /// Background per-message cost of the listening side (ack processing,
+    /// timers, flow-state maintenance): consumes core cycles — it is what
+    /// limits TCP scaling in Figure 8c — but runs off the critical path,
+    /// so a single message's latency only sees the `tcp_server_*` parts
+    /// (Figure 8a's +20-50 us TCP latency).
+    pub tcp_server_bg: Duration,
+    /// Copy cost per payload byte.
+    pub per_byte: Duration,
+}
+
+impl StackProfile {
+    /// The calibrated profile for a platform/stack combination.
+    ///
+    /// Constants are fitted so that the workloads of §6 reproduce the
+    /// paper's capacities: a single Xeon core running the full Lynx UDP
+    /// pipeline saturates at ≈250 K req/s (74 LeNet GPUs in Fig. 8c), the
+    /// 7 ARM cores of BlueField at ≈350 K req/s (102 GPUs), BlueField's
+    /// receive-only path at ≈0.5 M pkt/s (§6.2), and the TCP listening
+    /// paths at ≈24.5 K req/s (Xeon core) and ≈52.5 K req/s (BlueField).
+    pub fn of(platform: Platform, kind: StackKind) -> StackProfile {
+        let us = |v: f64| Duration::from_secs_f64(v * 1e-6);
+        match (platform, kind) {
+            (Platform::Xeon, StackKind::Vma) => StackProfile {
+                udp_rx: us(1.0),
+                udp_tx: us(0.8),
+                tcp_conn_rx: us(2.4),
+                tcp_conn_tx: us(2.0),
+                tcp_server_rx: us(6.0),
+                tcp_server_tx: us(4.8),
+                tcp_server_bg: us(20.0),
+                per_byte: Duration::from_nanos(0),
+            },
+            // "2x UDP latency reduction" from VMA on the host => kernel
+            // costs double.
+            (Platform::Xeon, StackKind::Kernel) => StackProfile {
+                udp_rx: us(2.0),
+                udp_tx: us(1.6),
+                tcp_conn_rx: us(4.8),
+                tcp_conn_tx: us(4.0),
+                tcp_server_rx: us(9.0),
+                tcp_server_tx: us(7.2),
+                tcp_server_bg: us(26.0),
+                per_byte: Duration::from_nanos(0),
+            },
+            (Platform::ArmA72, StackKind::Vma) => StackProfile {
+                udp_rx: us(3.0),
+                udp_tx: us(2.4),
+                // Established-connection TCP is ~8x its Xeon cost on the
+                // ARM cores — the "slower TCP stack processing on Bluefield
+                // when accessing memcached" of §6.4.
+                tcp_conn_rx: us(16.0),
+                tcp_conn_tx: us(13.0),
+                tcp_server_rx: us(25.0),
+                tcp_server_tx: us(15.0),
+                tcp_server_bg: us(84.5),
+                per_byte: Duration::from_nanos(1),
+            },
+            // "VMA reduces the processing latency by a factor of 4" on
+            // BlueField => kernel costs quadruple.
+            (Platform::ArmA72, StackKind::Kernel) => StackProfile {
+                udp_rx: us(12.0),
+                udp_tx: us(9.6),
+                tcp_conn_rx: us(28.0),
+                tcp_conn_tx: us(24.0),
+                tcp_server_rx: us(60.0),
+                tcp_server_tx: us(40.0),
+                tcp_server_bg: us(200.0),
+                per_byte: Duration::from_nanos(2),
+            },
+        }
+    }
+
+    fn rx_cost(&self, proto: Proto, role: Option<ConnRole>, bytes: usize) -> Duration {
+        let base = match (proto, role) {
+            (Proto::Udp, _) => self.udp_rx,
+            (Proto::Tcp, Some(ConnRole::Client)) => self.tcp_conn_rx,
+            (Proto::Tcp, _) => self.tcp_server_rx,
+        };
+        base + self.per_byte * bytes as u32
+    }
+
+    fn tx_cost(&self, proto: Proto, role: Option<ConnRole>, bytes: usize) -> Duration {
+        let base = match (proto, role) {
+            (Proto::Udp, _) => self.udp_tx,
+            (Proto::Tcp, Some(ConnRole::Client)) => self.tcp_conn_tx,
+            (Proto::Tcp, _) => self.tcp_server_tx,
+        };
+        base + self.per_byte * bytes as u32
+    }
+}
+
+type UdpHandler = Rc<RefCell<dyn FnMut(&mut Sim, Datagram)>>;
+type TcpHandler = Rc<RefCell<dyn FnMut(&mut Sim, ConnId, Vec<u8>)>>;
+type ConnectCb = Box<dyn FnOnce(&mut Sim, ConnId)>;
+
+struct Inner {
+    host: HostId,
+    profile: StackProfile,
+    cores: MultiServer,
+    contention: f64,
+    udp_handlers: HashMap<u16, UdpHandler>,
+    udp_default: Option<UdpHandler>,
+    tcp_listeners: HashMap<u16, TcpHandler>,
+    conns: HashMap<ConnId, TcpConn>,
+    conn_rx: HashMap<ConnId, TcpHandler>,
+    pending_connect: HashMap<ConnId, ConnectCb>,
+    next_conn: u64,
+    next_ephemeral: u16,
+    rx_msgs: u64,
+    tx_msgs: u64,
+}
+
+/// The protocol stack of one host: UDP sockets and TCP connections whose
+/// processing cost is charged to the host's network-processing cores.
+///
+/// Creating a `HostStack` installs it as the host's receive handler on the
+/// [`Network`]. Applications interact through `bind_udp` / `send_udp` and
+/// `listen_tcp` / `connect_tcp` / `send_tcp`; every message charges the
+/// platform's [`StackProfile`] cost on the stack's core pool before the
+/// application callback runs (receive) or the wire transfer starts (send).
+///
+/// # Example
+///
+/// ```
+/// use lynx_net::{HostStack, LinkSpec, Network, Platform, SockAddr, StackKind, StackProfile};
+/// use lynx_sim::{MultiServer, Sim};
+///
+/// let mut sim = Sim::new(0);
+/// let net = Network::new();
+/// let c = net.add_host("client", LinkSpec::gbps40());
+/// let s = net.add_host("server", LinkSpec::gbps40());
+/// let client = HostStack::new(&net, c, MultiServer::new(1, 1.0),
+///     StackProfile::of(Platform::Xeon, StackKind::Vma));
+/// let server = HostStack::new(&net, s, MultiServer::new(1, 1.0),
+///     StackProfile::of(Platform::Xeon, StackKind::Vma));
+/// server.bind_udp(7777, |_sim, dgram| assert_eq!(dgram.payload, b"ping"));
+/// client.send_udp(&mut sim, 5000, SockAddr::new(s, 7777), b"ping".to_vec());
+/// sim.run();
+/// ```
+#[derive(Clone)]
+pub struct HostStack {
+    net: Network,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for HostStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("HostStack")
+            .field("host", &inner.host)
+            .field("rx_msgs", &inner.rx_msgs)
+            .field("tx_msgs", &inner.tx_msgs)
+            .field("conns", &inner.conns.len())
+            .finish()
+    }
+}
+
+impl HostStack {
+    /// Creates the stack for `host`, processing messages on `cores`.
+    pub fn new(
+        net: &Network,
+        host: HostId,
+        cores: MultiServer,
+        profile: StackProfile,
+    ) -> HostStack {
+        let stack = HostStack {
+            net: net.clone(),
+            inner: Rc::new(RefCell::new(Inner {
+                host,
+                profile,
+                cores,
+                contention: 0.0,
+                udp_handlers: HashMap::new(),
+                udp_default: None,
+                tcp_listeners: HashMap::new(),
+                conns: HashMap::new(),
+                conn_rx: HashMap::new(),
+                pending_connect: HashMap::new(),
+                next_conn: 0,
+                next_ephemeral: 40_000,
+                rx_msgs: 0,
+                tx_msgs: 0,
+            })),
+        };
+        let s = stack.clone();
+        net.set_handler(host, move |sim, dgram| s.on_wire_rx(sim, dgram));
+        stack
+    }
+
+    /// This stack's host id.
+    pub fn host(&self) -> HostId {
+        self.inner.borrow().host
+    }
+
+    /// The core pool protocol processing is charged to. Server logic that
+    /// shares these cores (the Lynx dispatcher on the SmartNIC) should
+    /// charge its own work through [`HostStack::charge`].
+    pub fn cores(&self) -> MultiServer {
+        self.inner.borrow().cores.clone()
+    }
+
+    /// Sets the multi-core contention factor `alpha`: effective per-message
+    /// cost is scaled by `1 + alpha * (lanes - 1)`, modelling lock and
+    /// cache-line contention of a shared user-level stack.
+    pub fn set_contention(&self, alpha: f64) {
+        assert!(alpha >= 0.0 && alpha.is_finite(), "invalid contention");
+        self.inner.borrow_mut().contention = alpha;
+    }
+
+    /// `(received, sent)` message counts (post-stack, i.e. accepted ones).
+    pub fn counters(&self) -> (u64, u64) {
+        let inner = self.inner.borrow();
+        (inner.rx_msgs, inner.tx_msgs)
+    }
+
+    /// Charges `cost` of work to this stack's cores (with the contention
+    /// scaling applied), then runs `done`.
+    pub fn charge(&self, sim: &mut Sim, cost: Duration, done: impl FnOnce(&mut Sim) + 'static) {
+        let (cores, scaled) = {
+            let inner = self.inner.borrow();
+            (inner.cores.clone(), self.scale(&inner, cost))
+        };
+        cores.submit(sim, scaled, done);
+    }
+
+    fn scale(&self, inner: &Inner, cost: Duration) -> Duration {
+        let lanes = inner.cores.lanes();
+        cost.mul_f64(1.0 + inner.contention * (lanes as f64 - 1.0))
+    }
+
+    /// Binds a UDP port to an application receive callback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is already bound.
+    pub fn bind_udp(&self, port: u16, f: impl FnMut(&mut Sim, Datagram) + 'static) {
+        let prev = self
+            .inner
+            .borrow_mut()
+            .udp_handlers
+            .insert(port, Rc::new(RefCell::new(f)));
+        assert!(prev.is_none(), "UDP port {port} already bound");
+    }
+
+    /// Installs a catch-all receive callback for UDP datagrams arriving on
+    /// ports without a specific binding (load generators use one ephemeral
+    /// port per in-flight request to match responses to send times).
+    pub fn bind_udp_default(&self, f: impl FnMut(&mut Sim, Datagram) + 'static) {
+        self.inner.borrow_mut().udp_default = Some(Rc::new(RefCell::new(f)));
+    }
+
+    /// Sends a UDP datagram from `src_port`, charging the send-side cost.
+    pub fn send_udp(&self, sim: &mut Sim, src_port: u16, dst: SockAddr, payload: Vec<u8>) {
+        let (cost, src) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.tx_msgs += 1;
+            let cost = self.scale(&inner, inner.profile.tx_cost(Proto::Udp, None, payload.len()));
+            (cost, SockAddr::new(inner.host, src_port))
+        };
+        let net = self.net.clone();
+        let cores = self.inner.borrow().cores.clone();
+        cores.submit(sim, cost, move |sim| {
+            net.send(sim, Datagram::udp(src, dst, payload));
+        });
+    }
+
+    /// Starts listening for TCP connections on `port`; `on_msg` receives
+    /// every application message on every accepted connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port already has a listener.
+    pub fn listen_tcp(&self, port: u16, on_msg: impl FnMut(&mut Sim, ConnId, Vec<u8>) + 'static) {
+        let prev = self
+            .inner
+            .borrow_mut()
+            .tcp_listeners
+            .insert(port, Rc::new(RefCell::new(on_msg)));
+        assert!(prev.is_none(), "TCP port {port} already listening");
+    }
+
+    /// Opens a TCP connection to `dst`. `on_msg` receives inbound messages;
+    /// `on_connected` fires once the (1-RTT) handshake completes.
+    ///
+    /// Returns the connection id immediately; sends before `on_connected`
+    /// are rejected.
+    pub fn connect_tcp(
+        &self,
+        sim: &mut Sim,
+        dst: SockAddr,
+        on_msg: impl FnMut(&mut Sim, ConnId, Vec<u8>) + 'static,
+        on_connected: impl FnOnce(&mut Sim, ConnId) + 'static,
+    ) -> ConnId {
+        let (id, local_port, syn_cost, src_host) = {
+            let mut inner = self.inner.borrow_mut();
+            let id = ConnId {
+                initiator: inner.host,
+                seq: inner.next_conn,
+            };
+            inner.next_conn += 1;
+            let local_port = inner.next_ephemeral;
+            inner.next_ephemeral = inner.next_ephemeral.wrapping_add(1).max(40_000);
+            inner.conns.insert(
+                id,
+                TcpConn {
+                    id,
+                    peer: dst,
+                    local_port,
+                    role: ConnRole::Client,
+                    established: false,
+                },
+            );
+            inner.conn_rx.insert(id, Rc::new(RefCell::new(on_msg)));
+            inner
+                .pending_connect
+                .insert(id, Box::new(on_connected));
+            let cost = self.scale(&inner, inner.profile.tcp_conn_tx);
+            (id, local_port, cost, inner.host)
+        };
+        let net = self.net.clone();
+        let cores = self.inner.borrow().cores.clone();
+        cores.submit(sim, syn_cost, move |sim| {
+            net.send(
+                sim,
+                Datagram {
+                    src: SockAddr::new(src_host, local_port),
+                    dst,
+                    proto: Proto::Tcp,
+                    conn: Some(id),
+                    payload: Vec::new(),
+                },
+            );
+        });
+        id
+    }
+
+    /// Sends an application message on an established connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is unknown or not yet established, or if
+    /// `payload` is empty (zero-length messages are reserved for the
+    /// handshake).
+    pub fn send_tcp(&self, sim: &mut Sim, conn: ConnId, payload: Vec<u8>) {
+        assert!(!payload.is_empty(), "zero-length TCP messages are reserved");
+        let (cost, src, dst) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.tx_msgs += 1;
+            let c = inner
+                .conns
+                .get(&conn)
+                .unwrap_or_else(|| panic!("send on unknown connection {conn}"));
+            assert!(c.established, "send on unestablished connection {conn}");
+            let role = c.role;
+            let src = SockAddr::new(inner.host, c.local_port);
+            let dst = c.peer;
+            let cost = self.scale(
+                &inner,
+                inner.profile.tx_cost(Proto::Tcp, Some(role), payload.len()),
+            );
+            (cost, src, dst)
+        };
+        let net = self.net.clone();
+        let cores = self.inner.borrow().cores.clone();
+        net_send_after(sim, cores, cost, net, Datagram {
+            src,
+            dst,
+            proto: Proto::Tcp,
+            conn: Some(conn),
+            payload,
+        });
+    }
+
+    /// Information about a local connection endpoint, if known.
+    pub fn conn(&self, id: ConnId) -> Option<TcpConn> {
+        self.inner.borrow().conns.get(&id).cloned()
+    }
+
+    fn on_wire_rx(&self, sim: &mut Sim, dgram: Datagram) {
+        match dgram.proto {
+            Proto::Udp => self.on_udp(sim, dgram),
+            Proto::Tcp => self.on_tcp(sim, dgram),
+        }
+    }
+
+    fn on_udp(&self, sim: &mut Sim, dgram: Datagram) {
+        let (handler, cost) = {
+            let mut inner = self.inner.borrow_mut();
+            let handler = inner
+                .udp_handlers
+                .get(&dgram.dst.port)
+                .or(inner.udp_default.as_ref())
+                .cloned();
+            let Some(h) = handler else {
+                return; // closed port: drop
+            };
+            inner.rx_msgs += 1;
+            let cost = self.scale(
+                &inner,
+                inner.profile.rx_cost(Proto::Udp, None, dgram.payload.len()),
+            );
+            (h, cost)
+        };
+        let cores = self.inner.borrow().cores.clone();
+        cores.submit(sim, cost, move |sim| {
+            (handler.borrow_mut())(sim, dgram);
+        });
+    }
+
+    fn on_tcp(&self, sim: &mut Sim, dgram: Datagram) {
+        let conn_id = dgram.conn.expect("TCP datagram without connection id");
+        if dgram.payload.is_empty() {
+            self.on_tcp_handshake(sim, conn_id, dgram);
+        } else {
+            self.on_tcp_data(sim, conn_id, dgram);
+        }
+    }
+
+    fn on_tcp_handshake(&self, sim: &mut Sim, conn_id: ConnId, dgram: Datagram) {
+        // Either a SYN arriving at a listener, or a SYN-ACK at the client.
+        let mut inner = self.inner.borrow_mut();
+        if let Some(conn) = inner.conns.get_mut(&conn_id) {
+            // SYN-ACK: handshake complete on the client.
+            conn.established = true;
+            let cb = inner.pending_connect.remove(&conn_id);
+            drop(inner);
+            if let Some(cb) = cb {
+                cb(sim, conn_id);
+            }
+            return;
+        }
+        // SYN at the listening side.
+        let Some(handler) = inner.tcp_listeners.get(&dgram.dst.port).cloned() else {
+            return; // connection refused: drop
+        };
+        let local_port = dgram.dst.port;
+        inner.conns.insert(
+            conn_id,
+            TcpConn {
+                id: conn_id,
+                peer: dgram.src,
+                local_port,
+                role: ConnRole::Server,
+                established: true,
+            },
+        );
+        inner.conn_rx.insert(conn_id, handler);
+        let accept_cost = self.scale(&inner, inner.profile.tcp_server_rx);
+        let host = inner.host;
+        let cores = inner.cores.clone();
+        drop(inner);
+        let net = self.net.clone();
+        let reply_to = dgram.src;
+        cores.submit(sim, accept_cost, move |sim| {
+            net.send(
+                sim,
+                Datagram {
+                    src: SockAddr::new(host, local_port),
+                    dst: reply_to,
+                    proto: Proto::Tcp,
+                    conn: Some(conn_id),
+                    payload: Vec::new(),
+                },
+            );
+        });
+    }
+
+    fn on_tcp_data(&self, sim: &mut Sim, conn_id: ConnId, dgram: Datagram) {
+        let (handler, cost, bg) = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(conn) = inner.conns.get(&conn_id) else {
+                return; // unknown connection: drop
+            };
+            let role = conn.role;
+            let Some(h) = inner.conn_rx.get(&conn_id).cloned() else {
+                return;
+            };
+            inner.rx_msgs += 1;
+            let cost = self.scale(
+                &inner,
+                inner
+                    .profile
+                    .rx_cost(Proto::Tcp, Some(role), dgram.payload.len()),
+            );
+            let bg = match role {
+                ConnRole::Server => self.scale(&inner, inner.profile.tcp_server_bg),
+                ConnRole::Client => Duration::ZERO,
+            };
+            (h, cost, bg)
+        };
+        let cores = self.inner.borrow().cores.clone();
+        if !bg.is_zero() {
+            // Off-critical-path protocol work still occupies the cores.
+            cores.submit(sim, bg, |_| {});
+        }
+        cores.submit(sim, cost, move |sim| {
+            (handler.borrow_mut())(sim, conn_id, dgram.payload);
+        });
+    }
+}
+
+fn net_send_after(
+    sim: &mut Sim,
+    cores: MultiServer,
+    cost: Duration,
+    net: Network,
+    dgram: Datagram,
+) {
+    cores.submit(sim, cost, move |sim| {
+        net.send(sim, dgram);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkSpec;
+    use std::cell::Cell;
+
+    fn pair() -> (Sim, Network, HostStack, HostStack) {
+        let sim = Sim::new(0);
+        let net = Network::new();
+        let a = net.add_host("a", LinkSpec::gbps40());
+        let b = net.add_host("b", LinkSpec::gbps40());
+        let sa = HostStack::new(
+            &net,
+            a,
+            MultiServer::new(1, 1.0),
+            StackProfile::of(Platform::Xeon, StackKind::Vma),
+        );
+        let sb = HostStack::new(
+            &net,
+            b,
+            MultiServer::new(1, 1.0),
+            StackProfile::of(Platform::Xeon, StackKind::Vma),
+        );
+        (sim, net, sa, sb)
+    }
+
+    #[test]
+    fn udp_roundtrip_echo() {
+        let (mut sim, _net, client, server) = pair();
+        let (chost, shost) = (client.host(), server.host());
+        let server2 = server.clone();
+        server.bind_udp(7777, move |sim, d| {
+            let reply_to = d.src;
+            server2.send_udp(sim, 7777, reply_to, d.payload);
+        });
+        let got = Rc::new(Cell::new(false));
+        let g = Rc::clone(&got);
+        client.bind_udp(5000, move |_sim, d| {
+            assert_eq!(d.payload, b"ping");
+            assert_eq!(d.src, SockAddr::new(shost, 7777));
+            g.set(true);
+        });
+        client.send_udp(&mut sim, 5000, SockAddr::new(shost, 7777), b"ping".to_vec());
+        sim.run();
+        assert!(got.get());
+        let _ = chost;
+    }
+
+    #[test]
+    fn udp_unbound_port_drops() {
+        let (mut sim, _net, client, server) = pair();
+        client.send_udp(
+            &mut sim,
+            5000,
+            SockAddr::new(server.host(), 9999),
+            vec![1],
+        );
+        sim.run();
+        assert_eq!(server.counters().0, 0);
+    }
+
+    #[test]
+    fn tcp_connect_and_exchange() {
+        let (mut sim, _net, client, server) = pair();
+        let server2 = server.clone();
+        server.listen_tcp(80, move |sim, conn, msg| {
+            assert_eq!(msg, b"GET");
+            server2.send_tcp(sim, conn, b"RESP".to_vec());
+        });
+        let got = Rc::new(Cell::new(false));
+        let g = Rc::clone(&got);
+        let dst = SockAddr::new(server.host(), 80);
+        let client2 = client.clone();
+        client.connect_tcp(
+            &mut sim,
+            dst,
+            move |_sim, _conn, msg| {
+                assert_eq!(msg, b"RESP");
+                g.set(true);
+            },
+            move |sim, conn| {
+                client2.send_tcp(sim, conn, b"GET".to_vec());
+            },
+        );
+        sim.run();
+        assert!(got.get());
+    }
+
+    #[test]
+    fn tcp_costs_more_than_udp() {
+        // Measure completion time of one message each way.
+        let (mut sim, _net, client, server) = pair();
+        let t_udp = Rc::new(Cell::new(lynx_sim::Time::ZERO));
+        let t = Rc::clone(&t_udp);
+        server.bind_udp(7777, move |sim, _| t.set(sim.now()));
+        client.send_udp(&mut sim, 1, SockAddr::new(server.host(), 7777), vec![9]);
+        sim.run();
+        let udp_done = t_udp.get();
+
+        let (mut sim2, _net2, client2, server2) = pair();
+        let t_tcp = Rc::new(Cell::new(lynx_sim::Time::ZERO));
+        let t2 = Rc::clone(&t_tcp);
+        server2.listen_tcp(80, move |sim, _c, _m| t2.set(sim.now()));
+        let dst = SockAddr::new(server2.host(), 80);
+        let c2 = client2.clone();
+        client2.connect_tcp(
+            &mut sim2,
+            dst,
+            |_, _, _| {},
+            move |sim, conn| c2.send_tcp(sim, conn, vec![9]),
+        );
+        sim2.run();
+        assert!(t_tcp.get() > udp_done, "TCP handshake+server rx must cost more");
+    }
+
+    #[test]
+    #[should_panic(expected = "unestablished")]
+    fn send_before_established_panics() {
+        let (mut sim, _net, client, server) = pair();
+        server.listen_tcp(80, |_, _, _| {});
+        let conn = client.connect_tcp(
+            &mut sim,
+            SockAddr::new(server.host(), 80),
+            |_, _, _| {},
+            |_, _| {},
+        );
+        // Handshake has not run yet.
+        client.send_tcp(&mut sim, conn, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn double_bind_panics() {
+        let (_sim, _net, client, _server) = pair();
+        client.bind_udp(1, |_, _| {});
+        client.bind_udp(1, |_, _| {});
+    }
+
+    #[test]
+    fn contention_scales_cost() {
+        let mut sim = Sim::new(0);
+        let net = Network::new();
+        let h = net.add_host("h", LinkSpec::gbps40());
+        let stack = HostStack::new(
+            &net,
+            h,
+            MultiServer::new(6, 1.0),
+            StackProfile::of(Platform::Xeon, StackKind::Vma),
+        );
+        stack.set_contention(0.25);
+        let done = Rc::new(Cell::new(lynx_sim::Time::ZERO));
+        let d = Rc::clone(&done);
+        stack.charge(&mut sim, Duration::from_micros(4), move |sim| {
+            d.set(sim.now());
+        });
+        sim.run();
+        // 4us * (1 + 0.25*5) = 9us.
+        assert_eq!(done.get(), lynx_sim::Time::from_micros(9));
+    }
+
+    #[test]
+    fn arm_vma_costs_exceed_xeon_vma() {
+        let x = StackProfile::of(Platform::Xeon, StackKind::Vma);
+        let a = StackProfile::of(Platform::ArmA72, StackKind::Vma);
+        assert!(a.udp_rx > x.udp_rx);
+        assert!(a.tcp_server_rx > x.tcp_server_rx);
+    }
+
+    #[test]
+    fn kernel_stack_costs_exceed_vma() {
+        for p in [Platform::Xeon, Platform::ArmA72] {
+            let k = StackProfile::of(p, StackKind::Kernel);
+            let v = StackProfile::of(p, StackKind::Vma);
+            assert!(k.udp_rx >= v.udp_rx * 2, "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! TCP connection identity and state.
+
+use std::fmt;
+
+use crate::{HostId, SockAddr};
+
+/// Globally unique identifier of a TCP connection.
+///
+/// Assigned by the connection initiator; including the initiator's host id
+/// keeps ids unique across the whole network without coordination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConnId {
+    /// Host that initiated the connection.
+    pub initiator: HostId,
+    /// Initiator-local sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tcp:{}#{}", self.initiator, self.seq)
+    }
+}
+
+/// Which side of the connection a stack is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ConnRole {
+    /// Initiated via `connect`; charged at single-connection rates.
+    Client,
+    /// Accepted via `listen`; charged at server (many-connection) rates.
+    Server,
+}
+
+/// Local state of one TCP connection endpoint.
+#[derive(Clone, Debug)]
+pub struct TcpConn {
+    pub(crate) id: ConnId,
+    pub(crate) peer: SockAddr,
+    pub(crate) local_port: u16,
+    pub(crate) role: ConnRole,
+    pub(crate) established: bool,
+}
+
+impl TcpConn {
+    /// The connection id.
+    pub fn id(&self) -> ConnId {
+        self.id
+    }
+
+    /// Remote endpoint address.
+    pub fn peer(&self) -> SockAddr {
+        self.peer
+    }
+
+    /// Local port this endpoint is bound to.
+    pub fn local_port(&self) -> u16 {
+        self.local_port
+    }
+
+    /// Whether the handshake has completed.
+    pub fn is_established(&self) -> bool {
+        self.established
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conn_ids_distinguish_initiators() {
+        let a = ConnId {
+            initiator: HostId(1),
+            seq: 0,
+        };
+        let b = ConnId {
+            initiator: HostId(2),
+            seq: 0,
+        };
+        assert_ne!(a, b);
+        assert_eq!(a.to_string(), "tcp:host1#0");
+    }
+}

@@ -1,0 +1,192 @@
+//! Bounded FIFO queues for modelling hardware rings and NIC queues.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`Fifo::push`] when the queue is at capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FifoFullError {
+    capacity: usize,
+}
+
+impl FifoFullError {
+    /// The capacity of the queue that rejected the push.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl fmt::Display for FifoFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fifo is full (capacity {})", self.capacity)
+    }
+}
+
+impl Error for FifoFullError {}
+
+/// A bounded first-in-first-out queue.
+///
+/// Used throughout the hardware models for rings with hardware-fixed depth
+/// (NIC receive queues, mqueue rings, DMA descriptor rings). Unlike
+/// `VecDeque`, pushes beyond capacity fail instead of reallocating — exactly
+/// the behaviour of a hardware ring under overload, which is what produces
+/// drop/backpressure effects in the experiments.
+///
+/// # Example
+///
+/// ```
+/// use lynx_sim::Fifo;
+///
+/// let mut q = Fifo::new(2);
+/// q.push(1).unwrap();
+/// q.push(2).unwrap();
+/// assert!(q.push(3).is_err());
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    drops: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Fifo<T> {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        Fifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            drops: 0,
+        }
+    }
+
+    /// Appends an item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] (and counts a drop) when at capacity; the
+    /// item is returned to the caller untouched via the error path semantics
+    /// of the queue being unmodified.
+    pub fn push(&mut self, item: T) -> Result<(), FifoFullError> {
+        if self.items.len() >= self.capacity {
+            self.drops += 1;
+            return Err(FifoFullError {
+                capacity: self.capacity,
+            });
+        }
+        self.items.push_back(item);
+        Ok(())
+    }
+
+    /// Removes and returns the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// A reference to the oldest item without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns `true` when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Maximum number of items this queue can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of rejected pushes since creation.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Iterates over queued items, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+impl<T> Extend<T> for Fifo<T> {
+    /// Extends the queue, silently dropping items beyond capacity (drops are
+    /// counted).
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            let _ = self.push(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_ordering() {
+        let mut q = Fifo::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let out: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_counts_drops() {
+        let mut q = Fifo::new(1);
+        q.push('a').unwrap();
+        assert!(q.push('b').is_err());
+        assert!(q.push('c').is_err());
+        assert_eq!(q.drops(), 2);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn extend_drops_overflow_silently() {
+        let mut q = Fifo::new(3);
+        q.extend(0..10);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.drops(), 7);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = Fifo::new(2);
+        q.push(42).unwrap();
+        assert_eq!(q.peek(), Some(&42));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: Fifo<u8> = Fifo::new(0);
+    }
+
+    #[test]
+    fn error_reports_capacity() {
+        let mut q = Fifo::new(4);
+        q.extend(0..4);
+        let err = q.push(9).unwrap_err();
+        assert_eq!(err.capacity(), 4);
+        assert!(err.to_string().contains('4'));
+    }
+}

@@ -1,0 +1,284 @@
+//! HDR-style log-bucketed latency histogram.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Number of sub-bucket bits; 2^6 = 64 sub-buckets per power of two gives a
+/// worst-case relative quantization error of 1/64 ≈ 1.6 %.
+const SUB_BITS: u32 = 6;
+const SUBS: u64 = 1 << SUB_BITS;
+/// Buckets: 64 exact values below 64 ns, then 58 half-decades of 64
+/// sub-buckets covering the rest of the `u64` range.
+const NBUCKETS: usize = SUBS as usize + (64 - SUB_BITS as usize) * SUBS as usize;
+
+/// A log-bucketed histogram of durations, in the spirit of HdrHistogram.
+///
+/// Values are recorded in nanoseconds. Percentile queries return the
+/// representative (midpoint) value of the matching bucket, so relative error
+/// is bounded by 1/64. Exact `min`, `max`, `count` and `sum` are tracked on
+/// the side.
+///
+/// # Example
+///
+/// ```
+/// use lynx_sim::Histogram;
+/// use std::time::Duration;
+///
+/// let mut h = Histogram::new();
+/// for us in 1..=100u64 {
+///     h.record(Duration::from_micros(us));
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p50 = h.percentile(50.0).as_micros();
+/// assert!((45..=55).contains(&p50), "p50 = {p50}");
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("mean", &self.mean())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; NBUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    #[inline]
+    fn index(ns: u64) -> usize {
+        if ns < SUBS {
+            ns as usize
+        } else {
+            let exp = 63 - ns.leading_zeros(); // >= SUB_BITS
+            let sub = (ns >> (exp - SUB_BITS)) - SUBS;
+            SUBS as usize + (exp - SUB_BITS) as usize * SUBS as usize + sub as usize
+        }
+    }
+
+    /// The midpoint of the value range covered by bucket `idx`.
+    fn bucket_mid(idx: usize) -> u64 {
+        if idx < SUBS as usize {
+            idx as u64
+        } else {
+            let rel = idx - SUBS as usize;
+            let exp = (rel / SUBS as usize) as u32 + SUB_BITS;
+            let sub = (rel % SUBS as usize) as u64 + SUBS;
+            let lo = sub << (exp - SUB_BITS);
+            let width = 1u64 << (exp - SUB_BITS);
+            lo + width / 2
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        self.counts[Self::index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum recorded value ([`Duration::ZERO`] when empty).
+    pub fn min(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Exact maximum recorded value ([`Duration::ZERO`] when empty).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Exact arithmetic mean ([`Duration::ZERO`] when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((self.sum_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// The value at percentile `p` (0–100), quantized to the bucket midpoint
+    /// and clamped to the exact observed `[min, max]` range.
+    ///
+    /// Returns [`Duration::ZERO`] when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> Duration {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let mid = Self::bucket_mid(idx).clamp(self.min_ns, self.max_ns);
+                return Duration::from_nanos(mid);
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Clears all recorded observations.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.count = 0;
+        self.sum_ns = 0;
+        self.min_ns = u64::MAX;
+        self.max_ns = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_monotonic_and_in_range() {
+        let mut values: Vec<u64> = Vec::new();
+        for exp in 0..63 {
+            for off in [0u64, 1, 3] {
+                values.push((1u64 << exp).saturating_add(off));
+            }
+        }
+        values.sort_unstable();
+        let mut prev = 0usize;
+        for v in values {
+            let idx = Histogram::index(v);
+            assert!(idx < NBUCKETS, "v={v} idx={idx}");
+            assert!(idx >= prev, "index not monotonic at v={v}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn bucket_mid_within_error_bound() {
+        for v in [1u64, 63, 64, 100, 999, 12_345, 1_000_000, u32::MAX as u64] {
+            let mid = Histogram::bucket_mid(Histogram::index(v));
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 64.0 + 1e-9, "v={v} mid={mid} err={err}");
+        }
+    }
+
+    #[test]
+    fn exact_small_values() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_nanos(7));
+        assert_eq!(h.percentile(100.0), Duration::from_nanos(7));
+        assert_eq!(h.min(), Duration::from_nanos(7));
+        assert_eq!(h.max(), Duration::from_nanos(7));
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let mut h = Histogram::new();
+        for i in 0..10_000u64 {
+            h.record(Duration::from_nanos(i * 37 % 100_000));
+        }
+        let mut last = Duration::ZERO;
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let v = h.percentile(p);
+            assert!(v >= last, "p{p} {v:?} < {last:?}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for i in 0..1000u64 {
+            let d = Duration::from_nanos(i * i % 77_777);
+            if i % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+            c.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.mean(), c.mean());
+        assert_eq!(a.percentile(90.0), c.percentile(90.0));
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.min(), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        Histogram::new().percentile(101.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_micros(5));
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,53 @@
+//! # lynx-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the foundation of the Lynx (ASPLOS '20) reproduction. All
+//! hardware substrates — PCIe fabric, RDMA NICs, SmartNICs, GPUs — are
+//! modelled as discrete-event processes scheduled on a single [`Sim`]
+//! instance. The kernel is intentionally small:
+//!
+//! * [`Time`] — nanosecond-resolution simulated clock.
+//! * [`Sim`] — an event heap of boxed closures ordered by `(time, seq)`.
+//!   Event sequence numbers make execution **fully deterministic**: two runs
+//!   with the same seed replay the same event order bit-for-bit.
+//! * [`Server`] / [`MultiServer`] — FIFO work-conserving service resources
+//!   used to model CPU cores, DMA engines and pipeline stages.
+//! * [`Histogram`] — HDR-style log-bucketed latency histogram (≤1.6 %
+//!   relative quantization error) used for every latency figure.
+//! * [`stats`] — Welford accumulators and throughput meters.
+//!
+//! Model state lives in `Rc<RefCell<_>>` handles captured by event closures,
+//! so simulations are single-threaded by construction; none of the handle
+//! types are `Send`. This mirrors the determinism requirement: the paper's
+//! figures must regenerate identically on every run.
+//!
+//! # Example
+//!
+//! ```
+//! use lynx_sim::{Sim, Time};
+//! use std::time::Duration;
+//!
+//! let mut sim = Sim::new(42);
+//! sim.schedule_in(Duration::from_micros(5), |sim| {
+//!     assert_eq!(sim.now(), Time::from_micros(5));
+//! });
+//! sim.run();
+//! assert_eq!(sim.now(), Time::from_micros(5));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod fifo;
+mod histogram;
+mod server;
+mod sim;
+pub mod stats;
+mod time;
+
+pub mod rng;
+
+pub use fifo::{Fifo, FifoFullError};
+pub use histogram::Histogram;
+pub use server::{MultiServer, Server};
+pub use sim::Sim;
+pub use time::Time;

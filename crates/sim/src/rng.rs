@@ -1,0 +1,174 @@
+//! Deterministic random-variate helpers for workload generation.
+//!
+//! All distributions draw from the simulator's seeded [`rand::rngs::StdRng`],
+//! so workloads are reproducible across runs.
+
+use std::time::Duration;
+
+use rand::Rng;
+
+/// Samples an exponentially distributed duration with the given mean
+/// (inter-arrival times of a Poisson process).
+///
+/// # Panics
+///
+/// Panics if `mean` is zero.
+///
+/// # Example
+///
+/// ```
+/// use lynx_sim::{rng, Sim};
+/// use std::time::Duration;
+///
+/// let mut sim = Sim::new(1);
+/// let gap = rng::exponential(sim.rng(), Duration::from_micros(100));
+/// assert!(gap > Duration::ZERO);
+/// ```
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: Duration) -> Duration {
+    assert!(!mean.is_zero(), "exponential mean must be positive");
+    // Inverse-CDF sampling; clamp u away from 0 to avoid ln(0).
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    Duration::from_secs_f64(-mean.as_secs_f64() * u.ln())
+}
+
+/// Samples a uniformly distributed duration in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: Duration, hi: Duration) -> Duration {
+    assert!(lo < hi, "uniform requires lo < hi");
+    Duration::from_nanos(rng.gen_range(lo.as_nanos() as u64..hi.as_nanos() as u64))
+}
+
+/// Zipf-distributed rank sampler over `{0, .., n-1}` with skew `theta`
+/// (`theta = 0` is uniform). Used for skewed key popularity in the key-value
+/// store experiments.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` items with skew exponent `theta >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "zipf requires at least one item");
+        assert!(theta >= 0.0 && theta.is_finite(), "invalid zipf theta");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` for a (degenerate) one-item sampler — never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `0..n` (rank 0 is the most popular item).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Fills `buf` with deterministic pseudo-random bytes (payload generation).
+pub fn fill_bytes<R: Rng + ?Sized>(rng: &mut R, buf: &mut [u8]) {
+    rng.fill(buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mean = Duration::from_micros(50);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| exponential(&mut rng, mean).as_secs_f64())
+            .sum();
+        let emp = total / n as f64;
+        let expect = mean.as_secs_f64();
+        assert!((emp - expect).abs() / expect < 0.05, "emp={emp}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let lo = Duration::from_micros(10);
+        let hi = Duration::from_micros(20);
+        for _ in 0..1000 {
+            let d = uniform(&mut rng, lo, hi);
+            assert!(d >= lo && d < hi);
+        }
+    }
+
+    #[test]
+    fn zipf_uniform_theta_is_flat() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let z = Zipf::new(10, 0.0);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.25, "counts={counts:?}");
+    }
+
+    #[test]
+    fn zipf_skew_prefers_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let z = Zipf::new(100, 0.99);
+        let mut rank0 = 0u32;
+        let n = 10_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 0 {
+                rank0 += 1;
+            }
+        }
+        // Under theta=0.99 and n=100 the head item has ~19% probability.
+        assert!(rank0 > n / 10, "rank0={rank0}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            exponential(&mut rng, Duration::from_micros(100))
+        };
+        assert_eq!(draw(5), draw(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! FIFO work-conserving service resources.
+//!
+//! [`Server`] models a single serially-executing resource — a CPU core, a DMA
+//! engine, a NIC processing pipeline stage. Work submitted to a server
+//! completes in submission order after queueing behind everything already
+//! accepted, which is exactly the behaviour of a work-conserving FIFO queue
+//! with a deterministic service time. [`MultiServer`] models a pool of `k`
+//! identical lanes (a multi-core CPU, a multi-queue NIC) with
+//! join-shortest-completion dispatch.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use crate::{Sim, Time};
+
+#[derive(Debug)]
+struct Inner {
+    /// Service speed multiplier: wall time = work / speed.
+    speed: f64,
+    busy_until: Time,
+    busy_ns: u64,
+    jobs: u64,
+}
+
+/// A single FIFO service resource with a speed multiplier.
+///
+/// `Server` is a cheap `Rc` handle; clones refer to the same resource.
+///
+/// # Example
+///
+/// ```
+/// use lynx_sim::{Server, Sim, Time};
+/// use std::time::Duration;
+///
+/// let mut sim = Sim::new(0);
+/// let core = Server::new(1.0);
+/// // Two 10us jobs submitted back-to-back serialize on the core.
+/// core.submit(&mut sim, Duration::from_micros(10), |_| {});
+/// let done = core.submit(&mut sim, Duration::from_micros(10), |_| {});
+/// assert_eq!(done, Time::from_micros(20));
+/// sim.run();
+/// ```
+#[derive(Clone)]
+pub struct Server {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Server")
+            .field("speed", &inner.speed)
+            .field("busy_until", &inner.busy_until)
+            .field("jobs", &inner.jobs)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Creates a server with the given speed multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not strictly positive and finite.
+    pub fn new(speed: f64) -> Server {
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "server speed must be positive, got {speed}"
+        );
+        Server {
+            inner: Rc::new(RefCell::new(Inner {
+                speed,
+                busy_until: Time::ZERO,
+                busy_ns: 0,
+                jobs: 0,
+            })),
+        }
+    }
+
+    /// Submits `work` of nominal service time; `done` runs when it completes.
+    ///
+    /// Returns the completion instant. The actual wall time charged is
+    /// `work / speed`, queued behind any previously accepted work.
+    pub fn submit(
+        &self,
+        sim: &mut Sim,
+        work: Duration,
+        done: impl FnOnce(&mut Sim) + 'static,
+    ) -> Time {
+        let end = {
+            let mut inner = self.inner.borrow_mut();
+            let svc_ns = (work.as_nanos() as f64 / inner.speed).round() as u64;
+            let start = inner.busy_until.max(sim.now());
+            let end = start + Duration::from_nanos(svc_ns);
+            inner.busy_until = end;
+            inner.busy_ns += svc_ns;
+            inner.jobs += 1;
+            end
+        };
+        sim.schedule_at(end, done);
+        end
+    }
+
+    /// Charges `work` to this server without a completion callback.
+    ///
+    /// Useful for modelling background interference load.
+    pub fn charge(&self, sim: &mut Sim, work: Duration) -> Time {
+        self.submit(sim, work, |_| {})
+    }
+
+    /// The instant this server next becomes idle.
+    pub fn busy_until(&self) -> Time {
+        self.inner.borrow().busy_until
+    }
+
+    /// Delay a zero-size job submitted now would wait before starting.
+    pub fn backlog(&self, now: Time) -> Duration {
+        self.busy_until().saturating_since(now)
+    }
+
+    /// Total busy time accumulated so far.
+    pub fn busy_time(&self) -> Duration {
+        Duration::from_nanos(self.inner.borrow().busy_ns)
+    }
+
+    /// Number of jobs accepted so far.
+    pub fn jobs(&self) -> u64 {
+        self.inner.borrow().jobs
+    }
+
+    /// Fraction of `elapsed` this server spent busy.
+    pub fn utilization(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.busy_time().as_secs_f64() / elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// A pool of `k` identical FIFO lanes with join-shortest-completion dispatch.
+///
+/// Models a multi-core CPU where any core can pick up the next message.
+#[derive(Clone)]
+pub struct MultiServer {
+    lanes: Rc<RefCell<Vec<Time>>>,
+    speed: f64,
+    busy_ns: Rc<RefCell<u64>>,
+    jobs: Rc<RefCell<u64>>,
+}
+
+impl fmt::Debug for MultiServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiServer")
+            .field("lanes", &self.lanes.borrow().len())
+            .field("speed", &self.speed)
+            .field("jobs", &*self.jobs.borrow())
+            .finish()
+    }
+}
+
+impl MultiServer {
+    /// Creates a pool of `lanes` lanes, each with the given speed multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0` or `speed` is not strictly positive and finite.
+    pub fn new(lanes: usize, speed: f64) -> MultiServer {
+        assert!(lanes > 0, "MultiServer requires at least one lane");
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "server speed must be positive, got {speed}"
+        );
+        MultiServer {
+            lanes: Rc::new(RefCell::new(vec![Time::ZERO; lanes])),
+            speed,
+            busy_ns: Rc::new(RefCell::new(0)),
+            jobs: Rc::new(RefCell::new(0)),
+        }
+    }
+
+    /// Number of lanes in the pool.
+    pub fn lanes(&self) -> usize {
+        self.lanes.borrow().len()
+    }
+
+    /// Submits `work` to the lane that can start it earliest; `done` runs at
+    /// completion. Returns the completion instant.
+    pub fn submit(
+        &self,
+        sim: &mut Sim,
+        work: Duration,
+        done: impl FnOnce(&mut Sim) + 'static,
+    ) -> Time {
+        let end = {
+            let mut lanes = self.lanes.borrow_mut();
+            let (idx, _) = lanes
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| **t)
+                .expect("pool has at least one lane");
+            let svc_ns = (work.as_nanos() as f64 / self.speed).round() as u64;
+            let start = lanes[idx].max(sim.now());
+            let end = start + Duration::from_nanos(svc_ns);
+            lanes[idx] = end;
+            *self.busy_ns.borrow_mut() += svc_ns;
+            *self.jobs.borrow_mut() += 1;
+            end
+        };
+        sim.schedule_at(end, done);
+        end
+    }
+
+    /// Total busy time accumulated across all lanes.
+    pub fn busy_time(&self) -> Duration {
+        Duration::from_nanos(*self.busy_ns.borrow())
+    }
+
+    /// Number of jobs accepted so far.
+    pub fn jobs(&self) -> u64 {
+        *self.jobs.borrow()
+    }
+
+    /// Mean per-lane utilization over `elapsed`.
+    pub fn utilization(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.busy_time().as_secs_f64() / (elapsed.as_secs_f64() * self.lanes() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn jobs_serialize_in_fifo_order() {
+        let mut sim = Sim::new(0);
+        let s = Server::new(1.0);
+        let done1 = s.submit(&mut sim, Duration::from_micros(5), |_| {});
+        let done2 = s.submit(&mut sim, Duration::from_micros(5), |_| {});
+        assert_eq!(done1, Time::from_micros(5));
+        assert_eq!(done2, Time::from_micros(10));
+        sim.run();
+        assert_eq!(s.busy_time(), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn speed_scales_service_time() {
+        let mut sim = Sim::new(0);
+        let slow = Server::new(0.5);
+        let done = slow.submit(&mut sim, Duration::from_micros(10), |_| {});
+        assert_eq!(done, Time::from_micros(20));
+    }
+
+    #[test]
+    fn idle_gap_is_not_charged() {
+        let mut sim = Sim::new(0);
+        let s = Server::new(1.0);
+        s.submit(&mut sim, Duration::from_micros(1), |_| {});
+        sim.run();
+        // Clock is now at 1us; submit after an idle period.
+        sim.schedule_in(Duration::from_micros(9), |_| {});
+        sim.run();
+        let done = s.submit(&mut sim, Duration::from_micros(1), |_| {});
+        assert_eq!(done, Time::from_micros(11));
+        // Two 1us jobs: busy time excludes the 9us idle gap between them.
+        assert_eq!(s.busy_time(), Duration::from_micros(2));
+    }
+
+    #[test]
+    fn multiserver_runs_lanes_in_parallel() {
+        let mut sim = Sim::new(0);
+        let pool = MultiServer::new(4, 1.0);
+        let mut ends = Vec::new();
+        for _ in 0..8 {
+            ends.push(pool.submit(&mut sim, Duration::from_micros(10), |_| {}));
+        }
+        // 8 jobs over 4 lanes: four finish at 10us, four at 20us.
+        assert_eq!(ends.iter().filter(|t| **t == Time::from_micros(10)).count(), 4);
+        assert_eq!(ends.iter().filter(|t| **t == Time::from_micros(20)).count(), 4);
+    }
+
+    #[test]
+    fn utilization_accounts_busy_fraction() {
+        let mut sim = Sim::new(0);
+        let s = Server::new(1.0);
+        s.submit(&mut sim, Duration::from_micros(25), |_| {});
+        sim.run_until(Time::from_micros(100));
+        assert!((s.utilization(Duration::from_micros(100)) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_callback_fires_at_end() {
+        let mut sim = Sim::new(0);
+        let s = Server::new(2.0);
+        let fired = Rc::new(Cell::new(Time::ZERO));
+        let f = Rc::clone(&fired);
+        s.submit(&mut sim, Duration::from_micros(10), move |sim| {
+            f.set(sim.now());
+        });
+        sim.run();
+        assert_eq!(fired.get(), Time::from_micros(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lane_pool_rejected() {
+        let _ = MultiServer::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn nonpositive_speed_rejected() {
+        let _ = Server::new(0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! The discrete-event scheduler.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::Time;
+
+type EventFn = Box<dyn FnOnce(&mut Sim)>;
+
+struct Entry {
+    at: Time,
+    seq: u64,
+    f: EventFn,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    /// Reversed ordering so that `BinaryHeap` (a max-heap) pops the
+    /// earliest `(time, seq)` pair first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator.
+///
+/// Events are closures executed in `(time, insertion-sequence)` order, which
+/// makes runs with the same seed and same schedule calls bit-for-bit
+/// reproducible. Model components hold `Rc<RefCell<_>>` state and schedule
+/// follow-up events from inside their handlers.
+///
+/// # Example
+///
+/// ```
+/// use lynx_sim::Sim;
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+/// use std::time::Duration;
+///
+/// let mut sim = Sim::new(7);
+/// let hits = Rc::new(Cell::new(0));
+/// for i in 0..3u64 {
+///     let hits = Rc::clone(&hits);
+///     sim.schedule_in(Duration::from_micros(i), move |_| {
+///         hits.set(hits.get() + 1);
+///     });
+/// }
+/// sim.run();
+/// assert_eq!(hits.get(), 3);
+/// ```
+pub struct Sim {
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Entry>,
+    rng: StdRng,
+    seed: u64,
+    stopped: bool,
+    executed: u64,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("executed", &self.executed)
+            .field("seed", &self.seed)
+            .field("stopped", &self.stopped)
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates a simulator whose random stream is derived from `seed`.
+    pub fn new(seed: u64) -> Sim {
+        Sim {
+            now: Time::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            stopped: false,
+            executed: 0,
+        }
+    }
+
+    /// The current simulated instant.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The seed this simulator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Mutable access to the deterministic random stream.
+    #[inline]
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Number of events waiting in the heap.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Schedules `f` to run after `delay` of simulated time.
+    pub fn schedule_in(&mut self, delay: Duration, f: impl FnOnce(&mut Sim) + 'static) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedules `f` to run at the absolute instant `at`.
+    ///
+    /// Scheduling in the past is clamped to "now": the event runs before any
+    /// later event, preserving causality.
+    pub fn schedule_at(&mut self, at: Time, f: impl FnOnce(&mut Sim) + 'static) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Requests the current [`Sim::run`] loop to stop after the event in
+    /// progress returns. Pending events are retained.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Runs until the event heap drains or [`Sim::stop`] is called.
+    pub fn run(&mut self) {
+        self.run_until(Time::MAX);
+    }
+
+    /// Runs every event scheduled at or before `deadline`, then advances the
+    /// clock to `deadline` (unless the heap drained earlier or the run was
+    /// stopped, in which case the clock stays at the last event).
+    pub fn run_until(&mut self, deadline: Time) {
+        self.stopped = false;
+        while let Some(top) = self.heap.peek() {
+            if top.at > deadline {
+                break;
+            }
+            let entry = self.heap.pop().expect("peeked entry must pop");
+            debug_assert!(entry.at >= self.now, "event heap went back in time");
+            self.now = entry.at;
+            self.executed += 1;
+            (entry.f)(self);
+            if self.stopped {
+                return;
+            }
+        }
+        if deadline != Time::MAX {
+            self.now = self.now.max(deadline);
+        }
+    }
+
+    /// Runs for `window` of simulated time starting from the current instant.
+    pub fn run_for(&mut self, window: Duration) {
+        let deadline = self.now + window;
+        self.run_until(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (i, us) in [5u64, 1, 3].into_iter().enumerate() {
+            let order = Rc::clone(&order);
+            sim.schedule_in(Duration::from_micros(us), move |_| {
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![1, 2, 0]);
+        assert_eq!(sim.now(), Time::from_micros(5));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..16 {
+            let order = Rc::clone(&order);
+            sim.schedule_at(Time::from_micros(7), move |_| {
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling_works() {
+        let mut sim = Sim::new(1);
+        let hits = Rc::new(RefCell::new(0u32));
+        let hits2 = Rc::clone(&hits);
+        sim.schedule_in(Duration::from_micros(1), move |sim| {
+            let hits3 = Rc::clone(&hits2);
+            sim.schedule_in(Duration::from_micros(1), move |_| {
+                *hits3.borrow_mut() += 1;
+            });
+        });
+        sim.run();
+        assert_eq!(*hits.borrow(), 1);
+        assert_eq!(sim.now(), Time::from_micros(2));
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut sim = Sim::new(1);
+        sim.schedule_in(Duration::from_micros(1), |_| {});
+        sim.schedule_in(Duration::from_millis(10), |_| panic!("must not run"));
+        sim.run_until(Time::from_micros(100));
+        assert_eq!(sim.now(), Time::from_micros(100));
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut sim = Sim::new(1);
+        sim.schedule_in(Duration::from_micros(10), |sim| {
+            // Absolute time in the past: must still execute, at `now`.
+            sim.schedule_at(Time::from_micros(1), |sim| {
+                assert_eq!(sim.now(), Time::from_micros(10));
+            });
+        });
+        sim.run();
+        assert_eq!(sim.executed(), 2);
+    }
+
+    #[test]
+    fn stop_halts_processing() {
+        let mut sim = Sim::new(1);
+        sim.schedule_in(Duration::from_micros(1), |sim| sim.stop());
+        sim.schedule_in(Duration::from_micros(2), |_| panic!("must not run"));
+        sim.run();
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn deterministic_rng_across_runs() {
+        use rand::Rng;
+        let draw = |seed| {
+            let mut sim = Sim::new(seed);
+            let v: u64 = sim.rng().gen();
+            v
+        };
+        assert_eq!(draw(99), draw(99));
+        assert_ne!(draw(99), draw(100));
+    }
+}

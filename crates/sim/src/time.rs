@@ -1,0 +1,196 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant on the simulated clock, measured in nanoseconds since the
+/// start of the simulation.
+///
+/// `Time` is a plain `u64` newtype; it is `Copy`, totally ordered, and
+/// interoperates with [`std::time::Duration`] for arithmetic:
+///
+/// ```
+/// use lynx_sim::Time;
+/// use std::time::Duration;
+///
+/// let t = Time::ZERO + Duration::from_micros(3);
+/// assert_eq!(t.as_nanos(), 3_000);
+/// assert_eq!(t - Time::ZERO, Duration::from_micros(3));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time(u64);
+
+impl Time {
+    /// The start of the simulation.
+    pub const ZERO: Time = Time(0);
+
+    /// The largest representable instant; useful as an "idle forever" marker.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a `Time` from raw nanoseconds since simulation start.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Time {
+        Time(ns)
+    }
+
+    /// Creates a `Time` from microseconds since simulation start.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Time {
+        Time(us * 1_000)
+    }
+
+    /// Creates a `Time` from milliseconds since simulation start.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Time {
+        Time(ms * 1_000_000)
+    }
+
+    /// Creates a `Time` from seconds since simulation start.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Time {
+        Time(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since simulation start (fractional).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds since simulation start (fractional).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Elapsed duration since an earlier instant, saturating to zero if
+    /// `earlier` is in the future.
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+
+    #[inline]
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0.saturating_add(rhs.as_nanos() as u64))
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+
+    /// Elapsed duration between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`; use
+    /// [`Time::saturating_since`] when the ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: Time) -> Duration {
+        Duration::from_nanos(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Time subtraction underflow"),
+        )
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1_000_000.0)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1_000.0)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Time::from_micros(1), Time::from_nanos(1_000));
+        assert_eq!(Time::from_millis(1), Time::from_micros(1_000));
+        assert_eq!(Time::from_secs(1), Time::from_millis(1_000));
+    }
+
+    #[test]
+    fn add_duration() {
+        let t = Time::from_micros(10) + Duration::from_nanos(5);
+        assert_eq!(t.as_nanos(), 10_005);
+    }
+
+    #[test]
+    fn sub_yields_duration() {
+        let a = Time::from_micros(10);
+        let b = Time::from_micros(4);
+        assert_eq!(a - b, Duration::from_micros(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Time::from_micros(1) - Time::from_micros(2);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = Time::from_micros(1);
+        let b = Time::from_micros(2);
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_since(a), Duration::from_micros(1));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Time::from_nanos(12).to_string(), "12ns");
+        assert_eq!(Time::from_micros(12).to_string(), "12.000us");
+        assert_eq!(Time::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(Time::from_secs(2).to_string(), "2.000000s");
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Time::from_nanos(3);
+        let b = Time::from_nanos(7);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+}

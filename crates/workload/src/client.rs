@@ -1,0 +1,444 @@
+//! Load-generating clients.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx_net::{ConnId, HostStack, SockAddr};
+use lynx_sim::stats::Meter;
+use lynx_sim::{rng, Histogram, Sim, Time};
+
+/// Generates the payload of request number `seq`.
+pub type PayloadFn = Rc<dyn Fn(u64) -> Vec<u8>>;
+
+/// Optional validation of a response payload against its request number.
+pub type ValidateFn = Rc<dyn Fn(u64, &[u8]) -> bool>;
+
+/// Measurement snapshot of one client.
+#[derive(Clone, Debug)]
+pub struct ClientStats {
+    /// Requests sent inside the measurement window.
+    pub sent: u64,
+    /// Responses received inside the measurement window.
+    pub received: u64,
+    /// Responses failing the validation hook.
+    pub invalid: u64,
+    /// Latency histogram (measurement window only).
+    pub latency: Histogram,
+    /// Measured throughput in responses/s (`None` before the window
+    /// closes).
+    pub throughput: Option<f64>,
+}
+
+/// A client that can participate in a measured run.
+pub trait LoadClient {
+    /// Starts generating load.
+    fn start(&self, sim: &mut Sim);
+    /// Opens the measurement window.
+    fn begin_measure(&self, now: Time);
+    /// Closes the measurement window.
+    fn end_measure(&self, now: Time);
+    /// Snapshot of the measured statistics.
+    fn stats(&self) -> ClientStats;
+}
+
+struct Shared {
+    stack: HostStack,
+    dst: SockAddr,
+    payload: PayloadFn,
+    validate: Option<ValidateFn>,
+    next_seq: u64,
+    next_port: u16,
+    inflight: HashMap<u16, (u64, Time)>,
+    latency: Histogram,
+    sent_meter: Meter,
+    recv_meter: Meter,
+    invalid: u64,
+    measuring: bool,
+}
+
+const PORT_LO: u16 = 10_000;
+const PORT_HI: u16 = 39_999;
+
+impl Shared {
+    fn new(stack: HostStack, dst: SockAddr, payload: PayloadFn) -> Shared {
+        Shared {
+            stack,
+            dst,
+            payload,
+            validate: None,
+            next_seq: 0,
+            next_port: PORT_LO,
+            inflight: HashMap::new(),
+            latency: Histogram::new(),
+            sent_meter: Meter::new(),
+            recv_meter: Meter::new(),
+            invalid: 0,
+            measuring: false,
+        }
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        // One ephemeral port per in-flight request; wrap within the range.
+        for _ in 0..=(PORT_HI - PORT_LO) {
+            let p = self.next_port;
+            self.next_port = if p == PORT_HI { PORT_LO } else { p + 1 };
+            if !self.inflight.contains_key(&p) {
+                return p;
+            }
+        }
+        panic!("more than {} requests in flight", PORT_HI - PORT_LO);
+    }
+
+    fn send_one(&mut self, sim: &mut Sim) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let port = self.alloc_port();
+        self.inflight.insert(port, (seq, sim.now()));
+        self.sent_meter.record();
+        let payload = (self.payload)(seq);
+        let stack = self.stack.clone();
+        let dst = self.dst;
+        stack.send_udp(sim, port, dst, payload);
+    }
+
+    fn on_response(&mut self, sim: &mut Sim, port: u16, payload: &[u8]) -> bool {
+        let Some((seq, sent_at)) = self.inflight.remove(&port) else {
+            return false; // stale response after port reuse
+        };
+        if self.measuring {
+            self.latency.record(sim.now() - sent_at);
+        }
+        self.recv_meter.record();
+        if let Some(v) = &self.validate {
+            if !v(seq, payload) {
+                self.invalid += 1;
+            }
+        }
+        true
+    }
+
+    fn stats(&self) -> ClientStats {
+        ClientStats {
+            sent: self.sent_meter.count(),
+            received: self.recv_meter.count(),
+            invalid: self.invalid,
+            latency: self.latency.clone(),
+            throughput: self.recv_meter.throughput(),
+        }
+    }
+}
+
+/// Open-loop UDP load generator: requests arrive by a Poisson process (or
+/// at fixed spacing) at a configured rate, regardless of responses.
+#[derive(Clone)]
+pub struct OpenLoopClient {
+    shared: Rc<RefCell<Shared>>,
+    rate_per_sec: f64,
+    poisson: bool,
+}
+
+impl fmt::Debug for OpenLoopClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpenLoopClient")
+            .field("rate_per_sec", &self.rate_per_sec)
+            .field("poisson", &self.poisson)
+            .finish()
+    }
+}
+
+impl OpenLoopClient {
+    /// Creates a Poisson-arrival client sending `rate_per_sec` requests/s
+    /// from `stack` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive and finite.
+    pub fn new(stack: HostStack, dst: SockAddr, rate_per_sec: f64, payload: PayloadFn) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "rate must be positive"
+        );
+        let client = OpenLoopClient {
+            shared: Rc::new(RefCell::new(Shared::new(stack, dst, payload))),
+            rate_per_sec,
+            poisson: true,
+        };
+        client.install_rx();
+        client
+    }
+
+    /// Switches to deterministic (fixed-gap) arrivals.
+    pub fn uniform(mut self) -> Self {
+        self.poisson = false;
+        self
+    }
+
+    /// Sets a response validation hook.
+    pub fn validate(self, v: impl Fn(u64, &[u8]) -> bool + 'static) -> Self {
+        self.shared.borrow_mut().validate = Some(Rc::new(v));
+        self
+    }
+
+    fn install_rx(&self) {
+        let shared = Rc::clone(&self.shared);
+        let stack = self.shared.borrow().stack.clone();
+        stack.bind_udp_default(move |sim, dgram| {
+            shared
+                .borrow_mut()
+                .on_response(sim, dgram.dst.port, &dgram.payload);
+        });
+    }
+
+    fn tick(&self, sim: &mut Sim) {
+        self.shared.borrow_mut().send_one(sim);
+        let gap = if self.poisson {
+            rng::exponential(
+                sim.rng(),
+                Duration::from_secs_f64(1.0 / self.rate_per_sec),
+            )
+        } else {
+            Duration::from_secs_f64(1.0 / self.rate_per_sec)
+        };
+        let this = self.clone();
+        sim.schedule_in(gap, move |sim| this.tick(sim));
+    }
+}
+
+impl LoadClient for OpenLoopClient {
+    fn start(&self, sim: &mut Sim) {
+        let this = self.clone();
+        sim.schedule_in(Duration::ZERO, move |sim| this.tick(sim));
+    }
+
+    fn begin_measure(&self, now: Time) {
+        let mut s = self.shared.borrow_mut();
+        s.sent_meter.start(now);
+        s.recv_meter.start(now);
+        s.measuring = true;
+        s.latency.clear();
+    }
+
+    fn end_measure(&self, now: Time) {
+        let mut s = self.shared.borrow_mut();
+        s.sent_meter.stop(now);
+        s.recv_meter.stop(now);
+        s.measuring = false;
+    }
+
+    fn stats(&self) -> ClientStats {
+        self.shared.borrow().stats()
+    }
+}
+
+/// Closed-loop UDP load generator: `window` requests stay outstanding;
+/// each response immediately triggers the next request. Measures the
+/// server's saturation throughput.
+#[derive(Clone)]
+pub struct ClosedLoopClient {
+    shared: Rc<RefCell<Shared>>,
+    window: usize,
+}
+
+impl fmt::Debug for ClosedLoopClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClosedLoopClient")
+            .field("window", &self.window)
+            .finish()
+    }
+}
+
+impl ClosedLoopClient {
+    /// Creates a client keeping `window` requests in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(stack: HostStack, dst: SockAddr, window: usize, payload: PayloadFn) -> Self {
+        assert!(window > 0, "window must be positive");
+        let client = ClosedLoopClient {
+            shared: Rc::new(RefCell::new(Shared::new(stack, dst, payload))),
+            window,
+        };
+        let shared = Rc::clone(&client.shared);
+        let stack2 = client.shared.borrow().stack.clone();
+        stack2.bind_udp_default(move |sim, dgram| {
+            let matched = shared
+                .borrow_mut()
+                .on_response(sim, dgram.dst.port, &dgram.payload);
+            if matched {
+                shared.borrow_mut().send_one(sim);
+            }
+        });
+        client
+    }
+
+    /// Sets a response validation hook.
+    pub fn validate(self, v: impl Fn(u64, &[u8]) -> bool + 'static) -> Self {
+        self.shared.borrow_mut().validate = Some(Rc::new(v));
+        self
+    }
+}
+
+impl LoadClient for ClosedLoopClient {
+    fn start(&self, sim: &mut Sim) {
+        for _ in 0..self.window {
+            self.shared.borrow_mut().send_one(sim);
+        }
+    }
+
+    fn begin_measure(&self, now: Time) {
+        let mut s = self.shared.borrow_mut();
+        s.sent_meter.start(now);
+        s.recv_meter.start(now);
+        s.measuring = true;
+        s.latency.clear();
+    }
+
+    fn end_measure(&self, now: Time) {
+        let mut s = self.shared.borrow_mut();
+        s.sent_meter.stop(now);
+        s.recv_meter.stop(now);
+        s.measuring = false;
+    }
+
+    fn stats(&self) -> ClientStats {
+        self.shared.borrow().stats()
+    }
+}
+
+struct TcpSlot {
+    conn: Option<ConnId>,
+    seq: u64,
+    sent_at: Time,
+}
+
+struct TcpShared {
+    stack: HostStack,
+    payload: PayloadFn,
+    slots: Vec<TcpSlot>,
+    next_seq: u64,
+    latency: Histogram,
+    sent_meter: Meter,
+    recv_meter: Meter,
+    measuring: bool,
+}
+
+/// Closed-loop TCP client: one connection per window slot (responses on a
+/// connection match its outstanding request), next request sent upon each
+/// response.
+#[derive(Clone)]
+pub struct TcpClosedLoopClient {
+    shared: Rc<RefCell<TcpShared>>,
+    dst: SockAddr,
+    window: usize,
+}
+
+impl fmt::Debug for TcpClosedLoopClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpClosedLoopClient")
+            .field("window", &self.window)
+            .finish()
+    }
+}
+
+impl TcpClosedLoopClient {
+    /// Creates a client with `window` connections to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(stack: HostStack, dst: SockAddr, window: usize, payload: PayloadFn) -> Self {
+        assert!(window > 0, "window must be positive");
+        TcpClosedLoopClient {
+            shared: Rc::new(RefCell::new(TcpShared {
+                stack,
+                payload,
+                slots: Vec::new(),
+                next_seq: 0,
+                latency: Histogram::new(),
+                sent_meter: Meter::new(),
+                recv_meter: Meter::new(),
+                measuring: false,
+            })),
+            dst,
+            window,
+        }
+    }
+
+    fn send_on(shared: &Rc<RefCell<TcpShared>>, sim: &mut Sim, slot: usize) {
+        let (stack, conn, payload) = {
+            let mut s = shared.borrow_mut();
+            let seq = s.next_seq;
+            s.next_seq += 1;
+            let payload = (s.payload)(seq);
+            let sl = &mut s.slots[slot];
+            sl.seq = seq;
+            sl.sent_at = sim.now();
+            let conn = sl.conn.expect("slot connection established");
+            s.sent_meter.record();
+            (s.stack.clone(), conn, payload)
+        };
+        stack.send_tcp(sim, conn, payload);
+    }
+}
+
+impl LoadClient for TcpClosedLoopClient {
+    fn start(&self, sim: &mut Sim) {
+        let stack = self.shared.borrow().stack.clone();
+        for slot in 0..self.window {
+            self.shared.borrow_mut().slots.push(TcpSlot {
+                conn: None,
+                seq: 0,
+                sent_at: Time::ZERO,
+            });
+            let shared = Rc::clone(&self.shared);
+            let shared2 = Rc::clone(&self.shared);
+            let on_msg = move |sim: &mut Sim, _conn: ConnId, _payload: Vec<u8>| {
+                {
+                    let mut s = shared.borrow_mut();
+                    let sent_at = s.slots[slot].sent_at;
+                    if s.measuring {
+                        let d = sim.now() - sent_at;
+                        s.latency.record(d);
+                    }
+                    s.recv_meter.record();
+                }
+                TcpClosedLoopClient::send_on(&shared, sim, slot);
+            };
+            let on_connected = move |sim: &mut Sim, conn: ConnId| {
+                shared2.borrow_mut().slots[slot].conn = Some(conn);
+                TcpClosedLoopClient::send_on(&shared2, sim, slot);
+            };
+            stack.connect_tcp(sim, self.dst, on_msg, on_connected);
+        }
+    }
+
+    fn begin_measure(&self, now: Time) {
+        let mut s = self.shared.borrow_mut();
+        s.sent_meter.start(now);
+        s.recv_meter.start(now);
+        s.measuring = true;
+        s.latency.clear();
+    }
+
+    fn end_measure(&self, now: Time) {
+        let mut s = self.shared.borrow_mut();
+        s.sent_meter.stop(now);
+        s.recv_meter.stop(now);
+        s.measuring = false;
+    }
+
+    fn stats(&self) -> ClientStats {
+        let s = self.shared.borrow();
+        ClientStats {
+            sent: s.sent_meter.count(),
+            received: s.recv_meter.count(),
+            invalid: 0,
+            latency: s.latency.clone(),
+            throughput: s.recv_meter.throughput(),
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # lynx-workload — load generation and measurement
+//!
+//! The sockperf-equivalent of the paper's methodology (§6: "We use
+//! sockperf with VMA to evaluate the server performance ... We run each
+//! experiment 5 times, 20 seconds (millions of requests), with 2 seconds
+//! warmup"):
+//!
+//! * [`OpenLoopClient`] — Poisson (or uniform-rate) request arrivals at a
+//!   configured rate, independent of responses: measures latency under a
+//!   given offered load.
+//! * [`ClosedLoopClient`] — a fixed window of outstanding requests, each
+//!   response immediately triggering the next request: measures maximum
+//!   sustainable throughput.
+//! * [`run_measured`] — warmup/measure orchestration returning a
+//!   [`RunSummary`] with throughput and latency percentiles.
+//! * [`sweep`] — offered-load ladders producing
+//!   load–latency curves, saturation capacities and SLO operating points.
+//! * [`report`] — fixed-width tables and CSV output used by every bench
+//!   harness to print the paper's rows.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+pub mod report;
+mod runner;
+pub mod sweep;
+
+pub use client::{
+    ClientStats, ClosedLoopClient, LoadClient, OpenLoopClient, PayloadFn, TcpClosedLoopClient,
+    ValidateFn,
+};
+pub use runner::{run_measured, RunSpec, RunSummary};

@@ -1,0 +1,210 @@
+//! Fixed-width tables and CSV output for the bench harnesses.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple fixed-width text table.
+///
+/// # Example
+///
+/// ```
+/// use lynx_workload::report::Table;
+///
+/// let mut t = Table::new(&["design", "Kreq/s"]);
+/// t.row(&["Lynx on Bluefield", "3.50"]);
+/// t.row(&["host-centric", "2.80"]);
+/// let text = t.render();
+/// assert!(text.contains("Lynx on Bluefield"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a ratio like "4.4x".
+pub fn ratio(value: f64, baseline: f64) -> String {
+    if baseline == 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.2}x", value / baseline)
+    }
+}
+
+/// Formats a throughput in adaptive units (req/s, Kreq/s, Mreq/s).
+pub fn tput(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2} Mreq/s", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1} Kreq/s", v / 1e3)
+    } else {
+        format!("{v:.0} req/s")
+    }
+}
+
+/// Formats microseconds.
+pub fn us(v: f64) -> String {
+    format!("{v:.0} us")
+}
+
+/// Prints a section banner for a bench harness.
+pub fn banner(title: &str) {
+    let line = "=".repeat(title.len() + 8);
+    println!("\n{line}\n=== {title} ===\n{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["a", "longer"]);
+        t.row(&["xxxx", "1"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("a     "));
+        assert!(lines[2].starts_with("xxxx  "));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(&["x"]);
+        t.row(&["a,b"]);
+        t.row(&["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        Table::new(&["a", "b"]).row(&["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(44.0, 10.0), "4.40x");
+        assert_eq!(ratio(1.0, 0.0), "n/a");
+        assert_eq!(tput(3_500.0), "3.5 Kreq/s");
+        assert_eq!(tput(7_400_000.0), "7.40 Mreq/s");
+        assert_eq!(tput(900.0), "900 req/s");
+        assert_eq!(us(300.4), "300 us");
+    }
+
+    #[test]
+    fn csv_writes_to_disk() {
+        let mut t = Table::new(&["h"]);
+        t.row(&["v"]);
+        let path = std::env::temp_dir().join("lynx-report-test/out.csv");
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "h\nv\n");
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,123 @@
+//! Warmup/measure experiment orchestration.
+
+use std::fmt;
+use std::time::Duration;
+
+use lynx_sim::{Histogram, Sim};
+
+use crate::{ClientStats, LoadClient};
+
+/// Timing of a measured run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Simulated time before measurement starts (excluded from stats).
+    pub warmup: Duration,
+    /// Length of the measurement window.
+    pub measure: Duration,
+}
+
+impl Default for RunSpec {
+    /// A scaled-down version of the paper's "20 seconds with 2 seconds
+    /// warmup": long enough for tens of thousands of requests at the
+    /// evaluated rates, short enough to iterate quickly.
+    fn default() -> Self {
+        RunSpec {
+            warmup: Duration::from_millis(50),
+            measure: Duration::from_millis(400),
+        }
+    }
+}
+
+impl RunSpec {
+    /// A shorter spec for unit tests.
+    pub fn quick() -> RunSpec {
+        RunSpec {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Aggregated result of a measured run.
+#[derive(Clone)]
+pub struct RunSummary {
+    /// Total responses/s across all clients.
+    pub throughput: f64,
+    /// Total requests sent in the window.
+    pub sent: u64,
+    /// Total responses received in the window.
+    pub received: u64,
+    /// Responses failing validation.
+    pub invalid: u64,
+    /// Merged latency histogram.
+    pub latency: Histogram,
+}
+
+impl fmt::Debug for RunSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunSummary")
+            .field("throughput", &self.throughput)
+            .field("received", &self.received)
+            .field("p50", &self.latency.percentile(50.0))
+            .field("p99", &self.latency.percentile(99.0))
+            .finish()
+    }
+}
+
+impl RunSummary {
+    /// Latency percentile shortcut (µs).
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        self.latency.percentile(p).as_secs_f64() * 1e6
+    }
+
+    /// Mean latency in µs.
+    pub fn mean_us(&self) -> f64 {
+        self.latency.mean().as_secs_f64() * 1e6
+    }
+
+    /// Throughput in Kreq/s.
+    pub fn kreq_per_sec(&self) -> f64 {
+        self.throughput / 1e3
+    }
+}
+
+/// Runs `clients` against an already-assembled simulation: start all, run
+/// the warmup, open the measurement window, run it, close, aggregate.
+pub fn run_measured(sim: &mut Sim, clients: &[&dyn LoadClient], spec: RunSpec) -> RunSummary {
+    for c in clients {
+        c.start(sim);
+    }
+    sim.run_for(spec.warmup);
+    let t0 = sim.now();
+    for c in clients {
+        c.begin_measure(t0);
+    }
+    sim.run_for(spec.measure);
+    let t1 = sim.now();
+    for c in clients {
+        c.end_measure(t1);
+    }
+    let mut latency = Histogram::new();
+    let (mut sent, mut received, mut invalid, mut tput) = (0, 0, 0, 0.0);
+    for c in clients {
+        let ClientStats {
+            sent: s,
+            received: r,
+            invalid: i,
+            latency: l,
+            throughput,
+        } = c.stats();
+        sent += s;
+        received += r;
+        invalid += i;
+        latency.merge(&l);
+        tput += throughput.unwrap_or(0.0);
+    }
+    RunSummary {
+        throughput: tput,
+        sent,
+        received,
+        invalid,
+        latency,
+    }
+}

@@ -1,0 +1,190 @@
+//! Load–latency sweeps: offered-rate curves like the paper's Figure 9
+//! latency/throughput presentation.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::RunSummary;
+
+/// One point of a load–latency curve.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Offered load in requests per second.
+    pub offered: f64,
+    /// Achieved goodput in responses per second.
+    pub achieved: f64,
+    /// Median latency.
+    pub p50: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+}
+
+/// A measured load–latency curve.
+///
+/// Built by [`sweep`], which runs a fresh, independent simulation per
+/// offered rate (simulations are cheap and deterministic, so isolation
+/// beats warm-state reuse).
+#[derive(Clone, Default)]
+pub struct Sweep {
+    points: Vec<SweepPoint>,
+}
+
+impl fmt::Debug for Sweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sweep")
+            .field("points", &self.points.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+impl Sweep {
+    /// The measured points, in offered-rate order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// The highest achieved goodput across the curve (the saturation
+    /// capacity).
+    pub fn capacity(&self) -> f64 {
+        self.points.iter().map(|p| p.achieved).fold(0.0, f64::max)
+    }
+
+    /// The highest achieved goodput whose p99 stays at or below `slo` —
+    /// the "latency-optimized" operating point of Figure 9. `None` if no
+    /// point meets the target.
+    pub fn capacity_under_slo(&self, slo: Duration) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.p99 <= slo)
+            .map(|p| p.achieved)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// The offered rate at which p99 first exceeds `factor` times the
+    /// lowest-load p99 (the knee of the curve).
+    pub fn knee(&self, factor: f64) -> Option<f64> {
+        let base = self.points.first()?.p99;
+        self.points
+            .iter()
+            .find(|p| p.p99 > base.mul_f64(factor))
+            .map(|p| p.offered)
+    }
+}
+
+/// Runs `measure(offered_rate)` for every rate and assembles the curve.
+///
+/// The measurement closure builds its own simulation so each point is
+/// independent and reproducible.
+///
+/// # Example
+///
+/// ```
+/// use lynx_workload::sweep::{sweep, Sweep};
+/// use lynx_workload::RunSummary;
+/// use lynx_sim::Histogram;
+/// use std::time::Duration;
+///
+/// // A fake server that saturates at 10K/s with rising latency.
+/// let curve: Sweep = sweep(&[1e3, 5e3, 20e3], |rate| {
+///     let achieved = rate.min(10e3);
+///     let mut latency = Histogram::new();
+///     latency.record(Duration::from_micros(if rate > 10e3 { 900 } else { 90 }));
+///     RunSummary {
+///         throughput: achieved,
+///         sent: rate as u64,
+///         received: achieved as u64,
+///         invalid: 0,
+///         latency,
+///     }
+/// });
+/// assert_eq!(curve.capacity(), 10e3);
+/// assert!(curve.knee(3.0).is_some());
+/// ```
+pub fn sweep(rates: &[f64], mut measure: impl FnMut(f64) -> RunSummary) -> Sweep {
+    let mut points = Vec::with_capacity(rates.len());
+    for &offered in rates {
+        assert!(offered.is_finite() && offered > 0.0, "invalid sweep rate");
+        let summary = measure(offered);
+        points.push(SweepPoint {
+            offered,
+            achieved: summary.throughput,
+            p50: summary.latency.percentile(50.0),
+            p99: summary.latency.percentile(99.0),
+        });
+    }
+    Sweep { points }
+}
+
+/// Geometric rate ladder from `lo` to `hi` with `n` points (inclusive).
+///
+/// # Panics
+///
+/// Panics unless `0 < lo < hi` and `n >= 2`.
+pub fn geometric_rates(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && n >= 2, "invalid rate ladder");
+    let ratio = (hi / lo).powf(1.0 / (n - 1) as f64);
+    (0..n).map(|i| lo * ratio.powi(i as i32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lynx_sim::Histogram;
+
+    fn fake_summary(tput: f64, p99_us: u64) -> RunSummary {
+        let mut latency = Histogram::new();
+        for _ in 0..100 {
+            latency.record(Duration::from_micros(p99_us / 2));
+        }
+        latency.record(Duration::from_micros(p99_us));
+        RunSummary {
+            throughput: tput,
+            sent: tput as u64,
+            received: tput as u64,
+            invalid: 0,
+            latency,
+        }
+    }
+
+    #[test]
+    fn capacity_is_the_max_achieved() {
+        let curve = sweep(&[1e3, 1e4, 1e5], |r| fake_summary(r.min(5e4), 100));
+        assert_eq!(curve.capacity(), 5e4);
+        assert_eq!(curve.points().len(), 3);
+    }
+
+    #[test]
+    fn slo_capacity_excludes_slow_points() {
+        let curve = sweep(&[1e3, 1e4, 1e5], |r| {
+            fake_summary(r.min(5e4), if r > 2e4 { 1_000 } else { 50 })
+        });
+        let cap = curve.capacity_under_slo(Duration::from_micros(200)).unwrap();
+        assert_eq!(cap, 1e4);
+        assert_eq!(curve.capacity_under_slo(Duration::from_nanos(1)), None);
+    }
+
+    #[test]
+    fn knee_detects_latency_blowup() {
+        let curve = sweep(&[1e3, 2e3, 4e3, 8e3], |r| {
+            fake_summary(r, if r >= 4e3 { 2_000 } else { 100 })
+        });
+        assert_eq!(curve.knee(3.0), Some(4e3));
+        assert_eq!(curve.knee(100.0), None);
+    }
+
+    #[test]
+    fn geometric_ladder_spans_range() {
+        let rates = geometric_rates(1e3, 1e6, 4);
+        assert_eq!(rates.len(), 4);
+        assert!((rates[0] - 1e3).abs() < 1e-6);
+        assert!((rates[3] - 1e6).abs() / 1e6 < 1e-9);
+        assert!(rates.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate ladder")]
+    fn bad_ladder_rejected() {
+        let _ = geometric_rates(10.0, 5.0, 3);
+    }
+}

@@ -1,0 +1,182 @@
+//! Multi-tier face verification over Lynx (§6.4 of the paper).
+//!
+//! The GPU-side application receives `label ‖ image` requests, fetches
+//! the person's reference image from a memcached-style tier *from inside
+//! the persistent kernel* (a client mqueue bridged over TCP by the
+//! SmartNIC), runs a real Local-Binary-Patterns comparison, and replies
+//! with the verdict. The example sends a mix of genuine probes and
+//! impostor probes and verifies every verdict.
+//!
+//! ```bash
+//! cargo run --release --example face_verification
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx::apps::kv;
+use lynx::apps::lbp::{self, FaceDb};
+use lynx::core::testbed::{DeployConfig, Machine};
+use lynx::core::{AccelApp, MqueueConfig, WorkerCtx};
+use lynx::device::GpuSpec;
+use lynx::net::{HostStack, LinkSpec, Network, Platform, StackKind, StackProfile};
+use lynx::sim::{MultiServer, Sim};
+use lynx::workload::{run_measured, ClosedLoopClient, RunSpec};
+
+const PERSONS: u32 = 100;
+
+/// The accelerator-side application (same logic as the §6.4 benchmark).
+#[derive(Debug)]
+struct FaceVerify;
+
+impl AccelApp for FaceVerify {
+    fn on_request(&self, sim: &mut Sim, request: Vec<u8>, ctx: WorkerCtx) {
+        let Some((label, probe)) = lbp::decode_request(&request) else {
+            ctx.reply(sim, &[0xFF]);
+            return;
+        };
+        let get = kv::Request::Get { key: label.to_vec() }.encode();
+        let probe = probe.to_vec();
+        ctx.call_backend(sim, 0, &get, move |sim, ctx, resp| {
+            let verdict = match kv::Response::decode(&resp) {
+                Some(kv::Response::Value(reference)) => u8::from(lbp::verify(&probe, &reference)),
+                _ => 0xFE,
+            };
+            ctx.compute(sim, lbp::LBP_KERNEL_TIME, move |sim, ctx| {
+                ctx.reply(sim, &[verdict]);
+            });
+        });
+    }
+}
+
+fn main() {
+    let mut sim = Sim::new(3);
+    let net = Network::new();
+
+    // The database tier on its own machine, preloaded with every person.
+    let db_machine = Machine::new(&net, "db-0");
+    let db_stack = db_machine.host_stack(4, StackKind::Vma);
+    let store = Rc::new(RefCell::new(kv::KvStore::new(16 << 20)));
+    {
+        let faces = FaceDb::new();
+        let mut st = store.borrow_mut();
+        for i in 0..PERSONS {
+            let label = FaceDb::label(i);
+            st.set(label.to_vec(), faces.face(&label));
+        }
+    }
+    let st = Rc::clone(&store);
+    let db_stack2 = db_stack.clone();
+    db_stack.listen_tcp(11211, move |sim, conn, payload| {
+        let resp = kv::execute_wire(&mut st.borrow_mut(), &payload);
+        db_stack2.send_tcp(sim, conn, resp);
+    });
+    let db_addr = lynx::net::SockAddr::new(db_machine.host_id(), 11211);
+
+    // The face verification service: 28 mqueues, each worker with a
+    // client mqueue bridged to the database.
+    let server_machine = Machine::new(&net, "server-0");
+    let gpu = server_machine.add_gpu(GpuSpec::k40m());
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 28,
+        mq: MqueueConfig {
+            slots: 16,
+            slot_size: 2048,
+            ..MqueueConfig::default()
+        },
+        backend: Some(db_addr),
+        ..DeployConfig::default()
+    };
+    let d = cfg.deploy(
+        &mut sim,
+        &net,
+        &server_machine,
+        &[server_machine.gpu_site(&gpu)],
+        Rc::new(FaceVerify),
+    );
+
+    // Clients: even requests are genuine (same person), odd requests are
+    // impostors (probe of person p, label of person p+1).
+    let client_host = net.add_host("client-0", LinkSpec::gbps40());
+    let client_stack = HostStack::new(
+        &net,
+        client_host,
+        MultiServer::new(2, 1.0),
+        StackProfile::of(Platform::Xeon, StackKind::Vma),
+    );
+    let faces = FaceDb::new();
+    // (genuine accepted, genuine total, impostors rejected, impostor total)
+    let tally = Rc::new(RefCell::new((0u64, 0u64, 0u64, 0u64)));
+    let m2 = Rc::clone(&tally);
+    let client = ClosedLoopClient::new(
+        client_stack,
+        d.server_addr,
+        16,
+        Rc::new(move |seq| {
+            let person = (seq / 2 % PERSONS as u64) as u32;
+            if seq % 2 == 0 {
+                let label = FaceDb::label(person);
+                lbp::encode_request(&label, &faces.probe(&label, seq))
+            } else {
+                let label = FaceDb::label(person);
+                let impostor = FaceDb::label((person + 1) % PERSONS);
+                lbp::encode_request(&label, &faces.face(&impostor))
+            }
+        }),
+    )
+    .validate(move |seq, payload| {
+        // Protocol-level validity: exactly one byte, a 0/1 verdict.
+        let Some(&verdict) = payload.first().filter(|_| payload.len() == 1) else {
+            return false;
+        };
+        if verdict > 1 {
+            return false;
+        }
+        let mut m = m2.borrow_mut();
+        if seq % 2 == 0 {
+            m.0 += u64::from(verdict == 1);
+            m.1 += 1;
+        } else {
+            m.2 += u64::from(verdict == 0);
+            m.3 += 1;
+        }
+        true
+    });
+
+    let spec = RunSpec {
+        warmup: Duration::from_millis(100),
+        measure: Duration::from_millis(500),
+    };
+    let summary = run_measured(&mut sim, &[&client], spec);
+    assert_eq!(summary.invalid, 0, "every response is a well-formed verdict");
+
+    let (accepted, genuine, rejected, impostors) = *tally.borrow();
+    println!("face verification service over Lynx ({} mqueues)", 28);
+    println!(
+        "  throughput {:.1} Kreq/s | p50 {:.0} us | p99 {:.0} us",
+        summary.kreq_per_sec(),
+        summary.percentile_us(50.0),
+        summary.percentile_us(99.0),
+    );
+    println!(
+        "  genuine probes accepted : {accepted}/{genuine} ({:.1}%)",
+        100.0 * accepted as f64 / genuine as f64
+    );
+    println!(
+        "  impostors rejected      : {rejected}/{impostors} ({:.1}%)",
+        100.0 * rejected as f64 / impostors as f64
+    );
+    println!(
+        "  database calls bridged  : {}",
+        d.server.stats().backend_calls
+    );
+    // The classifier is a real LBP matcher over synthetic faces: genuine
+    // probes (mild sensor noise) always verify; a rare impostor texture
+    // pair may fall under the chi-square threshold.
+    assert_eq!(accepted, genuine, "genuine probes must all verify");
+    assert!(
+        rejected as f64 >= impostors as f64 * 0.95,
+        "at least 95% of impostors rejected"
+    );
+}

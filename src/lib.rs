@@ -1,0 +1,41 @@
+//! # Lynx — a SmartNIC-driven accelerator-centric network server
+//!
+//! A full-system reproduction of *"Lynx: A SmartNIC-driven
+//! Accelerator-centric Architecture for Network Servers"* (Tork, Maudlej,
+//! Silberstein — ASPLOS 2020) in Rust.
+//!
+//! This façade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `lynx-sim` | deterministic discrete-event simulation kernel |
+//! | [`fabric`] | `lynx-fabric` | PCIe fabric, DMA, one-sided RDMA |
+//! | [`net`] | `lynx-net` | links, switch, UDP/TCP stack cost models |
+//! | [`device`] | `lynx-device` | GPU, CPUs, LLC interference, FPGA NIC, VCA |
+//! | [`core`] | `lynx-core` | **the paper's contribution**: mqueues, dispatcher, forwarder, remote MQ manager, network server, accelerator shim, host-centric baseline, testbed |
+//! | [`apps`] | `lynx-apps` | LeNet-5 inference, LBP face verification, KV store, AES |
+//! | [`workload`] | `lynx-workload` | load generators, latency recording, reports |
+//!
+//! ## Example
+//!
+//! Run the quickstart echo server:
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+//!
+//! and regenerate every figure of the paper:
+//!
+//! ```bash
+//! cargo bench --workspace
+//! ```
+
+#![warn(missing_docs)]
+
+pub use lynx_apps as apps;
+pub use lynx_core as core;
+pub use lynx_device as device;
+pub use lynx_fabric as fabric;
+pub use lynx_net as net;
+pub use lynx_sim as sim;
+pub use lynx_workload as workload;

@@ -1,0 +1,65 @@
+//! The whole simulation is deterministic: identical seeds and identical
+//! construction produce bit-identical results, which is what lets every
+//! figure of the paper regenerate exactly.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx::core::testbed::{deploy_processor, DeployConfig, Machine};
+use lynx::device::{DelayProcessor, GpuSpec};
+use lynx::net::{HostStack, LinkSpec, Network, Platform, StackKind, StackProfile};
+use lynx::sim::{MultiServer, Sim};
+use lynx::workload::{run_measured, OpenLoopClient, RunSpec, RunSummary};
+
+fn run_once(seed: u64) -> RunSummary {
+    let mut sim = Sim::new(seed);
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 4,
+        ..DeployConfig::default()
+    };
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(DelayProcessor::new(Duration::from_micros(80))),
+    );
+    let host = net.add_host("client", LinkSpec::gbps40());
+    let stack = HostStack::new(
+        &net,
+        host,
+        MultiServer::new(2, 1.0),
+        StackProfile::of(Platform::Xeon, StackKind::Vma),
+    );
+    // Poisson arrivals exercise the random stream.
+    let client = OpenLoopClient::new(stack, d.server_addr, 20_000.0, Rc::new(|s| vec![s as u8; 64]));
+    run_measured(&mut sim, &[&client], RunSpec::quick())
+}
+
+#[test]
+fn identical_seeds_reproduce_bit_identical_results() {
+    let a = run_once(12345);
+    let b = run_once(12345);
+    assert_eq!(a.sent, b.sent);
+    assert_eq!(a.received, b.received);
+    assert_eq!(a.throughput, b.throughput);
+    for p in [1.0, 50.0, 99.0, 99.9] {
+        assert_eq!(a.latency.percentile(p), b.latency.percentile(p));
+    }
+    assert_eq!(a.latency.mean(), b.latency.mean());
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = run_once(1);
+    let b = run_once(2);
+    // Poisson arrival times differ, so the sampled latencies differ.
+    assert!(
+        a.latency.mean() != b.latency.mean() || a.sent != b.sent,
+        "different seeds should explore different arrival sequences"
+    );
+}

@@ -1,0 +1,83 @@
+//! Cross-crate integration tests: full client → SmartNIC → accelerator →
+//! client request paths through the assembled testbed.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx::core::testbed::{deploy_processor, DeployConfig, Machine};
+use lynx::device::{DelayProcessor, EchoProcessor, GpuSpec};
+use lynx::net::{HostStack, Network};
+use lynx::sim::Sim;
+use lynx::workload::{run_measured, ClosedLoopClient, OpenLoopClient, RunSpec};
+
+
+fn client_stack(net: &Network) -> HostStack {
+    use lynx::net::{LinkSpec, Platform, StackKind, StackProfile};
+    use lynx::sim::MultiServer;
+    let host = net.add_host("client", LinkSpec::gbps40());
+    HostStack::new(
+        net,
+        host,
+        MultiServer::new(2, 1.0),
+        StackProfile::of(Platform::Xeon, StackKind::Vma),
+    )
+}
+
+#[test]
+fn echo_roundtrip_preserves_payload() {
+    let mut sim = Sim::new(42);
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let deployment = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &DeployConfig::default(),
+        Rc::new(EchoProcessor),
+    );
+    let client = ClosedLoopClient::new(
+        client_stack(&net),
+        deployment.server_addr,
+        4,
+        Rc::new(|seq| format!("request-{seq:08}").into_bytes()),
+    )
+    .validate(|seq, payload| payload == format!("request-{seq:08}").as_bytes());
+    let summary = run_measured(&mut sim, &[&client], RunSpec::quick());
+    assert!(summary.received > 100, "received {}", summary.received);
+    assert_eq!(summary.invalid, 0, "echo payloads must match");
+    assert_eq!(deployment.server.stats().dropped, 0);
+}
+
+#[test]
+fn open_loop_latency_is_sane() {
+    let mut sim = Sim::new(7);
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 4,
+        ..DeployConfig::default()
+    };
+    let deployment = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(DelayProcessor::new(Duration::from_micros(100))),
+    );
+    let client = OpenLoopClient::new(
+        client_stack(&net),
+        deployment.server_addr,
+        2_000.0,
+        Rc::new(|_| vec![0xAB; 64]),
+    );
+    let summary = run_measured(&mut sim, &[&client], RunSpec::quick());
+    assert!(summary.received > 50);
+    let p50 = summary.percentile_us(50.0);
+    // 100us of GPU work + SNIC processing + wire: must be > 100us and
+    // well under a millisecond at this low load.
+    assert!((100.0..600.0).contains(&p50), "p50 = {p50}us");
+}

@@ -1,0 +1,163 @@
+//! Overload behaviour and accounting invariants of the Lynx server.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx::core::testbed::{deploy_processor, DeployConfig, Machine};
+use lynx::core::MqueueConfig;
+use lynx::device::{DelayProcessor, GpuSpec};
+use lynx::net::{HostStack, LinkSpec, Network, Platform, StackKind, StackProfile};
+use lynx::sim::{MultiServer, Sim};
+use lynx::workload::{run_measured, OpenLoopClient, RunSpec};
+
+fn client_stack(net: &Network) -> HostStack {
+    let host = net.add_host("client", LinkSpec::gbps40());
+    HostStack::new(
+        net,
+        host,
+        MultiServer::new(3, 1.0),
+        StackProfile::of(Platform::Xeon, StackKind::Vma),
+    )
+}
+
+/// Offered load far above a single 100 µs worker's 10 Kreq/s capacity:
+/// excess requests are dropped at the full mqueue (UDP semantics), the
+/// goodput stays at the service capacity, and the books balance.
+#[test]
+fn overload_drops_but_goodput_holds() {
+    let mut sim = Sim::new(5);
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 1,
+        mq: MqueueConfig {
+            slots: 8,
+            slot_size: 256,
+            ..MqueueConfig::default()
+        },
+        ..DeployConfig::default()
+    };
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(DelayProcessor::new(Duration::from_micros(100))),
+    );
+    let client = OpenLoopClient::new(
+        client_stack(&net),
+        d.server_addr,
+        50_000.0, // 5x the worker's capacity
+        Rc::new(|_| vec![0; 64]),
+    );
+    let spec = RunSpec {
+        warmup: Duration::from_millis(50),
+        measure: Duration::from_millis(300),
+    };
+    let summary = run_measured(&mut sim, &[&client], spec);
+
+    // Goodput pinned at the worker's service rate (~10K/s), not the
+    // offered 50K/s.
+    assert!(
+        (8_000.0..11_500.0).contains(&summary.throughput),
+        "goodput {} should sit at the 100us worker's capacity",
+        summary.throughput
+    );
+    let stats = d.server.stats();
+    assert!(stats.dropped > 0, "overload must drop");
+    // Requests still sitting in the dispatcher pipeline when the clock
+    // stops are neither dispatched nor dropped yet.
+    let settled = stats.dispatched + stats.dropped;
+    assert!(
+        stats.requests >= settled && stats.requests - settled < 200,
+        "every request is eventually dispatched or dropped ({} vs {})",
+        stats.requests,
+        settled
+    );
+    assert!(
+        stats.responses <= stats.dispatched,
+        "responses cannot exceed dispatched requests"
+    );
+}
+
+/// Below capacity nothing is dropped and every request is answered.
+#[test]
+fn below_capacity_no_losses() {
+    let mut sim = Sim::new(5);
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 4,
+        ..DeployConfig::default()
+    };
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(DelayProcessor::new(Duration::from_micros(100))),
+    );
+    let client = OpenLoopClient::new(
+        client_stack(&net),
+        d.server_addr,
+        10_000.0, // 25% of the 4-worker capacity
+        Rc::new(|_| vec![0; 64]),
+    );
+    let spec = RunSpec {
+        warmup: Duration::from_millis(50),
+        measure: Duration::from_millis(300),
+    };
+    let summary = run_measured(&mut sim, &[&client], spec);
+    assert_eq!(d.server.stats().dropped, 0);
+    assert_eq!(d.server.mqueue_drops(), 0);
+    // Allow the pipeline residue: all but the last few in-flight requests
+    // are answered within the window.
+    assert!(
+        summary.received + 8 >= summary.sent,
+        "sent {} received {}",
+        summary.sent,
+        summary.received
+    );
+}
+
+/// Requests to a port nobody listens on vanish (UDP), without wedging the
+/// server for later valid traffic.
+#[test]
+fn unbound_port_traffic_is_ignored() {
+    let mut sim = Sim::new(5);
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &DeployConfig::default(),
+        Rc::new(DelayProcessor::new(Duration::from_micros(10))),
+    );
+    // Blast the wrong port first.
+    let wrong = lynx::net::SockAddr::new(d.server_addr.host, d.server_addr.port + 1);
+    let noise = OpenLoopClient::new(client_stack(&net), wrong, 5_000.0, Rc::new(|_| vec![9; 16]));
+    noise.start(&mut sim);
+    sim.run_for(Duration::from_millis(20));
+    assert_eq!(d.server.stats().requests, 0);
+
+    // Valid traffic still flows.
+    let host = net.add_host("client2", LinkSpec::gbps40());
+    let stack = HostStack::new(
+        &net,
+        host,
+        MultiServer::new(2, 1.0),
+        StackProfile::of(Platform::Xeon, StackKind::Vma),
+    );
+    let good = OpenLoopClient::new(stack, d.server_addr, 5_000.0, Rc::new(|_| vec![7; 16]));
+    let summary = run_measured(&mut sim, &[&good], RunSpec::quick());
+    assert!(summary.received > 100);
+}
+
+use lynx::workload::LoadClient;

@@ -1,0 +1,145 @@
+//! End-to-end behaviour of dispatch policies and mqueue delivery modes.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx::core::testbed::{deploy_processor, DeployConfig, Machine};
+use lynx::core::{DispatchPolicy, MqueueConfig};
+use lynx::device::{DelayProcessor, EchoProcessor, GpuSpec};
+use lynx::net::{HostStack, LinkSpec, Network, Platform, StackKind, StackProfile};
+use lynx::sim::{MultiServer, Sim};
+use lynx::workload::{run_measured, ClosedLoopClient, LoadClient, RunSpec, RunSummary};
+
+fn client(net: &Network, name: &str, addr: lynx::net::SockAddr, window: usize) -> ClosedLoopClient {
+    let host = net.add_host(name, LinkSpec::gbps40());
+    let stack = HostStack::new(
+        net,
+        host,
+        MultiServer::new(2, 1.0),
+        StackProfile::of(Platform::Xeon, StackKind::Vma),
+    );
+    ClosedLoopClient::new(stack, addr, window, Rc::new(|s| vec![s as u8; 32]))
+}
+
+fn run_policy(policy: DispatchPolicy, clients: usize) -> (RunSummary, Vec<u64>) {
+    let mut sim = Sim::new(17);
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 4,
+        policy,
+        ..DeployConfig::default()
+    };
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(DelayProcessor::new(Duration::from_micros(30))),
+    );
+    let cs: Vec<ClosedLoopClient> = (0..clients)
+        .map(|i| client(&net, &format!("client-{i}"), d.server_addr, 2))
+        .collect();
+    let refs: Vec<&dyn LoadClient> = cs.iter().map(|c| c as &dyn LoadClient).collect();
+    let summary = run_measured(&mut sim, &refs, RunSpec::quick());
+    let per_worker = d.workers.iter().map(|w| w.completed()).collect();
+    (summary, per_worker)
+}
+
+/// Round-robin spreads multiple clients across all workers.
+#[test]
+fn round_robin_balances_across_workers() {
+    let (summary, per_worker) = run_policy(DispatchPolicy::RoundRobin, 4);
+    assert!(summary.received > 500);
+    let max = *per_worker.iter().max().unwrap() as f64;
+    let min = *per_worker.iter().min().unwrap() as f64;
+    assert!(min > 0.0 && max / min < 1.3, "balanced: {per_worker:?}");
+}
+
+/// Steering pins each client to one worker: with a single client exactly
+/// one worker serves everything.
+#[test]
+fn steering_pins_a_client_to_one_worker() {
+    let (summary, per_worker) = run_policy(DispatchPolicy::Steering, 1);
+    assert!(summary.received > 200);
+    let active = per_worker.iter().filter(|&&c| c > 0).count();
+    assert_eq!(active, 1, "one client -> one queue: {per_worker:?}");
+}
+
+/// Least-loaded also keeps every worker busy under symmetric load.
+#[test]
+fn least_loaded_uses_all_workers() {
+    let (summary, per_worker) = run_policy(DispatchPolicy::LeastLoaded, 4);
+    assert!(summary.received > 500);
+    assert!(per_worker.iter().all(|&c| c > 0), "{per_worker:?}");
+}
+
+/// The write-barrier delivery mode (§5.1 GPU-consistency workaround) works
+/// end to end through a deployment and costs measurable latency.
+#[test]
+fn write_barrier_mode_roundtrips_and_costs_latency() {
+    let run = |barrier: bool| -> RunSummary {
+        let mut sim = Sim::new(23);
+        let net = Network::new();
+        let machine = Machine::new(&net, "server-0");
+        let gpu = machine.add_gpu(GpuSpec::k40m());
+        let cfg = DeployConfig {
+            mqueues_per_gpu: 1,
+            mq: MqueueConfig {
+                slots: 16,
+                slot_size: 256,
+                coalesce_metadata: false,
+                write_barrier: barrier,
+            },
+            ..DeployConfig::default()
+        };
+        let d = deploy_processor(
+            &mut sim,
+            &net,
+            &machine,
+            &[machine.gpu_site(&gpu)],
+            &cfg,
+            Rc::new(EchoProcessor),
+        );
+        let c = client(&net, "client", d.server_addr, 1)
+            .validate(|s, p| p == vec![s as u8; 32]);
+        run_measured(&mut sim, &[&c], RunSpec::quick())
+    };
+    let plain = run(false);
+    let barrier = run(true);
+    assert_eq!(plain.invalid + barrier.invalid, 0, "payloads intact");
+    let delta = barrier.mean_us() - plain.mean_us();
+    assert!(
+        (1.5..9.0).contains(&delta),
+        "barrier adds ~5us (paper): measured +{delta:.2}us"
+    );
+}
+
+/// The K80's lower clock shows up as proportionally lower throughput than
+/// a K40m under identical deployment.
+#[test]
+fn k80_throughput_tracks_relative_speed() {
+    let run = |spec: GpuSpec| -> f64 {
+        let mut sim = Sim::new(29);
+        let net = Network::new();
+        let machine = Machine::new(&net, "server-0");
+        let gpu = machine.add_gpu(spec);
+        let d = deploy_processor(
+            &mut sim,
+            &net,
+            &machine,
+            &[machine.gpu_site(&gpu)],
+            &DeployConfig::default(),
+            Rc::new(DelayProcessor::new(Duration::from_micros(286))),
+        );
+        let c = client(&net, "client", d.server_addr, 4);
+        run_measured(&mut sim, &[&c], RunSpec::quick()).throughput
+    };
+    let k40 = run(GpuSpec::k40m());
+    let k80 = run(GpuSpec::k80());
+    let ratio = k80 / k40;
+    // Paper footnote 2: 3300/3500 ~ 0.943.
+    assert!((0.91..0.97).contains(&ratio), "K80/K40m = {ratio:.3}");
+}
