@@ -398,7 +398,9 @@ mod tests {
     #[test]
     fn protocol_roundtrip() {
         for req in [
-            Request::Get { key: b"k1".to_vec() },
+            Request::Get {
+                key: b"k1".to_vec(),
+            },
             Request::Set {
                 key: b"k2".to_vec(),
                 val: vec![9; 300],

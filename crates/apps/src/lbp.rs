@@ -11,7 +11,6 @@
 //! redistributable, so [`FaceDb`] synthesizes deterministic per-person
 //! face textures with the same geometry.
 
-
 use std::time::Duration;
 
 use lynx_device::RequestProcessor;

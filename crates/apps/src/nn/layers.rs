@@ -23,7 +23,10 @@ pub fn conv2d(
     let (in_ch, h, w) = input.shape();
     assert_eq!(weights.len(), out_ch * in_ch * k * k, "bad conv weights");
     assert_eq!(bias.len(), out_ch, "bad conv bias");
-    assert!(h + 2 * pad >= k && w + 2 * pad >= k, "kernel larger than input");
+    assert!(
+        h + 2 * pad >= k && w + 2 * pad >= k,
+        "kernel larger than input"
+    );
     let oh = h + 2 * pad - k + 1;
     let ow = w + 2 * pad - k + 1;
     let mut out = Tensor::zeros(out_ch, oh, ow);

@@ -19,16 +19,16 @@ pub const IMAGE_BYTES: usize = IMAGE_SIDE * IMAGE_SIDE;
 /// Segment layout of each digit 0–9 in a seven-segment display:
 /// `[top, top-left, top-right, middle, bottom-left, bottom-right, bottom]`.
 const SEGMENTS: [[bool; 7]; 10] = [
-    [true, true, true, false, true, true, true],    // 0
+    [true, true, true, false, true, true, true],     // 0
     [false, false, true, false, false, true, false], // 1
-    [true, false, true, true, true, false, true],   // 2
-    [true, false, true, true, false, true, true],   // 3
-    [false, true, true, true, false, true, false],  // 4
-    [true, true, false, true, false, true, true],   // 5
-    [true, true, false, true, true, true, true],    // 6
-    [true, false, true, false, false, true, false], // 7
-    [true, true, true, true, true, true, true],     // 8
-    [true, true, true, true, false, true, true],    // 9
+    [true, false, true, true, true, false, true],    // 2
+    [true, false, true, true, false, true, true],    // 3
+    [false, true, true, true, false, true, false],   // 4
+    [true, true, false, true, false, true, true],    // 5
+    [true, true, false, true, true, true, true],     // 6
+    [true, false, true, false, false, true, false],  // 7
+    [true, true, true, true, true, true, true],      // 8
+    [true, true, true, true, false, true, true],     // 9
 ];
 
 /// Deterministic generator of digit images.

@@ -78,7 +78,10 @@ impl Tensor {
 
     #[inline]
     fn idx(&self, c: usize, y: usize, x: usize) -> usize {
-        debug_assert!(c < self.c && y < self.h && x < self.w, "index out of bounds");
+        debug_assert!(
+            c < self.c && y < self.h && x < self.w,
+            "index out of bounds"
+        );
         (c * self.h + y) * self.w + x
     }
 

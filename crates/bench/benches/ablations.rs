@@ -113,7 +113,14 @@ fn run(v: Variant, delay: Duration) -> Outcome {
 
 fn main() {
     banner("Ablations — Lynx design choices");
-    let mut table = Table::new(&["ablation", "variant", "Kreq/s", "mean [us]", "p99 [us]", "drops"]);
+    let mut table = Table::new(&[
+        "ablation",
+        "variant",
+        "Kreq/s",
+        "mean [us]",
+        "p99 [us]",
+        "drops",
+    ]);
     let mut report = ShapeReport::new();
     let delay = Duration::from_micros(50);
 

@@ -69,12 +69,7 @@ fn run(config: Config, window: usize) -> RunSummary {
             // "The host-centric implementation uses two CPU cores to
             // achieve its highest throughput."
             let stack = server_machine.host_stack(2, StackKind::Vma);
-            let server = HostCentricServer::new(
-                stack,
-                gpu,
-                Rc::new(lbp::FaceVerProcessor),
-                7777,
-            );
+            let server = HostCentricServer::new(stack, gpu, Rc::new(lbp::FaceVerProcessor), 7777);
             server.with_backend(
                 &mut sim,
                 db_addr,
@@ -191,7 +186,10 @@ fn main() {
         "kernel invocation + transfer overheads dominate the baseline \
          (its speedup deficit exceeds the 50us kernel time share)",
         hc.throughput < 0.3 * bf.throughput,
-        format!("host-centric at {:.1}% of Lynx", 100.0 * hc.throughput / bf.throughput),
+        format!(
+            "host-centric at {:.1}% of Lynx",
+            100.0 * hc.throughput / bf.throughput
+        ),
     );
     report.print();
 }

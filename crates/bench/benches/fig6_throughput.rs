@@ -95,9 +95,11 @@ fn main() {
     let x6 = 2usize; // 6 Xeon cores
     report.check(
         "host-centric is the slowest design at every 120/240-mqueue config",
-        speedup
-            .iter()
-            .all(|d| d[1..].iter().all(|row| row.iter().skip(1).all(|&s| s >= 1.0))),
+        speedup.iter().all(|d| {
+            d[1..]
+                .iter()
+                .all(|row| row.iter().skip(1).all(|&s| s >= 1.0))
+        }),
         "all Lynx speedups >= 1.0 for mqueues in {120, 240}".to_string(),
     );
     report.check(

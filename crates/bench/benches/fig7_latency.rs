@@ -92,7 +92,10 @@ fn main() {
         ratios.iter().flatten().all(|&r| r < 1.5),
         format!(
             "max ratio {:.2}",
-            ratios.iter().flatten().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+            ratios
+                .iter()
+                .flatten()
+                .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
         ),
     );
     report.check(

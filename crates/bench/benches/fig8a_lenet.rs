@@ -24,9 +24,7 @@ use lynx_device::GpuSpec;
 use lynx_net::{Proto, StackKind};
 use lynx_sim::Sim;
 use lynx_workload::report::{banner, Table};
-use lynx_workload::{
-    run_measured, ClosedLoopClient, RunSpec, RunSummary, TcpClosedLoopClient,
-};
+use lynx_workload::{run_measured, ClosedLoopClient, RunSpec, RunSummary, TcpClosedLoopClient};
 
 const MODEL_SEED: u64 = 99;
 
@@ -145,7 +143,14 @@ fn main() {
         (&tput[4], &lat[4]),
     );
 
-    let mut table = Table::new(&["configuration", "Kreq/s", "p50 [us]", "p90 [us]", "p99 [us]", "paper"]);
+    let mut table = Table::new(&[
+        "configuration",
+        "Kreq/s",
+        "p50 [us]",
+        "p90 [us]",
+        "p99 [us]",
+        "paper",
+    ]);
     for (name, (t, l), paper) in [
         ("host-centric (UDP)", &hc, "2.8K, p90 ~342us"),
         ("Lynx on Bluefield (UDP)", &bf_udp, "3.5K, p90 300us"),
@@ -213,7 +218,11 @@ fn main() {
     report.check(
         "TCP on Bluefield suffers more than on Xeon (ARM cores, heavier stack)",
         bf_tcp_drop > xeon_tcp_drop,
-        format!("{:.1}% vs {:.1}%", bf_tcp_drop * 100.0, xeon_tcp_drop * 100.0),
+        format!(
+            "{:.1}% vs {:.1}%",
+            bf_tcp_drop * 100.0,
+            xeon_tcp_drop * 100.0
+        ),
     );
     report.print();
 }

@@ -117,7 +117,11 @@ fn main() {
     // SmartNIC contributes nothing under the SLO.
     let bf_min = run_memcached(Platform::ArmA72, 7, 1);
     let bf_latency_ok = bf_min.percentile_us(99.0) <= latency_target_us;
-    let bf_lat_contrib = if bf_latency_ok { bf_min.throughput } else { 0.0 };
+    let bf_lat_contrib = if bf_latency_ok {
+        bf_min.throughput
+    } else {
+        0.0
+    };
 
     let mut table = Table::new(&["configuration", "memcached Mtps", "p99 [us]", "paper"]);
     table.row(&[

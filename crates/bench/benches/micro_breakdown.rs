@@ -48,7 +48,13 @@ fn main() {
     let bf_snic = derive(bf, StackProfile::of(Platform::ArmA72, StackKind::Vma));
     let xeon_snic = derive(xeon, StackProfile::of(Platform::Xeon, StackKind::Vma));
 
-    let mut table = Table::new(&["platform", "e2e [us]", "UDP-done -> resp-ready [us]", "paper e2e", "paper middle"]);
+    let mut table = Table::new(&[
+        "platform",
+        "e2e [us]",
+        "UDP-done -> resp-ready [us]",
+        "paper e2e",
+        "paper middle",
+    ]);
     table.row(&[
         "Lynx on Bluefield".to_string(),
         format!("{bf:.1}"),

@@ -117,7 +117,11 @@ fn main() {
     let mut table = Table::new(&["design", "Mpkt/s", "paper"]);
     table.row(&["Innova (FPGA AFU)", &format!("{:.2}", innova / 1e6), "7.4"]);
     table.row(&["Lynx on Bluefield", &format!("{:.2}", bf / 1e6), "0.5"]);
-    table.row(&["CPU-centric (6 cores)", &format!("{:.3}", cpu / 1e6), "~0.09 (80x slower)"]);
+    table.row(&[
+        "CPU-centric (6 cores)",
+        &format!("{:.3}", cpu / 1e6),
+        "~0.09 (80x slower)",
+    ]);
     println!("\n{}", table.render());
     table
         .write_csv(lynx_bench::results_dir().join("micro_innova.csv"))

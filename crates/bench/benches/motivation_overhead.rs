@@ -30,7 +30,12 @@ fn main() {
         "\nPipeline: CPU->GPU copy, kernel launch, kernel, GPU->CPU copy\n\
          Paper: 100 us kernel measures 130 us end-to-end (30 us overhead).\n"
     );
-    let mut table = Table::new(&["kernel [us]", "end-to-end [us]", "overhead [us]", "paper e2e [us]"]);
+    let mut table = Table::new(&[
+        "kernel [us]",
+        "end-to-end [us]",
+        "overhead [us]",
+        "paper e2e [us]",
+    ]);
     let mut measured_overhead_100us = 0.0;
     for kernel_us in [0u64, 20, 50, 100, 200, 278] {
         let kernel = Duration::from_micros(kernel_us);

@@ -139,9 +139,7 @@ impl AccelApp for FaceVerApp {
         let probe = probe.to_vec();
         ctx.call_backend(sim, 0, &get, move |sim, ctx, db_resp| {
             let verdict = match kv::Response::decode(&db_resp) {
-                Some(kv::Response::Value(reference)) => {
-                    u8::from(lbp::verify(&probe, &reference))
-                }
+                Some(kv::Response::Value(reference)) => u8::from(lbp::verify(&probe, &reference)),
                 _ => 0xFE, // database miss
             };
             let work = lbp::LBP_KERNEL_TIME + calib::DYNAMIC_PARALLELISM_GAP;
@@ -211,12 +209,8 @@ pub fn echo_rig(design: Design, delay: std::time::Duration, mqueues: usize) -> E
             // "We run on one CPU core because more threads result in a
             // slowdown due to an NVIDIA driver bottleneck."
             let stack = machine.host_stack(1, StackKind::Vma);
-            let server = HostCentricServer::new(
-                stack,
-                gpu,
-                Rc::new(DelayProcessor::new(delay)),
-                port,
-            );
+            let server =
+                HostCentricServer::new(stack, gpu, Rc::new(DelayProcessor::new(delay)), port);
             std::mem::forget(server); // keep alive for the whole run
             lynx_net::SockAddr::new(machine.host_id(), port)
         }

@@ -15,7 +15,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use lynx_device::{calib, RequestProcessor, Threadblock};
-use lynx_sim::Sim;
+use lynx_sim::{Sim, TraceEvent};
 
 use crate::Mqueue;
 
@@ -230,6 +230,12 @@ impl Worker {
         let inner = Rc::clone(inner);
         sim.schedule_in(detect, move |sim| match inner.mq.acc_pop_request() {
             Some((seq, request)) => {
+                sim.count("accel.started", 1);
+                let mq_evt = inner.mq.clone();
+                sim.trace(|| TraceEvent::AccelStart {
+                    queue: mq_evt.label(),
+                    seq,
+                });
                 let ctx = WorkerCtx {
                     inner: Rc::clone(&inner),
                     seq,
@@ -320,6 +326,7 @@ impl WorkerCtx {
     pub fn reply(self, sim: &mut Sim, payload: &[u8]) {
         let inner = Rc::clone(&self.inner);
         inner.mq.acc_push_response(sim, self.seq, payload);
+        sim.count("accel.completed", 1);
         inner.done_count.set(inner.done_count.get() + 1);
         inner.busy.set(false);
         // Serve anything that queued up while we were busy.
@@ -332,8 +339,8 @@ mod tests {
     use super::*;
     use crate::{MqueueConfig, MqueueKind, ReturnAddr};
     use lynx_device::EchoProcessor;
-    use lynx_fabric::{MemRegion, NodeId, PcieFabric};
     use lynx_device::{Gpu, GpuSpec};
+    use lynx_fabric::{MemRegion, NodeId, PcieFabric};
 
     fn gpu_unit() -> (Gpu, Rc<dyn ExecUnit>) {
         let fabric = PcieFabric::new();
@@ -366,7 +373,11 @@ mod tests {
         let mut sim = Sim::new(0);
         let (_gpu, unit) = gpu_unit();
         let mq = server_mq();
-        let worker = Worker::new(unit, mq.clone(), Rc::new(ProcessorApp::new(Rc::new(EchoProcessor))));
+        let worker = Worker::new(
+            unit,
+            mq.clone(),
+            Rc::new(ProcessorApp::new(Rc::new(EchoProcessor))),
+        );
         worker.start();
         inject(&mut sim, &mq, b"hello");
         sim.run();
@@ -381,7 +392,11 @@ mod tests {
         let mut sim = Sim::new(0);
         let (_gpu, unit) = gpu_unit();
         let mq = server_mq();
-        let worker = Worker::new(unit, mq.clone(), Rc::new(ProcessorApp::new(Rc::new(EchoProcessor))));
+        let worker = Worker::new(
+            unit,
+            mq.clone(),
+            Rc::new(ProcessorApp::new(Rc::new(EchoProcessor))),
+        );
         worker.start();
         for i in 0..5u8 {
             inject(&mut sim, &mq, &[i]);
@@ -391,7 +406,10 @@ mod tests {
         for i in 0..5u64 {
             let (seq, _, len) = mq.peek_response().unwrap();
             assert_eq!(seq, i);
-            assert_eq!(mq.mem().read(mq.tx_slot_offset(seq) + 8, len), vec![i as u8]);
+            assert_eq!(
+                mq.mem().read(mq.tx_slot_offset(seq) + 8, len),
+                vec![i as u8]
+            );
             mq.complete(seq);
         }
     }

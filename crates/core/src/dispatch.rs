@@ -19,6 +19,18 @@ pub enum DispatchPolicy {
     Steering,
 }
 
+impl DispatchPolicy {
+    /// Stable snake_case name used in telemetry counters
+    /// (`dispatch.picks.<name>`) and trace events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "round_robin",
+            DispatchPolicy::LeastLoaded => "least_loaded",
+            DispatchPolicy::Steering => "steering",
+        }
+    }
+}
+
 /// The dispatcher: picks a target mqueue for each request.
 #[derive(Default)]
 pub struct Dispatcher {
@@ -96,8 +108,7 @@ mod tests {
                     slot_size: 128,
                     ..MqueueConfig::default()
                 };
-                let mem =
-                    MemRegion::new(NodeId::host(), cfg.required_bytes(), format!("mq{i}"));
+                let mem = MemRegion::new(NodeId::host(), cfg.required_bytes(), format!("mq{i}"));
                 Mqueue::new(MqueueKind::Server, mem, 0, cfg)
             })
             .collect()
@@ -160,7 +171,10 @@ mod tests {
         }
         let mut d = Dispatcher::new(DispatchPolicy::RoundRobin);
         assert_eq!(d.pick(&qs, 0), None);
-        assert_eq!(Dispatcher::new(DispatchPolicy::LeastLoaded).pick(&qs, 0), None);
+        assert_eq!(
+            Dispatcher::new(DispatchPolicy::LeastLoaded).pick(&qs, 0),
+            None
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@
 //! echo server; the [`testbed`] module documentation walks through the
 //! pieces.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod accel;

@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use lynx_fabric::MemRegion;
 use lynx_net::{ConnId, SockAddr};
-use lynx_sim::Sim;
+use lynx_sim::{Sim, TraceEvent};
 
 /// Per-slot header: message length (u32) + sequence/doorbell (u32).
 ///
@@ -95,10 +95,21 @@ impl MqueueConfig {
 
 type Watcher = Rc<RefCell<dyn FnMut(&mut Sim)>>;
 
+/// Current queue depth (same definition as [`Mqueue::in_flight`]) from an
+/// already-borrowed `Inner`.
+fn depth_of(inner: &Inner) -> usize {
+    match inner.kind {
+        MqueueKind::Server => (inner.rx_pushed - inner.tx_popped) as usize,
+        MqueueKind::Client => inner.tx_pushed.saturating_sub(inner.rx_pushed) as usize,
+    }
+}
+
 struct Inner {
     kind: MqueueKind,
     cfg: MqueueConfig,
     mem: MemRegion,
+    /// Stable identity used in telemetry: region name + base offset.
+    label: String,
     rx_base: usize,
     tx_base: usize,
     /// Requests pushed by the SNIC (producer count).
@@ -170,11 +181,13 @@ impl Mqueue {
             mem.name()
         );
         let ring = cfg.slots * cfg.slot_size;
+        let label = format!("{}+{base:#x}", mem.name());
         Mqueue {
             inner: Rc::new(RefCell::new(Inner {
                 kind,
                 cfg,
                 mem,
+                label,
                 rx_base: base,
                 tx_base: base + ring,
                 rx_pushed: 0,
@@ -205,17 +218,19 @@ impl Mqueue {
         self.inner.borrow().mem.clone()
     }
 
+    /// Stable identity of this queue in telemetry traces and counter
+    /// names: `<region name>+<base offset>` (e.g. `"server-0/gpu0+0x0"`).
+    pub fn label(&self) -> String {
+        self.inner.borrow().label.clone()
+    }
+
     /// Requests currently in flight.
     ///
     /// For a server mqueue: requests pushed whose responses have not yet
     /// been collected. For a client mqueue: backend calls sent by the
     /// accelerator whose responses have not yet arrived.
     pub fn in_flight(&self) -> usize {
-        let inner = self.inner.borrow();
-        match inner.kind {
-            MqueueKind::Server => (inner.rx_pushed - inner.tx_popped) as usize,
-            MqueueKind::Client => inner.tx_pushed.saturating_sub(inner.rx_pushed) as usize,
-        }
+        depth_of(&self.inner.borrow())
     }
 
     /// Requests rejected because the ring was full.
@@ -299,7 +314,16 @@ impl Mqueue {
     pub fn notify_rx(&self, sim: &mut Sim) {
         // Drop the inner borrow before invoking the watcher: the watcher
         // is accelerator code and may immediately pop the request.
-        let watcher = self.inner.borrow().rx_watcher.clone();
+        let watcher = {
+            let inner = self.inner.borrow();
+            if let Some(t) = sim.telemetry() {
+                t.gauge(
+                    &format!("mqueue.{}.depth", inner.label),
+                    depth_of(&inner) as f64,
+                );
+            }
+            inner.rx_watcher.clone()
+        };
         if let Some(w) = watcher {
             (w.borrow_mut())(sim);
         }
@@ -443,7 +467,27 @@ impl Mqueue {
             mem.write(off + SLOT_HEADER, payload);
             inner.tx_pushed += 1;
         }
-        let w = self.inner.borrow().tx_watcher.clone();
+        let w = {
+            let inner = self.inner.borrow();
+            if let Some(t) = sim.telemetry() {
+                t.count(&format!("mqueue.{}.responses", inner.label), 1);
+                t.gauge(
+                    &format!("mqueue.{}.depth", inner.label),
+                    depth_of(&inner) as f64,
+                );
+                if inner.kind == MqueueKind::Server {
+                    t.record(
+                        sim.now(),
+                        TraceEvent::AccelComplete {
+                            queue: inner.label.clone(),
+                            seq,
+                            bytes: payload.len(),
+                        },
+                    );
+                }
+            }
+            inner.tx_watcher.clone()
+        };
         if let Some(w) = w {
             (w.borrow_mut())(sim);
         }
@@ -510,10 +554,12 @@ mod tests {
         // Data written without the doorbell (e.g. non-coalesced mode,
         // doorbell write still in flight): must not be consumable.
         q.mem().write_u32(q.rx_slot_offset(seq), 4);
-        q.mem().write(q.rx_slot_offset(seq) + SLOT_HEADER, &[1, 2, 3, 4]);
+        q.mem()
+            .write(q.rx_slot_offset(seq) + SLOT_HEADER, &[1, 2, 3, 4]);
         assert!(q.acc_pop_request().is_none());
         // Doorbell lands: now visible.
-        q.mem().write_u32(q.rx_slot_offset(seq) + 4, (seq + 1) as u32);
+        q.mem()
+            .write_u32(q.rx_slot_offset(seq) + 4, (seq + 1) as u32);
         assert!(q.acc_pop_request().is_some());
     }
 

@@ -9,7 +9,7 @@
 use std::fmt;
 
 use lynx_fabric::QueuePair;
-use lynx_sim::Sim;
+use lynx_sim::{Sim, TraceEvent};
 
 use crate::mqueue::SLOT_HEADER;
 use crate::{Mqueue, ReturnAddr};
@@ -59,9 +59,19 @@ impl RemoteMqManager {
         delivered: impl FnOnce(&mut Sim, bool) + 'static,
     ) {
         let Ok(seq) = mq.try_reserve(ret) else {
+            if let Some(t) = sim.telemetry() {
+                t.count(&format!("mqueue.{}.drops", mq.label()), 1);
+            }
             delivered(sim, false);
             return;
         };
+        let bytes = payload.len();
+        let mq_evt = mq.clone();
+        sim.trace(|| TraceEvent::Enqueue {
+            queue: mq_evt.label(),
+            seq,
+            bytes,
+        });
         let offset = mq.rx_slot_offset(seq);
         let mem = mq.mem();
         let cfg = mq.config();
@@ -83,11 +93,10 @@ impl RemoteMqManager {
                 self.qp.post_barrier(sim, &mem, |_| {});
             }
             let bell = ((seq + 1) as u32).to_le_bytes().to_vec();
-            self.qp
-                .post_write(sim, bell, &mem, offset + 4, move |sim| {
-                    mq2.notify_rx(sim);
-                    delivered(sim, true);
-                });
+            self.qp.post_write(sim, bell, &mem, offset + 4, move |sim| {
+                mq2.notify_rx(sim);
+                delivered(sim, true);
+            });
         }
     }
 
@@ -115,6 +124,13 @@ impl RemoteMqManager {
             .post_read(sim, &mem, offset, SLOT_HEADER + len, move |sim, bytes| {
                 mq2.complete(seq);
                 let payload = bytes[SLOT_HEADER..].to_vec();
+                let mq_evt = mq2.clone();
+                let bytes_out = payload.len();
+                sim.trace(|| TraceEvent::Forward {
+                    queue: mq_evt.label(),
+                    seq,
+                    bytes: bytes_out,
+                });
                 collected(sim, ret, payload);
             });
     }
@@ -189,7 +205,7 @@ mod tests {
         assert!(t.get() > coalesced_done);
         let (w, r, _) = rmq.qp_stats();
         assert_eq!((w, r), (2, 1)); // data + doorbell writes, barrier read
-        // Payload must still be intact.
+                                    // Payload must still be intact.
         assert_eq!(mq.acc_pop_request().unwrap().1, b"x");
     }
 

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use lynx_device::{calib, CpuKind};
 use lynx_net::{ConnId, HostStack, SockAddr};
-use lynx_sim::Sim;
+use lynx_sim::{Sim, TraceEvent};
 
 use crate::{DispatchPolicy, Dispatcher, Mqueue, RemoteMqManager, ReturnAddr};
 
@@ -389,6 +389,7 @@ impl LynxServer {
             inner.services[service.0].stats.requests += 1;
             (inner.stack.clone(), Self::dispatch_cost(&inner))
         };
+        sim.count("server.requests", 1);
         let this = self.clone();
         stack.charge(sim, cost, move |sim| {
             this.dispatch_now(sim, service, ret, key, payload);
@@ -403,10 +404,11 @@ impl LynxServer {
         key: u64,
         payload: Vec<u8>,
     ) {
-        let picked = {
+        let (policy, picked) = {
             let mut inner = self.inner.borrow_mut();
             let svc = &mut inner.services[service.0];
-            match svc.dispatcher.pick(&svc.mqs, key) {
+            let policy = svc.dispatcher.policy().name();
+            let picked = match svc.dispatcher.pick(&svc.mqs, key) {
                 Some(i) => {
                     let pair = (Rc::clone(&svc.owners[i]), svc.mqs[i].clone());
                     svc.stats.dispatched += 1;
@@ -416,10 +418,28 @@ impl LynxServer {
                     svc.stats.dropped += 1;
                     None
                 }
-            }
+            };
+            (policy, picked)
         };
-        if let Some((rmq, mq)) = picked {
-            rmq.push_request(sim, &mq, ret, &payload, |_, _| {});
+        if let Some(t) = sim.telemetry() {
+            t.count(&format!("dispatch.picks.{policy}"), 1);
+        }
+        match picked {
+            Some((rmq, mq)) => {
+                sim.count("server.dispatched", 1);
+                sim.trace(|| TraceEvent::Dispatch {
+                    policy,
+                    queue: Some(mq.label()),
+                });
+                rmq.push_request(sim, &mq, ret, &payload, |_, _| {});
+            }
+            None => {
+                sim.count("server.dropped", 1);
+                sim.trace(|| TraceEvent::Dispatch {
+                    policy,
+                    queue: None,
+                });
+            }
         }
     }
 
@@ -445,6 +465,7 @@ impl LynxServer {
                 Self::detection_delay(&inner),
             )
         };
+        sim.count("server.forward_polls", 1);
         let this = self.clone();
         sim.schedule_in(detect, move |sim| {
             stack.charge(sim, cost, move |sim| {
@@ -464,6 +485,7 @@ impl LynxServer {
             svc.stats.responses += 1;
             (stack, svc.udp_port.unwrap_or(0))
         };
+        sim.count("server.replies", 1);
         match ret {
             ReturnAddr::Udp(addr) => stack.send_udp(sim, port, addr, payload),
             ReturnAddr::Tcp(conn) => stack.send_tcp(sim, conn, payload),
@@ -487,6 +509,7 @@ impl LynxServer {
         stack.charge(sim, cost, move |sim| {
             rmq.pull_response(sim, &mq, move |sim, _ret, payload| {
                 this.inner.borrow_mut().backend_calls += 1;
+                sim.count("server.backend_calls", 1);
                 let conn = bridge.borrow().conn;
                 match conn {
                     Some(conn) => stack2.send_tcp(sim, conn, payload),

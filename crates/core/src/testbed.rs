@@ -37,9 +37,7 @@ use std::rc::Rc;
 
 use lynx_device::{CpuKind, Gpu, GpuSpec, HostCpu};
 use lynx_fabric::{NodeId, PcieFabric, PcieLink, QpKind, RdmaNic, WireProfile};
-use lynx_net::{
-    HostId, HostStack, LinkSpec, Network, Platform, SockAddr, StackKind, StackProfile,
-};
+use lynx_net::{HostId, HostStack, LinkSpec, Network, Platform, SockAddr, StackKind, StackProfile};
 use lynx_sim::Sim;
 
 use crate::{
@@ -166,7 +164,11 @@ impl Machine {
 
     /// The machine's RDMA-capable NIC.
     pub fn rdma_nic(&self) -> RdmaNic {
-        RdmaNic::new(self.fabric.clone(), self.nic_node, format!("{}/cx", self.name))
+        RdmaNic::new(
+            self.fabric.clone(),
+            self.nic_node,
+            format!("{}/cx", self.name),
+        )
     }
 }
 
@@ -323,10 +325,8 @@ impl DeployConfig {
                 // profile and cost model are already ARM-denominated, so
                 // the lanes run at unit speed (no double scaling).
                 let host = net.add_host(format!("{}-bf", machine.name()), LinkSpec::gbps25());
-                let cores = lynx_sim::MultiServer::new(
-                    lynx_device::calib::BLUEFIELD_LYNX_CORES,
-                    1.0,
-                );
+                let cores =
+                    lynx_sim::MultiServer::new(lynx_device::calib::BLUEFIELD_LYNX_CORES, 1.0);
                 let stack = HostStack::new(
                     net,
                     host,
@@ -355,7 +355,13 @@ pub fn deploy_processor(
     cfg: &DeployConfig,
     proc: Rc<dyn lynx_device::RequestProcessor>,
 ) -> Deployment {
-    cfg.deploy(sim, net, snic_machine, sites, Rc::new(ProcessorApp::new(proc)))
+    cfg.deploy(
+        sim,
+        net,
+        snic_machine,
+        sites,
+        Rc::new(ProcessorApp::new(proc)),
+    )
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use lynx_core::{Dispatcher, DispatchPolicy, Mqueue, MqueueConfig, MqueueKind, ReturnAddr};
+use lynx_core::{DispatchPolicy, Dispatcher, Mqueue, MqueueConfig, MqueueKind, ReturnAddr};
 use lynx_fabric::{MemRegion, NodeId};
 use lynx_net::{HostId, SockAddr};
 use lynx_sim::Sim;

@@ -173,7 +173,9 @@ mod tests {
         let arm = HostCpu::bluefield_arm().take_core();
         let done = Rc::new(Cell::new(Time::ZERO));
         let d = Rc::clone(&done);
-        arm.submit(&mut sim, Duration::from_micros(15), move |sim| d.set(sim.now()));
+        arm.submit(&mut sim, Duration::from_micros(15), move |sim| {
+            d.set(sim.now())
+        });
         sim.run();
         // 15us of Xeon-equivalent work at 0.15 speed = 100us.
         assert_eq!(done.get(), Time::from_micros(100));
@@ -185,7 +187,9 @@ mod tests {
         let _a = cpu.take_pool(5);
         let _b = cpu.take_core();
         assert_eq!(cpu.remaining(), 0);
-        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cpu.take_core())).is_err());
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cpu.take_core())).is_err()
+        );
     }
 
     #[test]

@@ -57,6 +57,7 @@ impl FpgaNic {
     /// interval and emerges (written to the target mqueue) after the
     /// pipeline depth. `done` fires at emergence.
     pub fn ingest(&self, sim: &mut Sim, done: impl FnOnce(&mut Sim) + 'static) {
+        sim.count("device.fpga.packets", 1);
         let depth = self.depth;
         self.pipeline.submit(sim, self.ii, move |sim| {
             sim.schedule_in(depth, done);

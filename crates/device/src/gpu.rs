@@ -101,12 +101,7 @@ impl Gpu {
     /// # Panics
     ///
     /// Panics if `lanes == 0` or exceeds the spec's threadblock limit.
-    pub fn with_exec_lanes(
-        fabric: &PcieFabric,
-        node: NodeId,
-        spec: GpuSpec,
-        lanes: usize,
-    ) -> Gpu {
+    pub fn with_exec_lanes(fabric: &PcieFabric, node: NodeId, spec: GpuSpec, lanes: usize) -> Gpu {
         assert!(
             lanes > 0 && lanes <= spec.max_threadblocks,
             "invalid exec lane count {lanes}"
@@ -202,6 +197,7 @@ impl Gpu {
         launches: u32,
         done: impl FnOnce(&mut Sim) + 'static,
     ) {
+        sim.count("device.gpu.hostcentric_requests", 1);
         let gaps = calib::KERNEL_LAUNCH_GAP * launches.saturating_sub(1);
         let (driver, exec) = {
             let inner = self.inner.borrow();
@@ -233,6 +229,27 @@ impl Gpu {
                 sim.schedule_in(half, move |sim| join2(sim));
             });
         });
+    }
+
+    /// Publishes this GPU's driver and execution-lane utilization (fraction
+    /// of sim time spent busy since time zero) as telemetry gauges
+    /// `device.gpu.<name>@<node>.{driver,exec}_util`.
+    ///
+    /// No-op when telemetry is disabled. Call once at the end of a run —
+    /// gauges overwrite, so only the last call is reported.
+    pub fn publish_utilization(&self, sim: &Sim) {
+        let Some(t) = sim.telemetry() else { return };
+        let inner = self.inner.borrow();
+        let elapsed = sim.now().saturating_since(lynx_sim::Time::ZERO);
+        let id = format!("{}@{}", inner.spec.name, inner.mem.node());
+        t.gauge(
+            &format!("device.gpu.{id}.driver_util"),
+            inner.driver.utilization(elapsed),
+        );
+        t.gauge(
+            &format!("device.gpu.{id}.exec_util"),
+            inner.exec.utilization(elapsed),
+        );
     }
 }
 
@@ -335,7 +352,9 @@ mod tests {
         let last = Rc::new(Cell::new(Time::ZERO));
         for _ in 0..3 {
             let l = Rc::clone(&last);
-            tb.run(&mut sim, Duration::from_micros(10), move |sim| l.set(sim.now()));
+            tb.run(&mut sim, Duration::from_micros(10), move |sim| {
+                l.set(sim.now())
+            });
         }
         sim.run();
         assert_eq!(last.get(), Time::from_micros(30));
@@ -351,7 +370,9 @@ mod tests {
         let tb = k80.spawn_block();
         let done = Rc::new(Cell::new(Time::ZERO));
         let d = Rc::clone(&done);
-        tb.run(&mut sim, Duration::from_micros(100), move |sim| d.set(sim.now()));
+        tb.run(&mut sim, Duration::from_micros(100), move |sim| {
+            d.set(sim.now())
+        });
         sim.run();
         assert!(done.get() > Time::from_micros(100));
     }
@@ -362,7 +383,9 @@ mod tests {
         for _ in 0..240 {
             let _ = gpu.spawn_block();
         }
-        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| gpu.spawn_block())).is_err());
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| gpu.spawn_block())).is_err()
+        );
     }
 
     #[test]

@@ -43,6 +43,8 @@ impl VcaNode {
         transitions: u32,
         done: impl FnOnce(&mut Sim) + 'static,
     ) {
+        sim.count("device.vca.enclave_execs", 1);
+        sim.count("device.vca.sgx_transitions", u64::from(transitions));
         let total = work + calib::SGX_TRANSITION * transitions;
         self.core.submit(sim, total, done);
     }

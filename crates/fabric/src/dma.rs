@@ -78,6 +78,8 @@ impl DmaEngine {
             .fabric
             .transfer_time(src.node(), dst.node(), len)
             .expect("DMA between disconnected fabric nodes");
+        sim.count("fabric.dma.copies", 1);
+        sim.count("fabric.dma.bytes", len as u64);
         let src = src.clone();
         let dst = dst.clone();
         self.engine.submit(sim, self.setup + wire, move |sim| {
@@ -132,7 +134,9 @@ mod tests {
         let t2 = Rc::new(Cell::new(Time::ZERO));
         let (a, b) = (Rc::clone(&t1), Rc::clone(&t2));
         dma.copy(&mut sim, &src, 0, &dst, 0, 512, move |sim| a.set(sim.now()));
-        dma.copy(&mut sim, &src, 0, &dst, 512, 512, move |sim| b.set(sim.now()));
+        dma.copy(&mut sim, &src, 0, &dst, 512, 512, move |sim| {
+            b.set(sim.now())
+        });
         sim.run();
         assert!(t2.get() > t1.get());
         assert_eq!(dma.transfers(), 2);

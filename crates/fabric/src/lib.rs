@@ -31,5 +31,5 @@ pub mod xfer;
 
 pub use dma::DmaEngine;
 pub use mem::MemRegion;
-pub use pcie::{NoPathError, NodeId, PcieFabric, PcieLink};
+pub use pcie::{NoPathError, NodeId, PcieFabric, PcieLink, PcieStats};
 pub use rdma::{QpKind, QueuePair, RdmaNic, WireProfile};

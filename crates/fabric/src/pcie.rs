@@ -83,6 +83,21 @@ impl Error for NoPathError {}
 struct Topology {
     names: Vec<String>,
     adj: Vec<Vec<(usize, PcieLink)>>,
+    stats: PcieStats,
+}
+
+/// Cumulative transfer accounting of one [`PcieFabric`].
+///
+/// Every [`PcieFabric::transfer_time`] computation for a non-zero-hop path
+/// is recorded here — the fabric itself has no access to the simulator, so
+/// consumers (DMA engines, RDMA QPs) query the timing and this passive
+/// tally, and publish it as telemetry gauges if desired.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PcieStats {
+    /// Cross-node transfers timed so far.
+    pub transfers: u64,
+    /// Total bytes across those transfers.
+    pub bytes: u64,
 }
 
 /// A PCIe fabric: nodes (root complex, switches, endpoints) joined by links.
@@ -224,12 +239,22 @@ impl PcieFabric {
         bytes: usize,
     ) -> Result<Duration, NoPathError> {
         let (latency, bw) = self.route(from, to)?;
+        if from != to {
+            let mut topo = self.topo.borrow_mut();
+            topo.stats.transfers += 1;
+            topo.stats.bytes += bytes as u64;
+        }
         let wire = if bw.is_finite() {
             Duration::from_secs_f64(bytes as f64 / bw)
         } else {
             Duration::ZERO
         };
         Ok(latency + wire)
+    }
+
+    /// Cumulative cross-node transfer accounting (see [`PcieStats`]).
+    pub fn transfer_stats(&self) -> PcieStats {
+        self.topo.borrow().stats
     }
 }
 
@@ -250,7 +275,10 @@ mod tests {
     #[test]
     fn same_node_is_free() {
         let (f, host, ..) = triangle();
-        assert_eq!(f.transfer_time(host, host, 1 << 20).unwrap(), Duration::ZERO);
+        assert_eq!(
+            f.transfer_time(host, host, 1 << 20).unwrap(),
+            Duration::ZERO
+        );
     }
 
     #[test]

@@ -181,8 +181,8 @@ impl QueuePair {
     }
 
     fn landing_delay(&self, dst_node: NodeId, bytes: usize) -> (Duration, Duration) {
-        let occupancy = self.wire.per_wqe
-            + Duration::from_secs_f64(bytes as f64 / self.wire.bandwidth_bps);
+        let occupancy =
+            self.wire.per_wqe + Duration::from_secs_f64(bytes as f64 / self.wire.bandwidth_bps);
         let pcie = self
             .dst_fabric
             .transfer_time(self.dst_nic, dst_node, bytes)
@@ -213,6 +213,8 @@ impl QueuePair {
             s.writes += 1;
             s.bytes += data.len() as u64;
         }
+        sim.count("fabric.rdma.writes", 1);
+        sim.count("fabric.rdma.bytes", data.len() as u64);
         let dst = dst.clone();
         self.queue.submit(sim, occupancy, move |sim| {
             sim.schedule_in(delay, move |sim| {
@@ -250,6 +252,8 @@ impl QueuePair {
             s.reads += 1;
             s.bytes += len as u64;
         }
+        sim.count("fabric.rdma.reads", 1);
+        sim.count("fabric.rdma.bytes", len as u64);
         let src = src.clone();
         self.queue.submit(sim, occupancy, move |sim| {
             // Request reaches the target after `delay`; data is sampled
@@ -267,9 +271,15 @@ impl QueuePair {
     /// work posted after it cannot start until the read's round trip
     /// completes, which is what makes the workaround cost ~5 µs per
     /// message in the paper.
-    pub fn post_barrier(&self, sim: &mut Sim, probe: &MemRegion, done: impl FnOnce(&mut Sim) + 'static) {
+    pub fn post_barrier(
+        &self,
+        sim: &mut Sim,
+        probe: &MemRegion,
+        done: impl FnOnce(&mut Sim) + 'static,
+    ) {
         let (occupancy, delay) = self.landing_delay(probe.node(), 0);
         self.stats.borrow_mut().reads += 1;
+        sim.count("fabric.rdma.barriers", 1);
         // The round trip is charged as QP occupancy: the pipe stalls.
         self.queue.submit(sim, occupancy + delay * 2, done);
     }
@@ -278,8 +288,8 @@ impl QueuePair {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lynx_sim::Time;
     use crate::PcieLink;
+    use lynx_sim::Time;
     use std::cell::Cell;
     use std::rc::Rc;
 
@@ -338,7 +348,9 @@ mod tests {
         let write_landed = Rc::new(Cell::new(Time::ZERO));
         let read_done = Rc::new(Cell::new(Time::ZERO));
         let wl = Rc::clone(&write_landed);
-        qp.post_write(&mut sim, vec![9], &gpu_mem, 64, move |sim| wl.set(sim.now()));
+        qp.post_write(&mut sim, vec![9], &gpu_mem, 64, move |sim| {
+            wl.set(sim.now())
+        });
         let rd = Rc::clone(&read_done);
         qp.post_read(&mut sim, &gpu_mem, 0, 4, move |sim, data| {
             *g.borrow_mut() = data;
@@ -384,10 +396,17 @@ mod tests {
             nic.fabric.clone(),
             nic.node(),
         );
-        let (t_local, t_remote) = (Rc::new(Cell::new(Time::ZERO)), Rc::new(Cell::new(Time::ZERO)));
+        let (t_local, t_remote) = (
+            Rc::new(Cell::new(Time::ZERO)),
+            Rc::new(Cell::new(Time::ZERO)),
+        );
         let (a, b) = (Rc::clone(&t_local), Rc::clone(&t_remote));
-        local.post_write(&mut sim, vec![0; 64], &gpu_mem, 0, move |sim| a.set(sim.now()));
-        remote.post_write(&mut sim, vec![0; 64], &gpu_mem, 64, move |sim| b.set(sim.now()));
+        local.post_write(&mut sim, vec![0; 64], &gpu_mem, 0, move |sim| {
+            a.set(sim.now())
+        });
+        remote.post_write(&mut sim, vec![0; 64], &gpu_mem, 64, move |sim| {
+            b.set(sim.now())
+        });
         sim.run();
         assert!(t_remote.get() > t_local.get() + Duration::from_micros(1));
     }

@@ -213,11 +213,15 @@ impl Network {
         };
         let src_ser = {
             let inner = self.inner.borrow();
-            Duration::from_secs_f64(bytes as f64 / inner.hosts[dgram.src.host.0 as usize].link.bandwidth_bps)
+            Duration::from_secs_f64(
+                bytes as f64 / inner.hosts[dgram.src.host.0 as usize].link.bandwidth_bps,
+            )
         };
         let dst_ser = {
             let inner = self.inner.borrow();
-            Duration::from_secs_f64(bytes as f64 / inner.hosts[dgram.dst.host.0 as usize].link.bandwidth_bps)
+            Duration::from_secs_f64(
+                bytes as f64 / inner.hosts[dgram.dst.host.0 as usize].link.bandwidth_bps,
+            )
         };
         let net = self.clone();
         egress.submit(sim, src_ser, move |sim| {

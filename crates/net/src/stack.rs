@@ -6,10 +6,28 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
-use lynx_sim::{MultiServer, Sim};
+use lynx_sim::{MultiServer, Sim, TraceEvent};
 
 use crate::tcp::ConnRole;
 use crate::{ConnId, Datagram, HostId, Network, Proto, SockAddr, TcpConn};
+
+/// Records a stack-level telemetry event (and the matching per-host
+/// counters) when the simulation has telemetry enabled. `rx` selects the
+/// receive or transmit direction. Events are stamped at the instant the
+/// message enters the stack, before its CPU cost is charged.
+fn note_packet(sim: &Sim, host: HostId, proto: &'static str, bytes: usize, rx: bool) {
+    let Some(t) = sim.telemetry() else { return };
+    let dir = if rx { "rx" } else { "tx" };
+    t.count(&format!("net.{host}.{dir}_msgs"), 1);
+    t.count(&format!("net.{host}.{dir}_bytes"), bytes as u64);
+    let host = host.to_string();
+    let event = if rx {
+        TraceEvent::PacketRx { host, proto, bytes }
+    } else {
+        TraceEvent::PacketTx { host, proto, bytes }
+    };
+    t.record(sim.now(), event);
+}
 
 /// Processor on which the stack runs. Protocol costs are strongly
 /// platform-dependent: the paper's §5.1.1 observes that "ARM cores on
@@ -312,9 +330,13 @@ impl HostStack {
         let (cost, src) = {
             let mut inner = self.inner.borrow_mut();
             inner.tx_msgs += 1;
-            let cost = self.scale(&inner, inner.profile.tx_cost(Proto::Udp, None, payload.len()));
+            let cost = self.scale(
+                &inner,
+                inner.profile.tx_cost(Proto::Udp, None, payload.len()),
+            );
             (cost, SockAddr::new(inner.host, src_port))
         };
+        note_packet(sim, src.host, "udp", payload.len(), false);
         let net = self.net.clone();
         let cores = self.inner.borrow().cores.clone();
         cores.submit(sim, cost, move |sim| {
@@ -369,9 +391,7 @@ impl HostStack {
                 },
             );
             inner.conn_rx.insert(id, Rc::new(RefCell::new(on_msg)));
-            inner
-                .pending_connect
-                .insert(id, Box::new(on_connected));
+            inner.pending_connect.insert(id, Box::new(on_connected));
             let cost = self.scale(&inner, inner.profile.tcp_conn_tx);
             (id, local_port, cost, inner.host)
         };
@@ -418,15 +438,22 @@ impl HostStack {
             );
             (cost, src, dst)
         };
+        note_packet(sim, src.host, "tcp", payload.len(), false);
         let net = self.net.clone();
         let cores = self.inner.borrow().cores.clone();
-        net_send_after(sim, cores, cost, net, Datagram {
-            src,
-            dst,
-            proto: Proto::Tcp,
-            conn: Some(conn),
-            payload,
-        });
+        net_send_after(
+            sim,
+            cores,
+            cost,
+            net,
+            Datagram {
+                src,
+                dst,
+                proto: Proto::Tcp,
+                conn: Some(conn),
+                payload,
+            },
+        );
     }
 
     /// Information about a local connection endpoint, if known.
@@ -459,6 +486,7 @@ impl HostStack {
             );
             (h, cost)
         };
+        note_packet(sim, dgram.dst.host, "udp", dgram.payload.len(), true);
         let cores = self.inner.borrow().cores.clone();
         cores.submit(sim, cost, move |sim| {
             (handler.borrow_mut())(sim, dgram);
@@ -546,6 +574,7 @@ impl HostStack {
             };
             (h, cost, bg)
         };
+        note_packet(sim, dgram.dst.host, "tcp", dgram.payload.len(), true);
         let cores = self.inner.borrow().cores.clone();
         if !bg.is_zero() {
             // Off-critical-path protocol work still occupies the cores.
@@ -620,12 +649,7 @@ mod tests {
     #[test]
     fn udp_unbound_port_drops() {
         let (mut sim, _net, client, server) = pair();
-        client.send_udp(
-            &mut sim,
-            5000,
-            SockAddr::new(server.host(), 9999),
-            vec![1],
-        );
+        client.send_udp(&mut sim, 5000, SockAddr::new(server.host(), 9999), vec![1]);
         sim.run();
         assert_eq!(server.counters().0, 0);
     }
@@ -681,7 +705,10 @@ mod tests {
             move |sim, conn| c2.send_tcp(sim, conn, vec![9]),
         );
         sim2.run();
-        assert!(t_tcp.get() > udp_done, "TCP handshake+server rx must cost more");
+        assert!(
+            t_tcp.get() > udp_done,
+            "TCP handshake+server rx must cost more"
+        );
     }
 
     #[test]

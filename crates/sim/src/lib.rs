@@ -14,6 +14,8 @@
 //! * [`Histogram`] — HDR-style log-bucketed latency histogram (≤1.6 %
 //!   relative quantization error) used for every latency figure.
 //! * [`stats`] — Welford accumulators and throughput meters.
+//! * [`telemetry`] — opt-in structured event tracing (JSONL / Chrome
+//!   `trace_event`) and named counters/gauges; zero-cost when disabled.
 //!
 //! Model state lives in `Rc<RefCell<_>>` handles captured by event closures,
 //! so simulations are single-threaded by construction; none of the handle
@@ -34,7 +36,7 @@
 //! assert_eq!(sim.now(), Time::from_micros(5));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod fifo;
@@ -42,6 +44,7 @@ mod histogram;
 mod server;
 mod sim;
 pub mod stats;
+pub mod telemetry;
 mod time;
 
 pub mod rng;
@@ -50,4 +53,5 @@ pub use fifo::{Fifo, FifoFullError};
 pub use histogram::Histogram;
 pub use server::{MultiServer, Server};
 pub use sim::Sim;
+pub use telemetry::{CounterRegistry, Telemetry, TraceEvent, TraceRecord};
 pub use time::Time;

@@ -282,8 +282,14 @@ mod tests {
             ends.push(pool.submit(&mut sim, Duration::from_micros(10), |_| {}));
         }
         // 8 jobs over 4 lanes: four finish at 10us, four at 20us.
-        assert_eq!(ends.iter().filter(|t| **t == Time::from_micros(10)).count(), 4);
-        assert_eq!(ends.iter().filter(|t| **t == Time::from_micros(20)).count(), 4);
+        assert_eq!(
+            ends.iter().filter(|t| **t == Time::from_micros(10)).count(),
+            4
+        );
+        assert_eq!(
+            ends.iter().filter(|t| **t == Time::from_micros(20)).count(),
+            4
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::telemetry::{Telemetry, TraceEvent};
 use crate::Time;
 
 type EventFn = Box<dyn FnOnce(&mut Sim)>;
@@ -74,6 +75,7 @@ pub struct Sim {
     seed: u64,
     stopped: bool,
     executed: u64,
+    telemetry: Option<Telemetry>,
 }
 
 impl fmt::Debug for Sim {
@@ -84,6 +86,7 @@ impl fmt::Debug for Sim {
             .field("executed", &self.executed)
             .field("seed", &self.seed)
             .field("stopped", &self.stopped)
+            .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
 }
@@ -99,6 +102,53 @@ impl Sim {
             seed,
             stopped: false,
             executed: 0,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a [`Telemetry`] sink (idempotent) and returns a handle to
+    /// it. Until this is called, every [`Sim::trace`] / [`Sim::count`] /
+    /// [`Sim::gauge`] hook is a no-op costing one `Option` check.
+    pub fn enable_telemetry(&mut self) -> Telemetry {
+        self.telemetry.get_or_insert_with(Telemetry::new).clone()
+    }
+
+    /// The attached telemetry sink, if [`Sim::enable_telemetry`] was
+    /// called. Instrumentation sites that need to build dynamic counter
+    /// names guard on this so the disabled path allocates nothing.
+    #[inline]
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Records a trace event stamped at the current simulated time.
+    ///
+    /// The closure only runs when telemetry is enabled, so event
+    /// construction (and its `String` allocations) costs nothing when
+    /// disabled.
+    #[inline]
+    pub fn trace(&self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = &self.telemetry {
+            t.record(self.now, event());
+        }
+    }
+
+    /// Adds `delta` to counter `name` when telemetry is enabled.
+    ///
+    /// Takes a `&'static str` so the disabled path never formats a name;
+    /// sites with dynamic names go through [`Sim::telemetry`] instead.
+    #[inline]
+    pub fn count(&self, name: &'static str, delta: u64) {
+        if let Some(t) = &self.telemetry {
+            t.count(name, delta);
+        }
+    }
+
+    /// Sets gauge `name` to `value` when telemetry is enabled.
+    #[inline]
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        if let Some(t) = &self.telemetry {
+            t.gauge(name, value);
         }
     }
 

@@ -1,0 +1,727 @@
+//! Deterministic structured tracing and per-component counters.
+//!
+//! Telemetry is **off by default** and costs one `Option` check per hook
+//! when disabled: every instrumentation site in the simulator either goes
+//! through [`Sim::trace`](crate::Sim::trace) (which takes a closure, so the
+//! event — and any `String` inside it — is only built when a sink is
+//! attached) or guards on [`Sim::telemetry`](crate::Sim::telemetry)
+//! returning `Some`.
+//!
+//! When enabled via [`Sim::enable_telemetry`](crate::Sim::enable_telemetry),
+//! a [`Telemetry`] handle collects:
+//!
+//! * a **structured event trace**: typed [`TraceEvent`]s stamped with the
+//!   simulated time, exportable as JSONL ([`Telemetry::to_jsonl`]) or as
+//!   Chrome `trace_event` JSON ([`Telemetry::to_chrome_trace`]) loadable in
+//!   `chrome://tracing` / [Perfetto](https://ui.perfetto.dev);
+//! * a [`CounterRegistry`] of named monotonic counters and point-in-time
+//!   gauges.
+//!
+//! Both are fully deterministic: events are recorded in event-execution
+//! order (which the simulator already fixes by `(time, seq)`), counter
+//! snapshots are sorted by name, and the exporters use no wall-clock,
+//! randomness, or hash-order iteration — two runs with the same seed
+//! produce byte-identical output. See `docs/OBSERVABILITY.md` for the
+//! event taxonomy and counter naming scheme.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::rc::Rc;
+
+use crate::Time;
+
+/// One typed event on the Lynx request path.
+///
+/// The variants follow a request through the pipeline:
+/// `PacketRx → Dispatch → Enqueue → AccelStart → AccelComplete → Forward →
+/// PacketTx`. All identifying fields are plain strings/integers so the
+/// trace is self-describing once serialized.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A message arrived at a protocol stack (NIC receive).
+    PacketRx {
+        /// Network identity of the receiving stack (e.g. `"host0"`).
+        host: String,
+        /// Transport: `"udp"` or `"tcp"`.
+        proto: &'static str,
+        /// Payload bytes.
+        bytes: usize,
+    },
+    /// The Message Dispatcher picked (or failed to pick) an mqueue.
+    Dispatch {
+        /// Active dispatch policy (e.g. `"round_robin"`).
+        policy: &'static str,
+        /// Label of the chosen mqueue, or `None` when every queue was full
+        /// and the request was dropped.
+        queue: Option<String>,
+    },
+    /// A request slot landed in accelerator memory (RDMA write + doorbell).
+    Enqueue {
+        /// Label of the target mqueue.
+        queue: String,
+        /// Ring sequence number of the slot.
+        seq: u64,
+        /// Payload bytes written.
+        bytes: usize,
+    },
+    /// A persistent accelerator worker popped a request and started on it.
+    AccelStart {
+        /// Label of the worker's mqueue.
+        queue: String,
+        /// Ring sequence number being served.
+        seq: u64,
+    },
+    /// The accelerator pushed its response and rang the TX doorbell.
+    AccelComplete {
+        /// Label of the worker's mqueue.
+        queue: String,
+        /// Ring sequence number served.
+        seq: u64,
+        /// Response payload bytes.
+        bytes: usize,
+    },
+    /// The forwarder pulled a response out of accelerator memory (RDMA
+    /// read) on its way back to the client.
+    Forward {
+        /// Label of the source mqueue.
+        queue: String,
+        /// Ring sequence number forwarded.
+        seq: u64,
+        /// Response payload bytes read.
+        bytes: usize,
+    },
+    /// A message left a protocol stack (NIC transmit).
+    PacketTx {
+        /// Network identity of the sending stack.
+        host: String,
+        /// Transport: `"udp"` or `"tcp"`.
+        proto: &'static str,
+        /// Payload bytes.
+        bytes: usize,
+    },
+    /// An event from a model component outside the fixed pipeline
+    /// vocabulary (devices, fabrics, applications).
+    Custom {
+        /// Track (Chrome-trace thread) to file the event under.
+        track: String,
+        /// Event name.
+        name: String,
+        /// Free-form detail string.
+        detail: String,
+    },
+}
+
+impl TraceEvent {
+    /// The event's kind tag as serialized into traces.
+    pub fn kind(&self) -> &str {
+        match self {
+            TraceEvent::PacketRx { .. } => "PacketRx",
+            TraceEvent::Dispatch { .. } => "Dispatch",
+            TraceEvent::Enqueue { .. } => "Enqueue",
+            TraceEvent::AccelStart { .. } => "AccelStart",
+            TraceEvent::AccelComplete { .. } => "AccelComplete",
+            TraceEvent::Forward { .. } => "Forward",
+            TraceEvent::PacketTx { .. } => "PacketTx",
+            TraceEvent::Custom { name, .. } => name,
+        }
+    }
+
+    /// The track (rendered as a thread row in `chrome://tracing`) the
+    /// event belongs to: `net/<host>`, `dispatcher`, `mqueue/<label>`,
+    /// `accel/<label>`, or a custom track.
+    pub fn track(&self) -> String {
+        match self {
+            TraceEvent::PacketRx { host, .. } | TraceEvent::PacketTx { host, .. } => {
+                format!("net/{host}")
+            }
+            TraceEvent::Dispatch { .. } => "dispatcher".to_string(),
+            TraceEvent::Enqueue { queue, .. } | TraceEvent::Forward { queue, .. } => {
+                format!("mqueue/{queue}")
+            }
+            TraceEvent::AccelStart { queue, .. } | TraceEvent::AccelComplete { queue, .. } => {
+                format!("accel/{queue}")
+            }
+            TraceEvent::Custom { track, .. } => track.clone(),
+        }
+    }
+
+    /// Appends the event's fields as a JSON object (`{"k":v,...}`) to `out`.
+    fn write_args_json(&self, out: &mut String) {
+        out.push('{');
+        match self {
+            TraceEvent::PacketRx { host, proto, bytes }
+            | TraceEvent::PacketTx { host, proto, bytes } => {
+                push_str_field(out, "host", host, false);
+                push_str_field(out, "proto", proto, false);
+                push_u64_field(out, "bytes", *bytes as u64, true);
+            }
+            TraceEvent::Dispatch { policy, queue } => {
+                push_str_field(out, "policy", policy, false);
+                match queue {
+                    Some(q) => push_str_field(out, "queue", q, true),
+                    None => {
+                        out.push_str("\"queue\":null");
+                    }
+                }
+            }
+            TraceEvent::Enqueue { queue, seq, bytes }
+            | TraceEvent::AccelComplete { queue, seq, bytes }
+            | TraceEvent::Forward { queue, seq, bytes } => {
+                push_str_field(out, "queue", queue, false);
+                push_u64_field(out, "seq", *seq, false);
+                push_u64_field(out, "bytes", *bytes as u64, true);
+            }
+            TraceEvent::AccelStart { queue, seq } => {
+                push_str_field(out, "queue", queue, false);
+                push_u64_field(out, "seq", *seq, true);
+            }
+            TraceEvent::Custom { detail, .. } => {
+                push_str_field(out, "detail", detail, true);
+            }
+        }
+        out.push('}');
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str, last: bool) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    push_json_string(out, value);
+    if !last {
+        out.push(',');
+    }
+}
+
+fn push_u64_field(out: &mut String, key: &str, value: u64, last: bool) {
+    let _ = write!(out, "\"{key}\":{value}");
+    if !last {
+        out.push(',');
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped) to `out`.
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A [`TraceEvent`] stamped with the simulated instant it happened at.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Simulated time of the event.
+    pub at: Time,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+/// Error returned by [`CounterRegistry::register`] for an already-taken name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DuplicateCounterError {
+    name: String,
+}
+
+impl fmt::Display for DuplicateCounterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "counter '{}' is already registered", self.name)
+    }
+}
+
+impl std::error::Error for DuplicateCounterError {}
+
+/// Registry of named monotonic counters and point-in-time gauges.
+///
+/// Counters are `u64` and only ever increase ([`CounterRegistry::add`]);
+/// gauges are `f64` samples that overwrite ([`CounterRegistry::set_gauge`]).
+/// Both live in `BTreeMap`s so snapshots iterate in sorted name order —
+/// a determinism requirement, not a cosmetic choice.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CounterRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl CounterRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> CounterRegistry {
+        CounterRegistry::default()
+    }
+
+    /// Pre-registers a counter at zero, erroring if the name is taken.
+    ///
+    /// Registration is optional — [`CounterRegistry::add`] auto-registers —
+    /// but lets a component reserve its names up front so they appear in
+    /// snapshots even when never incremented.
+    pub fn register(&mut self, name: impl Into<String>) -> Result<(), DuplicateCounterError> {
+        let name = name.into();
+        if self.counters.contains_key(&name) {
+            return Err(DuplicateCounterError { name });
+        }
+        self.counters.insert(name, 0);
+        Ok(())
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero first if
+    /// it has not been seen before.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        match self.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                self.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Sets the gauge `name` to `value`, creating it if needed.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        match self.gauges.get_mut(name) {
+            Some(v) => *v = value,
+            None => {
+                self.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Current value of counter `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`, if it has been set.
+    pub fn get_gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All counters as `(name, value)` pairs in sorted name order.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// All gauges as `(name, value)` pairs in sorted name order.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+}
+
+struct Inner {
+    records: Vec<TraceRecord>,
+    registry: CounterRegistry,
+}
+
+/// Shared handle to a simulation's telemetry sink.
+///
+/// Cloning is cheap (an `Rc` bump); the handle returned by
+/// [`Sim::enable_telemetry`](crate::Sim::enable_telemetry) stays valid for
+/// the life of the simulation and can be queried mid-run or after.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Telemetry")
+            .field("events", &inner.records.len())
+            .field("counters", &inner.registry.counters.len())
+            .field("gauges", &inner.registry.gauges.len())
+            .finish()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// Creates an empty sink (normally done through
+    /// [`Sim::enable_telemetry`](crate::Sim::enable_telemetry)).
+    pub fn new() -> Telemetry {
+        Telemetry {
+            inner: Rc::new(RefCell::new(Inner {
+                records: Vec::new(),
+                registry: CounterRegistry::new(),
+            })),
+        }
+    }
+
+    /// Appends an event stamped at `at`.
+    pub fn record(&self, at: Time, event: TraceEvent) {
+        self.inner
+            .borrow_mut()
+            .records
+            .push(TraceRecord { at, event });
+    }
+
+    /// Adds `delta` to counter `name` (auto-registering).
+    pub fn count(&self, name: &str, delta: u64) {
+        self.inner.borrow_mut().registry.add(name, delta);
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge(&self, name: &str, value: f64) {
+        self.inner.borrow_mut().registry.set_gauge(name, value);
+    }
+
+    /// Pre-registers counter `name`; errors if already registered.
+    pub fn register_counter(&self, name: impl Into<String>) -> Result<(), DuplicateCounterError> {
+        self.inner.borrow_mut().registry.register(name)
+    }
+
+    /// Current value of counter `name`.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.borrow().registry.get(name)
+    }
+
+    /// Sorted snapshot of every counter.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner.borrow().registry.snapshot()
+    }
+
+    /// Sorted snapshot of every gauge.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        self.inner.borrow().registry.gauges()
+    }
+
+    /// Number of trace events recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.inner.borrow().records.len()
+    }
+
+    /// Runs `f` over the recorded events without copying them.
+    pub fn with_records<R>(&self, f: impl FnOnce(&[TraceRecord]) -> R) -> R {
+        f(&self.inner.borrow().records)
+    }
+
+    /// Serializes the trace as JSONL: one JSON object per event, in
+    /// recording order, each with `ts_ns`, `kind`, `track`, and the
+    /// event's own fields under `args`.
+    pub fn to_jsonl(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut out = String::with_capacity(inner.records.len() * 96);
+        for r in &inner.records {
+            let _ = write!(out, "{{\"ts_ns\":{},\"kind\":", r.at.as_nanos());
+            push_json_string(&mut out, r.event.kind());
+            out.push_str(",\"track\":");
+            push_json_string(&mut out, &r.event.track());
+            out.push_str(",\"args\":");
+            r.event.write_args_json(&mut out);
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Serializes the trace in Chrome `trace_event` JSON format.
+    ///
+    /// Load the result in `chrome://tracing` or Perfetto. Each track maps
+    /// to a thread (named via `thread_name` metadata events, tids assigned
+    /// in order of first appearance). [`TraceEvent::AccelStart`] /
+    /// [`TraceEvent::AccelComplete`] pairs become duration (`B`/`E`)
+    /// events so accelerator service time renders as spans; everything
+    /// else is an instant (`i`) event. Timestamps are microseconds.
+    pub fn to_chrome_trace(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut tids: BTreeMap<String, u64> = BTreeMap::new();
+        let mut next_tid = 1u64;
+        let mut meta = String::new();
+        let mut body = String::new();
+        for r in &inner.records {
+            let track = r.event.track();
+            let tid = match tids.get(&track) {
+                Some(&t) => t,
+                None => {
+                    let t = next_tid;
+                    next_tid += 1;
+                    tids.insert(track.clone(), t);
+                    let _ = write!(
+                        meta,
+                        ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{t},\"args\":{{\"name\":"
+                    );
+                    push_json_string(&mut meta, &track);
+                    meta.push_str("}}");
+                    t
+                }
+            };
+            let ph = match r.event {
+                TraceEvent::AccelStart { .. } => "B",
+                TraceEvent::AccelComplete { .. } => "E",
+                _ => "i",
+            };
+            body.push_str(",\n{\"name\":");
+            push_json_string(&mut body, r.event.kind());
+            let _ = write!(body, ",\"ph\":\"{ph}\"");
+            if ph == "i" {
+                body.push_str(",\"s\":\"t\"");
+            }
+            let _ = write!(
+                body,
+                ",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"args\":",
+                r.at.as_micros_f64()
+            );
+            r.event.write_args_json(&mut body);
+            body.push('}');
+        }
+        let mut out = String::with_capacity(meta.len() + body.len() + 128);
+        out.push_str(
+            "{\"traceEvents\":[\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"lynx-sim\"}}",
+        );
+        out.push_str(&meta);
+        out.push_str(&body);
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Serializes counters then gauges as CSV (`name,value`, sorted).
+    pub fn counters_csv(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut out = String::from("name,value\n");
+        for (k, v) in inner.registry.counters.iter() {
+            let _ = writeln!(out, "{k},{v}");
+        }
+        for (k, v) in inner.registry.gauges.iter() {
+            let _ = writeln!(out, "{k},{v}");
+        }
+        out
+    }
+
+    /// Writes [`Telemetry::to_jsonl`] to `path`.
+    pub fn write_jsonl(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Writes [`Telemetry::to_chrome_trace`] to `path`.
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_chrome_trace())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_rejects_duplicates() {
+        let mut reg = CounterRegistry::new();
+        reg.register("a.b").unwrap();
+        let err = reg.register("a.b").unwrap_err();
+        assert_eq!(err.to_string(), "counter 'a.b' is already registered");
+        // Registration survives: value still readable and addable.
+        reg.add("a.b", 3);
+        assert_eq!(reg.get("a.b"), 3);
+    }
+
+    #[test]
+    fn add_auto_registers_and_accumulates() {
+        let mut reg = CounterRegistry::new();
+        reg.add("x", 2);
+        reg.add("x", 5);
+        assert_eq!(reg.get("x"), 7);
+        assert_eq!(reg.get("never"), 0);
+    }
+
+    #[test]
+    fn snapshots_are_name_sorted() {
+        let mut reg = CounterRegistry::new();
+        reg.add("zeta", 1);
+        reg.add("alpha", 2);
+        reg.add("mid", 3);
+        reg.set_gauge("z.g", 0.5);
+        reg.set_gauge("a.g", 1.5);
+        let names: Vec<_> = reg.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+        let gnames: Vec<_> = reg.gauges().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(gnames, vec!["a.g", "z.g"]);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut reg = CounterRegistry::new();
+        reg.set_gauge("util", 0.25);
+        reg.set_gauge("util", 0.75);
+        assert_eq!(reg.get_gauge("util"), Some(0.75));
+        assert_eq!(reg.get_gauge("missing"), None);
+    }
+
+    #[test]
+    fn jsonl_serializes_every_variant() {
+        let t = Telemetry::new();
+        t.record(
+            Time::from_nanos(10),
+            TraceEvent::PacketRx {
+                host: "h0".into(),
+                proto: "udp",
+                bytes: 64,
+            },
+        );
+        t.record(
+            Time::from_nanos(20),
+            TraceEvent::Dispatch {
+                policy: "round_robin",
+                queue: Some("gpu0+0x0".into()),
+            },
+        );
+        t.record(
+            Time::from_nanos(25),
+            TraceEvent::Dispatch {
+                policy: "round_robin",
+                queue: None,
+            },
+        );
+        t.record(
+            Time::from_nanos(30),
+            TraceEvent::Enqueue {
+                queue: "gpu0+0x0".into(),
+                seq: 0,
+                bytes: 64,
+            },
+        );
+        t.record(
+            Time::from_nanos(40),
+            TraceEvent::AccelStart {
+                queue: "gpu0+0x0".into(),
+                seq: 0,
+            },
+        );
+        t.record(
+            Time::from_nanos(50),
+            TraceEvent::AccelComplete {
+                queue: "gpu0+0x0".into(),
+                seq: 0,
+                bytes: 64,
+            },
+        );
+        t.record(
+            Time::from_nanos(60),
+            TraceEvent::Forward {
+                queue: "gpu0+0x0".into(),
+                seq: 0,
+                bytes: 64,
+            },
+        );
+        t.record(
+            Time::from_nanos(70),
+            TraceEvent::PacketTx {
+                host: "h1".into(),
+                proto: "udp",
+                bytes: 64,
+            },
+        );
+        let jsonl = t.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 8);
+        assert!(jsonl.contains("\"ts_ns\":10,\"kind\":\"PacketRx\""));
+        assert!(jsonl.contains("\"queue\":null"));
+        assert!(jsonl.contains("\"track\":\"mqueue/gpu0+0x0\""));
+        assert!(jsonl.contains("\"track\":\"accel/gpu0+0x0\""));
+        // Every line must parse as a flat JSON object (sanity: balanced
+        // braces, ends with }).
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn chrome_trace_assigns_tids_by_first_appearance() {
+        let t = Telemetry::new();
+        t.record(
+            Time::from_micros(1),
+            TraceEvent::Custom {
+                track: "beta".into(),
+                name: "e1".into(),
+                detail: String::new(),
+            },
+        );
+        t.record(
+            Time::from_micros(2),
+            TraceEvent::Custom {
+                track: "alpha".into(),
+                name: "e2".into(),
+                detail: String::new(),
+            },
+        );
+        let trace = t.to_chrome_trace();
+        // "beta" appeared first so it gets tid 1, "alpha" tid 2 — ordering
+        // is by appearance, not by name.
+        assert!(trace.contains("\"tid\":1,\"args\":{\"name\":\"beta\"}"));
+        assert!(trace.contains("\"tid\":2,\"args\":{\"name\":\"alpha\"}"));
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn accel_events_become_duration_pairs() {
+        let t = Telemetry::new();
+        t.record(
+            Time::from_micros(5),
+            TraceEvent::AccelStart {
+                queue: "q".into(),
+                seq: 1,
+            },
+        );
+        t.record(
+            Time::from_micros(9),
+            TraceEvent::AccelComplete {
+                queue: "q".into(),
+                seq: 1,
+                bytes: 8,
+            },
+        );
+        let trace = t.to_chrome_trace();
+        assert!(trace.contains("\"ph\":\"B\""));
+        assert!(trace.contains("\"ph\":\"E\""));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let build = || {
+            let t = Telemetry::new();
+            t.count("b", 1);
+            t.count("a", 2);
+            t.gauge("g", 0.125);
+            t.record(
+                Time::from_nanos(7),
+                TraceEvent::PacketRx {
+                    host: "h9".into(),
+                    proto: "tcp",
+                    bytes: 1500,
+                },
+            );
+            (t.to_jsonl(), t.to_chrome_trace(), t.counters_csv())
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn counters_csv_lists_counters_then_gauges() {
+        let t = Telemetry::new();
+        t.count("req", 9);
+        t.gauge("util", 0.5);
+        assert_eq!(t.counters_csv(), "name,value\nreq,9\nutil,0.5\n");
+    }
+}

@@ -195,10 +195,7 @@ impl OpenLoopClient {
     fn tick(&self, sim: &mut Sim) {
         self.shared.borrow_mut().send_one(sim);
         let gap = if self.poisson {
-            rng::exponential(
-                sim.rng(),
-                Duration::from_secs_f64(1.0 / self.rate_per_sec),
-            )
+            rng::exponential(sim.rng(), Duration::from_secs_f64(1.0 / self.rate_per_sec))
         } else {
             Duration::from_secs_f64(1.0 / self.rate_per_sec)
         };

@@ -5,6 +5,8 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+use lynx_sim::Telemetry;
+
 /// A simple fixed-width text table.
 ///
 /// # Example
@@ -101,7 +103,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -151,6 +157,40 @@ pub fn us(v: f64) -> String {
     format!("{v:.0} us")
 }
 
+/// Renders a telemetry handle's counters and gauges as a two-column table
+/// (`counter`, `value`), counters first, then gauges — both name-sorted so
+/// the rendering is deterministic across same-seed runs.
+pub fn counters_table(telemetry: &Telemetry) -> Table {
+    let mut t = Table::new(&["counter", "value"]);
+    for (name, value) in telemetry.counters() {
+        t.row(&[name, value.to_string()]);
+    }
+    for (name, value) in telemetry.gauges() {
+        t.row(&[name, format!("{value:.4}")]);
+    }
+    t
+}
+
+/// Writes the full set of telemetry artifacts into `dir`:
+///
+/// * `trace.jsonl` — one structured event per line,
+/// * `trace.json` — Chrome `trace_event` format (load in `chrome://tracing`
+///   or <https://ui.perfetto.dev>),
+/// * `counters.csv` — final counter and gauge snapshot.
+///
+/// Creates `dir` (and parents) if needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_telemetry_artifacts(telemetry: &Telemetry, dir: impl AsRef<Path>) -> io::Result<()> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    telemetry.write_jsonl(dir.join("trace.jsonl"))?;
+    telemetry.write_chrome_trace(dir.join("trace.json"))?;
+    fs::write(dir.join("counters.csv"), telemetry.counters_csv())
+}
+
 /// Prints a section banner for a bench harness.
 pub fn banner(title: &str) {
     let line = "=".repeat(title.len() + 8);
@@ -195,6 +235,33 @@ mod tests {
         assert_eq!(tput(7_400_000.0), "7.40 Mreq/s");
         assert_eq!(tput(900.0), "900 req/s");
         assert_eq!(us(300.4), "300 us");
+    }
+
+    #[test]
+    fn counters_table_lists_counters_then_gauges() {
+        let t = Telemetry::new();
+        t.count("b.second", 2);
+        t.count("a.first", 1);
+        t.gauge("z.gauge", 0.5);
+        let table = counters_table(&t);
+        let text = table.render();
+        let a = text.find("a.first").unwrap();
+        let b = text.find("b.second").unwrap();
+        let z = text.find("z.gauge").unwrap();
+        assert!(a < b && b < z);
+        assert!(text.contains("0.5000"));
+    }
+
+    #[test]
+    fn telemetry_artifacts_written() {
+        let t = Telemetry::new();
+        t.count("x", 1);
+        let dir = std::env::temp_dir().join("lynx-telemetry-artifacts-test");
+        write_telemetry_artifacts(&t, &dir).unwrap();
+        for f in ["trace.jsonl", "trace.json", "counters.csv"] {
+            assert!(dir.join(f).exists(), "{f} missing");
+        }
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -159,7 +159,9 @@ mod tests {
         let curve = sweep(&[1e3, 1e4, 1e5], |r| {
             fake_summary(r.min(5e4), if r > 2e4 { 1_000 } else { 50 })
         });
-        let cap = curve.capacity_under_slo(Duration::from_micros(200)).unwrap();
+        let cap = curve
+            .capacity_under_slo(Duration::from_micros(200))
+            .unwrap();
         assert_eq!(cap, 1e4);
         assert_eq!(curve.capacity_under_slo(Duration::from_nanos(1)), None);
     }

@@ -36,7 +36,10 @@ impl AccelApp for FaceVerify {
             ctx.reply(sim, &[0xFF]);
             return;
         };
-        let get = kv::Request::Get { key: label.to_vec() }.encode();
+        let get = kv::Request::Get {
+            key: label.to_vec(),
+        }
+        .encode();
         let probe = probe.to_vec();
         ctx.call_backend(sim, 0, &get, move |sim, ctx, resp| {
             let verdict = match kv::Response::decode(&resp) {
@@ -149,7 +152,10 @@ fn main() {
         measure: Duration::from_millis(500),
     };
     let summary = run_measured(&mut sim, &[&client], spec);
-    assert_eq!(summary.invalid, 0, "every response is a well-formed verdict");
+    assert_eq!(
+        summary.invalid, 0,
+        "every response is a well-formed verdict"
+    );
 
     let (accepted, genuine, rejected, impostors) = *tally.borrow();
     println!("face verification service over Lynx ({} mqueues)", 28);

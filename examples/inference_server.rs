@@ -25,7 +25,12 @@ use lynx::workload::{run_measured, ClosedLoopClient, RunSpec};
 
 const MODEL_SEED: u64 = 2020;
 
-fn client(net: &Network, name: &str, addr: SockAddr, census: Rc<RefCell<[u64; 10]>>) -> ClosedLoopClient {
+fn client(
+    net: &Network,
+    name: &str,
+    addr: SockAddr,
+    census: Rc<RefCell<[u64; 10]>>,
+) -> ClosedLoopClient {
     let host = net.add_host(name, LinkSpec::gbps40());
     let stack = HostStack::new(
         net,
@@ -34,15 +39,20 @@ fn client(net: &Network, name: &str, addr: SockAddr, census: Rc<RefCell<[u64; 10
         StackProfile::of(Platform::Xeon, StackKind::Vma),
     );
     let gen = Rc::new(RefCell::new(DigitGenerator::new(5)));
-    ClosedLoopClient::new(stack, addr, 4, Rc::new(move |seq| gen.borrow_mut().image((seq % 10) as u8)))
-        .validate(move |_seq, payload| {
-            if payload.len() == 1 && payload[0] < 10 {
-                census.borrow_mut()[payload[0] as usize] += 1;
-                true
-            } else {
-                false
-            }
-        })
+    ClosedLoopClient::new(
+        stack,
+        addr,
+        4,
+        Rc::new(move |seq| gen.borrow_mut().image((seq % 10) as u8)),
+    )
+    .validate(move |_seq, payload| {
+        if payload.len() == 1 && payload[0] < 10 {
+            census.borrow_mut()[payload[0] as usize] += 1;
+            true
+        } else {
+            false
+        }
+    })
 }
 
 fn main() {
@@ -83,12 +93,7 @@ fn main() {
     let machine = Machine::new(&net, "server-0");
     let gpu = machine.add_gpu(GpuSpec::k40m());
     let stack = machine.host_stack(1, StackKind::Vma);
-    let server = HostCentricServer::new(
-        stack,
-        gpu,
-        Rc::new(LeNetProcessor::new(MODEL_SEED)),
-        7777,
-    );
+    let server = HostCentricServer::new(stack, gpu, Rc::new(LeNetProcessor::new(MODEL_SEED)), 7777);
     let census_hc = Rc::new(RefCell::new([0u64; 10]));
     let c = client(
         &net,
@@ -128,8 +133,9 @@ fn main() {
     }
     let reference = LeNet::new(MODEL_SEED);
     let mut gen = DigitGenerator::new(5);
-    let expected: std::collections::HashSet<u8> =
-        (0..10u8).map(|d| reference.classify(&gen.image(d))).collect();
+    let expected: std::collections::HashSet<u8> = (0..10u8)
+        .map(|d| reference.classify(&gen.image(d)))
+        .collect();
     for (class, count) in census.borrow().iter().enumerate() {
         if *count > 0 {
             assert!(

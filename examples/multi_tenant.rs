@@ -100,7 +100,8 @@ fn main() {
         Rc::new(|seq| vecscale::encode_vec(&[seq as i32; 256])),
     )
     .validate(|seq, p| {
-        vecscale::decode_vec(p).is_some_and(|v| v.iter().all(|&x| x == (seq as i32).wrapping_mul(5)))
+        vecscale::decode_vec(p)
+            .is_some_and(|v| v.iter().all(|&x| x == (seq as i32).wrapping_mul(5)))
     });
 
     let spec = RunSpec {

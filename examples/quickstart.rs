@@ -5,6 +5,10 @@
 //! GPU worker behind an mqueue — and drives it with a closed-loop UDP
 //! client, printing throughput and latency.
 //!
+//! With telemetry enabled (the default here) the run also prints the final
+//! counter snapshot and writes `target/quickstart-telemetry/trace.json`
+//! for `chrome://tracing` — see `docs/OBSERVABILITY.md`.
+//!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
@@ -16,11 +20,14 @@ use lynx::core::testbed::{deploy_processor, DeployConfig, Machine};
 use lynx::device::{EchoProcessor, GpuSpec};
 use lynx::net::{HostStack, LinkSpec, Network, Platform, StackKind, StackProfile};
 use lynx::sim::{MultiServer, Sim};
+use lynx::workload::report::{counters_table, write_telemetry_artifacts};
 use lynx::workload::{run_measured, ClosedLoopClient, RunSpec};
 
 fn main() {
-    // 1. A deterministic simulation and a datacenter network.
+    // 1. A deterministic simulation (with structured telemetry on) and a
+    //    datacenter network.
     let mut sim = Sim::new(42);
+    let telemetry = sim.enable_telemetry();
     let net = Network::new();
 
     // 2. One server machine with a K40m GPU; Lynx deployed on its
@@ -73,5 +80,15 @@ fn main() {
         "GPU workers completed {} requests across {} mqueues",
         deployment.completed(),
         deployment.mqueues.len(),
+    );
+
+    // 5. Telemetry: final counter snapshot plus trace artifacts.
+    println!("\n{}", counters_table(&telemetry).render());
+    let dir = std::path::Path::new("target/quickstart-telemetry");
+    write_telemetry_artifacts(&telemetry, dir).expect("write telemetry artifacts");
+    println!(
+        "wrote {} trace events to {} (open trace.json in chrome://tracing)",
+        telemetry.event_count(),
+        dir.display(),
     );
 }

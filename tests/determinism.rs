@@ -36,7 +36,12 @@ fn run_once(seed: u64) -> RunSummary {
         StackProfile::of(Platform::Xeon, StackKind::Vma),
     );
     // Poisson arrivals exercise the random stream.
-    let client = OpenLoopClient::new(stack, d.server_addr, 20_000.0, Rc::new(|s| vec![s as u8; 64]));
+    let client = OpenLoopClient::new(
+        stack,
+        d.server_addr,
+        20_000.0,
+        Rc::new(|s| vec![s as u8; 64]),
+    );
     run_measured(&mut sim, &[&client], RunSpec::quick())
 }
 

@@ -10,7 +10,6 @@ use lynx::net::{HostStack, Network};
 use lynx::sim::Sim;
 use lynx::workload::{run_measured, ClosedLoopClient, OpenLoopClient, RunSpec};
 
-
 fn client_stack(net: &Network) -> HostStack {
     use lynx::net::{LinkSpec, Platform, StackKind, StackProfile};
     use lynx::sim::MultiServer;

@@ -103,8 +103,7 @@ fn write_barrier_mode_roundtrips_and_costs_latency() {
             &cfg,
             Rc::new(EchoProcessor),
         );
-        let c = client(&net, "client", d.server_addr, 1)
-            .validate(|s, p| p == vec![s as u8; 32]);
+        let c = client(&net, "client", d.server_addr, 1).validate(|s, p| p == vec![s as u8; 32]);
         run_measured(&mut sim, &[&c], RunSpec::quick())
     };
     let plain = run(false);

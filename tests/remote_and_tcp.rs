@@ -65,7 +65,10 @@ fn mixed_local_remote_gpus_share_load() {
         &mut sim,
         &net,
         &snic_machine,
-        &[snic_machine.gpu_site(&local), remote_machine.gpu_site(&remote)],
+        &[
+            snic_machine.gpu_site(&local),
+            remote_machine.gpu_site(&remote),
+        ],
         &DeployConfig {
             mqueues_per_gpu: 1,
             ..DeployConfig::default()
@@ -85,7 +88,10 @@ fn mixed_local_remote_gpus_share_load() {
     let w1 = d.workers[1].completed();
     assert!(w0 > 0 && w1 > 0, "both GPUs must serve ({w0}, {w1})");
     let ratio = w0 as f64 / w1 as f64;
-    assert!((0.7..1.4).contains(&ratio), "balanced dispatch, got {ratio}");
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "balanced dispatch, got {ratio}"
+    );
 }
 
 /// The TCP frontend: handshake, framed messages, in-order responses with
@@ -157,11 +163,7 @@ fn udp_and_tcp_share_one_service() {
         2,
         Rc::new(|s| vec![s as u8; 32]),
     );
-    let summary = run_measured(
-        &mut sim,
-        &[&udp as &dyn LoadClient, &tcp],
-        RunSpec::quick(),
-    );
+    let summary = run_measured(&mut sim, &[&udp as &dyn LoadClient, &tcp], RunSpec::quick());
     assert!(udp.stats().received > 50);
     assert!(tcp.stats().received > 50);
     assert_eq!(summary.invalid, 0);

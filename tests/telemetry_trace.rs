@@ -1,0 +1,121 @@
+//! Telemetry determinism: two same-seed runs of the quickstart scenario
+//! must produce byte-identical traces and counter snapshots.
+
+use std::rc::Rc;
+
+use lynx::core::testbed::{deploy_processor, DeployConfig, Machine};
+use lynx::device::{EchoProcessor, GpuSpec};
+use lynx::net::{HostStack, Network};
+use lynx::sim::{Sim, Telemetry};
+use lynx::workload::{run_measured, ClosedLoopClient, RunSpec};
+
+fn client_stack(net: &Network) -> HostStack {
+    use lynx::net::{LinkSpec, Platform, StackKind, StackProfile};
+    use lynx::sim::MultiServer;
+    let host = net.add_host("client", LinkSpec::gbps40());
+    HostStack::new(
+        net,
+        host,
+        MultiServer::new(2, 1.0),
+        StackProfile::of(Platform::Xeon, StackKind::Vma),
+    )
+}
+
+/// One traced run of the echo scenario at a given seed, returning the
+/// telemetry handle after the run completes.
+fn traced_echo_run(seed: u64) -> Telemetry {
+    let mut sim = Sim::new(seed);
+    let telemetry = sim.enable_telemetry();
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let deployment = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &DeployConfig::default(),
+        Rc::new(EchoProcessor),
+    );
+    let client = ClosedLoopClient::new(
+        client_stack(&net),
+        deployment.server_addr,
+        4,
+        Rc::new(|seq| format!("request-{seq:08}").into_bytes()),
+    );
+    let summary = run_measured(&mut sim, &[&client], RunSpec::quick());
+    assert!(summary.received > 100, "received {}", summary.received);
+    telemetry
+}
+
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    let a = traced_echo_run(42);
+    let b = traced_echo_run(42);
+
+    // The trace must be non-trivial: the full pipeline emits events.
+    assert!(a.event_count() > 1_000, "only {} events", a.event_count());
+    assert_eq!(a.event_count(), b.event_count());
+
+    // Byte-for-byte identical exports in every format.
+    assert_eq!(a.to_jsonl(), b.to_jsonl());
+    assert_eq!(a.to_chrome_trace(), b.to_chrome_trace());
+    assert_eq!(a.counters_csv(), b.counters_csv());
+    assert_eq!(a.counters(), b.counters());
+}
+
+#[test]
+fn traced_run_covers_the_whole_pipeline() {
+    let t = traced_echo_run(42);
+
+    // Every pipeline stage contributed counters...
+    for name in [
+        "server.requests",
+        "server.dispatched",
+        "server.replies",
+        "dispatch.picks.round_robin",
+        "accel.started",
+        "accel.completed",
+        "fabric.rdma.writes",
+        "fabric.rdma.reads",
+    ] {
+        assert!(t.counter(name) > 0, "counter {name} never incremented");
+    }
+
+    // ...and every event kind shows up in the JSONL trace.
+    let jsonl = t.to_jsonl();
+    for kind in [
+        "PacketRx",
+        "PacketTx",
+        "Dispatch",
+        "Enqueue",
+        "AccelStart",
+        "AccelComplete",
+        "Forward",
+    ] {
+        assert!(
+            jsonl.contains(&format!("\"kind\":\"{kind}\"")),
+            "event kind {kind} missing from trace"
+        );
+    }
+
+    // The Chrome export is valid enough for chrome://tracing: a
+    // `traceEvents` object with matched begin/end accelerator spans.
+    let chrome = t.to_chrome_trace();
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.trim_end().ends_with("]}"));
+    let begins = chrome.matches("\"ph\":\"B\"").count();
+    let ends = chrome.matches("\"ph\":\"E\"").count();
+    assert!(begins > 0);
+    assert_eq!(begins, ends, "unbalanced duration events");
+}
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let sim = Sim::new(42);
+    assert!(sim.telemetry().is_none());
+    // Tracing and counting through the Sim facade are no-ops when disabled.
+    sim.count("anything", 1);
+    sim.trace(|| unreachable!("event closure must not run when disabled"));
+    assert!(sim.telemetry().is_none());
+}

@@ -148,10 +148,17 @@ fn tenant_overload_does_not_drop_the_other_tenants_traffic() {
         Rc::new(|s| vec![s as u8; 16]),
     );
     let b = client(&rig.net, "client-b", SockAddr::new(rig.snic, 7002), 0xB0);
-    let _ = run_measured(&mut rig.sim, &[&flood as &dyn LoadClient, &b], RunSpec::quick());
+    let _ = run_measured(
+        &mut rig.sim,
+        &[&flood as &dyn LoadClient, &b],
+        RunSpec::quick(),
+    );
     let sa = rig.server.service_stats(ServiceId::DEFAULT);
     let sb = rig.server.service_stats(ServiceId(1));
-    assert!(sa.dropped > 0, "the flooding tenant overflows its own rings");
+    assert!(
+        sa.dropped > 0,
+        "the flooding tenant overflows its own rings"
+    );
     assert_eq!(sb.dropped, 0, "the well-behaved tenant loses nothing");
     assert_eq!(b.stats().invalid, 0);
 }

@@ -1,0 +1,112 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! The Lynx workspace builds in hermetic environments without a crates.io
+//! registry, so the subset of the criterion API its benches use is vendored
+//! here: [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Differences from upstream: there is no statistical analysis, warm-up
+//! calibration, or HTML report — each benchmark runs a fixed number of
+//! iterations (controlled by the `CRITERION_ITERS` environment variable,
+//! default 100) and prints the mean wall-clock time per iteration. That is
+//! enough to run `cargo bench` offline and eyeball relative costs.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let iters = std::env::var("CRITERION_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100);
+        Criterion { iters }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark named `id` and prints its mean time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.iters,
+            mean_ns: f64::NAN,
+        };
+        f(&mut b);
+        if b.mean_ns.is_nan() {
+            println!("{id:<40} (no measurement)");
+        } else if b.mean_ns >= 1_000_000.0 {
+            println!("{id:<40} {:>12.3} ms/iter", b.mean_ns / 1_000_000.0);
+        } else if b.mean_ns >= 1_000.0 {
+            println!("{id:<40} {:>12.3} us/iter", b.mean_ns / 1_000.0);
+        } else {
+            println!("{id:<40} {:>12.1} ns/iter", b.mean_ns);
+        }
+        self
+    }
+}
+
+/// Re-export of [`std::hint::black_box`] for API compatibility.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a group runner, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits a `main` that runs the listed groups, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sample/add", |b| b.iter(|| 2u64 + 2));
+    }
+
+    criterion_group!(unit_group, sample_bench);
+
+    #[test]
+    fn group_runs_and_measures() {
+        std::env::set_var("CRITERION_ITERS", "10");
+        unit_group();
+    }
+}
