@@ -16,7 +16,7 @@ use lynx_apps::aes::{SgxMultiplyService, SGX_COMPUTE_TIME};
 use lynx_bench::{client_stack, ShapeReport};
 use lynx_core::testbed::Machine;
 use lynx_core::{
-    CostModel, DispatchPolicy, ExecUnit, LynxServer, Mqueue, MqueueConfig, MqueueKind,
+    CostModel, DispatchPolicy, ExecUnit, LynxServerBuilder, Mqueue, MqueueConfig, MqueueKind,
     ProcessorApp, RemoteMqManager, Worker,
 };
 use lynx_device::{calib, CpuKind, RequestProcessor, Vca, VcaNode};
@@ -71,12 +71,6 @@ fn run_lynx() -> (f64, u64) {
         MultiServer::new(calib::BLUEFIELD_LYNX_CORES, 1.0),
         StackProfile::of(Platform::ArmA72, StackKind::Vma),
     );
-    let server = LynxServer::new(
-        stack.clone(),
-        CostModel::for_cpu(CpuKind::ArmA72),
-        DispatchPolicy::RoundRobin,
-    );
-
     // §5.4 workaround: RDMA into VCA memory did not work, so the mqueue
     // lives in *host* memory mapped into the VCA.
     let cfg = MqueueConfig {
@@ -88,8 +82,15 @@ fn run_lynx() -> (f64, u64) {
     let mem = MemRegion::new(host_node, cfg.required_bytes(), "vca-mqueue-hostmem");
     let mq = Mqueue::new(MqueueKind::Server, mem, 0, cfg);
     let qp = machine.rdma_nic().loopback_qp();
-    let accel = server.add_accelerator(RemoteMqManager::new(qp));
-    server.add_server_mqueue(accel, mq.clone());
+    let server = LynxServerBuilder::new(stack.clone())
+        .cost_model(CostModel::for_cpu(CpuKind::ArmA72))
+        .policy(DispatchPolicy::RoundRobin)
+        .accelerator(RemoteMqManager::new(qp))
+        .server_mqueue(0, mq.clone())
+        .listen_udp(9000)
+        .build(&mut sim)
+        .expect("VCA deployment is valid");
+    let _ = &server;
 
     let svc = Rc::new(SgxMultiplyService::new(KEY, FACTOR));
     let worker = Worker::new(
@@ -98,7 +99,6 @@ fn run_lynx() -> (f64, u64) {
         Rc::new(ProcessorApp::new(svc)),
     );
     worker.start();
-    server.listen_udp(9000);
 
     let check = SgxMultiplyService::new(KEY, FACTOR);
     let client = OpenLoopClient::new(

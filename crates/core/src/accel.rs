@@ -133,6 +133,7 @@ struct Inner {
     clients: RefCell<Vec<Rc<ClientPort>>>,
     busy: Cell<bool>,
     done_count: Cell<u64>,
+    dead: Cell<bool>,
 }
 
 /// A persistent worker: one execution unit bound to one server mqueue.
@@ -174,6 +175,7 @@ impl Worker {
                 clients: RefCell::new(Vec::new()),
                 busy: Cell::new(false),
                 done_count: Cell::new(0),
+                dead: Cell::new(false),
             }),
         }
     }
@@ -221,12 +223,34 @@ impl Worker {
         self.inner.done_count.get()
     }
 
+    /// Whether an injected crash has killed this worker (fault site
+    /// `accel.<mqueue label>`). A dead worker never polls again; the SNIC
+    /// health monitor notices the stalled mqueue and quarantines it.
+    pub fn crashed(&self) -> bool {
+        self.inner.dead.get()
+    }
+
     fn poll(inner: &Rc<Inner>, sim: &mut Sim) {
+        if inner.dead.get() {
+            return; // crashed: requests pile up unserved
+        }
         if inner.busy.get() {
             return; // picked up after the current request completes
         }
+        let mut detect = inner.unit.poll_detect() + inner.unit.local_io();
+        if sim.faults_enabled() {
+            let site = format!("accel.{}", inner.mq.label());
+            match sim.fault_at(&site) {
+                Some(lynx_sim::FaultAction::Crash) => {
+                    inner.dead.set(true);
+                    sim.count("accel.crashed", 1);
+                    return;
+                }
+                Some(lynx_sim::FaultAction::Hang(stall)) => detect += stall,
+                _ => {}
+            }
+        }
         inner.busy.set(true);
-        let detect = inner.unit.poll_detect() + inner.unit.local_io();
         let inner = Rc::clone(inner);
         sim.schedule_in(detect, move |sim| match inner.mq.acc_pop_request() {
             Some((seq, request)) => {
@@ -478,5 +502,75 @@ mod tests {
         // Three 100us requests serialized: at least 300us of simulated time.
         assert!(sim.now() >= lynx_sim::Time::from_micros(300));
         assert_eq!(worker.completed(), 3);
+    }
+
+    #[test]
+    fn injected_crash_kills_the_worker() {
+        use lynx_sim::{FaultAction, FaultPlan, Trigger};
+        let mut sim = Sim::new(0);
+        sim.enable_telemetry();
+        let (_gpu, unit) = gpu_unit();
+        let mq = server_mq();
+        let worker = Worker::new(
+            unit,
+            mq.clone(),
+            Rc::new(ProcessorApp::new(Rc::new(EchoProcessor))),
+        );
+        worker.start();
+        // Second poll attempt crashes the execution unit.
+        sim.enable_faults(FaultPlan::new(7).rule(
+            format!("accel.{}", mq.label()),
+            Trigger::Nth(2),
+            FaultAction::Crash,
+        ));
+        inject(&mut sim, &mq, b"one");
+        sim.run();
+        assert_eq!(worker.completed(), 1);
+        inject(&mut sim, &mq, b"two");
+        sim.run();
+        assert!(worker.crashed());
+        assert_eq!(worker.completed(), 1, "crashed worker serves nothing");
+        // First response (uncollected here) + the stuck second request.
+        assert_eq!(mq.in_flight(), 2);
+        assert_eq!(sim.telemetry().unwrap().counter("accel.crashed"), 1);
+    }
+
+    #[test]
+    fn injected_hang_delays_but_preserves_work() {
+        use lynx_sim::{FaultAction, FaultPlan, Trigger};
+        let clean = {
+            let mut sim = Sim::new(0);
+            let (_gpu, unit) = gpu_unit();
+            let mq = server_mq();
+            let worker = Worker::new(
+                unit,
+                mq.clone(),
+                Rc::new(ProcessorApp::new(Rc::new(EchoProcessor))),
+            );
+            worker.start();
+            inject(&mut sim, &mq, b"x");
+            sim.run();
+            assert_eq!(worker.completed(), 1);
+            sim.now()
+        };
+        let mut sim = Sim::new(0);
+        let (_gpu, unit) = gpu_unit();
+        let mq = server_mq();
+        let worker = Worker::new(
+            unit,
+            mq.clone(),
+            Rc::new(ProcessorApp::new(Rc::new(EchoProcessor))),
+        );
+        worker.start();
+        let stall = Duration::from_micros(400);
+        sim.enable_faults(FaultPlan::new(7).rule(
+            format!("accel.{}", mq.label()),
+            Trigger::Nth(1),
+            FaultAction::Hang(stall),
+        ));
+        inject(&mut sim, &mq, b"x");
+        sim.run();
+        assert_eq!(worker.completed(), 1, "hang delays, it does not drop");
+        assert!(sim.now() >= clean + stall);
     }
 }

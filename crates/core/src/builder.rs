@@ -1,0 +1,259 @@
+//! Fluent construction of a [`LynxServer`].
+//!
+//! Replaces the imperative `new` / `add_accelerator` / `add_server_mqueue`
+//! / `listen_udp` call sequence with a declarative description that is
+//! validated as a whole at [`LynxServerBuilder::build`] time: invalid
+//! accelerator references, empty deployments, and other misconfigurations
+//! surface as [`Error::Config`](crate::Error::Config) instead of panics or
+//! silently-broken servers. See [`LynxServerBuilder`] for an example.
+
+use lynx_net::{HostStack, SockAddr};
+use lynx_sim::{Sim, Telemetry};
+
+use crate::{
+    CostModel, DispatchPolicy, LynxServer, Mqueue, RecoveryConfig, RemoteMqManager, ServiceId,
+};
+
+enum Listener {
+    Udp(u16),
+    Tcp(u16),
+}
+
+/// One tenant service being described.
+struct ServiceSpec {
+    policy: DispatchPolicy,
+    mqueues: Vec<(usize, Mqueue)>,
+    listeners: Vec<Listener>,
+}
+
+/// Declarative builder for a [`LynxServer`].
+///
+/// ```
+/// # use lynx_core::testbed::Machine;
+/// # use lynx_core::{DispatchPolicy, LynxServerBuilder, Mqueue, MqueueConfig,
+/// #                 MqueueKind, RemoteMqManager};
+/// # use lynx_device::GpuSpec;
+/// # use lynx_net::{Network, StackKind};
+/// # use lynx_sim::Sim;
+/// # let mut sim = Sim::new(0);
+/// # let net = Network::new();
+/// # let machine = Machine::new(&net, "server-0");
+/// # let gpu = machine.add_gpu(GpuSpec::k40m());
+/// # let cfg = MqueueConfig::default();
+/// # let base = gpu.alloc(cfg.required_bytes());
+/// # let mq = Mqueue::new(MqueueKind::Server, gpu.mem(), base, cfg);
+/// # let stack = machine.host_stack(1, StackKind::Vma);
+/// let server = LynxServerBuilder::new(stack)
+///     .policy(DispatchPolicy::RoundRobin)
+///     .accelerator(RemoteMqManager::new(machine.rdma_nic().loopback_qp()))
+///     .server_mqueue(0, mq)
+///     .listen_udp(7000)
+///     .build(&mut sim)
+///     .expect("valid deployment");
+/// ```
+///
+/// Methods configuring queues and listeners apply to the *current* tenant
+/// service — the default one until [`LynxServerBuilder::service`] opens
+/// another (multi-tenancy, §4.5).
+pub struct LynxServerBuilder {
+    stack: HostStack,
+    costs: Option<CostModel>,
+    recovery: RecoveryConfig,
+    accels: Vec<RemoteMqManager>,
+    services: Vec<ServiceSpec>,
+    bridges: Vec<(usize, Mqueue, SockAddr)>,
+    errors: Vec<String>,
+}
+
+impl std::fmt::Debug for LynxServerBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LynxServerBuilder")
+            .field("accelerators", &self.accels.len())
+            .field("services", &self.services.len())
+            .field("errors", &self.errors)
+            .finish()
+    }
+}
+
+impl LynxServerBuilder {
+    /// Starts describing a server that processes messages on `stack`.
+    ///
+    /// Defaults: ARM (BlueField) cost model, round-robin dispatch, and
+    /// SNIC-side recovery **enabled** with [`RecoveryConfig::default`].
+    pub fn new(stack: HostStack) -> LynxServerBuilder {
+        LynxServerBuilder {
+            stack,
+            costs: None,
+            recovery: RecoveryConfig::default(),
+            accels: Vec::new(),
+            services: vec![ServiceSpec {
+                policy: DispatchPolicy::RoundRobin,
+                mqueues: Vec::new(),
+                listeners: Vec::new(),
+            }],
+            bridges: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// Sets the per-message CPU cost model (defaults to the BlueField ARM
+    /// cores' model).
+    pub fn cost_model(mut self, costs: CostModel) -> Self {
+        self.costs = Some(costs);
+        self
+    }
+
+    /// Sets the dispatch policy of the *current* service.
+    pub fn policy(mut self, policy: DispatchPolicy) -> Self {
+        self.services.last_mut().expect("one service always").policy = policy;
+        self
+    }
+
+    /// Sets the SNIC health-monitor policy ([`RecoveryConfig::disabled`]
+    /// reproduces the pre-recovery server).
+    pub fn recovery(mut self, cfg: RecoveryConfig) -> Self {
+        self.recovery = cfg;
+        self
+    }
+
+    /// Registers an accelerator through its Remote MQ Manager.
+    /// Accelerators receive sequential ids starting at 0, used by
+    /// [`LynxServerBuilder::server_mqueue`] and
+    /// [`LynxServerBuilder::backend_bridge`].
+    pub fn accelerator(mut self, rmq: RemoteMqManager) -> Self {
+        self.accels.push(rmq);
+        self
+    }
+
+    /// Opens an additional tenant service (§4.5); subsequent
+    /// `server_mqueue` / `listen_*` calls apply to it. Returns the builder;
+    /// the new service's [`ServiceId`] is its position in declaration
+    /// order (the default service is `ServiceId(0)`, the first `service`
+    /// call opens `ServiceId(1)`, ...).
+    pub fn service(mut self, policy: DispatchPolicy) -> Self {
+        self.services.push(ServiceSpec {
+            policy,
+            mqueues: Vec::new(),
+            listeners: Vec::new(),
+        });
+        self
+    }
+
+    /// Attaches a server mqueue of accelerator `accel` to the current
+    /// service.
+    pub fn server_mqueue(mut self, accel: usize, mq: Mqueue) -> Self {
+        if let Err(e) = mq.config().check() {
+            self.errors.push(format!("mqueue '{}': {e}", mq.label()));
+        }
+        self.services
+            .last_mut()
+            .expect("one service always")
+            .mqueues
+            .push((accel, mq));
+        self
+    }
+
+    /// Bridges a client mqueue of accelerator `accel` to the backend
+    /// service at `dst` (§4.3).
+    pub fn backend_bridge(mut self, accel: usize, mq: Mqueue, dst: SockAddr) -> Self {
+        self.bridges.push((accel, mq, dst));
+        self
+    }
+
+    /// Listens for UDP clients of the current service on `port`.
+    pub fn listen_udp(mut self, port: u16) -> Self {
+        self.services
+            .last_mut()
+            .expect("one service always")
+            .listeners
+            .push(Listener::Udp(port));
+        self
+    }
+
+    /// Listens for TCP clients of the current service on `port`.
+    pub fn listen_tcp(mut self, port: u16) -> Self {
+        self.services
+            .last_mut()
+            .expect("one service always")
+            .listeners
+            .push(Listener::Tcp(port));
+        self
+    }
+
+    /// Validates the description and assembles the server.
+    ///
+    /// The server's statistics registry is bound to the simulation's
+    /// telemetry registry when telemetry is enabled, so `server.*`,
+    /// `dispatch.*` and `mqueue.*` counters appear in telemetry exports
+    /// and [`LynxServer::stats`] reads the very same cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`](crate::Error::Config) listing every
+    /// problem found: out-of-range accelerator ids, no accelerators, a
+    /// service with listeners but no mqueues, or invalid mqueue geometry.
+    pub fn build(self, sim: &mut Sim) -> crate::Result<LynxServer> {
+        let mut errors = self.errors;
+        if self.accels.is_empty() {
+            errors.push("no accelerators registered".into());
+        }
+        let n_accels = self.accels.len();
+        for (si, svc) in self.services.iter().enumerate() {
+            for (accel, mq) in &svc.mqueues {
+                if *accel >= n_accels {
+                    errors.push(format!(
+                        "service {si}: mqueue '{}' references accelerator {accel}, \
+                         but only {n_accels} are registered",
+                        mq.label()
+                    ));
+                }
+            }
+            if !svc.listeners.is_empty() && svc.mqueues.is_empty() {
+                errors.push(format!("service {si} has listeners but no server mqueues"));
+            }
+        }
+        for (accel, mq, _) in &self.bridges {
+            if *accel >= n_accels {
+                errors.push(format!(
+                    "backend bridge on mqueue '{}' references accelerator {accel}, \
+                     but only {n_accels} are registered",
+                    mq.label()
+                ));
+            }
+        }
+        if !errors.is_empty() {
+            return Err(crate::Error::Config(errors.join("; ")));
+        }
+
+        let costs = self
+            .costs
+            .unwrap_or_else(|| CostModel::for_cpu(lynx_device::CpuKind::ArmA72));
+        let stats = sim.telemetry().cloned().unwrap_or_else(Telemetry::new);
+        let default_policy = self.services[0].policy;
+        let server = LynxServer::construct(self.stack, costs, default_policy, self.recovery, stats);
+        for rmq in self.accels {
+            server.inner_add_accelerator(rmq);
+        }
+        for (si, svc) in self.services.into_iter().enumerate() {
+            let id = if si == 0 {
+                ServiceId::DEFAULT
+            } else {
+                server.inner_add_service(svc.policy)
+            };
+            debug_assert_eq!(id.0, si);
+            for (accel, mq) in svc.mqueues {
+                server.inner_add_server_mqueue(id, accel, mq);
+            }
+            for l in svc.listeners {
+                match l {
+                    Listener::Udp(port) => server.inner_listen_udp(id, port),
+                    Listener::Tcp(port) => server.inner_listen_tcp(id, port),
+                }
+            }
+        }
+        for (accel, mq, dst) in self.bridges {
+            server.inner_add_backend_bridge(sim, accel, mq, dst);
+        }
+        Ok(server)
+    }
+}

@@ -1,6 +1,7 @@
 //! Message dispatch policies (§4.2: "load balancing for stateless
 //! services, or steering messages to specific queues for stateful ones").
 
+use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::Mqueue;
@@ -36,6 +37,7 @@ impl DispatchPolicy {
 pub struct Dispatcher {
     policy: DispatchPolicy,
     cursor: usize,
+    quarantined: BTreeSet<usize>,
 }
 
 impl fmt::Debug for Dispatcher {
@@ -43,6 +45,7 @@ impl fmt::Debug for Dispatcher {
         f.debug_struct("Dispatcher")
             .field("policy", &self.policy)
             .field("cursor", &self.cursor)
+            .field("quarantined", &self.quarantined)
             .finish()
     }
 }
@@ -50,7 +53,11 @@ impl fmt::Debug for Dispatcher {
 impl Dispatcher {
     /// Creates a dispatcher with the given policy.
     pub fn new(policy: DispatchPolicy) -> Dispatcher {
-        Dispatcher { policy, cursor: 0 }
+        Dispatcher {
+            policy,
+            cursor: 0,
+            quarantined: BTreeSet::new(),
+        }
     }
 
     /// The active policy.
@@ -58,9 +65,38 @@ impl Dispatcher {
         self.policy
     }
 
+    /// Removes mqueue `index` from the eligible set; subsequent picks
+    /// redistribute its traffic to the surviving queues. Idempotent.
+    /// Used by the SNIC health monitor when an accelerator stalls or
+    /// crashes.
+    pub fn quarantine(&mut self, index: usize) {
+        self.quarantined.insert(index);
+    }
+
+    /// Re-admits a previously quarantined mqueue. Idempotent; returns
+    /// `true` if the queue was actually quarantined.
+    pub fn readmit(&mut self, index: usize) -> bool {
+        self.quarantined.remove(&index)
+    }
+
+    /// Whether mqueue `index` is currently quarantined.
+    pub fn is_quarantined(&self, index: usize) -> bool {
+        self.quarantined.contains(&index)
+    }
+
+    /// Number of currently quarantined mqueues.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    fn eligible(&self, mqueues: &[Mqueue], i: usize) -> bool {
+        !self.quarantined.contains(&i) && mqueues[i].in_flight() < mqueues[i].config().slots
+    }
+
     /// Picks a target mqueue index for a request from `client_key`,
-    /// skipping full queues. Returns `None` when every queue is full
-    /// (the request is dropped, as UDP overload would).
+    /// skipping full and quarantined queues. Returns `None` when no
+    /// eligible queue has room (the request is dropped, as UDP overload
+    /// would).
     pub fn pick(&mut self, mqueues: &[Mqueue], client_key: u64) -> Option<usize> {
         if mqueues.is_empty() {
             return None;
@@ -75,21 +111,27 @@ impl Dispatcher {
             DispatchPolicy::LeastLoaded => mqueues
                 .iter()
                 .enumerate()
+                .filter(|(i, _)| !self.quarantined.contains(i))
                 .min_by_key(|(_, q)| q.in_flight())
                 .map(|(i, _)| i)
                 .unwrap_or(0),
             DispatchPolicy::Steering => (client_key % n as u64) as usize,
         };
-        // Steering must not fail over to another queue (it would break
-        // state affinity); the others skip full queues.
+        // Steering must not fail over to another queue while its target is
+        // healthy (that would break state affinity), but a *quarantined*
+        // target is deterministically re-homed by linear probing — the
+        // client's state is lost with the dead accelerator anyway; the
+        // others skip full/quarantined queues.
         match self.policy {
             DispatchPolicy::Steering => {
-                let q = &mqueues[start];
-                (q.in_flight() < q.config().slots).then_some(start)
+                let target = (0..n)
+                    .map(|i| (start + i) % n)
+                    .find(|&i| !self.quarantined.contains(&i))?;
+                self.eligible(mqueues, target).then_some(target)
             }
             _ => (0..n)
                 .map(|i| (start + i) % n)
-                .find(|&i| mqueues[i].in_flight() < mqueues[i].config().slots),
+                .find(|&i| self.eligible(mqueues, i)),
         }
     }
 }
@@ -181,5 +223,60 @@ mod tests {
     fn empty_queue_set_returns_none() {
         let mut d = Dispatcher::default();
         assert_eq!(d.pick(&[], 0), None);
+    }
+
+    #[test]
+    fn quarantined_queue_is_skipped_and_readmitted() {
+        let qs = queues(3, 4);
+        let mut d = Dispatcher::new(DispatchPolicy::RoundRobin);
+        d.quarantine(1);
+        assert!(d.is_quarantined(1));
+        let picks: Vec<_> = (0..6).map(|_| d.pick(&qs, 0).unwrap()).collect();
+        assert!(!picks.contains(&1), "quarantined queue must get no traffic");
+        assert!(picks.contains(&0) && picks.contains(&2));
+        assert!(d.readmit(1));
+        assert!(!d.readmit(1), "second readmit is a no-op");
+        let picks: Vec<_> = (0..6).map(|_| d.pick(&qs, 0).unwrap()).collect();
+        assert!(picks.contains(&1), "readmitted queue serves again");
+    }
+
+    #[test]
+    fn least_loaded_never_picks_quarantined() {
+        let qs = queues(3, 8);
+        // Queue 1 is idle (most attractive) but quarantined.
+        qs[0].try_reserve(ReturnAddr::Fixed).unwrap();
+        qs[2].try_reserve(ReturnAddr::Fixed).unwrap();
+        qs[2].try_reserve(ReturnAddr::Fixed).unwrap();
+        let mut d = Dispatcher::new(DispatchPolicy::LeastLoaded);
+        d.quarantine(1);
+        assert_eq!(d.pick(&qs, 0), Some(0));
+    }
+
+    #[test]
+    fn steering_rehomes_deterministically_around_quarantine() {
+        let qs = queues(4, 8);
+        let mut d = Dispatcher::new(DispatchPolicy::Steering);
+        let home = d.pick(&qs, 42).unwrap();
+        d.quarantine(home);
+        let fallback = d.pick(&qs, 42).unwrap();
+        assert_eq!(fallback, (home + 1) % 4, "linear probe to next survivor");
+        for _ in 0..5 {
+            assert_eq!(d.pick(&qs, 42), Some(fallback), "re-homing is sticky");
+        }
+        d.readmit(home);
+        assert_eq!(d.pick(&qs, 42), Some(home), "affinity restored on readmit");
+    }
+
+    #[test]
+    fn all_quarantined_returns_none() {
+        let qs = queues(2, 4);
+        let mut d = Dispatcher::new(DispatchPolicy::RoundRobin);
+        d.quarantine(0);
+        d.quarantine(1);
+        assert_eq!(d.pick(&qs, 0), None);
+        let mut d = Dispatcher::new(DispatchPolicy::Steering);
+        d.quarantine(0);
+        d.quarantine(1);
+        assert_eq!(d.pick(&qs, 0), None);
     }
 }

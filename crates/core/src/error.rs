@@ -1,0 +1,81 @@
+//! Typed errors for recoverable conditions on the Lynx control plane.
+
+use std::fmt;
+
+/// Error type returned by lynx-core setup and enqueue paths.
+///
+/// Only *recoverable* conditions are represented — programming errors (an
+/// out-of-range mqueue index, an oversized payload) still panic, matching
+/// the convention that invariants are asserted while operational conditions
+/// are reported.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An mqueue ring was full and the request could not be enqueued. The
+    /// caller may retry later, shed load, or pick another queue.
+    Backpressure {
+        /// Label of the full mqueue.
+        queue: String,
+    },
+    /// The Remote MQ Manager exhausted its retry budget talking to an
+    /// accelerator (injected CQE errors / verb timeouts; see
+    /// `docs/ROBUSTNESS.md`).
+    Transport {
+        /// Label of the mqueue the verbs targeted.
+        queue: String,
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
+    /// A configuration was rejected at build time (zero slots, undersized
+    /// memory, missing listener, ...).
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Backpressure { queue } => {
+                write!(f, "mqueue '{queue}' is full (backpressure)")
+            }
+            Error::Transport { queue, attempts } => write!(
+                f,
+                "transport to mqueue '{queue}' failed after {attempts} attempts"
+            ),
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias used throughout lynx-core's fallible paths.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = Error::Backpressure {
+            queue: "gpu0+0x0".into(),
+        };
+        assert_eq!(e.to_string(), "mqueue 'gpu0+0x0' is full (backpressure)");
+        let e = Error::Transport {
+            queue: "gpu0+0x0".into(),
+            attempts: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "transport to mqueue 'gpu0+0x0' failed after 5 attempts"
+        );
+        let e = Error::Config("slots must be a power of two".into());
+        assert!(e.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std(_: &dyn std::error::Error) {}
+        takes_std(&Error::Config("x".into()));
+    }
+}

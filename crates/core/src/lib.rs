@@ -41,7 +41,9 @@
 #![warn(missing_debug_implementations)]
 
 mod accel;
+mod builder;
 mod dispatch;
+mod error;
 mod hostcentric;
 mod innova;
 mod mqueue;
@@ -50,9 +52,11 @@ mod server;
 pub mod testbed;
 
 pub use accel::{AccelApp, ExecUnit, ProcessorApp, ThreadblockUnit, Worker, WorkerCtx};
+pub use builder::LynxServerBuilder;
 pub use dispatch::{DispatchPolicy, Dispatcher};
+pub use error::{Error, Result};
 pub use hostcentric::HostCentricServer;
 pub use innova::InnovaReceiver;
 pub use mqueue::{Mqueue, MqueueConfig, MqueueKind, ReturnAddr, SLOT_HEADER};
-pub use rmq::RemoteMqManager;
-pub use server::{CostModel, LynxServer, ServerStats, ServiceId, SnicPlatform};
+pub use rmq::{RemoteMqManager, RmqConfig};
+pub use server::{CostModel, LynxServer, RecoveryConfig, ServerStats, ServiceId, SnicPlatform};

@@ -7,7 +7,9 @@ use std::rc::Rc;
 
 use lynx_fabric::MemRegion;
 use lynx_net::{ConnId, SockAddr};
-use lynx_sim::{Sim, TraceEvent};
+use lynx_sim::{Sim, Telemetry, TraceEvent};
+
+use crate::Error;
 
 /// Per-slot header: message length (u32) + sequence/doorbell (u32).
 ///
@@ -79,17 +81,30 @@ impl MqueueConfig {
         self.slot_size - SLOT_HEADER
     }
 
+    /// Validates the configuration, reporting the first problem found.
+    pub fn check(&self) -> crate::Result<()> {
+        if self.slots == 0 {
+            return Err(Error::Config("mqueue needs at least one slot".into()));
+        }
+        if self.slot_size <= SLOT_HEADER {
+            return Err(Error::Config(format!(
+                "slot_size {} must exceed the {SLOT_HEADER}-byte header",
+                self.slot_size
+            )));
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
     /// Panics if `slots == 0` or `slot_size <= SLOT_HEADER`.
+    #[deprecated(since = "0.2.0", note = "use `check()`, which returns a Result")]
     pub fn validate(&self) {
-        assert!(self.slots > 0, "mqueue needs at least one slot");
-        assert!(
-            self.slot_size > SLOT_HEADER,
-            "slot_size must exceed the {SLOT_HEADER}-byte header"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -126,7 +141,10 @@ struct Inner {
     inflight: VecDeque<ReturnAddr>,
     rx_watcher: Option<Watcher>,
     tx_watcher: Option<Watcher>,
-    drops: u64,
+    /// Counter sink this queue reports drops into. Starts as a private
+    /// registry; [`Mqueue::bind_stats`] rebinds it (e.g. to the server's
+    /// sink) so queue counters and server stats share one source of truth.
+    stats: Telemetry,
 }
 
 /// One message queue residing in accelerator memory.
@@ -162,7 +180,6 @@ impl fmt::Debug for Mqueue {
             .field("in_flight", &inner.inflight.len())
             .field("rx_pushed", &inner.rx_pushed)
             .field("tx_popped", &inner.tx_popped)
-            .field("drops", &inner.drops)
             .finish()
     }
 }
@@ -173,16 +190,34 @@ impl Mqueue {
     /// # Panics
     ///
     /// Panics if the configuration is invalid or the region is too small.
+    /// Use [`Mqueue::try_new`] for a non-panicking variant.
     pub fn new(kind: MqueueKind, mem: MemRegion, base: usize, cfg: MqueueConfig) -> Mqueue {
-        cfg.validate();
-        assert!(
-            base + cfg.required_bytes() <= mem.len(),
-            "mqueue does not fit in region '{}'",
-            mem.name()
-        );
+        match Mqueue::try_new(kind, mem, base, cfg) {
+            Ok(mq) => mq,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Carves an mqueue out of accelerator memory at `base`, reporting
+    /// configuration problems instead of panicking.
+    pub fn try_new(
+        kind: MqueueKind,
+        mem: MemRegion,
+        base: usize,
+        cfg: MqueueConfig,
+    ) -> crate::Result<Mqueue> {
+        cfg.check()?;
+        if base + cfg.required_bytes() > mem.len() {
+            return Err(Error::Config(format!(
+                "mqueue needs {} bytes at offset {base} but region '{}' holds {}",
+                cfg.required_bytes(),
+                mem.name(),
+                mem.len()
+            )));
+        }
         let ring = cfg.slots * cfg.slot_size;
         let label = format!("{}+{base:#x}", mem.name());
-        Mqueue {
+        Ok(Mqueue {
             inner: Rc::new(RefCell::new(Inner {
                 kind,
                 cfg,
@@ -198,9 +233,9 @@ impl Mqueue {
                 inflight: VecDeque::new(),
                 rx_watcher: None,
                 tx_watcher: None,
-                drops: 0,
+                stats: Telemetry::new(),
             })),
-        }
+        })
     }
 
     /// The queue's kind.
@@ -233,14 +268,43 @@ impl Mqueue {
         depth_of(&self.inner.borrow())
     }
 
-    /// Requests rejected because the ring was full.
+    /// Requests rejected because the ring was full, read from the queue's
+    /// counter sink (counter `mqueue.<label>.drops`).
     pub fn drops(&self) -> u64 {
-        self.inner.borrow().drops
+        let inner = self.inner.borrow();
+        inner
+            .stats
+            .counter(&format!("mqueue.{}.drops", inner.label))
     }
 
     /// Total requests pushed so far.
     pub fn pushed(&self) -> u64 {
         self.inner.borrow().rx_pushed
+    }
+
+    /// Total responses the accelerator has produced on this queue — the
+    /// progress signal the SNIC health monitor watches.
+    pub fn responses(&self) -> u64 {
+        self.inner.borrow().tx_pushed
+    }
+
+    /// Total responses already collected (completed) by the SNIC — the
+    /// sequence number the next [`Mqueue::complete`] must carry.
+    pub fn collected(&self) -> u64 {
+        self.inner.borrow().tx_popped
+    }
+
+    /// Rebinds the queue's counter sink (e.g. to the owning server's
+    /// telemetry registry), migrating counts recorded so far so readings
+    /// like [`Mqueue::drops`] never lose history.
+    pub fn bind_stats(&self, sink: &Telemetry) {
+        let mut inner = self.inner.borrow_mut();
+        let name = format!("mqueue.{}.drops", inner.label);
+        let prior = inner.stats.counter(&name);
+        if prior > 0 {
+            sink.count(&name, prior);
+        }
+        inner.stats = sink.clone();
     }
 
     // --- SNIC (producer/collector) side -----------------------------------
@@ -250,10 +314,9 @@ impl Mqueue {
     ///
     /// # Errors
     ///
-    /// Returns `Err(())` — and counts a drop — when `slots` requests are
-    /// already in flight.
-    #[allow(clippy::result_unit_err)]
-    pub fn try_reserve(&self, ret: ReturnAddr) -> Result<u64, ()> {
+    /// Returns [`Error::Backpressure`] — and counts a drop — when `slots`
+    /// requests are already in flight.
+    pub fn try_reserve(&self, ret: ReturnAddr) -> crate::Result<u64> {
         let mut inner = self.inner.borrow_mut();
         let occupied = match inner.kind {
             // A server RX slot stays occupied until its response leaves.
@@ -262,8 +325,11 @@ impl Mqueue {
             MqueueKind::Client => inner.rx_pushed - inner.rx_popped,
         };
         if occupied as usize >= inner.cfg.slots {
-            inner.drops += 1;
-            return Err(());
+            let name = format!("mqueue.{}.drops", inner.label);
+            inner.stats.count(&name, 1);
+            return Err(Error::Backpressure {
+                queue: inner.label.clone(),
+            });
         }
         let seq = inner.rx_pushed;
         inner.rx_pushed += 1;
@@ -637,10 +703,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not fit")]
+    #[should_panic(expected = "region 'tiny' holds 64")]
     fn region_too_small_rejected() {
         let mem = MemRegion::new(NodeId::host(), 64, "tiny");
         let _ = Mqueue::new(MqueueKind::Server, mem, 0, MqueueConfig::default());
+    }
+
+    #[test]
+    fn bad_configs_are_reported_not_panicked() {
+        use crate::Error;
+        let zero_slots = MqueueConfig {
+            slots: 0,
+            ..MqueueConfig::default()
+        };
+        assert!(matches!(zero_slots.check(), Err(Error::Config(_))));
+        let thin_slots = MqueueConfig {
+            slot_size: SLOT_HEADER,
+            ..MqueueConfig::default()
+        };
+        assert!(matches!(thin_slots.check(), Err(Error::Config(_))));
+        assert!(MqueueConfig::default().check().is_ok());
+        let mem = MemRegion::new(NodeId::host(), 64, "tiny");
+        let err = Mqueue::try_new(MqueueKind::Server, mem, 0, MqueueConfig::default()).unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn full_ring_reports_backpressure_with_queue_label() {
+        use crate::Error;
+        let q = mq(MqueueKind::Server, 1);
+        q.try_reserve(ReturnAddr::Fixed).unwrap();
+        match q.try_reserve(ReturnAddr::Fixed) {
+            Err(Error::Backpressure { queue }) => assert_eq!(queue, q.label()),
+            other => panic!("expected backpressure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bind_stats_migrates_drop_history() {
+        use lynx_sim::Telemetry;
+        let q = mq(MqueueKind::Server, 1);
+        q.try_reserve(ReturnAddr::Fixed).unwrap();
+        let _ = q.try_reserve(ReturnAddr::Fixed);
+        assert_eq!(q.drops(), 1);
+        let sink = Telemetry::new();
+        q.bind_stats(&sink);
+        // History carried over, and new drops land in the shared sink.
+        assert_eq!(q.drops(), 1);
+        let _ = q.try_reserve(ReturnAddr::Fixed);
+        assert_eq!(q.drops(), 2);
+        assert_eq!(sink.counter(&format!("mqueue.{}.drops", q.label())), 2);
     }
 
     #[test]

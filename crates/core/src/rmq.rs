@@ -5,24 +5,201 @@
 //! memory". One RC QP per accelerator carries all of that accelerator's
 //! mqueues (§5.1), keeping the SNIC fully accelerator-agnostic: it never
 //! runs an accelerator driver.
+//!
+//! # Recovery
+//!
+//! When a fault plan is armed (see `lynx_sim::faults`), every verb the
+//! manager posts is guarded by a watchdog: a verb that completes in error
+//! (injected CQE) or fails to complete within [`RmqConfig::verb_timeout`]
+//! is reposted with bounded exponential backoff, up to
+//! [`RmqConfig::max_retries`] times. Retried verbs are idempotent — they
+//! rewrite the same bytes at the same offset — so a late original landing
+//! after its watchdog fired is harmless. Exhausting the budget surfaces
+//! [`Error::Transport`] to the caller. Without a fault plan the watchdog is
+//! never armed and the data path is bit-identical to the pre-recovery
+//! implementation.
 
+use std::cell::{Cell, RefCell};
 use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
 
 use lynx_fabric::QueuePair;
 use lynx_sim::{Sim, TraceEvent};
 
 use crate::mqueue::SLOT_HEADER;
-use crate::{Mqueue, ReturnAddr};
+use crate::{Error, Mqueue, ReturnAddr};
+
+/// Timeout/retry policy for the manager's RDMA verbs.
+///
+/// Only consulted when a fault plan is armed on the simulation; on the
+/// fault-free fast path no watchdog timers are scheduled at all.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmqConfig {
+    /// How long to wait for a verb's completion before reposting it.
+    pub verb_timeout: Duration,
+    /// Maximum repost attempts after the initial one.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub backoff: Duration,
+    /// Upper bound on the backoff growth.
+    pub backoff_max: Duration,
+}
+
+impl Default for RmqConfig {
+    fn default() -> Self {
+        RmqConfig {
+            verb_timeout: Duration::from_micros(100),
+            max_retries: 4,
+            backoff: Duration::from_micros(5),
+            backoff_max: Duration::from_micros(80),
+        }
+    }
+}
+
+impl RmqConfig {
+    fn backoff_delay(&self, prior_attempts: u32) -> Duration {
+        let exp = prior_attempts.min(16);
+        self.backoff_max.min(self.backoff * 2u32.pow(exp))
+    }
+}
+
+/// One posting attempt: runs the verb, reporting `Ok(value)` on success or
+/// `Err(())` on an error CQE. Invoked once per attempt by [`with_retry`].
+type PostFn<T> = dyn Fn(&mut Sim, Box<dyn FnOnce(&mut Sim, Result<T, ()>)>);
+
+/// Completion continuation handed to [`with_retry`].
+type DoneFn<T> = Box<dyn FnOnce(&mut Sim, crate::Result<T>)>;
+
+/// The self-reposting attempt closure of [`with_retry`] (argument: attempt
+/// index) and the holder it re-invokes itself through on retry.
+type AttemptFn = Rc<dyn Fn(&mut Sim, u32)>;
+type AttemptHolder = Rc<RefCell<Option<AttemptFn>>>;
+
+/// Drives `post` to completion under a per-attempt watchdog with bounded
+/// exponential backoff, then calls `done` exactly once with the final
+/// outcome. Counts `rmq.timeouts` / `rmq.retries` / `rmq.giveups` and
+/// emits `RmqRetry` / `RmqGiveUp` trace events along the way.
+fn with_retry<T: 'static>(
+    cfg: RmqConfig,
+    sim: &mut Sim,
+    queue: String,
+    post: Rc<PostFn<T>>,
+    done: DoneFn<T>,
+) {
+    let done: Rc<RefCell<Option<DoneFn<T>>>> = Rc::new(RefCell::new(Some(done)));
+    // The attempt closure re-invokes itself (via this holder) on retry; the
+    // holder is cleared once the delivery settles, breaking the Rc cycle.
+    let holder: AttemptHolder = Rc::new(RefCell::new(None));
+    let attempt: AttemptFn = {
+        let holder = Rc::clone(&holder);
+        let done = Rc::clone(&done);
+        Rc::new(move |sim: &mut Sim, n: u32| {
+            // Each attempt settles exactly once: either its completion
+            // callback or its watchdog, whichever comes first. A late
+            // completion of an attempt whose watchdog already fired is
+            // ignored (the repost rewrote the same bytes — idempotent).
+            let settled = Rc::new(Cell::new(false));
+            let retry = {
+                let holder = Rc::clone(&holder);
+                let done = Rc::clone(&done);
+                let queue = queue.clone();
+                move |sim: &mut Sim| {
+                    if n < cfg.max_retries {
+                        let next = n + 1;
+                        sim.count("rmq.retries", 1);
+                        let q = queue.clone();
+                        sim.trace(|| TraceEvent::RmqRetry {
+                            queue: q,
+                            attempt: next,
+                        });
+                        let holder2 = Rc::clone(&holder);
+                        sim.schedule_in(cfg.backoff_delay(n), move |sim| {
+                            let again = holder2
+                                .borrow()
+                                .clone()
+                                .expect("retry scheduled after delivery settled");
+                            again(sim, next);
+                        });
+                    } else {
+                        let attempts = n + 1;
+                        sim.count("rmq.giveups", 1);
+                        let q = queue.clone();
+                        sim.trace(|| TraceEvent::RmqGiveUp { queue: q, attempts });
+                        holder.borrow_mut().take();
+                        if let Some(d) = done.borrow_mut().take() {
+                            d(
+                                sim,
+                                Err(Error::Transport {
+                                    queue: queue.clone(),
+                                    attempts,
+                                }),
+                            );
+                        }
+                    }
+                }
+            };
+            let on_timeout = retry.clone();
+            let s1 = Rc::clone(&settled);
+            let done_ok = Rc::clone(&done);
+            let holder_ok = Rc::clone(&holder);
+            post(
+                sim,
+                Box::new(move |sim, result| {
+                    if s1.replace(true) {
+                        return;
+                    }
+                    match result {
+                        Ok(v) => {
+                            holder_ok.borrow_mut().take();
+                            if let Some(d) = done_ok.borrow_mut().take() {
+                                d(sim, Ok(v));
+                            }
+                        }
+                        Err(()) => retry(sim),
+                    }
+                }),
+            );
+            let s2 = settled;
+            sim.schedule_in(cfg.verb_timeout, move |sim| {
+                if s2.replace(true) {
+                    return;
+                }
+                sim.count("rmq.timeouts", 1);
+                on_timeout(sim);
+            });
+        })
+    };
+    *holder.borrow_mut() = Some(Rc::clone(&attempt));
+    attempt(sim, 0);
+}
+
+/// Releases response slot `seq` as soon as it becomes the oldest
+/// outstanding one, then runs `deliver`. Retried RDMA reads can land out
+/// of posting order, but [`Mqueue::complete`] requires in-order release;
+/// this shim restores the order by polling deterministically.
+fn complete_in_order(sim: &mut Sim, mq: Mqueue, seq: u64, deliver: Box<dyn FnOnce(&mut Sim)>) {
+    if mq.collected() == seq {
+        mq.complete(seq);
+        deliver(sim);
+    } else {
+        sim.schedule_in(Duration::from_nanos(500), move |sim| {
+            complete_in_order(sim, mq, seq, deliver);
+        });
+    }
+}
 
 /// SmartNIC-side manager of all mqueues of one accelerator.
 pub struct RemoteMqManager {
     qp: QueuePair,
+    cfg: RmqConfig,
 }
 
 impl fmt::Debug for RemoteMqManager {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RemoteMqManager")
             .field("qp", &self.qp)
+            .field("cfg", &self.cfg)
             .finish()
     }
 }
@@ -30,9 +207,19 @@ impl fmt::Debug for RemoteMqManager {
 impl RemoteMqManager {
     /// Creates a manager using `qp` — the accelerator's dedicated RC queue
     /// pair (loopback for local accelerators, network RDMA for remote
-    /// ones, §5.5).
+    /// ones, §5.5) — with the default [`RmqConfig`].
     pub fn new(qp: QueuePair) -> RemoteMqManager {
-        RemoteMqManager { qp }
+        RemoteMqManager::with_config(qp, RmqConfig::default())
+    }
+
+    /// Creates a manager with an explicit timeout/retry policy.
+    pub fn with_config(qp: QueuePair, cfg: RmqConfig) -> RemoteMqManager {
+        RemoteMqManager { qp, cfg }
+    }
+
+    /// The manager's timeout/retry policy.
+    pub fn config(&self) -> RmqConfig {
+        self.cfg
     }
 
     /// RDMA statistics of the underlying QP: `(writes, reads, bytes)`.
@@ -47,24 +234,22 @@ impl RemoteMqManager {
     /// data write, a flushing RDMA read, and the doorbell write are issued
     /// separately — the §5.1 GPU-consistency workaround (+5 µs/message).
     ///
-    /// Calls `delivered(sim, true)` once the doorbell has landed and the
-    /// accelerator has been notified, or `delivered(sim, false)` if the
-    /// ring was full and the request dropped.
+    /// Returns the reserved ring sequence number, or
+    /// [`Error::Backpressure`] when the ring is full (the drop is counted
+    /// on the mqueue's own sink; `delivered` is *not* called in that case).
+    /// After a successful reservation, `delivered` runs exactly once: with
+    /// `Ok(())` once the doorbell has landed and the accelerator has been
+    /// notified, or — only possible when a fault plan is armed — with
+    /// [`Error::Transport`] after the retry budget is exhausted.
     pub fn push_request(
         &self,
         sim: &mut Sim,
         mq: &Mqueue,
         ret: ReturnAddr,
         payload: &[u8],
-        delivered: impl FnOnce(&mut Sim, bool) + 'static,
-    ) {
-        let Ok(seq) = mq.try_reserve(ret) else {
-            if let Some(t) = sim.telemetry() {
-                t.count(&format!("mqueue.{}.drops", mq.label()), 1);
-            }
-            delivered(sim, false);
-            return;
-        };
+        delivered: impl FnOnce(&mut Sim, crate::Result<()>) + 'static,
+    ) -> crate::Result<u64> {
+        let seq = mq.try_reserve(ret)?;
         let bytes = payload.len();
         let mq_evt = mq.clone();
         sim.trace(|| TraceEvent::Enqueue {
@@ -76,35 +261,134 @@ impl RemoteMqManager {
         let mem = mq.mem();
         let cfg = mq.config();
         let mq2 = mq.clone();
+        if !sim.faults_enabled() {
+            // Fault-free fast path: identical verb sequence (and timing) to
+            // the pre-recovery implementation; no watchdogs are armed.
+            if cfg.coalesce_metadata && !cfg.write_barrier {
+                let slot = mq.encode_slot(seq, payload);
+                self.qp.post_write(sim, slot, &mem, offset, move |sim| {
+                    mq2.notify_rx(sim);
+                    delivered(sim, Ok(()));
+                });
+            } else {
+                // Split delivery: payload first, optional flushing read,
+                // then the doorbell word. RC-QP ordering keeps data before
+                // doorbell.
+                let mut data = ((payload.len() as u32).to_le_bytes()).to_vec();
+                data.extend_from_slice(&[0; 4]); // doorbell written separately
+                data.extend_from_slice(payload);
+                self.qp.post_write(sim, data, &mem, offset, |_| {});
+                if cfg.write_barrier {
+                    self.qp.post_barrier(sim, &mem, |_| {});
+                }
+                let bell = ((seq + 1) as u32).to_le_bytes().to_vec();
+                self.qp.post_write(sim, bell, &mem, offset + 4, move |sim| {
+                    mq2.notify_rx(sim);
+                    delivered(sim, Ok(()));
+                });
+            }
+            return Ok(seq);
+        }
+        // Fault-aware delivery: every write is watchdog-guarded and retried.
+        let rmq_cfg = self.cfg;
+        let label = mq.label();
+        let delivered: DoneFn<()> = Box::new(delivered);
         if cfg.coalesce_metadata && !cfg.write_barrier {
             let slot = mq.encode_slot(seq, payload);
-            self.qp.post_write(sim, slot, &mem, offset, move |sim| {
-                mq2.notify_rx(sim);
-                delivered(sim, true);
+            let qp = self.qp.clone();
+            let post: Rc<PostFn<()>> = Rc::new(move |sim, cb| {
+                qp.post_write_checked(sim, slot.clone(), &mem, offset, move |sim, r| {
+                    cb(sim, r.map_err(|_| ()));
+                });
             });
+            with_retry(
+                rmq_cfg,
+                sim,
+                label,
+                post,
+                Box::new(move |sim, r| match r {
+                    Ok(()) => {
+                        mq2.notify_rx(sim);
+                        delivered(sim, Ok(()));
+                    }
+                    Err(e) => delivered(sim, Err(e)),
+                }),
+            );
         } else {
-            // Split delivery: payload first, optional flushing read, then
-            // the doorbell word. RC-QP ordering keeps data before doorbell.
+            // Split delivery under faults is a *sequential checked chain*:
+            // the doorbell is only posted once the data write has verifiably
+            // landed (a doorbell over an errored data write would expose
+            // garbage to the accelerator). Slower than the pipelined
+            // fault-free path — the price of end-to-end acknowledgement.
             let mut data = ((payload.len() as u32).to_le_bytes()).to_vec();
-            data.extend_from_slice(&[0; 4]); // doorbell written separately
+            data.extend_from_slice(&[0; 4]);
             data.extend_from_slice(payload);
-            self.qp.post_write(sim, data, &mem, offset, |_| {});
-            if cfg.write_barrier {
-                self.qp.post_barrier(sim, &mem, |_| {});
-            }
             let bell = ((seq + 1) as u32).to_le_bytes().to_vec();
-            self.qp.post_write(sim, bell, &mem, offset + 4, move |sim| {
-                mq2.notify_rx(sim);
-                delivered(sim, true);
+            let write_barrier = cfg.write_barrier;
+            let qp_bell = self.qp.clone();
+            let mem_bell = mem.clone();
+            let label_bell = label.clone();
+            let push_bell = move |sim: &mut Sim, finish: DoneFn<()>| {
+                let post: Rc<PostFn<()>> = Rc::new(move |sim, cb| {
+                    qp_bell.post_write_checked(
+                        sim,
+                        bell.clone(),
+                        &mem_bell,
+                        offset + 4,
+                        move |sim, r| cb(sim, r.map_err(|_| ())),
+                    );
+                });
+                with_retry(rmq_cfg, sim, label_bell.clone(), post, finish);
+            };
+            let qp_data = self.qp.clone();
+            let mem_data = mem.clone();
+            let post: Rc<PostFn<()>> = Rc::new(move |sim, cb| {
+                qp_data.post_write_checked(sim, data.clone(), &mem_data, offset, move |sim, r| {
+                    cb(sim, r.map_err(|_| ()));
+                });
             });
+            let qp_barrier = self.qp.clone();
+            with_retry(
+                rmq_cfg,
+                sim,
+                label,
+                post,
+                Box::new(move |sim, r| match r {
+                    Err(e) => delivered(sim, Err(e)),
+                    Ok(()) => {
+                        let finish: DoneFn<()> = Box::new(move |sim, r| match r {
+                            Ok(()) => {
+                                mq2.notify_rx(sim);
+                                delivered(sim, Ok(()));
+                            }
+                            Err(e) => delivered(sim, Err(e)),
+                        });
+                        if write_barrier {
+                            // The barrier itself is exempt from injection
+                            // (it is already a flushing read).
+                            qp_barrier.post_barrier(sim, &mem, move |sim| {
+                                push_bell(sim, finish);
+                            });
+                        } else {
+                            push_bell(sim, finish);
+                        }
+                    }
+                }),
+            );
         }
+        Ok(seq)
     }
 
     /// Collects the next ready response from an mqueue's TX ring: an RDMA
     /// read of the slot, after which the slot is released.
     ///
     /// Calls `collected` with the response's return address and payload.
-    /// Does nothing if no response is pending.
+    /// Does nothing if no response is pending. Under an armed fault plan
+    /// the read is watchdog-guarded and retried; if the retry budget is
+    /// exhausted the slot is still released (so later responses are not
+    /// wedged) but the response is discarded — counted in `rmq.giveups` —
+    /// and `collected` never runs, which to a UDP client looks like a lost
+    /// reply.
     pub fn pull_response(
         &self,
         sim: &mut Sim,
@@ -117,22 +401,59 @@ impl RemoteMqManager {
         let offset = mq.tx_slot_offset(seq);
         let mem = mq.mem();
         let mq2 = mq.clone();
-        // Read header + payload in one go (the header length was already
-        // snooped from the model's shared memory; a real implementation
-        // reads the whole slot or uses a two-phase read — cost-equivalent).
-        self.qp
-            .post_read(sim, &mem, offset, SLOT_HEADER + len, move |sim, bytes| {
-                mq2.complete(seq);
-                let payload = bytes[SLOT_HEADER..].to_vec();
-                let mq_evt = mq2.clone();
-                let bytes_out = payload.len();
-                sim.trace(|| TraceEvent::Forward {
-                    queue: mq_evt.label(),
-                    seq,
-                    bytes: bytes_out,
+        if !sim.faults_enabled() {
+            // Read header + payload in one go (the header length was already
+            // snooped from the model's shared memory; a real implementation
+            // reads the whole slot or uses a two-phase read —
+            // cost-equivalent).
+            self.qp
+                .post_read(sim, &mem, offset, SLOT_HEADER + len, move |sim, bytes| {
+                    mq2.complete(seq);
+                    let payload = bytes[SLOT_HEADER..].to_vec();
+                    let mq_evt = mq2.clone();
+                    let bytes_out = payload.len();
+                    sim.trace(|| TraceEvent::Forward {
+                        queue: mq_evt.label(),
+                        seq,
+                        bytes: bytes_out,
+                    });
+                    collected(sim, ret, payload);
                 });
-                collected(sim, ret, payload);
+            return;
+        }
+        let qp = self.qp.clone();
+        let label = mq.label();
+        let post: Rc<PostFn<Vec<u8>>> = Rc::new(move |sim, cb| {
+            qp.post_read_checked(sim, &mem, offset, SLOT_HEADER + len, move |sim, r| {
+                cb(sim, r.map_err(|_| ()));
             });
+        });
+        with_retry(
+            self.cfg,
+            sim,
+            label,
+            post,
+            Box::new(move |sim, result| {
+                let deliver: Box<dyn FnOnce(&mut Sim)> = match result {
+                    Ok(bytes) => {
+                        let mq_evt = mq2.clone();
+                        Box::new(move |sim: &mut Sim| {
+                            let payload = bytes[SLOT_HEADER..].to_vec();
+                            let bytes_out = payload.len();
+                            sim.trace(|| TraceEvent::Forward {
+                                queue: mq_evt.label(),
+                                seq,
+                                bytes: bytes_out,
+                            });
+                            collected(sim, ret, payload);
+                        })
+                    }
+                    // Discard: rmq.giveups was counted by the retry driver.
+                    Err(_) => Box::new(|_| {}),
+                };
+                complete_in_order(sim, mq2.clone(), seq, deliver);
+            }),
+        );
     }
 }
 
@@ -141,7 +462,7 @@ mod tests {
     use super::*;
     use crate::{MqueueConfig, MqueueKind};
     use lynx_fabric::{MemRegion, PcieFabric, PcieLink, RdmaNic};
-    use lynx_sim::Time;
+    use lynx_sim::{FaultAction, FaultPlan, Time, Trigger};
     use std::cell::Cell;
     use std::rc::Rc;
 
@@ -168,8 +489,9 @@ mod tests {
         let ok = Rc::new(Cell::new(false));
         let o = Rc::clone(&ok);
         rmq.push_request(&mut sim, &mq, ReturnAddr::Fixed, b"req-1", move |_, d| {
-            o.set(d);
-        });
+            o.set(d.is_ok());
+        })
+        .unwrap();
         sim.run();
         assert!(ok.get() && notified.get());
         let (_, payload) = mq.acc_pop_request().unwrap();
@@ -186,7 +508,8 @@ mod tests {
             let t2 = Rc::clone(&t);
             rmq.push_request(&mut sim, &mq, ReturnAddr::Fixed, b"x", move |sim, _| {
                 t2.set(sim.now());
-            });
+            })
+            .unwrap();
             sim.run();
             t.get()
         };
@@ -200,7 +523,8 @@ mod tests {
         let t2 = Rc::clone(&t);
         rmq.push_request(&mut sim, &mq, ReturnAddr::Fixed, b"x", move |sim, _| {
             t2.set(sim.now());
-        });
+        })
+        .unwrap();
         sim.run();
         assert!(t.get() > coalesced_done);
         let (w, r, _) = rmq.qp_stats();
@@ -210,20 +534,23 @@ mod tests {
     }
 
     #[test]
-    fn full_ring_reports_drop() {
+    fn full_ring_reports_backpressure() {
         let cfg = MqueueConfig {
             slots: 1,
             ..MqueueConfig::default()
         };
         let (mut sim, rmq, mq) = rig(cfg);
-        rmq.push_request(&mut sim, &mq, ReturnAddr::Fixed, b"a", |_, d| assert!(d));
-        let dropped = Rc::new(Cell::new(false));
-        let dr = Rc::clone(&dropped);
-        rmq.push_request(&mut sim, &mq, ReturnAddr::Fixed, b"b", move |_, d| {
-            dr.set(!d);
-        });
+        rmq.push_request(&mut sim, &mq, ReturnAddr::Fixed, b"a", |_, d| {
+            assert!(d.is_ok())
+        })
+        .unwrap();
+        let err = rmq
+            .push_request(&mut sim, &mq, ReturnAddr::Fixed, b"b", |_, _| {
+                panic!("delivered must not run for a rejected request")
+            })
+            .unwrap_err();
+        assert!(matches!(err, Error::Backpressure { .. }), "{err}");
         sim.run();
-        assert!(dropped.get());
         assert_eq!(mq.drops(), 1);
     }
 
@@ -231,7 +558,8 @@ mod tests {
     fn pull_response_roundtrip() {
         let (mut sim, rmq, mq) = rig(MqueueConfig::default());
         let client = ReturnAddr::Udp(lynx_net::SockAddr::new(lynx_net::HostId(3), 9));
-        rmq.push_request(&mut sim, &mq, client, b"ping", |_, _| {});
+        rmq.push_request(&mut sim, &mq, client, b"ping", |_, _| {})
+            .unwrap();
         sim.run();
         let (seq, _) = mq.acc_pop_request().unwrap();
         mq.acc_push_response(&mut sim, seq, b"pong");
@@ -252,5 +580,119 @@ mod tests {
         let (mut sim, rmq, mq) = rig(MqueueConfig::default());
         rmq.pull_response(&mut sim, &mq, |_, _, _| panic!("nothing to collect"));
         sim.run();
+    }
+
+    #[test]
+    fn injected_cqe_error_is_retried_transparently() {
+        let (mut sim, rmq, mq) = rig(MqueueConfig::default());
+        sim.enable_telemetry();
+        sim.enable_faults(FaultPlan::new(1).rule(
+            "rdma.write.gpu",
+            Trigger::Nth(1),
+            FaultAction::CqeError,
+        ));
+        let ok = Rc::new(Cell::new(false));
+        let o = Rc::clone(&ok);
+        rmq.push_request(&mut sim, &mq, ReturnAddr::Fixed, b"req", move |_, d| {
+            o.set(d.is_ok());
+        })
+        .unwrap();
+        sim.run();
+        assert!(ok.get(), "delivery must succeed after retry");
+        assert_eq!(mq.acc_pop_request().unwrap().1, b"req");
+        let t = sim.telemetry().unwrap();
+        assert_eq!(t.counter("rmq.retries"), 1);
+        assert_eq!(t.counter("rmq.giveups"), 0);
+        assert_eq!(rmq.qp_stats().0, 2, "original + one repost");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_transport_error() {
+        let (mut sim, rmq, mq) = rig(MqueueConfig::default());
+        sim.enable_telemetry();
+        // Every write to the region errors: the budget must run out.
+        sim.enable_faults(FaultPlan::new(1).rule(
+            "rdma.write.gpu",
+            Trigger::Every {
+                period: 1,
+                offset: 0,
+            },
+            FaultAction::CqeError,
+        ));
+        let outcome = Rc::new(RefCell::new(None));
+        let o = Rc::clone(&outcome);
+        rmq.push_request(&mut sim, &mq, ReturnAddr::Fixed, b"req", move |_, d| {
+            *o.borrow_mut() = Some(d);
+        })
+        .unwrap();
+        sim.run();
+        let result = outcome.borrow_mut().take().expect("delivered must run");
+        match result {
+            Err(Error::Transport { queue, attempts }) => {
+                assert_eq!(queue, mq.label());
+                assert_eq!(attempts, rmq.config().max_retries + 1);
+            }
+            other => panic!("expected transport error, got {other:?}"),
+        }
+        let t = sim.telemetry().unwrap();
+        assert_eq!(t.counter("rmq.giveups"), 1);
+        assert_eq!(
+            t.counter("rmq.retries"),
+            u64::from(rmq.config().max_retries)
+        );
+        // The doorbell never landed, so the accelerator sees nothing.
+        assert!(mq.acc_pop_request().is_none());
+    }
+
+    #[test]
+    fn pull_retries_read_errors_and_still_collects() {
+        let (mut sim, rmq, mq) = rig(MqueueConfig::default());
+        rmq.push_request(&mut sim, &mq, ReturnAddr::Fixed, b"ping", |_, _| {})
+            .unwrap();
+        sim.run();
+        let (seq, _) = mq.acc_pop_request().unwrap();
+        mq.acc_push_response(&mut sim, seq, b"pong");
+        // Arm faults only now: the request path above ran clean.
+        sim.enable_telemetry();
+        sim.enable_faults(FaultPlan::new(2).rule(
+            "rdma.read.gpu",
+            Trigger::Nth(1),
+            FaultAction::CqeError,
+        ));
+        let got = Rc::new(Cell::new(false));
+        let g = Rc::clone(&got);
+        rmq.pull_response(&mut sim, &mq, move |_, _, payload| {
+            assert_eq!(payload, b"pong");
+            g.set(true);
+        });
+        sim.run();
+        assert!(got.get(), "response must survive one read error");
+        assert_eq!(sim.telemetry().unwrap().counter("rmq.retries"), 1);
+        assert_eq!(mq.in_flight(), 0);
+    }
+
+    #[test]
+    fn split_mode_survives_data_write_error() {
+        let cfg = MqueueConfig {
+            coalesce_metadata: false,
+            ..MqueueConfig::default()
+        };
+        let (mut sim, rmq, mq) = rig(cfg);
+        sim.enable_faults(FaultPlan::new(3).rule(
+            "rdma.write.gpu",
+            Trigger::Nth(1),
+            FaultAction::CqeError,
+        ));
+        let ok = Rc::new(Cell::new(false));
+        let o = Rc::clone(&ok);
+        rmq.push_request(&mut sim, &mq, ReturnAddr::Fixed, b"split", move |_, d| {
+            o.set(d.is_ok());
+        })
+        .unwrap();
+        sim.run();
+        assert!(ok.get());
+        // Doorbell landed only after the (retried) data write: payload
+        // visible and intact.
+        assert_eq!(mq.acc_pop_request().unwrap().1, b"split");
     }
 }

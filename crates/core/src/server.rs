@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use lynx_device::{calib, CpuKind};
 use lynx_net::{ConnId, HostStack, SockAddr};
-use lynx_sim::{Sim, TraceEvent};
+use lynx_sim::{Sim, Telemetry, Time, TraceEvent};
 
 use crate::{DispatchPolicy, Dispatcher, Mqueue, RemoteMqManager, ReturnAddr};
 
@@ -87,7 +87,54 @@ impl CostModel {
     }
 }
 
+/// The SNIC health monitor's policy (§4.2 extended with fault recovery).
+///
+/// The monitor periodically scans every registered server mqueue; a queue
+/// with requests in flight that has produced no response for
+/// `stall_threshold` is *quarantined* — removed from its service's dispatch
+/// set so traffic redistributes to the surviving accelerators. A
+/// quarantined queue that resumes making progress (or fully drains) is
+/// re-admitted. The scan is armed lazily on the first request and disarms
+/// while no healthy queue has work, so an idle simulation still runs to
+/// completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Master switch. Disabled monitors never schedule anything.
+    pub enabled: bool,
+    /// Interval between health scans.
+    pub scan_interval: Duration,
+    /// How long a queue may hold in-flight requests without producing a
+    /// response before it is declared stalled.
+    pub stall_threshold: Duration,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            enabled: true,
+            scan_interval: Duration::from_micros(250),
+            stall_threshold: Duration::from_micros(2500),
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// A configuration with the monitor switched off (the behaviour of the
+    /// pre-recovery server).
+    pub fn disabled() -> RecoveryConfig {
+        RecoveryConfig {
+            enabled: false,
+            ..RecoveryConfig::default()
+        }
+    }
+}
+
 /// End-to-end counters of a [`LynxServer`].
+///
+/// Read through [`LynxServer::stats`]; since the counters live in the
+/// server's telemetry registry (shared with the simulation's registry when
+/// telemetry is enabled), this view can never disagree with the exported
+/// counter set.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Requests that reached the dispatcher.
@@ -118,12 +165,18 @@ impl ServiceId {
     pub const DEFAULT: ServiceId = ServiceId(0);
 }
 
+/// Health-scan state for one server mqueue.
+struct QueueHealth {
+    last_responses: u64,
+    last_progress: Time,
+}
+
 struct Service {
     dispatcher: Dispatcher,
     mqs: Vec<Mqueue>,
     owners: Vec<Rc<RemoteMqManager>>,
+    health: Vec<QueueHealth>,
     udp_port: Option<u16>,
-    stats: ServerStats,
 }
 
 impl Service {
@@ -132,8 +185,8 @@ impl Service {
             dispatcher: Dispatcher::new(policy),
             mqs: Vec::new(),
             owners: Vec::new(),
+            health: Vec::new(),
             udp_port: None,
-            stats: ServerStats::default(),
         }
     }
 }
@@ -143,8 +196,10 @@ struct Inner {
     costs: CostModel,
     services: Vec<Service>,
     accels: Vec<Rc<RemoteMqManager>>,
-    backend_calls: u64,
     backends: Vec<Rc<RefCell<BackendBridge>>>,
+    stats: Telemetry,
+    recovery: RecoveryConfig,
+    monitor_armed: bool,
 }
 
 /// The Lynx network server: the application-agnostic frontend on the
@@ -155,6 +210,9 @@ struct Inner {
 /// client mqueues to backend services. "No application development is
 /// necessary for the SNIC" — the same server code serves every workload in
 /// the benchmarks.
+///
+/// Construct it with [`crate::LynxServerBuilder`]; the imperative
+/// `new` / `add_*` / `listen_*` sequence is deprecated.
 #[derive(Clone)]
 pub struct LynxServer {
     inner: Rc<RefCell<Inner>>,
@@ -170,6 +228,7 @@ impl fmt::Debug for LynxServer {
                 &inner.services.iter().map(|s| s.mqs.len()).sum::<usize>(),
             )
             .field("accelerators", &inner.accels.len())
+            .field("recovery", &inner.recovery.enabled)
             .finish()
     }
 }
@@ -177,15 +236,40 @@ impl fmt::Debug for LynxServer {
 impl LynxServer {
     /// Creates a server processing messages on `stack` with the given cost
     /// model and dispatch policy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use LynxServerBuilder::new(stack), which also validates the \
+                configuration and enables SNIC-side recovery"
+    )]
     pub fn new(stack: HostStack, costs: CostModel, policy: DispatchPolicy) -> LynxServer {
+        // The legacy path keeps the monitor off and a private stats
+        // registry — exactly the pre-recovery behaviour.
+        LynxServer::construct(
+            stack,
+            costs,
+            policy,
+            RecoveryConfig::disabled(),
+            Telemetry::new(),
+        )
+    }
+
+    pub(crate) fn construct(
+        stack: HostStack,
+        costs: CostModel,
+        policy: DispatchPolicy,
+        recovery: RecoveryConfig,
+        stats: Telemetry,
+    ) -> LynxServer {
         LynxServer {
             inner: Rc::new(RefCell::new(Inner {
                 stack,
                 costs,
                 services: vec![Service::new(policy)],
                 accels: Vec::new(),
-                backend_calls: 0,
                 backends: Vec::new(),
+                stats,
+                recovery,
+                monitor_armed: false,
             })),
         }
     }
@@ -194,7 +278,12 @@ impl LynxServer {
     /// and ports (§4.5 multi-tenancy). State is fully partitioned: a
     /// request arriving on one service's port can only reach that
     /// service's mqueues.
+    #[deprecated(since = "0.2.0", note = "use LynxServerBuilder::service")]
     pub fn add_service(&self, policy: DispatchPolicy) -> ServiceId {
+        self.inner_add_service(policy)
+    }
+
+    pub(crate) fn inner_add_service(&self, policy: DispatchPolicy) -> ServiceId {
         let mut inner = self.inner.borrow_mut();
         inner.services.push(Service::new(policy));
         ServiceId(inner.services.len() - 1)
@@ -207,7 +296,12 @@ impl LynxServer {
 
     /// Registers an accelerator through its Remote MQ Manager; returns the
     /// accelerator id.
+    #[deprecated(since = "0.2.0", note = "use LynxServerBuilder::accelerator")]
     pub fn add_accelerator(&self, rmq: RemoteMqManager) -> usize {
+        self.inner_add_accelerator(rmq)
+    }
+
+    pub(crate) fn inner_add_accelerator(&self, rmq: RemoteMqManager) -> usize {
         let mut inner = self.inner.borrow_mut();
         inner.accels.push(Rc::new(rmq));
         inner.accels.len() - 1
@@ -219,8 +313,9 @@ impl LynxServer {
     /// # Panics
     ///
     /// Panics if `accel` is not a registered accelerator id.
+    #[deprecated(since = "0.2.0", note = "use LynxServerBuilder::server_mqueue")]
     pub fn add_server_mqueue(&self, accel: usize, mq: Mqueue) {
-        self.add_server_mqueue_to(ServiceId::DEFAULT, accel, mq);
+        self.inner_add_server_mqueue(ServiceId::DEFAULT, accel, mq);
     }
 
     /// Registers a server mqueue under a specific tenant service.
@@ -228,13 +323,28 @@ impl LynxServer {
     /// # Panics
     ///
     /// Panics if the service or accelerator id is unknown.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use LynxServerBuilder::service + LynxServerBuilder::server_mqueue"
+    )]
     pub fn add_server_mqueue_to(&self, service: ServiceId, accel: usize, mq: Mqueue) {
+        self.inner_add_server_mqueue(service, accel, mq);
+    }
+
+    pub(crate) fn inner_add_server_mqueue(&self, service: ServiceId, accel: usize, mq: Mqueue) {
         let rmq = {
             let mut inner = self.inner.borrow_mut();
             let rmq = Rc::clone(&inner.accels[accel]);
+            // Unify counting: the queue's drop counter lands in the same
+            // registry as the server's own counters.
+            mq.bind_stats(&inner.stats);
             let svc = &mut inner.services[service.0];
             svc.mqs.push(mq.clone());
             svc.owners.push(Rc::clone(&rmq));
+            svc.health.push(QueueHealth {
+                last_responses: 0,
+                last_progress: Time::ZERO,
+            });
             rmq
         };
         let this = self.clone();
@@ -248,7 +358,18 @@ impl LynxServer {
     /// service at `dst` over a persistent TCP connection (§4.3: the
     /// destination is assigned at initialization). Messages the accelerator
     /// sends before the connection establishes are queued.
+    #[deprecated(since = "0.2.0", note = "use LynxServerBuilder::backend_bridge")]
     pub fn add_backend_bridge(&self, sim: &mut Sim, accel: usize, mq: Mqueue, dst: SockAddr) {
+        self.inner_add_backend_bridge(sim, accel, mq, dst);
+    }
+
+    pub(crate) fn inner_add_backend_bridge(
+        &self,
+        sim: &mut Sim,
+        accel: usize,
+        mq: Mqueue,
+        dst: SockAddr,
+    ) {
         let (stack, rmq) = {
             let inner = self.inner.borrow();
             (inner.stack.clone(), Rc::clone(&inner.accels[accel]))
@@ -289,12 +410,21 @@ impl LynxServer {
     }
 
     /// Starts listening for UDP clients on `port` (the reply source port).
+    #[deprecated(since = "0.2.0", note = "use LynxServerBuilder::listen_udp")]
     pub fn listen_udp(&self, port: u16) {
-        self.listen_udp_for(ServiceId::DEFAULT, port);
+        self.inner_listen_udp(ServiceId::DEFAULT, port);
     }
 
     /// Starts listening for UDP clients of a specific tenant service.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use LynxServerBuilder::service + LynxServerBuilder::listen_udp"
+    )]
     pub fn listen_udp_for(&self, service: ServiceId, port: u16) {
+        self.inner_listen_udp(service, port);
+    }
+
+    pub(crate) fn inner_listen_udp(&self, service: ServiceId, port: u16) {
         let stack = {
             let mut inner = self.inner.borrow_mut();
             inner.services[service.0].udp_port.get_or_insert(port);
@@ -309,12 +439,21 @@ impl LynxServer {
 
     /// Starts listening for TCP clients on `port`. Multiple client
     /// connections multiplex onto the same server mqueues (§4.5).
+    #[deprecated(since = "0.2.0", note = "use LynxServerBuilder::listen_tcp")]
     pub fn listen_tcp(&self, port: u16) {
-        self.listen_tcp_for(ServiceId::DEFAULT, port);
+        self.inner_listen_tcp(ServiceId::DEFAULT, port);
     }
 
     /// Starts listening for TCP clients of a specific tenant service.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use LynxServerBuilder::service + LynxServerBuilder::listen_tcp"
+    )]
     pub fn listen_tcp_for(&self, service: ServiceId, port: u16) {
+        self.inner_listen_tcp(service, port);
+    }
+
+    pub(crate) fn inner_listen_tcp(&self, service: ServiceId, port: u16) {
         let stack = self.inner.borrow().stack.clone();
         let this = self.clone();
         stack.listen_tcp(port, move |sim, conn, payload| {
@@ -324,30 +463,35 @@ impl LynxServer {
         });
     }
 
-    /// Aggregate counters across all tenant services.
+    /// Aggregate counters across all tenant services, read from the
+    /// server's telemetry registry.
     pub fn stats(&self) -> ServerStats {
         let inner = self.inner.borrow();
-        let mut total = ServerStats {
-            backend_calls: inner.backend_calls,
-            ..ServerStats::default()
-        };
-        for svc in &inner.services {
-            total.requests += svc.stats.requests;
-            total.dispatched += svc.stats.dispatched;
-            total.dropped += svc.stats.dropped;
-            total.responses += svc.stats.responses;
+        let t = &inner.stats;
+        ServerStats {
+            requests: t.counter("server.requests"),
+            dispatched: t.counter("server.dispatched"),
+            dropped: t.counter("server.dropped"),
+            responses: t.counter("server.replies"),
+            backend_calls: t.counter("server.backend_calls"),
         }
-        total
     }
 
     /// Counters of one tenant service (its `backend_calls` is always 0;
-    /// backend bridges are accounted at the server level).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the service id is unknown.
+    /// backend bridges are accounted at the server level). Reads the
+    /// `server.svc<i>.*` counters of the telemetry registry.
     pub fn service_stats(&self, service: ServiceId) -> ServerStats {
-        self.inner.borrow().services[service.0].stats
+        let inner = self.inner.borrow();
+        assert!(service.0 < inner.services.len(), "unknown service id");
+        let t = &inner.stats;
+        let i = service.0;
+        ServerStats {
+            requests: t.counter(&format!("server.svc{i}.requests")),
+            dispatched: t.counter(&format!("server.svc{i}.dispatched")),
+            dropped: t.counter(&format!("server.svc{i}.dropped")),
+            responses: t.counter(&format!("server.svc{i}.replies")),
+            backend_calls: 0,
+        }
     }
 
     /// Total mqueue-level drops across all registered server mqueues.
@@ -358,6 +502,21 @@ impl LynxServer {
             .iter()
             .flat_map(|s| s.mqs.iter())
             .map(|m| m.drops())
+            .sum()
+    }
+
+    /// The active recovery policy.
+    pub fn recovery(&self) -> RecoveryConfig {
+        self.inner.borrow().recovery
+    }
+
+    /// Number of currently quarantined mqueues across all services.
+    pub fn quarantined_queues(&self) -> usize {
+        self.inner
+            .borrow()
+            .services
+            .iter()
+            .map(|s| s.dispatcher.quarantined_count())
             .sum()
     }
 
@@ -385,11 +544,14 @@ impl LynxServer {
         payload: Vec<u8>,
     ) {
         let (stack, cost) = {
-            let mut inner = self.inner.borrow_mut();
-            inner.services[service.0].stats.requests += 1;
+            let inner = self.inner.borrow();
+            inner.stats.count("server.requests", 1);
+            inner
+                .stats
+                .count(&format!("server.svc{}.requests", service.0), 1);
             (inner.stack.clone(), Self::dispatch_cost(&inner))
         };
-        sim.count("server.requests", 1);
+        self.arm_monitor(sim);
         let this = self.clone();
         stack.charge(sim, cost, move |sim| {
             this.dispatch_now(sim, service, ret, key, payload);
@@ -408,33 +570,33 @@ impl LynxServer {
             let mut inner = self.inner.borrow_mut();
             let svc = &mut inner.services[service.0];
             let policy = svc.dispatcher.policy().name();
-            let picked = match svc.dispatcher.pick(&svc.mqs, key) {
-                Some(i) => {
-                    let pair = (Rc::clone(&svc.owners[i]), svc.mqs[i].clone());
-                    svc.stats.dispatched += 1;
-                    Some(pair)
-                }
-                None => {
-                    svc.stats.dropped += 1;
-                    None
-                }
+            let picked = svc
+                .dispatcher
+                .pick(&svc.mqs, key)
+                .map(|i| (Rc::clone(&svc.owners[i]), svc.mqs[i].clone()));
+            let stats = &inner.stats;
+            stats.count(&format!("dispatch.picks.{policy}"), 1);
+            let outcome = if picked.is_some() {
+                "dispatched"
+            } else {
+                "dropped"
             };
+            stats.count(&format!("server.{outcome}"), 1);
+            stats.count(&format!("server.svc{}.{outcome}", service.0), 1);
             (policy, picked)
         };
-        if let Some(t) = sim.telemetry() {
-            t.count(&format!("dispatch.picks.{policy}"), 1);
-        }
         match picked {
             Some((rmq, mq)) => {
-                sim.count("server.dispatched", 1);
                 sim.trace(|| TraceEvent::Dispatch {
                     policy,
                     queue: Some(mq.label()),
                 });
-                rmq.push_request(sim, &mq, ret, &payload, |_, _| {});
+                // The dispatcher checked for room, so backpressure here is
+                // impossible; a transport give-up (faults) is counted by
+                // the retry machinery and surfaces as a lost UDP request.
+                let _ = rmq.push_request(sim, &mq, ret, &payload, |_, _| {});
             }
             None => {
-                sim.count("server.dropped", 1);
                 sim.trace(|| TraceEvent::Dispatch {
                     policy,
                     queue: None,
@@ -459,13 +621,13 @@ impl LynxServer {
     ) {
         let (stack, cost, detect) = {
             let inner = self.inner.borrow();
+            inner.stats.count("server.forward_polls", 1);
             (
                 inner.stack.clone(),
                 Self::forward_cost(&inner),
                 Self::detection_delay(&inner),
             )
         };
-        sim.count("server.forward_polls", 1);
         let this = self.clone();
         sim.schedule_in(detect, move |sim| {
             stack.charge(sim, cost, move |sim| {
@@ -480,12 +642,14 @@ impl LynxServer {
     fn send_reply(&self, sim: &mut Sim, service: ServiceId, ret: ReturnAddr, payload: Vec<u8>) {
         let (stack, port) = {
             let mut inner = self.inner.borrow_mut();
+            inner.stats.count("server.replies", 1);
+            inner
+                .stats
+                .count(&format!("server.svc{}.replies", service.0), 1);
             let stack = inner.stack.clone();
             let svc = &mut inner.services[service.0];
-            svc.stats.responses += 1;
             (stack, svc.udp_port.unwrap_or(0))
         };
-        sim.count("server.replies", 1);
         match ret {
             ReturnAddr::Udp(addr) => stack.send_udp(sim, port, addr, payload),
             ReturnAddr::Tcp(conn) => stack.send_tcp(sim, conn, payload),
@@ -508,8 +672,7 @@ impl LynxServer {
         let stack2 = stack.clone();
         stack.charge(sim, cost, move |sim| {
             rmq.pull_response(sim, &mq, move |sim, _ret, payload| {
-                this.inner.borrow_mut().backend_calls += 1;
-                sim.count("server.backend_calls", 1);
+                this.inner.borrow().stats.count("server.backend_calls", 1);
                 let conn = bridge.borrow().conn;
                 match conn {
                     Some(conn) => stack2.send_tcp(sim, conn, payload),
@@ -531,8 +694,92 @@ impl LynxServer {
             (inner.stack.clone(), Self::dispatch_cost(&inner))
         };
         stack.charge(sim, cost, move |sim| {
-            rmq.push_request(sim, &mq, ReturnAddr::Fixed, &payload, |_, _| {});
+            // A full client ring sheds the backend response; the mqueue's
+            // sink counts the drop.
+            let _ = rmq.push_request(sim, &mq, ReturnAddr::Fixed, &payload, |_, _| {});
         });
+    }
+
+    // --- SNIC health monitor ---------------------------------------------
+
+    /// Arms the periodic health scan (idempotent; no-op when recovery is
+    /// disabled). Called on every incoming request so the monitor only
+    /// runs while the server is live.
+    fn arm_monitor(&self, sim: &mut Sim) {
+        let interval = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.recovery.enabled || inner.monitor_armed {
+                return;
+            }
+            inner.monitor_armed = true;
+            inner.recovery.scan_interval
+        };
+        let this = self.clone();
+        sim.schedule_in(interval, move |sim| this.health_scan(sim));
+    }
+
+    fn health_scan(&self, sim: &mut Sim) {
+        enum Act {
+            Quarantine(String),
+            Readmit(String),
+        }
+        let now = sim.now();
+        let mut acts = Vec::new();
+        let rearm = {
+            let mut inner = self.inner.borrow_mut();
+            let threshold = inner.recovery.stall_threshold;
+            let stats = inner.stats.clone();
+            let mut live_work = false;
+            for svc in inner.services.iter_mut() {
+                for qi in 0..svc.mqs.len() {
+                    let mq = &svc.mqs[qi];
+                    let responses = mq.responses();
+                    let in_flight = mq.in_flight();
+                    let h = &mut svc.health[qi];
+                    let progressed = responses > h.last_responses;
+                    if progressed || in_flight == 0 {
+                        h.last_responses = responses;
+                        h.last_progress = now;
+                    }
+                    if svc.dispatcher.is_quarantined(qi) {
+                        // Re-admit on any sign of life: new responses, or a
+                        // fully drained backlog.
+                        if progressed || in_flight == 0 {
+                            svc.dispatcher.readmit(qi);
+                            stats.count("dispatch.readmitted", 1);
+                            acts.push(Act::Readmit(mq.label()));
+                            if in_flight > 0 {
+                                live_work = true;
+                            }
+                        }
+                        // A wedged quarantined queue (crashed accelerator)
+                        // does NOT keep the monitor armed: its backlog will
+                        // never drain, and the simulation must terminate.
+                    } else if in_flight > 0 && now >= h.last_progress + threshold {
+                        svc.dispatcher.quarantine(qi);
+                        stats.count("dispatch.quarantined", 1);
+                        acts.push(Act::Quarantine(mq.label()));
+                    } else if in_flight > 0 {
+                        live_work = true;
+                    }
+                }
+            }
+            if !live_work {
+                inner.monitor_armed = false;
+            }
+            live_work
+        };
+        for act in acts {
+            match act {
+                Act::Quarantine(queue) => sim.trace(|| TraceEvent::Quarantine { queue }),
+                Act::Readmit(queue) => sim.trace(|| TraceEvent::Readmit { queue }),
+            }
+        }
+        if rearm {
+            let interval = self.inner.borrow().recovery.scan_interval;
+            let this = self.clone();
+            sim.schedule_in(interval, move |sim| this.health_scan(sim));
+        }
     }
 }
 
@@ -565,5 +812,13 @@ mod tests {
         assert!(arm.dispatch > xeon.dispatch);
         assert!(arm.forward > xeon.forward);
         assert!(arm.scan_per_mqueue > xeon.scan_per_mqueue);
+    }
+
+    #[test]
+    fn recovery_defaults_are_sane() {
+        let cfg = RecoveryConfig::default();
+        assert!(cfg.enabled);
+        assert!(cfg.stall_threshold > cfg.scan_interval);
+        assert!(!RecoveryConfig::disabled().enabled);
     }
 }

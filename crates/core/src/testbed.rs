@@ -41,8 +41,9 @@ use lynx_net::{HostId, HostStack, LinkSpec, Network, Platform, SockAddr, StackKi
 use lynx_sim::Sim;
 
 use crate::{
-    AccelApp, CostModel, DispatchPolicy, LynxServer, Mqueue, MqueueConfig, MqueueKind,
-    ProcessorApp, RemoteMqManager, SnicPlatform, ThreadblockUnit, Worker,
+    AccelApp, CostModel, DispatchPolicy, LynxServer, LynxServerBuilder, Mqueue, MqueueConfig,
+    MqueueKind, ProcessorApp, RecoveryConfig, RemoteMqManager, RmqConfig, SnicPlatform,
+    ThreadblockUnit, Worker,
 };
 
 /// Multi-core contention factor of the Lynx server when it runs on several
@@ -233,6 +234,13 @@ pub struct DeployConfig {
     /// Which I/O stack the Lynx server uses (§5.1.1 compares VMA's
     /// kernel-bypass against the kernel path; VMA is the paper's default).
     pub stack_kind: StackKind,
+    /// SNIC health-monitor policy. Defaults to
+    /// [`RecoveryConfig::disabled`] so deployments reproduce the paper's
+    /// behaviour exactly; fault-injection experiments opt in.
+    pub recovery: RecoveryConfig,
+    /// Timeout/retry policy of each accelerator's Remote MQ Manager (only
+    /// consulted when a fault plan is armed).
+    pub rmq: RmqConfig,
 }
 
 impl Default for DeployConfig {
@@ -246,6 +254,8 @@ impl Default for DeployConfig {
             policy: DispatchPolicy::RoundRobin,
             backend: None,
             stack_kind: StackKind::Vma,
+            recovery: RecoveryConfig::disabled(),
+            rmq: RmqConfig::default(),
         }
     }
 }
@@ -269,12 +279,15 @@ impl DeployConfig {
     ) -> Deployment {
         assert!(self.mqueues_per_gpu > 0, "need at least one mqueue per GPU");
         let (stack, costs) = self.snic_stack(net, snic_machine);
-        let server = LynxServer::new(stack.clone(), costs, self.policy);
+        let mut builder = LynxServerBuilder::new(stack.clone())
+            .cost_model(costs)
+            .policy(self.policy)
+            .recovery(self.recovery);
         let snic_rdma = snic_machine.rdma_nic();
 
         let mut workers = Vec::new();
         let mut mqueues = Vec::new();
-        for site in sites {
+        for (accel, site) in sites.iter().enumerate() {
             let qp = if site.fabric.same_fabric(snic_machine.fabric()) {
                 snic_rdma.loopback_qp()
             } else {
@@ -285,18 +298,18 @@ impl DeployConfig {
                     site.nic_node,
                 )
             };
-            let accel = server.add_accelerator(RemoteMqManager::new(qp));
+            builder = builder.accelerator(RemoteMqManager::with_config(qp, self.rmq));
             for _ in 0..self.mqueues_per_gpu {
                 let base = site.gpu.alloc(self.mq.required_bytes());
                 let mq = Mqueue::new(MqueueKind::Server, site.gpu.mem(), base, self.mq);
-                server.add_server_mqueue(accel, mq.clone());
+                builder = builder.server_mqueue(accel, mq.clone());
                 let unit = Rc::new(ThreadblockUnit::new(site.gpu.spawn_block()));
                 let worker = Worker::new(unit, mq.clone(), Rc::clone(&app));
                 if let Some(backend) = self.backend {
                     let cbase = site.gpu.alloc(self.mq.required_bytes());
                     let cmq = Mqueue::new(MqueueKind::Client, site.gpu.mem(), cbase, self.mq);
                     worker.add_client_mqueue(cmq.clone());
-                    server.add_backend_bridge(sim, accel, cmq, backend);
+                    builder = builder.backend_bridge(accel, cmq, backend);
                 }
                 worker.start();
                 workers.push(worker);
@@ -304,10 +317,13 @@ impl DeployConfig {
             }
         }
 
-        server.listen_udp(self.port);
+        builder = builder.listen_udp(self.port);
         if self.tcp {
-            server.listen_tcp(self.port);
+            builder = builder.listen_tcp(self.port);
         }
+        let server = builder
+            .build(sim)
+            .expect("deploy produces a valid server description");
         Deployment {
             server,
             server_addr: SockAddr::new(stack.host(), self.port),

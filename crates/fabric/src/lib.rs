@@ -32,4 +32,4 @@ pub mod xfer;
 pub use dma::DmaEngine;
 pub use mem::MemRegion;
 pub use pcie::{NoPathError, NodeId, PcieFabric, PcieLink, PcieStats};
-pub use rdma::{QpKind, QueuePair, RdmaNic, WireProfile};
+pub use rdma::{CqeError, QpKind, QueuePair, RdmaNic, WireProfile};

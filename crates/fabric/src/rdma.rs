@@ -12,9 +12,35 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
-use lynx_sim::{Server, Sim};
+use lynx_sim::{FaultAction, Server, Sim};
 
 use crate::{MemRegion, NodeId, PcieFabric};
+
+/// A verb completed with an error CQE instead of taking effect.
+///
+/// Produced only by injected faults (site `rdma.write.<region>` /
+/// `rdma.read.<region>`, action `CqeError` — see `lynx_sim::faults`). The
+/// verb still consumed queue-pair occupancy and wire time, but the target
+/// memory was never touched (writes) or never sampled (reads).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CqeError {
+    /// Verb kind: `"write"` or `"read"`.
+    pub verb: &'static str,
+    /// Name of the memory region the verb targeted.
+    pub region: String,
+}
+
+impl fmt::Display for CqeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RDMA {} to region '{}' completed in error",
+            self.verb, self.region
+        )
+    }
+}
+
+impl std::error::Error for CqeError {}
 
 /// InfiniBand queue-pair transport kind.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -207,7 +233,46 @@ impl QueuePair {
         dst_off: usize,
         done: impl FnOnce(&mut Sim) + 'static,
     ) {
-        let (occupancy, delay) = self.landing_delay(dst.node(), data.len());
+        self.post_write_checked(sim, data, dst, dst_off, move |sim, result| {
+            // Unchecked legacy path: an injected CQE error silently drops
+            // the completion callback (the write never landed).
+            if result.is_ok() {
+                done(sim);
+            }
+        });
+    }
+
+    /// [`QueuePair::post_write`] with an explicit completion status.
+    ///
+    /// `done` receives `Ok(())` when the write landed, or
+    /// `Err(`[`CqeError`]`)` when an armed fault plan struck the verb (site
+    /// `rdma.write.<region name>`, action `CqeError`). An errored write
+    /// consumes occupancy and wire time like a successful one but leaves
+    /// the destination memory untouched; a `Delay` fault models a PCIe
+    /// stall, stretching the landing time. With no fault plan armed this
+    /// behaves exactly like `post_write` with `Ok` status.
+    pub fn post_write_checked(
+        &self,
+        sim: &mut Sim,
+        data: Vec<u8>,
+        dst: &MemRegion,
+        dst_off: usize,
+        done: impl FnOnce(&mut Sim, Result<(), CqeError>) + 'static,
+    ) {
+        let (occupancy, mut delay) = self.landing_delay(dst.node(), data.len());
+        let mut cqe: Option<CqeError> = None;
+        if sim.faults_enabled() {
+            match sim.fault_at(&format!("rdma.write.{}", dst.name())) {
+                Some(FaultAction::CqeError) => {
+                    cqe = Some(CqeError {
+                        verb: "write",
+                        region: dst.name().to_string(),
+                    });
+                }
+                Some(FaultAction::Delay(stall)) => delay += stall,
+                _ => {}
+            }
+        }
         {
             let mut s = self.stats.borrow_mut();
             s.writes += 1;
@@ -215,11 +280,17 @@ impl QueuePair {
         }
         sim.count("fabric.rdma.writes", 1);
         sim.count("fabric.rdma.bytes", data.len() as u64);
+        if cqe.is_some() {
+            sim.count("fabric.rdma.cqe_errors", 1);
+        }
         let dst = dst.clone();
         self.queue.submit(sim, occupancy, move |sim| {
-            sim.schedule_in(delay, move |sim| {
-                dst.write(dst_off, &data);
-                done(sim);
+            sim.schedule_in(delay, move |sim| match cqe {
+                None => {
+                    dst.write(dst_off, &data);
+                    done(sim, Ok(()));
+                }
+                Some(err) => done(sim, Err(err)),
             });
         });
     }
@@ -242,11 +313,53 @@ impl QueuePair {
         len: usize,
         done: impl FnOnce(&mut Sim, Vec<u8>) + 'static,
     ) {
+        self.post_read_checked(sim, src, src_off, len, move |sim, result| {
+            // Unchecked legacy path: an injected CQE error silently drops
+            // the completion callback (the data never arrived).
+            if let Ok(data) = result {
+                done(sim, data);
+            }
+        });
+    }
+
+    /// [`QueuePair::post_read`] with an explicit completion status.
+    ///
+    /// `done` receives the bytes, or `Err(`[`CqeError`]`)` when an armed
+    /// fault plan struck the verb (site `rdma.read.<region name>`, action
+    /// `CqeError`). An errored read still takes the full round trip but
+    /// never samples the source memory; a `Delay` fault stretches both
+    /// legs' landing time. With no fault plan armed this behaves exactly
+    /// like `post_read` with `Ok` status.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on an [`QpKind::UnreliableConnection`] QP.
+    pub fn post_read_checked(
+        &self,
+        sim: &mut Sim,
+        src: &MemRegion,
+        src_off: usize,
+        len: usize,
+        done: impl FnOnce(&mut Sim, Result<Vec<u8>, CqeError>) + 'static,
+    ) {
         assert!(
             self.kind == QpKind::ReliableConnection,
             "RDMA READ requires a Reliable Connection QP"
         );
-        let (occupancy, delay) = self.landing_delay(src.node(), len);
+        let (occupancy, mut delay) = self.landing_delay(src.node(), len);
+        let mut cqe: Option<CqeError> = None;
+        if sim.faults_enabled() {
+            match sim.fault_at(&format!("rdma.read.{}", src.name())) {
+                Some(FaultAction::CqeError) => {
+                    cqe = Some(CqeError {
+                        verb: "read",
+                        region: src.name().to_string(),
+                    });
+                }
+                Some(FaultAction::Delay(stall)) => delay += stall,
+                _ => {}
+            }
+        }
         {
             let mut s = self.stats.borrow_mut();
             s.reads += 1;
@@ -254,13 +367,19 @@ impl QueuePair {
         }
         sim.count("fabric.rdma.reads", 1);
         sim.count("fabric.rdma.bytes", len as u64);
+        if cqe.is_some() {
+            sim.count("fabric.rdma.cqe_errors", 1);
+        }
         let src = src.clone();
         self.queue.submit(sim, occupancy, move |sim| {
             // Request reaches the target after `delay`; data is sampled
             // there and returns after another `delay`.
-            sim.schedule_in(delay, move |sim| {
-                let data = src.read(src_off, len);
-                sim.schedule_in(delay, move |sim| done(sim, data));
+            sim.schedule_in(delay, move |sim| match cqe {
+                None => {
+                    let data = src.read(src_off, len);
+                    sim.schedule_in(delay, move |sim| done(sim, Ok(data)));
+                }
+                Some(err) => sim.schedule_in(delay, move |sim| done(sim, Err(err))),
             });
         });
     }
@@ -384,6 +503,90 @@ mod tests {
         qp.post_read(&mut sim, &gpu_mem, 0, 50, |_, _| {});
         sim.run();
         assert_eq!(qp.stats(), (1, 1, 150));
+    }
+
+    #[test]
+    fn injected_cqe_error_skips_memory_but_costs_time() {
+        use lynx_sim::{FaultPlan, Trigger};
+        let (mut sim, nic, gpu_mem) = rig();
+        sim.enable_faults(FaultPlan::new(0).rule(
+            "rdma.write.gpu-mem",
+            Trigger::Nth(1),
+            FaultAction::CqeError,
+        ));
+        sim.enable_telemetry();
+        let qp = nic.loopback_qp();
+        let outcome = Rc::new(RefCell::new(None));
+        let o = Rc::clone(&outcome);
+        let completed = Rc::new(Cell::new(Time::ZERO));
+        let c = Rc::clone(&completed);
+        qp.post_write_checked(&mut sim, vec![7; 16], &gpu_mem, 0, move |sim, r| {
+            *o.borrow_mut() = Some(r);
+            c.set(sim.now());
+        });
+        sim.run();
+        let err = outcome.borrow_mut().take().unwrap().unwrap_err();
+        assert_eq!(err.verb, "write");
+        assert_eq!(err.region, "gpu-mem");
+        // Memory untouched, but the verb consumed wire time.
+        assert_eq!(gpu_mem.read(0, 16), vec![0; 16]);
+        assert!(completed.get() > Time::from_nanos(1_300));
+        assert_eq!(
+            sim.telemetry().unwrap().counter("fabric.rdma.cqe_errors"),
+            1
+        );
+        assert_eq!(
+            sim.telemetry()
+                .unwrap()
+                .counter("faults.injected.cqe_error"),
+            1
+        );
+    }
+
+    #[test]
+    fn injected_read_error_completes_without_data() {
+        use lynx_sim::{FaultPlan, Trigger};
+        let (mut sim, nic, gpu_mem) = rig();
+        gpu_mem.write(0, b"resp");
+        sim.enable_faults(FaultPlan::new(0).rule(
+            "rdma.read.",
+            Trigger::Nth(1),
+            FaultAction::CqeError,
+        ));
+        let qp = nic.loopback_qp();
+        let got = Rc::new(RefCell::new(None));
+        let g = Rc::clone(&got);
+        qp.post_read_checked(&mut sim, &gpu_mem, 0, 4, move |_, r| {
+            *g.borrow_mut() = Some(r);
+        });
+        sim.run();
+        assert!(got.borrow().as_ref().unwrap().is_err());
+    }
+
+    #[test]
+    fn injected_pcie_stall_delays_landing() {
+        use lynx_sim::{FaultPlan, Trigger};
+        let run = |stall_us: u64| {
+            let (mut sim, nic, gpu_mem) = rig();
+            if stall_us > 0 {
+                sim.enable_faults(FaultPlan::new(0).rule(
+                    "rdma.write.",
+                    Trigger::Nth(1),
+                    FaultAction::Delay(Duration::from_micros(stall_us)),
+                ));
+            }
+            let qp = nic.loopback_qp();
+            let landed = Rc::new(Cell::new(Time::ZERO));
+            let l = Rc::clone(&landed);
+            qp.post_write(&mut sim, vec![1; 8], &gpu_mem, 0, move |sim| {
+                l.set(sim.now());
+            });
+            sim.run();
+            landed.get()
+        };
+        let clean = run(0);
+        let stalled = run(25);
+        assert_eq!(stalled, clean + Duration::from_micros(25));
     }
 
     #[test]

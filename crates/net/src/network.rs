@@ -192,10 +192,40 @@ impl Network {
     /// Protocol-stack CPU costs are *not* charged here — that is
     /// [`crate::HostStack`]'s job; `send` models only the wire.
     ///
+    /// When a fault plan is armed (see `lynx_sim::faults`), each send
+    /// consults site `net.<source host name>` and honors
+    /// `Drop` (the datagram vanishes before reaching the wire),
+    /// `Duplicate` (a copy is transmitted immediately after the original,
+    /// reordering behind it on the egress lane), and `Delay` (the datagram
+    /// is held back before serialization, reordering it behind later
+    /// traffic). Other actions are ignored.
+    ///
     /// # Panics
     ///
     /// Panics if the source or destination host id is unknown.
     pub fn send(&self, sim: &mut Sim, dgram: Datagram) {
+        if sim.faults_enabled() {
+            let site = format!("net.{}", self.host_name(dgram.src.host));
+            match sim.fault_at(&site) {
+                Some(lynx_sim::FaultAction::Drop) => return,
+                Some(lynx_sim::FaultAction::Duplicate) => {
+                    self.transmit(sim, dgram.clone());
+                    self.transmit(sim, dgram);
+                    return;
+                }
+                Some(lynx_sim::FaultAction::Delay(extra)) => {
+                    let net = self.clone();
+                    sim.schedule_in(extra, move |sim| net.transmit(sim, dgram));
+                    return;
+                }
+                _ => {}
+            }
+        }
+        self.transmit(sim, dgram);
+    }
+
+    /// The actual wire path, below the fault-injection point.
+    fn transmit(&self, sim: &mut Sim, dgram: Datagram) {
         let bytes = dgram.wire_bytes();
         let (egress, src_lat, switch_lat, ingress, dst_lat) = {
             let mut inner = self.inner.borrow_mut();
@@ -311,6 +341,66 @@ mod tests {
         );
         sim.run();
         assert_eq!(net.dropped(), 1);
+    }
+
+    #[test]
+    fn fault_drop_loses_the_packet() {
+        use lynx_sim::{FaultAction, FaultPlan, Trigger};
+        let (mut sim, net, a, b) = two_hosts();
+        sim.enable_faults(FaultPlan::new(0).rule("net.a", Trigger::Nth(2), FaultAction::Drop));
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s = Rc::clone(&seen);
+        net.set_handler(b, move |_, d| s.borrow_mut().push(d.payload[0]));
+        for i in 0..4u8 {
+            net.send(
+                &mut sim,
+                Datagram::udp(SockAddr::new(a, 1), SockAddr::new(b, 2), vec![i]),
+            );
+        }
+        sim.run();
+        assert_eq!(*seen.borrow(), vec![0, 2, 3]);
+        assert_eq!(sim.faults_injected(), 1);
+    }
+
+    #[test]
+    fn fault_duplicate_delivers_twice() {
+        use lynx_sim::{FaultAction, FaultPlan, Trigger};
+        let (mut sim, net, a, b) = two_hosts();
+        sim.enable_faults(FaultPlan::new(0).rule("net.a", Trigger::Nth(1), FaultAction::Duplicate));
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s = Rc::clone(&seen);
+        net.set_handler(b, move |_, d| s.borrow_mut().push(d.payload[0]));
+        for i in 0..2u8 {
+            net.send(
+                &mut sim,
+                Datagram::udp(SockAddr::new(a, 1), SockAddr::new(b, 2), vec![i]),
+            );
+        }
+        sim.run();
+        assert_eq!(*seen.borrow(), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn fault_delay_reorders_behind_later_traffic() {
+        use lynx_sim::{FaultAction, FaultPlan, Trigger};
+        use std::time::Duration;
+        let (mut sim, net, a, b) = two_hosts();
+        sim.enable_faults(FaultPlan::new(0).rule(
+            "net.a",
+            Trigger::Nth(1),
+            FaultAction::Delay(Duration::from_micros(50)),
+        ));
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s = Rc::clone(&seen);
+        net.set_handler(b, move |_, d| s.borrow_mut().push(d.payload[0]));
+        for i in 0..3u8 {
+            net.send(
+                &mut sim,
+                Datagram::udp(SockAddr::new(a, 1), SockAddr::new(b, 2), vec![i]),
+            );
+        }
+        sim.run();
+        assert_eq!(*seen.borrow(), vec![1, 2, 0]);
     }
 
     #[test]

@@ -1,0 +1,438 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! A [`FaultPlan`] is a declarative list of [`FaultRule`]s — *where* a fault
+//! strikes (a site name prefix), *when* it strikes (a [`Trigger`]), and
+//! *what* happens (a [`FaultAction`]). Attaching a plan to a simulation via
+//! [`Sim::enable_faults`](crate::Sim::enable_faults) arms a
+//! [`FaultInjector`]; model components then consult
+//! [`Sim::fault_at`](crate::Sim::fault_at) at their injection points and
+//! interpret whatever action comes back.
+//!
+//! Determinism is the whole point: rules fire on deterministic operation
+//! counts, and probabilistic rules ([`Trigger::Chance`]) draw from the
+//! injector's own RNG seeded by [`FaultPlan::new`]'s seed. Because the
+//! simulator executes events in a fixed `(time, seq)` order, the sequence of
+//! `fault_at` consultations — and therefore the sequence of RNG draws — is
+//! identical across same-seed runs: same seed + same plan ⇒ the same faults
+//! strike the same operations at the same simulated instants.
+//!
+//! # Site naming
+//!
+//! Injection sites are dot-separated paths; a rule's `site` is matched as a
+//! *prefix*, so `"rdma.write."` targets every RDMA write while
+//! `"rdma.write.server-0/gpu0"` targets writes into one region. The sites
+//! wired into the stock pipeline:
+//!
+//! | site                        | consulted on                  | honored actions |
+//! |-----------------------------|-------------------------------|-----------------|
+//! | `net.<src host name>`       | each datagram sent            | `Drop`, `Duplicate`, `Delay` |
+//! | `rdma.write.<region name>`  | each RDMA WRITE posted        | `CqeError`, `Delay` (PCIe stall) |
+//! | `rdma.read.<region name>`   | each RDMA READ posted         | `CqeError`, `Delay` (PCIe stall) |
+//! | `accel.<mqueue label>`      | each worker poll              | `Crash`, `Hang` |
+//!
+//! Actions a site does not honor are ignored (the consultation still counts
+//! as a fired injection). See `docs/ROBUSTNESS.md` for the full taxonomy.
+//!
+//! # Example
+//!
+//! ```
+//! use lynx_sim::{FaultAction, FaultPlan, Sim, Trigger};
+//!
+//! let plan = FaultPlan::new(7)
+//!     .rule("rdma.write.", Trigger::Nth(3), FaultAction::CqeError)
+//!     .rule("net.client", Trigger::Chance(0.01), FaultAction::Drop);
+//! let mut sim = Sim::new(42);
+//! sim.enable_faults(plan);
+//! assert!(sim.fault_at("rdma.write.gpu0").is_none()); // 1st write: clean
+//! assert!(sim.fault_at("rdma.write.gpu0").is_none()); // 2nd write: clean
+//! assert!(sim.fault_at("rdma.write.gpu0").is_some()); // 3rd write: error
+//! ```
+
+use std::fmt;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Time;
+
+/// What happens to an operation struck by a fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultAction {
+    /// The operation silently never happens (packet loss).
+    Drop,
+    /// The operation happens twice (packet duplication; the duplicate also
+    /// reorders behind later traffic).
+    Duplicate,
+    /// The operation is delayed by the given extra latency (packet
+    /// reordering when applied to the network, a PCIe stall when applied to
+    /// an RDMA verb).
+    Delay(Duration),
+    /// The verb completes with an error CQE instead of taking effect.
+    CqeError,
+    /// The execution unit dies permanently. `Crash` rules *latch*: once
+    /// fired, every later consultation of a matching site returns `Crash`
+    /// again, so a dead worker stays dead.
+    Crash,
+    /// The execution unit stalls for the given duration before proceeding.
+    Hang(Duration),
+}
+
+impl FaultAction {
+    /// Stable snake_case tag used in `faults.injected.<kind>` counters and
+    /// trace events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultAction::Drop => "drop",
+            FaultAction::Duplicate => "duplicate",
+            FaultAction::Delay(_) => "delay",
+            FaultAction::CqeError => "cqe_error",
+            FaultAction::Crash => "crash",
+            FaultAction::Hang(_) => "hang",
+        }
+    }
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.kind())
+    }
+}
+
+/// When a rule fires, counted over the operations matching its site prefix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Trigger {
+    /// Fire on exactly the `n`-th matching operation (1-based).
+    Nth(u64),
+    /// Fire periodically: on matching operations whose 0-based index `i`
+    /// satisfies `i % period == offset % period`.
+    Every {
+        /// Period in matching operations (must be > 0 to ever fire).
+        period: u64,
+        /// Phase offset within the period.
+        offset: u64,
+    },
+    /// Fire each matching operation independently with this probability,
+    /// drawn from the plan-seeded RNG (deterministic across same-seed runs).
+    Chance(f64),
+    /// Fire on every matching operation at or after the given simulated
+    /// instant. Usually combined with [`FaultRule::max_fires`] or a
+    /// latching [`FaultAction::Crash`].
+    After(Time),
+}
+
+/// One fault rule: site prefix + trigger + action.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultRule {
+    /// Site name prefix this rule applies to (see module docs).
+    pub site: String,
+    /// When the rule fires.
+    pub trigger: Trigger,
+    /// What happens when it fires.
+    pub action: FaultAction,
+    /// Upper bound on how many times the rule may fire (`None` = unlimited).
+    pub max_fires: Option<u64>,
+}
+
+/// A declarative, reusable fault schedule.
+///
+/// Plans are plain data: clone one and attach it to several simulations to
+/// subject them to identical fault sequences.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan whose [`Trigger::Chance`] draws derive from
+    /// `seed` (independent of the simulation's own seed).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// The plan's RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's rules in evaluation order.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// Whether the plan has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Appends a rule (builder style). Rules are evaluated in insertion
+    /// order; the first rule that fires wins for a given operation.
+    pub fn rule(mut self, site: impl Into<String>, trigger: Trigger, action: FaultAction) -> Self {
+        self.rules.push(FaultRule {
+            site: site.into(),
+            trigger,
+            action,
+            max_fires: None,
+        });
+        self
+    }
+
+    /// Appends a rule that may fire at most `max_fires` times.
+    pub fn rule_limited(
+        mut self,
+        site: impl Into<String>,
+        trigger: Trigger,
+        action: FaultAction,
+        max_fires: u64,
+    ) -> Self {
+        self.rules.push(FaultRule {
+            site: site.into(),
+            trigger,
+            action,
+            max_fires: Some(max_fires),
+        });
+        self
+    }
+}
+
+struct RuleState {
+    rule: FaultRule,
+    /// Matching operations seen so far.
+    matched: u64,
+    /// Times the rule has fired.
+    fires: u64,
+}
+
+/// Runtime state of an armed [`FaultPlan`]; owned by the simulator.
+///
+/// Components do not use this directly — they call
+/// [`Sim::fault_at`](crate::Sim::fault_at), which also routes the injection
+/// through telemetry.
+pub struct FaultInjector {
+    rng: StdRng,
+    rules: Vec<RuleState>,
+    injected: u64,
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("rules", &self.rules.len())
+            .field("injected", &self.injected)
+            .finish()
+    }
+}
+
+impl FaultInjector {
+    /// Arms a plan.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(plan.seed),
+            rules: plan
+                .rules
+                .into_iter()
+                .map(|rule| RuleState {
+                    rule,
+                    matched: 0,
+                    fires: 0,
+                })
+                .collect(),
+            injected: 0,
+        }
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Times the rule at `index` (insertion order) has fired.
+    pub fn fires(&self, index: usize) -> u64 {
+        self.rules.get(index).map_or(0, |r| r.fires)
+    }
+
+    /// Consults the plan for an operation at `site` happening `now`.
+    ///
+    /// Every call advances the per-rule operation counts of matching rules,
+    /// so call this exactly once per modeled operation. Returns the action
+    /// of the first rule that fires, if any.
+    pub fn decide(&mut self, site: &str, now: Time) -> Option<FaultAction> {
+        for i in 0..self.rules.len() {
+            if !site.starts_with(self.rules[i].rule.site.as_str()) {
+                continue;
+            }
+            // Crash rules latch: a site that crashed stays crashed, without
+            // consuming operation counts or RNG draws.
+            if self.rules[i].rule.action == FaultAction::Crash && self.rules[i].fires > 0 {
+                self.injected += 1;
+                return Some(FaultAction::Crash);
+            }
+            self.rules[i].matched += 1;
+            let idx0 = self.rules[i].matched - 1; // 0-based index of this op
+            let fired = match self.rules[i].rule.trigger {
+                Trigger::Nth(n) => self.rules[i].matched == n,
+                Trigger::Every { period, offset } => period > 0 && idx0 % period == offset % period,
+                Trigger::Chance(p) => self.rng.gen::<f64>() < p,
+                Trigger::After(t) => now >= t,
+            };
+            let budget_ok = self.rules[i]
+                .rule
+                .max_fires
+                .is_none_or(|m| self.rules[i].fires < m);
+            if fired && budget_ok {
+                self.rules[i].fires += 1;
+                self.injected += 1;
+                return Some(self.rules[i].rule.action);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector(plan: FaultPlan) -> FaultInjector {
+        FaultInjector::new(plan)
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let mut inj =
+            injector(FaultPlan::new(0).rule("rdma.write.", Trigger::Nth(2), FaultAction::CqeError));
+        assert_eq!(inj.decide("rdma.write.gpu0", Time::ZERO), None);
+        assert_eq!(
+            inj.decide("rdma.write.gpu0", Time::ZERO),
+            Some(FaultAction::CqeError)
+        );
+        for _ in 0..10 {
+            assert_eq!(inj.decide("rdma.write.gpu0", Time::ZERO), None);
+        }
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn every_fires_periodically_with_offset() {
+        let mut inj = injector(FaultPlan::new(0).rule(
+            "net.",
+            Trigger::Every {
+                period: 3,
+                offset: 1,
+            },
+            FaultAction::Drop,
+        ));
+        let hits: Vec<bool> = (0..9)
+            .map(|_| inj.decide("net.client", Time::ZERO).is_some())
+            .collect();
+        assert_eq!(
+            hits,
+            vec![false, true, false, false, true, false, false, true, false]
+        );
+    }
+
+    #[test]
+    fn chance_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut inj = injector(FaultPlan::new(seed).rule(
+                "net.",
+                Trigger::Chance(0.3),
+                FaultAction::Drop,
+            ));
+            (0..100)
+                .map(|_| inj.decide("net.x", Time::ZERO).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+        assert!(run(7).iter().any(|&b| b), "p=0.3 over 100 ops should hit");
+    }
+
+    #[test]
+    fn crash_latches_forever() {
+        let mut inj =
+            injector(FaultPlan::new(0).rule("accel.q0", Trigger::Nth(3), FaultAction::Crash));
+        assert_eq!(inj.decide("accel.q0", Time::ZERO), None);
+        assert_eq!(inj.decide("accel.q0", Time::ZERO), None);
+        assert_eq!(inj.decide("accel.q0", Time::ZERO), Some(FaultAction::Crash));
+        // Latched: every later consultation crashes again.
+        assert_eq!(inj.decide("accel.q0", Time::ZERO), Some(FaultAction::Crash));
+        assert_eq!(inj.decide("accel.q0", Time::ZERO), Some(FaultAction::Crash));
+        // Other sites are unaffected.
+        assert_eq!(inj.decide("accel.q1", Time::ZERO), None);
+    }
+
+    #[test]
+    fn site_prefix_matching() {
+        let mut inj = injector(FaultPlan::new(0).rule(
+            "rdma.write.gpu0",
+            Trigger::Nth(1),
+            FaultAction::CqeError,
+        ));
+        assert_eq!(inj.decide("rdma.read.gpu0", Time::ZERO), None);
+        assert_eq!(inj.decide("rdma.write.gpu1", Time::ZERO), None);
+        assert_eq!(
+            inj.decide("rdma.write.gpu0", Time::ZERO),
+            Some(FaultAction::CqeError)
+        );
+    }
+
+    #[test]
+    fn after_gates_on_time_and_max_fires_bounds() {
+        let plan = FaultPlan::new(0).rule_limited(
+            "net.",
+            Trigger::After(Time::from_micros(10)),
+            FaultAction::Drop,
+            2,
+        );
+        let mut inj = injector(plan);
+        assert_eq!(inj.decide("net.a", Time::from_micros(5)), None);
+        assert_eq!(
+            inj.decide("net.a", Time::from_micros(10)),
+            Some(FaultAction::Drop)
+        );
+        assert_eq!(
+            inj.decide("net.a", Time::from_micros(11)),
+            Some(FaultAction::Drop)
+        );
+        // Budget exhausted.
+        assert_eq!(inj.decide("net.a", Time::from_micros(12)), None);
+        assert_eq!(inj.fires(0), 2);
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let plan = FaultPlan::new(0)
+            .rule("net.", Trigger::Nth(1), FaultAction::Drop)
+            .rule("net.", Trigger::Nth(1), FaultAction::Duplicate);
+        let mut inj = injector(plan);
+        assert_eq!(inj.decide("net.a", Time::ZERO), Some(FaultAction::Drop));
+        // The second rule saw no op yet (first rule short-circuited), so its
+        // own first matching op fires it now.
+        assert_eq!(
+            inj.decide("net.a", Time::ZERO),
+            Some(FaultAction::Duplicate)
+        );
+    }
+
+    #[test]
+    fn plan_is_reusable_data() {
+        let plan = FaultPlan::new(3).rule("x", Trigger::Nth(1), FaultAction::Drop);
+        let a = {
+            let mut inj = injector(plan.clone());
+            inj.decide("x", Time::ZERO)
+        };
+        let b = {
+            let mut inj = injector(plan.clone());
+            inj.decide("x", Time::ZERO)
+        };
+        assert_eq!(a, b);
+        assert_eq!(plan.rules().len(), 1);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.seed(), 3);
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`stats`] — Welford accumulators and throughput meters.
 //! * [`telemetry`] — opt-in structured event tracing (JSONL / Chrome
 //!   `trace_event`) and named counters/gauges; zero-cost when disabled.
+//! * [`faults`] — opt-in deterministic fault injection: seed-driven
+//!   [`FaultPlan`]s consulted at named injection sites; zero-cost when no
+//!   plan is armed.
 //!
 //! Model state lives in `Rc<RefCell<_>>` handles captured by event closures,
 //! so simulations are single-threaded by construction; none of the handle
@@ -39,6 +42,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod faults;
 mod fifo;
 mod histogram;
 mod server;
@@ -49,6 +53,7 @@ mod time;
 
 pub mod rng;
 
+pub use faults::{FaultAction, FaultInjector, FaultPlan, FaultRule, Trigger};
 pub use fifo::{Fifo, FifoFullError};
 pub use histogram::Histogram;
 pub use server::{MultiServer, Server};

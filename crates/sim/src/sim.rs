@@ -8,6 +8,7 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::faults::{FaultAction, FaultInjector, FaultPlan};
 use crate::telemetry::{Telemetry, TraceEvent};
 use crate::Time;
 
@@ -76,6 +77,7 @@ pub struct Sim {
     stopped: bool,
     executed: u64,
     telemetry: Option<Telemetry>,
+    faults: Option<FaultInjector>,
 }
 
 impl fmt::Debug for Sim {
@@ -87,6 +89,7 @@ impl fmt::Debug for Sim {
             .field("seed", &self.seed)
             .field("stopped", &self.stopped)
             .field("telemetry", &self.telemetry.is_some())
+            .field("faults", &self.faults.is_some())
             .finish()
     }
 }
@@ -103,6 +106,7 @@ impl Sim {
             stopped: false,
             executed: 0,
             telemetry: None,
+            faults: None,
         }
     }
 
@@ -150,6 +154,50 @@ impl Sim {
         if let Some(t) = &self.telemetry {
             t.gauge(name, value);
         }
+    }
+
+    /// Arms a [`FaultPlan`]: from now on, instrumented components that call
+    /// [`Sim::fault_at`] may be struck by the plan's rules. Until this is
+    /// called every fault hook is a no-op costing one `Option` check, and
+    /// model timing is bit-identical to a build without fault support.
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultInjector::new(plan));
+    }
+
+    /// Whether a fault plan is armed. Components use this to skip building
+    /// dynamic site names — and to keep recovery watchdogs disarmed — on the
+    /// fault-free fast path.
+    #[inline]
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Consults the armed fault plan for an operation at `site`.
+    ///
+    /// Returns the [`FaultAction`] striking this operation, if any. Counts
+    /// `faults.injected.<kind>` and records a
+    /// [`FaultInject`](TraceEvent::FaultInject) trace event when telemetry
+    /// is enabled. Always `None` when no plan is armed.
+    pub fn fault_at(&mut self, site: &str) -> Option<FaultAction> {
+        let injector = self.faults.as_mut()?;
+        let action = injector.decide(site, self.now)?;
+        if let Some(t) = &self.telemetry {
+            let kind = action.kind();
+            t.count(&format!("faults.injected.{kind}"), 1);
+            t.record(
+                self.now,
+                TraceEvent::FaultInject {
+                    site: site.to_string(),
+                    kind,
+                },
+            );
+        }
+        Some(action)
+    }
+
+    /// Total faults injected so far (0 when no plan is armed).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.injected())
     }
 
     /// The current simulated instant.

@@ -103,6 +103,40 @@ pub enum TraceEvent {
         /// Payload bytes.
         bytes: usize,
     },
+    /// The fault injector struck an operation (see `lynx_sim::faults`).
+    FaultInject {
+        /// Injection site the fault struck (e.g. `"rdma.write.gpu0"`).
+        site: String,
+        /// Action kind tag (`"drop"`, `"cqe_error"`, `"crash"`, ...).
+        kind: &'static str,
+    },
+    /// The SNIC marked an mqueue unhealthy and stopped dispatching to it.
+    Quarantine {
+        /// Label of the quarantined mqueue.
+        queue: String,
+    },
+    /// A previously quarantined mqueue made progress again and rejoined
+    /// the dispatch set.
+    Readmit {
+        /// Label of the readmitted mqueue.
+        queue: String,
+    },
+    /// The Remote MQ Manager's verb watchdog expired and the verb was
+    /// reposted.
+    RmqRetry {
+        /// Label of the mqueue the verb targeted.
+        queue: String,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// The Remote MQ Manager exhausted its retry budget and gave up on a
+    /// verb.
+    RmqGiveUp {
+        /// Label of the mqueue the verb targeted.
+        queue: String,
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
     /// An event from a model component outside the fixed pipeline
     /// vocabulary (devices, fabrics, applications).
     Custom {
@@ -126,6 +160,11 @@ impl TraceEvent {
             TraceEvent::AccelComplete { .. } => "AccelComplete",
             TraceEvent::Forward { .. } => "Forward",
             TraceEvent::PacketTx { .. } => "PacketTx",
+            TraceEvent::FaultInject { .. } => "FaultInject",
+            TraceEvent::Quarantine { .. } => "Quarantine",
+            TraceEvent::Readmit { .. } => "Readmit",
+            TraceEvent::RmqRetry { .. } => "RmqRetry",
+            TraceEvent::RmqGiveUp { .. } => "RmqGiveUp",
             TraceEvent::Custom { name, .. } => name,
         }
     }
@@ -138,8 +177,14 @@ impl TraceEvent {
             TraceEvent::PacketRx { host, .. } | TraceEvent::PacketTx { host, .. } => {
                 format!("net/{host}")
             }
-            TraceEvent::Dispatch { .. } => "dispatcher".to_string(),
-            TraceEvent::Enqueue { queue, .. } | TraceEvent::Forward { queue, .. } => {
+            TraceEvent::Dispatch { .. }
+            | TraceEvent::Quarantine { .. }
+            | TraceEvent::Readmit { .. } => "dispatcher".to_string(),
+            TraceEvent::FaultInject { .. } => "faults".to_string(),
+            TraceEvent::Enqueue { queue, .. }
+            | TraceEvent::Forward { queue, .. }
+            | TraceEvent::RmqRetry { queue, .. }
+            | TraceEvent::RmqGiveUp { queue, .. } => {
                 format!("mqueue/{queue}")
             }
             TraceEvent::AccelStart { queue, .. } | TraceEvent::AccelComplete { queue, .. } => {
@@ -178,6 +223,21 @@ impl TraceEvent {
             TraceEvent::AccelStart { queue, seq } => {
                 push_str_field(out, "queue", queue, false);
                 push_u64_field(out, "seq", *seq, true);
+            }
+            TraceEvent::FaultInject { site, kind } => {
+                push_str_field(out, "site", site, false);
+                push_str_field(out, "fault", kind, true);
+            }
+            TraceEvent::Quarantine { queue } | TraceEvent::Readmit { queue } => {
+                push_str_field(out, "queue", queue, true);
+            }
+            TraceEvent::RmqRetry { queue, attempt } => {
+                push_str_field(out, "queue", queue, false);
+                push_u64_field(out, "attempt", u64::from(*attempt), true);
+            }
+            TraceEvent::RmqGiveUp { queue, attempts } => {
+                push_str_field(out, "queue", queue, false);
+                push_u64_field(out, "attempts", u64::from(*attempts), true);
             }
             TraceEvent::Custom { detail, .. } => {
                 push_str_field(out, "detail", detail, true);
@@ -634,6 +694,56 @@ mod tests {
         assert!(jsonl.contains("\"track\":\"accel/gpu0+0x0\""));
         // Every line must parse as a flat JSON object (sanity: balanced
         // braces, ends with }).
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_serializes_fault_and_recovery_variants() {
+        let t = Telemetry::new();
+        t.record(
+            Time::from_nanos(5),
+            TraceEvent::FaultInject {
+                site: "rdma.write.gpu0".into(),
+                kind: "cqe_error",
+            },
+        );
+        t.record(
+            Time::from_nanos(10),
+            TraceEvent::Quarantine {
+                queue: "gpu0+0x0".into(),
+            },
+        );
+        t.record(
+            Time::from_nanos(15),
+            TraceEvent::RmqRetry {
+                queue: "gpu0+0x0".into(),
+                attempt: 1,
+            },
+        );
+        t.record(
+            Time::from_nanos(20),
+            TraceEvent::RmqGiveUp {
+                queue: "gpu0+0x0".into(),
+                attempts: 4,
+            },
+        );
+        t.record(
+            Time::from_nanos(25),
+            TraceEvent::Readmit {
+                queue: "gpu0+0x0".into(),
+            },
+        );
+        let jsonl = t.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 5);
+        assert!(jsonl.contains("\"kind\":\"FaultInject\",\"track\":\"faults\""));
+        assert!(jsonl.contains("\"site\":\"rdma.write.gpu0\",\"fault\":\"cqe_error\""));
+        assert!(jsonl.contains("\"kind\":\"Quarantine\",\"track\":\"dispatcher\""));
+        assert!(jsonl.contains("\"kind\":\"Readmit\",\"track\":\"dispatcher\""));
+        assert!(jsonl.contains("\"kind\":\"RmqRetry\",\"track\":\"mqueue/gpu0+0x0\""));
+        assert!(jsonl.contains("\"attempt\":1"));
+        assert!(jsonl.contains("\"attempts\":4"));
         for line in jsonl.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }

@@ -19,7 +19,7 @@ use lynx::apps::nn::{DigitGenerator, LeNetProcessor};
 use lynx::apps::vecscale::{self, VecScaleProcessor};
 use lynx::core::testbed::Machine;
 use lynx::core::{
-    CostModel, DispatchPolicy, LynxServer, Mqueue, MqueueConfig, MqueueKind, ProcessorApp,
+    CostModel, DispatchPolicy, LynxServerBuilder, Mqueue, MqueueConfig, MqueueKind, ProcessorApp,
     RemoteMqManager, ServiceId, ThreadblockUnit, Worker,
 };
 use lynx::device::{CpuKind, GpuSpec, RequestProcessor};
@@ -41,39 +41,50 @@ fn main() {
         MultiServer::new(7, 1.0),
         StackProfile::of(Platform::ArmA72, StackKind::Vma),
     );
-    let server = LynxServer::new(
-        stack,
-        CostModel::for_cpu(CpuKind::ArmA72),
-        DispatchPolicy::RoundRobin,
-    );
-    let accel = server.add_accelerator(RemoteMqManager::new(machine.rdma_nic().loopback_qp()));
-
-    // Two tenants, each with its own mqueues and workers on the same GPU.
-    let tenant_a = ServiceId::DEFAULT;
-    let tenant_b = server.add_service(DispatchPolicy::RoundRobin);
-    let spawn = |service: ServiceId, n: usize, proc: Rc<dyn RequestProcessor>, slot: usize| {
+    // Spawns `n` mqueues + persistent workers on the shared GPU and
+    // returns the queues for registration with the builder.
+    let spawn = |n: usize, proc: Rc<dyn RequestProcessor>, slot: usize| -> Vec<Mqueue> {
         let cfg = MqueueConfig {
             slots: 16,
             slot_size: slot,
             ..MqueueConfig::default()
         };
-        for _ in 0..n {
-            let base = gpu.alloc(cfg.required_bytes());
-            let mq = Mqueue::new(MqueueKind::Server, gpu.mem(), base, cfg);
-            server.add_server_mqueue_to(service, accel, mq.clone());
-            let worker = Worker::new(
-                Rc::new(ThreadblockUnit::new(gpu.spawn_block())),
-                mq,
-                Rc::new(ProcessorApp::new(Rc::clone(&proc))),
-            );
-            worker.start();
-            std::mem::forget(worker);
-        }
+        (0..n)
+            .map(|_| {
+                let base = gpu.alloc(cfg.required_bytes());
+                let mq = Mqueue::new(MqueueKind::Server, gpu.mem(), base, cfg);
+                let worker = Worker::new(
+                    Rc::new(ThreadblockUnit::new(gpu.spawn_block())),
+                    mq.clone(),
+                    Rc::new(ProcessorApp::new(Rc::clone(&proc))),
+                );
+                worker.start();
+                std::mem::forget(worker);
+                mq
+            })
+            .collect()
     };
-    spawn(tenant_a, 2, Rc::new(LeNetProcessor::new(1)), 1024);
-    spawn(tenant_b, 4, Rc::new(VecScaleProcessor::new(5)), 2048);
-    server.listen_udp_for(tenant_a, 7001);
-    server.listen_udp_for(tenant_b, 7002);
+
+    // Two tenants, each with its own mqueues and workers on the same GPU,
+    // declared in one builder description: tenant A is the default
+    // service, `.service(..)` opens tenant B.
+    let tenant_a = ServiceId::DEFAULT;
+    let tenant_b = ServiceId(1);
+    let mut builder = LynxServerBuilder::new(stack)
+        .cost_model(CostModel::for_cpu(CpuKind::ArmA72))
+        .policy(DispatchPolicy::RoundRobin)
+        .accelerator(RemoteMqManager::new(machine.rdma_nic().loopback_qp()));
+    for mq in spawn(2, Rc::new(LeNetProcessor::new(1)), 1024) {
+        builder = builder.server_mqueue(0, mq);
+    }
+    builder = builder.listen_udp(7001).service(DispatchPolicy::RoundRobin);
+    for mq in spawn(4, Rc::new(VecScaleProcessor::new(5)), 2048) {
+        builder = builder.server_mqueue(0, mq);
+    }
+    let server = builder
+        .listen_udp(7002)
+        .build(&mut sim)
+        .expect("two-tenant deployment is valid");
 
     // Tenant A's clients send digit images; tenant B's send vectors.
     let client_stack = |name: &str| {

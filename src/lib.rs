@@ -39,3 +39,8 @@ pub use lynx_fabric as fabric;
 pub use lynx_net as net;
 pub use lynx_sim as sim;
 pub use lynx_workload as workload;
+
+// Flat re-exports of the robustness/builder API so downstream code can
+// name the common types without digging through sub-crates.
+pub use lynx_core::{Error, LynxServerBuilder, RecoveryConfig, Result, RmqConfig};
+pub use lynx_sim::{FaultAction, FaultPlan, FaultRule, Trigger};

@@ -1,0 +1,278 @@
+//! Fault-injection drills for the SNIC-side recovery subsystem.
+//!
+//! Three properties are exercised end to end:
+//!
+//! 1. an injected RDMA completion error is absorbed by the Remote MQ
+//!    Manager's timeout/retry machinery with **zero lost requests**;
+//! 2. a crashed accelerator worker is detected by the health monitor,
+//!    its mqueue quarantined, and the surviving queues absorb the load
+//!    (with the expected tail-latency degradation);
+//! 3. faulted runs are **deterministic**: same seed + same plan produce
+//!    byte-identical telemetry exports.
+//!
+//! The seed is taken from `LYNX_FAULT_SEED` when set (the CI fault
+//! matrix sweeps it) so every property must hold for *any* seed, not a
+//! hand-picked one.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx::core::testbed::{deploy_processor, DeployConfig, Machine};
+use lynx::core::MqueueConfig;
+use lynx::device::{DelayProcessor, GpuSpec};
+use lynx::net::{HostStack, LinkSpec, Network, Platform, StackKind, StackProfile};
+use lynx::sim::{MultiServer, Sim};
+use lynx::workload::{run_measured, ClosedLoopClient, OpenLoopClient, RunSpec, RunSummary};
+use lynx::{FaultAction, FaultPlan, RecoveryConfig, Trigger};
+
+/// Seed under test; CI sweeps `LYNX_FAULT_SEED` across several values.
+fn fault_seed() -> u64 {
+    std::env::var("LYNX_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn client_stack(net: &Network, name: &str) -> HostStack {
+    let host = net.add_host(name, LinkSpec::gbps40());
+    HostStack::new(
+        net,
+        host,
+        MultiServer::new(3, 1.0),
+        StackProfile::of(Platform::Xeon, StackKind::Vma),
+    )
+}
+
+fn spec() -> RunSpec {
+    RunSpec {
+        warmup: Duration::from_millis(50),
+        measure: Duration::from_millis(300),
+    }
+}
+
+/// An RDMA WRITE that completes with a CQE error is retried transparently
+/// by the Remote MQ Manager: the client sees every response, nothing is
+/// dropped, and the retry counters record the recovery.
+#[test]
+fn injected_cqe_errors_are_recovered_with_zero_lost_requests() {
+    let seed = fault_seed();
+    let mut sim = Sim::new(seed);
+    let telemetry = sim.enable_telemetry();
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 2,
+        recovery: RecoveryConfig::default(), // SNIC recovery on
+        ..DeployConfig::default()
+    };
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(DelayProcessor::new(Duration::from_micros(20))),
+    );
+
+    // Every 40th RDMA WRITE (requests *and* doorbells) completes in
+    // error, six times over the run.
+    let plan = FaultPlan::new(seed).rule_limited(
+        "rdma.write",
+        Trigger::Every {
+            period: 40,
+            offset: 7,
+        },
+        FaultAction::CqeError,
+        6,
+    );
+    sim.enable_faults(plan);
+
+    let client = ClosedLoopClient::new(
+        client_stack(&net, "client"),
+        d.server_addr,
+        4,
+        Rc::new(|seq| vec![seq as u8; 64]),
+    )
+    .validate(|seq, p| p.len() == 64 && p[0] == seq as u8);
+    let summary = run_measured(&mut sim, &[&client], spec());
+
+    assert!(sim.faults_injected() >= 1, "the plan must have fired");
+    assert!(
+        telemetry.counter("rmq.retries") >= 1,
+        "recovery goes through the RMQ retry path"
+    );
+    assert_eq!(
+        telemetry.counter("rmq.giveups"),
+        0,
+        "a single CQE error never exhausts the retry budget"
+    );
+    // Zero lost requests: payloads verified, nothing dropped, and the
+    // closed-loop window bounds how many can still be in flight.
+    assert_eq!(summary.invalid, 0);
+    assert_eq!(d.server.stats().dropped, 0);
+    assert_eq!(d.server.mqueue_drops(), 0);
+    assert!(
+        summary.received + 4 >= summary.sent,
+        "sent {} but only {} answered",
+        summary.sent,
+        summary.received
+    );
+}
+
+/// Shared rig for the crash drill: 4 workers behind one GPU, open-loop
+/// load at 60% of the healthy capacity. `crash` arms a plan that kills
+/// one worker early in the run.
+fn crash_run(seed: u64, crash: bool) -> (RunSummary, usize, u64, u64) {
+    let mut sim = Sim::new(seed);
+    let telemetry = sim.enable_telemetry();
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 4,
+        mq: MqueueConfig {
+            slots: 16,
+            slot_size: 256,
+            ..MqueueConfig::default()
+        },
+        recovery: RecoveryConfig::default(),
+        ..DeployConfig::default()
+    };
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(DelayProcessor::new(Duration::from_micros(100))),
+    );
+    if crash {
+        // The worker on queue 3 dies on its 5th poll (early in warmup).
+        let site = format!("accel.{}", d.mqueues[3].label());
+        sim.enable_faults(FaultPlan::new(seed).rule(site, Trigger::Nth(5), FaultAction::Crash));
+    }
+    // 24 Kreq/s against 4x100us workers: 60% utilisation healthy, 80%
+    // once one worker is gone — survivable, but with a visible tail.
+    let client = OpenLoopClient::new(
+        client_stack(&net, "client"),
+        d.server_addr,
+        24_000.0,
+        Rc::new(|_| vec![0; 64]),
+    );
+    let summary = run_measured(&mut sim, &[&client], spec());
+    (
+        summary,
+        d.server.quarantined_queues(),
+        telemetry.counter("dispatch.quarantined"),
+        telemetry.counter("accel.crashed"),
+    )
+}
+
+/// Crashing 1 of 4 accelerator workers quarantines its mqueue; the three
+/// survivors keep serving the offered load at a degraded tail latency.
+#[test]
+fn crashed_worker_is_quarantined_and_survivors_absorb_the_load() {
+    let seed = fault_seed();
+    let (clean, clean_quarantined, _, _) = crash_run(seed, false);
+    let (faulted, quarantined, quarantine_events, crashes) = crash_run(seed, true);
+
+    assert_eq!(clean_quarantined, 0, "healthy run quarantines nothing");
+    assert_eq!(crashes, 1, "exactly one worker crashed");
+    assert!(
+        quarantine_events >= 1 && quarantined == 1,
+        "the dead queue is quarantined ({} events, {} held)",
+        quarantine_events,
+        quarantined
+    );
+    // Survivors absorb the load: goodput stays within a few percent of
+    // the healthy run (only requests wedged in the dead ring are lost).
+    assert!(
+        faulted.received as f64 >= clean.received as f64 * 0.95,
+        "survivors should absorb the load: {} vs {} healthy",
+        faulted.received,
+        clean.received
+    );
+    // ... but not for free: 3 workers at 80% utilisation queue deeper
+    // than 4 at 60%, so the tail degrades.
+    assert!(
+        faulted.percentile_us(99.0) > clean.percentile_us(99.0),
+        "p99 should reflect the degraded capacity: {:.1}us vs {:.1}us",
+        faulted.percentile_us(99.0),
+        clean.percentile_us(99.0)
+    );
+}
+
+/// One full faulted run: packet-drop chance + periodic CQE errors + a
+/// mid-run worker hang, exporting both telemetry artefacts.
+fn deterministic_run(seed: u64) -> (String, String) {
+    let mut sim = Sim::new(seed);
+    let telemetry = sim.enable_telemetry();
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 2,
+        recovery: RecoveryConfig::default(),
+        ..DeployConfig::default()
+    };
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(DelayProcessor::new(Duration::from_micros(50))),
+    );
+    let plan = FaultPlan::new(seed)
+        .rule("net.", Trigger::Chance(0.01), FaultAction::Drop)
+        .rule_limited(
+            "rdma.write",
+            Trigger::Every {
+                period: 60,
+                offset: 11,
+            },
+            FaultAction::CqeError,
+            4,
+        )
+        .rule_limited(
+            "accel.",
+            Trigger::Nth(200),
+            FaultAction::Hang(Duration::from_micros(400)),
+            1,
+        );
+    sim.enable_faults(plan);
+    let client = OpenLoopClient::new(
+        client_stack(&net, "client"),
+        d.server_addr,
+        5_000.0,
+        Rc::new(|seq| vec![seq as u8; 64]),
+    );
+    let spec = RunSpec {
+        warmup: Duration::from_millis(20),
+        measure: Duration::from_millis(100),
+    };
+    let _ = run_measured(&mut sim, &[&client], spec);
+    assert!(sim.faults_injected() >= 1, "the plan must have fired");
+    (telemetry.to_jsonl(), telemetry.counters_csv())
+}
+
+/// Same seed + same plan => byte-identical trace and counter exports,
+/// even with probabilistic fault rules in the plan.
+#[test]
+fn faulted_runs_are_byte_identical_across_replays() {
+    let seed = fault_seed();
+    let (trace_a, counters_a) = deterministic_run(seed);
+    let (trace_b, counters_b) = deterministic_run(seed);
+    assert!(!trace_a.is_empty() && trace_a.lines().count() > 100);
+    assert_eq!(
+        trace_a, trace_b,
+        "event traces must replay byte-identically"
+    );
+    assert_eq!(counters_a, counters_b, "counter exports must replay too");
+
+    // A different seed genuinely changes the run (the Chance rule draws
+    // from the plan RNG), so the identity above is not vacuous.
+    let (trace_c, _) = deterministic_run(seed.wrapping_add(1));
+    assert_ne!(trace_a, trace_c, "different seeds should diverge");
+}

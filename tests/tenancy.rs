@@ -6,8 +6,8 @@ use std::time::Duration;
 
 use lynx::core::testbed::Machine;
 use lynx::core::{
-    CostModel, DispatchPolicy, LynxServer, Mqueue, MqueueConfig, MqueueKind, ProcessorApp,
-    RemoteMqManager, ServiceId, ThreadblockUnit, Worker,
+    CostModel, DispatchPolicy, LynxServer, LynxServerBuilder, Mqueue, MqueueConfig, MqueueKind,
+    ProcessorApp, RemoteMqManager, ServiceId, ThreadblockUnit, Worker,
 };
 use lynx::device::{CpuKind, GpuSpec, RequestProcessor};
 use lynx::net::{HostStack, LinkSpec, Network, Platform, SockAddr, StackKind, StackProfile};
@@ -54,35 +54,43 @@ fn two_tenant_rig() -> Rig {
         MultiServer::new(7, 1.0),
         StackProfile::of(Platform::ArmA72, StackKind::Vma),
     );
-    let server = LynxServer::new(
-        stack,
-        CostModel::for_cpu(CpuKind::ArmA72),
-        DispatchPolicy::RoundRobin,
-    );
-    let accel = server.add_accelerator(RemoteMqManager::new(machine.rdma_nic().loopback_qp()));
-    let tenant_b = server.add_service(DispatchPolicy::RoundRobin);
-    assert_eq!(tenant_b, ServiceId(1));
     let cfg = MqueueConfig {
         slots: 16,
         slot_size: 256,
         ..MqueueConfig::default()
     };
-    for (service, tag) in [(ServiceId::DEFAULT, 0xA0u8), (tenant_b, 0xB0)] {
-        for _ in 0..2 {
-            let base = gpu.alloc(cfg.required_bytes());
-            let mq = Mqueue::new(MqueueKind::Server, gpu.mem(), base, cfg);
-            server.add_server_mqueue_to(service, accel, mq.clone());
-            let worker = Worker::new(
-                Rc::new(ThreadblockUnit::new(gpu.spawn_block())),
-                mq,
-                Rc::new(ProcessorApp::new(Rc::new(Tagger(tag)))),
-            );
-            worker.start();
-            std::mem::forget(worker);
-        }
+    let spawn = |tag: u8| -> Vec<Mqueue> {
+        (0..2)
+            .map(|_| {
+                let base = gpu.alloc(cfg.required_bytes());
+                let mq = Mqueue::new(MqueueKind::Server, gpu.mem(), base, cfg);
+                let worker = Worker::new(
+                    Rc::new(ThreadblockUnit::new(gpu.spawn_block())),
+                    mq.clone(),
+                    Rc::new(ProcessorApp::new(Rc::new(Tagger(tag)))),
+                );
+                worker.start();
+                std::mem::forget(worker);
+                mq
+            })
+            .collect()
+    };
+    let mut builder = LynxServerBuilder::new(stack)
+        .cost_model(CostModel::for_cpu(CpuKind::ArmA72))
+        .policy(DispatchPolicy::RoundRobin)
+        .accelerator(RemoteMqManager::new(machine.rdma_nic().loopback_qp()));
+    for mq in spawn(0xA0) {
+        builder = builder.server_mqueue(0, mq);
     }
-    server.listen_udp_for(ServiceId::DEFAULT, 7001);
-    server.listen_udp_for(tenant_b, 7002);
+    builder = builder.listen_udp(7001).service(DispatchPolicy::RoundRobin);
+    for mq in spawn(0xB0) {
+        builder = builder.server_mqueue(0, mq);
+    }
+    let server = builder
+        .listen_udp(7002)
+        .build(&mut sim)
+        .expect("two-tenant rig is valid");
+    assert_eq!(server.services(), 2);
     Rig {
         sim,
         server,
