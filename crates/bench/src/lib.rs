@@ -192,6 +192,18 @@ impl std::fmt::Debug for EchoRig {
 /// artificial `delay` of request processing, served by `design` with
 /// `mqueues` server mqueues (Lynx designs only).
 pub fn echo_rig(design: Design, delay: std::time::Duration, mqueues: usize) -> EchoRig {
+    echo_rig_with(design, delay, mqueues, lynx_core::PipelineConfig::default())
+}
+
+/// Like [`echo_rig`], but with an explicit SNIC pipeline configuration
+/// (core sharding + batching) for the Lynx designs. `HostCentric`
+/// ignores `pipeline` — the baseline has no SNIC pipeline to shard.
+pub fn echo_rig_with(
+    design: Design,
+    delay: std::time::Duration,
+    mqueues: usize,
+    pipeline: lynx_core::PipelineConfig,
+) -> EchoRig {
     use lynx_core::testbed::{deploy_processor, DeployConfig, Machine};
     use lynx_core::HostCentricServer;
     use lynx_device::{DelayProcessor, GpuSpec};
@@ -226,6 +238,7 @@ pub fn echo_rig(design: Design, delay: std::time::Duration, mqueues: usize) -> E
                     slot_size: 256,
                     ..lynx_core::MqueueConfig::default()
                 },
+                pipeline,
                 ..DeployConfig::default()
             };
             let d = deploy_processor(

@@ -10,6 +10,7 @@
 use lynx_net::{HostStack, SockAddr};
 use lynx_sim::{Sim, Telemetry};
 
+use crate::pipeline::{BatchPolicy, PipelineConfig};
 use crate::{
     CostModel, DispatchPolicy, LynxServer, Mqueue, RecoveryConfig, RemoteMqManager, ServiceId,
 };
@@ -59,6 +60,7 @@ pub struct LynxServerBuilder {
     stack: HostStack,
     costs: Option<CostModel>,
     recovery: RecoveryConfig,
+    pipeline: PipelineConfig,
     accels: Vec<RemoteMqManager>,
     services: Vec<ServiceSpec>,
     bridges: Vec<(usize, Mqueue, SockAddr)>,
@@ -85,6 +87,7 @@ impl LynxServerBuilder {
             stack,
             costs: None,
             recovery: RecoveryConfig::default(),
+            pipeline: PipelineConfig::default(),
             accels: Vec::new(),
             services: vec![ServiceSpec {
                 policy: DispatchPolicy::RoundRobin,
@@ -113,6 +116,31 @@ impl LynxServerBuilder {
     /// reproduces the pre-recovery server).
     pub fn recovery(mut self, cfg: RecoveryConfig) -> Self {
         self.recovery = cfg;
+        self
+    }
+
+    /// Shards the dispatcher and forwarder across `n` simulated SNIC
+    /// cores. Requests shard by client hash, response forwarding by
+    /// mqueue registration order; each core's work is charged to its own
+    /// stack lane, so `n` must not exceed the lanes of the stack passed
+    /// to [`LynxServerBuilder::new`] (checked at build time).
+    pub fn snic_cores(mut self, n: usize) -> Self {
+        self.pipeline.snic_cores = n;
+        self
+    }
+
+    /// Sets the batching policy of the request and response pipelines
+    /// (defaults to [`BatchPolicy::Unbatched`], the exact per-message
+    /// event sequence of earlier releases).
+    pub fn batch(mut self, policy: BatchPolicy) -> Self {
+        self.pipeline.batch = policy;
+        self
+    }
+
+    /// Sets the full pipeline configuration in one call (equivalent to
+    /// [`LynxServerBuilder::snic_cores`] + [`LynxServerBuilder::batch`]).
+    pub fn pipeline(mut self, cfg: PipelineConfig) -> Self {
+        self.pipeline = cfg;
         self
     }
 
@@ -212,6 +240,12 @@ impl LynxServerBuilder {
                 errors.push(format!("service {si} has listeners but no server mqueues"));
             }
         }
+        if let Err(e) = self.pipeline.check(self.stack.cores().lanes()) {
+            errors.push(match e {
+                crate::Error::Config(msg) => msg,
+                other => other.to_string(),
+            });
+        }
         for (accel, mq, _) in &self.bridges {
             if *accel >= n_accels {
                 errors.push(format!(
@@ -230,7 +264,14 @@ impl LynxServerBuilder {
             .unwrap_or_else(|| CostModel::for_cpu(lynx_device::CpuKind::ArmA72));
         let stats = sim.telemetry().cloned().unwrap_or_else(Telemetry::new);
         let default_policy = self.services[0].policy;
-        let server = LynxServer::construct(self.stack, costs, default_policy, self.recovery, stats);
+        let server = LynxServer::construct(
+            self.stack,
+            costs,
+            default_policy,
+            self.recovery,
+            stats,
+            self.pipeline,
+        );
         for rmq in self.accels {
             server.inner_add_accelerator(rmq);
         }

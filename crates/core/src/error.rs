@@ -29,6 +29,15 @@ pub enum Error {
     /// A configuration was rejected at build time (zero slots, undersized
     /// memory, missing listener, ...).
     Config(String),
+    /// A response could not be routed back to its client: the mqueue slot
+    /// carried no usable return address (a [`crate::ReturnAddr::Fixed`]
+    /// entry surfacing on a server path, or a UDP reply from a service
+    /// that never bound a UDP port). The response is shed and counted;
+    /// within a batch, only the unroutable message is affected.
+    Unroutable {
+        /// Index of the tenant service whose reply was shed.
+        service: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -42,6 +51,10 @@ impl fmt::Display for Error {
                 "transport to mqueue '{queue}' failed after {attempts} attempts"
             ),
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::Unroutable { service } => write!(
+                f,
+                "response of service {service} has no routable return address"
+            ),
         }
     }
 }

@@ -47,6 +47,7 @@ mod error;
 mod hostcentric;
 mod innova;
 mod mqueue;
+pub mod pipeline;
 mod rmq;
 mod server;
 pub mod testbed;
@@ -58,5 +59,6 @@ pub use error::{Error, Result};
 pub use hostcentric::HostCentricServer;
 pub use innova::InnovaReceiver;
 pub use mqueue::{Mqueue, MqueueConfig, MqueueKind, ReturnAddr, SLOT_HEADER};
+pub use pipeline::{BatchPolicy, Pipeline, PipelineConfig};
 pub use rmq::{RemoteMqManager, RmqConfig};
 pub use server::{CostModel, LynxServer, RecoveryConfig, ServerStats, ServiceId, SnicPlatform};

@@ -94,18 +94,6 @@ impl MqueueConfig {
         }
         Ok(())
     }
-
-    /// Validates the configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `slots == 0` or `slot_size <= SLOT_HEADER`.
-    #[deprecated(since = "0.2.0", note = "use `check()`, which returns a Result")]
-    pub fn validate(&self) {
-        if let Err(e) = self.check() {
-            panic!("{e}");
-        }
-    }
 }
 
 type Watcher = Rc<RefCell<dyn FnMut(&mut Sim)>>;
@@ -316,6 +304,10 @@ impl Mqueue {
     ///
     /// Returns [`Error::Backpressure`] — and counts a drop — when `slots`
     /// requests are already in flight.
+    ///
+    /// Transport-internal: exposed for integration tests and benchmarks
+    /// that drive the wire format by hand.
+    #[doc(hidden)]
     pub fn try_reserve(&self, ret: ReturnAddr) -> crate::Result<u64> {
         let mut inner = self.inner.borrow_mut();
         let occupied = match inner.kind {
@@ -339,13 +331,15 @@ impl Mqueue {
         Ok(seq)
     }
 
-    /// Byte offset of RX slot `seq` within the region.
+    /// Byte offset of RX slot `seq` within the region (transport-internal).
+    #[doc(hidden)]
     pub fn rx_slot_offset(&self, seq: u64) -> usize {
         let inner = self.inner.borrow();
         inner.rx_base + (seq as usize % inner.cfg.slots) * inner.cfg.slot_size
     }
 
-    /// Byte offset of TX slot `seq` within the region.
+    /// Byte offset of TX slot `seq` within the region (transport-internal).
+    #[doc(hidden)]
     pub fn tx_slot_offset(&self, seq: u64) -> usize {
         let inner = self.inner.borrow();
         inner.tx_base + (seq as usize % inner.cfg.slots) * inner.cfg.slot_size
@@ -356,6 +350,7 @@ impl Mqueue {
     /// # Panics
     ///
     /// Panics if the payload exceeds [`MqueueConfig::max_payload`].
+    #[doc(hidden)]
     pub fn encode_slot(&self, seq: u64, payload: &[u8]) -> Vec<u8> {
         let cfg = self.inner.borrow().cfg;
         assert!(
@@ -377,7 +372,7 @@ impl Mqueue {
     }
 
     /// Fires the accelerator-side RX doorbell notification.
-    pub fn notify_rx(&self, sim: &mut Sim) {
+    pub(crate) fn notify_rx(&self, sim: &mut Sim) {
         // Drop the inner borrow before invoking the watcher: the watcher
         // is accelerator code and may immediately pop the request.
         let watcher = {
@@ -399,7 +394,8 @@ impl Mqueue {
     /// `(seq, return address, payload length)`. The payload bytes must then
     /// be fetched (RDMA read) from [`Mqueue::tx_slot_offset`] and the slot
     /// released with [`Mqueue::complete`].
-    pub fn peek_response(&self) -> Option<(u64, ReturnAddr, usize)> {
+    #[cfg_attr(not(test), allow(dead_code))] // production code claims via begin_pull
+    pub(crate) fn peek_response(&self) -> Option<(u64, ReturnAddr, usize)> {
         let inner = self.inner.borrow();
         if inner.tx_popped >= inner.tx_pushed {
             return None;
@@ -423,6 +419,7 @@ impl Mqueue {
     /// responses, so overlapping RDMA reads never collect the same slot.
     /// The slot must still be released with [`Mqueue::complete`] once the
     /// read lands.
+    #[doc(hidden)]
     pub fn begin_pull(&self) -> Option<(u64, ReturnAddr, usize)> {
         let mut inner = self.inner.borrow_mut();
         if inner.tx_pulled >= inner.tx_pushed {
@@ -451,13 +448,46 @@ impl Mqueue {
     ///
     /// Panics if `seq` is not the oldest outstanding response (responses
     /// are collected in order).
+    #[doc(hidden)]
     pub fn complete(&self, seq: u64) {
-        let mut inner = self.inner.borrow_mut();
-        assert_eq!(seq, inner.tx_popped, "responses complete in order");
-        inner.tx_popped += 1;
-        if inner.kind == MqueueKind::Server {
-            inner.inflight.pop_front();
+        self.complete_n(seq, 1);
+    }
+
+    /// Releases `n` consecutive collected responses starting at
+    /// `first_seq`, freeing their RX credits in one bulk acknowledgement —
+    /// the batched forwarder's completion path (one bookkeeping pass per
+    /// collected batch instead of one per message).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first_seq` is not the oldest outstanding response, or if
+    /// fewer than `n` responses have been produced.
+    pub(crate) fn complete_n(&self, first_seq: u64, n: u64) {
+        if n == 0 {
+            return;
         }
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(first_seq, inner.tx_popped, "responses complete in order");
+        assert!(
+            first_seq + n <= inner.tx_pushed,
+            "completing responses that were never produced"
+        );
+        inner.tx_popped += n;
+        // Completion via peek_response never claimed the slots through
+        // begin_pull; keep the pull cursor from falling behind.
+        inner.tx_pulled = inner.tx_pulled.max(inner.tx_popped);
+        if inner.kind == MqueueKind::Server {
+            for _ in 0..n {
+                inner.inflight.pop_front();
+            }
+        }
+    }
+
+    /// Responses produced by the accelerator but not yet claimed for
+    /// collection by the SNIC — what a batched forwarder pass can take.
+    pub fn pending_responses(&self) -> u64 {
+        let inner = self.inner.borrow();
+        inner.tx_pushed - inner.tx_pulled
     }
 
     // --- Accelerator side --------------------------------------------------
@@ -505,7 +535,7 @@ impl Mqueue {
     /// Sends a message on the TX ring using the next sequence number —
     /// the accelerator-side `send` of the I/O shim. Returns the sequence
     /// used.
-    pub fn acc_send(&self, sim: &mut Sim, payload: &[u8]) -> u64 {
+    pub(crate) fn acc_send(&self, sim: &mut Sim, payload: &[u8]) -> u64 {
         let seq = self.inner.borrow().tx_pushed;
         self.acc_push_response(sim, seq, payload);
         seq
@@ -568,7 +598,7 @@ impl Mqueue {
     }
 
     /// Registers the SNIC-side response watcher (Message Forwarder poll).
-    pub fn set_tx_watcher(&self, f: impl FnMut(&mut Sim) + 'static) {
+    pub(crate) fn set_tx_watcher(&self, f: impl FnMut(&mut Sim) + 'static) {
         self.inner.borrow_mut().tx_watcher = Some(Rc::new(RefCell::new(f)));
     }
 }
@@ -753,6 +783,42 @@ mod tests {
         let _ = q.try_reserve(ReturnAddr::Fixed);
         assert_eq!(q.drops(), 2);
         assert_eq!(sink.counter(&format!("mqueue.{}.drops", q.label())), 2);
+    }
+
+    #[test]
+    fn bulk_completion_releases_credits_in_order() {
+        let mut sim = Sim::new(0);
+        let q = mq(MqueueKind::Server, 4);
+        for i in 0..3u64 {
+            let seq = q.try_reserve(ReturnAddr::Fixed).unwrap();
+            land(&q, seq, &[i as u8]);
+            q.acc_pop_request().unwrap();
+            q.acc_push_response(&mut sim, seq, &[i as u8]);
+        }
+        assert_eq!(q.pending_responses(), 3);
+        // Claim all three, then acknowledge them in one bulk completion.
+        for _ in 0..3 {
+            q.begin_pull().unwrap();
+        }
+        assert_eq!(q.pending_responses(), 0);
+        q.complete_n(0, 3);
+        assert_eq!(q.in_flight(), 0);
+        assert_eq!(q.collected(), 3);
+        // Freed credits are immediately reusable.
+        assert!(q.try_reserve(ReturnAddr::Fixed).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "complete in order")]
+    fn bulk_completion_must_start_at_oldest() {
+        let mut sim = Sim::new(0);
+        let q = mq(MqueueKind::Server, 4);
+        let seq = q.try_reserve(ReturnAddr::Fixed).unwrap();
+        land(&q, seq, b"x");
+        q.acc_pop_request().unwrap();
+        q.acc_push_response(&mut sim, seq, b"y");
+        q.begin_pull().unwrap();
+        q.complete_n(1, 1);
     }
 
     #[test]

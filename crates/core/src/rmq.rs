@@ -76,6 +76,12 @@ type DoneFn<T> = Box<dyn FnOnce(&mut Sim, crate::Result<T>)>;
 type AttemptFn = Rc<dyn Fn(&mut Sim, u32)>;
 type AttemptHolder = Rc<RefCell<Option<AttemptFn>>>;
 
+/// One collected response: its return address and payload.
+type Response = (ReturnAddr, Vec<u8>);
+
+/// Delivery continuation of a batched [`RemoteMqManager::pull_responses`].
+type CollectFn = dyn FnOnce(&mut Sim, Vec<Response>);
+
 /// Drives `post` to completion under a per-attempt watchdog with bounded
 /// exponential backoff, then calls `done` exactly once with the final
 /// outcome. Counts `rmq.timeouts` / `rmq.retries` / `rmq.giveups` and
@@ -379,6 +385,295 @@ impl RemoteMqManager {
         Ok(seq)
     }
 
+    /// Delivers a batch of requests into an mqueue's RX ring with
+    /// coalesced RDMA: ring-contiguous slots are written as one chained
+    /// verb with a single doorbell ([`QueuePair::post_write_vectored`]),
+    /// so a batch of `k` messages rings the NIC once instead of `k` times.
+    ///
+    /// Every item is reserved individually: items that hit a full ring get
+    /// their own [`Error::Backpressure`] in the returned vector (and their
+    /// own drop count on the mqueue), while the items before and after
+    /// them still deliver — a partial batch failure never aborts the rest
+    /// of the batch. The vectored path requires the default coalesced
+    /// metadata mode; with `write_barrier` or split metadata configured the
+    /// batch degrades to the per-message [`RemoteMqManager::push_request`]
+    /// chain (those modes order verbs per message, which a shared doorbell
+    /// cannot express).
+    ///
+    /// Under an armed fault plan each slot write in the chain is its own
+    /// fault site, evaluated in batch order — `Trigger::Nth` counts the
+    /// same verbs it would count unbatched. A struck span is re-driven
+    /// alone through the watchdog/retry machinery with a fresh budget
+    /// (counted in `rmq.retries` / `rmq.giveups` like any retry); the
+    /// remaining spans of the batch are unaffected. The accelerator's
+    /// doorbell gating handles late-landing retried slots: consumption
+    /// stalls at the missing slot and resumes once it lands.
+    pub fn push_requests(
+        &self,
+        sim: &mut Sim,
+        mq: &Mqueue,
+        items: Vec<(ReturnAddr, Vec<u8>)>,
+    ) -> Vec<crate::Result<u64>> {
+        let cfg = mq.config();
+        if !cfg.coalesce_metadata || cfg.write_barrier {
+            return items
+                .into_iter()
+                .map(|(ret, payload)| self.push_request(sim, mq, ret, &payload, |_, _| {}))
+                .collect();
+        }
+        let mut results = Vec::with_capacity(items.len());
+        let mut reserved: Vec<(u64, Vec<u8>)> = Vec::new();
+        for (ret, payload) in items {
+            match mq.try_reserve(ret) {
+                Ok(seq) => {
+                    let bytes = payload.len();
+                    let mq_evt = mq.clone();
+                    sim.trace(|| TraceEvent::Enqueue {
+                        queue: mq_evt.label(),
+                        seq,
+                        bytes,
+                    });
+                    results.push(Ok(seq));
+                    reserved.push((seq, payload));
+                }
+                Err(e) => results.push(Err(e)),
+            }
+        }
+        if reserved.is_empty() {
+            return results;
+        }
+        let slot_size = cfg.slot_size;
+        let mem = mq.mem();
+        // Split the reserved run at ring-wrap boundaries: a chained verb
+        // covers ascending offsets only.
+        let mut runs: Vec<Vec<(u64, usize, Vec<u8>)>> = Vec::new();
+        let mut prev_offset: Option<usize> = None;
+        for (seq, payload) in reserved {
+            let offset = mq.rx_slot_offset(seq);
+            let contiguous = prev_offset.is_some_and(|p| offset == p + slot_size);
+            if !contiguous {
+                runs.push(Vec::new());
+            }
+            prev_offset = Some(offset);
+            runs.last_mut().unwrap().push((seq, offset, payload));
+        }
+        let faults = sim.faults_enabled();
+        for run in runs {
+            let spans: Vec<(usize, Vec<u8>)> = run
+                .iter()
+                .map(|(seq, offset, payload)| (*offset, mq.encode_slot(*seq, payload)))
+                .collect();
+            let mq2 = mq.clone();
+            if !faults {
+                self.qp
+                    .post_write_vectored(sim, spans, &mem, move |sim, outcomes| {
+                        for _ in outcomes {
+                            mq2.notify_rx(sim);
+                        }
+                    });
+                continue;
+            }
+            let rmq_cfg = self.cfg;
+            let label = mq.label();
+            let qp = self.qp.clone();
+            let mem2 = mem.clone();
+            let retry_spans = spans.clone();
+            self.qp
+                .post_write_vectored(sim, spans, &mem, move |sim, outcomes| {
+                    for (i, outcome) in outcomes.into_iter().enumerate() {
+                        match outcome {
+                            Ok(()) => mq2.notify_rx(sim),
+                            Err(_) => {
+                                // Re-drive only the struck span, alone, under
+                                // the standard watchdog with a fresh budget.
+                                sim.count("rmq.retries", 1);
+                                let q = label.clone();
+                                sim.trace(|| TraceEvent::RmqRetry {
+                                    queue: q,
+                                    attempt: 1,
+                                });
+                                let (offset, slot) = retry_spans[i].clone();
+                                let qp2 = qp.clone();
+                                let mem3 = mem2.clone();
+                                let post: Rc<PostFn<()>> = Rc::new(move |sim, cb| {
+                                    qp2.post_write_checked(
+                                        sim,
+                                        slot.clone(),
+                                        &mem3,
+                                        offset,
+                                        move |sim, r| cb(sim, r.map_err(|_| ())),
+                                    );
+                                });
+                                let mq3 = mq2.clone();
+                                with_retry(
+                                    rmq_cfg,
+                                    sim,
+                                    label.clone(),
+                                    post,
+                                    Box::new(move |sim, r| {
+                                        if r.is_ok() {
+                                            mq3.notify_rx(sim);
+                                        }
+                                        // A giveup leaves the doorbell
+                                        // unrung; rmq.giveups was counted.
+                                    }),
+                                );
+                            }
+                        }
+                    }
+                });
+        }
+        results
+    }
+
+    /// Collects up to `max` ready responses from an mqueue's TX ring as
+    /// one batched RDMA operation: every claimed slot becomes a span of a
+    /// single chained read with one doorbell, and the slots are released
+    /// in one bulk acknowledgement.
+    ///
+    /// Calls `collected` once with the responses (in production order); if
+    /// no response is pending, `collected` never runs. Under an armed
+    /// fault plan each span is its own fault site: struck spans are
+    /// re-driven individually through the retry machinery while the rest
+    /// of the batch proceeds, slots are released strictly in order, and a
+    /// span whose retry budget is exhausted is discarded (counted in
+    /// `rmq.giveups`) without wedging later responses — `collected` then
+    /// receives only the surviving responses.
+    pub fn pull_responses(
+        &self,
+        sim: &mut Sim,
+        mq: &Mqueue,
+        max: usize,
+        collected: impl FnOnce(&mut Sim, Vec<(ReturnAddr, Vec<u8>)>) + 'static,
+    ) {
+        let mut claims = Vec::new();
+        while claims.len() < max {
+            let Some((seq, ret, len)) = mq.begin_pull() else {
+                break;
+            };
+            claims.push((seq, ret, len));
+        }
+        if claims.is_empty() {
+            return;
+        }
+        let spans: Vec<(usize, usize)> = claims
+            .iter()
+            .map(|(seq, _, len)| (mq.tx_slot_offset(*seq), SLOT_HEADER + len))
+            .collect();
+        let mem = mq.mem();
+        let mq2 = mq.clone();
+        if !sim.faults_enabled() {
+            let first_seq = claims[0].0;
+            self.qp
+                .post_read_vectored(sim, &mem, spans, move |sim, outcomes| {
+                    mq2.complete_n(first_seq, outcomes.len() as u64);
+                    let mut out = Vec::with_capacity(outcomes.len());
+                    for ((seq, ret, _), bytes) in claims.into_iter().zip(outcomes) {
+                        let bytes = bytes.expect("fault-free read cannot error");
+                        let payload = bytes[SLOT_HEADER..].to_vec();
+                        let mq_evt = mq2.clone();
+                        let bytes_out = payload.len();
+                        sim.trace(|| TraceEvent::Forward {
+                            queue: mq_evt.label(),
+                            seq,
+                            bytes: bytes_out,
+                        });
+                        out.push((ret, payload));
+                    }
+                    collected(sim, out);
+                });
+            return;
+        }
+        // Fault-aware collection: the batch read goes out as one chained
+        // verb, then each span settles independently (possibly through
+        // retries). Results are assembled in order and delivered together
+        // once every span has either landed or given up.
+        let k = claims.len();
+        let slots: Rc<RefCell<Vec<Option<Response>>>> =
+            Rc::new(RefCell::new((0..k).map(|_| None).collect()));
+        let remaining = Rc::new(Cell::new(k));
+        let collected: Rc<RefCell<Option<Box<CollectFn>>>> =
+            Rc::new(RefCell::new(Some(Box::new(collected))));
+        let rmq_cfg = self.cfg;
+        let label = mq.label();
+        let qp = self.qp.clone();
+        let mem2 = mem.clone();
+        let retry_spans = spans.clone();
+        self.qp
+            .post_read_vectored(sim, &mem, spans, move |sim, outcomes| {
+                for (i, outcome) in outcomes.into_iter().enumerate() {
+                    let (seq, ret, _) = claims[i];
+                    let settle = {
+                        let slots = Rc::clone(&slots);
+                        let remaining = Rc::clone(&remaining);
+                        let collected = Rc::clone(&collected);
+                        let mq_evt = mq2.clone();
+                        move |sim: &mut Sim, bytes: Option<Vec<u8>>| {
+                            if let Some(bytes) = bytes {
+                                let payload = bytes[SLOT_HEADER..].to_vec();
+                                let bytes_out = payload.len();
+                                let q = mq_evt.label();
+                                sim.trace(|| TraceEvent::Forward {
+                                    queue: q,
+                                    seq,
+                                    bytes: bytes_out,
+                                });
+                                slots.borrow_mut()[i] = Some((ret, payload));
+                            }
+                            remaining.set(remaining.get() - 1);
+                            if remaining.get() == 0 {
+                                let out = slots.borrow_mut().drain(..).flatten().collect();
+                                if let Some(c) = collected.borrow_mut().take() {
+                                    c(sim, out);
+                                }
+                            }
+                        }
+                    };
+                    let mq3 = mq2.clone();
+                    match outcome {
+                        Ok(bytes) => {
+                            complete_in_order(
+                                sim,
+                                mq3,
+                                seq,
+                                Box::new(move |sim| settle(sim, Some(bytes))),
+                            );
+                        }
+                        Err(_) => {
+                            sim.count("rmq.retries", 1);
+                            let q = label.clone();
+                            sim.trace(|| TraceEvent::RmqRetry {
+                                queue: q,
+                                attempt: 1,
+                            });
+                            let (offset, len) = retry_spans[i];
+                            let qp2 = qp.clone();
+                            let mem3 = mem2.clone();
+                            let post: Rc<PostFn<Vec<u8>>> = Rc::new(move |sim, cb| {
+                                qp2.post_read_checked(sim, &mem3, offset, len, move |sim, r| {
+                                    cb(sim, r.map_err(|_| ()));
+                                });
+                            });
+                            with_retry(
+                                rmq_cfg,
+                                sim,
+                                label.clone(),
+                                post,
+                                Box::new(move |sim, r| {
+                                    complete_in_order(
+                                        sim,
+                                        mq3,
+                                        seq,
+                                        Box::new(move |sim| settle(sim, r.ok())),
+                                    );
+                                }),
+                            );
+                        }
+                    }
+                }
+            });
+    }
+
     /// Collects the next ready response from an mqueue's TX ring: an RDMA
     /// read of the slot, after which the slot is released.
     ///
@@ -667,6 +962,209 @@ mod tests {
         });
         sim.run();
         assert!(got.get(), "response must survive one read error");
+        assert_eq!(sim.telemetry().unwrap().counter("rmq.retries"), 1);
+        assert_eq!(mq.in_flight(), 0);
+    }
+
+    #[test]
+    fn batched_push_lands_all_with_one_doorbell() {
+        let (mut sim, rmq, mq) = rig(MqueueConfig::default());
+        sim.enable_telemetry();
+        let items: Vec<_> = (0..3u8).map(|i| (ReturnAddr::Fixed, vec![i; 4])).collect();
+        let results = rmq.push_requests(&mut sim, &mq, items);
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.is_ok()));
+        sim.run();
+        for i in 0..3u8 {
+            assert_eq!(mq.acc_pop_request().unwrap().1, vec![i; 4]);
+        }
+        let t = sim.telemetry().unwrap();
+        // Three chained WQEs, one doorbell ring.
+        assert_eq!(t.counter("fabric.rdma.writes"), 3);
+        assert_eq!(t.counter("fabric.rdma.doorbells"), 1);
+    }
+
+    #[test]
+    fn batched_push_reports_tail_backpressure_only() {
+        let cfg = MqueueConfig {
+            slots: 2,
+            ..MqueueConfig::default()
+        };
+        let (mut sim, rmq, mq) = rig(cfg);
+        let items: Vec<_> = (0..3u8).map(|i| (ReturnAddr::Fixed, vec![i])).collect();
+        let results = rmq.push_requests(&mut sim, &mq, items);
+        assert!(results[0].is_ok() && results[1].is_ok());
+        assert!(
+            matches!(&results[2], Err(Error::Backpressure { queue }) if *queue == mq.label()),
+            "{results:?}"
+        );
+        assert_eq!(mq.drops(), 1);
+        sim.run();
+        // The two reserved requests still delivered.
+        assert_eq!(mq.acc_pop_request().unwrap().1, vec![0]);
+        assert_eq!(mq.acc_pop_request().unwrap().1, vec![1]);
+    }
+
+    #[test]
+    fn batched_push_splits_at_ring_wrap() {
+        let cfg = MqueueConfig {
+            slots: 4,
+            ..MqueueConfig::default()
+        };
+        let (mut sim, rmq, mq) = rig(cfg);
+        sim.enable_telemetry();
+        // Advance the ring so a 3-item batch wraps: occupy+complete 3 slots.
+        for _ in 0..3 {
+            rmq.push_request(&mut sim, &mq, ReturnAddr::Fixed, b"w", |_, _| {})
+                .unwrap();
+        }
+        sim.run();
+        for _ in 0..3 {
+            let (seq, _) = mq.acc_pop_request().unwrap();
+            mq.acc_push_response(&mut sim, seq, b"r");
+        }
+        for _ in 0..3 {
+            rmq.pull_response(&mut sim, &mq, |_, _, _| {});
+            sim.run();
+        }
+        let before = sim.telemetry().unwrap().counter("fabric.rdma.doorbells");
+        // Seqs 3,4,5 map to slots 3,0,1: one wrap, hence two chained verbs.
+        let items: Vec<_> = (0..3u8).map(|i| (ReturnAddr::Fixed, vec![i])).collect();
+        let results = rmq.push_requests(&mut sim, &mq, items);
+        assert!(results.iter().all(|r| r.is_ok()));
+        sim.run();
+        let after = sim.telemetry().unwrap().counter("fabric.rdma.doorbells");
+        assert_eq!(after - before, 2, "wrap splits the chain");
+        for i in 0..3u8 {
+            assert_eq!(mq.acc_pop_request().unwrap().1, vec![i]);
+        }
+    }
+
+    #[test]
+    fn batched_push_noncoalesced_degrades_to_per_message() {
+        let cfg = MqueueConfig {
+            coalesce_metadata: false,
+            ..MqueueConfig::default()
+        };
+        let (mut sim, rmq, mq) = rig(cfg);
+        let items: Vec<_> = (0..2u8).map(|i| (ReturnAddr::Fixed, vec![i])).collect();
+        let results = rmq.push_requests(&mut sim, &mq, items);
+        assert!(results.iter().all(|r| r.is_ok()));
+        sim.run();
+        // Split mode: data + doorbell writes per message.
+        assert_eq!(rmq.qp_stats().0, 4);
+        assert_eq!(mq.acc_pop_request().unwrap().1, vec![0]);
+        assert_eq!(mq.acc_pop_request().unwrap().1, vec![1]);
+    }
+
+    #[test]
+    fn batched_pull_collects_in_order_with_one_doorbell() {
+        let (mut sim, rmq, mq) = rig(MqueueConfig::default());
+        sim.enable_telemetry();
+        let clients: Vec<_> = (0..3)
+            .map(|i| ReturnAddr::Udp(lynx_net::SockAddr::new(lynx_net::HostId(i), 9)))
+            .collect();
+        for c in &clients {
+            rmq.push_request(&mut sim, &mq, *c, b"ping", |_, _| {})
+                .unwrap();
+        }
+        sim.run();
+        for _ in 0..3 {
+            let (seq, _) = mq.acc_pop_request().unwrap();
+            mq.acc_push_response(&mut sim, seq, format!("pong{seq}").as_bytes());
+        }
+        let before = sim.telemetry().unwrap().counter("fabric.rdma.doorbells");
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = Rc::clone(&got);
+        rmq.pull_responses(&mut sim, &mq, 8, move |_, responses| {
+            *g.borrow_mut() = responses;
+        });
+        sim.run();
+        let after = sim.telemetry().unwrap().counter("fabric.rdma.doorbells");
+        assert_eq!(after - before, 1, "one chained read for the whole batch");
+        let got = got.borrow();
+        assert_eq!(got.len(), 3);
+        for (i, (ret, payload)) in got.iter().enumerate() {
+            assert_eq!(*ret, clients[i]);
+            assert_eq!(payload, format!("pong{i}").as_bytes());
+        }
+        assert_eq!(mq.in_flight(), 0);
+    }
+
+    #[test]
+    fn batched_pull_respects_max() {
+        let (mut sim, rmq, mq) = rig(MqueueConfig::default());
+        for _ in 0..3 {
+            rmq.push_request(&mut sim, &mq, ReturnAddr::Fixed, b"p", |_, _| {})
+                .unwrap();
+        }
+        sim.run();
+        for _ in 0..3 {
+            let (seq, _) = mq.acc_pop_request().unwrap();
+            mq.acc_push_response(&mut sim, seq, b"r");
+        }
+        let n = Rc::new(Cell::new(0usize));
+        let n2 = Rc::clone(&n);
+        rmq.pull_responses(&mut sim, &mq, 2, move |_, responses| {
+            n2.set(responses.len());
+        });
+        sim.run();
+        assert_eq!(n.get(), 2);
+        assert_eq!(mq.pending_responses(), 1);
+    }
+
+    #[test]
+    fn batched_push_fault_retries_only_struck_span() {
+        let (mut sim, rmq, mq) = rig(MqueueConfig::default());
+        sim.enable_telemetry();
+        // Strike the middle WQE of the chain; spans 1 and 3 sail through.
+        sim.enable_faults(FaultPlan::new(7).rule(
+            "rdma.write.gpu",
+            Trigger::Nth(2),
+            FaultAction::CqeError,
+        ));
+        let items: Vec<_> = (0..3u8).map(|i| (ReturnAddr::Fixed, vec![i])).collect();
+        let results = rmq.push_requests(&mut sim, &mq, items);
+        assert!(results.iter().all(|r| r.is_ok()));
+        sim.run();
+        // All three land (the struck span via its solo retry), in order.
+        for i in 0..3u8 {
+            assert_eq!(mq.acc_pop_request().unwrap().1, vec![i]);
+        }
+        let t = sim.telemetry().unwrap();
+        assert_eq!(t.counter("rmq.retries"), 1);
+        assert_eq!(t.counter("rmq.giveups"), 0);
+    }
+
+    #[test]
+    fn batched_pull_survives_span_fault() {
+        let (mut sim, rmq, mq) = rig(MqueueConfig::default());
+        for _ in 0..3 {
+            rmq.push_request(&mut sim, &mq, ReturnAddr::Fixed, b"p", |_, _| {})
+                .unwrap();
+        }
+        sim.run();
+        for i in 0..3u8 {
+            let (seq, _) = mq.acc_pop_request().unwrap();
+            mq.acc_push_response(&mut sim, seq, &[i]);
+        }
+        sim.enable_telemetry();
+        sim.enable_faults(FaultPlan::new(9).rule(
+            "rdma.read.gpu",
+            Trigger::Nth(2),
+            FaultAction::CqeError,
+        ));
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = Rc::clone(&got);
+        rmq.pull_responses(&mut sim, &mq, 8, move |_, responses| {
+            *g.borrow_mut() = responses;
+        });
+        sim.run();
+        let got = got.borrow();
+        assert_eq!(got.len(), 3, "struck span recovered via retry");
+        for (i, (_, payload)) in got.iter().enumerate() {
+            assert_eq!(payload, &[i as u8]);
+        }
         assert_eq!(sim.telemetry().unwrap().counter("rmq.retries"), 1);
         assert_eq!(mq.in_flight(), 0);
     }

@@ -1,6 +1,6 @@
 //! The generic network server running on the SmartNIC (§4.2).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -11,7 +11,8 @@ use lynx_device::{calib, CpuKind};
 use lynx_net::{ConnId, HostStack, SockAddr};
 use lynx_sim::{Sim, Telemetry, Time, TraceEvent};
 
-use crate::{DispatchPolicy, Dispatcher, Mqueue, RemoteMqManager, ReturnAddr};
+use crate::pipeline::{Pipeline, PipelineConfig, StagedRequest};
+use crate::{DispatchPolicy, Dispatcher, Error, Mqueue, RemoteMqManager, ReturnAddr};
 
 /// Where the Lynx server logic runs — selects core counts and cost models
 /// for the paper's evaluated configurations (§6.1).
@@ -60,6 +61,16 @@ pub struct CostModel {
     pub dispatch: Duration,
     /// Message Forwarder work per response.
     pub forward: Duration,
+    /// Marginal dispatcher work per *additional* request in a batched
+    /// drain: the first request of a batch pays the full [`dispatch`]
+    /// cost (stack invocation, WQE setup, doorbell), each further one
+    /// only this increment ([`crate::BatchPolicy`]).
+    ///
+    /// [`dispatch`]: CostModel::dispatch
+    pub dispatch_marginal: Duration,
+    /// Marginal forwarder work per additional response in a batched
+    /// collection.
+    pub forward_marginal: Duration,
     /// Round-robin scan cost, per registered mqueue, added to both paths.
     pub scan_per_mqueue: Duration,
     /// Detection latency per mqueue in the forwarder's poll cycle
@@ -74,12 +85,16 @@ impl CostModel {
             CpuKind::ArmA72 => CostModel {
                 dispatch: calib::DISPATCH_COST_ARM,
                 forward: calib::FORWARD_COST_ARM,
+                dispatch_marginal: calib::DISPATCH_MARGINAL_ARM,
+                forward_marginal: calib::FORWARD_MARGINAL_ARM,
                 scan_per_mqueue: calib::MQ_SCAN_COST_ARM,
                 poll_rtt_per_mqueue: calib::MQ_POLL_RTT_PER_QUEUE,
             },
             CpuKind::XeonE5 | CpuKind::E3 => CostModel {
                 dispatch: calib::DISPATCH_COST_XEON,
                 forward: calib::FORWARD_COST_XEON,
+                dispatch_marginal: calib::DISPATCH_MARGINAL_XEON,
+                forward_marginal: calib::FORWARD_MARGINAL_XEON,
                 scan_per_mqueue: calib::MQ_SCAN_COST_XEON,
                 poll_rtt_per_mqueue: calib::MQ_POLL_RTT_PER_QUEUE,
             },
@@ -200,6 +215,7 @@ struct Inner {
     stats: Telemetry,
     recovery: RecoveryConfig,
     monitor_armed: bool,
+    pipeline: Pipeline,
 }
 
 /// The Lynx network server: the application-agnostic frontend on the
@@ -211,8 +227,19 @@ struct Inner {
 /// necessary for the SNIC" — the same server code serves every workload in
 /// the benchmarks.
 ///
-/// Construct it with [`crate::LynxServerBuilder`]; the imperative
-/// `new` / `add_*` / `listen_*` sequence is deprecated.
+/// Construct it with [`crate::LynxServerBuilder`] — the sole construction
+/// path since 0.3.0 (the deprecated imperative `new` / `add_*` /
+/// `listen_*` shims of 0.2 have been removed; see `CHANGELOG.md`).
+///
+/// # Batched multi-core pipeline
+///
+/// The dispatcher/forwarder runs as a sharded pipeline configured by
+/// [`PipelineConfig`] ([`crate::LynxServerBuilder::snic_cores`] /
+/// [`crate::LynxServerBuilder::batch`]): requests shard across `N`
+/// simulated SNIC cores by client key and each core drains its partition
+/// in batches, amortizing stack invocations, RDMA doorbells and mqueue
+/// completions. With the default configuration (1 core, unbatched) the
+/// server takes the exact legacy immediate-dispatch path.
 #[derive(Clone)]
 pub struct LynxServer {
     inner: Rc<RefCell<Inner>>,
@@ -234,31 +261,13 @@ impl fmt::Debug for LynxServer {
 }
 
 impl LynxServer {
-    /// Creates a server processing messages on `stack` with the given cost
-    /// model and dispatch policy.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use LynxServerBuilder::new(stack), which also validates the \
-                configuration and enables SNIC-side recovery"
-    )]
-    pub fn new(stack: HostStack, costs: CostModel, policy: DispatchPolicy) -> LynxServer {
-        // The legacy path keeps the monitor off and a private stats
-        // registry — exactly the pre-recovery behaviour.
-        LynxServer::construct(
-            stack,
-            costs,
-            policy,
-            RecoveryConfig::disabled(),
-            Telemetry::new(),
-        )
-    }
-
     pub(crate) fn construct(
         stack: HostStack,
         costs: CostModel,
         policy: DispatchPolicy,
         recovery: RecoveryConfig,
         stats: Telemetry,
+        pipeline: PipelineConfig,
     ) -> LynxServer {
         LynxServer {
             inner: Rc::new(RefCell::new(Inner {
@@ -270,17 +279,9 @@ impl LynxServer {
                 stats,
                 recovery,
                 monitor_armed: false,
+                pipeline: Pipeline::new(pipeline),
             })),
         }
-    }
-
-    /// Adds an independent tenant service with its own mqueues, dispatcher
-    /// and ports (§4.5 multi-tenancy). State is fully partitioned: a
-    /// request arriving on one service's port can only reach that
-    /// service's mqueues.
-    #[deprecated(since = "0.2.0", note = "use LynxServerBuilder::service")]
-    pub fn add_service(&self, policy: DispatchPolicy) -> ServiceId {
-        self.inner_add_service(policy)
     }
 
     pub(crate) fn inner_add_service(&self, policy: DispatchPolicy) -> ServiceId {
@@ -294,46 +295,20 @@ impl LynxServer {
         self.inner.borrow().services.len()
     }
 
-    /// Registers an accelerator through its Remote MQ Manager; returns the
-    /// accelerator id.
-    #[deprecated(since = "0.2.0", note = "use LynxServerBuilder::accelerator")]
-    pub fn add_accelerator(&self, rmq: RemoteMqManager) -> usize {
-        self.inner_add_accelerator(rmq)
-    }
-
     pub(crate) fn inner_add_accelerator(&self, rmq: RemoteMqManager) -> usize {
         let mut inner = self.inner.borrow_mut();
         inner.accels.push(Rc::new(rmq));
         inner.accels.len() - 1
     }
 
-    /// Registers a server mqueue of accelerator `accel` and installs the
-    /// Message Forwarder on its TX doorbell.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `accel` is not a registered accelerator id.
-    #[deprecated(since = "0.2.0", note = "use LynxServerBuilder::server_mqueue")]
-    pub fn add_server_mqueue(&self, accel: usize, mq: Mqueue) {
-        self.inner_add_server_mqueue(ServiceId::DEFAULT, accel, mq);
-    }
-
-    /// Registers a server mqueue under a specific tenant service.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the service or accelerator id is unknown.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use LynxServerBuilder::service + LynxServerBuilder::server_mqueue"
-    )]
-    pub fn add_server_mqueue_to(&self, service: ServiceId, accel: usize, mq: Mqueue) {
-        self.inner_add_server_mqueue(service, accel, mq);
-    }
-
     pub(crate) fn inner_add_server_mqueue(&self, service: ServiceId, accel: usize, mq: Mqueue) {
-        let rmq = {
+        let (rmq, fwd_core) = {
             let mut inner = self.inner.borrow_mut();
+            // Forwarder ownership: mqueues round-robin across the pipeline
+            // cores by registration order, so each core polls its own
+            // partition of queues.
+            let fwd_core =
+                Self::total_mqueues(&inner) as usize % inner.pipeline.config().snic_cores;
             let rmq = Rc::clone(&inner.accels[accel]);
             // Unify counting: the queue's drop counter lands in the same
             // registry as the server's own counters.
@@ -345,22 +320,23 @@ impl LynxServer {
                 last_responses: 0,
                 last_progress: Time::ZERO,
             });
-            rmq
+            (rmq, fwd_core)
         };
         let this = self.clone();
         let mq2 = mq.clone();
+        // One forward cycle may be pending per mqueue; the gate coalesces
+        // doorbell rings into it (batched mode only).
+        let gate = Rc::new(Cell::new(false));
         mq.set_tx_watcher(move |sim| {
-            this.on_response_ready(sim, service, mq2.clone(), Rc::clone(&rmq));
+            this.on_response_ready(
+                sim,
+                service,
+                mq2.clone(),
+                Rc::clone(&rmq),
+                Rc::clone(&gate),
+                fwd_core,
+            );
         });
-    }
-
-    /// Bridges a client mqueue of accelerator `accel` to the backend
-    /// service at `dst` over a persistent TCP connection (§4.3: the
-    /// destination is assigned at initialization). Messages the accelerator
-    /// sends before the connection establishes are queued.
-    #[deprecated(since = "0.2.0", note = "use LynxServerBuilder::backend_bridge")]
-    pub fn add_backend_bridge(&self, sim: &mut Sim, accel: usize, mq: Mqueue, dst: SockAddr) {
-        self.inner_add_backend_bridge(sim, accel, mq, dst);
     }
 
     pub(crate) fn inner_add_backend_bridge(
@@ -409,21 +385,6 @@ impl LynxServer {
         });
     }
 
-    /// Starts listening for UDP clients on `port` (the reply source port).
-    #[deprecated(since = "0.2.0", note = "use LynxServerBuilder::listen_udp")]
-    pub fn listen_udp(&self, port: u16) {
-        self.inner_listen_udp(ServiceId::DEFAULT, port);
-    }
-
-    /// Starts listening for UDP clients of a specific tenant service.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use LynxServerBuilder::service + LynxServerBuilder::listen_udp"
-    )]
-    pub fn listen_udp_for(&self, service: ServiceId, port: u16) {
-        self.inner_listen_udp(service, port);
-    }
-
     pub(crate) fn inner_listen_udp(&self, service: ServiceId, port: u16) {
         let stack = {
             let mut inner = self.inner.borrow_mut();
@@ -435,22 +396,6 @@ impl LynxServer {
             let key = hash_client(&dgram.src);
             this.on_request(sim, service, ReturnAddr::Udp(dgram.src), key, dgram.payload);
         });
-    }
-
-    /// Starts listening for TCP clients on `port`. Multiple client
-    /// connections multiplex onto the same server mqueues (§4.5).
-    #[deprecated(since = "0.2.0", note = "use LynxServerBuilder::listen_tcp")]
-    pub fn listen_tcp(&self, port: u16) {
-        self.inner_listen_tcp(ServiceId::DEFAULT, port);
-    }
-
-    /// Starts listening for TCP clients of a specific tenant service.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use LynxServerBuilder::service + LynxServerBuilder::listen_tcp"
-    )]
-    pub fn listen_tcp_for(&self, service: ServiceId, port: u16) {
-        self.inner_listen_tcp(service, port);
     }
 
     pub(crate) fn inner_listen_tcp(&self, service: ServiceId, port: u16) {
@@ -510,6 +455,17 @@ impl LynxServer {
         self.inner.borrow().recovery
     }
 
+    /// The active pipeline configuration (sharding + batching).
+    pub fn pipeline(&self) -> PipelineConfig {
+        self.inner.borrow().pipeline.config()
+    }
+
+    /// Replies that could not be routed back to a client (no return
+    /// address / no bound UDP port), read from the telemetry registry.
+    pub fn unroutable_replies(&self) -> u64 {
+        self.inner.borrow().stats.counter("server.unroutable")
+    }
+
     /// Number of currently quarantined mqueues across all services.
     pub fn quarantined_queues(&self) -> usize {
         self.inner
@@ -543,19 +499,152 @@ impl LynxServer {
         key: u64,
         payload: Vec<u8>,
     ) {
-        let (stack, cost) = {
+        let (batched, stack, cost) = {
             let inner = self.inner.borrow();
             inner.stats.count("server.requests", 1);
             inner
                 .stats
                 .count(&format!("server.svc{}.requests", service.0), 1);
-            (inner.stack.clone(), Self::dispatch_cost(&inner))
+            (
+                inner.pipeline.config().is_batched(),
+                inner.stack.clone(),
+                Self::dispatch_cost(&inner),
+            )
         };
         self.arm_monitor(sim);
+        if !batched {
+            // Legacy immediate dispatch on the shared core pool — the
+            // exact pre-pipeline event sequence.
+            let this = self.clone();
+            stack.charge(sim, cost, move |sim| {
+                this.dispatch_now(sim, service, ret, key, payload);
+            });
+            return;
+        }
+        // Batched pipeline: shard to a core, stage, and kick that core's
+        // drain cycle if none is pending.
+        let (core, start) = {
+            let inner = self.inner.borrow();
+            let core = inner.pipeline.config().shard_of(key);
+            let start = inner.pipeline.stage(
+                core,
+                StagedRequest {
+                    service,
+                    ret,
+                    key,
+                    payload,
+                },
+            );
+            (core, start)
+        };
+        if start {
+            self.drain_cycle(sim, core);
+        }
+    }
+
+    /// One drain cycle of pipeline core `core`, phase 1: charge the
+    /// round-robin mqueue scan (paid once per cycle — the amortization the
+    /// batch exists for), pinned to the core's own stack lane.
+    fn drain_cycle(&self, sim: &mut Sim, core: usize) {
+        let (stack, scan) = {
+            let inner = self.inner.borrow();
+            (
+                inner.stack.clone(),
+                inner.costs.scan_per_mqueue * Self::total_mqueues(&inner),
+            )
+        };
         let this = self.clone();
-        stack.charge(sim, cost, move |sim| {
-            this.dispatch_now(sim, service, ret, key, payload);
+        stack.charge_on(sim, core, scan, move |sim| {
+            this.drain_batch(sim, core);
         });
+    }
+
+    /// Drain cycle phase 2: take the batch that accumulated during the
+    /// scan, charge the amortized dispatch cost (full cost for the first
+    /// message, marginal for the rest), then dispatch the whole batch.
+    fn drain_batch(&self, sim: &mut Sim, core: usize) {
+        let (stack, cost, batch) = {
+            let inner = self.inner.borrow();
+            let batch = inner.pipeline.take_batch(core);
+            if batch.is_empty() {
+                let _ = inner.pipeline.end_drain(core);
+                return;
+            }
+            let k = batch.len() as u32;
+            inner.stats.count("pipeline.batches", 1);
+            inner.stats.count("pipeline.batched_msgs", u64::from(k));
+            inner
+                .stats
+                .count(&format!("pipeline.core{core}.dispatched"), u64::from(k));
+            let cost = inner.costs.dispatch + inner.costs.dispatch_marginal * (k - 1);
+            (inner.stack.clone(), cost, batch)
+        };
+        let this = self.clone();
+        stack.charge_on(sim, core, cost, move |sim| {
+            this.dispatch_batch(sim, batch);
+            let more = this.inner.borrow().pipeline.end_drain(core);
+            if more {
+                this.drain_cycle(sim, core);
+            }
+        });
+    }
+
+    /// Dispatches a drained batch: per-message mqueue selection (same
+    /// counters and traces as the unbatched path), then one coalesced
+    /// [`RemoteMqManager::push_requests`] per target mqueue — a batch of
+    /// `k` requests to one queue costs one doorbell, not `k`.
+    fn dispatch_batch(&self, sim: &mut Sim, batch: Vec<StagedRequest>) {
+        struct Group {
+            rmq: Rc<RemoteMqManager>,
+            mq: Mqueue,
+            items: Vec<(ReturnAddr, Vec<u8>)>,
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        let mut traces: Vec<(&'static str, Option<String>)> = Vec::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            for req in batch {
+                let svc = &mut inner.services[req.service.0];
+                let policy = svc.dispatcher.policy().name();
+                let picked = svc
+                    .dispatcher
+                    .pick(&svc.mqs, req.key)
+                    .map(|i| (Rc::clone(&svc.owners[i]), svc.mqs[i].clone()));
+                let stats = &inner.stats;
+                stats.count(&format!("dispatch.picks.{policy}"), 1);
+                let outcome = if picked.is_some() {
+                    "dispatched"
+                } else {
+                    "dropped"
+                };
+                stats.count(&format!("server.{outcome}"), 1);
+                stats.count(&format!("server.svc{}.{outcome}", req.service.0), 1);
+                match picked {
+                    Some((rmq, mq)) => {
+                        let label = mq.label();
+                        traces.push((policy, Some(label.clone())));
+                        match groups.iter_mut().find(|g| g.mq.label() == label) {
+                            Some(g) => g.items.push((req.ret, req.payload)),
+                            None => groups.push(Group {
+                                rmq,
+                                mq,
+                                items: vec![(req.ret, req.payload)],
+                            }),
+                        }
+                    }
+                    None => traces.push((policy, None)),
+                }
+            }
+        }
+        for (policy, queue) in traces {
+            sim.trace(|| TraceEvent::Dispatch { policy, queue });
+        }
+        for g in groups {
+            // Per-item backpressure/transport outcomes were already
+            // counted (drops on the mqueue sink, giveups by the retry
+            // machinery); a failed item never aborts the batch.
+            let _ = g.rmq.push_requests(sim, &g.mq, g.items);
+        }
     }
 
     fn dispatch_now(
@@ -618,43 +707,182 @@ impl LynxServer {
         service: ServiceId,
         mq: Mqueue,
         rmq: Rc<RemoteMqManager>,
+        gate: Rc<Cell<bool>>,
+        core: usize,
     ) {
-        let (stack, cost, detect) = {
+        let (batched, stack, cost, detect) = {
             let inner = self.inner.borrow();
+            if inner.pipeline.config().is_batched() && gate.get() {
+                // A forward cycle for this mqueue is already pending; it
+                // will collect this response too. (Checked before the
+                // poll counter: a coalesced doorbell is not a poll.)
+                return;
+            }
             inner.stats.count("server.forward_polls", 1);
             (
+                inner.pipeline.config().is_batched(),
                 inner.stack.clone(),
                 Self::forward_cost(&inner),
                 Self::detection_delay(&inner),
             )
         };
+        if !batched {
+            // Legacy per-response forwarding — the exact pre-pipeline
+            // event sequence.
+            let this = self.clone();
+            sim.schedule_in(detect, move |sim| {
+                stack.charge(sim, cost, move |sim| {
+                    let this2 = this.clone();
+                    rmq.pull_response(sim, &mq, move |sim, ret, payload| {
+                        this2.send_reply(sim, service, ret, payload);
+                    });
+                });
+            });
+            return;
+        }
+        gate.set(true);
         let this = self.clone();
         sim.schedule_in(detect, move |sim| {
-            stack.charge(sim, cost, move |sim| {
-                let this2 = this.clone();
-                rmq.pull_response(sim, &mq, move |sim, ret, payload| {
-                    this2.send_reply(sim, service, ret, payload);
-                });
+            this.forward_batch(sim, service, mq, rmq, gate, core);
+        });
+    }
+
+    /// One batched forward cycle for `mq`, pinned to its owner core:
+    /// charge the amortized forward cost for everything pending (up to the
+    /// batch limit), collect it as one chained RDMA read, reply in one
+    /// batched stack invocation, then re-arm if responses kept arriving.
+    fn forward_batch(
+        &self,
+        sim: &mut Sim,
+        service: ServiceId,
+        mq: Mqueue,
+        rmq: Rc<RemoteMqManager>,
+        gate: Rc<Cell<bool>>,
+        core: usize,
+    ) {
+        let pending = mq.pending_responses() as usize;
+        if pending == 0 {
+            gate.set(false);
+            return;
+        }
+        let (stack, cost, k) = {
+            let inner = self.inner.borrow();
+            let k = inner.pipeline.config().batch_limit(pending).min(pending);
+            inner.stats.count("pipeline.forward_batches", 1);
+            inner.stats.count("pipeline.forward_batched_msgs", k as u64);
+            let cost = Self::forward_cost(&inner) + inner.costs.forward_marginal * (k as u32 - 1);
+            (inner.stack.clone(), cost, k)
+        };
+        let this = self.clone();
+        stack.charge_on(sim, core, cost, move |sim| {
+            let this2 = this.clone();
+            let mq2 = mq.clone();
+            let rmq2 = Rc::clone(&rmq);
+            rmq.pull_responses(sim, &mq, k, move |sim, responses| {
+                this2.send_replies(sim, service, responses);
+                gate.set(false);
+                if mq2.pending_responses() > 0 {
+                    // More responses landed while this cycle ran: start
+                    // the next one (fresh detection delay).
+                    this2.on_response_ready(sim, service, mq2.clone(), rmq2, gate, core);
+                }
             });
         });
     }
 
     fn send_reply(&self, sim: &mut Sim, service: ServiceId, ret: ReturnAddr, payload: Vec<u8>) {
-        let (stack, port) = {
-            let mut inner = self.inner.borrow_mut();
-            inner.stats.count("server.replies", 1);
-            inner
-                .stats
-                .count(&format!("server.svc{}.replies", service.0), 1);
-            let stack = inner.stack.clone();
-            let svc = &mut inner.services[service.0];
-            (stack, svc.udp_port.unwrap_or(0))
-        };
-        match ret {
-            ReturnAddr::Udp(addr) => stack.send_udp(sim, port, addr, payload),
-            ReturnAddr::Tcp(conn) => stack.send_tcp(sim, conn, payload),
-            ReturnAddr::Fixed => unreachable!("server mqueue responses carry a client address"),
+        if let Err(e) = self.try_send_reply(sim, service, ret, payload) {
+            // Shed, counted; a UDP client sees a lost reply.
+            debug_assert!(matches!(e, Error::Unroutable { .. }));
         }
+    }
+
+    /// Routes one response back to its client, reporting — instead of
+    /// panicking on — responses that cannot be routed (a slot with no
+    /// return address, or a UDP reply from a service that never bound a
+    /// UDP port). Unroutable replies count as `server.unroutable`.
+    fn try_send_reply(
+        &self,
+        sim: &mut Sim,
+        service: ServiceId,
+        ret: ReturnAddr,
+        payload: Vec<u8>,
+    ) -> crate::Result<()> {
+        let (stack, port) = {
+            let inner = self.inner.borrow();
+            (inner.stack.clone(), inner.services[service.0].udp_port)
+        };
+        let route = match ret {
+            ReturnAddr::Udp(addr) => match port {
+                Some(p) => Ok((p, addr)),
+                None => Err(()),
+            },
+            ReturnAddr::Tcp(conn) => {
+                self.count_reply(service);
+                stack.send_tcp(sim, conn, payload);
+                return Ok(());
+            }
+            ReturnAddr::Fixed => Err(()),
+        };
+        match route {
+            Ok((p, addr)) => {
+                self.count_reply(service);
+                stack.send_udp(sim, p, addr, payload);
+                Ok(())
+            }
+            Err(()) => {
+                self.inner.borrow().stats.count("server.unroutable", 1);
+                Err(Error::Unroutable { service: service.0 })
+            }
+        }
+    }
+
+    /// Sends a collected batch of replies in as few stack invocations as
+    /// possible: all UDP replies go out as one
+    /// [`HostStack::send_udp_batch`] (in collection order), TCP replies —
+    /// which need per-connection framing — individually. Unroutable
+    /// responses are shed and counted without disturbing the rest of the
+    /// batch.
+    fn send_replies(
+        &self,
+        sim: &mut Sim,
+        service: ServiceId,
+        responses: Vec<(ReturnAddr, Vec<u8>)>,
+    ) {
+        let (stack, port) = {
+            let inner = self.inner.borrow();
+            (inner.stack.clone(), inner.services[service.0].udp_port)
+        };
+        let mut udp: Vec<(SockAddr, Vec<u8>)> = Vec::new();
+        for (ret, payload) in responses {
+            match ret {
+                ReturnAddr::Udp(addr) => match port {
+                    Some(_) => {
+                        self.count_reply(service);
+                        udp.push((addr, payload));
+                    }
+                    None => self.inner.borrow().stats.count("server.unroutable", 1),
+                },
+                ReturnAddr::Tcp(conn) => {
+                    self.count_reply(service);
+                    stack.send_tcp(sim, conn, payload);
+                }
+                ReturnAddr::Fixed => {
+                    self.inner.borrow().stats.count("server.unroutable", 1);
+                }
+            }
+        }
+        if !udp.is_empty() {
+            stack.send_udp_batch(sim, port.expect("checked above"), udp);
+        }
+    }
+
+    fn count_reply(&self, service: ServiceId) {
+        let inner = self.inner.borrow();
+        inner.stats.count("server.replies", 1);
+        inner
+            .stats
+            .count(&format!("server.svc{}.replies", service.0), 1);
     }
 
     fn on_backend_call(

@@ -42,8 +42,8 @@ use lynx_sim::Sim;
 
 use crate::{
     AccelApp, CostModel, DispatchPolicy, LynxServer, LynxServerBuilder, Mqueue, MqueueConfig,
-    MqueueKind, ProcessorApp, RecoveryConfig, RemoteMqManager, RmqConfig, SnicPlatform,
-    ThreadblockUnit, Worker,
+    MqueueKind, PipelineConfig, ProcessorApp, RecoveryConfig, RemoteMqManager, RmqConfig,
+    SnicPlatform, ThreadblockUnit, Worker,
 };
 
 /// Multi-core contention factor of the Lynx server when it runs on several
@@ -241,6 +241,10 @@ pub struct DeployConfig {
     /// Timeout/retry policy of each accelerator's Remote MQ Manager (only
     /// consulted when a fault plan is armed).
     pub rmq: RmqConfig,
+    /// SNIC core sharding and batching of the dispatch/forward pipeline.
+    /// Defaults to one core, unbatched — the exact per-message event
+    /// sequence of earlier releases.
+    pub pipeline: PipelineConfig,
 }
 
 impl Default for DeployConfig {
@@ -256,6 +260,7 @@ impl Default for DeployConfig {
             stack_kind: StackKind::Vma,
             recovery: RecoveryConfig::disabled(),
             rmq: RmqConfig::default(),
+            pipeline: PipelineConfig::default(),
         }
     }
 }
@@ -282,7 +287,8 @@ impl DeployConfig {
         let mut builder = LynxServerBuilder::new(stack.clone())
             .cost_model(costs)
             .policy(self.policy)
-            .recovery(self.recovery);
+            .recovery(self.recovery)
+            .pipeline(self.pipeline);
         let snic_rdma = snic_machine.rdma_nic();
 
         let mut workers = Vec::new();

@@ -109,6 +109,29 @@ pub const MQ_SCAN_COST_XEON: Duration = Duration::from_nanos(10);
 /// Round-robin scan cost per mqueue per message on an ARM core.
 pub const MQ_SCAN_COST_ARM: Duration = Duration::from_nanos(12);
 
+/// Marginal Message Dispatcher work for each *additional* request in a
+/// batched drain on a Xeon core. The first request of a batch pays the
+/// full [`DISPATCH_COST_XEON`] (stack invocation, WQE setup, doorbell);
+/// subsequent requests reuse the hot icache/stack state and append to the
+/// same WQE chain, leaving only parse + slot bookkeeping.
+pub const DISPATCH_MARGINAL_XEON: Duration = Duration::from_nanos(180);
+
+/// Marginal Message Forwarder work per additional response in a batched
+/// collection on a Xeon core.
+pub const FORWARD_MARGINAL_XEON: Duration = Duration::from_nanos(125);
+
+/// Marginal Message Dispatcher work per additional request in a batched
+/// drain on a BlueField ARM core. The ~75% amortization reflects that the
+/// bulk of [`DISPATCH_COST_ARM`] is per-invocation overhead (VMA poll,
+/// syscall-like entry, verb doorbell) that one batched drain pays once —
+/// the same observation that makes doorbell batching worthwhile in
+/// RecoNIC-style RDMA offload engines.
+pub const DISPATCH_MARGINAL_ARM: Duration = Duration::from_nanos(1_400);
+
+/// Marginal Message Forwarder work per additional response in a batched
+/// collection on a BlueField ARM core.
+pub const FORWARD_MARGINAL_ARM: Duration = Duration::from_nanos(750);
+
 /// Time to poll one mqueue's TX doorbell in the forwarder's round-robin
 /// cycle. This is RDMA-issue bound, hence platform-independent; with many
 /// mqueues the resulting detection delay dominates response latency on

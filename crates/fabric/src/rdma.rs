@@ -279,6 +279,7 @@ impl QueuePair {
             s.bytes += data.len() as u64;
         }
         sim.count("fabric.rdma.writes", 1);
+        sim.count("fabric.rdma.doorbells", 1);
         sim.count("fabric.rdma.bytes", data.len() as u64);
         if cqe.is_some() {
             sim.count("fabric.rdma.cqe_errors", 1);
@@ -291,6 +292,84 @@ impl QueuePair {
                     done(sim, Ok(()));
                 }
                 Some(err) => done(sim, Err(err)),
+            });
+        });
+    }
+
+    /// Posts a *chained* one-sided RDMA WRITE: every `(offset, bytes)` span
+    /// in `spans` is a separate work-queue element, but the whole chain is
+    /// issued with a **single doorbell** and charges the NIC ASIC only one
+    /// `per_wqe` slot — this is the verb-coalescing that amortizes
+    /// per-message RDMA cost in the batched SNIC pipeline (cf. the paper's
+    /// doorbell-batching discussion).
+    ///
+    /// Fault injection is evaluated **per span** at site
+    /// `rdma.write.<region>`: a `CqeError` fault skips that span's memory
+    /// write only; the rest of the chain still lands (RDMA WRITEs carry no
+    /// inter-WQE dependency). `done` runs once, when the chain completes,
+    /// with one `Result` per span in posting order — the batched CQE
+    /// completion fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spans` is empty, a destination range is out of bounds, or
+    /// the target node is unreachable from the QP's remote NIC.
+    pub fn post_write_vectored(
+        &self,
+        sim: &mut Sim,
+        spans: Vec<(usize, Vec<u8>)>,
+        dst: &MemRegion,
+        done: impl FnOnce(&mut Sim, Vec<Result<(), CqeError>>) + 'static,
+    ) {
+        assert!(!spans.is_empty(), "vectored write needs at least one span");
+        let total: usize = spans.iter().map(|(_, d)| d.len()).sum();
+        let (occupancy, mut delay) = self.landing_delay(dst.node(), total);
+        // Per-span fault check: each WQE in the chain is its own fault
+        // site hit, so Trigger::Nth counts identically to unbatched posts
+        // and a struck verb retries only its own span.
+        let mut cqes: Vec<Option<CqeError>> = Vec::with_capacity(spans.len());
+        for _ in &spans {
+            let mut cqe = None;
+            if sim.faults_enabled() {
+                match sim.fault_at(&format!("rdma.write.{}", dst.name())) {
+                    Some(FaultAction::CqeError) => {
+                        cqe = Some(CqeError {
+                            verb: "write",
+                            region: dst.name().to_string(),
+                        });
+                    }
+                    Some(FaultAction::Delay(stall)) => delay += stall,
+                    _ => {}
+                }
+            }
+            cqes.push(cqe);
+        }
+        {
+            let mut s = self.stats.borrow_mut();
+            s.writes += spans.len() as u64;
+            s.bytes += total as u64;
+        }
+        sim.count("fabric.rdma.writes", spans.len() as u64);
+        sim.count("fabric.rdma.doorbells", 1);
+        sim.count("fabric.rdma.bytes", total as u64);
+        let errors = cqes.iter().filter(|c| c.is_some()).count() as u64;
+        if errors > 0 {
+            sim.count("fabric.rdma.cqe_errors", errors);
+        }
+        let dst = dst.clone();
+        self.queue.submit(sim, occupancy, move |sim| {
+            sim.schedule_in(delay, move |sim| {
+                let mut results = Vec::with_capacity(spans.len());
+                for ((off, data), cqe) in spans.into_iter().zip(cqes) {
+                    match cqe {
+                        None => {
+                            dst.write(off, &data);
+                            results.push(Ok(()));
+                        }
+                        Some(err) => results.push(Err(err)),
+                    }
+                }
+                done(sim, results);
             });
         });
     }
@@ -366,6 +445,7 @@ impl QueuePair {
             s.bytes += len as u64;
         }
         sim.count("fabric.rdma.reads", 1);
+        sim.count("fabric.rdma.doorbells", 1);
         sim.count("fabric.rdma.bytes", len as u64);
         if cqe.is_some() {
             sim.count("fabric.rdma.cqe_errors", 1);
@@ -380,6 +460,80 @@ impl QueuePair {
                     sim.schedule_in(delay, move |sim| done(sim, Ok(data)));
                 }
                 Some(err) => sim.schedule_in(delay, move |sim| done(sim, Err(err))),
+            });
+        });
+    }
+
+    /// Posts a *chained* one-sided RDMA READ: every `(offset, len)` span is
+    /// its own work-queue element but the chain is issued with a **single
+    /// doorbell** and one `per_wqe` ASIC slot, and completes in one round
+    /// trip. The read-side analogue of [`QueuePair::post_write_vectored`].
+    ///
+    /// Fault injection is evaluated per span at site `rdma.read.<region>`;
+    /// a struck span returns `Err(`[`CqeError`]`)` in its slot while the
+    /// other spans return their data. `done` runs once with one `Result`
+    /// per span in posting order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spans` is empty, if called on an
+    /// [`QpKind::UnreliableConnection`] QP, if a source range is out of
+    /// bounds, or if the target node is unreachable.
+    pub fn post_read_vectored(
+        &self,
+        sim: &mut Sim,
+        src: &MemRegion,
+        spans: Vec<(usize, usize)>,
+        done: impl FnOnce(&mut Sim, Vec<Result<Vec<u8>, CqeError>>) + 'static,
+    ) {
+        assert!(
+            self.kind == QpKind::ReliableConnection,
+            "RDMA READ requires a Reliable Connection QP"
+        );
+        assert!(!spans.is_empty(), "vectored read needs at least one span");
+        let total: usize = spans.iter().map(|(_, len)| len).sum();
+        let (occupancy, mut delay) = self.landing_delay(src.node(), total);
+        let mut cqes: Vec<Option<CqeError>> = Vec::with_capacity(spans.len());
+        for _ in &spans {
+            let mut cqe = None;
+            if sim.faults_enabled() {
+                match sim.fault_at(&format!("rdma.read.{}", src.name())) {
+                    Some(FaultAction::CqeError) => {
+                        cqe = Some(CqeError {
+                            verb: "read",
+                            region: src.name().to_string(),
+                        });
+                    }
+                    Some(FaultAction::Delay(stall)) => delay += stall,
+                    _ => {}
+                }
+            }
+            cqes.push(cqe);
+        }
+        {
+            let mut s = self.stats.borrow_mut();
+            s.reads += spans.len() as u64;
+            s.bytes += total as u64;
+        }
+        sim.count("fabric.rdma.reads", spans.len() as u64);
+        sim.count("fabric.rdma.doorbells", 1);
+        sim.count("fabric.rdma.bytes", total as u64);
+        let errors = cqes.iter().filter(|c| c.is_some()).count() as u64;
+        if errors > 0 {
+            sim.count("fabric.rdma.cqe_errors", errors);
+        }
+        let src = src.clone();
+        self.queue.submit(sim, occupancy, move |sim| {
+            sim.schedule_in(delay, move |sim| {
+                let results: Vec<Result<Vec<u8>, CqeError>> = spans
+                    .into_iter()
+                    .zip(cqes)
+                    .map(|((off, len), cqe)| match cqe {
+                        None => Ok(src.read(off, len)),
+                        Some(err) => Err(err),
+                    })
+                    .collect();
+                sim.schedule_in(delay, move |sim| done(sim, results));
             });
         });
     }
@@ -399,6 +553,7 @@ impl QueuePair {
         let (occupancy, delay) = self.landing_delay(probe.node(), 0);
         self.stats.borrow_mut().reads += 1;
         sim.count("fabric.rdma.barriers", 1);
+        sim.count("fabric.rdma.doorbells", 1);
         // The round trip is charged as QP occupancy: the pipe stalls.
         self.queue.submit(sim, occupancy + delay * 2, done);
     }
@@ -587,6 +742,108 @@ mod tests {
         let clean = run(0);
         let stalled = run(25);
         assert_eq!(stalled, clean + Duration::from_micros(25));
+    }
+
+    #[test]
+    fn vectored_write_lands_all_spans_with_one_doorbell() {
+        let (mut sim, nic, gpu_mem) = rig();
+        sim.enable_telemetry();
+        let qp = nic.loopback_qp();
+        let done = Rc::new(RefCell::new(Vec::new()));
+        let d = Rc::clone(&done);
+        qp.post_write_vectored(
+            &mut sim,
+            vec![(0, b"aaaa".to_vec()), (64, b"bb".to_vec())],
+            &gpu_mem,
+            move |_, results| *d.borrow_mut() = results,
+        );
+        sim.run();
+        assert_eq!(gpu_mem.read(0, 4), b"aaaa");
+        assert_eq!(gpu_mem.read(64, 2), b"bb");
+        assert!(done.borrow().iter().all(|r| r.is_ok()));
+        let t = sim.telemetry().unwrap();
+        assert_eq!(t.counter("fabric.rdma.doorbells"), 1);
+        assert_eq!(t.counter("fabric.rdma.writes"), 2);
+        assert_eq!(qp.stats(), (2, 0, 6));
+    }
+
+    #[test]
+    fn vectored_read_returns_per_span_results() {
+        let (mut sim, nic, gpu_mem) = rig();
+        sim.enable_telemetry();
+        gpu_mem.write(0, b"head");
+        gpu_mem.write(128, b"tail");
+        let qp = nic.loopback_qp();
+        let done = Rc::new(RefCell::new(Vec::new()));
+        let d = Rc::clone(&done);
+        qp.post_read_vectored(&mut sim, &gpu_mem, vec![(0, 4), (128, 4)], move |_, r| {
+            *d.borrow_mut() = r;
+        });
+        sim.run();
+        let got = done.borrow();
+        assert_eq!(got[0].as_ref().unwrap(), b"head");
+        assert_eq!(got[1].as_ref().unwrap(), b"tail");
+        assert_eq!(sim.telemetry().unwrap().counter("fabric.rdma.doorbells"), 1);
+    }
+
+    #[test]
+    fn vectored_write_fault_strikes_one_span_only() {
+        use lynx_sim::{FaultPlan, Trigger};
+        let (mut sim, nic, gpu_mem) = rig();
+        // Second WQE of the chain errors; first still lands.
+        sim.enable_faults(FaultPlan::new(0).rule(
+            "rdma.write.gpu-mem",
+            Trigger::Nth(2),
+            FaultAction::CqeError,
+        ));
+        let qp = nic.loopback_qp();
+        let done = Rc::new(RefCell::new(Vec::new()));
+        let d = Rc::clone(&done);
+        qp.post_write_vectored(
+            &mut sim,
+            vec![(0, vec![1; 8]), (64, vec![2; 8]), (200, vec![3; 8])],
+            &gpu_mem,
+            move |_, results| *d.borrow_mut() = results,
+        );
+        sim.run();
+        let got = done.borrow();
+        assert!(got[0].is_ok());
+        assert!(got[1].is_err());
+        assert!(got[2].is_ok());
+        assert_eq!(gpu_mem.read(0, 8), vec![1; 8]);
+        assert_eq!(
+            gpu_mem.read(64, 8),
+            vec![0; 8],
+            "faulted span must not land"
+        );
+        assert_eq!(gpu_mem.read(200, 8), vec![3; 8]);
+    }
+
+    #[test]
+    fn vectored_write_matches_chain_timing() {
+        // A 2-span chain completes no later than two separate posts: it
+        // saves one per_wqe ASIC slot.
+        let (mut sim, nic, gpu_mem) = rig();
+        let qp = nic.loopback_qp();
+        let t_chain = Rc::new(Cell::new(Time::ZERO));
+        let tc = Rc::clone(&t_chain);
+        qp.post_write_vectored(
+            &mut sim,
+            vec![(0, vec![1; 256]), (256, vec![2; 256])],
+            &gpu_mem,
+            move |sim, _| tc.set(sim.now()),
+        );
+        sim.run();
+        let (mut sim2, nic2, gpu_mem2) = rig();
+        let qp2 = nic2.loopback_qp();
+        let t_sep = Rc::new(Cell::new(Time::ZERO));
+        qp2.post_write(&mut sim2, vec![1; 256], &gpu_mem2, 0, |_| {});
+        let ts = Rc::clone(&t_sep);
+        qp2.post_write(&mut sim2, vec![2; 256], &gpu_mem2, 256, move |sim| {
+            ts.set(sim.now())
+        });
+        sim2.run();
+        assert!(t_chain.get() < t_sep.get());
     }
 
     #[test]

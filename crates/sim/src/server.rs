@@ -213,6 +213,53 @@ impl MultiServer {
         end
     }
 
+    /// Submits `work` to a *specific* lane, queueing behind whatever that
+    /// lane already accepted; `done` runs at completion. Returns the
+    /// completion instant.
+    ///
+    /// This is the primitive behind per-core pipeline sharding: a sharded
+    /// dispatcher pins each partition's drain work to its own lane so the
+    /// interleaving of cores is deterministic, instead of racing through
+    /// the join-shortest-completion dispatch of [`MultiServer::submit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= self.lanes()`.
+    pub fn submit_to(
+        &self,
+        sim: &mut Sim,
+        lane: usize,
+        work: Duration,
+        done: impl FnOnce(&mut Sim) + 'static,
+    ) -> Time {
+        let end = {
+            let mut lanes = self.lanes.borrow_mut();
+            assert!(
+                lane < lanes.len(),
+                "lane {lane} out of range for a {}-lane pool",
+                lanes.len()
+            );
+            let svc_ns = (work.as_nanos() as f64 / self.speed).round() as u64;
+            let start = lanes[lane].max(sim.now());
+            let end = start + Duration::from_nanos(svc_ns);
+            lanes[lane] = end;
+            *self.busy_ns.borrow_mut() += svc_ns;
+            *self.jobs.borrow_mut() += 1;
+            end
+        };
+        sim.schedule_at(end, done);
+        end
+    }
+
+    /// The instant `lane` next becomes idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= self.lanes()`.
+    pub fn lane_busy_until(&self, lane: usize) -> Time {
+        self.lanes.borrow()[lane]
+    }
+
     /// Total busy time accumulated across all lanes.
     pub fn busy_time(&self) -> Duration {
         Duration::from_nanos(*self.busy_ns.borrow())
@@ -312,6 +359,35 @@ mod tests {
         });
         sim.run();
         assert_eq!(fired.get(), Time::from_micros(5));
+    }
+
+    #[test]
+    fn submit_to_pins_work_to_one_lane() {
+        let mut sim = Sim::new(0);
+        let pool = MultiServer::new(4, 1.0);
+        // Three jobs pinned to lane 1 serialize even though lanes 0/2/3 idle.
+        let mut ends = Vec::new();
+        for _ in 0..3 {
+            ends.push(pool.submit_to(&mut sim, 1, Duration::from_micros(10), |_| {}));
+        }
+        assert_eq!(ends[0], Time::from_micros(10));
+        assert_eq!(ends[1], Time::from_micros(20));
+        assert_eq!(ends[2], Time::from_micros(30));
+        assert_eq!(pool.lane_busy_until(1), Time::from_micros(30));
+        assert_eq!(pool.lane_busy_until(0), Time::ZERO);
+        // Join-shortest dispatch still finds the idle lanes.
+        assert_eq!(
+            pool.submit(&mut sim, Duration::from_micros(1), |_| {}),
+            Time::from_micros(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn submit_to_rejects_bad_lane() {
+        let mut sim = Sim::new(0);
+        let pool = MultiServer::new(2, 1.0);
+        pool.submit_to(&mut sim, 2, Duration::from_micros(1), |_| {});
     }
 
     #[test]

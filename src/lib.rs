@@ -44,3 +44,27 @@ pub use lynx_workload as workload;
 // name the common types without digging through sub-crates.
 pub use lynx_core::{Error, LynxServerBuilder, RecoveryConfig, Result, RmqConfig};
 pub use lynx_sim::{FaultAction, FaultPlan, FaultRule, Trigger};
+
+/// One-stop import for building and driving a Lynx deployment.
+///
+/// ```
+/// use lynx::prelude::*;
+///
+/// let mut sim = Sim::new(42);
+/// # let _ = &mut sim;
+/// ```
+///
+/// Everything a typical server — builder, pipeline, mqueue, fault and
+/// telemetry — needs, without digging through sub-crates. Specialised
+/// types (baselines, device models, workload generators) stay in their
+/// modules.
+pub mod prelude {
+    pub use lynx_core::testbed::{DeployConfig, Deployment, GpuSite, Machine};
+    pub use lynx_core::{
+        BatchPolicy, DispatchPolicy, Error, LynxServer, LynxServerBuilder, Mqueue, MqueueConfig,
+        MqueueKind, Pipeline, PipelineConfig, RecoveryConfig, RemoteMqManager, Result, ReturnAddr,
+        RmqConfig, ServiceId, SnicPlatform,
+    };
+    pub use lynx_net::{Network, SockAddr, StackKind};
+    pub use lynx_sim::{FaultAction, FaultPlan, FaultRule, Sim, Telemetry, Trigger};
+}
