@@ -1,0 +1,226 @@
+//! Wall-clock baseline for the simulator's hot path (PR 4).
+//!
+//! Unlike the figure benches (which reproduce *simulated* results), this
+//! harness measures how fast the engine itself runs on the host machine,
+//! pinning the three hot-path optimisations of the overhaul:
+//!
+//! * **events/sec** — a self-rescheduling actor mesh driven through the
+//!   timing-wheel scheduler with interned counters and `Bytes` payload
+//!   clones, against the pre-overhaul configuration (binary-heap scheduler,
+//!   `format!`-keyed string counters, deep `Vec<u8>` clones).
+//! * **ns/counter-add** — interned [`SiteCounter`] handle vs. the string
+//!   lookup API, isolated.
+//! * **simulated pkts/sec** — a full UDP ping-pong through two
+//!   [`HostStack`]s with telemetry enabled, under wheel and heap.
+//!
+//! Results land in `BENCH_4.json` at the workspace root (override with
+//! `LYNX_BENCH_OUT`). CI smoke-runs this bench (`--smoke` or
+//! `LYNX_BENCH_SMOKE=1` shrinks the iteration counts) and fails if
+//! events/sec regresses more than 20% against the committed baseline.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use lynx_net::{HostStack, LinkSpec, Network, Platform, SockAddr, StackKind, StackProfile};
+use lynx_sim::{Bytes, MultiServer, SchedulerKind, Sim, SiteCounter};
+
+/// Payload size for the clone-cost comparison: a full MTU frame.
+const PAYLOAD: usize = 1500;
+
+struct Scale {
+    /// Events executed per scheduler+counter engine run.
+    engine_events: u64,
+    /// Counter increments for the isolated add-cost measurement.
+    counter_adds: u64,
+    /// Request/response round trips of the e2e packet run.
+    pkts: u64,
+}
+
+impl Scale {
+    fn full() -> Scale {
+        Scale {
+            engine_events: 400_000,
+            counter_adds: 1_000_000,
+            pkts: 20_000,
+        }
+    }
+
+    fn smoke() -> Scale {
+        Scale {
+            engine_events: 40_000,
+            counter_adds: 100_000,
+            pkts: 2_000,
+        }
+    }
+}
+
+/// The engine loop: 64 actors, each bumping two per-packet counters and
+/// cloning a payload per firing, then rescheduling itself. Delays mix
+/// near-future (same wheel slot region) and far-future (overflow
+/// promotion) so the wheel's whole mechanism is on the clock.
+fn engine_run(kind: SchedulerKind, interned: bool, events: u64) -> Duration {
+    const ACTORS: u64 = 64;
+    let mut sim = Sim::with_scheduler(1, kind);
+    sim.enable_telemetry();
+    let budget = events / ACTORS;
+
+    fn actor(
+        sim: &mut Sim,
+        id: u64,
+        left: u64,
+        interned: bool,
+        sites: std::rc::Rc<(SiteCounter, SiteCounter)>,
+        payload: Bytes,
+    ) {
+        if left == 0 {
+            return;
+        }
+        {
+            let t = sim.telemetry().expect("telemetry enabled");
+            if interned {
+                sites.0.add_with(t, || format!("actor.{id}.msgs"), 1);
+                sites
+                    .1
+                    .add_with(t, || format!("actor.{id}.bytes"), payload.len() as u64);
+                let copy = payload.clone(); // Rc bump
+                black_box(copy.len());
+            } else {
+                // The pre-overhaul per-packet pattern: format!-keyed string
+                // lookups and a deep payload copy.
+                t.count(&format!("actor.{id}.msgs"), 1);
+                t.count(&format!("actor.{id}.bytes"), payload.len() as u64);
+                let copy = payload.to_vec(); // deep copy
+                black_box(copy.len());
+            }
+        }
+        // 1 in 16 firings lands far enough out to exercise wheel overflow.
+        let delay = if left.is_multiple_of(16) {
+            Duration::from_micros(600 + id)
+        } else {
+            Duration::from_nanos(100 + id * 7)
+        };
+        sim.schedule_in(delay, move |sim| {
+            actor(sim, id, left - 1, interned, sites, payload);
+        });
+    }
+
+    let start = Instant::now();
+    for id in 0..ACTORS {
+        let sites = std::rc::Rc::new((SiteCounter::new(), SiteCounter::new()));
+        let payload = Bytes::from(vec![id as u8; PAYLOAD]);
+        actor(&mut sim, id, budget, interned, sites, payload);
+    }
+    sim.run();
+    assert!(sim.executed() >= events - ACTORS);
+    start.elapsed()
+}
+
+/// Isolated counter-add cost, string API vs. interned handle.
+fn counter_run(interned: bool, adds: u64) -> Duration {
+    let mut sim = Sim::new(7);
+    let t = sim.enable_telemetry();
+    let site = SiteCounter::new();
+    let start = Instant::now();
+    if interned {
+        for _ in 0..adds {
+            site.add(&t, "bench.hot_counter", 1);
+        }
+    } else {
+        for _ in 0..adds {
+            // Mirror the pre-overhaul call sites: a formatted name per bump.
+            t.count(&format!("bench.hot_counter{}", black_box(0u64)), 1);
+        }
+    }
+    let elapsed = start.elapsed();
+    black_box(t.counter("bench.hot_counter"));
+    elapsed
+}
+
+/// End-to-end UDP ping-pong through two host stacks with telemetry on:
+/// how many simulated packets the engine retires per wall-clock second.
+fn e2e_run(kind: SchedulerKind, pkts: u64) -> Duration {
+    let mut sim = Sim::with_scheduler(3, kind);
+    sim.enable_telemetry();
+    let net = Network::new();
+    let server_host = net.add_host("server", LinkSpec::gbps40());
+    let client_host = net.add_host("client", LinkSpec::gbps40());
+    let profile = StackProfile::of(Platform::Xeon, StackKind::Vma);
+    let server = HostStack::new(&net, server_host, MultiServer::new(1, 1.0), profile);
+    let client = HostStack::new(&net, client_host, MultiServer::new(1, 1.0), profile);
+
+    let server2 = server.clone();
+    server.bind_udp(7777, move |sim, dgram| {
+        server2.send_udp(sim, 7777, dgram.src, dgram.payload.clone());
+    });
+    let client2 = client.clone();
+    let server_addr = SockAddr::new(server_host, 7777);
+    let remaining = std::rc::Rc::new(std::cell::Cell::new(pkts));
+    let rem = std::rc::Rc::clone(&remaining);
+    client.bind_udp(5000, move |sim, _dgram| {
+        let left = rem.get();
+        if left > 0 {
+            rem.set(left - 1);
+            client2.send_udp(sim, 5000, server_addr, vec![0u8; 64]);
+        }
+    });
+
+    let start = Instant::now();
+    client.send_udp(&mut sim, 5000, server_addr, vec![0u8; 64]);
+    sim.run();
+    assert_eq!(remaining.get(), 0);
+    start.elapsed()
+}
+
+fn rate(n: u64, d: Duration) -> f64 {
+    n as f64 / d.as_secs_f64()
+}
+
+fn ns_per(n: u64, d: Duration) -> f64 {
+    d.as_nanos() as f64 / n as f64
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("LYNX_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let scale = if smoke { Scale::smoke() } else { Scale::full() };
+
+    // Warm-up pass so first-touch allocation noise stays off the clock.
+    engine_run(SchedulerKind::Wheel, true, scale.engine_events / 10);
+
+    let wheel_interned = engine_run(SchedulerKind::Wheel, true, scale.engine_events);
+    let heap_string = engine_run(SchedulerKind::Heap, false, scale.engine_events);
+    let events_new = rate(scale.engine_events, wheel_interned);
+    let events_old = rate(scale.engine_events, heap_string);
+
+    let ns_string = ns_per(scale.counter_adds, counter_run(false, scale.counter_adds));
+    let ns_interned = ns_per(scale.counter_adds, counter_run(true, scale.counter_adds));
+
+    let pkts_wheel = rate(scale.pkts, e2e_run(SchedulerKind::Wheel, scale.pkts));
+    let pkts_heap = rate(scale.pkts, e2e_run(SchedulerKind::Heap, scale.pkts));
+
+    let speedup = events_new / events_old;
+    let json = format!(
+        "{{\n  \"bench\": \"engine_hotpath\",\n  \"smoke\": {smoke},\n  \"scale\": {{ \"engine_events\": {}, \"counter_adds\": {}, \"pkts\": {} }},\n  \"events_per_sec\": {{ \"wheel_interned\": {:.0}, \"heap_string\": {:.0}, \"speedup\": {:.2} }},\n  \"ns_per_counter_add\": {{ \"string\": {:.1}, \"interned\": {:.1} }},\n  \"sim_pkts_per_sec\": {{ \"wheel\": {:.0}, \"heap\": {:.0} }}\n}}\n",
+        scale.engine_events,
+        scale.counter_adds,
+        scale.pkts,
+        events_new,
+        events_old,
+        speedup,
+        ns_string,
+        ns_interned,
+        pkts_wheel,
+        pkts_heap,
+    );
+
+    let out = std::env::var("LYNX_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_4.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_4.json");
+    println!("{json}");
+    println!("wrote {out}");
+
+    assert!(
+        speedup >= 2.0,
+        "hot-path overhaul must hold a >=2x events/sec advantage (got {speedup:.2}x)"
+    );
+}

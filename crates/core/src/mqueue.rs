@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use lynx_fabric::MemRegion;
 use lynx_net::{ConnId, SockAddr};
-use lynx_sim::{Sim, Telemetry, TraceEvent};
+use lynx_sim::{Bytes, Sim, SiteCounter, SiteGauge, Telemetry, TraceEvent};
 
 use crate::Error;
 
@@ -133,6 +133,13 @@ struct Inner {
     /// registry; [`Mqueue::bind_stats`] rebinds it (e.g. to the server's
     /// sink) so queue counters and server stats share one source of truth.
     stats: Telemetry,
+    /// Interned handle for `mqueue.<label>.drops` in `stats`; reset when
+    /// [`Mqueue::bind_stats`] swaps the sink.
+    drops_site: SiteCounter,
+    /// Interned handles for `mqueue.<label>.responses` / `.depth` in the
+    /// simulation's telemetry sink.
+    responses_site: SiteCounter,
+    depth_site: SiteGauge,
 }
 
 /// One message queue residing in accelerator memory.
@@ -222,6 +229,9 @@ impl Mqueue {
                 rx_watcher: None,
                 tx_watcher: None,
                 stats: Telemetry::new(),
+                drops_site: SiteCounter::new(),
+                responses_site: SiteCounter::new(),
+                depth_site: SiteGauge::new(),
             })),
         })
     }
@@ -293,6 +303,8 @@ impl Mqueue {
             sink.count(&name, prior);
         }
         inner.stats = sink.clone();
+        // The cached counter id indexes the *old* sink's registry.
+        inner.drops_site.reset();
     }
 
     // --- SNIC (producer/collector) side -----------------------------------
@@ -317,8 +329,10 @@ impl Mqueue {
             MqueueKind::Client => inner.rx_pushed - inner.rx_popped,
         };
         if occupied as usize >= inner.cfg.slots {
-            let name = format!("mqueue.{}.drops", inner.label);
-            inner.stats.count(&name, 1);
+            let label = &inner.label;
+            inner
+                .drops_site
+                .add_with(&inner.stats, || format!("mqueue.{label}.drops"), 1);
             return Err(Error::Backpressure {
                 queue: inner.label.clone(),
             });
@@ -378,8 +392,10 @@ impl Mqueue {
         let watcher = {
             let inner = self.inner.borrow();
             if let Some(t) = sim.telemetry() {
-                t.gauge(
-                    &format!("mqueue.{}.depth", inner.label),
+                let label = &inner.label;
+                inner.depth_site.set_with(
+                    t,
+                    || format!("mqueue.{label}.depth"),
                     depth_of(&inner) as f64,
                 );
             }
@@ -494,7 +510,7 @@ impl Mqueue {
 
     /// Pops the next pending request (local-memory access on the
     /// accelerator): returns `(seq, payload)`.
-    pub fn acc_pop_request(&self) -> Option<(u64, Vec<u8>)> {
+    pub fn acc_pop_request(&self) -> Option<(u64, Bytes)> {
         let mut inner = self.inner.borrow_mut();
         if inner.rx_popped >= inner.rx_pushed {
             return None;
@@ -507,7 +523,7 @@ impl Mqueue {
             return None;
         }
         let len = inner.mem.read_u32(off) as usize;
-        let payload = inner.mem.read(off + SLOT_HEADER, len);
+        let payload = Bytes::from(inner.mem.read(off + SLOT_HEADER, len));
         inner.rx_popped += 1;
         Some((seq, payload))
     }
@@ -566,9 +582,13 @@ impl Mqueue {
         let w = {
             let inner = self.inner.borrow();
             if let Some(t) = sim.telemetry() {
-                t.count(&format!("mqueue.{}.responses", inner.label), 1);
-                t.gauge(
-                    &format!("mqueue.{}.depth", inner.label),
+                let label = &inner.label;
+                inner
+                    .responses_site
+                    .add_with(t, || format!("mqueue.{label}.responses"), 1);
+                inner.depth_site.set_with(
+                    t,
+                    || format!("mqueue.{label}.depth"),
                     depth_of(&inner) as f64,
                 );
                 if inner.kind == MqueueKind::Server {

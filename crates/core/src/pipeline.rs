@@ -163,7 +163,7 @@ pub(crate) struct StagedRequest {
     pub(crate) service: ServiceId,
     pub(crate) ret: ReturnAddr,
     pub(crate) key: u64,
-    pub(crate) payload: Vec<u8>,
+    pub(crate) payload: lynx_sim::Bytes,
 }
 
 struct CoreState {
@@ -364,7 +364,7 @@ mod tests {
             service: ServiceId::DEFAULT,
             ret: ReturnAddr::Fixed,
             key,
-            payload: vec![],
+            payload: lynx_sim::Bytes::new(),
         };
         assert!(p.stage(0, req(0)), "first stage on a core schedules");
         assert!(!p.stage(0, req(2)), "second rides the pending drain");
@@ -394,7 +394,7 @@ mod tests {
                     service: ServiceId::DEFAULT,
                     ret: ReturnAddr::Fixed,
                     key: k,
-                    payload: vec![],
+                    payload: lynx_sim::Bytes::new(),
                 },
             );
         }

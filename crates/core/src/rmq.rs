@@ -25,7 +25,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use lynx_fabric::QueuePair;
-use lynx_sim::{Sim, TraceEvent};
+use lynx_sim::{Bytes, Sim, TraceEvent};
 
 use crate::mqueue::SLOT_HEADER;
 use crate::{Error, Mqueue, ReturnAddr};
@@ -77,7 +77,7 @@ type AttemptFn = Rc<dyn Fn(&mut Sim, u32)>;
 type AttemptHolder = Rc<RefCell<Option<AttemptFn>>>;
 
 /// One collected response: its return address and payload.
-type Response = (ReturnAddr, Vec<u8>);
+type Response = (ReturnAddr, Bytes);
 
 /// Delivery continuation of a batched [`RemoteMqManager::pull_responses`].
 type CollectFn = dyn FnOnce(&mut Sim, Vec<Response>);
@@ -300,7 +300,9 @@ impl RemoteMqManager {
         let label = mq.label();
         let delivered: DoneFn<()> = Box::new(delivered);
         if cfg.coalesce_metadata && !cfg.write_barrier {
-            let slot = mq.encode_slot(seq, payload);
+            // Bytes: each retry attempt reposts the same shared buffer
+            // (an `Rc` bump), instead of deep-copying the slot image.
+            let slot = Bytes::from(mq.encode_slot(seq, payload));
             let qp = self.qp.clone();
             let post: Rc<PostFn<()>> = Rc::new(move |sim, cb| {
                 qp.post_write_checked(sim, slot.clone(), &mem, offset, move |sim, r| {
@@ -329,7 +331,8 @@ impl RemoteMqManager {
             let mut data = ((payload.len() as u32).to_le_bytes()).to_vec();
             data.extend_from_slice(&[0; 4]);
             data.extend_from_slice(payload);
-            let bell = ((seq + 1) as u32).to_le_bytes().to_vec();
+            let data = Bytes::from(data);
+            let bell = Bytes::from(((seq + 1) as u32).to_le_bytes().to_vec());
             let write_barrier = cfg.write_barrier;
             let qp_bell = self.qp.clone();
             let mem_bell = mem.clone();
@@ -408,12 +411,14 @@ impl RemoteMqManager {
     /// remaining spans of the batch are unaffected. The accelerator's
     /// doorbell gating handles late-landing retried slots: consumption
     /// stalls at the missing slot and resumes once it lands.
-    pub fn push_requests(
+    pub fn push_requests<B: Into<Bytes>>(
         &self,
         sim: &mut Sim,
         mq: &Mqueue,
-        items: Vec<(ReturnAddr, Vec<u8>)>,
+        items: Vec<(ReturnAddr, B)>,
     ) -> Vec<crate::Result<u64>> {
+        let items: Vec<(ReturnAddr, Bytes)> =
+            items.into_iter().map(|(ret, p)| (ret, p.into())).collect();
         let cfg = mq.config();
         if !cfg.coalesce_metadata || cfg.write_barrier {
             return items
@@ -422,7 +427,7 @@ impl RemoteMqManager {
                 .collect();
         }
         let mut results = Vec::with_capacity(items.len());
-        let mut reserved: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut reserved: Vec<(u64, Bytes)> = Vec::new();
         for (ret, payload) in items {
             match mq.try_reserve(ret) {
                 Ok(seq) => {
@@ -446,7 +451,7 @@ impl RemoteMqManager {
         let mem = mq.mem();
         // Split the reserved run at ring-wrap boundaries: a chained verb
         // covers ascending offsets only.
-        let mut runs: Vec<Vec<(u64, usize, Vec<u8>)>> = Vec::new();
+        let mut runs: Vec<Vec<(u64, usize, Bytes)>> = Vec::new();
         let mut prev_offset: Option<usize> = None;
         for (seq, payload) in reserved {
             let offset = mq.rx_slot_offset(seq);
@@ -459,9 +464,9 @@ impl RemoteMqManager {
         }
         let faults = sim.faults_enabled();
         for run in runs {
-            let spans: Vec<(usize, Vec<u8>)> = run
+            let spans: Vec<(usize, Bytes)> = run
                 .iter()
-                .map(|(seq, offset, payload)| (*offset, mq.encode_slot(*seq, payload)))
+                .map(|(seq, offset, payload)| (*offset, Bytes::from(mq.encode_slot(*seq, payload))))
                 .collect();
             let mq2 = mq.clone();
             if !faults {
@@ -544,7 +549,7 @@ impl RemoteMqManager {
         sim: &mut Sim,
         mq: &Mqueue,
         max: usize,
-        collected: impl FnOnce(&mut Sim, Vec<(ReturnAddr, Vec<u8>)>) + 'static,
+        collected: impl FnOnce(&mut Sim, Vec<(ReturnAddr, Bytes)>) + 'static,
     ) {
         let mut claims = Vec::new();
         while claims.len() < max {
@@ -570,7 +575,8 @@ impl RemoteMqManager {
                     let mut out = Vec::with_capacity(outcomes.len());
                     for ((seq, ret, _), bytes) in claims.into_iter().zip(outcomes) {
                         let bytes = bytes.expect("fault-free read cannot error");
-                        let payload = bytes[SLOT_HEADER..].to_vec();
+                        // A view past the header — no payload copy.
+                        let payload = bytes.slice_from(SLOT_HEADER);
                         let mq_evt = mq2.clone();
                         let bytes_out = payload.len();
                         sim.trace(|| TraceEvent::Forward {
@@ -608,9 +614,9 @@ impl RemoteMqManager {
                         let remaining = Rc::clone(&remaining);
                         let collected = Rc::clone(&collected);
                         let mq_evt = mq2.clone();
-                        move |sim: &mut Sim, bytes: Option<Vec<u8>>| {
+                        move |sim: &mut Sim, bytes: Option<Bytes>| {
                             if let Some(bytes) = bytes {
-                                let payload = bytes[SLOT_HEADER..].to_vec();
+                                let payload = bytes.slice_from(SLOT_HEADER);
                                 let bytes_out = payload.len();
                                 let q = mq_evt.label();
                                 sim.trace(|| TraceEvent::Forward {
@@ -649,7 +655,7 @@ impl RemoteMqManager {
                             let (offset, len) = retry_spans[i];
                             let qp2 = qp.clone();
                             let mem3 = mem2.clone();
-                            let post: Rc<PostFn<Vec<u8>>> = Rc::new(move |sim, cb| {
+                            let post: Rc<PostFn<Bytes>> = Rc::new(move |sim, cb| {
                                 qp2.post_read_checked(sim, &mem3, offset, len, move |sim, r| {
                                     cb(sim, r.map_err(|_| ()));
                                 });
@@ -688,7 +694,7 @@ impl RemoteMqManager {
         &self,
         sim: &mut Sim,
         mq: &Mqueue,
-        collected: impl FnOnce(&mut Sim, ReturnAddr, Vec<u8>) + 'static,
+        collected: impl FnOnce(&mut Sim, ReturnAddr, Bytes) + 'static,
     ) {
         let Some((seq, ret, len)) = mq.begin_pull() else {
             return;
@@ -704,7 +710,7 @@ impl RemoteMqManager {
             self.qp
                 .post_read(sim, &mem, offset, SLOT_HEADER + len, move |sim, bytes| {
                     mq2.complete(seq);
-                    let payload = bytes[SLOT_HEADER..].to_vec();
+                    let payload = bytes.slice_from(SLOT_HEADER);
                     let mq_evt = mq2.clone();
                     let bytes_out = payload.len();
                     sim.trace(|| TraceEvent::Forward {
@@ -718,7 +724,7 @@ impl RemoteMqManager {
         }
         let qp = self.qp.clone();
         let label = mq.label();
-        let post: Rc<PostFn<Vec<u8>>> = Rc::new(move |sim, cb| {
+        let post: Rc<PostFn<Bytes>> = Rc::new(move |sim, cb| {
             qp.post_read_checked(sim, &mem, offset, SLOT_HEADER + len, move |sim, r| {
                 cb(sim, r.map_err(|_| ()));
             });
@@ -733,7 +739,7 @@ impl RemoteMqManager {
                     Ok(bytes) => {
                         let mq_evt = mq2.clone();
                         Box::new(move |sim: &mut Sim| {
-                            let payload = bytes[SLOT_HEADER..].to_vec();
+                            let payload = bytes.slice_from(SLOT_HEADER);
                             let bytes_out = payload.len();
                             sim.trace(|| TraceEvent::Forward {
                                 queue: mq_evt.label(),

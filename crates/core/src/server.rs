@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use lynx_device::{calib, CpuKind};
 use lynx_net::{ConnId, HostStack, SockAddr};
-use lynx_sim::{Sim, Telemetry, Time, TraceEvent};
+use lynx_sim::{Bytes, Sim, SiteCounter, Telemetry, Time, TraceEvent};
 
 use crate::pipeline::{Pipeline, PipelineConfig, StagedRequest};
 use crate::{DispatchPolicy, Dispatcher, Error, Mqueue, RemoteMqManager, ReturnAddr};
@@ -166,7 +166,37 @@ pub struct ServerStats {
 
 struct BackendBridge {
     conn: Option<ConnId>,
-    queued: Vec<Vec<u8>>,
+    queued: Vec<Bytes>,
+}
+
+/// Pre-interned handles for the server-wide per-message counters. Each
+/// name is interned into the server's telemetry registry on its first
+/// increment; after that every request/response is an indexed add.
+#[derive(Debug, Default)]
+struct ServerSites {
+    requests: SiteCounter,
+    dispatched: SiteCounter,
+    dropped: SiteCounter,
+    replies: SiteCounter,
+    unroutable: SiteCounter,
+    backend_calls: SiteCounter,
+    forward_polls: SiteCounter,
+    batches: SiteCounter,
+    batched_msgs: SiteCounter,
+    forward_batches: SiteCounter,
+    forward_batched_msgs: SiteCounter,
+}
+
+/// Per-service counter handles (`server.svc<i>.*` and the dispatcher's
+/// `dispatch.picks.<policy>`) — the `format!`-built names are produced
+/// once per service instead of once per message.
+#[derive(Debug, Default)]
+struct SvcSites {
+    requests: SiteCounter,
+    dispatched: SiteCounter,
+    dropped: SiteCounter,
+    replies: SiteCounter,
+    picks: SiteCounter,
 }
 
 /// Identifier of one tenant service hosted by a [`LynxServer`] (§4.5:
@@ -192,6 +222,7 @@ struct Service {
     owners: Vec<Rc<RemoteMqManager>>,
     health: Vec<QueueHealth>,
     udp_port: Option<u16>,
+    sites: SvcSites,
 }
 
 impl Service {
@@ -202,6 +233,7 @@ impl Service {
             owners: Vec::new(),
             health: Vec::new(),
             udp_port: None,
+            sites: SvcSites::default(),
         }
     }
 }
@@ -216,6 +248,9 @@ struct Inner {
     recovery: RecoveryConfig,
     monitor_armed: bool,
     pipeline: Pipeline,
+    sites: ServerSites,
+    /// One `pipeline.core<i>.dispatched` handle per pipeline core.
+    core_dispatched: Vec<SiteCounter>,
 }
 
 /// The Lynx network server: the application-agnostic frontend on the
@@ -269,6 +304,9 @@ impl LynxServer {
         stats: Telemetry,
         pipeline: PipelineConfig,
     ) -> LynxServer {
+        let core_dispatched = (0..pipeline.snic_cores)
+            .map(|_| SiteCounter::new())
+            .collect();
         LynxServer {
             inner: Rc::new(RefCell::new(Inner {
                 stack,
@@ -280,6 +318,8 @@ impl LynxServer {
                 recovery,
                 monitor_armed: false,
                 pipeline: Pipeline::new(pipeline),
+                sites: ServerSites::default(),
+                core_dispatched,
             })),
         }
     }
@@ -360,7 +400,7 @@ impl LynxServer {
         let this = self.clone();
         let mq_rx = mq.clone();
         let rmq_rx = Rc::clone(&rmq);
-        let on_msg = move |sim: &mut Sim, _conn: ConnId, payload: Vec<u8>| {
+        let on_msg = move |sim: &mut Sim, _conn: ConnId, payload: Bytes| {
             this.on_backend_response(sim, mq_rx.clone(), Rc::clone(&rmq_rx), payload);
         };
         let bridge2 = Rc::clone(&bridge);
@@ -497,14 +537,17 @@ impl LynxServer {
         service: ServiceId,
         ret: ReturnAddr,
         key: u64,
-        payload: Vec<u8>,
+        payload: Bytes,
     ) {
         let (batched, stack, cost) = {
             let inner = self.inner.borrow();
-            inner.stats.count("server.requests", 1);
-            inner
-                .stats
-                .count(&format!("server.svc{}.requests", service.0), 1);
+            inner.sites.requests.add(&inner.stats, "server.requests", 1);
+            let i = service.0;
+            inner.services[i].sites.requests.add_with(
+                &inner.stats,
+                || format!("server.svc{i}.requests"),
+                1,
+            );
             (
                 inner.pipeline.config().is_batched(),
                 inner.stack.clone(),
@@ -571,11 +614,16 @@ impl LynxServer {
                 return;
             }
             let k = batch.len() as u32;
-            inner.stats.count("pipeline.batches", 1);
-            inner.stats.count("pipeline.batched_msgs", u64::from(k));
+            inner.sites.batches.add(&inner.stats, "pipeline.batches", 1);
             inner
-                .stats
-                .count(&format!("pipeline.core{core}.dispatched"), u64::from(k));
+                .sites
+                .batched_msgs
+                .add(&inner.stats, "pipeline.batched_msgs", u64::from(k));
+            inner.core_dispatched[core].add_with(
+                &inner.stats,
+                || format!("pipeline.core{core}.dispatched"),
+                u64::from(k),
+            );
             let cost = inner.costs.dispatch + inner.costs.dispatch_marginal * (k - 1);
             (inner.stack.clone(), cost, batch)
         };
@@ -597,28 +645,21 @@ impl LynxServer {
         struct Group {
             rmq: Rc<RemoteMqManager>,
             mq: Mqueue,
-            items: Vec<(ReturnAddr, Vec<u8>)>,
+            items: Vec<(ReturnAddr, Bytes)>,
         }
         let mut groups: Vec<Group> = Vec::new();
         let mut traces: Vec<(&'static str, Option<String>)> = Vec::new();
         {
             let mut inner = self.inner.borrow_mut();
             for req in batch {
-                let svc = &mut inner.services[req.service.0];
+                let i = req.service.0;
+                let svc = &mut inner.services[i];
                 let policy = svc.dispatcher.policy().name();
                 let picked = svc
                     .dispatcher
                     .pick(&svc.mqs, req.key)
                     .map(|i| (Rc::clone(&svc.owners[i]), svc.mqs[i].clone()));
-                let stats = &inner.stats;
-                stats.count(&format!("dispatch.picks.{policy}"), 1);
-                let outcome = if picked.is_some() {
-                    "dispatched"
-                } else {
-                    "dropped"
-                };
-                stats.count(&format!("server.{outcome}"), 1);
-                stats.count(&format!("server.svc{}.{outcome}", req.service.0), 1);
+                Self::count_dispatch(&inner, i, policy, picked.is_some());
                 match picked {
                     Some((rmq, mq)) => {
                         let label = mq.label();
@@ -647,13 +688,39 @@ impl LynxServer {
         }
     }
 
+    /// Counts one dispatch decision on the pre-interned handles:
+    /// `dispatch.picks.<policy>`, `server.<outcome>` and
+    /// `server.svc<i>.<outcome>`.
+    fn count_dispatch(inner: &Inner, service: usize, policy: &'static str, dispatched: bool) {
+        let svc = &inner.services[service];
+        svc.sites
+            .picks
+            .add_with(&inner.stats, || format!("dispatch.picks.{policy}"), 1);
+        if dispatched {
+            inner
+                .sites
+                .dispatched
+                .add(&inner.stats, "server.dispatched", 1);
+            svc.sites.dispatched.add_with(
+                &inner.stats,
+                || format!("server.svc{service}.dispatched"),
+                1,
+            );
+        } else {
+            inner.sites.dropped.add(&inner.stats, "server.dropped", 1);
+            svc.sites
+                .dropped
+                .add_with(&inner.stats, || format!("server.svc{service}.dropped"), 1);
+        }
+    }
+
     fn dispatch_now(
         &self,
         sim: &mut Sim,
         service: ServiceId,
         ret: ReturnAddr,
         key: u64,
-        payload: Vec<u8>,
+        payload: Bytes,
     ) {
         let (policy, picked) = {
             let mut inner = self.inner.borrow_mut();
@@ -663,15 +730,7 @@ impl LynxServer {
                 .dispatcher
                 .pick(&svc.mqs, key)
                 .map(|i| (Rc::clone(&svc.owners[i]), svc.mqs[i].clone()));
-            let stats = &inner.stats;
-            stats.count(&format!("dispatch.picks.{policy}"), 1);
-            let outcome = if picked.is_some() {
-                "dispatched"
-            } else {
-                "dropped"
-            };
-            stats.count(&format!("server.{outcome}"), 1);
-            stats.count(&format!("server.svc{}.{outcome}", service.0), 1);
+            Self::count_dispatch(&inner, service.0, policy, picked.is_some());
             (policy, picked)
         };
         match picked {
@@ -718,7 +777,10 @@ impl LynxServer {
                 // poll counter: a coalesced doorbell is not a poll.)
                 return;
             }
-            inner.stats.count("server.forward_polls", 1);
+            inner
+                .sites
+                .forward_polls
+                .add(&inner.stats, "server.forward_polls", 1);
             (
                 inner.pipeline.config().is_batched(),
                 inner.stack.clone(),
@@ -768,8 +830,15 @@ impl LynxServer {
         let (stack, cost, k) = {
             let inner = self.inner.borrow();
             let k = inner.pipeline.config().batch_limit(pending).min(pending);
-            inner.stats.count("pipeline.forward_batches", 1);
-            inner.stats.count("pipeline.forward_batched_msgs", k as u64);
+            inner
+                .sites
+                .forward_batches
+                .add(&inner.stats, "pipeline.forward_batches", 1);
+            inner.sites.forward_batched_msgs.add(
+                &inner.stats,
+                "pipeline.forward_batched_msgs",
+                k as u64,
+            );
             let cost = Self::forward_cost(&inner) + inner.costs.forward_marginal * (k as u32 - 1);
             (inner.stack.clone(), cost, k)
         };
@@ -790,7 +859,7 @@ impl LynxServer {
         });
     }
 
-    fn send_reply(&self, sim: &mut Sim, service: ServiceId, ret: ReturnAddr, payload: Vec<u8>) {
+    fn send_reply(&self, sim: &mut Sim, service: ServiceId, ret: ReturnAddr, payload: Bytes) {
         if let Err(e) = self.try_send_reply(sim, service, ret, payload) {
             // Shed, counted; a UDP client sees a lost reply.
             debug_assert!(matches!(e, Error::Unroutable { .. }));
@@ -806,7 +875,7 @@ impl LynxServer {
         sim: &mut Sim,
         service: ServiceId,
         ret: ReturnAddr,
-        payload: Vec<u8>,
+        payload: Bytes,
     ) -> crate::Result<()> {
         let (stack, port) = {
             let inner = self.inner.borrow();
@@ -831,7 +900,7 @@ impl LynxServer {
                 Ok(())
             }
             Err(()) => {
-                self.inner.borrow().stats.count("server.unroutable", 1);
+                self.count_unroutable();
                 Err(Error::Unroutable { service: service.0 })
             }
         }
@@ -843,17 +912,12 @@ impl LynxServer {
     /// which need per-connection framing — individually. Unroutable
     /// responses are shed and counted without disturbing the rest of the
     /// batch.
-    fn send_replies(
-        &self,
-        sim: &mut Sim,
-        service: ServiceId,
-        responses: Vec<(ReturnAddr, Vec<u8>)>,
-    ) {
+    fn send_replies(&self, sim: &mut Sim, service: ServiceId, responses: Vec<(ReturnAddr, Bytes)>) {
         let (stack, port) = {
             let inner = self.inner.borrow();
             (inner.stack.clone(), inner.services[service.0].udp_port)
         };
-        let mut udp: Vec<(SockAddr, Vec<u8>)> = Vec::new();
+        let mut udp: Vec<(SockAddr, Bytes)> = Vec::new();
         for (ret, payload) in responses {
             match ret {
                 ReturnAddr::Udp(addr) => match port {
@@ -861,14 +925,14 @@ impl LynxServer {
                         self.count_reply(service);
                         udp.push((addr, payload));
                     }
-                    None => self.inner.borrow().stats.count("server.unroutable", 1),
+                    None => self.count_unroutable(),
                 },
                 ReturnAddr::Tcp(conn) => {
                     self.count_reply(service);
                     stack.send_tcp(sim, conn, payload);
                 }
                 ReturnAddr::Fixed => {
-                    self.inner.borrow().stats.count("server.unroutable", 1);
+                    self.count_unroutable();
                 }
             }
         }
@@ -879,10 +943,21 @@ impl LynxServer {
 
     fn count_reply(&self, service: ServiceId) {
         let inner = self.inner.borrow();
-        inner.stats.count("server.replies", 1);
+        inner.sites.replies.add(&inner.stats, "server.replies", 1);
+        let i = service.0;
+        inner.services[i].sites.replies.add_with(
+            &inner.stats,
+            || format!("server.svc{i}.replies"),
+            1,
+        );
+    }
+
+    fn count_unroutable(&self) {
+        let inner = self.inner.borrow();
         inner
-            .stats
-            .count(&format!("server.svc{}.replies", service.0), 1);
+            .sites
+            .unroutable
+            .add(&inner.stats, "server.unroutable", 1);
     }
 
     fn on_backend_call(
@@ -900,7 +975,13 @@ impl LynxServer {
         let stack2 = stack.clone();
         stack.charge(sim, cost, move |sim| {
             rmq.pull_response(sim, &mq, move |sim, _ret, payload| {
-                this.inner.borrow().stats.count("server.backend_calls", 1);
+                {
+                    let inner = this.inner.borrow();
+                    inner
+                        .sites
+                        .backend_calls
+                        .add(&inner.stats, "server.backend_calls", 1);
+                }
                 let conn = bridge.borrow().conn;
                 match conn {
                     Some(conn) => stack2.send_tcp(sim, conn, payload),
@@ -915,7 +996,7 @@ impl LynxServer {
         sim: &mut Sim,
         mq: Mqueue,
         rmq: Rc<RemoteMqManager>,
-        payload: Vec<u8>,
+        payload: Bytes,
     ) {
         let (stack, cost) = {
             let inner = self.inner.borrow();

@@ -1,9 +1,10 @@
 //! The Innova Flex bump-in-the-wire FPGA NIC (§5.2, §6.2).
 
 use std::fmt;
+use std::rc::Rc;
 use std::time::Duration;
 
-use lynx_sim::{Server, Sim};
+use lynx_sim::{Server, Sim, SiteCounter};
 
 use crate::calib;
 
@@ -25,6 +26,7 @@ pub struct FpgaNic {
     pipeline: Server,
     ii: Duration,
     depth: Duration,
+    packets_site: Rc<SiteCounter>,
 }
 
 impl fmt::Debug for FpgaNic {
@@ -50,6 +52,7 @@ impl FpgaNic {
             pipeline: Server::new(1.0),
             ii: calib::FPGA_INITIATION_INTERVAL,
             depth: calib::FPGA_PIPELINE_LATENCY,
+            packets_site: Rc::new(SiteCounter::new()),
         }
     }
 
@@ -57,7 +60,9 @@ impl FpgaNic {
     /// interval and emerges (written to the target mqueue) after the
     /// pipeline depth. `done` fires at emergence.
     pub fn ingest(&self, sim: &mut Sim, done: impl FnOnce(&mut Sim) + 'static) {
-        sim.count("device.fpga.packets", 1);
+        if let Some(t) = sim.telemetry() {
+            self.packets_site.add(t, "device.fpga.packets", 1);
+        }
         let depth = self.depth;
         self.pipeline.submit(sim, self.ii, move |sim| {
             sim.schedule_in(depth, done);

@@ -7,7 +7,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use lynx_fabric::{MemRegion, NodeId, PcieFabric};
-use lynx_sim::{MultiServer, Server, Sim};
+use lynx_sim::{MultiServer, Server, Sim, SiteCounter, SiteGauge};
 
 use crate::calib;
 
@@ -55,6 +55,9 @@ struct Inner {
     blocks: usize,
     driver: Server,
     exec: MultiServer,
+    requests_site: SiteCounter,
+    driver_util_site: SiteGauge,
+    exec_util_site: SiteGauge,
 }
 
 /// A simulated GPU attached to a PCIe fabric node.
@@ -119,6 +122,9 @@ impl Gpu {
                 blocks: 0,
                 driver: Server::new(1.0),
                 exec: MultiServer::new(lanes, spec.speed),
+                requests_site: SiteCounter::new(),
+                driver_util_site: SiteGauge::new(),
+                exec_util_site: SiteGauge::new(),
             })),
         }
     }
@@ -197,10 +203,14 @@ impl Gpu {
         launches: u32,
         done: impl FnOnce(&mut Sim) + 'static,
     ) {
-        sim.count("device.gpu.hostcentric_requests", 1);
         let gaps = calib::KERNEL_LAUNCH_GAP * launches.saturating_sub(1);
         let (driver, exec) = {
             let inner = self.inner.borrow();
+            if let Some(t) = sim.telemetry() {
+                inner
+                    .requests_site
+                    .add(t, "device.gpu.hostcentric_requests", 1);
+            }
             (inner.driver.clone(), inner.exec.clone())
         };
         // The driver lock is held for the occupancy window (copy issues,
@@ -241,13 +251,16 @@ impl Gpu {
         let Some(t) = sim.telemetry() else { return };
         let inner = self.inner.borrow();
         let elapsed = sim.now().saturating_since(lynx_sim::Time::ZERO);
-        let id = format!("{}@{}", inner.spec.name, inner.mem.node());
-        t.gauge(
-            &format!("device.gpu.{id}.driver_util"),
+        let spec = inner.spec.name;
+        let node = inner.mem.node();
+        inner.driver_util_site.set_with(
+            t,
+            || format!("device.gpu.{spec}@{node}.driver_util"),
             inner.driver.utilization(elapsed),
         );
-        t.gauge(
-            &format!("device.gpu.{id}.exec_util"),
+        inner.exec_util_site.set_with(
+            t,
+            || format!("device.gpu.{spec}@{node}.exec_util"),
             inner.exec.utilization(elapsed),
         );
     }

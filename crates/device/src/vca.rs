@@ -1,9 +1,10 @@
 //! The Intel Visual Compute Accelerator (§5.4, §6.2).
 
 use std::fmt;
+use std::rc::Rc;
 use std::time::Duration;
 
-use lynx_sim::{Server, Sim};
+use lynx_sim::{Server, Sim, SiteCounter};
 
 use crate::{calib, CpuKind};
 
@@ -16,6 +17,13 @@ use crate::{calib, CpuKind};
 pub struct VcaNode {
     core: Server,
     index: usize,
+    sites: Rc<VcaSites>,
+}
+
+#[derive(Debug, Default)]
+struct VcaSites {
+    execs: SiteCounter,
+    transitions: SiteCounter,
 }
 
 impl fmt::Debug for VcaNode {
@@ -43,8 +51,12 @@ impl VcaNode {
         transitions: u32,
         done: impl FnOnce(&mut Sim) + 'static,
     ) {
-        sim.count("device.vca.enclave_execs", 1);
-        sim.count("device.vca.sgx_transitions", u64::from(transitions));
+        if let Some(t) = sim.telemetry() {
+            self.sites.execs.add(t, "device.vca.enclave_execs", 1);
+            self.sites
+                .transitions
+                .add(t, "device.vca.sgx_transitions", u64::from(transitions));
+        }
         let total = work + calib::SGX_TRANSITION * transitions;
         self.core.submit(sim, total, done);
     }
@@ -81,6 +93,7 @@ impl Vca {
                 .map(|index| VcaNode {
                     core: Server::new(CpuKind::E3.speed()),
                     index,
+                    sites: Rc::new(VcaSites::default()),
                 })
                 .collect(),
         }

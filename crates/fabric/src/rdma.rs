@@ -12,7 +12,8 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
-use lynx_sim::{FaultAction, Server, Sim};
+use lynx_sim::telemetry::SiteCounter;
+use lynx_sim::{Bytes, FaultAction, Server, Sim};
 
 use crate::{MemRegion, NodeId, PcieFabric};
 
@@ -96,6 +97,18 @@ struct QpStats {
     bytes: u64,
 }
 
+/// Interned `fabric.rdma.*` counter handles, cached per queue pair so the
+/// per-verb hot path indexes the registry instead of walking it by name.
+#[derive(Debug, Default)]
+struct QpSites {
+    writes: SiteCounter,
+    reads: SiteCounter,
+    doorbells: SiteCounter,
+    bytes: SiteCounter,
+    cqe_errors: SiteCounter,
+    barriers: SiteCounter,
+}
+
 /// An RDMA-capable NIC attached to a PCIe fabric node.
 ///
 /// The NIC provides [`QueuePair`]s. Each QP serializes its own work queue
@@ -152,6 +165,7 @@ impl RdmaNic {
             dst_nic,
             queue: Server::new(1.0),
             stats: Rc::new(RefCell::new(QpStats::default())),
+            sites: Rc::new(QpSites::default()),
         }
     }
 
@@ -180,6 +194,7 @@ pub struct QueuePair {
     dst_nic: NodeId,
     queue: Server,
     stats: Rc<RefCell<QpStats>>,
+    sites: Rc<QpSites>,
 }
 
 impl fmt::Debug for QueuePair {
@@ -219,7 +234,9 @@ impl QueuePair {
     /// Posts a one-sided RDMA WRITE of `data` into `dst[dst_off..]`.
     ///
     /// The bytes become visible in `dst` and `done` runs when the write
-    /// lands. Writes posted on the same QP land in posting order.
+    /// lands. Writes posted on the same QP land in posting order. `data`
+    /// is any [`Bytes`]-convertible payload; passing a `Bytes` handle the
+    /// caller retains for retries costs an `Rc` bump, not a copy.
     ///
     /// # Panics
     ///
@@ -228,7 +245,7 @@ impl QueuePair {
     pub fn post_write(
         &self,
         sim: &mut Sim,
-        data: Vec<u8>,
+        data: impl Into<Bytes>,
         dst: &MemRegion,
         dst_off: usize,
         done: impl FnOnce(&mut Sim) + 'static,
@@ -254,11 +271,12 @@ impl QueuePair {
     pub fn post_write_checked(
         &self,
         sim: &mut Sim,
-        data: Vec<u8>,
+        data: impl Into<Bytes>,
         dst: &MemRegion,
         dst_off: usize,
         done: impl FnOnce(&mut Sim, Result<(), CqeError>) + 'static,
     ) {
+        let data = data.into();
         let (occupancy, mut delay) = self.landing_delay(dst.node(), data.len());
         let mut cqe: Option<CqeError> = None;
         if sim.faults_enabled() {
@@ -278,11 +296,15 @@ impl QueuePair {
             s.writes += 1;
             s.bytes += data.len() as u64;
         }
-        sim.count("fabric.rdma.writes", 1);
-        sim.count("fabric.rdma.doorbells", 1);
-        sim.count("fabric.rdma.bytes", data.len() as u64);
-        if cqe.is_some() {
-            sim.count("fabric.rdma.cqe_errors", 1);
+        if let Some(t) = sim.telemetry() {
+            self.sites.writes.add(t, "fabric.rdma.writes", 1);
+            self.sites.doorbells.add(t, "fabric.rdma.doorbells", 1);
+            self.sites
+                .bytes
+                .add(t, "fabric.rdma.bytes", data.len() as u64);
+            if cqe.is_some() {
+                self.sites.cqe_errors.add(t, "fabric.rdma.cqe_errors", 1);
+            }
         }
         let dst = dst.clone();
         self.queue.submit(sim, occupancy, move |sim| {
@@ -314,14 +336,16 @@ impl QueuePair {
     ///
     /// Panics if `spans` is empty, a destination range is out of bounds, or
     /// the target node is unreachable from the QP's remote NIC.
-    pub fn post_write_vectored(
+    pub fn post_write_vectored<B: Into<Bytes>>(
         &self,
         sim: &mut Sim,
-        spans: Vec<(usize, Vec<u8>)>,
+        spans: Vec<(usize, B)>,
         dst: &MemRegion,
         done: impl FnOnce(&mut Sim, Vec<Result<(), CqeError>>) + 'static,
     ) {
         assert!(!spans.is_empty(), "vectored write needs at least one span");
+        let spans: Vec<(usize, Bytes)> =
+            spans.into_iter().map(|(off, d)| (off, d.into())).collect();
         let total: usize = spans.iter().map(|(_, d)| d.len()).sum();
         let (occupancy, mut delay) = self.landing_delay(dst.node(), total);
         // Per-span fault check: each WQE in the chain is its own fault
@@ -349,12 +373,18 @@ impl QueuePair {
             s.writes += spans.len() as u64;
             s.bytes += total as u64;
         }
-        sim.count("fabric.rdma.writes", spans.len() as u64);
-        sim.count("fabric.rdma.doorbells", 1);
-        sim.count("fabric.rdma.bytes", total as u64);
-        let errors = cqes.iter().filter(|c| c.is_some()).count() as u64;
-        if errors > 0 {
-            sim.count("fabric.rdma.cqe_errors", errors);
+        if let Some(t) = sim.telemetry() {
+            self.sites
+                .writes
+                .add(t, "fabric.rdma.writes", spans.len() as u64);
+            self.sites.doorbells.add(t, "fabric.rdma.doorbells", 1);
+            self.sites.bytes.add(t, "fabric.rdma.bytes", total as u64);
+            let errors = cqes.iter().filter(|c| c.is_some()).count() as u64;
+            if errors > 0 {
+                self.sites
+                    .cqe_errors
+                    .add(t, "fabric.rdma.cqe_errors", errors);
+            }
         }
         let dst = dst.clone();
         self.queue.submit(sim, occupancy, move |sim| {
@@ -376,8 +406,9 @@ impl QueuePair {
 
     /// Posts a one-sided RDMA READ of `len` bytes from `src[src_off..]`.
     ///
-    /// `done` receives the bytes as they were at the moment the read reached
-    /// the target memory. Total latency is a full round trip.
+    /// `done` receives the bytes (as a shared [`Bytes`] buffer) as they
+    /// were at the moment the read reached the target memory. Total
+    /// latency is a full round trip.
     ///
     /// # Panics
     ///
@@ -390,7 +421,7 @@ impl QueuePair {
         src: &MemRegion,
         src_off: usize,
         len: usize,
-        done: impl FnOnce(&mut Sim, Vec<u8>) + 'static,
+        done: impl FnOnce(&mut Sim, Bytes) + 'static,
     ) {
         self.post_read_checked(sim, src, src_off, len, move |sim, result| {
             // Unchecked legacy path: an injected CQE error silently drops
@@ -419,7 +450,7 @@ impl QueuePair {
         src: &MemRegion,
         src_off: usize,
         len: usize,
-        done: impl FnOnce(&mut Sim, Result<Vec<u8>, CqeError>) + 'static,
+        done: impl FnOnce(&mut Sim, Result<Bytes, CqeError>) + 'static,
     ) {
         assert!(
             self.kind == QpKind::ReliableConnection,
@@ -444,11 +475,13 @@ impl QueuePair {
             s.reads += 1;
             s.bytes += len as u64;
         }
-        sim.count("fabric.rdma.reads", 1);
-        sim.count("fabric.rdma.doorbells", 1);
-        sim.count("fabric.rdma.bytes", len as u64);
-        if cqe.is_some() {
-            sim.count("fabric.rdma.cqe_errors", 1);
+        if let Some(t) = sim.telemetry() {
+            self.sites.reads.add(t, "fabric.rdma.reads", 1);
+            self.sites.doorbells.add(t, "fabric.rdma.doorbells", 1);
+            self.sites.bytes.add(t, "fabric.rdma.bytes", len as u64);
+            if cqe.is_some() {
+                self.sites.cqe_errors.add(t, "fabric.rdma.cqe_errors", 1);
+            }
         }
         let src = src.clone();
         self.queue.submit(sim, occupancy, move |sim| {
@@ -456,7 +489,7 @@ impl QueuePair {
             // there and returns after another `delay`.
             sim.schedule_in(delay, move |sim| match cqe {
                 None => {
-                    let data = src.read(src_off, len);
+                    let data = Bytes::from(src.read(src_off, len));
                     sim.schedule_in(delay, move |sim| done(sim, Ok(data)));
                 }
                 Some(err) => sim.schedule_in(delay, move |sim| done(sim, Err(err))),
@@ -484,7 +517,7 @@ impl QueuePair {
         sim: &mut Sim,
         src: &MemRegion,
         spans: Vec<(usize, usize)>,
-        done: impl FnOnce(&mut Sim, Vec<Result<Vec<u8>, CqeError>>) + 'static,
+        done: impl FnOnce(&mut Sim, Vec<Result<Bytes, CqeError>>) + 'static,
     ) {
         assert!(
             self.kind == QpKind::ReliableConnection,
@@ -515,21 +548,27 @@ impl QueuePair {
             s.reads += spans.len() as u64;
             s.bytes += total as u64;
         }
-        sim.count("fabric.rdma.reads", spans.len() as u64);
-        sim.count("fabric.rdma.doorbells", 1);
-        sim.count("fabric.rdma.bytes", total as u64);
-        let errors = cqes.iter().filter(|c| c.is_some()).count() as u64;
-        if errors > 0 {
-            sim.count("fabric.rdma.cqe_errors", errors);
+        if let Some(t) = sim.telemetry() {
+            self.sites
+                .reads
+                .add(t, "fabric.rdma.reads", spans.len() as u64);
+            self.sites.doorbells.add(t, "fabric.rdma.doorbells", 1);
+            self.sites.bytes.add(t, "fabric.rdma.bytes", total as u64);
+            let errors = cqes.iter().filter(|c| c.is_some()).count() as u64;
+            if errors > 0 {
+                self.sites
+                    .cqe_errors
+                    .add(t, "fabric.rdma.cqe_errors", errors);
+            }
         }
         let src = src.clone();
         self.queue.submit(sim, occupancy, move |sim| {
             sim.schedule_in(delay, move |sim| {
-                let results: Vec<Result<Vec<u8>, CqeError>> = spans
+                let results: Vec<Result<Bytes, CqeError>> = spans
                     .into_iter()
                     .zip(cqes)
                     .map(|((off, len), cqe)| match cqe {
-                        None => Ok(src.read(off, len)),
+                        None => Ok(Bytes::from(src.read(off, len))),
                         Some(err) => Err(err),
                     })
                     .collect();
@@ -552,8 +591,10 @@ impl QueuePair {
     ) {
         let (occupancy, delay) = self.landing_delay(probe.node(), 0);
         self.stats.borrow_mut().reads += 1;
-        sim.count("fabric.rdma.barriers", 1);
-        sim.count("fabric.rdma.doorbells", 1);
+        if let Some(t) = sim.telemetry() {
+            self.sites.barriers.add(t, "fabric.rdma.barriers", 1);
+            self.sites.doorbells.add(t, "fabric.rdma.doorbells", 1);
+        }
         // The round trip is charged as QP occupancy: the pipe stalls.
         self.queue.submit(sim, occupancy + delay * 2, done);
     }
@@ -617,7 +658,7 @@ mod tests {
         let (mut sim, nic, gpu_mem) = rig();
         gpu_mem.write(0, b"resp");
         let qp = nic.loopback_qp();
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Rc::new(RefCell::new(Bytes::new()));
         let g = Rc::clone(&got);
         let write_landed = Rc::new(Cell::new(Time::ZERO));
         let read_done = Rc::new(Cell::new(Time::ZERO));
@@ -631,7 +672,7 @@ mod tests {
             rd.set(sim.now());
         });
         sim.run();
-        assert_eq!(&*got.borrow(), b"resp");
+        assert_eq!(got.borrow()[..], b"resp"[..]);
         // Read is a round trip: completes strictly after the one-way write.
         assert!(read_done.get() > write_landed.get());
     }

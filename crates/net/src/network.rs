@@ -5,7 +5,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
-use lynx_sim::{Server, Sim};
+use lynx_sim::{Bytes, Server, Sim};
 
 use crate::{ConnId, HostId, Proto, SockAddr};
 
@@ -54,19 +54,20 @@ pub struct Datagram {
     pub proto: Proto,
     /// Connection id for TCP messages (assigned by [`crate::HostStack`]).
     pub conn: Option<ConnId>,
-    /// Application payload.
-    pub payload: Vec<u8>,
+    /// Application payload — a shared [`Bytes`] buffer, so cloning a
+    /// datagram (fan-out, injected duplicates) never copies the payload.
+    pub payload: Bytes,
 }
 
 impl Datagram {
     /// Creates a UDP datagram.
-    pub fn udp(src: SockAddr, dst: SockAddr, payload: Vec<u8>) -> Datagram {
+    pub fn udp(src: SockAddr, dst: SockAddr, payload: impl Into<Bytes>) -> Datagram {
         Datagram {
             src,
             dst,
             proto: Proto::Udp,
             conn: None,
-            payload,
+            payload: payload.into(),
         }
     }
 

@@ -6,27 +6,21 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
-use lynx_sim::{MultiServer, Sim, TraceEvent};
+use lynx_sim::{Bytes, MultiServer, Sim, SiteCounter, TraceEvent};
 
 use crate::tcp::ConnRole;
 use crate::{ConnId, Datagram, HostId, Network, Proto, SockAddr, TcpConn};
 
-/// Records a stack-level telemetry event (and the matching per-host
-/// counters) when the simulation has telemetry enabled. `rx` selects the
-/// receive or transmit direction. Events are stamped at the instant the
-/// message enters the stack, before its CPU cost is charged.
-fn note_packet(sim: &Sim, host: HostId, proto: &'static str, bytes: usize, rx: bool) {
-    let Some(t) = sim.telemetry() else { return };
-    let dir = if rx { "rx" } else { "tx" };
-    t.count(&format!("net.{host}.{dir}_msgs"), 1);
-    t.count(&format!("net.{host}.{dir}_bytes"), bytes as u64);
-    let host = host.to_string();
-    let event = if rx {
-        TraceEvent::PacketRx { host, proto, bytes }
-    } else {
-        TraceEvent::PacketTx { host, proto, bytes }
-    };
-    t.record(sim.now(), event);
+/// Pre-interned per-host counter handles for the packet hot path. The
+/// `net.<host>.<dir>_msgs` / `_bytes` names are formatted once per stack
+/// (on the first packet in each direction), after which every packet is a
+/// plain indexed add instead of a string lookup.
+#[derive(Debug, Default)]
+struct StackSites {
+    rx_msgs: SiteCounter,
+    rx_bytes: SiteCounter,
+    tx_msgs: SiteCounter,
+    tx_bytes: SiteCounter,
 }
 
 /// Processor on which the stack runs. Protocol costs are strongly
@@ -179,7 +173,7 @@ impl StackProfile {
 }
 
 type UdpHandler = Rc<RefCell<dyn FnMut(&mut Sim, Datagram)>>;
-type TcpHandler = Rc<RefCell<dyn FnMut(&mut Sim, ConnId, Vec<u8>)>>;
+type TcpHandler = Rc<RefCell<dyn FnMut(&mut Sim, ConnId, Bytes)>>;
 type ConnectCb = Box<dyn FnOnce(&mut Sim, ConnId)>;
 
 struct Inner {
@@ -230,6 +224,7 @@ struct Inner {
 pub struct HostStack {
     net: Network,
     inner: Rc<RefCell<Inner>>,
+    sites: Rc<StackSites>,
 }
 
 impl fmt::Debug for HostStack {
@@ -254,6 +249,7 @@ impl HostStack {
     ) -> HostStack {
         let stack = HostStack {
             net: net.clone(),
+            sites: Rc::new(StackSites::default()),
             inner: Rc::new(RefCell::new(Inner {
                 host,
                 profile,
@@ -279,6 +275,38 @@ impl HostStack {
     /// This stack's host id.
     pub fn host(&self) -> HostId {
         self.inner.borrow().host
+    }
+
+    /// Records a stack-level telemetry event (and the matching per-host
+    /// counters) when the simulation has telemetry enabled. `rx` selects
+    /// the receive or transmit direction. Events are stamped at the
+    /// instant the message enters the stack, before its CPU cost is
+    /// charged. Counter adds go through pre-interned [`SiteCounter`]
+    /// handles, so the per-packet cost is an indexed add.
+    fn note_packet(&self, sim: &Sim, host: HostId, proto: &'static str, bytes: usize, rx: bool) {
+        let Some(t) = sim.telemetry() else { return };
+        if rx {
+            self.sites
+                .rx_msgs
+                .add_with(t, || format!("net.{host}.rx_msgs"), 1);
+            self.sites
+                .rx_bytes
+                .add_with(t, || format!("net.{host}.rx_bytes"), bytes as u64);
+        } else {
+            self.sites
+                .tx_msgs
+                .add_with(t, || format!("net.{host}.tx_msgs"), 1);
+            self.sites
+                .tx_bytes
+                .add_with(t, || format!("net.{host}.tx_bytes"), bytes as u64);
+        }
+        let host = host.to_string();
+        let event = if rx {
+            TraceEvent::PacketRx { host, proto, bytes }
+        } else {
+            TraceEvent::PacketTx { host, proto, bytes }
+        };
+        t.record(sim.now(), event);
     }
 
     /// The core pool protocol processing is charged to. Server logic that
@@ -361,7 +389,12 @@ impl HostStack {
     }
 
     /// Sends a UDP datagram from `src_port`, charging the send-side cost.
-    pub fn send_udp(&self, sim: &mut Sim, src_port: u16, dst: SockAddr, payload: Vec<u8>) {
+    ///
+    /// The payload is anything convertible to [`Bytes`]; passing a
+    /// `Bytes` handle (e.g. one forwarded from a received datagram) is an
+    /// `Rc` bump, not a copy.
+    pub fn send_udp(&self, sim: &mut Sim, src_port: u16, dst: SockAddr, payload: impl Into<Bytes>) {
+        let payload = payload.into();
         let (cost, src) = {
             let mut inner = self.inner.borrow_mut();
             inner.tx_msgs += 1;
@@ -371,7 +404,7 @@ impl HostStack {
             );
             (cost, SockAddr::new(inner.host, src_port))
         };
-        note_packet(sim, src.host, "udp", payload.len(), false);
+        self.note_packet(sim, src.host, "udp", payload.len(), false);
         let net = self.net.clone();
         let cores = self.inner.borrow().cores.clone();
         cores.submit(sim, cost, move |sim| {
@@ -389,10 +422,17 @@ impl HostStack {
     /// wire together when that work completes, in batch order. A
     /// single-element batch costs exactly what [`HostStack::send_udp`]
     /// charges; an empty batch is a no-op.
-    pub fn send_udp_batch(&self, sim: &mut Sim, src_port: u16, msgs: Vec<(SockAddr, Vec<u8>)>) {
+    pub fn send_udp_batch<B: Into<Bytes>>(
+        &self,
+        sim: &mut Sim,
+        src_port: u16,
+        msgs: Vec<(SockAddr, B)>,
+    ) {
         if msgs.is_empty() {
             return;
         }
+        let msgs: Vec<(SockAddr, Bytes)> =
+            msgs.into_iter().map(|(dst, p)| (dst, p.into())).collect();
         let (cost, src) = {
             let mut inner = self.inner.borrow_mut();
             inner.tx_msgs += msgs.len() as u64;
@@ -405,7 +445,7 @@ impl HostStack {
             (cost, SockAddr::new(inner.host, src_port))
         };
         for (_, payload) in &msgs {
-            note_packet(sim, src.host, "udp", payload.len(), false);
+            self.note_packet(sim, src.host, "udp", payload.len(), false);
         }
         let net = self.net.clone();
         let cores = self.inner.borrow().cores.clone();
@@ -422,7 +462,7 @@ impl HostStack {
     /// # Panics
     ///
     /// Panics if the port already has a listener.
-    pub fn listen_tcp(&self, port: u16, on_msg: impl FnMut(&mut Sim, ConnId, Vec<u8>) + 'static) {
+    pub fn listen_tcp(&self, port: u16, on_msg: impl FnMut(&mut Sim, ConnId, Bytes) + 'static) {
         let prev = self
             .inner
             .borrow_mut()
@@ -440,7 +480,7 @@ impl HostStack {
         &self,
         sim: &mut Sim,
         dst: SockAddr,
-        on_msg: impl FnMut(&mut Sim, ConnId, Vec<u8>) + 'static,
+        on_msg: impl FnMut(&mut Sim, ConnId, Bytes) + 'static,
         on_connected: impl FnOnce(&mut Sim, ConnId) + 'static,
     ) -> ConnId {
         let (id, local_port, syn_cost, src_host) = {
@@ -477,7 +517,7 @@ impl HostStack {
                     dst,
                     proto: Proto::Tcp,
                     conn: Some(id),
-                    payload: Vec::new(),
+                    payload: Bytes::new(),
                 },
             );
         });
@@ -491,7 +531,8 @@ impl HostStack {
     /// Panics if the connection is unknown or not yet established, or if
     /// `payload` is empty (zero-length messages are reserved for the
     /// handshake).
-    pub fn send_tcp(&self, sim: &mut Sim, conn: ConnId, payload: Vec<u8>) {
+    pub fn send_tcp(&self, sim: &mut Sim, conn: ConnId, payload: impl Into<Bytes>) {
+        let payload = payload.into();
         assert!(!payload.is_empty(), "zero-length TCP messages are reserved");
         let (cost, src, dst) = {
             let mut inner = self.inner.borrow_mut();
@@ -510,7 +551,7 @@ impl HostStack {
             );
             (cost, src, dst)
         };
-        note_packet(sim, src.host, "tcp", payload.len(), false);
+        self.note_packet(sim, src.host, "tcp", payload.len(), false);
         let net = self.net.clone();
         let cores = self.inner.borrow().cores.clone();
         net_send_after(
@@ -558,7 +599,7 @@ impl HostStack {
             );
             (h, cost)
         };
-        note_packet(sim, dgram.dst.host, "udp", dgram.payload.len(), true);
+        self.note_packet(sim, dgram.dst.host, "udp", dgram.payload.len(), true);
         let cores = self.inner.borrow().cores.clone();
         cores.submit(sim, cost, move |sim| {
             (handler.borrow_mut())(sim, dgram);
@@ -617,7 +658,7 @@ impl HostStack {
                     dst: reply_to,
                     proto: Proto::Tcp,
                     conn: Some(conn_id),
-                    payload: Vec::new(),
+                    payload: Bytes::new(),
                 },
             );
         });
@@ -646,7 +687,7 @@ impl HostStack {
             };
             (h, cost, bg)
         };
-        note_packet(sim, dgram.dst.host, "tcp", dgram.payload.len(), true);
+        self.note_packet(sim, dgram.dst.host, "tcp", dgram.payload.len(), true);
         let cores = self.inner.borrow().cores.clone();
         if !bg.is_zero() {
             // Off-critical-path protocol work still occupies the cores.

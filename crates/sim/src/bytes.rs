@@ -1,0 +1,377 @@
+//! Cheaply-clonable shared payload buffers and a per-[`Sim`] scratch pool.
+//!
+//! Every message the simulator moves — UDP datagrams, mqueue slots, RDMA
+//! verb payloads — used to be a bare `Vec<u8>` that was deep-copied at
+//! each hand-off (stage → slot encode → verb retry closure → forward →
+//! reply). [`Bytes`] replaces those copies with a reference-counted slice:
+//! cloning is an `Rc` bump, and [`Bytes::slice`] carves a sub-range (for
+//! example, stripping a slot header off a pulled response) without
+//! touching the payload bytes.
+//!
+//! [`BufferPool`] complements it on the *write* side: encoders that build
+//! short-lived scratch buffers (slot images, batched frames) can
+//! [`take`](BufferPool::take) a recycled `Vec<u8>` and
+//! [`recycle`](BufferPool::recycle) it once the bytes have been copied
+//! into simulated memory, so steady-state encoding allocates nothing.
+//!
+//! Like every handle in this crate, both types are single-threaded
+//! (`Rc`-based, not `Send`) — the simulator is single-threaded by
+//! construction and this is what keeps the clone cheap.
+//!
+//! [`Sim`]: crate::Sim
+
+use std::cell::RefCell;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, Range};
+use std::rc::Rc;
+
+/// An immutable, cheaply-clonable byte buffer (an `Rc`-backed slice).
+///
+/// `Bytes` dereferences to `&[u8]`, so existing slice-based code keeps
+/// working; `From<Vec<u8>>` is zero-copy, and [`Bytes::slice`] /
+/// [`Bytes::slice_from`] produce views that share the same allocation.
+///
+/// ```
+/// use lynx_sim::Bytes;
+///
+/// let b = Bytes::from(vec![1u8, 2, 3, 4]);
+/// let tail = b.slice_from(2);          // shares the allocation
+/// assert_eq!(&tail[..], &[3, 4]);
+/// assert_eq!(b.len(), 4);
+/// let c = b.clone();                   // Rc bump, no copy
+/// assert_eq!(c, b);
+/// ```
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Rc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Wraps an owned vector without copying it.
+    pub fn from_vec(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes {
+            data: Rc::new(v),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Copies a slice into a fresh buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Bytes {
+        Bytes::from_vec(s.to_vec())
+    }
+
+    /// Number of bytes in this view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bytes of this view.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// A sub-view of `range`, sharing the underlying allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` falls outside the view.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice {range:?} out of bounds of {} bytes",
+            self.len
+        );
+        Bytes {
+            data: Rc::clone(&self.data),
+            off: self.off + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// A sub-view from `start` to the end, sharing the allocation.
+    pub fn slice_from(&self, start: usize) -> Bytes {
+        self.slice(start..self.len)
+    }
+
+    /// Copies the view out into an owned vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Recovers the backing vector without copying when this view is the
+    /// only handle and spans the whole allocation; copies otherwise.
+    pub fn into_vec(self) -> Vec<u8> {
+        if self.off == 0 && self.len == self.data.len() {
+            match Rc::try_unwrap(self.data) {
+                Ok(v) => return v,
+                Err(rc) => return rc[..self.len].to_vec(),
+            }
+        }
+        self.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(s: &[u8; N]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Vec<u8> {
+        b.into_vec()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+/// How many scratch buffers a [`BufferPool`] retains before dropping
+/// returned ones on the floor.
+const POOL_RETAIN: usize = 64;
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    free: Vec<Vec<u8>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A pool of reusable `Vec<u8>` scratch buffers, one per [`Sim`].
+///
+/// Encoders on the hot path (slot images, frame assembly) call
+/// [`BufferPool::take`] instead of `Vec::with_capacity` and hand the
+/// buffer back with [`BufferPool::recycle`] once its bytes have been
+/// copied onward, so steady-state message encoding stops allocating.
+/// Handles are cheap clones sharing one free list; the pool retains at
+/// most a fixed number of buffers so it cannot grow without bound.
+///
+/// The pool is deterministic: it touches no wall clock or randomness,
+/// and pooling only changes *where* a scratch `Vec` comes from, never
+/// the bytes written through it.
+///
+/// [`Sim`]: crate::Sim
+#[derive(Clone, Debug, Default)]
+pub struct BufferPool {
+    inner: Rc<RefCell<PoolInner>>,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> BufferPool {
+        BufferPool::default()
+    }
+
+    /// Takes a cleared scratch buffer with at least `capacity` bytes of
+    /// room, reusing a recycled one when available.
+    pub fn take(&self, capacity: usize) -> Vec<u8> {
+        let mut inner = self.inner.borrow_mut();
+        match inner.free.pop() {
+            Some(mut v) => {
+                inner.hits += 1;
+                v.clear();
+                v.reserve(capacity);
+                v
+            }
+            None => {
+                inner.misses += 1;
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Returns a scratch buffer to the pool (dropped if the pool is full).
+    pub fn recycle(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut inner = self.inner.borrow_mut();
+        if inner.free.len() < POOL_RETAIN {
+            inner.free.push(buf);
+        }
+    }
+
+    /// Buffers currently sitting in the free list.
+    pub fn idle(&self) -> usize {
+        self.inner.borrow().free.len()
+    }
+
+    /// `(hits, misses)` — takes served from the free list vs. fresh
+    /// allocations. Useful for asserting that a hot path actually reuses.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.borrow();
+        (inner.hits, inner.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_is_zero_copy_and_clone_shares() {
+        let v = vec![9u8; 1000];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_slice().as_ptr(), ptr, "no copy on From<Vec<u8>>");
+        let c = b.clone();
+        assert_eq!(c.as_slice().as_ptr(), ptr, "clone shares the allocation");
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn slicing_shares_and_bounds_check() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let mid = b.slice(2..5);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        assert_eq!(mid.slice_from(1), [3u8, 4]);
+        assert_eq!(
+            mid.as_slice().as_ptr(),
+            unsafe { b.as_slice().as_ptr().add(2) },
+            "slice is a view, not a copy"
+        );
+        let r = std::panic::catch_unwind(|| b.slice(4..8));
+        assert!(r.is_err(), "out-of-bounds slice panics");
+    }
+
+    #[test]
+    fn equality_against_common_shapes() {
+        let b = Bytes::from(&b"ping"[..]);
+        assert_eq!(b, b"ping");
+        assert_eq!(b, &b"ping"[..]);
+        assert_eq!(b, b"ping".to_vec());
+        assert_eq!(b"ping".to_vec(), b);
+        assert_ne!(b, b"pong");
+        assert!(b == *b"ping".as_slice());
+    }
+
+    #[test]
+    fn into_vec_avoids_copy_when_unique() {
+        let v = vec![7u8; 64];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        let back = b.into_vec();
+        assert_eq!(back.as_ptr(), ptr, "unique whole-view unwrap is free");
+
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let tail = b.slice_from(2);
+        assert_eq!(tail.into_vec(), vec![3, 4], "partial view copies");
+    }
+
+    #[test]
+    fn pool_reuses_buffers() {
+        let pool = BufferPool::new();
+        let mut buf = pool.take(32);
+        buf.extend_from_slice(b"scratch");
+        let ptr = buf.as_ptr();
+        pool.recycle(buf);
+        assert_eq!(pool.idle(), 1);
+        let again = pool.take(4);
+        assert_eq!(again.as_ptr(), ptr, "recycled buffer is reused");
+        assert!(again.is_empty(), "recycled buffer comes back cleared");
+        assert_eq!(pool.stats(), (1, 1));
+    }
+
+    #[test]
+    fn pool_caps_retained_buffers() {
+        let pool = BufferPool::new();
+        for _ in 0..POOL_RETAIN + 10 {
+            pool.recycle(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.idle(), POOL_RETAIN);
+        pool.recycle(Vec::new()); // capacity 0: not worth retaining
+        assert_eq!(pool.idle(), POOL_RETAIN);
+    }
+}

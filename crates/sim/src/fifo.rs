@@ -1,6 +1,5 @@
 //! Bounded FIFO queues for modelling hardware rings and NIC queues.
 
-use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
@@ -28,10 +27,15 @@ impl Error for FifoFullError {}
 /// A bounded first-in-first-out queue.
 ///
 /// Used throughout the hardware models for rings with hardware-fixed depth
-/// (NIC receive queues, mqueue rings, DMA descriptor rings). Unlike
-/// `VecDeque`, pushes beyond capacity fail instead of reallocating — exactly
-/// the behaviour of a hardware ring under overload, which is what produces
-/// drop/backpressure effects in the experiments.
+/// (NIC receive queues, mqueue rings, DMA descriptor rings). Pushes beyond
+/// capacity fail instead of reallocating — exactly the behaviour of a
+/// hardware ring under overload, which is what produces drop/backpressure
+/// effects in the experiments.
+///
+/// The backing store is a fixed ring of exactly `capacity` slots allocated
+/// once at construction: unlike `VecDeque::with_capacity` (which may round
+/// the allocation up), a `Fifo` modelling a 1024-entry hardware ring
+/// reserves 1024 slots, never more, and never reallocates.
 ///
 /// # Example
 ///
@@ -46,24 +50,36 @@ impl Error for FifoFullError {}
 /// ```
 #[derive(Clone, Debug)]
 pub struct Fifo<T> {
-    items: VecDeque<T>,
-    capacity: usize,
+    /// Ring storage; `slots.len()` is exactly the requested capacity.
+    slots: Box<[Option<T>]>,
+    head: usize,
+    len: usize,
     drops: u64,
 }
 
 impl<T> Fifo<T> {
     /// Creates a FIFO holding at most `capacity` items.
     ///
+    /// The ring is allocated up front with exactly `capacity` slots.
+    ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Fifo<T> {
         assert!(capacity > 0, "fifo capacity must be positive");
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
         Fifo {
-            items: VecDeque::with_capacity(capacity),
-            capacity,
+            slots: slots.into_boxed_slice(),
+            head: 0,
+            len: 0,
             drops: 0,
         }
+    }
+
+    #[inline]
+    fn slot(&self, offset: usize) -> usize {
+        (self.head + offset) % self.slots.len()
     }
 
     /// Appends an item.
@@ -74,44 +90,59 @@ impl<T> Fifo<T> {
     /// item is returned to the caller untouched via the error path semantics
     /// of the queue being unmodified.
     pub fn push(&mut self, item: T) -> Result<(), FifoFullError> {
-        if self.items.len() >= self.capacity {
+        if self.len == self.slots.len() {
             self.drops += 1;
             return Err(FifoFullError {
-                capacity: self.capacity,
+                capacity: self.slots.len(),
             });
         }
-        self.items.push_back(item);
+        let idx = self.slot(self.len);
+        self.slots[idx] = Some(item);
+        self.len += 1;
         Ok(())
     }
 
     /// Removes and returns the oldest item.
     pub fn pop(&mut self) -> Option<T> {
-        self.items.pop_front()
+        if self.len == 0 {
+            return None;
+        }
+        let item = self.slots[self.head].take();
+        debug_assert!(item.is_some(), "occupied ring slot must hold an item");
+        self.head = self.slot(1);
+        self.len -= 1;
+        item
     }
 
     /// A reference to the oldest item without removing it.
     pub fn peek(&self) -> Option<&T> {
-        self.items.front()
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.head].as_ref()
+        }
     }
 
     /// Current number of queued items.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.len
     }
 
     /// Returns `true` when no items are queued.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len == 0
     }
 
     /// Returns `true` when at capacity.
     pub fn is_full(&self) -> bool {
-        self.items.len() >= self.capacity
+        self.len == self.slots.len()
     }
 
-    /// Maximum number of items this queue can hold.
+    /// Maximum number of items this queue can hold — exactly the capacity
+    /// passed to [`Fifo::new`], which is also exactly the number of slots
+    /// reserved in memory.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.slots.len()
     }
 
     /// Number of rejected pushes since creation.
@@ -121,7 +152,11 @@ impl<T> Fifo<T> {
 
     /// Iterates over queued items, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
-        self.items.iter()
+        (0..self.len).map(|i| {
+            self.slots[self.slot(i)]
+                .as_ref()
+                .expect("occupied ring slot must hold an item")
+        })
     }
 }
 
@@ -188,5 +223,39 @@ mod tests {
         let err = q.push(9).unwrap_err();
         assert_eq!(err.capacity(), 4);
         assert!(err.to_string().contains('4'));
+    }
+
+    #[test]
+    fn reserved_capacity_is_exact() {
+        // The satellite fix: a ring asked to hold N items reserves exactly
+        // N slots — capacities that VecDeque::with_capacity may round up.
+        for cap in [1usize, 3, 5, 7, 100, 1000, 1025] {
+            let q: Fifo<u64> = Fifo::new(cap);
+            assert_eq!(q.slots.len(), cap, "backing store for capacity {cap}");
+            assert_eq!(q.capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn ring_never_reallocates_across_wraparound() {
+        let mut q = Fifo::new(3);
+        let before = q.slots.as_ptr();
+        // Churn through several wraparounds of the ring.
+        for round in 0..10u64 {
+            q.extend([round, round + 1, round + 2, round + 3]); // one drop/round
+            assert!(q.is_full());
+            assert_eq!(q.pop(), Some(round));
+            let rest: Vec<_> = q.iter().copied().collect();
+            assert_eq!(rest, vec![round + 1, round + 2]);
+            q.pop();
+            q.pop();
+            assert!(q.is_empty());
+        }
+        assert_eq!(
+            q.slots.as_ptr(),
+            before,
+            "storage is allocated exactly once"
+        );
+        assert_eq!(q.drops(), 10);
     }
 }

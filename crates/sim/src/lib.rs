@@ -6,9 +6,14 @@
 //! instance. The kernel is intentionally small:
 //!
 //! * [`Time`] — nanosecond-resolution simulated clock.
-//! * [`Sim`] — an event heap of boxed closures ordered by `(time, seq)`.
-//!   Event sequence numbers make execution **fully deterministic**: two runs
-//!   with the same seed replay the same event order bit-for-bit.
+//! * [`Sim`] — an event queue of boxed closures ordered by `(time, seq)`,
+//!   implemented as a calendar/timing wheel (with a [`SchedulerKind::Heap`]
+//!   binary-heap oracle for differential testing). Event sequence numbers
+//!   make execution **fully deterministic**: two runs with the same seed
+//!   replay the same event order bit-for-bit under either scheduler.
+//! * [`Bytes`] / [`BufferPool`] — cheaply-clonable shared payload buffers
+//!   and a per-`Sim` scratch pool, so moving a message through the model
+//!   costs an `Rc` bump instead of a payload copy.
 //! * [`Server`] / [`MultiServer`] — FIFO work-conserving service resources
 //!   used to model CPU cores, DMA engines and pipeline stages.
 //! * [`Histogram`] — HDR-style log-bucketed latency histogram (≤1.6 %
@@ -42,6 +47,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bytes;
 pub mod faults;
 mod fifo;
 mod histogram;
@@ -53,10 +59,13 @@ mod time;
 
 pub mod rng;
 
+pub use bytes::{BufferPool, Bytes};
 pub use faults::{FaultAction, FaultInjector, FaultPlan, FaultRule, Trigger};
 pub use fifo::{Fifo, FifoFullError};
 pub use histogram::Histogram;
 pub use server::{MultiServer, Server};
-pub use sim::Sim;
-pub use telemetry::{CounterRegistry, Telemetry, TraceEvent, TraceRecord};
+pub use sim::{SchedulerKind, Sim};
+pub use telemetry::{
+    CounterId, CounterRegistry, GaugeId, SiteCounter, SiteGauge, Telemetry, TraceEvent, TraceRecord,
+};
 pub use time::Time;

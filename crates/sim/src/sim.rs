@@ -1,13 +1,30 @@
 //! The discrete-event scheduler.
+//!
+//! Events execute in `(time, insertion-sequence)` order. Two event-queue
+//! implementations provide that order:
+//!
+//! * [`SchedulerKind::Wheel`] (default) — a calendar/timing-wheel queue:
+//!   near-future events hash into a ring of time slots (O(1) insert),
+//!   far-future events wait in a sorted overflow map and are promoted as
+//!   the wheel turns. Only the currently active slot is kept heap-ordered,
+//!   so push/pop cost no longer grows with the total number of pending
+//!   events the way a global binary heap's does.
+//! * [`SchedulerKind::Heap`] — the original global `BinaryHeap`, kept as a
+//!   differential-testing oracle.
+//!
+//! Both pop the exact same `(time, seq)` sequence, so same-seed runs are
+//! byte-identical under either scheduler (see `tests/determinism.rs`).
+//! Set `LYNX_SCHED=heap` to force the heap without code changes.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::bytes::BufferPool;
 use crate::faults::{FaultAction, FaultInjector, FaultPlan};
 use crate::telemetry::{Telemetry, TraceEvent};
 use crate::Time;
@@ -42,6 +59,236 @@ impl Ord for Entry {
     }
 }
 
+/// Which event-queue implementation a [`Sim`] schedules on.
+///
+/// Both produce the identical `(time, seq)` execution order; the wheel is
+/// the fast default, the heap is retained as a differential-testing
+/// oracle (and as an `LYNX_SCHED=heap` escape hatch).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Calendar/timing-wheel queue: O(1) near-future inserts, sorted
+    /// overflow for the far future. The default.
+    #[default]
+    Wheel,
+    /// The original global `BinaryHeap` queue.
+    Heap,
+}
+
+impl SchedulerKind {
+    /// Reads the scheduler choice from the `LYNX_SCHED` environment
+    /// variable: `"heap"` selects [`SchedulerKind::Heap`], anything else
+    /// (including unset) selects the default wheel.
+    pub fn from_env() -> SchedulerKind {
+        match std::env::var("LYNX_SCHED") {
+            Ok(v) if v.eq_ignore_ascii_case("heap") => SchedulerKind::Heap,
+            _ => SchedulerKind::Wheel,
+        }
+    }
+}
+
+/// Log2 of the wheel's slot width: each slot covers 1024 ns (~1 µs), the
+/// natural grain of the NIC/PCIe/stack latencies this simulator models.
+const SLOT_SHIFT: u32 = 10;
+/// Number of slots on the wheel ring; horizon = `SLOTS << SLOT_SHIFT`
+/// (≈262 µs). Must stay a multiple of 64 for the occupancy bitmap.
+const SLOTS: usize = 256;
+const BITMAP_WORDS: usize = SLOTS / 64;
+
+/// A calendar-queue / timing-wheel event queue.
+///
+/// Invariants (with `base` = absolute index of the active slot,
+/// `slot(t) = t.as_nanos() >> SLOT_SHIFT`):
+///
+/// * `active` (a small binary heap) holds every pending event with
+///   `slot(at) <= base` — its minimum is therefore the global minimum;
+/// * `ring[s % SLOTS]` holds events with `base < slot(at) < base + SLOTS`,
+///   unordered (they are heapified wholesale when their slot activates);
+/// * `overflow` (sorted by `(time, seq)`) holds events at or beyond the
+///   horizon and is drained into the ring as `base` advances.
+struct TimingWheel {
+    ring: Vec<Vec<Entry>>,
+    occupied: [u64; BITMAP_WORDS],
+    base: u64,
+    active: BinaryHeap<Entry>,
+    overflow: BTreeMap<(u64, u64), EventFn>,
+    len: usize,
+}
+
+impl TimingWheel {
+    fn new() -> TimingWheel {
+        TimingWheel {
+            ring: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; BITMAP_WORDS],
+            base: 0,
+            active: BinaryHeap::new(),
+            overflow: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_of(at: Time) -> u64 {
+        at.as_nanos() >> SLOT_SHIFT
+    }
+
+    #[inline]
+    fn mark(&mut self, idx: usize) {
+        self.occupied[idx / 64] |= 1 << (idx % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, idx: usize) {
+        self.occupied[idx / 64] &= !(1 << (idx % 64));
+    }
+
+    fn push(&mut self, entry: Entry) {
+        self.len += 1;
+        let s = Self::slot_of(entry.at);
+        if s <= self.base {
+            // Active (or already-passed) slot: the heap keeps it ordered.
+            self.active.push(entry);
+        } else if s < self.base + SLOTS as u64 {
+            let idx = (s % SLOTS as u64) as usize;
+            self.ring[idx].push(entry);
+            self.mark(idx);
+        } else {
+            self.overflow
+                .insert((entry.at.as_nanos(), entry.seq), entry.f);
+        }
+    }
+
+    /// Advances `base` to the next non-empty slot (promoting overflow
+    /// entries that come into the horizon) and heapifies it into `active`.
+    /// No-op when `active` is already non-empty. Returns `false` when the
+    /// queue is completely empty.
+    fn refill(&mut self) -> bool {
+        if !self.active.is_empty() {
+            return true;
+        }
+        if self.len == 0 {
+            return false;
+        }
+        // Find the nearest occupied ring slot after `base` (the ring only
+        // ever holds slots strictly inside the horizon, so scanning one
+        // revolution of the bitmap is exhaustive).
+        let mut next_ring: Option<u64> = None;
+        for d in 1..SLOTS as u64 {
+            let idx = ((self.base + d) % SLOTS as u64) as usize;
+            if self.occupied[idx / 64] & (1 << (idx % 64)) != 0 {
+                next_ring = Some(self.base + d);
+                break;
+            }
+        }
+        let next_overflow = self.overflow.keys().next().map(|&(ns, _)| ns >> SLOT_SHIFT);
+        let target = match (next_ring, next_overflow) {
+            // Ring slots are strictly inside the horizon, overflow at or
+            // beyond it, so an occupied ring slot is always nearer.
+            (Some(r), _) => r,
+            (None, Some(o)) => o,
+            (None, None) => return false,
+        };
+        self.base = target;
+        let idx = (target % SLOTS as u64) as usize;
+        let slot = std::mem::take(&mut self.ring[idx]);
+        self.clear(idx);
+        self.active.extend(slot);
+        // The horizon moved: promote overflow events that now fit. Events
+        // landing exactly on the new base go straight to the active heap.
+        let horizon = self.base + SLOTS as u64;
+        while let Some(&(ns, seq)) = self.overflow.keys().next() {
+            if ns >> SLOT_SHIFT >= horizon {
+                break;
+            }
+            let f = self.overflow.remove(&(ns, seq)).expect("peeked key");
+            let entry = Entry {
+                at: Time::from_nanos(ns),
+                seq,
+                f,
+            };
+            let s = ns >> SLOT_SHIFT;
+            if s <= self.base {
+                self.active.push(entry);
+            } else {
+                let idx = (s % SLOTS as u64) as usize;
+                self.ring[idx].push(entry);
+                self.mark(idx);
+            }
+        }
+        !self.active.is_empty() || self.refill()
+    }
+
+    fn peek_at(&mut self) -> Option<Time> {
+        if !self.refill() {
+            return None;
+        }
+        self.active.peek().map(|e| e.at)
+    }
+
+    fn pop(&mut self) -> Option<Entry> {
+        if !self.refill() {
+            return None;
+        }
+        let e = self.active.pop();
+        if e.is_some() {
+            self.len -= 1;
+        }
+        e
+    }
+}
+
+/// The pluggable event queue behind [`Sim`].
+enum Queue {
+    Wheel(TimingWheel),
+    Heap(BinaryHeap<Entry>),
+}
+
+impl Queue {
+    fn new(kind: SchedulerKind) -> Queue {
+        match kind {
+            SchedulerKind::Wheel => Queue::Wheel(TimingWheel::new()),
+            SchedulerKind::Heap => Queue::Heap(BinaryHeap::new()),
+        }
+    }
+
+    fn kind(&self) -> SchedulerKind {
+        match self {
+            Queue::Wheel(_) => SchedulerKind::Wheel,
+            Queue::Heap(_) => SchedulerKind::Heap,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, entry: Entry) {
+        match self {
+            Queue::Wheel(w) => w.push(entry),
+            Queue::Heap(h) => h.push(entry),
+        }
+    }
+
+    #[inline]
+    fn peek_at(&mut self) -> Option<Time> {
+        match self {
+            Queue::Wheel(w) => w.peek_at(),
+            Queue::Heap(h) => h.peek().map(|e| e.at),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Entry> {
+        match self {
+            Queue::Wheel(w) => w.pop(),
+            Queue::Heap(h) => h.pop(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Queue::Wheel(w) => w.len,
+            Queue::Heap(h) => h.len(),
+        }
+    }
+}
+
 /// A deterministic discrete-event simulator.
 ///
 /// Events are closures executed in `(time, insertion-sequence)` order, which
@@ -71,22 +318,24 @@ impl Ord for Entry {
 pub struct Sim {
     now: Time,
     seq: u64,
-    heap: BinaryHeap<Entry>,
+    queue: Queue,
     rng: StdRng,
     seed: u64,
     stopped: bool,
     executed: u64,
     telemetry: Option<Telemetry>,
     faults: Option<FaultInjector>,
+    pool: BufferPool,
 }
 
 impl fmt::Debug for Sim {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Sim")
             .field("now", &self.now)
-            .field("pending", &self.heap.len())
+            .field("pending", &self.queue.len())
             .field("executed", &self.executed)
             .field("seed", &self.seed)
+            .field("scheduler", &self.queue.kind())
             .field("stopped", &self.stopped)
             .field("telemetry", &self.telemetry.is_some())
             .field("faults", &self.faults.is_some())
@@ -96,18 +345,44 @@ impl fmt::Debug for Sim {
 
 impl Sim {
     /// Creates a simulator whose random stream is derived from `seed`.
+    ///
+    /// The event queue defaults to the timing wheel; set `LYNX_SCHED=heap`
+    /// (or use [`Sim::with_scheduler`]) to select the binary-heap oracle.
     pub fn new(seed: u64) -> Sim {
+        Sim::with_scheduler(seed, SchedulerKind::from_env())
+    }
+
+    /// Creates a simulator on an explicit event-queue implementation.
+    ///
+    /// Used by differential tests that run the same workload under both
+    /// schedulers and assert byte-identical telemetry.
+    pub fn with_scheduler(seed: u64, kind: SchedulerKind) -> Sim {
         Sim {
             now: Time::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue: Queue::new(kind),
             rng: StdRng::seed_from_u64(seed),
             seed,
             stopped: false,
             executed: 0,
             telemetry: None,
             faults: None,
+            pool: BufferPool::new(),
         }
+    }
+
+    /// Which event-queue implementation this simulator runs on.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.queue.kind()
+    }
+
+    /// The simulator's scratch-buffer pool (a cheap clone of the handle).
+    ///
+    /// Hot-path encoders take recycled `Vec<u8>`s from here instead of
+    /// allocating; see [`BufferPool`].
+    #[inline]
+    pub fn buffers(&self) -> BufferPool {
+        self.pool.clone()
     }
 
     /// Attaches a [`Telemetry`] sink (idempotent) and returns a handle to
@@ -140,7 +415,10 @@ impl Sim {
     /// Adds `delta` to counter `name` when telemetry is enabled.
     ///
     /// Takes a `&'static str` so the disabled path never formats a name;
-    /// sites with dynamic names go through [`Sim::telemetry`] instead.
+    /// sites with dynamic names go through [`Sim::telemetry`] instead, and
+    /// per-packet sites intern a
+    /// [`CounterId`](crate::telemetry::CounterId) once and use
+    /// [`Telemetry::add_by_id`] thereafter.
     #[inline]
     pub fn count(&self, name: &'static str, delta: u64) {
         if let Some(t) = &self.telemetry {
@@ -217,9 +495,9 @@ impl Sim {
         &mut self.rng
     }
 
-    /// Number of events waiting in the heap.
+    /// Number of events waiting in the queue.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.queue.len()
     }
 
     /// Number of events executed so far.
@@ -240,7 +518,7 @@ impl Sim {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry {
+        self.queue.push(Entry {
             at,
             seq,
             f: Box::new(f),
@@ -253,22 +531,22 @@ impl Sim {
         self.stopped = true;
     }
 
-    /// Runs until the event heap drains or [`Sim::stop`] is called.
+    /// Runs until the event queue drains or [`Sim::stop`] is called.
     pub fn run(&mut self) {
         self.run_until(Time::MAX);
     }
 
     /// Runs every event scheduled at or before `deadline`, then advances the
-    /// clock to `deadline` (unless the heap drained earlier or the run was
+    /// clock to `deadline` (unless the queue drained earlier or the run was
     /// stopped, in which case the clock stays at the last event).
     pub fn run_until(&mut self, deadline: Time) {
         self.stopped = false;
-        while let Some(top) = self.heap.peek() {
-            if top.at > deadline {
+        while let Some(at) = self.queue.peek_at() {
+            if at > deadline {
                 break;
             }
-            let entry = self.heap.pop().expect("peeked entry must pop");
-            debug_assert!(entry.at >= self.now, "event heap went back in time");
+            let entry = self.queue.pop().expect("peeked entry must pop");
+            debug_assert!(entry.at >= self.now, "event queue went back in time");
             self.now = entry.at;
             self.executed += 1;
             (entry.f)(self);
@@ -381,5 +659,105 @@ mod tests {
         };
         assert_eq!(draw(99), draw(99));
         assert_ne!(draw(99), draw(100));
+    }
+
+    /// Runs the same randomized schedule under both queue implementations
+    /// and returns the two observed execution orders.
+    fn orders_for(spec: &[(u64, u32)]) -> (Vec<u32>, Vec<u32>) {
+        let run = |kind: SchedulerKind| {
+            let mut sim = Sim::with_scheduler(3, kind);
+            let order = Rc::new(RefCell::new(Vec::new()));
+            for &(ns, tag) in spec {
+                let order = Rc::clone(&order);
+                sim.schedule_at(Time::from_nanos(ns), move |_| {
+                    order.borrow_mut().push(tag);
+                });
+            }
+            sim.run();
+            Rc::try_unwrap(order).unwrap().into_inner()
+        };
+        (run(SchedulerKind::Wheel), run(SchedulerKind::Heap))
+    }
+
+    #[test]
+    fn wheel_matches_heap_on_mixed_horizons() {
+        // Same slot, adjacent slots, far beyond the wheel horizon, and
+        // ties — the wheel must reproduce the heap's order exactly.
+        let spec: Vec<(u64, u32)> = vec![
+            (500, 0),
+            (500, 1),         // tie in the same slot
+            (1_100, 2),       // next slot
+            (300_000, 3),     // beyond the 262 µs horizon → overflow
+            (5_000_000, 4),   // deep overflow
+            (5_000_000, 5),   // overflow tie
+            (299_999, 6),     // just inside horizon after promotion
+            (0, 7),           // slot 0
+            (262_144, 8),     // exactly at the initial horizon boundary
+            (100_000_000, 9), // very deep overflow
+        ];
+        let (wheel, heap) = orders_for(&spec);
+        assert_eq!(wheel, heap);
+        assert_eq!(wheel, vec![7, 0, 1, 2, 8, 6, 3, 4, 5, 9]);
+    }
+
+    #[test]
+    fn wheel_promotes_overflow_through_nested_schedules() {
+        // A chain where each event schedules the next one several horizons
+        // out, interleaved with same-time ties.
+        let mut sim = Sim::with_scheduler(5, SchedulerKind::Wheel);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        fn chain(sim: &mut Sim, order: Rc<RefCell<Vec<u64>>>, depth: u64) {
+            if depth == 6 {
+                return;
+            }
+            let o2 = Rc::clone(&order);
+            sim.schedule_in(Duration::from_micros(400), move |sim| {
+                o2.borrow_mut().push(depth);
+                chain(sim, order, depth + 1);
+            });
+        }
+        chain(&mut sim, Rc::clone(&order), 0);
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(sim.now(), Time::from_micros(2_400));
+    }
+
+    #[test]
+    fn scheduler_env_and_explicit_selection() {
+        let sim = Sim::with_scheduler(1, SchedulerKind::Heap);
+        assert_eq!(sim.scheduler(), SchedulerKind::Heap);
+        let sim = Sim::with_scheduler(1, SchedulerKind::Wheel);
+        assert_eq!(sim.scheduler(), SchedulerKind::Wheel);
+    }
+
+    #[test]
+    fn pending_counts_ring_and_overflow() {
+        let mut sim = Sim::with_scheduler(1, SchedulerKind::Wheel);
+        sim.schedule_at(Time::from_nanos(10), |_| {});
+        sim.schedule_at(Time::from_micros(100), |_| {});
+        sim.schedule_at(Time::from_millis(50), |_| {}); // overflow
+        assert_eq!(sim.pending(), 3);
+        sim.run_until(Time::from_micros(200));
+        assert_eq!(sim.pending(), 1);
+        sim.run();
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.executed(), 3);
+    }
+
+    #[test]
+    fn schedule_after_partial_run_keeps_order() {
+        // After run_until advanced the clock past the wheel base, a new
+        // near-now event must still run before older far events.
+        let mut sim = Sim::with_scheduler(1, SchedulerKind::Wheel);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let o = Rc::clone(&order);
+        sim.schedule_at(Time::from_millis(1), move |_| o.borrow_mut().push("far"));
+        sim.run_until(Time::from_micros(500));
+        let o = Rc::clone(&order);
+        sim.schedule_in(Duration::from_micros(1), move |_| {
+            o.borrow_mut().push("near")
+        });
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["near", "far"]);
     }
 }

@@ -24,7 +24,7 @@
 //! produce byte-identical output. See `docs/OBSERVABILITY.md` for the
 //! event taxonomy and counter naming scheme.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
@@ -306,16 +306,40 @@ impl fmt::Display for DuplicateCounterError {
 
 impl std::error::Error for DuplicateCounterError {}
 
+/// An interned handle to one counter in a [`CounterRegistry`].
+///
+/// Obtained once via [`CounterRegistry::intern`] (or
+/// [`Telemetry::counter_id`]) — typically cached in a component field —
+/// and then used with [`CounterRegistry::add_by_id`] /
+/// [`Telemetry::add_by_id`], which index a flat `Vec<u64>` instead of
+/// walking a string-keyed map. This is the hot-path form of the counter
+/// API: per-packet instrumentation sites pay one integer index per
+/// increment instead of a name lookup (and, for dynamic names, a
+/// `format!`) per packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CounterId(u32);
+
+/// An interned handle to one gauge in a [`CounterRegistry`]; the gauge
+/// counterpart of [`CounterId`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GaugeId(u32);
+
 /// Registry of named monotonic counters and point-in-time gauges.
 ///
 /// Counters are `u64` and only ever increase ([`CounterRegistry::add`]);
 /// gauges are `f64` samples that overwrite ([`CounterRegistry::set_gauge`]).
-/// Both live in `BTreeMap`s so snapshots iterate in sorted name order —
-/// a determinism requirement, not a cosmetic choice.
+/// Values live in flat vectors indexed by interned [`CounterId`] /
+/// [`GaugeId`] handles; the name→id maps are `BTreeMap`s so snapshots
+/// iterate in sorted name order — a determinism requirement, not a
+/// cosmetic choice. The string API ([`CounterRegistry::add`]) stays for
+/// cold paths; hot paths intern once and use
+/// [`CounterRegistry::add_by_id`].
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct CounterRegistry {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
+    counter_ids: BTreeMap<String, u32>,
+    counter_values: Vec<u64>,
+    gauge_ids: BTreeMap<String, u32>,
+    gauge_values: Vec<f64>,
 }
 
 impl CounterRegistry {
@@ -331,52 +355,224 @@ impl CounterRegistry {
     /// snapshots even when never incremented.
     pub fn register(&mut self, name: impl Into<String>) -> Result<(), DuplicateCounterError> {
         let name = name.into();
-        if self.counters.contains_key(&name) {
+        if self.counter_ids.contains_key(&name) {
             return Err(DuplicateCounterError { name });
         }
-        self.counters.insert(name, 0);
+        self.intern(&name);
         Ok(())
+    }
+
+    /// Interns `name`, creating the counter at zero if new, and returns
+    /// its stable [`CounterId`] handle.
+    pub fn intern(&mut self, name: &str) -> CounterId {
+        if let Some(&id) = self.counter_ids.get(name) {
+            return CounterId(id);
+        }
+        let id = self.counter_values.len() as u32;
+        self.counter_values.push(0);
+        self.counter_ids.insert(name.to_string(), id);
+        CounterId(id)
+    }
+
+    /// Interns gauge `name` (created unset, reading as absent until the
+    /// first [`CounterRegistry::set_gauge_by_id`]) and returns its handle.
+    pub fn intern_gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(&id) = self.gauge_ids.get(name) {
+            return GaugeId(id);
+        }
+        let id = self.gauge_values.len() as u32;
+        self.gauge_values.push(f64::NAN);
+        self.gauge_ids.insert(name.to_string(), id);
+        GaugeId(id)
+    }
+
+    /// Adds `delta` to the counter behind an interned handle — a plain
+    /// vector index, no name lookup.
+    #[inline]
+    pub fn add_by_id(&mut self, id: CounterId, delta: u64) {
+        self.counter_values[id.0 as usize] += delta;
+    }
+
+    /// Current value of the counter behind an interned handle.
+    #[inline]
+    pub fn get_by_id(&self, id: CounterId) -> u64 {
+        self.counter_values[id.0 as usize]
+    }
+
+    /// Sets the gauge behind an interned handle.
+    #[inline]
+    pub fn set_gauge_by_id(&mut self, id: GaugeId, value: f64) {
+        self.gauge_values[id.0 as usize] = value;
     }
 
     /// Adds `delta` to the counter `name`, creating it at zero first if
     /// it has not been seen before.
     pub fn add(&mut self, name: &str, delta: u64) {
-        match self.counters.get_mut(name) {
-            Some(v) => *v += delta,
-            None => {
-                self.counters.insert(name.to_string(), delta);
-            }
-        }
+        let id = self.intern(name);
+        self.add_by_id(id, delta);
     }
 
     /// Sets the gauge `name` to `value`, creating it if needed.
     pub fn set_gauge(&mut self, name: &str, value: f64) {
-        match self.gauges.get_mut(name) {
-            Some(v) => *v = value,
-            None => {
-                self.gauges.insert(name.to_string(), value);
-            }
-        }
+        let id = self.intern_gauge(name);
+        self.set_gauge_by_id(id, value);
     }
 
     /// Current value of counter `name` (zero if never touched).
     pub fn get(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counter_ids
+            .get(name)
+            .map(|&id| self.counter_values[id as usize])
+            .unwrap_or(0)
     }
 
     /// Current value of gauge `name`, if it has been set.
     pub fn get_gauge(&self, name: &str) -> Option<f64> {
-        self.gauges.get(name).copied()
+        let v = self
+            .gauge_ids
+            .get(name)
+            .map(|&id| self.gauge_values[id as usize])?;
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Number of registered counters.
+    pub fn len(&self) -> usize {
+        self.counter_ids.len()
+    }
+
+    /// Whether no counters have been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.counter_ids.is_empty()
     }
 
     /// All counters as `(name, value)` pairs in sorted name order.
     pub fn snapshot(&self) -> Vec<(String, u64)> {
-        self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect()
+        self.counter_ids
+            .iter()
+            .map(|(k, &id)| (k.clone(), self.counter_values[id as usize]))
+            .collect()
     }
 
     /// All gauges as `(name, value)` pairs in sorted name order.
+    ///
+    /// Gauges interned but never set are omitted, matching the behaviour
+    /// of the string API where a gauge only exists once written.
     pub fn gauges(&self) -> Vec<(String, f64)> {
-        self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect()
+        self.gauge_ids
+            .iter()
+            .filter_map(|(k, &id)| {
+                let v = self.gauge_values[id as usize];
+                if v.is_nan() {
+                    None
+                } else {
+                    Some((k.clone(), v))
+                }
+            })
+            .collect()
+    }
+
+    /// Iterates `(name, value)` counter pairs in sorted name order without
+    /// allocating the snapshot vector.
+    fn iter_counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counter_ids
+            .iter()
+            .map(|(k, &id)| (k.as_str(), self.counter_values[id as usize]))
+    }
+}
+
+/// A lazily-interned counter handle cached at one instrumentation site.
+///
+/// Hot-path sites embed a `SiteCounter` next to their component state; the
+/// first increment interns the (possibly `format!`-built) name into the
+/// registry and caches the [`CounterId`], so every later increment is a
+/// vector index — no name lookup, no allocation. Because interning happens
+/// on the first *increment*, the registry's counter set stays identical to
+/// what the string API would have produced.
+///
+/// A cached id belongs to the [`Telemetry`] instance that interned it;
+/// call [`SiteCounter::reset`] if the component is ever re-bound to a
+/// different sink.
+#[derive(Debug, Default)]
+pub struct SiteCounter {
+    id: Cell<Option<CounterId>>,
+}
+
+impl SiteCounter {
+    /// Creates an unbound site handle.
+    pub fn new() -> SiteCounter {
+        SiteCounter::default()
+    }
+
+    /// Adds `delta` to the counter, interning `name` on the first call.
+    ///
+    /// For dynamically-named sites prefer [`SiteCounter::add_with`], which
+    /// defers building the name to the one call that needs it.
+    #[inline]
+    pub fn add(&self, t: &Telemetry, name: &str, delta: u64) {
+        match self.id.get() {
+            Some(id) => t.add_by_id(id, delta),
+            None => {
+                let id = t.counter_id(name);
+                self.id.set(Some(id));
+                t.add_by_id(id, delta);
+            }
+        }
+    }
+
+    /// Adds `delta`, building the name with `name()` only on the first
+    /// call — the `format!` for a dynamic counter name runs once per site,
+    /// not once per packet.
+    #[inline]
+    pub fn add_with(&self, t: &Telemetry, name: impl FnOnce() -> String, delta: u64) {
+        match self.id.get() {
+            Some(id) => t.add_by_id(id, delta),
+            None => {
+                let id = t.counter_id(&name());
+                self.id.set(Some(id));
+                t.add_by_id(id, delta);
+            }
+        }
+    }
+
+    /// Drops the cached id (for components re-bound to a new sink).
+    pub fn reset(&self) {
+        self.id.set(None);
+    }
+}
+
+/// The gauge counterpart of [`SiteCounter`].
+#[derive(Debug, Default)]
+pub struct SiteGauge {
+    id: Cell<Option<GaugeId>>,
+}
+
+impl SiteGauge {
+    /// Creates an unbound site handle.
+    pub fn new() -> SiteGauge {
+        SiteGauge::default()
+    }
+
+    /// Sets the gauge, building the name with `name()` only on the first
+    /// call.
+    #[inline]
+    pub fn set_with(&self, t: &Telemetry, name: impl FnOnce() -> String, value: f64) {
+        match self.id.get() {
+            Some(id) => t.set_gauge_by_id(id, value),
+            None => {
+                let id = t.gauge_id(&name());
+                self.id.set(Some(id));
+                t.set_gauge_by_id(id, value);
+            }
+        }
+    }
+
+    /// Drops the cached id (for components re-bound to a new sink).
+    pub fn reset(&self) {
+        self.id.set(None);
     }
 }
 
@@ -400,8 +596,8 @@ impl fmt::Debug for Telemetry {
         let inner = self.inner.borrow();
         f.debug_struct("Telemetry")
             .field("events", &inner.records.len())
-            .field("counters", &inner.registry.counters.len())
-            .field("gauges", &inner.registry.gauges.len())
+            .field("counters", &inner.registry.counter_ids.len())
+            .field("gauges", &inner.registry.gauge_ids.len())
             .finish()
     }
 }
@@ -445,6 +641,40 @@ impl Telemetry {
     /// Pre-registers counter `name`; errors if already registered.
     pub fn register_counter(&self, name: impl Into<String>) -> Result<(), DuplicateCounterError> {
         self.inner.borrow_mut().registry.register(name)
+    }
+
+    /// Interns counter `name` (creating it at zero if new) and returns a
+    /// stable [`CounterId`] for hot-path increments via
+    /// [`Telemetry::add_by_id`].
+    ///
+    /// Per-packet instrumentation sites call this once — typically caching
+    /// the id in a `Cell` next to the component state — so the steady
+    /// state pays a vector index instead of a name lookup per packet.
+    pub fn counter_id(&self, name: &str) -> CounterId {
+        self.inner.borrow_mut().registry.intern(name)
+    }
+
+    /// Adds `delta` to an interned counter — the hot-path increment.
+    #[inline]
+    pub fn add_by_id(&self, id: CounterId, delta: u64) {
+        self.inner.borrow_mut().registry.add_by_id(id, delta);
+    }
+
+    /// Current value of an interned counter.
+    pub fn counter_by_id(&self, id: CounterId) -> u64 {
+        self.inner.borrow().registry.get_by_id(id)
+    }
+
+    /// Interns gauge `name` and returns a stable [`GaugeId`] for hot-path
+    /// samples via [`Telemetry::set_gauge_by_id`].
+    pub fn gauge_id(&self, name: &str) -> GaugeId {
+        self.inner.borrow_mut().registry.intern_gauge(name)
+    }
+
+    /// Sets an interned gauge — the hot-path sample.
+    #[inline]
+    pub fn set_gauge_by_id(&self, id: GaugeId, value: f64) {
+        self.inner.borrow_mut().registry.set_gauge_by_id(id, value);
     }
 
     /// Current value of counter `name`.
@@ -555,10 +785,10 @@ impl Telemetry {
     pub fn counters_csv(&self) -> String {
         let inner = self.inner.borrow();
         let mut out = String::from("name,value\n");
-        for (k, v) in inner.registry.counters.iter() {
+        for (k, v) in inner.registry.iter_counters() {
             let _ = writeln!(out, "{k},{v}");
         }
-        for (k, v) in inner.registry.gauges.iter() {
+        for (k, v) in inner.registry.gauges() {
             let _ = writeln!(out, "{k},{v}");
         }
         out
@@ -611,6 +841,81 @@ mod tests {
         assert_eq!(names, vec!["alpha", "mid", "zeta"]);
         let gnames: Vec<_> = reg.gauges().into_iter().map(|(n, _)| n).collect();
         assert_eq!(gnames, vec!["a.g", "z.g"]);
+    }
+
+    #[test]
+    fn interned_ids_alias_the_string_api() {
+        let mut reg = CounterRegistry::new();
+        let id = reg.intern("pkts");
+        reg.add_by_id(id, 5);
+        reg.add("pkts", 2); // string API hits the same slot
+        assert_eq!(reg.get("pkts"), 7);
+        assert_eq!(reg.get_by_id(id), 7);
+        assert_eq!(reg.intern("pkts"), id, "interning is idempotent");
+
+        let g = reg.intern_gauge("depth");
+        assert_eq!(reg.get_gauge("depth"), None, "unset gauge reads absent");
+        reg.set_gauge_by_id(g, 3.5);
+        assert_eq!(reg.get_gauge("depth"), Some(3.5));
+        reg.set_gauge("depth", 4.5);
+        assert_eq!(reg.get_gauge("depth"), Some(4.5));
+    }
+
+    #[test]
+    fn interned_counters_keep_snapshots_sorted() {
+        let mut reg = CounterRegistry::new();
+        let z = reg.intern("zeta");
+        let a = reg.intern("alpha");
+        reg.add_by_id(z, 1);
+        reg.add_by_id(a, 2);
+        assert_eq!(
+            reg.snapshot(),
+            vec![("alpha".to_string(), 2), ("zeta".to_string(), 1)],
+            "snapshot order is by name, not by interning order"
+        );
+        let g = reg.intern_gauge("never-set");
+        let _ = g;
+        assert!(reg.gauges().is_empty(), "unset gauges stay out of exports");
+    }
+
+    #[test]
+    fn site_counter_interns_once() {
+        let t = Telemetry::new();
+        let site = SiteCounter::new();
+        let mut formats = 0;
+        for _ in 0..5 {
+            site.add_with(
+                &t,
+                || {
+                    formats += 1;
+                    format!("net.{}.rx_msgs", "h0")
+                },
+                2,
+            );
+        }
+        assert_eq!(formats, 1, "dynamic name is built exactly once");
+        assert_eq!(t.counter("net.h0.rx_msgs"), 10);
+        site.reset();
+        site.add(&t, "net.h0.rx_msgs", 1);
+        assert_eq!(t.counter("net.h0.rx_msgs"), 11);
+
+        let g = SiteGauge::new();
+        g.set_with(&t, || "q.depth".to_string(), 2.0);
+        g.set_with(&t, || unreachable!("name must be cached"), 3.0);
+        assert_eq!(t.gauges(), vec![("q.depth".to_string(), 3.0)]);
+    }
+
+    #[test]
+    fn telemetry_handle_id_api() {
+        let t = Telemetry::new();
+        let id = t.counter_id("hot.path");
+        t.add_by_id(id, 3);
+        t.add_by_id(id, 4);
+        assert_eq!(t.counter("hot.path"), 7);
+        assert_eq!(t.counter_by_id(id), 7);
+        let g = t.gauge_id("hot.depth");
+        t.set_gauge_by_id(g, 0.5);
+        assert_eq!(t.gauges(), vec![("hot.depth".to_string(), 0.5)]);
     }
 
     #[test]

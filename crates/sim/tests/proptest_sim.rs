@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 
-use lynx_sim::{Fifo, Histogram, Server, Sim, Time};
+use lynx_sim::{Fifo, Histogram, SchedulerKind, Server, Sim, Time};
 
 proptest! {
     /// Percentile queries are monotone in `p` and bounded by the exact
@@ -121,6 +121,52 @@ proptest! {
             .map(|&us| (Duration::from_micros(us).as_nanos() as f64 / speed).round() as u64)
             .sum();
         prop_assert_eq!(server.busy_time().as_nanos() as u64, expect_ns);
+    }
+
+    /// The timing wheel pops events in exactly `(time, seq)` order: the
+    /// schedule-time mix spans near-future slots, same-slot ties, and
+    /// far-future times beyond the wheel horizon (which sit in the sorted
+    /// overflow until `base` advances and promotes them). The executed
+    /// sequence must equal a stable sort of the input by time, and must be
+    /// identical to what the binary-heap oracle produces.
+    #[test]
+    fn wheel_pops_in_time_seq_order_with_overflow_promotion(
+        raw in proptest::collection::vec((0u32..3, 0u64..1_000_000), 1..200)
+    ) {
+        // Three schedule-time buckets: active/nearby wheel slots (lots of
+        // same-slot ties), times straddling the ~262us horizon, and deep
+        // overflow promoted only after many base advances.
+        let times: Vec<u64> = raw
+            .iter()
+            .map(|&(bucket, mag)| match bucket {
+                0 => mag % 2_000,
+                1 => 250_000 + mag % 30_000,
+                _ => 1_000_000 + mag * 49,
+            })
+            .collect();
+        fn execute(kind: SchedulerKind, times: &[u64]) -> Vec<(u64, usize)> {
+            let mut sim = Sim::with_scheduler(0, kind);
+            let seen: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+            for (i, &t) in times.iter().enumerate() {
+                let seen = Rc::clone(&seen);
+                sim.schedule_at(Time::from_nanos(t), move |sim| {
+                    seen.borrow_mut().push((sim.now().as_nanos(), i));
+                });
+            }
+            sim.run();
+            Rc::try_unwrap(seen).unwrap().into_inner()
+        }
+
+        let wheel = execute(SchedulerKind::Wheel, &times);
+        let heap = execute(SchedulerKind::Heap, &times);
+
+        // Reference order: stable sort by time (insertion index breaks ties).
+        let mut expect: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expect.sort_by_key(|&(t, _)| t);
+
+        prop_assert_eq!(&wheel, &expect, "wheel violates (time, seq) order");
+        prop_assert_eq!(&wheel, &heap, "wheel and heap oracle diverge");
     }
 
     /// Events execute in nondecreasing time order regardless of insertion

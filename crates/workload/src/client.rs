@@ -393,7 +393,7 @@ impl LoadClient for TcpClosedLoopClient {
             });
             let shared = Rc::clone(&self.shared);
             let shared2 = Rc::clone(&self.shared);
-            let on_msg = move |sim: &mut Sim, _conn: ConnId, _payload: Vec<u8>| {
+            let on_msg = move |sim: &mut Sim, _conn: ConnId, _payload: lynx_sim::Bytes| {
                 {
                     let mut s = shared.borrow_mut();
                     let sent_at = s.slots[slot].sent_at;

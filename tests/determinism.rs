@@ -8,8 +8,9 @@ use std::time::Duration;
 use lynx::core::testbed::{deploy_processor, DeployConfig, Machine};
 use lynx::device::{DelayProcessor, GpuSpec};
 use lynx::net::{HostStack, LinkSpec, Network, Platform, StackKind, StackProfile};
-use lynx::sim::{MultiServer, Sim};
-use lynx::workload::{run_measured, OpenLoopClient, RunSpec, RunSummary};
+use lynx::sim::{MultiServer, SchedulerKind, Sim, Telemetry};
+use lynx::workload::{run_measured, ClosedLoopClient, OpenLoopClient, RunSpec, RunSummary};
+use lynx::{FaultAction, FaultPlan, Trigger};
 
 fn run_once(seed: u64) -> RunSummary {
     let mut sim = Sim::new(seed);
@@ -56,6 +57,97 @@ fn identical_seeds_reproduce_bit_identical_results() {
         assert_eq!(a.latency.percentile(p), b.latency.percentile(p));
     }
     assert_eq!(a.latency.mean(), b.latency.mean());
+}
+
+/// One fully-traced closed-loop run of the whole Lynx pipeline under an
+/// explicit scheduler backend, optionally with a fault plan armed.
+fn traced_run(seed: u64, kind: SchedulerKind, faults: bool) -> (Telemetry, RunSummary) {
+    let mut sim = Sim::with_scheduler(seed, kind);
+    let telemetry = sim.enable_telemetry();
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 2,
+        ..DeployConfig::default()
+    };
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(DelayProcessor::new(Duration::from_micros(30))),
+    );
+    if faults {
+        // Recoverable CQE errors on the RDMA write path keep the retry
+        // machinery (timers well in the wheel's overflow range) busy.
+        sim.enable_faults(FaultPlan::new(seed).rule_limited(
+            "rdma.write",
+            Trigger::Every {
+                period: 40,
+                offset: 7,
+            },
+            FaultAction::CqeError,
+            6,
+        ));
+    }
+    let host = net.add_host("client", LinkSpec::gbps40());
+    let stack = HostStack::new(
+        &net,
+        host,
+        MultiServer::new(2, 1.0),
+        StackProfile::of(Platform::Xeon, StackKind::Vma),
+    );
+    let client = ClosedLoopClient::new(stack, d.server_addr, 4, Rc::new(|s| vec![s as u8; 64]));
+    let summary = run_measured(&mut sim, &[&client], RunSpec::quick());
+    assert!(summary.received > 100, "received {}", summary.received);
+    if faults {
+        assert!(sim.faults_injected() >= 1, "the fault plan must fire");
+    }
+    (telemetry, summary)
+}
+
+/// The timing-wheel scheduler is an exact drop-in for the binary heap: a
+/// same-seed end-to-end run produces byte-identical telemetry under both
+/// backends — same trace bytes, same counter snapshots, same summary.
+#[test]
+fn wheel_and_heap_schedulers_are_observably_identical() {
+    for faults in [false, true] {
+        let (wheel_t, wheel_s) = traced_run(4242, SchedulerKind::Wheel, faults);
+        let (heap_t, heap_s) = traced_run(4242, SchedulerKind::Heap, faults);
+        assert!(wheel_t.event_count() > 1_000, "trace must be non-trivial");
+        assert_eq!(
+            wheel_t.to_jsonl(),
+            heap_t.to_jsonl(),
+            "trace bytes diverge (faults={faults})"
+        );
+        assert_eq!(wheel_t.to_chrome_trace(), heap_t.to_chrome_trace());
+        assert_eq!(
+            wheel_t.counters_csv(),
+            heap_t.counters_csv(),
+            "counter snapshots diverge (faults={faults})"
+        );
+        assert_eq!(wheel_t.counters(), heap_t.counters());
+        assert_eq!(wheel_t.gauges(), heap_t.gauges());
+        assert_eq!(wheel_s.sent, heap_s.sent);
+        assert_eq!(wheel_s.received, heap_s.received);
+        assert_eq!(wheel_s.throughput, heap_s.throughput);
+        for p in [1.0, 50.0, 99.0, 99.9] {
+            assert_eq!(wheel_s.latency.percentile(p), heap_s.latency.percentile(p));
+        }
+    }
+}
+
+/// `LYNX_SCHED=heap` is the escape hatch: `Sim::new` consults the env
+/// var, `Sim::with_scheduler` pins the backend explicitly.
+#[test]
+fn scheduler_kind_env_escape_hatch_parses() {
+    let expect = match std::env::var("LYNX_SCHED") {
+        Ok(v) if v.eq_ignore_ascii_case("heap") => SchedulerKind::Heap,
+        _ => SchedulerKind::Wheel,
+    };
+    assert_eq!(SchedulerKind::from_env(), expect);
 }
 
 #[test]
