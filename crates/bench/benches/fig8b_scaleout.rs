@@ -11,7 +11,7 @@ use std::time::Duration;
 use lynx_apps::nn::{DigitGenerator, LeNetProcessor};
 use lynx_bench::{client_stack, ShapeReport};
 use lynx_core::testbed::{deploy_processor, DeployConfig, Machine};
-use lynx_core::{MqueueConfig, SnicPlatform};
+use lynx_core::{ControlConfig, MqueueConfig, ServiceId, SnicPlatform};
 use lynx_device::GpuSpec;
 use lynx_sim::Sim;
 use lynx_workload::report::{banner, Table};
@@ -27,6 +27,18 @@ fn payload_fn() -> lynx_workload::PayloadFn {
 /// Deploys LeNet over `local` GPUs on the SmartNIC's machine and `remote`
 /// GPUs spread over two other machines; returns the measured summary.
 fn run(local: usize, remote: usize, window: usize, clients: usize) -> RunSummary {
+    run_with_control(local, remote, window, clients, ControlConfig::disabled()).0
+}
+
+/// Same deployment with the SLO-driven control plane configured; also
+/// returns the worker count the autoscaler converged to.
+fn run_with_control(
+    local: usize,
+    remote: usize,
+    window: usize,
+    clients: usize,
+    control: ControlConfig,
+) -> (RunSummary, usize) {
     let mut sim = Sim::new(1234);
     let net = lynx_net::Network::new();
     let local_machine = Machine::new(&net, "server-0");
@@ -52,6 +64,7 @@ fn run(local: usize, remote: usize, window: usize, clients: usize) -> RunSummary
             slot_size: 1024,
             ..MqueueConfig::default()
         },
+        control,
         ..DeployConfig::default()
     };
     let proc = Rc::new(LeNetProcessor::new(MODEL_SEED));
@@ -75,7 +88,8 @@ fn run(local: usize, remote: usize, window: usize, clients: usize) -> RunSummary
     };
     let summary = run_measured(&mut sim, &refs, spec);
     assert_eq!(summary.invalid, 0);
-    summary
+    let workers = d.server.active_workers(ServiceId::DEFAULT);
+    (summary, workers)
 }
 
 fn main() {
@@ -92,11 +106,46 @@ fn main() {
     let lat_local = run(1, 0, 1, 1);
     let lat_remote = run(0, 1, 1, 1);
 
+    // Elastic variant: the same 12-GPU fleet starts parked down to 4
+    // workers and the SLO-driven control plane scales it out under the
+    // saturation load — it should converge to the static 12-GPU numbers.
+    let (elastic, elastic_workers) = run_with_control(
+        4,
+        8,
+        24,
+        2,
+        ControlConfig {
+            min_workers: 4,
+            slo_p99: Duration::from_millis(1),
+            ..ControlConfig::default()
+        },
+    );
+
+    // Admission variant: 4 GPUs capped at 4 workers with a 10 Kreq/s
+    // admission rate, driven by the 12-GPU load. Excess is shed with an
+    // immediate reject instead of queueing.
+    const ADMIT: f64 = 10_000.0;
+    let (shed, _) = run_with_control(
+        4,
+        0,
+        24,
+        2,
+        ControlConfig {
+            min_workers: 4,
+            max_workers: 4,
+            slo_p99: Duration::from_millis(1),
+            admission_rate: ADMIT,
+            admission_burst: 16.0,
+            ..ControlConfig::default()
+        },
+    );
+
     let mut table = Table::new(&["configuration", "GPUs", "Kreq/s", "per-GPU Kreq/s"]);
     for (name, gpus, s) in [
         ("4 local", 4, &t4),
         ("4 local + 4 remote", 8, &t8),
         ("4 local + 8 remote", 12, &t12),
+        ("elastic 4..12, SLO-driven", elastic_workers, &elastic),
     ] {
         table.row(&[
             name.to_string(),
@@ -113,6 +162,13 @@ fn main() {
         "latency, 1 in flight: local GPU {:.1} us, remote GPU {:.1} us\n",
         lat_local.mean_us(),
         lat_remote.mean_us()
+    );
+    println!(
+        "admission at {:.0} Kreq/s on 4 GPUs: {:.1} Kreq/s served, {} shed, p99 {:.0} us\n",
+        ADMIT / 1e3,
+        shed.kreq_per_sec(),
+        shed.rejected,
+        shed.percentile_us(99.0)
     );
 
     let mut report = ShapeReport::new();
@@ -138,6 +194,31 @@ fn main() {
         "a remote GPU adds ~8us of latency",
         (4.0..=14.0).contains(&extra),
         format!("{extra:.1} us"),
+    );
+    report.check(
+        "the autoscaler converges on the full 12-worker fleet",
+        elastic_workers == 12,
+        format!("{elastic_workers} workers"),
+    );
+    let elastic_ratio = elastic.throughput / t12.throughput;
+    report.check(
+        "elastic throughput matches the static 12-GPU deployment (+-10%)",
+        (0.9..=1.1).contains(&elastic_ratio),
+        format!("{elastic_ratio:.2}x"),
+    );
+    report.check(
+        "admission control serves ~the configured rate, shedding the rest",
+        (0.85 * ADMIT..=1.1 * ADMIT).contains(&shed.throughput) && shed.rejected > 0,
+        format!("{:.1} Kreq/s, {} shed", shed.kreq_per_sec(), shed.rejected),
+    );
+    report.check(
+        "admitted p99 under admission control beats the queueing p99",
+        shed.latency.percentile(99.0) < t4.latency.percentile(99.0),
+        format!(
+            "{:.0} us vs {:.0} us",
+            shed.percentile_us(99.0),
+            t4.percentile_us(99.0)
+        ),
     );
     report.print();
 }

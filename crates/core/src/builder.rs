@@ -12,7 +12,8 @@ use lynx_sim::{Sim, Telemetry};
 
 use crate::pipeline::{BatchPolicy, PipelineConfig};
 use crate::{
-    CostModel, DispatchPolicy, LynxServer, Mqueue, RecoveryConfig, RemoteMqManager, ServiceId,
+    ControlConfig, CostModel, DispatchPolicy, LynxServer, Mqueue, RecoveryConfig, RemoteMqManager,
+    ServiceId,
 };
 
 enum Listener {
@@ -60,6 +61,7 @@ pub struct LynxServerBuilder {
     stack: HostStack,
     costs: Option<CostModel>,
     recovery: RecoveryConfig,
+    control: ControlConfig,
     pipeline: PipelineConfig,
     accels: Vec<RemoteMqManager>,
     services: Vec<ServiceSpec>,
@@ -87,6 +89,7 @@ impl LynxServerBuilder {
             stack,
             costs: None,
             recovery: RecoveryConfig::default(),
+            control: ControlConfig::disabled(),
             pipeline: PipelineConfig::default(),
             accels: Vec::new(),
             services: vec![ServiceSpec {
@@ -116,6 +119,18 @@ impl LynxServerBuilder {
     /// reproduces the pre-recovery server).
     pub fn recovery(mut self, cfg: RecoveryConfig) -> Self {
         self.recovery = cfg;
+        self
+    }
+
+    /// Enables the SLO-driven elastic control plane: telemetry-fed
+    /// scale-out/scale-in of the registered remote-GPU workers plus
+    /// token-bucket admission control (see [`ControlConfig`]). Disabled
+    /// by default — the static server of earlier releases.
+    ///
+    /// The configuration is validated at [`LynxServerBuilder::build`]
+    /// time together with everything else.
+    pub fn control(mut self, cfg: ControlConfig) -> Self {
+        self.control = cfg;
         self
     }
 
@@ -246,6 +261,12 @@ impl LynxServerBuilder {
                 other => other.to_string(),
             });
         }
+        if let Err(e) = self.control.check() {
+            errors.push(match e {
+                crate::Error::Config(msg) => msg,
+                other => other.to_string(),
+            });
+        }
         for (accel, mq, _) in &self.bridges {
             if *accel >= n_accels {
                 errors.push(format!(
@@ -269,6 +290,7 @@ impl LynxServerBuilder {
             costs,
             default_policy,
             self.recovery,
+            self.control,
             stats,
             self.pipeline,
         );

@@ -38,6 +38,7 @@ pub struct Dispatcher {
     policy: DispatchPolicy,
     cursor: usize,
     quarantined: BTreeSet<usize>,
+    parked: BTreeSet<usize>,
 }
 
 impl fmt::Debug for Dispatcher {
@@ -46,6 +47,7 @@ impl fmt::Debug for Dispatcher {
             .field("policy", &self.policy)
             .field("cursor", &self.cursor)
             .field("quarantined", &self.quarantined)
+            .field("parked", &self.parked)
             .finish()
     }
 }
@@ -57,6 +59,7 @@ impl Dispatcher {
             policy,
             cursor: 0,
             quarantined: BTreeSet::new(),
+            parked: BTreeSet::new(),
         }
     }
 
@@ -89,8 +92,39 @@ impl Dispatcher {
         self.quarantined.len()
     }
 
+    /// Parks mqueue `index`: removes it from the eligible set so its
+    /// worker can be quiesced and drained. Idempotent. Parking is the
+    /// control plane's *scale-in* primitive and is deliberately distinct
+    /// from [`Dispatcher::quarantine`]: the health monitor auto-readmits
+    /// quarantined queues once they look healthy again, whereas a parked
+    /// queue stays out of rotation until the control plane explicitly
+    /// [`Dispatcher::unpark`]s it.
+    pub fn park(&mut self, index: usize) {
+        self.parked.insert(index);
+    }
+
+    /// Returns a parked mqueue to rotation (scale-out). Idempotent;
+    /// returns `true` if the queue was actually parked.
+    pub fn unpark(&mut self, index: usize) -> bool {
+        self.parked.remove(&index)
+    }
+
+    /// Whether mqueue `index` is currently parked.
+    pub fn is_parked(&self, index: usize) -> bool {
+        self.parked.contains(&index)
+    }
+
+    /// Number of currently parked mqueues.
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
+    }
+
+    fn excluded(&self, i: usize) -> bool {
+        self.quarantined.contains(&i) || self.parked.contains(&i)
+    }
+
     fn eligible(&self, mqueues: &[Mqueue], i: usize) -> bool {
-        !self.quarantined.contains(&i) && mqueues[i].in_flight() < mqueues[i].config().slots
+        !self.excluded(i) && mqueues[i].in_flight() < mqueues[i].config().slots
     }
 
     /// Picks a target mqueue index for a request from `client_key`,
@@ -103,36 +137,42 @@ impl Dispatcher {
         }
         let n = mqueues.len();
         let start = match self.policy {
-            DispatchPolicy::RoundRobin => {
-                let s = self.cursor;
-                self.cursor = (self.cursor + 1) % n;
-                s
-            }
+            DispatchPolicy::RoundRobin => self.cursor % n,
             DispatchPolicy::LeastLoaded => mqueues
                 .iter()
                 .enumerate()
-                .filter(|(i, _)| !self.quarantined.contains(i))
+                .filter(|(i, _)| !self.excluded(*i))
                 .min_by_key(|(_, q)| q.in_flight())
                 .map(|(i, _)| i)
                 .unwrap_or(0),
             DispatchPolicy::Steering => (client_key % n as u64) as usize,
         };
         // Steering must not fail over to another queue while its target is
-        // healthy (that would break state affinity), but a *quarantined*
-        // target is deterministically re-homed by linear probing — the
-        // client's state is lost with the dead accelerator anyway; the
-        // others skip full/quarantined queues.
-        match self.policy {
+        // healthy (that would break state affinity), but a *quarantined or
+        // parked* target is deterministically re-homed by linear probing —
+        // the client's state is lost with the dead (or drained) accelerator
+        // anyway; the others skip full/quarantined/parked queues.
+        let picked = match self.policy {
             DispatchPolicy::Steering => {
                 let target = (0..n)
                     .map(|i| (start + i) % n)
-                    .find(|&i| !self.quarantined.contains(&i))?;
+                    .find(|&i| !self.excluded(i))?;
                 self.eligible(mqueues, target).then_some(target)
             }
             _ => (0..n)
                 .map(|i| (start + i) % n)
                 .find(|&i| self.eligible(mqueues, i)),
+        };
+        // Round-robin rotates over the *eligible* set: the cursor moves
+        // past the queue actually chosen, so a contiguous run of parked
+        // or full queues doesn't funnel every wrapped pick onto the same
+        // survivor.
+        if self.policy == DispatchPolicy::RoundRobin {
+            if let Some(i) = picked {
+                self.cursor = (i + 1) % n;
+            }
         }
+        picked
     }
 }
 
@@ -265,6 +305,70 @@ mod tests {
         }
         d.readmit(home);
         assert_eq!(d.pick(&qs, 42), Some(home), "affinity restored on readmit");
+    }
+
+    #[test]
+    fn parked_queue_is_skipped_until_unparked() {
+        let qs = queues(3, 4);
+        let mut d = Dispatcher::new(DispatchPolicy::RoundRobin);
+        d.park(2);
+        assert!(d.is_parked(2));
+        assert_eq!(d.parked_count(), 1);
+        let picks: Vec<_> = (0..6).map(|_| d.pick(&qs, 0).unwrap()).collect();
+        assert!(!picks.contains(&2), "parked queue must get no traffic");
+        assert!(d.unpark(2));
+        assert!(!d.unpark(2), "second unpark is a no-op");
+        let picks: Vec<_> = (0..6).map(|_| d.pick(&qs, 0).unwrap()).collect();
+        assert!(picks.contains(&2), "unparked queue serves again");
+    }
+
+    #[test]
+    fn least_loaded_never_picks_parked() {
+        let qs = queues(3, 8);
+        // Queue 0 is idle (most attractive) but parked.
+        qs[1].try_reserve(ReturnAddr::Fixed).unwrap();
+        qs[2].try_reserve(ReturnAddr::Fixed).unwrap();
+        qs[2].try_reserve(ReturnAddr::Fixed).unwrap();
+        let mut d = Dispatcher::new(DispatchPolicy::LeastLoaded);
+        d.park(0);
+        assert_eq!(d.pick(&qs, 0), Some(1));
+    }
+
+    #[test]
+    fn steering_rehomes_around_parked_and_restores_on_unpark() {
+        let qs = queues(4, 8);
+        let mut d = Dispatcher::new(DispatchPolicy::Steering);
+        let home = d.pick(&qs, 42).unwrap();
+        d.park(home);
+        let fallback = d.pick(&qs, 42).unwrap();
+        assert_eq!(fallback, (home + 1) % 4, "linear probe to next survivor");
+        d.unpark(home);
+        assert_eq!(d.pick(&qs, 42), Some(home), "affinity restored on unpark");
+    }
+
+    #[test]
+    fn parked_and_quarantined_are_independent() {
+        let qs = queues(2, 4);
+        let mut d = Dispatcher::new(DispatchPolicy::RoundRobin);
+        d.park(0);
+        d.quarantine(0);
+        // Readmitting from quarantine must not unpark: scale-in decisions
+        // survive health-monitor readmission.
+        assert!(d.readmit(0));
+        assert!(d.is_parked(0));
+        let picks: Vec<_> = (0..4).map(|_| d.pick(&qs, 0).unwrap()).collect();
+        assert!(picks.iter().all(|&i| i == 1), "still parked after readmit");
+        d.unpark(0);
+        assert!(!d.is_quarantined(0));
+    }
+
+    #[test]
+    fn all_parked_returns_none() {
+        let qs = queues(2, 4);
+        let mut d = Dispatcher::new(DispatchPolicy::RoundRobin);
+        d.park(0);
+        d.park(1);
+        assert_eq!(d.pick(&qs, 0), None);
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub enum Error {
     /// A configuration was rejected at build time (zero slots, undersized
     /// memory, missing listener, ...).
     Config(String),
+    /// The admission controller rejected the request before any dispatch
+    /// work (or RDMA verb) was done: the service is past the capacity even
+    /// its maximum scale-out can serve within the SLO, so the request is
+    /// shed instead of queued (see `lynx_core::control`). Clients observe
+    /// an immediate empty reply and may back off.
+    Overloaded {
+        /// Index of the tenant service that shed the request.
+        service: usize,
+    },
     /// A response could not be routed back to its client: the mqueue slot
     /// carried no usable return address (a [`crate::ReturnAddr::Fixed`]
     /// entry surfacing on a server path, or a UDP reply from a service
@@ -51,6 +60,10 @@ impl fmt::Display for Error {
                 "transport to mqueue '{queue}' failed after {attempts} attempts"
             ),
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::Overloaded { service } => write!(
+                f,
+                "service {service} is overloaded; request shed by admission control"
+            ),
             Error::Unroutable { service } => write!(
                 f,
                 "response of service {service} has no routable return address"
@@ -84,6 +97,11 @@ mod tests {
         );
         let e = Error::Config("slots must be a power of two".into());
         assert!(e.to_string().contains("power of two"));
+        let e = Error::Overloaded { service: 2 };
+        assert_eq!(
+            e.to_string(),
+            "service 2 is overloaded; request shed by admission control"
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 mod accel;
 mod builder;
+mod control;
 mod dispatch;
 mod error;
 mod hostcentric;
@@ -54,6 +55,7 @@ pub mod testbed;
 
 pub use accel::{AccelApp, ExecUnit, ProcessorApp, ThreadblockUnit, Worker, WorkerCtx};
 pub use builder::LynxServerBuilder;
+pub use control::ControlConfig;
 pub use dispatch::{DispatchPolicy, Dispatcher};
 pub use error::{Error, Result};
 pub use hostcentric::HostCentricServer;

@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use lynx_fabric::MemRegion;
 use lynx_net::{ConnId, SockAddr};
-use lynx_sim::{Bytes, Sim, SiteCounter, SiteGauge, Telemetry, TraceEvent};
+use lynx_sim::{BufferPool, Bytes, Sim, SiteCounter, SiteGauge, Telemetry, TraceEvent};
 
 use crate::Error;
 
@@ -140,6 +140,13 @@ struct Inner {
     /// simulation's telemetry sink.
     responses_site: SiteCounter,
     depth_site: SiteGauge,
+    /// SNIC-side staging of in-flight requests' encoded slot images, FIFO
+    /// by sequence. Each buffer returns to `pool` when its response
+    /// completes (or when the queue is drained at scale-in), so
+    /// steady-state encoding reuses scratch instead of allocating.
+    staged: VecDeque<Bytes>,
+    /// Scratch pool the staged slot images came from and return to.
+    pool: Option<BufferPool>,
 }
 
 /// One message queue residing in accelerator memory.
@@ -232,6 +239,8 @@ impl Mqueue {
                 drops_site: SiteCounter::new(),
                 responses_site: SiteCounter::new(),
                 depth_site: SiteGauge::new(),
+                staged: VecDeque::new(),
+                pool: None,
             })),
         })
     }
@@ -366,6 +375,19 @@ impl Mqueue {
     /// Panics if the payload exceeds [`MqueueConfig::max_payload`].
     #[doc(hidden)]
     pub fn encode_slot(&self, seq: u64, payload: &[u8]) -> Vec<u8> {
+        self.fill_slot(Vec::with_capacity(SLOT_HEADER + payload.len()), seq, payload)
+    }
+
+    /// Like [`Mqueue::encode_slot`] but draws the scratch buffer from
+    /// `pool`, so steady-state encoding stops allocating. Pair with
+    /// [`Mqueue::stage_slot`] so the buffer finds its way back to the pool
+    /// once the matching response completes.
+    #[doc(hidden)]
+    pub fn encode_slot_pooled(&self, pool: &BufferPool, seq: u64, payload: &[u8]) -> Vec<u8> {
+        self.fill_slot(pool.take(SLOT_HEADER + payload.len()), seq, payload)
+    }
+
+    fn fill_slot(&self, mut slot: Vec<u8>, seq: u64, payload: &[u8]) -> Vec<u8> {
         let cfg = self.inner.borrow().cfg;
         assert!(
             payload.len() <= cfg.max_payload(),
@@ -373,7 +395,6 @@ impl Mqueue {
             payload.len(),
             cfg.max_payload()
         );
-        let mut slot = Vec::with_capacity(SLOT_HEADER + payload.len());
         slot.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         // Doorbell value: seq + 1 (0 means empty). Written last on the
         // wire: Mellanox NICs DMA from lower to higher addresses (§5.1),
@@ -383,6 +404,52 @@ impl Mqueue {
         slot.extend_from_slice(&((seq + 1) as u32).to_le_bytes());
         slot.extend_from_slice(payload);
         slot
+    }
+
+    /// Stages the SNIC-side copy of an in-flight request's encoded slot
+    /// image. When the matching response completes (or the queue is
+    /// [`Mqueue::drain`]ed at scale-in) the image's buffer is recycled
+    /// into `pool` rather than dropped. Server queues only; on other
+    /// kinds the image is simply dropped.
+    pub(crate) fn stage_slot(&self, pool: &BufferPool, image: Bytes) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.kind != MqueueKind::Server {
+            return;
+        }
+        if inner.pool.is_none() {
+            inner.pool = Some(pool.clone());
+        }
+        inner.staged.push_back(image);
+    }
+
+    /// Deregisters a quiesced mqueue at scale-in: every staged slot image
+    /// is handed back to the scratch [`BufferPool`] (instead of being
+    /// dropped), and the pool's idle depth is published as the
+    /// `buffer_pool.idle` gauge so tests can assert that repeated
+    /// scale-in/out cycles do not grow the pool watermark. The ring
+    /// cursors are left intact: a later scale-out resumes the queue where
+    /// it stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if requests are still in flight — the control plane must
+    /// park (quiesce) the queue and let in-flight slots flush first.
+    pub fn drain(&self, sim: &mut Sim) {
+        let pool = {
+            let mut inner = self.inner.borrow_mut();
+            assert_eq!(
+                depth_of(&inner),
+                0,
+                "drain of a non-quiesced mqueue '{}' (park + flush first)",
+                inner.label
+            );
+            let pool = inner.pool.clone().unwrap_or_else(|| sim.buffers());
+            while let Some(img) = inner.staged.pop_front() {
+                pool.recycle(img.into_vec());
+            }
+            pool
+        };
+        sim.gauge("buffer_pool.idle", pool.idle() as f64);
     }
 
     /// Fires the accelerator-side RX doorbell notification.
@@ -495,6 +562,14 @@ impl Mqueue {
         if inner.kind == MqueueKind::Server {
             for _ in 0..n {
                 inner.inflight.pop_front();
+                // The completed request's staged slot image goes back to
+                // the scratch pool (a shared image degrades to a copy —
+                // never aliasing).
+                if let Some(img) = inner.staged.pop_front() {
+                    if let Some(pool) = &inner.pool {
+                        pool.recycle(img.into_vec());
+                    }
+                }
             }
         }
     }
@@ -545,6 +620,11 @@ impl Mqueue {
         inner.tx_popped += 1;
         if inner.kind == MqueueKind::Server {
             inner.inflight.pop_front();
+            if let Some(img) = inner.staged.pop_front() {
+                if let Some(pool) = &inner.pool {
+                    pool.recycle(img.into_vec());
+                }
+            }
         }
     }
 
@@ -839,6 +919,62 @@ mod tests {
         q.acc_push_response(&mut sim, seq, b"y");
         q.begin_pull().unwrap();
         q.complete_n(1, 1);
+    }
+
+    #[test]
+    fn staged_slot_images_recycle_on_completion() {
+        let mut sim = Sim::new(0);
+        let pool = sim.buffers();
+        let q = mq(MqueueKind::Server, 4);
+        for round in 0..3u64 {
+            let seq = q.try_reserve(ReturnAddr::Fixed).unwrap();
+            let slot = q.encode_slot_pooled(&pool, seq, &[round as u8]);
+            q.mem().write(q.rx_slot_offset(seq), &slot);
+            q.stage_slot(&pool, Bytes::from(slot));
+            q.acc_pop_request().unwrap();
+            q.acc_push_response(&mut sim, seq, &[round as u8]);
+            let (s, _, _) = q.peek_response().unwrap();
+            q.complete(s);
+        }
+        assert_eq!(pool.idle(), 1, "one scratch buffer cycles through");
+        let (hits, misses) = pool.stats();
+        assert_eq!(misses, 1, "only the first encode allocates");
+        assert_eq!(hits, 2, "later encodes reuse the recycled buffer");
+    }
+
+    #[test]
+    fn drain_returns_staged_buffers_and_publishes_gauge() {
+        let mut sim = Sim::new(0);
+        let t = sim.enable_telemetry();
+        let pool = sim.buffers();
+        let q = mq(MqueueKind::Server, 4);
+        // A request whose image was staged but never completed through the
+        // normal path would leak its buffer; flush it, then drain.
+        let seq = q.try_reserve(ReturnAddr::Fixed).unwrap();
+        let slot = q.encode_slot_pooled(&pool, seq, b"x");
+        q.mem().write(q.rx_slot_offset(seq), &slot);
+        q.stage_slot(&pool, Bytes::from(slot));
+        q.acc_pop_request().unwrap();
+        q.acc_push_response(&mut sim, seq, b"y");
+        let (s, _, _) = q.peek_response().unwrap();
+        q.complete(s);
+        q.drain(&mut sim);
+        assert_eq!(t.gauge_value("buffer_pool.idle"), Some(pool.idle() as f64));
+        // Repeated drain cycles don't grow the watermark.
+        let idle = pool.idle();
+        for _ in 0..5 {
+            q.drain(&mut sim);
+        }
+        assert_eq!(pool.idle(), idle);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-quiesced")]
+    fn drain_rejects_inflight_requests() {
+        let mut sim = Sim::new(0);
+        let q = mq(MqueueKind::Server, 4);
+        q.try_reserve(ReturnAddr::Fixed).unwrap();
+        q.drain(&mut sim);
     }
 
     #[test]

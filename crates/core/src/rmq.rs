@@ -271,7 +271,12 @@ impl RemoteMqManager {
             // Fault-free fast path: identical verb sequence (and timing) to
             // the pre-recovery implementation; no watchdogs are armed.
             if cfg.coalesce_metadata && !cfg.write_barrier {
-                let slot = mq.encode_slot(seq, payload);
+                // Pooled encode: the slot image is staged on the mqueue so
+                // its scratch buffer returns to the pool at completion (or
+                // at scale-in drain) instead of being dropped.
+                let pool = sim.buffers();
+                let slot = Bytes::from(mq.encode_slot_pooled(&pool, seq, payload));
+                mq.stage_slot(&pool, slot.clone());
                 self.qp.post_write(sim, slot, &mem, offset, move |sim| {
                     mq2.notify_rx(sim);
                     delivered(sim, Ok(()));
@@ -302,7 +307,9 @@ impl RemoteMqManager {
         if cfg.coalesce_metadata && !cfg.write_barrier {
             // Bytes: each retry attempt reposts the same shared buffer
             // (an `Rc` bump), instead of deep-copying the slot image.
-            let slot = Bytes::from(mq.encode_slot(seq, payload));
+            let pool = sim.buffers();
+            let slot = Bytes::from(mq.encode_slot_pooled(&pool, seq, payload));
+            mq.stage_slot(&pool, slot.clone());
             let qp = self.qp.clone();
             let post: Rc<PostFn<()>> = Rc::new(move |sim, cb| {
                 qp.post_write_checked(sim, slot.clone(), &mem, offset, move |sim, r| {
@@ -463,10 +470,15 @@ impl RemoteMqManager {
             runs.last_mut().unwrap().push((seq, offset, payload));
         }
         let faults = sim.faults_enabled();
+        let pool = sim.buffers();
         for run in runs {
             let spans: Vec<(usize, Bytes)> = run
                 .iter()
-                .map(|(seq, offset, payload)| (*offset, Bytes::from(mq.encode_slot(*seq, payload))))
+                .map(|(seq, offset, payload)| {
+                    let slot = Bytes::from(mq.encode_slot_pooled(&pool, *seq, payload));
+                    mq.stage_slot(&pool, slot.clone());
+                    (*offset, slot)
+                })
                 .collect();
             let mq2 = mq.clone();
             if !faults {

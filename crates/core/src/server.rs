@@ -11,6 +11,7 @@ use lynx_device::{calib, CpuKind};
 use lynx_net::{ConnId, HostStack, SockAddr};
 use lynx_sim::{Bytes, Sim, SiteCounter, Telemetry, Time, TraceEvent};
 
+use crate::control::{ControlConfig, ScaleDecision, SvcControl};
 use crate::pipeline::{Pipeline, PipelineConfig, StagedRequest};
 use crate::{DispatchPolicy, Dispatcher, Error, Mqueue, RemoteMqManager, ReturnAddr};
 
@@ -180,6 +181,7 @@ struct ServerSites {
     replies: SiteCounter,
     unroutable: SiteCounter,
     backend_calls: SiteCounter,
+    shed: SiteCounter,
     forward_polls: SiteCounter,
     batches: SiteCounter,
     batched_msgs: SiteCounter,
@@ -196,6 +198,7 @@ struct SvcSites {
     dispatched: SiteCounter,
     dropped: SiteCounter,
     replies: SiteCounter,
+    shed: SiteCounter,
     picks: SiteCounter,
 }
 
@@ -223,10 +226,11 @@ struct Service {
     health: Vec<QueueHealth>,
     udp_port: Option<u16>,
     sites: SvcSites,
+    control: SvcControl,
 }
 
 impl Service {
-    fn new(policy: DispatchPolicy) -> Service {
+    fn new(policy: DispatchPolicy, admission_burst: f64) -> Service {
         Service {
             dispatcher: Dispatcher::new(policy),
             mqs: Vec::new(),
@@ -234,6 +238,7 @@ impl Service {
             health: Vec::new(),
             udp_port: None,
             sites: SvcSites::default(),
+            control: SvcControl::new(admission_burst),
         }
     }
 }
@@ -247,6 +252,11 @@ struct Inner {
     stats: Telemetry,
     recovery: RecoveryConfig,
     monitor_armed: bool,
+    control: ControlConfig,
+    control_armed: bool,
+    /// Lazily parks the over-provisioned fleet on the first control scan
+    /// arm, so construction stays side-effect free.
+    control_initialized: bool,
     pipeline: Pipeline,
     sites: ServerSites,
     /// One `pipeline.core<i>.dispatched` handle per pipeline core.
@@ -301,6 +311,7 @@ impl LynxServer {
         costs: CostModel,
         policy: DispatchPolicy,
         recovery: RecoveryConfig,
+        control: ControlConfig,
         stats: Telemetry,
         pipeline: PipelineConfig,
     ) -> LynxServer {
@@ -311,12 +322,15 @@ impl LynxServer {
             inner: Rc::new(RefCell::new(Inner {
                 stack,
                 costs,
-                services: vec![Service::new(policy)],
+                services: vec![Service::new(policy, control.admission_burst)],
                 accels: Vec::new(),
                 backends: Vec::new(),
                 stats,
                 recovery,
                 monitor_armed: false,
+                control,
+                control_armed: false,
+                control_initialized: false,
                 pipeline: Pipeline::new(pipeline),
                 sites: ServerSites::default(),
                 core_dispatched,
@@ -326,7 +340,8 @@ impl LynxServer {
 
     pub(crate) fn inner_add_service(&self, policy: DispatchPolicy) -> ServiceId {
         let mut inner = self.inner.borrow_mut();
-        inner.services.push(Service::new(policy));
+        let burst = inner.control.admission_burst;
+        inner.services.push(Service::new(policy, burst));
         ServiceId(inner.services.len() - 1)
     }
 
@@ -342,7 +357,7 @@ impl LynxServer {
     }
 
     pub(crate) fn inner_add_server_mqueue(&self, service: ServiceId, accel: usize, mq: Mqueue) {
-        let (rmq, fwd_core) = {
+        let (rmq, fwd_core, qi) = {
             let mut inner = self.inner.borrow_mut();
             // Forwarder ownership: mqueues round-robin across the pipeline
             // cores by registration order, so each core polls its own
@@ -360,7 +375,8 @@ impl LynxServer {
                 last_responses: 0,
                 last_progress: Time::ZERO,
             });
-            (rmq, fwd_core)
+            svc.control.pending.push(std::collections::VecDeque::new());
+            (rmq, fwd_core, svc.mqs.len() - 1)
         };
         let this = self.clone();
         let mq2 = mq.clone();
@@ -371,6 +387,7 @@ impl LynxServer {
             this.on_response_ready(
                 sim,
                 service,
+                qi,
                 mq2.clone(),
                 Rc::clone(&rmq),
                 Rc::clone(&gate),
@@ -500,6 +517,32 @@ impl LynxServer {
         self.inner.borrow().pipeline.config()
     }
 
+    /// The active elastic control-plane policy.
+    pub fn control(&self) -> ControlConfig {
+        self.inner.borrow().control
+    }
+
+    /// Number of *active* (not parked) remote-GPU workers of `service`.
+    ///
+    /// With the control plane disabled this is simply the number of
+    /// registered server mqueues; with it enabled, the autoscaler moves
+    /// this between [`ControlConfig::min_workers`] and
+    /// [`ControlConfig::max_workers`]. Before the first request arrives
+    /// the whole fleet reads as active — parking happens lazily on the
+    /// first control scan.
+    pub fn active_workers(&self, service: ServiceId) -> usize {
+        let inner = self.inner.borrow();
+        assert!(service.0 < inner.services.len(), "unknown service id");
+        let svc = &inner.services[service.0];
+        svc.mqs.len() - svc.dispatcher.parked_count()
+    }
+
+    /// Requests rejected by admission control (the `dispatch.shed`
+    /// counter), read from the telemetry registry.
+    pub fn shed_requests(&self) -> u64 {
+        self.inner.borrow().stats.counter("dispatch.shed")
+    }
+
     /// Replies that could not be routed back to a client (no return
     /// address / no bound UDP port), read from the telemetry registry.
     pub fn unroutable_replies(&self) -> u64 {
@@ -554,6 +597,15 @@ impl LynxServer {
                 Self::dispatch_cost(&inner),
             )
         };
+        self.arm_control(sim);
+        if let Err(e) = self.try_admit(sim, service) {
+            debug_assert!(matches!(e, Error::Overloaded { .. }));
+            // Early reject: no dispatch cost charged, no RDMA verb issued.
+            // The empty (0-byte) reply is the shed marker — closed-loop
+            // clients observe it instead of timing out on silence.
+            self.send_reply(sim, service, ret, Bytes::from(Vec::new()));
+            return;
+        }
         self.arm_monitor(sim);
         if !batched {
             // Legacy immediate dispatch on the shared core pool — the
@@ -643,6 +695,8 @@ impl LynxServer {
     /// `k` requests to one queue costs one doorbell, not `k`.
     fn dispatch_batch(&self, sim: &mut Sim, batch: Vec<StagedRequest>) {
         struct Group {
+            service: ServiceId,
+            qi: usize,
             rmq: Rc<RemoteMqManager>,
             mq: Mqueue,
             items: Vec<(ReturnAddr, Bytes)>,
@@ -658,15 +712,17 @@ impl LynxServer {
                 let picked = svc
                     .dispatcher
                     .pick(&svc.mqs, req.key)
-                    .map(|i| (Rc::clone(&svc.owners[i]), svc.mqs[i].clone()));
+                    .map(|qi| (qi, Rc::clone(&svc.owners[qi]), svc.mqs[qi].clone()));
                 Self::count_dispatch(&inner, i, policy, picked.is_some());
                 match picked {
-                    Some((rmq, mq)) => {
+                    Some((qi, rmq, mq)) => {
                         let label = mq.label();
                         traces.push((policy, Some(label.clone())));
                         match groups.iter_mut().find(|g| g.mq.label() == label) {
                             Some(g) => g.items.push((req.ret, req.payload)),
                             None => groups.push(Group {
+                                service: req.service,
+                                qi,
                                 rmq,
                                 mq,
                                 items: vec![(req.ret, req.payload)],
@@ -684,7 +740,9 @@ impl LynxServer {
             // Per-item backpressure/transport outcomes were already
             // counted (drops on the mqueue sink, giveups by the retry
             // machinery); a failed item never aborts the batch.
-            let _ = g.rmq.push_requests(sim, &g.mq, g.items);
+            let results = g.rmq.push_requests(sim, &g.mq, g.items);
+            let accepted = results.iter().filter(|r| r.is_ok()).count();
+            self.note_dispatched(sim.now(), g.service, g.qi, accepted);
         }
     }
 
@@ -729,12 +787,12 @@ impl LynxServer {
             let picked = svc
                 .dispatcher
                 .pick(&svc.mqs, key)
-                .map(|i| (Rc::clone(&svc.owners[i]), svc.mqs[i].clone()));
+                .map(|i| (i, Rc::clone(&svc.owners[i]), svc.mqs[i].clone()));
             Self::count_dispatch(&inner, service.0, policy, picked.is_some());
             (policy, picked)
         };
         match picked {
-            Some((rmq, mq)) => {
+            Some((qi, rmq, mq)) => {
                 sim.trace(|| TraceEvent::Dispatch {
                     policy,
                     queue: Some(mq.label()),
@@ -742,7 +800,9 @@ impl LynxServer {
                 // The dispatcher checked for room, so backpressure here is
                 // impossible; a transport give-up (faults) is counted by
                 // the retry machinery and surfaces as a lost UDP request.
-                let _ = rmq.push_request(sim, &mq, ret, &payload, |_, _| {});
+                if rmq.push_request(sim, &mq, ret, &payload, |_, _| {}).is_ok() {
+                    self.note_dispatched(sim.now(), service, qi, 1);
+                }
             }
             None => {
                 sim.trace(|| TraceEvent::Dispatch {
@@ -760,10 +820,12 @@ impl LynxServer {
         inner.costs.poll_rtt_per_mqueue * Self::total_mqueues(inner) / 2
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_response_ready(
         &self,
         sim: &mut Sim,
         service: ServiceId,
+        qi: usize,
         mq: Mqueue,
         rmq: Rc<RemoteMqManager>,
         gate: Rc<Cell<bool>>,
@@ -796,6 +858,7 @@ impl LynxServer {
                 stack.charge(sim, cost, move |sim| {
                     let this2 = this.clone();
                     rmq.pull_response(sim, &mq, move |sim, ret, payload| {
+                        this2.note_collected(sim.now(), service, qi, 1);
                         this2.send_reply(sim, service, ret, payload);
                     });
                 });
@@ -805,7 +868,7 @@ impl LynxServer {
         gate.set(true);
         let this = self.clone();
         sim.schedule_in(detect, move |sim| {
-            this.forward_batch(sim, service, mq, rmq, gate, core);
+            this.forward_batch(sim, service, qi, mq, rmq, gate, core);
         });
     }
 
@@ -813,10 +876,12 @@ impl LynxServer {
     /// charge the amortized forward cost for everything pending (up to the
     /// batch limit), collect it as one chained RDMA read, reply in one
     /// batched stack invocation, then re-arm if responses kept arriving.
+    #[allow(clippy::too_many_arguments)]
     fn forward_batch(
         &self,
         sim: &mut Sim,
         service: ServiceId,
+        qi: usize,
         mq: Mqueue,
         rmq: Rc<RemoteMqManager>,
         gate: Rc<Cell<bool>>,
@@ -848,12 +913,13 @@ impl LynxServer {
             let mq2 = mq.clone();
             let rmq2 = Rc::clone(&rmq);
             rmq.pull_responses(sim, &mq, k, move |sim, responses| {
+                this2.note_collected(sim.now(), service, qi, responses.len());
                 this2.send_replies(sim, service, responses);
                 gate.set(false);
                 if mq2.pending_responses() > 0 {
                     // More responses landed while this cycle ran: start
                     // the next one (fresh detection delay).
-                    this2.on_response_ready(sim, service, mq2.clone(), rmq2, gate, core);
+                    this2.on_response_ready(sim, service, qi, mq2.clone(), rmq2, gate, core);
                 }
             });
         });
@@ -1089,6 +1155,256 @@ impl LynxServer {
             let this = self.clone();
             sim.schedule_in(interval, move |sim| this.health_scan(sim));
         }
+    }
+
+    // --- Elastic control plane -------------------------------------------
+
+    /// Admission control at the very front of the request path: refills
+    /// the service's token bucket from the simulated clock and takes one
+    /// token, or rejects with [`Error::Overloaded`] — before any dispatch
+    /// cost is charged or RDMA verb issued.
+    fn try_admit(&self, sim: &Sim, service: ServiceId) -> crate::Result<()> {
+        let mut inner = self.inner.borrow_mut();
+        let cfg = inner.control;
+        if !cfg.enabled || cfg.admission_rate <= 0.0 {
+            return Ok(());
+        }
+        let now = sim.now();
+        let i = service.0;
+        if inner.services[i]
+            .control
+            .bucket
+            .admit(now, cfg.admission_rate, cfg.admission_burst)
+        {
+            return Ok(());
+        }
+        inner.sites.shed.add(&inner.stats, "dispatch.shed", 1);
+        inner.services[i]
+            .sites
+            .shed
+            .add_with(&inner.stats, || format!("server.svc{i}.shed"), 1);
+        Err(Error::Overloaded { service: i })
+    }
+
+    /// Records the dispatch timestamps of `k` requests accepted into
+    /// queue `qi` (control plane only — the deques stay empty otherwise).
+    fn note_dispatched(&self, now: Time, service: ServiceId, qi: usize, k: usize) {
+        if k == 0 {
+            return;
+        }
+        let mut inner = self.inner.borrow_mut();
+        if !inner.control.enabled {
+            return;
+        }
+        let svc = &mut inner.services[service.0];
+        if let Some(q) = svc.control.pending.get_mut(qi) {
+            for _ in 0..k {
+                q.push_back(now);
+            }
+        }
+    }
+
+    /// Matches `k` collected responses of queue `qi` against their
+    /// dispatch timestamps (FIFO per queue — mqueue responses complete in
+    /// order) and records the dispatch→collection latency into the
+    /// service's sliding window.
+    fn note_collected(&self, now: Time, service: ServiceId, qi: usize, k: usize) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.control.enabled {
+            return;
+        }
+        let svc = &mut inner.services[service.0];
+        for _ in 0..k {
+            match svc.control.pending.get_mut(qi).and_then(|q| q.pop_front()) {
+                Some(t0) => svc.control.latency.record(now - t0),
+                None => break,
+            }
+        }
+    }
+
+    /// Arms the periodic control scan (idempotent; no-op when the control
+    /// plane is disabled). On the very first arm it parks each service's
+    /// fleet down to [`ControlConfig::min_workers`] — construction itself
+    /// stays side-effect free.
+    fn arm_control(&self, sim: &mut Sim) {
+        let interval = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.control.enabled || inner.control_armed {
+                return;
+            }
+            inner.control_armed = true;
+            if !inner.control_initialized {
+                inner.control_initialized = true;
+                let min = inner.control.min_workers;
+                for svc in inner.services.iter_mut() {
+                    for qi in min..svc.mqs.len() {
+                        svc.dispatcher.park(qi);
+                    }
+                }
+            }
+            inner.control.scan_interval
+        };
+        let this = self.clone();
+        sim.schedule_in(interval, move |sim| this.control_scan(sim));
+    }
+
+    /// One control-scan tick: finish pending drains, close each service's
+    /// observation window, and act on the hysteresis-filtered decision.
+    /// Runs on the dedicated control lane — its cost is modeled as the
+    /// `control.lane_util` gauge, not charged to the request-path cores.
+    fn control_scan(&self, sim: &mut Sim) {
+        let mut drains: Vec<Mqueue> = Vec::new();
+        let mut provisions: Vec<(ServiceId, usize, String)> = Vec::new();
+        let mut parked: Vec<String> = Vec::new();
+        let (rearm, interval) = {
+            let mut inner = self.inner.borrow_mut();
+            let cfg = inner.control;
+            let stats = inner.stats.clone();
+            stats.count("control.scans", 1);
+            let mut live = false;
+            for si in 0..inner.services.len() {
+                let svc = &mut inner.services[si];
+                // 1. A queue parked by scale-in whose backlog has flushed
+                //    is drained: its staged slot buffers return to the
+                //    scratch pool instead of lingering until drop.
+                let flushed: Vec<usize> = svc
+                    .control
+                    .draining
+                    .iter()
+                    .copied()
+                    .filter(|&qi| svc.mqs[qi].in_flight() == 0)
+                    .collect();
+                for qi in flushed {
+                    svc.control.draining.remove(&qi);
+                    drains.push(svc.mqs[qi].clone());
+                }
+                // 2. Close the observation window.
+                let window = svc.control.latency.roll();
+                let p99 = (!window.is_empty()).then(|| window.percentile(99.0));
+                // 3. Mean occupancy over the active queues.
+                let active: Vec<usize> = (0..svc.mqs.len())
+                    .filter(|&qi| !svc.dispatcher.is_parked(qi))
+                    .collect();
+                let occupancy = if active.is_empty() {
+                    0.0
+                } else {
+                    active
+                        .iter()
+                        .map(|&qi| {
+                            svc.mqs[qi].in_flight() as f64 / svc.mqs[qi].config().slots as f64
+                        })
+                        .sum::<f64>()
+                        / active.len() as f64
+                };
+                if svc.mqs.iter().any(|m| m.in_flight() > 0) {
+                    live = true;
+                }
+                // 4. Act once enough consecutive windows agree.
+                match svc.control.hysteresis.decide(&cfg, occupancy, p99) {
+                    ScaleDecision::Out => {
+                        let max = if cfg.max_workers == 0 {
+                            svc.mqs.len()
+                        } else {
+                            cfg.max_workers.min(svc.mqs.len())
+                        };
+                        // Workers already live plus workers mid-provision.
+                        let committed = active.len() + svc.control.provisioning.len();
+                        if committed < max {
+                            // Lowest-index parked queue not already in
+                            // motion — deterministic and index-stable.
+                            let next = (0..svc.mqs.len()).find(|qi| {
+                                svc.dispatcher.is_parked(*qi)
+                                    && !svc.control.provisioning.contains(qi)
+                                    && !svc.control.draining.contains(qi)
+                            });
+                            if let Some(qi) = next {
+                                svc.control.provisioning.insert(qi);
+                                provisions.push((ServiceId(si), qi, svc.mqs[qi].label()));
+                            }
+                        }
+                    }
+                    ScaleDecision::In => {
+                        if active.len() > cfg.min_workers && svc.control.provisioning.is_empty() {
+                            // Highest-index active queue parks, then
+                            // drains once its backlog flushes.
+                            if let Some(&qi) = active.last() {
+                                svc.dispatcher.park(qi);
+                                svc.control.draining.insert(qi);
+                                stats.count("control.scale_in", 1);
+                                parked.push(svc.mqs[qi].label());
+                            }
+                        }
+                    }
+                    ScaleDecision::Hold => {}
+                }
+                let workers = svc.mqs.len() - svc.dispatcher.parked_count();
+                stats.gauge(&format!("control.svc{si}.workers"), workers as f64);
+            }
+            // The control task's own load on its dedicated SNIC lane: one
+            // occupancy probe per registered mqueue per scan.
+            let scan_cost = inner.costs.scan_per_mqueue * Self::total_mqueues(&inner);
+            stats.gauge(
+                "control.lane_util",
+                scan_cost.as_secs_f64() / cfg.scan_interval.as_secs_f64(),
+            );
+            let transitions = !provisions.is_empty()
+                || inner
+                    .services
+                    .iter()
+                    .any(|s| !s.control.draining.is_empty() || !s.control.provisioning.is_empty());
+            let rearm = live || transitions;
+            if !rearm {
+                // Disarmed on idle so the simulation can terminate; the
+                // next request re-arms the scan.
+                inner.control_armed = false;
+            }
+            (rearm, cfg.scan_interval)
+        };
+        for mq in drains {
+            mq.drain(sim);
+        }
+        for label in parked {
+            sim.trace(|| TraceEvent::Custom {
+                track: "control".into(),
+                name: "ScaleIn".into(),
+                detail: format!("park {label}"),
+            });
+        }
+        for (service, qi, label) in provisions {
+            sim.trace(|| TraceEvent::Custom {
+                track: "control".into(),
+                name: "ScaleOut".into(),
+                detail: format!("provision {label}"),
+            });
+            let this = self.clone();
+            sim.schedule_in(calib::GPU_WORKER_PROVISION, move |sim| {
+                this.finish_provision(sim, service, qi);
+            });
+        }
+        if rearm {
+            let this = self.clone();
+            sim.schedule_in(interval, move |sim| this.control_scan(sim));
+        }
+    }
+
+    /// Completes one scale-out: the provisioning delay elapsed, the
+    /// worker's persistent kernel is live, and its queue rejoins the
+    /// dispatch set.
+    fn finish_provision(&self, sim: &mut Sim, service: ServiceId, qi: usize) {
+        let (label, stats) = {
+            let mut inner = self.inner.borrow_mut();
+            let stats = inner.stats.clone();
+            let svc = &mut inner.services[service.0];
+            svc.control.provisioning.remove(&qi);
+            svc.dispatcher.unpark(qi);
+            (svc.mqs[qi].label(), stats)
+        };
+        stats.count("control.scale_out", 1);
+        sim.trace(|| TraceEvent::Custom {
+            track: "control".into(),
+            name: "WorkerUp".into(),
+            detail: format!("unpark {label}"),
+        });
     }
 }
 

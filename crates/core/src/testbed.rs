@@ -41,9 +41,9 @@ use lynx_net::{HostId, HostStack, LinkSpec, Network, Platform, SockAddr, StackKi
 use lynx_sim::Sim;
 
 use crate::{
-    AccelApp, CostModel, DispatchPolicy, LynxServer, LynxServerBuilder, Mqueue, MqueueConfig,
-    MqueueKind, PipelineConfig, ProcessorApp, RecoveryConfig, RemoteMqManager, RmqConfig,
-    SnicPlatform, ThreadblockUnit, Worker,
+    AccelApp, ControlConfig, CostModel, DispatchPolicy, LynxServer, LynxServerBuilder, Mqueue,
+    MqueueConfig, MqueueKind, PipelineConfig, ProcessorApp, RecoveryConfig, RemoteMqManager,
+    RmqConfig, SnicPlatform, ThreadblockUnit, Worker,
 };
 
 /// Multi-core contention factor of the Lynx server when it runs on several
@@ -245,6 +245,11 @@ pub struct DeployConfig {
     /// Defaults to one core, unbatched — the exact per-message event
     /// sequence of earlier releases.
     pub pipeline: PipelineConfig,
+    /// SLO-driven elastic control plane (scale-out/in of remote-GPU
+    /// workers + admission control). Defaults to
+    /// [`ControlConfig::disabled`] so deployments reproduce the paper's
+    /// static configurations exactly; the elastic experiments opt in.
+    pub control: ControlConfig,
 }
 
 impl Default for DeployConfig {
@@ -261,6 +266,7 @@ impl Default for DeployConfig {
             recovery: RecoveryConfig::disabled(),
             rmq: RmqConfig::default(),
             pipeline: PipelineConfig::default(),
+            control: ControlConfig::disabled(),
         }
     }
 }
@@ -288,6 +294,7 @@ impl DeployConfig {
             .cost_model(costs)
             .policy(self.policy)
             .recovery(self.recovery)
+            .control(self.control)
             .pipeline(self.pipeline);
         let snic_rdma = snic_machine.rdma_nic();
 

@@ -61,6 +61,14 @@ pub const GPU_POLL_DETECT: Duration = Duration::from_nanos(500);
 /// each message".
 pub const WRITE_BARRIER_PENALTY: Duration = us(5);
 
+/// Provisioning delay when the elastic control plane activates a parked
+/// remote-GPU worker: the driver-managed persistent-kernel spin-up (copy
+/// launch parameters + kernel launch + first doorbell poll). Matches the
+/// §3.2 measurement of 30 µs for the driver-mediated launch+sync path —
+/// paid once per scale-out decision, not per request, which is exactly
+/// why Lynx keeps workers persistent (§4.3).
+pub const GPU_WORKER_PROVISION: Duration = us(30);
+
 // ---------------------------------------------------------------------------
 // CPUs
 // ---------------------------------------------------------------------------

@@ -21,7 +21,7 @@
 //! All calibration constants live in [`calib`], each annotated with the
 //! paper measurement it reproduces.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod calib;

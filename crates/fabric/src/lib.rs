@@ -20,7 +20,7 @@
 //! so end-to-end tests can verify payload integrity through the whole
 //! simulated machine.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod dma;

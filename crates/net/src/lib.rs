@@ -20,7 +20,7 @@
 //! Delivery is functional — real payload bytes arrive at the destination
 //! handler — so end-to-end tests verify data integrity.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod addr;

@@ -184,6 +184,70 @@ impl Histogram {
     }
 }
 
+/// A [`Histogram`] pair giving both a sliding-window view and a cumulative
+/// total, for controllers that react to *recent* latency.
+///
+/// Observations land in the current window. [`WindowedHistogram::roll`]
+/// closes the window — merging it into the running total and returning the
+/// closed window's snapshot — and opens a fresh one. The Lynx control plane
+/// rolls once per scan interval and reads the closed window's p99, so a
+/// burst three windows ago cannot keep the autoscaler pinned high.
+///
+/// # Example
+///
+/// ```
+/// use lynx_sim::WindowedHistogram;
+/// use std::time::Duration;
+///
+/// let mut h = WindowedHistogram::new();
+/// h.record(Duration::from_micros(10));
+/// let window = h.roll();                    // close window 0
+/// assert_eq!(window.count(), 1);
+/// h.record(Duration::from_micros(30));
+/// assert_eq!(h.window().count(), 1);        // only the new observation
+/// assert_eq!(h.total().count(), 1);         // rolled windows accumulate
+/// let window = h.roll();
+/// assert_eq!(window.max(), Duration::from_micros(30));
+/// assert_eq!(h.total().count(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct WindowedHistogram {
+    current: Histogram,
+    total: Histogram,
+}
+
+impl WindowedHistogram {
+    /// Creates an empty windowed histogram.
+    pub fn new() -> WindowedHistogram {
+        WindowedHistogram::default()
+    }
+
+    /// Records one observation into the current window.
+    pub fn record(&mut self, d: Duration) {
+        self.current.record(d);
+    }
+
+    /// Closes the current window: merges it into the cumulative total,
+    /// returns its snapshot, and opens a fresh empty window.
+    pub fn roll(&mut self) -> Histogram {
+        self.total.merge(&self.current);
+        let closed = self.current.clone();
+        self.current.clear();
+        closed
+    }
+
+    /// The still-open current window (observations since the last roll).
+    pub fn window(&self) -> &Histogram {
+        &self.current
+    }
+
+    /// The cumulative histogram of every *closed* window. Observations in
+    /// the open window are excluded until [`WindowedHistogram::roll`].
+    pub fn total(&self) -> &Histogram {
+        &self.total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,5 +344,47 @@ mod tests {
         h.clear();
         assert!(h.is_empty());
         assert_eq!(h.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_every_percentile_is_the_sample() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_micros(42));
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Duration::from_micros(42), "p{p}");
+        }
+        assert_eq!(h.min(), h.max());
+        assert_eq!(h.mean(), Duration::from_micros(42));
+    }
+
+    #[test]
+    fn windowed_roll_isolates_windows() {
+        let mut h = WindowedHistogram::new();
+        for us in [10u64, 20, 30] {
+            h.record(Duration::from_micros(us));
+        }
+        let w0 = h.roll();
+        assert_eq!(w0.count(), 3);
+        assert_eq!(w0.max(), Duration::from_micros(30));
+        assert!(h.window().is_empty(), "roll opens a fresh window");
+
+        h.record(Duration::from_micros(500));
+        let w1 = h.roll();
+        assert_eq!(w1.count(), 1);
+        assert_eq!(w1.min(), Duration::from_micros(500), "old samples gone");
+        assert_eq!(h.total().count(), 4);
+        assert_eq!(h.total().max(), Duration::from_micros(500));
+    }
+
+    #[test]
+    fn windowed_total_excludes_open_window() {
+        let mut h = WindowedHistogram::new();
+        h.record(Duration::from_micros(7));
+        assert_eq!(h.total().count(), 0);
+        h.roll();
+        assert_eq!(h.total().count(), 1);
+        let empty = h.roll();
+        assert!(empty.is_empty(), "rolling an empty window yields empty");
+        assert_eq!(h.total().count(), 1);
     }
 }

@@ -62,7 +62,7 @@ pub mod rng;
 pub use bytes::{BufferPool, Bytes};
 pub use faults::{FaultAction, FaultInjector, FaultPlan, FaultRule, Trigger};
 pub use fifo::{Fifo, FifoFullError};
-pub use histogram::Histogram;
+pub use histogram::{Histogram, WindowedHistogram};
 pub use server::{MultiServer, Server};
 pub use sim::{SchedulerKind, Sim};
 pub use telemetry::{

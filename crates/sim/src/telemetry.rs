@@ -687,6 +687,14 @@ impl Telemetry {
         self.inner.borrow().registry.snapshot()
     }
 
+    /// Current value of gauge `name`, or `None` if it was never set.
+    ///
+    /// This is the read side the control plane uses to observe published
+    /// occupancy/utilization gauges without walking a full snapshot.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.inner.borrow().registry.get_gauge(name)
+    }
+
     /// Sorted snapshot of every gauge.
     pub fn gauges(&self) -> Vec<(String, f64)> {
         self.inner.borrow().registry.gauges()
@@ -818,6 +826,16 @@ mod tests {
         // Registration survives: value still readable and addable.
         reg.add("a.b", 3);
         assert_eq!(reg.get("a.b"), 3);
+    }
+
+    #[test]
+    fn gauge_value_reads_back_and_misses_cleanly() {
+        let t = Telemetry::new();
+        assert_eq!(t.gauge_value("mq.depth"), None);
+        t.gauge("mq.depth", 12.5);
+        assert_eq!(t.gauge_value("mq.depth"), Some(12.5));
+        t.gauge("mq.depth", 3.0);
+        assert_eq!(t.gauge_value("mq.depth"), Some(3.0));
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub struct ClientStats {
     pub received: u64,
     /// Responses failing the validation hook.
     pub invalid: u64,
+    /// Requests rejected by the server's admission control. Lynx sheds
+    /// load with an immediate *empty* (0-byte) reply, so clients observe
+    /// rejects instead of timing out; rejected requests count neither as
+    /// received nor into the latency histogram.
+    pub rejected: u64,
     /// Latency histogram (measurement window only).
     pub latency: Histogram,
     /// Measured throughput in responses/s (`None` before the window
@@ -56,6 +61,7 @@ struct Shared {
     sent_meter: Meter,
     recv_meter: Meter,
     invalid: u64,
+    rejected: u64,
     measuring: bool,
 }
 
@@ -76,6 +82,7 @@ impl Shared {
             sent_meter: Meter::new(),
             recv_meter: Meter::new(),
             invalid: 0,
+            rejected: 0,
             measuring: false,
         }
     }
@@ -108,6 +115,13 @@ impl Shared {
         let Some((seq, sent_at)) = self.inflight.remove(&port) else {
             return false; // stale response after port reuse
         };
+        if payload.is_empty() {
+            // The server's admission-control reject marker: the request
+            // was shed before dispatch. Matched (closed loops keep their
+            // window) but not a served response.
+            self.rejected += 1;
+            return true;
+        }
         if self.measuring {
             self.latency.record(sim.now() - sent_at);
         }
@@ -125,6 +139,7 @@ impl Shared {
             sent: self.sent_meter.count(),
             received: self.recv_meter.count(),
             invalid: self.invalid,
+            rejected: self.rejected,
             latency: self.latency.clone(),
             throughput: self.recv_meter.throughput(),
         }
@@ -320,6 +335,7 @@ struct TcpShared {
     latency: Histogram,
     sent_meter: Meter,
     recv_meter: Meter,
+    rejected: u64,
     measuring: bool,
 }
 
@@ -358,6 +374,7 @@ impl TcpClosedLoopClient {
                 latency: Histogram::new(),
                 sent_meter: Meter::new(),
                 recv_meter: Meter::new(),
+                rejected: 0,
                 measuring: false,
             })),
             dst,
@@ -393,15 +410,22 @@ impl LoadClient for TcpClosedLoopClient {
             });
             let shared = Rc::clone(&self.shared);
             let shared2 = Rc::clone(&self.shared);
-            let on_msg = move |sim: &mut Sim, _conn: ConnId, _payload: lynx_sim::Bytes| {
+            let on_msg = move |sim: &mut Sim, _conn: ConnId, payload: lynx_sim::Bytes| {
                 {
                     let mut s = shared.borrow_mut();
-                    let sent_at = s.slots[slot].sent_at;
-                    if s.measuring {
-                        let d = sim.now() - sent_at;
-                        s.latency.record(d);
+                    if payload.is_empty() {
+                        // Admission-control reject marker; the slot stays
+                        // in the closed loop but the reply is not a
+                        // served response.
+                        s.rejected += 1;
+                    } else {
+                        let sent_at = s.slots[slot].sent_at;
+                        if s.measuring {
+                            let d = sim.now() - sent_at;
+                            s.latency.record(d);
+                        }
+                        s.recv_meter.record();
                     }
-                    s.recv_meter.record();
                 }
                 TcpClosedLoopClient::send_on(&shared, sim, slot);
             };
@@ -434,6 +458,7 @@ impl LoadClient for TcpClosedLoopClient {
             sent: s.sent_meter.count(),
             received: s.recv_meter.count(),
             invalid: 0,
+            rejected: s.rejected,
             latency: s.latency.clone(),
             throughput: s.recv_meter.throughput(),
         }

@@ -18,7 +18,7 @@
 //! * [`report`] — fixed-width tables and CSV output used by every bench
 //!   harness to print the paper's rows.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod client;

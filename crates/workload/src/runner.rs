@@ -49,6 +49,9 @@ pub struct RunSummary {
     pub received: u64,
     /// Responses failing validation.
     pub invalid: u64,
+    /// Requests shed by the server's admission control (observed as
+    /// empty-reply rejects; excluded from `received` and `latency`).
+    pub rejected: u64,
     /// Merged latency histogram.
     pub latency: Histogram,
 }
@@ -98,18 +101,20 @@ pub fn run_measured(sim: &mut Sim, clients: &[&dyn LoadClient], spec: RunSpec) -
         c.end_measure(t1);
     }
     let mut latency = Histogram::new();
-    let (mut sent, mut received, mut invalid, mut tput) = (0, 0, 0, 0.0);
+    let (mut sent, mut received, mut invalid, mut rejected, mut tput) = (0, 0, 0, 0, 0.0);
     for c in clients {
         let ClientStats {
             sent: s,
             received: r,
             invalid: i,
+            rejected: j,
             latency: l,
             throughput,
         } = c.stats();
         sent += s;
         received += r;
         invalid += i;
+        rejected += j;
         latency.merge(&l);
         tput += throughput.unwrap_or(0.0);
     }
@@ -118,6 +123,7 @@ pub fn run_measured(sim: &mut Sim, clients: &[&dyn LoadClient], spec: RunSpec) -
         sent,
         received,
         invalid,
+        rejected,
         latency,
     }
 }

@@ -95,6 +95,7 @@ impl Sweep {
 ///         sent: rate as u64,
 ///         received: achieved as u64,
 ///         invalid: 0,
+///         rejected: 0,
 ///         latency,
 ///     }
 /// });
@@ -114,6 +115,55 @@ pub fn sweep(rates: &[f64], mut measure: impl FnMut(f64) -> RunSummary) -> Sweep
         });
     }
     Sweep { points }
+}
+
+/// Binary-searches the highest offered rate in `[lo, hi]` (requests/s)
+/// whose measured p99 stays within `slo`, to a relative resolution of
+/// `tol` (e.g. `0.05` = 5%).
+///
+/// A run that served nothing (`received == 0`) counts as missing the SLO:
+/// an empty latency histogram means the server shed or dropped the whole
+/// window, not that it was infinitely fast. Returns `None` when even `lo`
+/// misses the SLO, and `hi` itself when the whole range meets it.
+///
+/// Like [`sweep`], the `measure` closure should build a fresh simulation
+/// per call so every probe is independent and deterministic.
+///
+/// # Panics
+///
+/// Panics unless `0 < lo <= hi` (both finite) and `0 < tol < 1`.
+pub fn find_max_load(
+    lo: f64,
+    hi: f64,
+    slo: Duration,
+    tol: f64,
+    mut measure: impl FnMut(f64) -> RunSummary,
+) -> Option<f64> {
+    assert!(
+        lo > 0.0 && hi >= lo && lo.is_finite() && hi.is_finite(),
+        "invalid load range"
+    );
+    assert!(tol > 0.0 && tol < 1.0, "invalid tolerance");
+    let mut meets = |rate: f64| {
+        let s = measure(rate);
+        s.received > 0 && s.latency.percentile(99.0) <= slo
+    };
+    if !meets(lo) {
+        return None;
+    }
+    if meets(hi) {
+        return Some(hi);
+    }
+    let (mut good, mut bad) = (lo, hi);
+    while bad - good > good * tol {
+        let mid = (good + bad) / 2.0;
+        if meets(mid) {
+            good = mid;
+        } else {
+            bad = mid;
+        }
+    }
+    Some(good)
 }
 
 /// Geometric rate ladder from `lo` to `hi` with `n` points (inclusive).
@@ -143,6 +193,7 @@ mod tests {
             sent: tput as u64,
             received: tput as u64,
             invalid: 0,
+            rejected: 0,
             latency,
         }
     }
@@ -173,6 +224,72 @@ mod tests {
         });
         assert_eq!(curve.knee(3.0), Some(4e3));
         assert_eq!(curve.knee(100.0), None);
+    }
+
+    /// A run in which every request was shed: nothing served, empty
+    /// latency histogram.
+    fn shed_summary(offered: f64) -> RunSummary {
+        RunSummary {
+            throughput: 0.0,
+            sent: offered as u64,
+            received: 0,
+            invalid: 0,
+            rejected: offered as u64,
+            latency: Histogram::new(),
+        }
+    }
+
+    #[test]
+    fn find_max_load_converges_to_the_capacity_knee() {
+        // SLO met strictly below 10 K/s.
+        let knee = 10_000.0;
+        let max = find_max_load(1e3, 1e5, Duration::from_micros(200), 0.01, |r| {
+            fake_summary(r, if r < knee { 100 } else { 1_000 })
+        })
+        .unwrap();
+        assert!(max < knee, "max={max} must miss the SLO side");
+        assert!(max > knee * 0.95, "max={max} within 5% of the knee");
+    }
+
+    #[test]
+    fn find_max_load_saturated_sweep_never_meets_slo() {
+        // Even the lowest rate misses the SLO: no operating point exists.
+        let max = find_max_load(1e3, 1e5, Duration::from_micros(50), 0.05, |r| {
+            fake_summary(r, 1_000)
+        });
+        assert_eq!(max, None);
+    }
+
+    #[test]
+    fn find_max_load_whole_range_meets_slo() {
+        let max = find_max_load(1e3, 1e5, Duration::from_millis(10), 0.05, |r| {
+            fake_summary(r, 100)
+        });
+        assert_eq!(max, Some(1e5));
+    }
+
+    #[test]
+    fn find_max_load_treats_fully_shed_runs_as_misses() {
+        // Past 5 K/s the server sheds everything: the empty histogram
+        // must read as an SLO miss, not a perfect run.
+        let max = find_max_load(1e3, 1e5, Duration::from_micros(200), 0.01, |r| {
+            if r >= 5e3 {
+                shed_summary(r)
+            } else {
+                fake_summary(r, 100)
+            }
+        })
+        .unwrap();
+        assert!(max < 5e3 && max > 4.7e3, "max={max}");
+        // ... and a range that is shed from the start finds nothing.
+        let none = find_max_load(1e3, 1e5, Duration::from_micros(200), 0.05, shed_summary);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tolerance")]
+    fn find_max_load_rejects_bad_tolerance() {
+        let _ = find_max_load(1.0, 2.0, Duration::from_micros(1), 0.0, shed_summary);
     }
 
     #[test]

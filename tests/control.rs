@@ -1,0 +1,282 @@
+//! The SLO-driven control plane end to end: deterministic elastic
+//! scale-out/scale-in of remote-GPU workers, admission control past
+//! saturation, and buffer-pool hygiene across scale cycles.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx::core::testbed::{deploy_processor, DeployConfig, Machine};
+use lynx::core::{ControlConfig, MqueueConfig, ServiceId, SnicPlatform};
+use lynx::device::DelayProcessor;
+use lynx::device::GpuSpec;
+use lynx::net::{HostStack, LinkSpec, Network, Platform, SockAddr, StackKind, StackProfile};
+use lynx::sim::{MultiServer, Sim, Telemetry};
+use lynx::workload::{run_measured, OpenLoopClient, RunSpec};
+
+/// The service time of every worker in these tests: 150 µs per request,
+/// so one worker sustains ~6.6 Kreq/s and the 4→12 fleet moves between
+/// ~26 K and ~79 Kreq/s of capacity.
+const SERVICE_TIME: Duration = Duration::from_micros(150);
+
+fn client_stack(net: &Network, name: &str) -> HostStack {
+    let host = net.add_host(name, LinkSpec::gbps40());
+    HostStack::new(
+        net,
+        host,
+        MultiServer::new(2, 1.0),
+        StackProfile::of(Platform::Xeon, StackKind::Vma),
+    )
+}
+
+/// How many client hosts the elastic pump fans out over. One modeled
+/// host stack tops out well below the 12-worker fleet's capacity, so the
+/// aggregate rate is split across several machines (as fig8b does).
+const PUMPS: usize = 6;
+
+/// Deterministic open-loop pump whose aggregate rate can be changed
+/// mid-run: each of the [`PUMPS`] hosts sends fixed-gap UDP requests at
+/// `rate / PUMPS` requests/s, cycling ephemeral ports. Replies are
+/// swallowed by a default UDP binding — these tests read the server's
+/// own telemetry, not client latency.
+fn start_pump(sim: &mut Sim, stack: HostStack, dst: SockAddr, rate: Rc<Cell<f64>>, skew: u64) {
+    stack.bind_udp_default(|_, _| {});
+    let port = Rc::new(Cell::new(10_000u16));
+    fn tick(
+        sim: &mut Sim,
+        stack: HostStack,
+        dst: SockAddr,
+        rate: Rc<Cell<f64>>,
+        port: Rc<Cell<u16>>,
+    ) {
+        let r = rate.get() / PUMPS as f64;
+        let p = port.get();
+        port.set(if p >= 39_999 { 10_000 } else { p + 1 });
+        stack.send_udp(sim, p, dst, vec![7u8; 64]);
+        let gap = Duration::from_secs_f64(1.0 / r);
+        sim.schedule_in(gap, move |sim| tick(sim, stack, dst, rate, port));
+    }
+    // Skewed starts keep the pumps from firing in lockstep bursts.
+    sim.schedule_in(Duration::from_micros(skew), move |sim| {
+        tick(sim, stack, dst, rate, port)
+    });
+}
+
+/// 4 local + 8 remote K80s, one worker each, elastic control plane with a
+/// 4-worker floor. Drives two full load cycles (ramp up past the 4-worker
+/// capacity, then back to a trickle) and returns the telemetry plus the
+/// worker-count trajectory observed at the phase boundaries.
+fn elastic_run(seed: u64) -> (Telemetry, Vec<usize>, Sim) {
+    let mut sim = Sim::new(seed);
+    let telemetry = sim.enable_telemetry();
+    let net = Network::new();
+    let local = Machine::new(&net, "server-0");
+    let remote_1 = Machine::new(&net, "server-1");
+    let remote_2 = Machine::new(&net, "server-2");
+
+    let mut sites = Vec::new();
+    for _ in 0..4 {
+        let gpu = local.add_gpu(GpuSpec::k80());
+        sites.push(local.gpu_site(&gpu));
+    }
+    for i in 0..8 {
+        let m = if i % 2 == 0 { &remote_1 } else { &remote_2 };
+        let gpu = m.add_gpu(GpuSpec::k80());
+        sites.push(m.gpu_site(&gpu));
+    }
+
+    let cfg = DeployConfig {
+        platform: SnicPlatform::Bluefield,
+        mqueues_per_gpu: 1,
+        mq: MqueueConfig {
+            slots: 16,
+            slot_size: 1024,
+            ..MqueueConfig::default()
+        },
+        control: ControlConfig {
+            min_workers: 4,
+            slo_p99: Duration::from_millis(1),
+            scan_interval: Duration::from_micros(200),
+            ..ControlConfig::default()
+        },
+        ..DeployConfig::default()
+    };
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &local,
+        &sites,
+        &cfg,
+        Rc::new(DelayProcessor::new(SERVICE_TIME)),
+    );
+    assert_eq!(
+        d.server.active_workers(ServiceId::DEFAULT),
+        12,
+        "parking is lazy: the full fleet reads active before traffic"
+    );
+
+    let rate = Rc::new(Cell::new(10_000.0));
+    for i in 0..PUMPS {
+        start_pump(
+            &mut sim,
+            client_stack(&net, &format!("client-{i}")),
+            d.server_addr,
+            Rc::clone(&rate),
+            7 * i as u64,
+        );
+    }
+
+    let mut trajectory = Vec::new();
+    let phases: &[(f64, u64)] = &[
+        (10_000.0, 8),   // comfortably inside the 4-worker floor
+        (100_000.0, 25), // past even the 12-worker fleet: scale out to 12
+        (2_000.0, 40),   // trickle: drain back to the floor
+        (100_000.0, 25), // second cycle, same buffers
+        (2_000.0, 40),
+    ];
+    for &(r, ms) in phases {
+        rate.set(r);
+        sim.run_for(Duration::from_millis(ms));
+        trajectory.push(d.server.active_workers(ServiceId::DEFAULT));
+    }
+    (telemetry, trajectory, sim)
+}
+
+#[test]
+fn autoscaler_tracks_load_and_drains_back() {
+    let (t, trajectory, sim) = elastic_run(77);
+    assert_eq!(
+        trajectory,
+        vec![4, 12, 4, 12, 4],
+        "worker trajectory across the load phases"
+    );
+    // Two full cycles: at least 8 unparks and 8 parks each, and the fleet
+    // ends back at the floor so every unpark has a matching park.
+    let counter = |name: &str| {
+        t.counters()
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert!(counter("control.scans") > 100);
+    assert!(counter("control.scale_out") >= 16);
+    assert_eq!(counter("control.scale_out"), counter("control.scale_in"));
+    // The worker gauge reflects the final state.
+    assert_eq!(t.gauge_value("control.svc0.workers"), Some(4.0));
+    assert!(t.gauge_value("control.lane_util").unwrap() > 0.0);
+    // Buffer-pool hygiene: scale-in drains hand staged slot buffers back
+    // to the scratch pool instead of dropping them, so two full cycles
+    // leave the pool at its retention cap, not growing per cycle.
+    let idle = sim.buffers().idle();
+    let (hits, misses) = sim.buffers().stats();
+    assert!(idle <= 64, "pool watermark bounded, got {idle}");
+    assert_eq!(t.gauge_value("buffer_pool.idle"), Some(idle as f64));
+    assert!(
+        hits > misses,
+        "steady state runs on recycled buffers (hits={hits}, misses={misses})"
+    );
+}
+
+#[test]
+fn same_seed_elastic_runs_are_byte_identical() {
+    let (a, traj_a, _) = elastic_run(4242);
+    let (b, traj_b, _) = elastic_run(4242);
+    assert_eq!(traj_a, traj_b);
+    assert!(a.event_count() > 1_000, "trace must be non-trivial");
+    assert_eq!(a.to_jsonl(), b.to_jsonl(), "trace bytes diverge");
+    assert_eq!(a.counters_csv(), b.counters_csv(), "counters diverge");
+    assert_eq!(a.counters(), b.counters());
+    assert_eq!(a.gauges(), b.gauges());
+}
+
+/// Past max capacity the admission controller sheds instead of queueing:
+/// the p99 of *admitted* requests stays within the SLO, rejects surface
+/// as `dispatch.shed` and as client-visible empty replies, and no queue
+/// grows without bound.
+#[test]
+fn admission_control_sheds_past_saturation_and_holds_the_slo() {
+    let mut sim = Sim::new(9);
+    let telemetry = sim.enable_telemetry();
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let mut sites = Vec::new();
+    for _ in 0..2 {
+        let gpu = machine.add_gpu(GpuSpec::k80());
+        sites.push(machine.gpu_site(&gpu));
+    }
+    let slo = Duration::from_millis(1);
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 1,
+        control: ControlConfig {
+            // Static 2-worker fleet: this test isolates admission.
+            min_workers: 2,
+            max_workers: 2,
+            slo_p99: slo,
+            // ~2/3 of the 2-worker capacity (2 x 10 Kreq/s at 100 µs
+            // service time): admitted traffic never saturates.
+            admission_rate: 12_000.0,
+            admission_burst: 16.0,
+            ..ControlConfig::default()
+        },
+        ..DeployConfig::default()
+    };
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &sites,
+        &cfg,
+        Rc::new(DelayProcessor::new(Duration::from_micros(100))),
+    );
+
+    // Open-loop overload: 40 Kreq/s offered against ~20 Kreq/s capacity
+    // and a 12 Kreq/s admission rate.
+    let client = OpenLoopClient::new(
+        client_stack(&net, "client"),
+        d.server_addr,
+        40_000.0,
+        Rc::new(|s| vec![s as u8; 64]),
+    )
+    .uniform();
+    let summary = run_measured(&mut sim, &[&client], RunSpec::quick());
+
+    assert!(
+        summary.rejected > 1_000,
+        "clients must observe rejects, got {}",
+        summary.rejected
+    );
+    assert!(
+        summary.received > 500,
+        "admitted traffic is still served, got {}",
+        summary.received
+    );
+    let shed = d.server.shed_requests();
+    assert!(
+        shed >= summary.rejected,
+        "every client-visible reject is a server-side shed ({shed} vs {})",
+        summary.rejected
+    );
+    let p99 = summary.latency.percentile(99.0);
+    assert!(
+        p99 <= slo,
+        "p99 of admitted requests must hold the SLO: {p99:?} > {slo:?}"
+    );
+    // Bounded queues: admission kept every ring far from its 64-slot
+    // capacity, and the dispatcher never hit the all-full drop path.
+    for mq in &d.mqueues {
+        assert!(mq.in_flight() < 32, "queue grew to {}", mq.in_flight());
+    }
+    assert_eq!(d.server.stats().dropped, 0);
+    // The per-service shed counter mirrors the server-wide one.
+    let counter = |name: &str| {
+        telemetry
+            .counters()
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("dispatch.shed"), shed);
+    assert_eq!(counter("server.svc0.shed"), shed);
+}
