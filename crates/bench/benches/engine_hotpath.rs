@@ -1,22 +1,29 @@
-//! Wall-clock baseline for the simulator's hot path (PR 4).
+//! Wall-clock baseline for the simulator's hot path (PR 4, extended in
+//! PR 6 to gate the end-to-end number and cover the hybrid scheduler).
 //!
 //! Unlike the figure benches (which reproduce *simulated* results), this
-//! harness measures how fast the engine itself runs on the host machine,
-//! pinning the three hot-path optimisations of the overhaul:
+//! harness measures how fast the engine itself runs on the host machine:
 //!
-//! * **events/sec** — a self-rescheduling actor mesh driven through the
-//!   timing-wheel scheduler with interned counters and `Bytes` payload
-//!   clones, against the pre-overhaul configuration (binary-heap scheduler,
-//!   `format!`-keyed string counters, deep `Vec<u8>` clones).
+//! * **events/sec** — a self-rescheduling actor mesh driven through each
+//!   scheduler backend. `wheel_interned` vs `heap_string` reproduces the
+//!   PR 4 before/after (scheduler + interned counters + `Bytes` clones vs
+//!   heap + `format!` counters + deep clones); `heap_interned` isolates
+//!   the scheduler itself, counters and payloads held equal.
 //! * **ns/counter-add** — interned [`SiteCounter`] handle vs. the string
 //!   lookup API, isolated.
 //! * **simulated pkts/sec** — a full UDP ping-pong through two
-//!   [`HostStack`]s with telemetry enabled, under wheel and heap.
+//!   [`HostStack`]s with telemetry enabled, under wheel, heap, and the
+//!   adaptive hybrid. This is the number that regressed under the wheel
+//!   in PR 4 (BENCH_4.json: 493k vs 763k) and the one the default
+//!   scheduler is now gated on: the bench asserts the default (hybrid)
+//!   stays within noise of the heap, so the microbench win can never
+//!   again cost the workload the paper cares about.
 //!
-//! Results land in `BENCH_4.json` at the workspace root (override with
+//! Results land in `BENCH_6.json` at the workspace root (override with
 //! `LYNX_BENCH_OUT`). CI smoke-runs this bench (`--smoke` or
-//! `LYNX_BENCH_SMOKE=1` shrinks the iteration counts) and fails if
-//! events/sec regresses more than 20% against the committed baseline.
+//! `LYNX_BENCH_SMOKE=1` shrinks the iteration counts) and fails if either
+//! `events_per_sec.wheel_interned` or `sim_pkts_per_sec.default`
+//! regresses more than 20% against the committed baseline.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -49,7 +56,11 @@ impl Scale {
         Scale {
             engine_events: 40_000,
             counter_adds: 100_000,
-            pkts: 2_000,
+            // The e2e runs are cheap (~20 ms each) and gate CI, so smoke
+            // keeps them at full scale: at 2k packets a run is short
+            // enough that a single OS scheduling stall triples it, which
+            // makes the per-backend comparison meaningless.
+            pkts: 20_000,
         }
     }
 }
@@ -138,6 +149,8 @@ fn counter_run(interned: bool, adds: u64) -> Duration {
 
 /// End-to-end UDP ping-pong through two host stacks with telemetry on:
 /// how many simulated packets the engine retires per wall-clock second.
+/// This is the sparse-occupancy mix (≈5 events in flight spread over a
+/// ~50 µs RTT) where the PR 4 wheel lost 35% to the heap.
 fn e2e_run(kind: SchedulerKind, pkts: u64) -> Duration {
     let mut sim = Sim::with_scheduler(3, kind);
     sim.enable_telemetry();
@@ -171,6 +184,24 @@ fn e2e_run(kind: SchedulerKind, pkts: u64) -> Duration {
     start.elapsed()
 }
 
+/// Interleaved best-of-N e2e rates for the given kinds.
+///
+/// Throughput on this harness ramps noticeably over the process lifetime
+/// (CPU frequency + cache warming), so measuring each scheduler in its
+/// own contiguous block biases whichever runs last. Round-robin the kinds
+/// across [`E2E_ROUNDS`] rounds and keep each kind's best time so every
+/// backend sees the same mix of cold and warm rounds.
+fn e2e_rates(kinds: &[SchedulerKind], pkts: u64) -> Vec<f64> {
+    const E2E_ROUNDS: usize = 3;
+    let mut best = vec![Duration::MAX; kinds.len()];
+    for _ in 0..E2E_ROUNDS {
+        for (i, &kind) in kinds.iter().enumerate() {
+            best[i] = best[i].min(e2e_run(kind, pkts));
+        }
+    }
+    best.into_iter().map(|d| rate(pkts, d)).collect()
+}
+
 fn rate(n: u64, d: Duration) -> f64 {
     n as f64 / d.as_secs_f64()
 }
@@ -188,39 +219,62 @@ fn main() {
     engine_run(SchedulerKind::Wheel, true, scale.engine_events / 10);
 
     let wheel_interned = engine_run(SchedulerKind::Wheel, true, scale.engine_events);
+    let heap_interned = engine_run(SchedulerKind::Heap, true, scale.engine_events);
     let heap_string = engine_run(SchedulerKind::Heap, false, scale.engine_events);
     let events_new = rate(scale.engine_events, wheel_interned);
+    let events_heap = rate(scale.engine_events, heap_interned);
     let events_old = rate(scale.engine_events, heap_string);
 
     let ns_string = ns_per(scale.counter_adds, counter_run(false, scale.counter_adds));
     let ns_interned = ns_per(scale.counter_adds, counter_run(true, scale.counter_adds));
 
-    let pkts_wheel = rate(scale.pkts, e2e_run(SchedulerKind::Wheel, scale.pkts));
-    let pkts_heap = rate(scale.pkts, e2e_run(SchedulerKind::Heap, scale.pkts));
+    // Warm-up, then the gated e2e number: default (hybrid) alongside the
+    // fixed backends for the honest comparison.
+    e2e_run(SchedulerKind::Heap, scale.pkts / 10);
+    let e2e = e2e_rates(
+        &[
+            SchedulerKind::default(),
+            SchedulerKind::Wheel,
+            SchedulerKind::Heap,
+        ],
+        scale.pkts,
+    );
+    let (pkts_default, pkts_wheel, pkts_heap) = (e2e[0], e2e[1], e2e[2]);
 
     let speedup = events_new / events_old;
     let json = format!(
-        "{{\n  \"bench\": \"engine_hotpath\",\n  \"smoke\": {smoke},\n  \"scale\": {{ \"engine_events\": {}, \"counter_adds\": {}, \"pkts\": {} }},\n  \"events_per_sec\": {{ \"wheel_interned\": {:.0}, \"heap_string\": {:.0}, \"speedup\": {:.2} }},\n  \"ns_per_counter_add\": {{ \"string\": {:.1}, \"interned\": {:.1} }},\n  \"sim_pkts_per_sec\": {{ \"wheel\": {:.0}, \"heap\": {:.0} }}\n}}\n",
+        "{{\n  \"bench\": \"engine_hotpath\",\n  \"smoke\": {smoke},\n  \"scale\": {{ \"engine_events\": {}, \"counter_adds\": {}, \"pkts\": {} }},\n  \"events_per_sec\": {{ \"wheel_interned\": {:.0}, \"heap_interned\": {:.0}, \"heap_string\": {:.0}, \"speedup\": {:.2} }},\n  \"ns_per_counter_add\": {{ \"string\": {:.1}, \"interned\": {:.1} }},\n  \"sim_pkts_per_sec\": {{ \"default\": {:.0}, \"wheel\": {:.0}, \"heap\": {:.0}, \"default_kind\": \"hybrid\" }}\n}}\n",
         scale.engine_events,
         scale.counter_adds,
         scale.pkts,
         events_new,
+        events_heap,
         events_old,
         speedup,
         ns_string,
         ns_interned,
+        pkts_default,
         pkts_wheel,
         pkts_heap,
     );
 
     let out = std::env::var("LYNX_BENCH_OUT")
-        .unwrap_or_else(|_| format!("{}/../../BENCH_4.json", env!("CARGO_MANIFEST_DIR")));
-    std::fs::write(&out, &json).expect("write BENCH_4.json");
+        .unwrap_or_else(|_| format!("{}/../../BENCH_6.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_6.json");
     println!("{json}");
     println!("wrote {out}");
 
     assert!(
         speedup >= 2.0,
         "hot-path overhaul must hold a >=2x events/sec advantage (got {speedup:.2}x)"
+    );
+    // The PR 6 invariant: the default scheduler must retire e2e packets at
+    // least as fast as the heap did (within wall-clock noise) — the wheel's
+    // microbench win may never again cost the end-to-end workload.
+    let e2e_ratio = pkts_default / pkts_heap;
+    assert!(
+        e2e_ratio >= 0.85,
+        "default scheduler lost the e2e workload to the heap: \
+         {pkts_default:.0} vs {pkts_heap:.0} pkts/s ({e2e_ratio:.2}x)"
     );
 }

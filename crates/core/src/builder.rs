@@ -8,7 +8,7 @@
 //! silently-broken servers. See [`LynxServerBuilder`] for an example.
 
 use lynx_net::{HostStack, SockAddr};
-use lynx_sim::{Sim, Telemetry};
+use lynx_sim::{SchedulerKind, Sim, Telemetry};
 
 use crate::pipeline::{BatchPolicy, PipelineConfig};
 use crate::{
@@ -66,6 +66,7 @@ pub struct LynxServerBuilder {
     accels: Vec<RemoteMqManager>,
     services: Vec<ServiceSpec>,
     bridges: Vec<(usize, Mqueue, SockAddr)>,
+    scheduler: Option<SchedulerKind>,
     errors: Vec<String>,
 }
 
@@ -98,8 +99,23 @@ impl LynxServerBuilder {
                 listeners: Vec::new(),
             }],
             bridges: Vec::new(),
+            scheduler: None,
             errors: Vec::new(),
         }
+    }
+
+    /// Pins the simulator's event-queue backend for this deployment.
+    ///
+    /// Applied at [`LynxServerBuilder::build`] time through
+    /// [`Sim::set_scheduler`], which migrates any already-pending events
+    /// without perturbing their `(time, seq)` execution order — so a
+    /// deployment can pick, say, [`SchedulerKind::Wheel`] for a dense
+    /// many-timer workload while another sticks with the adaptive default
+    /// ([`SchedulerKind::Hybrid`]). When unset, whatever the `Sim` was
+    /// created with (the `LYNX_SCHED` env var, by default) stays in force.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = Some(kind);
+        self
     }
 
     /// Sets the per-message CPU cost model (defaults to the BlueField ARM
@@ -279,6 +295,9 @@ impl LynxServerBuilder {
         if !errors.is_empty() {
             return Err(crate::Error::Config(errors.join("; ")));
         }
+        if let Some(kind) = self.scheduler {
+            sim.set_scheduler(kind);
+        }
 
         let costs = self
             .costs
@@ -318,5 +337,60 @@ impl LynxServerBuilder {
             server.inner_add_backend_bridge(sim, accel, mq, dst);
         }
         Ok(server)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::Machine;
+    use crate::{Mqueue, MqueueConfig, MqueueKind};
+    use lynx_net::{Network, StackKind};
+
+    #[test]
+    fn builder_pins_scheduler_at_build_time() {
+        let mut sim = Sim::with_scheduler(0, SchedulerKind::Hybrid);
+        // Pending work scheduled before build must survive the migration.
+        let fired = std::rc::Rc::new(std::cell::Cell::new(false));
+        let f2 = std::rc::Rc::clone(&fired);
+        sim.schedule_in(std::time::Duration::from_micros(5), move |_| {
+            f2.set(true);
+        });
+        let net = Network::new();
+        let machine = Machine::new(&net, "server-0");
+        let gpu = machine.add_gpu(lynx_device::GpuSpec::k40m());
+        let cfg = MqueueConfig::default();
+        let base = gpu.alloc(cfg.required_bytes());
+        let mq = Mqueue::new(MqueueKind::Server, gpu.mem(), base, cfg);
+        let stack = machine.host_stack(1, StackKind::Vma);
+        let _server = LynxServerBuilder::new(stack)
+            .accelerator(RemoteMqManager::new(machine.rdma_nic().loopback_qp()))
+            .server_mqueue(0, mq)
+            .listen_udp(7000)
+            .scheduler(SchedulerKind::Wheel)
+            .build(&mut sim)
+            .expect("valid deployment");
+        assert_eq!(sim.scheduler(), SchedulerKind::Wheel);
+        sim.run_until(lynx_sim::Time::from_millis(1));
+        assert!(fired.get(), "pre-build event must survive the migration");
+    }
+
+    #[test]
+    fn builder_without_scheduler_keeps_sim_backend() {
+        let net = Network::new();
+        let machine = Machine::new(&net, "server-0");
+        let gpu = machine.add_gpu(lynx_device::GpuSpec::k40m());
+        let cfg = MqueueConfig::default();
+        let base = gpu.alloc(cfg.required_bytes());
+        let mq = Mqueue::new(MqueueKind::Server, gpu.mem(), base, cfg);
+        let stack = machine.host_stack(1, StackKind::Vma);
+        let mut sim = Sim::with_scheduler(0, SchedulerKind::Heap);
+        let _server = LynxServerBuilder::new(stack)
+            .accelerator(RemoteMqManager::new(machine.rdma_nic().loopback_qp()))
+            .server_mqueue(0, mq)
+            .listen_udp(7000)
+            .build(&mut sim)
+            .expect("valid deployment");
+        assert_eq!(sim.scheduler(), SchedulerKind::Heap);
     }
 }

@@ -155,7 +155,12 @@ impl ControlConfig {
                 "control: scan_interval must be positive".into(),
             ));
         }
-        if !(self.scale_in_occupancy <= self.scale_out_occupancy) {
+        // `partial_cmp` (not `<=`) so NaN thresholds are rejected too.
+        if self
+            .scale_in_occupancy
+            .partial_cmp(&self.scale_out_occupancy)
+            .is_none_or(|o| o == std::cmp::Ordering::Greater)
+        {
             return Err(crate::Error::Config(format!(
                 "control: scale_in_occupancy {} above scale_out_occupancy {}",
                 self.scale_in_occupancy, self.scale_out_occupancy

@@ -375,7 +375,11 @@ impl Mqueue {
     /// Panics if the payload exceeds [`MqueueConfig::max_payload`].
     #[doc(hidden)]
     pub fn encode_slot(&self, seq: u64, payload: &[u8]) -> Vec<u8> {
-        self.fill_slot(Vec::with_capacity(SLOT_HEADER + payload.len()), seq, payload)
+        self.fill_slot(
+            Vec::with_capacity(SLOT_HEADER + payload.len()),
+            seq,
+            payload,
+        )
     }
 
     /// Like [`Mqueue::encode_slot`] but draws the scratch buffer from

@@ -64,7 +64,7 @@ pub use faults::{FaultAction, FaultInjector, FaultPlan, FaultRule, Trigger};
 pub use fifo::{Fifo, FifoFullError};
 pub use histogram::{Histogram, WindowedHistogram};
 pub use server::{MultiServer, Server};
-pub use sim::{SchedulerKind, Sim};
+pub use sim::{SchedStatus, SchedulerKind, Sim};
 pub use telemetry::{
     CounterId, CounterRegistry, GaugeId, SiteCounter, SiteGauge, Telemetry, TraceEvent, TraceRecord,
 };

@@ -1,20 +1,30 @@
 //! The discrete-event scheduler.
 //!
-//! Events execute in `(time, insertion-sequence)` order. Two event-queue
+//! Events execute in `(time, insertion-sequence)` order. Three event-queue
 //! implementations provide that order:
 //!
-//! * [`SchedulerKind::Wheel`] (default) — a calendar/timing-wheel queue:
-//!   near-future events hash into a ring of time slots (O(1) insert),
-//!   far-future events wait in a sorted overflow map and are promoted as
-//!   the wheel turns. Only the currently active slot is kept heap-ordered,
-//!   so push/pop cost no longer grows with the total number of pending
-//!   events the way a global binary heap's does.
+//! * [`SchedulerKind::Wheel`] — a calendar/timing-wheel queue: near-future
+//!   events hash into a ring of time slots (O(1) insert), far-future events
+//!   wait in a sorted overflow map and are promoted in bulk as the wheel
+//!   turns. Only the currently active slot is kept heap-ordered, so
+//!   push/pop cost does not grow with the total number of pending events
+//!   the way a global binary heap's does. Wins when many events are
+//!   pending and most land inside the wheel horizon.
 //! * [`SchedulerKind::Heap`] — the original global `BinaryHeap`, kept as a
-//!   differential-testing oracle.
+//!   differential-testing oracle. Wins at sparse occupancy (a handful of
+//!   pending events), where the wheel's slot bookkeeping is pure overhead.
+//! * [`SchedulerKind::Hybrid`] (default) — starts on the heap and watches
+//!   event density and schedule horizons online (the same observations the
+//!   `sched.pending` / `sched.near_frac` gauges publish), migrating
+//!   wheel↔heap with hysteresis so each deployment runs on the backend
+//!   that is actually faster for its event mix.
 //!
-//! Both pop the exact same `(time, seq)` sequence, so same-seed runs are
-//! byte-identical under either scheduler (see `tests/determinism.rs`).
-//! Set `LYNX_SCHED=heap` to force the heap without code changes.
+//! All three pop the exact same `(time, seq)` sequence, so same-seed runs
+//! are byte-identical under any of them (see `tests/determinism.rs`). The
+//! hybrid's switch decisions depend only on that deterministic push/pop
+//! sequence — never on wall-clock time — so they replay identically too.
+//! Set `LYNX_SCHED=wheel|heap|hybrid` to pin a backend without code
+//! changes.
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -26,7 +36,7 @@ use rand::SeedableRng;
 
 use crate::bytes::BufferPool;
 use crate::faults::{FaultAction, FaultInjector, FaultPlan};
-use crate::telemetry::{Telemetry, TraceEvent};
+use crate::telemetry::{SiteGauge, Telemetry, TraceEvent};
 use crate::Time;
 
 type EventFn = Box<dyn FnOnce(&mut Sim)>;
@@ -61,38 +71,61 @@ impl Ord for Entry {
 
 /// Which event-queue implementation a [`Sim`] schedules on.
 ///
-/// Both produce the identical `(time, seq)` execution order; the wheel is
-/// the fast default, the heap is retained as a differential-testing
-/// oracle (and as an `LYNX_SCHED=heap` escape hatch).
+/// All kinds produce the identical `(time, seq)` execution order; they
+/// differ only in wall-clock cost per event. [`SchedulerKind::Hybrid`]
+/// (the default) adapts between the other two at runtime; the heap doubles
+/// as the differential-testing oracle.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SchedulerKind {
     /// Calendar/timing-wheel queue: O(1) near-future inserts, sorted
-    /// overflow for the far future. The default.
-    #[default]
+    /// overflow for the far future. Fastest at dense occupancy.
     Wheel,
-    /// The original global `BinaryHeap` queue.
+    /// The original global `BinaryHeap` queue. Fastest at sparse
+    /// occupancy, and the differential-testing oracle.
     Heap,
+    /// Adaptive: observes pending-event density and schedule horizons
+    /// online and migrates between wheel and heap with hysteresis. The
+    /// default.
+    #[default]
+    Hybrid,
 }
 
 impl SchedulerKind {
     /// Reads the scheduler choice from the `LYNX_SCHED` environment
-    /// variable: `"heap"` selects [`SchedulerKind::Heap`], anything else
-    /// (including unset) selects the default wheel.
+    /// variable: `"wheel"`, `"heap"`, or `"hybrid"` (case-insensitive)
+    /// select that backend; anything else — including unset — selects the
+    /// default adaptive [`SchedulerKind::Hybrid`].
     pub fn from_env() -> SchedulerKind {
         match std::env::var("LYNX_SCHED") {
             Ok(v) if v.eq_ignore_ascii_case("heap") => SchedulerKind::Heap,
-            _ => SchedulerKind::Wheel,
+            Ok(v) if v.eq_ignore_ascii_case("wheel") => SchedulerKind::Wheel,
+            _ => SchedulerKind::Hybrid,
         }
     }
 }
 
-/// Log2 of the wheel's slot width: each slot covers 1024 ns (~1 µs), the
-/// natural grain of the NIC/PCIe/stack latencies this simulator models.
-const SLOT_SHIFT: u32 = 10;
-/// Number of slots on the wheel ring; horizon = `SLOTS << SLOT_SHIFT`
-/// (≈262 µs). Must stay a multiple of 64 for the occupancy bitmap.
+/// Log2 of the wheel's slot width: each slot covers 4096 ns (~4 µs).
+///
+/// Horizon-aware sizing, picked by profiling the end-to-end packet mix
+/// rather than the microbench: the simulator's NIC/PCIe/stack events
+/// spread over 1–80 µs horizons, so 1 µs slots put nearly every event in
+/// its own slot and every pop paid a full slot activation. At 4 µs,
+/// co-scheduled protocol events share slots (refills drop ~3.6× on the
+/// UDP ping-pong mix) while the slot heap stays small enough that dense
+/// meshes keep their O(1) insert advantage.
+const SLOT_SHIFT: u32 = 12;
+/// Nanoseconds per wheel slot.
+const SLOT_NS: u64 = 1 << SLOT_SHIFT;
+/// Number of slots on the wheel ring; horizon = `SLOTS * SLOT_NS`
+/// (≈1.05 ms — sub-horizon covers protocol and batching timers, overflow
+/// keeps retry/watchdog/control-plane timers). Must stay a multiple of 64
+/// for the occupancy bitmap.
 const SLOTS: usize = 256;
 const BITMAP_WORDS: usize = SLOTS / 64;
+/// The wheel horizon in nanoseconds — also the boundary the scheduler
+/// observer uses to classify a push as "near" (wheel-friendly) or "far"
+/// (overflow-bound).
+const WHEEL_HORIZON_NS: u64 = (SLOTS as u64) << SLOT_SHIFT;
 
 /// A calendar-queue / timing-wheel event queue.
 ///
@@ -102,9 +135,17 @@ const BITMAP_WORDS: usize = SLOTS / 64;
 /// * `active` (a small binary heap) holds every pending event with
 ///   `slot(at) <= base` — its minimum is therefore the global minimum;
 /// * `ring[s % SLOTS]` holds events with `base < slot(at) < base + SLOTS`,
-///   unordered (they are heapified wholesale when their slot activates);
+///   unordered (they are heapified wholesale when their slot activates),
+///   and the occupancy bitmap has exactly the bits of non-empty ring
+///   slots set;
 /// * `overflow` (sorted by `(time, seq)`) holds events at or beyond the
-///   horizon and is drained into the ring as `base` advances.
+///   horizon and is promoted in bulk (`split_off`) as `base` advances.
+///
+/// The sparse-occupancy hot path is deliberately allocation-free: slot
+/// `Vec`s keep their capacity across activations (drain, not take), and
+/// the bitmap is scanned a word at a time with `trailing_zeros`, so an
+/// idle ring costs at most `SLOTS / 64 + 1` word tests per refill rather
+/// than one branch per empty slot.
 struct TimingWheel {
     ring: Vec<Vec<Entry>>,
     occupied: [u64; BITMAP_WORDS],
@@ -124,6 +165,36 @@ impl TimingWheel {
             overflow: BTreeMap::new(),
             len: 0,
         }
+    }
+
+    /// Builds a wheel holding the entries of `heap`, positioning `base`
+    /// just before the earliest entry so near-future events land on the
+    /// ring instead of transiting the overflow map. Used by the hybrid
+    /// scheduler's heap→wheel migration.
+    fn from_heap(mut heap: BinaryHeap<Entry>) -> TimingWheel {
+        let mut w = TimingWheel::new();
+        if let Some(first) = heap.peek() {
+            w.base = Self::slot_of(first.at).saturating_sub(1);
+        }
+        for entry in heap.drain() {
+            w.push(entry);
+        }
+        w
+    }
+
+    /// Consumes the wheel into an unordered `BinaryHeap` of its entries.
+    /// Used by the hybrid scheduler's wheel→heap migration.
+    fn into_heap(mut self) -> BinaryHeap<Entry> {
+        let mut h = self.active;
+        for slot in &mut self.ring {
+            h.extend(slot.drain(..));
+        }
+        h.extend(self.overflow.into_iter().map(|((ns, seq), f)| Entry {
+            at: Time::from_nanos(ns),
+            seq,
+            f,
+        }));
+        h
     }
 
     #[inline]
@@ -157,49 +228,90 @@ impl TimingWheel {
         }
     }
 
-    /// Advances `base` to the next non-empty slot (promoting overflow
+    /// Absolute slot index of the nearest occupied ring slot strictly
+    /// after `base`, found by scanning the occupancy bitmap a word at a
+    /// time (at most `BITMAP_WORDS + 1` word tests for a full revolution).
+    fn next_occupied(&self) -> Option<u64> {
+        let base_ring = (self.base % SLOTS as u64) as usize;
+        let mut bit = (base_ring + 1) % SLOTS;
+        let mut remaining = SLOTS - 1;
+        while remaining > 0 {
+            let off = bit % 64;
+            let span = (64 - off).min(remaining);
+            let mask = if span == 64 {
+                !0u64
+            } else {
+                ((1u64 << span) - 1) << off
+            };
+            let hit = self.occupied[bit / 64] & mask;
+            if hit != 0 {
+                let b = (bit / 64) * 64 + hit.trailing_zeros() as usize;
+                let d = (b + SLOTS - base_ring) % SLOTS;
+                return Some(self.base + d as u64);
+            }
+            bit = (bit + span) % SLOTS;
+            remaining -= span;
+        }
+        None
+    }
+
+    /// Advances `base` to the next non-empty slot (bulk-promoting overflow
     /// entries that come into the horizon) and heapifies it into `active`.
     /// No-op when `active` is already non-empty. Returns `false` when the
     /// queue is completely empty.
     fn refill(&mut self) -> bool {
-        if !self.active.is_empty() {
-            return true;
-        }
-        if self.len == 0 {
-            return false;
-        }
-        // Find the nearest occupied ring slot after `base` (the ring only
-        // ever holds slots strictly inside the horizon, so scanning one
-        // revolution of the bitmap is exhaustive).
-        let mut next_ring: Option<u64> = None;
-        for d in 1..SLOTS as u64 {
-            let idx = ((self.base + d) % SLOTS as u64) as usize;
-            if self.occupied[idx / 64] & (1 << (idx % 64)) != 0 {
-                next_ring = Some(self.base + d);
-                break;
+        loop {
+            if !self.active.is_empty() {
+                return true;
             }
-        }
-        let next_overflow = self.overflow.keys().next().map(|&(ns, _)| ns >> SLOT_SHIFT);
-        let target = match (next_ring, next_overflow) {
+            if self.len == 0 {
+                return false;
+            }
             // Ring slots are strictly inside the horizon, overflow at or
             // beyond it, so an occupied ring slot is always nearer.
-            (Some(r), _) => r,
-            (None, Some(o)) => o,
-            (None, None) => return false,
+            let next_overflow = self.overflow.keys().next().map(|&(ns, _)| ns >> SLOT_SHIFT);
+            let target = match (self.next_occupied(), next_overflow) {
+                (Some(r), _) => r,
+                (None, Some(o)) => o,
+                (None, None) => return false,
+            };
+            self.base = target;
+            let idx = (target % SLOTS as u64) as usize;
+            self.clear(idx);
+            // Drain (not take) so the slot keeps its capacity: at sparse
+            // occupancy every event activates a slot, and a malloc/free
+            // per activation was most of the wheel's e2e regression.
+            let mut slot = std::mem::take(&mut self.ring[idx]);
+            self.active.extend(slot.drain(..));
+            self.ring[idx] = slot;
+            self.promote_overflow();
+            // Loop again if the activated slot fed nothing into `active`
+            // but promotion repopulated later ring slots.
+        }
+    }
+
+    /// Moves every overflow entry now inside the horizon onto the ring (or
+    /// straight into `active` if it lands at or before `base`), splitting
+    /// the sorted map once instead of removing keys one at a time.
+    fn promote_overflow(&mut self) {
+        if self.overflow.is_empty() {
+            return;
+        }
+        let horizon_slot = self.base + SLOTS as u64;
+        // `horizon_slot << SLOT_SHIFT` can only exceed u64 range after
+        // ~584 years of simulated time; every representable time fits the
+        // horizon then, so the whole map promotes.
+        let promote = match horizon_slot.checked_mul(SLOT_NS) {
+            None => std::mem::take(&mut self.overflow),
+            Some(horizon_ns) => match self.overflow.keys().next() {
+                Some(&(ns, _)) if ns < horizon_ns => {
+                    let rest = self.overflow.split_off(&(horizon_ns, 0));
+                    std::mem::replace(&mut self.overflow, rest)
+                }
+                _ => return,
+            },
         };
-        self.base = target;
-        let idx = (target % SLOTS as u64) as usize;
-        let slot = std::mem::take(&mut self.ring[idx]);
-        self.clear(idx);
-        self.active.extend(slot);
-        // The horizon moved: promote overflow events that now fit. Events
-        // landing exactly on the new base go straight to the active heap.
-        let horizon = self.base + SLOTS as u64;
-        while let Some(&(ns, seq)) = self.overflow.keys().next() {
-            if ns >> SLOT_SHIFT >= horizon {
-                break;
-            }
-            let f = self.overflow.remove(&(ns, seq)).expect("peeked key");
+        for ((ns, seq), f) in promote {
             let entry = Entry {
                 at: Time::from_nanos(ns),
                 seq,
@@ -214,25 +326,112 @@ impl TimingWheel {
                 self.mark(idx);
             }
         }
-        !self.active.is_empty() || self.refill()
     }
 
-    fn peek_at(&mut self) -> Option<Time> {
+    /// Pops the earliest `(time, seq)` entry if it is due at or before
+    /// `deadline`. One refill, one heap peek, one heap pop — the run
+    /// loop's single hot call.
+    fn pop_at_or_before(&mut self, deadline: Time) -> Option<Entry> {
         if !self.refill() {
             return None;
         }
-        self.active.peek().map(|e| e.at)
-    }
-
-    fn pop(&mut self) -> Option<Entry> {
-        if !self.refill() {
+        if self.active.peek()?.at > deadline {
             return None;
         }
-        let e = self.active.pop();
-        if e.is_some() {
-            self.len -= 1;
+        self.len -= 1;
+        self.active.pop()
+    }
+}
+
+/// Pops the earliest heap entry if due at or before `deadline`.
+fn heap_pop_at_or_before(heap: &mut BinaryHeap<Entry>, deadline: Time) -> Option<Entry> {
+    if heap.peek()?.at > deadline {
+        return None;
+    }
+    heap.pop()
+}
+
+/// How many pushes between scheduler-observer policy evaluations (and
+/// `sched.*` gauge refreshes).
+const OBS_WINDOW: u32 = 1024;
+/// Hybrid switches to the wheel when a window closes with at least this
+/// many events pending (and a wheel-friendly horizon mix) — the density
+/// where slot indexing beats `log n` sift costs by a safe margin.
+const WHEEL_ON_PENDING: usize = 96;
+/// Hybrid switches back to the heap when a window closes with at most
+/// this many events pending. Kept well below [`WHEEL_ON_PENDING`] so the
+/// policy has hysteresis instead of flapping around one threshold.
+const HEAP_ON_PENDING: usize = 24;
+/// Minimum fraction of a window's pushes landing inside the wheel horizon
+/// for the wheel to be considered: far-future-heavy mixes pay `BTreeMap`
+/// overflow churn that the heap avoids entirely.
+const NEAR_FRAC_MIN: f64 = 0.5;
+/// Consecutive windows that must agree before the hybrid migrates.
+const SWITCH_STREAK: u32 = 2;
+
+/// The backend a hybrid queue is currently running on.
+enum Backend {
+    Wheel(TimingWheel),
+    Heap(BinaryHeap<Entry>),
+}
+
+/// The adaptive queue behind [`SchedulerKind::Hybrid`].
+///
+/// Starts on the heap (optimal for the small runs and sparse mixes that
+/// dominate short simulations) and migrates once the observer reports a
+/// sustained dense, near-horizon mix. Migration drains one backend into
+/// the other wholesale; entries carry their `(time, seq)` keys, so the pop
+/// order — and therefore every trace byte — is unchanged by a switch.
+struct HybridQueue {
+    backend: Backend,
+    switches: u64,
+    wheel_streak: u32,
+    heap_streak: u32,
+}
+
+impl HybridQueue {
+    fn new() -> HybridQueue {
+        HybridQueue {
+            backend: Backend::Heap(BinaryHeap::new()),
+            switches: 0,
+            wheel_streak: 0,
+            heap_streak: 0,
         }
-        e
+    }
+
+    fn active_kind(&self) -> SchedulerKind {
+        match self.backend {
+            Backend::Wheel(_) => SchedulerKind::Wheel,
+            Backend::Heap(_) => SchedulerKind::Heap,
+        }
+    }
+
+    /// Feeds one closed observer window into the switch policy and
+    /// migrates when [`SWITCH_STREAK`] consecutive windows agree.
+    fn observe_window(&mut self, pending: usize, near_frac: f64) {
+        let wants_wheel = pending >= WHEEL_ON_PENDING && near_frac >= NEAR_FRAC_MIN;
+        let wants_heap = pending <= HEAP_ON_PENDING || near_frac < NEAR_FRAC_MIN / 2.0;
+        self.wheel_streak = if wants_wheel {
+            self.wheel_streak + 1
+        } else {
+            0
+        };
+        self.heap_streak = if wants_heap { self.heap_streak + 1 } else { 0 };
+        match &mut self.backend {
+            Backend::Heap(h) if self.wheel_streak >= SWITCH_STREAK => {
+                let heap = std::mem::take(h);
+                self.backend = Backend::Wheel(TimingWheel::from_heap(heap));
+                self.switches += 1;
+                self.wheel_streak = 0;
+            }
+            Backend::Wheel(w) if self.heap_streak >= SWITCH_STREAK => {
+                let wheel = std::mem::replace(w, TimingWheel::new());
+                self.backend = Backend::Heap(wheel.into_heap());
+                self.switches += 1;
+                self.heap_streak = 0;
+            }
+            _ => {}
+        }
     }
 }
 
@@ -240,6 +439,7 @@ impl TimingWheel {
 enum Queue {
     Wheel(TimingWheel),
     Heap(BinaryHeap<Entry>),
+    Hybrid(HybridQueue),
 }
 
 impl Queue {
@@ -247,6 +447,7 @@ impl Queue {
         match kind {
             SchedulerKind::Wheel => Queue::Wheel(TimingWheel::new()),
             SchedulerKind::Heap => Queue::Heap(BinaryHeap::new()),
+            SchedulerKind::Hybrid => Queue::Hybrid(HybridQueue::new()),
         }
     }
 
@@ -254,6 +455,16 @@ impl Queue {
         match self {
             Queue::Wheel(_) => SchedulerKind::Wheel,
             Queue::Heap(_) => SchedulerKind::Heap,
+            Queue::Hybrid(_) => SchedulerKind::Hybrid,
+        }
+    }
+
+    /// The concrete backend executing pops right now (differs from
+    /// [`Queue::kind`] only for the hybrid).
+    fn active_kind(&self) -> SchedulerKind {
+        match self {
+            Queue::Hybrid(h) => h.active_kind(),
+            other => other.kind(),
         }
     }
 
@@ -262,22 +473,22 @@ impl Queue {
         match self {
             Queue::Wheel(w) => w.push(entry),
             Queue::Heap(h) => h.push(entry),
+            Queue::Hybrid(q) => match &mut q.backend {
+                Backend::Wheel(w) => w.push(entry),
+                Backend::Heap(h) => h.push(entry),
+            },
         }
     }
 
     #[inline]
-    fn peek_at(&mut self) -> Option<Time> {
+    fn pop_at_or_before(&mut self, deadline: Time) -> Option<Entry> {
         match self {
-            Queue::Wheel(w) => w.peek_at(),
-            Queue::Heap(h) => h.peek().map(|e| e.at),
-        }
-    }
-
-    #[inline]
-    fn pop(&mut self) -> Option<Entry> {
-        match self {
-            Queue::Wheel(w) => w.pop(),
-            Queue::Heap(h) => h.pop(),
+            Queue::Wheel(w) => w.pop_at_or_before(deadline),
+            Queue::Heap(h) => heap_pop_at_or_before(h, deadline),
+            Queue::Hybrid(q) => match &mut q.backend {
+                Backend::Wheel(w) => w.pop_at_or_before(deadline),
+                Backend::Heap(h) => heap_pop_at_or_before(h, deadline),
+            },
         }
     }
 
@@ -285,8 +496,73 @@ impl Queue {
         match self {
             Queue::Wheel(w) => w.len,
             Queue::Heap(h) => h.len(),
+            Queue::Hybrid(q) => match &q.backend {
+                Backend::Wheel(w) => w.len,
+                Backend::Heap(h) => h.len(),
+            },
         }
     }
+
+    /// Consumes the queue into an unordered heap of its entries, for
+    /// whole-queue migration by [`Sim::set_scheduler`].
+    fn into_entries(self) -> BinaryHeap<Entry> {
+        match self {
+            Queue::Wheel(w) => w.into_heap(),
+            Queue::Heap(h) => h,
+            Queue::Hybrid(q) => match q.backend {
+                Backend::Wheel(w) => w.into_heap(),
+                Backend::Heap(h) => h,
+            },
+        }
+    }
+}
+
+/// Online observer of the event mix: how many events are pending and what
+/// fraction of recent schedules land inside the wheel horizon.
+///
+/// The observer runs identically under every [`SchedulerKind`] — it sees
+/// only the push sequence, which all backends share — so the `sched.*`
+/// gauges it publishes are byte-identical across same-seed wheel, heap,
+/// and hybrid runs, and the hybrid's policy input is exactly what the
+/// other modes merely report.
+struct SchedObserver {
+    window_pushes: u32,
+    window_near: u32,
+    windows: u64,
+    pending_gauge: SiteGauge,
+    near_gauge: SiteGauge,
+}
+
+impl SchedObserver {
+    fn new() -> SchedObserver {
+        SchedObserver {
+            window_pushes: 0,
+            window_near: 0,
+            windows: 0,
+            pending_gauge: SiteGauge::new(),
+            near_gauge: SiteGauge::new(),
+        }
+    }
+}
+
+/// A point-in-time report of the scheduler's state and adaptive history;
+/// see [`Sim::sched_status`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedStatus {
+    /// The configured queue implementation.
+    pub kind: SchedulerKind,
+    /// The backend executing pops right now: equals `kind` for the fixed
+    /// schedulers, and the hybrid's current choice of [`Wheel`] or
+    /// [`Heap`] otherwise.
+    ///
+    /// [`Wheel`]: SchedulerKind::Wheel
+    /// [`Heap`]: SchedulerKind::Heap
+    pub active: SchedulerKind,
+    /// How many times the hybrid has migrated backends (always 0 for the
+    /// fixed schedulers).
+    pub switches: u64,
+    /// Completed observer windows (of `OBS_WINDOW` = 1024 pushes each).
+    pub windows: u64,
 }
 
 /// A deterministic discrete-event simulator.
@@ -319,6 +595,7 @@ pub struct Sim {
     now: Time,
     seq: u64,
     queue: Queue,
+    obs: SchedObserver,
     rng: StdRng,
     seed: u64,
     stopped: bool,
@@ -336,6 +613,7 @@ impl fmt::Debug for Sim {
             .field("executed", &self.executed)
             .field("seed", &self.seed)
             .field("scheduler", &self.queue.kind())
+            .field("active_backend", &self.queue.active_kind())
             .field("stopped", &self.stopped)
             .field("telemetry", &self.telemetry.is_some())
             .field("faults", &self.faults.is_some())
@@ -346,21 +624,23 @@ impl fmt::Debug for Sim {
 impl Sim {
     /// Creates a simulator whose random stream is derived from `seed`.
     ///
-    /// The event queue defaults to the timing wheel; set `LYNX_SCHED=heap`
-    /// (or use [`Sim::with_scheduler`]) to select the binary-heap oracle.
+    /// The event queue defaults to the adaptive hybrid; set
+    /// `LYNX_SCHED=wheel|heap` (or use [`Sim::with_scheduler`]) to pin a
+    /// fixed backend.
     pub fn new(seed: u64) -> Sim {
         Sim::with_scheduler(seed, SchedulerKind::from_env())
     }
 
     /// Creates a simulator on an explicit event-queue implementation.
     ///
-    /// Used by differential tests that run the same workload under both
+    /// Used by differential tests that run the same workload under all
     /// schedulers and assert byte-identical telemetry.
     pub fn with_scheduler(seed: u64, kind: SchedulerKind) -> Sim {
         Sim {
             now: Time::ZERO,
             seq: 0,
             queue: Queue::new(kind),
+            obs: SchedObserver::new(),
             rng: StdRng::seed_from_u64(seed),
             seed,
             stopped: false,
@@ -374,6 +654,47 @@ impl Sim {
     /// Which event-queue implementation this simulator runs on.
     pub fn scheduler(&self) -> SchedulerKind {
         self.queue.kind()
+    }
+
+    /// Replaces the event queue with `kind`, migrating every pending event.
+    ///
+    /// Entries carry their `(time, seq)` keys across the migration, so the
+    /// execution order — and any telemetry derived from it — is unchanged.
+    /// This is the hook [`LynxServerBuilder::scheduler`] uses to let a
+    /// deployment pin its backend at build time; it is also safe mid-run.
+    ///
+    /// [`LynxServerBuilder::scheduler`]: ../lynx_core/struct.LynxServerBuilder.html
+    pub fn set_scheduler(&mut self, kind: SchedulerKind) {
+        if self.queue.kind() == kind {
+            return;
+        }
+        let old = std::mem::replace(&mut self.queue, Queue::new(kind));
+        let entries = old.into_entries();
+        match &mut self.queue {
+            Queue::Heap(h) => *h = entries,
+            Queue::Hybrid(q) => q.backend = Backend::Heap(entries),
+            Queue::Wheel(w) => *w = TimingWheel::from_heap(entries),
+        }
+    }
+
+    /// A report of the scheduler's configuration, the backend currently
+    /// executing pops, and the hybrid's switch/window history.
+    ///
+    /// This is deliberately *not* telemetry: the active backend differs
+    /// across scheduler modes by construction, so publishing it as a gauge
+    /// would break the byte-identical differential oracle. The
+    /// mode-independent observations (`sched.pending`, `sched.near_frac`)
+    /// are published as gauges instead.
+    pub fn sched_status(&self) -> SchedStatus {
+        SchedStatus {
+            kind: self.queue.kind(),
+            active: self.queue.active_kind(),
+            switches: match &self.queue {
+                Queue::Hybrid(q) => q.switches,
+                _ => 0,
+            },
+            windows: self.obs.windows,
+        }
     }
 
     /// The simulator's scratch-buffer pool (a cheap clone of the handle).
@@ -523,6 +844,38 @@ impl Sim {
             seq,
             f: Box::new(f),
         });
+        self.observe_push(at);
+    }
+
+    /// Feeds one push into the scheduler observer; on every
+    /// [`OBS_WINDOW`]th push, publishes the `sched.pending` /
+    /// `sched.near_frac` gauges and lets the hybrid evaluate its switch
+    /// policy. The inputs (push horizon, pending count) are identical
+    /// under every backend, so gauge bytes never depend on the mode.
+    #[inline]
+    fn observe_push(&mut self, at: Time) {
+        self.obs.window_pushes += 1;
+        if at.as_nanos().wrapping_sub(self.now.as_nanos()) < WHEEL_HORIZON_NS {
+            self.obs.window_near += 1;
+        }
+        if self.obs.window_pushes == OBS_WINDOW {
+            let pending = self.queue.len();
+            let near_frac = f64::from(self.obs.window_near) / f64::from(OBS_WINDOW);
+            self.obs.window_pushes = 0;
+            self.obs.window_near = 0;
+            self.obs.windows += 1;
+            if let Some(t) = &self.telemetry {
+                self.obs
+                    .pending_gauge
+                    .set_with(t, || "sched.pending".to_string(), pending as f64);
+                self.obs
+                    .near_gauge
+                    .set_with(t, || "sched.near_frac".to_string(), near_frac);
+            }
+            if let Queue::Hybrid(q) = &mut self.queue {
+                q.observe_window(pending, near_frac);
+            }
+        }
     }
 
     /// Requests the current [`Sim::run`] loop to stop after the event in
@@ -541,11 +894,7 @@ impl Sim {
     /// stopped, in which case the clock stays at the last event).
     pub fn run_until(&mut self, deadline: Time) {
         self.stopped = false;
-        while let Some(at) = self.queue.peek_at() {
-            if at > deadline {
-                break;
-            }
-            let entry = self.queue.pop().expect("peeked entry must pop");
+        while let Some(entry) = self.queue.pop_at_or_before(deadline) {
             debug_assert!(entry.at >= self.now, "event queue went back in time");
             self.now = entry.at;
             self.executed += 1;
@@ -661,9 +1010,9 @@ mod tests {
         assert_ne!(draw(99), draw(100));
     }
 
-    /// Runs the same randomized schedule under both queue implementations
-    /// and returns the two observed execution orders.
-    fn orders_for(spec: &[(u64, u32)]) -> (Vec<u32>, Vec<u32>) {
+    /// Runs the same randomized schedule under the given queue
+    /// implementations and returns the observed execution orders.
+    fn orders_for(spec: &[(u64, u32)]) -> Vec<Vec<u32>> {
         let run = |kind: SchedulerKind| {
             let mut sim = Sim::with_scheduler(3, kind);
             let order = Rc::new(RefCell::new(Vec::new()));
@@ -676,28 +1025,61 @@ mod tests {
             sim.run();
             Rc::try_unwrap(order).unwrap().into_inner()
         };
-        (run(SchedulerKind::Wheel), run(SchedulerKind::Heap))
+        [
+            SchedulerKind::Wheel,
+            SchedulerKind::Heap,
+            SchedulerKind::Hybrid,
+        ]
+        .into_iter()
+        .map(run)
+        .collect()
     }
 
     #[test]
     fn wheel_matches_heap_on_mixed_horizons() {
         // Same slot, adjacent slots, far beyond the wheel horizon, and
-        // ties — the wheel must reproduce the heap's order exactly.
+        // ties — every backend must reproduce the heap's order exactly.
+        let horizon = (SLOTS as u64) * SLOT_NS; // 1_048_576 ns
         let spec: Vec<(u64, u32)> = vec![
             (500, 0),
-            (500, 1),         // tie in the same slot
-            (1_100, 2),       // next slot
-            (300_000, 3),     // beyond the 262 µs horizon → overflow
-            (5_000_000, 4),   // deep overflow
-            (5_000_000, 5),   // overflow tie
-            (299_999, 6),     // just inside horizon after promotion
-            (0, 7),           // slot 0
-            (262_144, 8),     // exactly at the initial horizon boundary
-            (100_000_000, 9), // very deep overflow
+            (500, 1),              // tie in the same slot
+            (SLOT_NS + 100, 2),    // next slot
+            (horizon + 60_000, 3), // beyond the ~1 ms horizon → overflow
+            (5_000_000, 4),        // deep overflow
+            (5_000_000, 5),        // overflow tie
+            (horizon - 1, 6),      // just inside horizon after promotion
+            (0, 7),                // slot 0
+            (horizon, 8),          // exactly at the initial horizon boundary
+            (100_000_000, 9),      // very deep overflow
         ];
-        let (wheel, heap) = orders_for(&spec);
-        assert_eq!(wheel, heap);
-        assert_eq!(wheel, vec![7, 0, 1, 2, 8, 6, 3, 4, 5, 9]);
+        let orders = orders_for(&spec);
+        assert_eq!(orders[0], vec![7, 0, 1, 2, 6, 8, 3, 4, 5, 9]);
+        assert_eq!(orders[0], orders[1]);
+        assert_eq!(orders[0], orders[2]);
+    }
+
+    #[test]
+    fn sparse_occupancy_scans_stay_exact() {
+        // One event every few dozen slots, spanning several full ring
+        // revolutions plus wrap-around distances just under a revolution:
+        // the word-level bitmap scan must find each next slot exactly.
+        let mut spec: Vec<(u64, u32)> = Vec::new();
+        let mut t = 100u64;
+        for i in 0..120u32 {
+            spec.push((t, i));
+            // Gaps cycle through: same slot, a few slots, most of a
+            // revolution, and just over one revolution (overflow bound).
+            t += match i % 4 {
+                0 => 0,
+                1 => 3 * SLOT_NS,
+                2 => (SLOTS as u64 - 2) * SLOT_NS,
+                _ => (SLOTS as u64 + 5) * SLOT_NS,
+            };
+        }
+        let orders = orders_for(&spec);
+        assert_eq!(orders[0], (0..120).collect::<Vec<_>>());
+        assert_eq!(orders[0], orders[1]);
+        assert_eq!(orders[0], orders[2]);
     }
 
     #[test]
@@ -711,7 +1093,7 @@ mod tests {
                 return;
             }
             let o2 = Rc::clone(&order);
-            sim.schedule_in(Duration::from_micros(400), move |sim| {
+            sim.schedule_in(Duration::from_micros(1_500), move |sim| {
                 o2.borrow_mut().push(depth);
                 chain(sim, order, depth + 1);
             });
@@ -719,7 +1101,7 @@ mod tests {
         chain(&mut sim, Rc::clone(&order), 0);
         sim.run();
         assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4, 5]);
-        assert_eq!(sim.now(), Time::from_micros(2_400));
+        assert_eq!(sim.now(), Time::from_micros(9_000));
     }
 
     #[test]
@@ -728,6 +1110,9 @@ mod tests {
         assert_eq!(sim.scheduler(), SchedulerKind::Heap);
         let sim = Sim::with_scheduler(1, SchedulerKind::Wheel);
         assert_eq!(sim.scheduler(), SchedulerKind::Wheel);
+        let sim = Sim::with_scheduler(1, SchedulerKind::Hybrid);
+        assert_eq!(sim.scheduler(), SchedulerKind::Hybrid);
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Hybrid);
     }
 
     #[test]
@@ -759,5 +1144,76 @@ mod tests {
         });
         sim.run();
         assert_eq!(*order.borrow(), vec!["near", "far"]);
+    }
+
+    /// Drives a hybrid sim through a dense near-horizon burst (to cross
+    /// the wheel-on threshold) and then a sparse tail (to cross back),
+    /// asserting both switches happen and order never wavers.
+    #[test]
+    fn hybrid_switches_both_ways_and_keeps_order() {
+        let mut sim = Sim::with_scheduler(9, SchedulerKind::Hybrid);
+        assert_eq!(sim.sched_status().active, SchedulerKind::Heap);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        // Dense phase: several observer windows' worth of pushes with a
+        // few hundred events pending at each window close.
+        for i in 0..(OBS_WINDOW as u64 * 4) {
+            let order = Rc::clone(&order);
+            sim.schedule_at(Time::from_nanos(1_000 + i * 40), move |_| {
+                order.borrow_mut().push(i);
+            });
+        }
+        // Interleave pops with pushes so pending stays high while the
+        // windows close: run the first chunk only.
+        sim.run_until(Time::from_nanos(900));
+        sim.run_until(Time::from_nanos(1_000 + OBS_WINDOW as u64 * 40));
+        let mid = sim.sched_status();
+        assert_eq!(mid.kind, SchedulerKind::Hybrid);
+        assert_eq!(
+            mid.active,
+            SchedulerKind::Wheel,
+            "dense burst must switch the hybrid onto the wheel ({mid:?})"
+        );
+        assert!(mid.switches >= 1);
+        sim.run();
+        // Sparse phase: a self-rescheduling chain keeps pending at 1
+        // across many windows — the hybrid must fall back to the heap.
+        fn chain(sim: &mut Sim, left: u64) {
+            if left == 0 {
+                return;
+            }
+            sim.schedule_in(Duration::from_nanos(50), move |sim| chain(sim, left - 1));
+        }
+        chain(&mut sim, OBS_WINDOW as u64 * 3);
+        sim.run();
+        let end = sim.sched_status();
+        assert_eq!(
+            end.active,
+            SchedulerKind::Heap,
+            "sparse tail must switch the hybrid back to the heap ({end:?})"
+        );
+        assert!(end.switches >= 2);
+        let got = Rc::try_unwrap(order).unwrap().into_inner();
+        assert_eq!(got, (0..OBS_WINDOW as u64 * 4).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn set_scheduler_migrates_pending_events() {
+        let mut sim = Sim::with_scheduler(2, SchedulerKind::Heap);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (i, ns) in [900_000u64, 10, 5_000, 300_000].into_iter().enumerate() {
+            let order = Rc::clone(&order);
+            sim.schedule_at(Time::from_nanos(ns), move |_| {
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.set_scheduler(SchedulerKind::Wheel);
+        assert_eq!(sim.scheduler(), SchedulerKind::Wheel);
+        assert_eq!(sim.pending(), 4);
+        sim.run_until(Time::from_nanos(6_000));
+        // And back mid-run, with events still pending.
+        sim.set_scheduler(SchedulerKind::Hybrid);
+        assert_eq!(sim.pending(), 2);
+        sim.run();
+        assert_eq!(*order.borrow(), vec![1, 2, 3, 0]);
     }
 }

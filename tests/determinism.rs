@@ -108,46 +108,54 @@ fn traced_run(seed: u64, kind: SchedulerKind, faults: bool) -> (Telemetry, RunSu
     (telemetry, summary)
 }
 
-/// The timing-wheel scheduler is an exact drop-in for the binary heap: a
-/// same-seed end-to-end run produces byte-identical telemetry under both
-/// backends — same trace bytes, same counter snapshots, same summary.
+/// Every scheduler backend is an exact drop-in for the binary-heap
+/// oracle: a same-seed end-to-end run produces byte-identical telemetry
+/// under wheel, heap, and the adaptive hybrid — same trace bytes, same
+/// counter and gauge snapshots, same summary. This is the differential
+/// guarantee that lets the engine pick a backend per deployment without
+/// any figure shifting by a byte.
 #[test]
 fn wheel_and_heap_schedulers_are_observably_identical() {
     for faults in [false, true] {
-        let (wheel_t, wheel_s) = traced_run(4242, SchedulerKind::Wheel, faults);
         let (heap_t, heap_s) = traced_run(4242, SchedulerKind::Heap, faults);
-        assert!(wheel_t.event_count() > 1_000, "trace must be non-trivial");
-        assert_eq!(
-            wheel_t.to_jsonl(),
-            heap_t.to_jsonl(),
-            "trace bytes diverge (faults={faults})"
-        );
-        assert_eq!(wheel_t.to_chrome_trace(), heap_t.to_chrome_trace());
-        assert_eq!(
-            wheel_t.counters_csv(),
-            heap_t.counters_csv(),
-            "counter snapshots diverge (faults={faults})"
-        );
-        assert_eq!(wheel_t.counters(), heap_t.counters());
-        assert_eq!(wheel_t.gauges(), heap_t.gauges());
-        assert_eq!(wheel_s.sent, heap_s.sent);
-        assert_eq!(wheel_s.received, heap_s.received);
-        assert_eq!(wheel_s.throughput, heap_s.throughput);
-        for p in [1.0, 50.0, 99.0, 99.9] {
-            assert_eq!(wheel_s.latency.percentile(p), heap_s.latency.percentile(p));
+        assert!(heap_t.event_count() > 1_000, "trace must be non-trivial");
+        for kind in [SchedulerKind::Wheel, SchedulerKind::Hybrid] {
+            let (t, s) = traced_run(4242, kind, faults);
+            assert_eq!(
+                t.to_jsonl(),
+                heap_t.to_jsonl(),
+                "trace bytes diverge (kind={kind:?}, faults={faults})"
+            );
+            assert_eq!(t.to_chrome_trace(), heap_t.to_chrome_trace());
+            assert_eq!(
+                t.counters_csv(),
+                heap_t.counters_csv(),
+                "counter snapshots diverge (kind={kind:?}, faults={faults})"
+            );
+            assert_eq!(t.counters(), heap_t.counters());
+            assert_eq!(t.gauges(), heap_t.gauges());
+            assert_eq!(s.sent, heap_s.sent);
+            assert_eq!(s.received, heap_s.received);
+            assert_eq!(s.throughput, heap_s.throughput);
+            for p in [1.0, 50.0, 99.0, 99.9] {
+                assert_eq!(s.latency.percentile(p), heap_s.latency.percentile(p));
+            }
         }
     }
 }
 
-/// `LYNX_SCHED=heap` is the escape hatch: `Sim::new` consults the env
-/// var, `Sim::with_scheduler` pins the backend explicitly.
+/// `LYNX_SCHED=wheel|heap|hybrid` is the escape hatch: `Sim::new`
+/// consults the env var (unset means the adaptive hybrid default),
+/// `Sim::with_scheduler` pins the backend explicitly.
 #[test]
 fn scheduler_kind_env_escape_hatch_parses() {
     let expect = match std::env::var("LYNX_SCHED") {
         Ok(v) if v.eq_ignore_ascii_case("heap") => SchedulerKind::Heap,
-        _ => SchedulerKind::Wheel,
+        Ok(v) if v.eq_ignore_ascii_case("wheel") => SchedulerKind::Wheel,
+        _ => SchedulerKind::Hybrid,
     };
     assert_eq!(SchedulerKind::from_env(), expect);
+    assert_eq!(SchedulerKind::default(), SchedulerKind::Hybrid);
 }
 
 #[test]
