@@ -106,7 +106,7 @@ fn run(v: Variant, delay: Duration) -> Outcome {
     Outcome {
         throughput: summary.throughput,
         mean_us: summary.mean_us(),
-        p99_us: summary.percentile_us(99.0),
+        p99_us: summary.percentile_us(99.0).expect("no latency samples"),
         drops: d.server.mqueue_drops() + d.server.stats().dropped,
     }
 }

@@ -154,7 +154,7 @@ fn main() {
         table.row(&[
             name.to_string(),
             format!("{:.1}", s.kreq_per_sec()),
-            format!("{:.0}", s.percentile_us(50.0)),
+            format!("{:.0}", s.percentile_us(50.0).expect("no latency samples")),
             format!("{:.2}x", s.throughput / hc.throughput),
             paper.to_string(),
         ]);

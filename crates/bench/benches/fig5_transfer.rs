@@ -16,7 +16,7 @@
 use std::time::Duration;
 
 use lynx_bench::ShapeReport;
-use lynx_device::calib;
+use lynx_device::GpuProfile;
 use lynx_fabric::xfer::Mechanism;
 use lynx_workload::report::{banner, Table};
 
@@ -53,8 +53,8 @@ const COMBOS: [(&str, Mechanism, Mechanism); 4] = [
 fn throughput(data: Mechanism, control: Mechanism, payload: usize) -> f64 {
     let cpu = DISPATCH_BASE + data.cost(payload).cpu + control.control_cost().cpu;
     // The single GPU thread copies the payload in and out of the mqueue.
-    let gpu = Duration::from_secs_f64(payload as f64 / calib::GPU_THREAD_COPY_BPS)
-        + calib::GPU_POLL_DETECT;
+    let gpu = Duration::from_secs_f64(payload as f64 / GpuProfile::reference().thread_copy_bps)
+        + GpuProfile::reference().poll_detect;
     let bottleneck = cpu.max(gpu);
     1.0 / bottleneck.as_secs_f64()
 }

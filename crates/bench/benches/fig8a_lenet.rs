@@ -161,9 +161,9 @@ fn main() {
         table.row(&[
             name.to_string(),
             format!("{:.2}", t.kreq_per_sec()),
-            format!("{:.0}", l.percentile_us(50.0)),
-            format!("{:.0}", l.percentile_us(90.0)),
-            format!("{:.0}", l.percentile_us(99.0)),
+            format!("{:.0}", l.percentile_us(50.0).expect("no latency samples")),
+            format!("{:.0}", l.percentile_us(90.0).expect("no latency samples")),
+            format!("{:.0}", l.percentile_us(99.0).expect("no latency samples")),
             paper.to_string(),
         ]);
     }
@@ -192,10 +192,14 @@ fn main() {
     );
     report.check(
         "Lynx p90 is ~300us",
-        (270.0..=340.0).contains(&bf_udp.1.percentile_us(90.0)),
-        format!("{:.0} us", bf_udp.1.percentile_us(90.0)),
+        (270.0..=340.0).contains(&bf_udp.1.percentile_us(90.0).expect("no latency samples")),
+        format!(
+            "{:.0} us",
+            bf_udp.1.percentile_us(90.0).expect("no latency samples")
+        ),
     );
-    let hc_slower = hc.1.percentile_us(90.0) / xeon_udp.1.percentile_us(90.0);
+    let hc_slower = hc.1.percentile_us(90.0).expect("no latency samples")
+        / xeon_udp.1.percentile_us(90.0).expect("no latency samples");
     report.check(
         "host-centric p90 is ~14% slower than Lynx",
         (1.05..=1.30).contains(&hc_slower),

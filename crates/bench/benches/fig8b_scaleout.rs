@@ -168,7 +168,7 @@ fn main() {
         ADMIT / 1e3,
         shed.kreq_per_sec(),
         shed.rejected,
-        shed.percentile_us(99.0)
+        shed.percentile_us(99.0).expect("no latency samples")
     );
 
     let mut report = ShapeReport::new();
@@ -216,8 +216,8 @@ fn main() {
         shed.latency.percentile(99.0) < t4.latency.percentile(99.0),
         format!(
             "{:.0} us vs {:.0} us",
-            shed.percentile_us(99.0),
-            t4.percentile_us(99.0)
+            shed.percentile_us(99.0).expect("no latency samples"),
+            t4.percentile_us(99.0).expect("no latency samples")
         ),
     );
     report.print();

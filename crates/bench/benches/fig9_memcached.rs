@@ -25,7 +25,7 @@ use std::time::Duration;
 
 use lynx_apps::kv;
 use lynx_bench::{client_stack, KvServer, ShapeReport};
-use lynx_device::calib;
+use lynx_device::BluefieldProfile;
 use lynx_net::{HostStack, LinkSpec, Network, Platform, StackKind, StackProfile};
 use lynx_sim::{rng::Zipf, MultiServer, Sim};
 use lynx_workload::report::{banner, Table};
@@ -50,7 +50,7 @@ fn run_memcached(platform: Platform, cores: usize, window_per_core: usize) -> Ru
         11211,
         match platform {
             Platform::Xeon => 1.0,
-            Platform::ArmA72 => calib::ARM_RELATIVE_SPEED,
+            Platform::ArmA72 => BluefieldProfile::RELATIVE_SPEED,
         },
     );
     // Preload the keyspace.
@@ -116,7 +116,8 @@ fn main() {
     // request at a time; if p99 still exceeds the Xeon-level target, the
     // SmartNIC contributes nothing under the SLO.
     let bf_min = run_memcached(Platform::ArmA72, 7, 1);
-    let bf_latency_ok = bf_min.percentile_us(99.0) <= latency_target_us;
+    let bf_latency_ok =
+        bf_min.percentile_us(99.0).expect("no latency samples") <= latency_target_us;
     let bf_lat_contrib = if bf_latency_ok {
         bf_min.throughput
     } else {
@@ -127,7 +128,10 @@ fn main() {
     table.row(&[
         "5 Xeon cores".to_string(),
         format!("{:.2}", xeon5.throughput / 1e6),
-        format!("{:.1}", xeon5.percentile_us(99.0)),
+        format!(
+            "{:.1}",
+            xeon5.percentile_us(99.0).expect("no latency samples")
+        ),
         "~1.25 Mtps @ ~15us".to_string(),
     ]);
     table.row(&[
@@ -135,21 +139,27 @@ fn main() {
         format!("{:.2}", (xeon5.throughput + bf_tput.throughput) / 1e6),
         format!(
             "{:.1} (Xeon) / {:.1} (BF)",
-            xeon5.percentile_us(99.0),
-            bf_tput.percentile_us(99.0)
+            xeon5.percentile_us(99.0).expect("no latency samples"),
+            bf_tput.percentile_us(99.0).expect("no latency samples")
         ),
         "BF adds 400Ktps @ 160us".to_string(),
     ]);
     table.row(&[
         "5 cores + Bluefield (latency-opt)".to_string(),
         format!("{:.2}", (xeon5.throughput + bf_lat_contrib) / 1e6),
-        format!("{:.1}", xeon5.percentile_us(99.0)),
+        format!(
+            "{:.1}",
+            xeon5.percentile_us(99.0).expect("no latency samples")
+        ),
         "BF cannot meet 15us".to_string(),
     ]);
     table.row(&[
         "6 Xeon cores".to_string(),
         format!("{:.2}", xeon6.throughput / 1e6),
-        format!("{:.1}", xeon6.percentile_us(99.0)),
+        format!(
+            "{:.1}",
+            xeon6.percentile_us(99.0).expect("no latency samples")
+        ),
         "~1.5 Mtps @ ~15us".to_string(),
     ]);
     println!("\n{}", table.render());
@@ -165,8 +175,11 @@ fn main() {
     );
     report.check(
         "Xeon p99 stays near ~15us at max throughput",
-        xeon1.percentile_us(99.0) < 25.0,
-        format!("{:.1} us", xeon1.percentile_us(99.0)),
+        xeon1.percentile_us(99.0).expect("no latency samples") < 25.0,
+        format!(
+            "{:.1} us",
+            xeon1.percentile_us(99.0).expect("no latency samples")
+        ),
     );
     report.check(
         "Bluefield yields ~400 Ktps at maximum",
@@ -175,11 +188,12 @@ fn main() {
     );
     report.check(
         "but at a dramatic latency increase (paper: 160us vs 15us)",
-        bf_tput.percentile_us(99.0) > 6.0 * xeon1.percentile_us(99.0),
+        bf_tput.percentile_us(99.0).expect("no latency samples")
+            > 6.0 * xeon1.percentile_us(99.0).expect("no latency samples"),
         format!(
             "{:.0} us vs {:.1} us",
-            bf_tput.percentile_us(99.0),
-            xeon1.percentile_us(99.0)
+            bf_tput.percentile_us(99.0).expect("no latency samples"),
+            xeon1.percentile_us(99.0).expect("no latency samples")
         ),
     );
     report.check(
@@ -187,7 +201,7 @@ fn main() {
         !bf_latency_ok,
         format!(
             "minimum-load p99 {:.1} us > {latency_target_us} us target",
-            bf_min.percentile_us(99.0)
+            bf_min.percentile_us(99.0).expect("no latency samples")
         ),
     );
     report.check(

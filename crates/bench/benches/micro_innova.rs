@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use lynx_bench::ShapeReport;
 use lynx_core::{InnovaReceiver, Mqueue, MqueueConfig, MqueueKind};
-use lynx_device::calib;
+use lynx_device::{BluefieldProfile, CostProfile};
 use lynx_fabric::{MemRegion, PcieFabric, PcieLink, RdmaNic};
 use lynx_net::{Datagram, LinkSpec, Network, Platform, SockAddr, StackKind, StackProfile};
 use lynx_sim::{MultiServer, Server, Sim, Time};
@@ -78,9 +78,10 @@ fn bluefield_rate() -> f64 {
     // Receive path only: ARM UDP rx + dispatch + mqueue scan + RDMA post,
     // spread over the 7 Lynx cores.
     let prof = StackProfile::of(Platform::ArmA72, StackKind::Vma);
-    let per_pkt = prof.udp_rx + calib::DISPATCH_COST_ARM + calib::MQ_SCAN_COST_ARM * MQUEUES;
+    let per_pkt =
+        prof.udp_rx + BluefieldProfile.dispatch_cost() + BluefieldProfile.mq_scan() * MQUEUES;
     saturate(move |sim, done| {
-        let cores = MultiServer::new(calib::BLUEFIELD_LYNX_CORES, 1.0);
+        let cores = MultiServer::new(BluefieldProfile::LYNX_CORES, 1.0);
         for _ in 0..120_000u32 {
             let d = Rc::clone(&done);
             cores.submit(sim, per_pkt, move |_| d.set(d.get() + 1));

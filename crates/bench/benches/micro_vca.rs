@@ -19,7 +19,7 @@ use lynx_core::{
     CostModel, DispatchPolicy, ExecUnit, LynxServerBuilder, Mqueue, MqueueConfig, MqueueKind,
     ProcessorApp, RemoteMqManager, Worker,
 };
-use lynx_device::{calib, CpuKind, RequestProcessor, Vca, VcaNode};
+use lynx_device::{BluefieldProfile, CpuKind, RequestProcessor, Vca, VcaNode, VcaProfile};
 use lynx_fabric::MemRegion;
 use lynx_net::{HostStack, LinkSpec, Platform, SockAddr, StackKind, StackProfile};
 use lynx_sim::{MultiServer, Sim};
@@ -42,11 +42,11 @@ impl ExecUnit for VcaUnit {
     }
 
     fn poll_detect(&self) -> Duration {
-        calib::VCA_MAPPED_POLL
+        VcaProfile::MAPPED_POLL
     }
 
     fn local_io(&self) -> Duration {
-        calib::VCA_MAPPED_ACCESS
+        VcaProfile::MAPPED_ACCESS
     }
 }
 
@@ -68,7 +68,7 @@ fn run_lynx() -> (f64, u64) {
     let stack = HostStack::new(
         &net,
         snic_host,
-        MultiServer::new(calib::BLUEFIELD_LYNX_CORES, 1.0),
+        MultiServer::new(BluefieldProfile::LYNX_CORES, 1.0),
         StackProfile::of(Platform::ArmA72, StackKind::Vma),
     );
     // §5.4 workaround: RDMA into VCA memory did not work, so the mqueue
@@ -118,7 +118,10 @@ fn run_lynx() -> (f64, u64) {
     });
     let summary = run_measured(&mut sim, &[&client], spec());
     assert_eq!(summary.invalid, 0, "enclave results must decrypt correctly");
-    (summary.percentile_us(90.0), summary.received)
+    (
+        summary.percentile_us(90.0).expect("no latency samples"),
+        summary.received,
+    )
 }
 
 fn run_baseline() -> (f64, u64) {
@@ -142,17 +145,17 @@ fn run_baseline() -> (f64, u64) {
         let node = node_core.clone();
         let svc = Rc::clone(&svc);
         // Bridge forwards the packet, IP-over-PCIe carries it to the node.
-        bridge.submit(sim, calib::VCA_BRIDGE_FORWARD, move |sim| {
-            sim.schedule_in(calib::VCA_IP_OVER_PCIE, move |sim| {
+        bridge.submit(sim, VcaProfile::BRIDGE_FORWARD, move |sim| {
+            sim.schedule_in(VcaProfile::IP_OVER_PCIE, move |sim| {
                 // VCA node kernel stack receive, then an ecall/ocall pair
                 // around the enclave computation, then kernel send.
-                let rx_tx = calib::VCA_KERNEL_RX + calib::VCA_KERNEL_TX;
+                let rx_tx = VcaProfile::KERNEL_RX + VcaProfile::KERNEL_TX;
                 let svc2 = Rc::clone(&svc);
                 node.exec_enclave(sim, SGX_COMPUTE_TIME + rx_tx, 2, move |sim| {
                     let resp = svc2.process(&dgram.payload);
-                    sim.schedule_in(calib::VCA_IP_OVER_PCIE, move |sim| {
+                    sim.schedule_in(VcaProfile::IP_OVER_PCIE, move |sim| {
                         let stack4 = stack3.clone();
-                        bridge2.submit(sim, calib::VCA_BRIDGE_FORWARD, move |sim| {
+                        bridge2.submit(sim, VcaProfile::BRIDGE_FORWARD, move |sim| {
                             stack4.send_udp(sim, port, reply_to, resp);
                         });
                     });
@@ -179,7 +182,10 @@ fn run_baseline() -> (f64, u64) {
     });
     let summary = run_measured(&mut sim, &[&client], spec());
     assert_eq!(summary.invalid, 0);
-    (summary.percentile_us(90.0), summary.received)
+    (
+        summary.percentile_us(90.0).expect("no latency samples"),
+        summary.received,
+    )
 }
 
 fn main() {

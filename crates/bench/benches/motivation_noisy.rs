@@ -98,8 +98,8 @@ fn run_hostcentric(neighbor_on: bool) -> Outcome {
     let summary = run_measured(&mut sim, &[&client], SPEC);
     let tile_rate = (tiles.get() - t0) as f64 / (SPEC.measure + SPEC.warmup).as_secs_f64();
     Outcome {
-        p50_ms: summary.percentile_us(50.0) / 1e3,
-        p99_ms: summary.percentile_us(99.0) / 1e3,
+        p50_ms: summary.percentile_us(50.0).expect("no latency samples") / 1e3,
+        p99_ms: summary.percentile_us(99.0).expect("no latency samples") / 1e3,
         neighbor_tiles_per_sec: tile_rate,
     }
 }
@@ -140,8 +140,8 @@ fn run_lynx(neighbor_on: bool) -> Outcome {
     let summary = run_measured(&mut sim, &[&client], SPEC);
     let tile_rate = (tiles.get() - t0) as f64 / (SPEC.measure + SPEC.warmup).as_secs_f64();
     Outcome {
-        p50_ms: summary.percentile_us(50.0) / 1e3,
-        p99_ms: summary.percentile_us(99.0) / 1e3,
+        p50_ms: summary.percentile_us(50.0).expect("no latency samples") / 1e3,
+        p99_ms: summary.percentile_us(99.0).expect("no latency samples") / 1e3,
         neighbor_tiles_per_sec: tile_rate,
     }
 }

@@ -15,7 +15,7 @@ use std::rc::Rc;
 use lynx_apps::kv::{self, KvStore};
 use lynx_apps::lbp;
 use lynx_core::{AccelApp, WorkerCtx};
-use lynx_device::calib;
+use lynx_device::GpuProfile;
 use lynx_net::{HostStack, LinkSpec, Network, Platform, StackKind, StackProfile};
 use lynx_sim::{MultiServer, Sim};
 
@@ -58,7 +58,7 @@ impl KvServer {
 
     /// Like [`KvServer::start`], but with the store's per-operation work
     /// scaled by a relative CPU speed (e.g.
-    /// [`lynx_device::calib::ARM_RELATIVE_SPEED`] when memcached runs on
+    /// [`lynx_device::BluefieldProfile::RELATIVE_SPEED`] when memcached runs on
     /// the BlueField's ARM cores, Figure 9).
     pub fn start_with_speed(stack: HostStack, port: u16, speed: f64) -> KvServer {
         assert!(speed > 0.0 && speed.is_finite(), "invalid speed");
@@ -142,7 +142,7 @@ impl AccelApp for FaceVerApp {
                 Some(kv::Response::Value(reference)) => u8::from(lbp::verify(&probe, &reference)),
                 _ => 0xFE, // database miss
             };
-            let work = lbp::LBP_KERNEL_TIME + calib::DYNAMIC_PARALLELISM_GAP;
+            let work = lbp::LBP_KERNEL_TIME + GpuProfile::reference().dynamic_parallelism_gap;
             ctx.compute(sim, work, move |sim, ctx| {
                 ctx.reply(sim, &[verdict]);
             });
@@ -254,6 +254,35 @@ pub fn echo_rig_with(
             addr
         }
     };
+    EchoRig { sim, net, addr }
+}
+
+/// Like [`echo_rig`], but deploying an arbitrary [`DeployConfig`] over
+/// `gpus` identical local GPUs running `proc` — the entry point the
+/// auto-tuner bench uses to simulate both hand-tuned and tuned candidate
+/// deployments under one roof.
+///
+/// [`DeployConfig`]: lynx_core::testbed::DeployConfig
+pub fn rig_with_config(
+    proc: Rc<dyn lynx_device::RequestProcessor>,
+    gpus: usize,
+    spec: lynx_device::GpuSpec,
+    cfg: &lynx_core::testbed::DeployConfig,
+) -> EchoRig {
+    use lynx_core::testbed::{deploy_processor, Machine};
+
+    let mut sim = Sim::new(2020);
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let sites: Vec<_> = (0..gpus)
+        .map(|_| {
+            let gpu = machine.add_gpu(spec);
+            machine.gpu_site(&gpu)
+        })
+        .collect();
+    let d = deploy_processor(&mut sim, &net, &machine, &sites, cfg, proc);
+    let addr = d.server_addr;
+    std::mem::forget(d);
     EchoRig { sim, net, addr }
 }
 

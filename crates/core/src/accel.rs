@@ -14,7 +14,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
-use lynx_device::{calib, RequestProcessor, Threadblock};
+use lynx_device::{GpuProfile, RequestProcessor, Threadblock};
 use lynx_sim::{Bytes, Sim, TraceEvent};
 
 use crate::Mqueue;
@@ -60,11 +60,11 @@ impl ExecUnit for ThreadblockUnit {
     }
 
     fn poll_detect(&self) -> Duration {
-        calib::GPU_POLL_DETECT
+        GpuProfile::reference().poll_detect
     }
 
     fn local_io(&self) -> Duration {
-        Duration::from_nanos(200)
+        GpuProfile::reference().local_io
     }
 }
 
@@ -107,7 +107,7 @@ impl ProcessorApp {
 impl AccelApp for ProcessorApp {
     fn on_request(&self, sim: &mut Sim, request: Bytes, ctx: WorkerCtx) {
         let work = self.proc.service_time(&request)
-            + calib::DYNAMIC_PARALLELISM_GAP * self.proc.launches();
+            + GpuProfile::reference().dynamic_parallelism_gap * self.proc.launches();
         let response = self.proc.process(&request);
         ctx.compute(sim, work, move |sim, ctx| {
             ctx.reply(sim, &response);

@@ -13,12 +13,21 @@ use lynx_sim::{SchedulerKind, Sim, Telemetry};
 use crate::pipeline::{BatchPolicy, PipelineConfig};
 use crate::{
     ControlConfig, CostModel, DispatchPolicy, LynxServer, Mqueue, RecoveryConfig, RemoteMqManager,
-    ServiceId,
+    ServiceId, Validate,
 };
 
 enum Listener {
     Udp(u16),
     Tcp(u16),
+}
+
+/// Renders one validation error for the builder's aggregate message.
+fn config_message(e: crate::Error) -> String {
+    match e {
+        crate::Error::Config(msg) => msg,
+        crate::Error::InvalidConfig { field, reason } => format!("{field}: {reason}"),
+        other => other.to_string(),
+    }
 }
 
 /// One tenant service being described.
@@ -125,6 +134,12 @@ impl LynxServerBuilder {
         self
     }
 
+    /// Sets the per-message CPU costs from a typed platform profile
+    /// (equivalent to `cost_model(CostModel::from_profile(profile))`).
+    pub fn cost_profile(self, profile: &dyn lynx_device::CostProfile) -> Self {
+        self.cost_model(CostModel::from_profile(profile))
+    }
+
     /// Sets the dispatch policy of the *current* service.
     pub fn policy(mut self, policy: DispatchPolicy) -> Self {
         self.services.last_mut().expect("one service always").policy = policy;
@@ -201,8 +216,9 @@ impl LynxServerBuilder {
     /// Attaches a server mqueue of accelerator `accel` to the current
     /// service.
     pub fn server_mqueue(mut self, accel: usize, mq: Mqueue) -> Self {
-        if let Err(e) = mq.config().check() {
-            self.errors.push(format!("mqueue '{}': {e}", mq.label()));
+        if let Err(e) = mq.config().validate() {
+            self.errors
+                .push(format!("mqueue '{}': {}", mq.label(), config_message(e)));
         }
         self.services
             .last_mut()
@@ -271,17 +287,18 @@ impl LynxServerBuilder {
                 errors.push(format!("service {si} has listeners but no server mqueues"));
             }
         }
+        // Every config validates through the one `Validate` trait; the
+        // pipeline additionally cross-checks against the stack's lanes.
         if let Err(e) = self.pipeline.check(self.stack.cores().lanes()) {
-            errors.push(match e {
-                crate::Error::Config(msg) => msg,
-                other => other.to_string(),
-            });
+            errors.push(config_message(e));
         }
-        if let Err(e) = self.control.check() {
-            errors.push(match e {
-                crate::Error::Config(msg) => msg,
-                other => other.to_string(),
-            });
+        if let Err(e) = self.control.validate() {
+            errors.push(config_message(e));
+        }
+        for (i, rmq) in self.accels.iter().enumerate() {
+            if let Err(e) = rmq.config().validate() {
+                errors.push(format!("accelerator {i}: {}", config_message(e)));
+            }
         }
         for (accel, mq, _) in &self.bridges {
             if *accel >= n_accels {

@@ -9,7 +9,7 @@
 //!
 //! * **scales out** by unparking pre-provisioned remote-GPU workers
 //!   (paying the persistent-kernel launch cost,
-//!   `lynx_device::calib::GPU_WORKER_PROVISION`),
+//!   [`CostModel::provision`](crate::CostModel::provision)),
 //! * **scales in** by quiescing a worker's mqueue (park → flush in-flight
 //!   slots → [`crate::Mqueue::drain`], which hands its staged slot
 //!   buffers back to the scratch pool), and
@@ -134,25 +134,38 @@ impl ControlConfig {
         }
     }
 
-    /// Validates the configuration, reporting the first problem found.
+    /// Validates the configuration, reporting the first problem found
+    /// (delegates to the [`Validate`](crate::Validate) impl).
     pub fn check(&self) -> crate::Result<()> {
+        crate::Validate::validate(self)
+    }
+}
+
+impl crate::Validate for ControlConfig {
+    fn validate(&self) -> crate::Result<()> {
+        use crate::validate::invalid;
         if !self.enabled {
             return Ok(());
         }
         if self.min_workers == 0 {
-            return Err(crate::Error::Config(
-                "control: min_workers must be at least 1".into(),
+            return Err(invalid(
+                "control.min_workers",
+                "min_workers must be at least 1",
             ));
         }
         if self.max_workers != 0 && self.max_workers < self.min_workers {
-            return Err(crate::Error::Config(format!(
-                "control: max_workers {} below min_workers {}",
-                self.max_workers, self.min_workers
-            )));
+            return Err(invalid(
+                "control.max_workers",
+                format!(
+                    "max_workers {} below min_workers {}",
+                    self.max_workers, self.min_workers
+                ),
+            ));
         }
         if self.scan_interval.is_zero() {
-            return Err(crate::Error::Config(
-                "control: scan_interval must be positive".into(),
+            return Err(invalid(
+                "control.scan_interval",
+                "scan_interval must be positive",
             ));
         }
         // `partial_cmp` (not `<=`) so NaN thresholds are rejected too.
@@ -161,14 +174,18 @@ impl ControlConfig {
             .partial_cmp(&self.scale_out_occupancy)
             .is_none_or(|o| o == std::cmp::Ordering::Greater)
         {
-            return Err(crate::Error::Config(format!(
-                "control: scale_in_occupancy {} above scale_out_occupancy {}",
-                self.scale_in_occupancy, self.scale_out_occupancy
-            )));
+            return Err(invalid(
+                "control.scale_in_occupancy",
+                format!(
+                    "scale_in_occupancy {} above scale_out_occupancy {}",
+                    self.scale_in_occupancy, self.scale_out_occupancy
+                ),
+            ));
         }
         if self.hysteresis == 0 {
-            return Err(crate::Error::Config(
-                "control: hysteresis must be at least 1 window".into(),
+            return Err(invalid(
+                "control.hysteresis",
+                "hysteresis must be at least 1 window",
             ));
         }
         Ok(())

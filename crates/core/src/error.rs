@@ -29,6 +29,18 @@ pub enum Error {
     /// A configuration was rejected at build time (zero slots, undersized
     /// memory, missing listener, ...).
     Config(String),
+    /// One configuration field violated an invariant — the typed form
+    /// produced by [`Validate`](crate::Validate) implementations.
+    /// [`LynxServerBuilder::build`](crate::LynxServerBuilder::build)
+    /// aggregates these into a single [`Error::Config`]; code validating
+    /// one config in isolation sees them directly and can match on the
+    /// field structurally.
+    InvalidConfig {
+        /// Dotted path of the offending field, e.g. `pipeline.snic_cores`.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
     /// The admission controller rejected the request before any dispatch
     /// work (or RDMA verb) was done: the service is past the capacity even
     /// its maximum scale-out can serve within the SLO, so the request is
@@ -60,6 +72,9 @@ impl fmt::Display for Error {
                 "transport to mqueue '{queue}' failed after {attempts} attempts"
             ),
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration: {field}: {reason}")
+            }
             Error::Overloaded { service } => write!(
                 f,
                 "service {service} is overloaded; request shed by admission control"
@@ -97,6 +112,14 @@ mod tests {
         );
         let e = Error::Config("slots must be a power of two".into());
         assert!(e.to_string().contains("power of two"));
+        let e = Error::InvalidConfig {
+            field: "pipeline.snic_cores",
+            reason: "needs at least one SNIC core".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration: pipeline.snic_cores: needs at least one SNIC core"
+        );
         let e = Error::Overloaded { service: 2 };
         assert_eq!(
             e.to_string(),

@@ -52,6 +52,7 @@ pub mod pipeline;
 mod rmq;
 mod server;
 pub mod testbed;
+mod validate;
 
 pub use accel::{AccelApp, ExecUnit, ProcessorApp, ThreadblockUnit, Worker, WorkerCtx};
 pub use builder::LynxServerBuilder;
@@ -64,3 +65,4 @@ pub use mqueue::{Mqueue, MqueueConfig, MqueueKind, ReturnAddr, SLOT_HEADER};
 pub use pipeline::{BatchPolicy, Pipeline, PipelineConfig};
 pub use rmq::{RemoteMqManager, RmqConfig};
 pub use server::{CostModel, LynxServer, RecoveryConfig, ServerStats, ServiceId, SnicPlatform};
+pub use validate::Validate;

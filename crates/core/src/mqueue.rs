@@ -81,16 +81,27 @@ impl MqueueConfig {
         self.slot_size - SLOT_HEADER
     }
 
-    /// Validates the configuration, reporting the first problem found.
+    /// Validates the configuration, reporting the first problem found
+    /// (delegates to the [`Validate`](crate::Validate) impl).
     pub fn check(&self) -> crate::Result<()> {
+        crate::Validate::validate(self)
+    }
+}
+
+impl crate::Validate for MqueueConfig {
+    fn validate(&self) -> crate::Result<()> {
+        use crate::validate::invalid;
         if self.slots == 0 {
-            return Err(Error::Config("mqueue needs at least one slot".into()));
+            return Err(invalid("mqueue.slots", "mqueue needs at least one slot"));
         }
         if self.slot_size <= SLOT_HEADER {
-            return Err(Error::Config(format!(
-                "slot_size {} must exceed the {SLOT_HEADER}-byte header",
-                self.slot_size
-            )));
+            return Err(invalid(
+                "mqueue.slot_size",
+                format!(
+                    "slot_size {} must exceed the {SLOT_HEADER}-byte header",
+                    self.slot_size
+                ),
+            ));
         }
         Ok(())
     }
@@ -850,12 +861,24 @@ mod tests {
             slots: 0,
             ..MqueueConfig::default()
         };
-        assert!(matches!(zero_slots.check(), Err(Error::Config(_))));
+        assert!(matches!(
+            zero_slots.check(),
+            Err(Error::InvalidConfig {
+                field: "mqueue.slots",
+                ..
+            })
+        ));
         let thin_slots = MqueueConfig {
             slot_size: SLOT_HEADER,
             ..MqueueConfig::default()
         };
-        assert!(matches!(thin_slots.check(), Err(Error::Config(_))));
+        assert!(matches!(
+            thin_slots.check(),
+            Err(Error::InvalidConfig {
+                field: "mqueue.slot_size",
+                ..
+            })
+        ));
         assert!(MqueueConfig::default().check().is_ok());
         let mem = MemRegion::new(NodeId::host(), 64, "tiny");
         let err = Mqueue::try_new(MqueueKind::Server, mem, 0, MqueueConfig::default()).unwrap_err();

@@ -116,36 +116,28 @@ impl PipelineConfig {
         (key % self.snic_cores as u64) as usize
     }
 
-    /// Validates the configuration against the SNIC stack's lane count.
+    /// Validates the configuration against the SNIC stack's lane count:
+    /// the intrinsic [`Validate`](crate::Validate) invariants plus the
+    /// cross-object check that `snic_cores` fits `stack_lanes`.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Config`](crate::Error::Config) when `snic_cores`
-    /// is 0 or exceeds `stack_lanes`, when the batch policy is
-    /// `Fixed(0)`, or when an adaptive range is empty or degenerate.
+    /// Returns [`Error::InvalidConfig`](crate::Error::InvalidConfig) when
+    /// `snic_cores` is 0 or exceeds `stack_lanes`, when the batch policy
+    /// is `Fixed(0)`, or when an adaptive range is empty or degenerate.
     pub fn check(&self, stack_lanes: usize) -> crate::Result<()> {
-        if self.snic_cores == 0 {
-            return Err(crate::Error::Config(
-                "pipeline needs at least one SNIC core".into(),
+        use crate::validate::{invalid, Validate};
+        self.validate()?;
+        if self.snic_cores > stack_lanes {
+            return Err(invalid(
+                "pipeline.snic_cores",
+                format!(
+                    "pipeline wants {} SNIC cores but the stack pool has only {} lanes",
+                    self.snic_cores, stack_lanes
+                ),
             ));
         }
-        if self.snic_cores > stack_lanes {
-            return Err(crate::Error::Config(format!(
-                "pipeline wants {} SNIC cores but the stack pool has only {} lanes",
-                self.snic_cores, stack_lanes
-            )));
-        }
-        match self.batch {
-            BatchPolicy::Fixed(0) => Err(crate::Error::Config(
-                "batch size 0 is meaningless; use BatchPolicy::Unbatched".into(),
-            )),
-            BatchPolicy::Adaptive { min, max } if min == 0 || min > max || max < 2 => {
-                Err(crate::Error::Config(format!(
-                    "adaptive batch range {min}..{max} must satisfy 1 <= min <= max, max >= 2"
-                )))
-            }
-            _ => Ok(()),
-        }
+        Ok(())
     }
 
     /// How many messages a drain may take given `staged` waiting ones.
@@ -154,6 +146,29 @@ impl PipelineConfig {
             BatchPolicy::Unbatched => 1,
             BatchPolicy::Fixed(b) => b.max(1),
             BatchPolicy::Adaptive { min, max } => staged.clamp(min, max),
+        }
+    }
+}
+
+impl crate::Validate for PipelineConfig {
+    fn validate(&self) -> crate::Result<()> {
+        use crate::validate::invalid;
+        if self.snic_cores == 0 {
+            return Err(invalid(
+                "pipeline.snic_cores",
+                "pipeline needs at least one SNIC core",
+            ));
+        }
+        match self.batch {
+            BatchPolicy::Fixed(0) => Err(invalid(
+                "pipeline.batch",
+                "batch size 0 is meaningless; use BatchPolicy::Unbatched",
+            )),
+            BatchPolicy::Adaptive { min, max } if min == 0 || min > max || max < 2 => Err(invalid(
+                "pipeline.batch",
+                format!("adaptive batch range {min}..{max} must satisfy 1 <= min <= max, max >= 2"),
+            )),
+            _ => Ok(()),
         }
     }
 }

@@ -64,6 +64,34 @@ impl RmqConfig {
     }
 }
 
+impl crate::Validate for RmqConfig {
+    fn validate(&self) -> crate::Result<()> {
+        use crate::validate::invalid;
+        if self.verb_timeout.is_zero() {
+            return Err(invalid(
+                "rmq.verb_timeout",
+                "verb watchdog timeout must be positive",
+            ));
+        }
+        if self.max_retries > 0 && self.backoff.is_zero() {
+            return Err(invalid(
+                "rmq.backoff",
+                "retry backoff must be positive when retries are enabled",
+            ));
+        }
+        if self.backoff_max < self.backoff {
+            return Err(invalid(
+                "rmq.backoff_max",
+                format!(
+                    "backoff_max {:?} below initial backoff {:?}",
+                    self.backoff_max, self.backoff
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// One posting attempt: runs the verb, reporting `Ok(value)` on success or
 /// `Err(())` on an error CQE. Invoked once per attempt by [`with_retry`].
 type PostFn<T> = dyn Fn(&mut Sim, Box<dyn FnOnce(&mut Sim, Result<T, ()>)>);

@@ -7,7 +7,7 @@ use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 use std::time::Duration;
 
-use lynx_device::{calib, CpuKind};
+use lynx_device::{profile_for, BluefieldProfile, CostProfile, CpuKind};
 use lynx_net::{ConnId, HostStack, SockAddr};
 use lynx_sim::{Bytes, Sim, SiteCounter, Telemetry, Time, TraceEvent};
 
@@ -30,7 +30,7 @@ impl SnicPlatform {
     /// Number of cores running the Lynx pipeline.
     pub fn cores(self) -> usize {
         match self {
-            SnicPlatform::Bluefield => calib::BLUEFIELD_LYNX_CORES,
+            SnicPlatform::Bluefield => BluefieldProfile::LYNX_CORES,
             SnicPlatform::HostCores(n) => n,
         }
     }
@@ -77,29 +77,31 @@ pub struct CostModel {
     /// Detection latency per mqueue in the forwarder's poll cycle
     /// (RDMA-bound, platform-independent; average delay is half a cycle).
     pub poll_rtt_per_mqueue: Duration,
+    /// Provisioning delay when the elastic control plane unparks a
+    /// remote worker (persistent-kernel spin-up).
+    pub provision: Duration,
 }
 
 impl CostModel {
-    /// Cost model for the given CPU kind.
-    pub fn for_cpu(kind: CpuKind) -> CostModel {
-        match kind {
-            CpuKind::ArmA72 => CostModel {
-                dispatch: calib::DISPATCH_COST_ARM,
-                forward: calib::FORWARD_COST_ARM,
-                dispatch_marginal: calib::DISPATCH_MARGINAL_ARM,
-                forward_marginal: calib::FORWARD_MARGINAL_ARM,
-                scan_per_mqueue: calib::MQ_SCAN_COST_ARM,
-                poll_rtt_per_mqueue: calib::MQ_POLL_RTT_PER_QUEUE,
-            },
-            CpuKind::XeonE5 | CpuKind::E3 => CostModel {
-                dispatch: calib::DISPATCH_COST_XEON,
-                forward: calib::FORWARD_COST_XEON,
-                dispatch_marginal: calib::DISPATCH_MARGINAL_XEON,
-                forward_marginal: calib::FORWARD_MARGINAL_XEON,
-                scan_per_mqueue: calib::MQ_SCAN_COST_XEON,
-                poll_rtt_per_mqueue: calib::MQ_POLL_RTT_PER_QUEUE,
-            },
+    /// Compiles a typed [`CostProfile`] into the flat per-message cost
+    /// table the hot path reads — the profile's values verbatim, so a
+    /// profile-built server is byte-identical to a const-built one.
+    pub fn from_profile(p: &dyn CostProfile) -> CostModel {
+        CostModel {
+            dispatch: p.dispatch_cost(),
+            forward: p.forward_cost(),
+            dispatch_marginal: p.dispatch_marginal(),
+            forward_marginal: p.forward_marginal(),
+            scan_per_mqueue: p.mq_scan(),
+            poll_rtt_per_mqueue: p.mq_poll_rtt(),
+            provision: p.provision_cost(),
         }
+    }
+
+    /// Cost model for the given CPU kind (the platform profile selected
+    /// by [`lynx_device::profile_for`]).
+    pub fn for_cpu(kind: CpuKind) -> CostModel {
+        CostModel::from_profile(profile_for(kind))
     }
 }
 
@@ -1377,7 +1379,8 @@ impl LynxServer {
                 detail: format!("provision {label}"),
             });
             let this = self.clone();
-            sim.schedule_in(calib::GPU_WORKER_PROVISION, move |sim| {
+            let provision = { self.inner.borrow().costs.provision };
+            sim.schedule_in(provision, move |sim| {
                 this.finish_provision(sim, service, qi);
             });
         }

@@ -355,7 +355,7 @@ impl DeployConfig {
                 // the lanes run at unit speed (no double scaling).
                 let host = net.add_host(format!("{}-bf", machine.name()), LinkSpec::gbps25());
                 let cores =
-                    lynx_sim::MultiServer::new(lynx_device::calib::BLUEFIELD_LYNX_CORES, 1.0);
+                    lynx_sim::MultiServer::new(lynx_device::BluefieldProfile::LYNX_CORES, 1.0);
                 let stack = HostStack::new(
                     net,
                     host,

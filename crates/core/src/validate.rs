@@ -1,0 +1,39 @@
+//! Unified build-time validation of configuration structs.
+//!
+//! Every configuration consumed by [`crate::LynxServerBuilder`] —
+//! [`PipelineConfig`](crate::PipelineConfig),
+//! [`ControlConfig`](crate::ControlConfig),
+//! [`RmqConfig`](crate::RmqConfig) and
+//! [`MqueueConfig`](crate::MqueueConfig) — implements one [`Validate`]
+//! trait, and [`LynxServerBuilder::build`](crate::LynxServerBuilder::build)
+//! walks them once, aggregating every violation into a single
+//! [`Error::Config`](crate::Error::Config). Each individual violation is
+//! the typed [`Error::InvalidConfig`](crate::Error::InvalidConfig), naming
+//! the offending field and the reason, so callers validating a config in
+//! isolation (the auto-tuner, tests) can match on it structurally instead
+//! of parsing strings.
+
+/// Build-time validation of a configuration struct.
+///
+/// Implementations check every *intrinsic* invariant — one that holds or
+/// fails from the struct's own fields alone. Cross-object checks (a
+/// pipeline's core count against the stack's lane count, an mqueue
+/// against its memory region) stay with the code that owns both sides.
+///
+/// # Errors
+///
+/// The first violated invariant is reported as
+/// [`Error::InvalidConfig`](crate::Error::InvalidConfig) with the dotted
+/// field path (`"pipeline.snic_cores"`) and a human-readable reason.
+pub trait Validate {
+    /// Checks every intrinsic invariant of the configuration.
+    fn validate(&self) -> crate::Result<()>;
+}
+
+/// Shorthand for the uniform validation error.
+pub(crate) fn invalid(field: &'static str, reason: impl Into<String>) -> crate::Error {
+    crate::Error::InvalidConfig {
+        field,
+        reason: reason.into(),
+    }
+}

@@ -7,7 +7,8 @@ use std::rc::Rc;
 use lynx_net::Platform;
 use lynx_sim::{MultiServer, Server};
 
-use crate::{calib, LlcModel};
+use crate::profile::{BluefieldProfile, XeonProfile};
+use crate::LlcModel;
 
 /// CPU microarchitecture of a processing element.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -25,7 +26,7 @@ impl CpuKind {
     pub fn speed(self) -> f64 {
         match self {
             CpuKind::XeonE5 => 1.0,
-            CpuKind::ArmA72 => calib::ARM_RELATIVE_SPEED,
+            CpuKind::ArmA72 => BluefieldProfile::RELATIVE_SPEED,
             CpuKind::E3 => 0.9,
         }
     }
@@ -102,12 +103,12 @@ impl HostCpu {
 
     /// The testbed host CPU: a 6-core Xeon E5-2620 v2.
     pub fn xeon_e5() -> HostCpu {
-        HostCpu::new(CpuKind::XeonE5, calib::XEON_CORES)
+        HostCpu::new(CpuKind::XeonE5, XeonProfile::CORES)
     }
 
     /// BlueField's Lynx core budget: 7 of the 8 ARM A72 cores (§6.1).
     pub fn bluefield_arm() -> HostCpu {
-        HostCpu::new(CpuKind::ArmA72, calib::BLUEFIELD_LYNX_CORES)
+        HostCpu::new(CpuKind::ArmA72, BluefieldProfile::LYNX_CORES)
     }
 
     /// This CPU's kind.

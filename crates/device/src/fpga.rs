@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use lynx_sim::{Server, Sim, SiteCounter};
 
-use crate::calib;
+use crate::profile::FpgaProfile;
 
 /// The FPGA packet-processing pipeline of the Mellanox Innova Flex SNIC.
 ///
@@ -50,8 +50,8 @@ impl FpgaNic {
     pub fn new() -> FpgaNic {
         FpgaNic {
             pipeline: Server::new(1.0),
-            ii: calib::FPGA_INITIATION_INTERVAL,
-            depth: calib::FPGA_PIPELINE_LATENCY,
+            ii: FpgaProfile::INITIATION_INTERVAL,
+            depth: FpgaProfile::PIPELINE_LATENCY,
             packets_site: Rc::new(SiteCounter::new()),
         }
     }
@@ -71,7 +71,7 @@ impl FpgaNic {
 
     /// Host-core cost per message of the UC-ring refill helper thread.
     pub fn helper_cost(&self) -> Duration {
-        calib::FPGA_HELPER_COST
+        FpgaProfile::HELPER_COST
     }
 
     /// Packets ingested so far.

@@ -9,7 +9,7 @@ use std::time::Duration;
 use lynx_fabric::{MemRegion, NodeId, PcieFabric};
 use lynx_sim::{MultiServer, Server, Sim, SiteCounter, SiteGauge};
 
-use crate::calib;
+use crate::profile::GpuProfile;
 
 /// Static characteristics of a GPU model.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -27,22 +27,22 @@ pub struct GpuSpec {
 impl GpuSpec {
     /// NVIDIA Tesla K40m — the paper's primary microbenchmark GPU.
     pub fn k40m() -> GpuSpec {
-        GpuSpec {
-            name: "K40m",
-            max_threadblocks: calib::K40M_MAX_THREADBLOCKS,
-            speed: 1.0,
-            mem_bytes: 64 << 20,
-        }
+        GpuSpec::from_profile(GpuProfile::k40m())
     }
 
     /// NVIDIA Tesla K80 (one of the two dies) — used in the scale-out
     /// experiments; "slower than K40m and achieves 3 300 req/sec at most"
     /// (§6.3, footnote 2).
     pub fn k80() -> GpuSpec {
+        GpuSpec::from_profile(GpuProfile::k80())
+    }
+
+    /// Builds a spec from an analytic [`GpuProfile`].
+    pub fn from_profile(p: GpuProfile) -> GpuSpec {
         GpuSpec {
-            name: "K80",
-            max_threadblocks: calib::K40M_MAX_THREADBLOCKS,
-            speed: calib::K80_RELATIVE_SPEED,
+            name: p.name,
+            max_threadblocks: p.max_threadblocks,
+            speed: p.relative_speed,
             mem_bytes: 64 << 20,
         }
     }
@@ -192,9 +192,9 @@ impl Gpu {
     /// dependent kernel launches, sync, D2H copy.
     ///
     /// Models both effects of §3.2: the per-request *latency* overhead
-    /// ([`calib::HOSTCENTRIC_LATENCY_OVERHEAD`], 30 µs) and the serialized
-    /// *driver occupancy* ([`calib::DRIVER_OCCUPANCY_PER_REQUEST`]) that
-    /// caps throughput regardless of stream concurrency. `done` fires when
+    /// ([`GpuProfile::hostcentric_overhead`], 30 µs) and the serialized
+    /// *driver occupancy* ([`GpuProfile::driver_occupancy`]) that caps
+    /// throughput regardless of stream concurrency. `done` fires when
     /// the response bytes are back in host memory.
     pub fn hostcentric_request(
         &self,
@@ -203,7 +203,8 @@ impl Gpu {
         launches: u32,
         done: impl FnOnce(&mut Sim) + 'static,
     ) {
-        let gaps = calib::KERNEL_LAUNCH_GAP * launches.saturating_sub(1);
+        let profile = GpuProfile::reference();
+        let gaps = profile.launch_gap * launches.saturating_sub(1);
         let (driver, exec) = {
             let inner = self.inner.borrow();
             if let Some(t) = sim.telemetry() {
@@ -228,12 +229,8 @@ impl Gpu {
             }
         };
         let join2 = join.clone();
-        driver.submit(
-            sim,
-            calib::DRIVER_OCCUPANCY_PER_REQUEST + gaps,
-            move |sim| join(sim),
-        );
-        let half = calib::HOSTCENTRIC_LATENCY_OVERHEAD / 2;
+        driver.submit(sim, profile.driver_occupancy + gaps, move |sim| join(sim));
+        let half = profile.hostcentric_overhead / 2;
         sim.schedule_in(half, move |sim| {
             exec.submit(sim, kernel_time + gaps, move |sim| {
                 sim.schedule_in(half, move |sim| join2(sim));

@@ -18,18 +18,25 @@
 //!   they can run inside any of these accelerators (functional result +
 //!   calibrated service time).
 //!
-//! All calibration constants live in [`calib`], each annotated with the
-//! paper measurement it reproduces.
+//! Every per-op cost is exposed through the typed [`profile`] module — a
+//! [`CostProfile`] implementation per platform ([`XeonProfile`],
+//! [`BluefieldProfile`], [`FpgaProfile`], [`VcaProfile`]) plus the
+//! accelerator-side [`GpuProfile`] — backed by the calibration constants
+//! in `calib`, each annotated with the paper measurement it reproduces.
+//! The raw `calib` consts are `#[doc(hidden)]` as of 0.5.0; consume the
+//! profiles instead (see `CHANGELOG.md` for the migration map).
 
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+#[doc(hidden)]
 pub mod calib;
 mod cpu;
 mod fpga;
 mod gpu;
 mod llc;
 mod processor;
+pub mod profile;
 mod vca;
 
 pub use cpu::{CpuKind, HostCpu};
@@ -37,4 +44,8 @@ pub use fpga::FpgaNic;
 pub use gpu::{Gpu, GpuSpec, Threadblock};
 pub use llc::LlcModel;
 pub use processor::{DelayProcessor, EchoProcessor, RequestProcessor};
+pub use profile::{
+    profile_for, AppProfile, BluefieldProfile, CostProfile, FpgaProfile, GpuProfile,
+    InterferenceProfile, VcaProfile, XeonProfile,
+};
 pub use vca::{Vca, VcaNode};

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use lynx_sim::{rng, Sim};
 
-use crate::calib;
+use crate::profile::InterferenceProfile;
 
 #[derive(Debug)]
 struct Inner {
@@ -72,14 +72,15 @@ impl Default for LlcModel {
 impl LlcModel {
     /// Creates the model with the calibrated §3.2 parameters.
     pub fn new() -> LlcModel {
+        let p = InterferenceProfile::xeon_llc();
         LlcModel {
             inner: Rc::new(RefCell::new(Inner {
                 neighbor_active: false,
                 victim_active: false,
-                stall_prob: calib::LLC_STALL_PROB,
-                stall_mean: calib::LLC_STALL_MEAN,
-                victim_inflation: calib::LLC_VICTIM_INFLATION,
-                neighbor_slowdown: calib::LLC_NEIGHBOR_SLOWDOWN,
+                stall_prob: p.stall_prob,
+                stall_mean: p.stall_mean,
+                victim_inflation: p.victim_inflation,
+                neighbor_slowdown: p.neighbor_slowdown,
             })),
         }
     }

@@ -3,7 +3,7 @@
 use std::fmt::Debug;
 use std::time::Duration;
 
-use crate::calib;
+use crate::profile::GpuProfile;
 
 /// A request-processing kernel that can run inside a simulated accelerator.
 ///
@@ -28,8 +28,8 @@ pub trait RequestProcessor: Debug {
 
     /// Number of dependent child-kernel launches the computation needs
     /// (one per fused layer for neural nets). Drives launch-overhead
-    /// charges: [`calib::KERNEL_LAUNCH_GAP`] each on the host-centric
-    /// path, [`calib::DYNAMIC_PARALLELISM_GAP`] each under Lynx.
+    /// charges: [`GpuProfile::launch_gap`] each on the host-centric
+    /// path, [`GpuProfile::dynamic_parallelism_gap`] each under Lynx.
     fn launches(&self) -> u32 {
         1
     }
@@ -47,7 +47,7 @@ impl RequestProcessor for EchoProcessor {
 
     fn service_time(&self, request: &[u8]) -> Duration {
         // A single GPU thread copies the payload.
-        Duration::from_secs_f64(request.len() as f64 / calib::GPU_THREAD_COPY_BPS)
+        Duration::from_secs_f64(request.len() as f64 / GpuProfile::reference().thread_copy_bps)
     }
 
     fn process(&self, request: &[u8]) -> Vec<u8> {

@@ -1,0 +1,621 @@
+//! Typed per-platform cost profiles — the analytic surface over [`calib`].
+//!
+//! Earlier releases exposed the paper's calibration data as ~30 flat
+//! `pub const`s in [`calib`] and let every consumer pick the right ones by
+//! hand. This module replaces that with a typed API in the style of
+//! AirIndex's `StorageProfile`: a [`CostProfile`] trait describing the
+//! per-message costs of one *platform* running the Lynx server logic,
+//! implemented by [`XeonProfile`], [`BluefieldProfile`], [`FpgaProfile`]
+//! and [`VcaProfile`], plus plain structs for the accelerator-side numbers
+//! ([`GpuProfile`]) and the LLC interference model
+//! ([`InterferenceProfile`]).
+//!
+//! The constants in [`calib`] remain the single point of truth — profiles
+//! are zero-sized views over them, so migrating a call site from a raw
+//! const to the profile method returns the *exact same* `Duration` and
+//! keeps same-seed telemetry byte-identical. The raw consts stay
+//! re-exported (`#[doc(hidden)]`) for one release; see `CHANGELOG.md`.
+//!
+//! Beyond serving the simulation models, the profiles are the input of the
+//! deployment auto-tuner (`lynx_workload::tune`): its analytic
+//! throughput/latency predictor composes these per-op costs into
+//! closed-form per-deployment estimates and searches the configuration
+//! space against a target SLO.
+
+use std::fmt;
+use std::time::Duration;
+
+use lynx_fabric::xfer::Mechanism;
+
+use crate::{calib, CpuKind, RequestProcessor};
+
+/// Analytic description of an application kernel, as the auto-tuner's
+/// predictor sees it: reference-accelerator service time, child-kernel
+/// launches, and message sizes.
+///
+/// Obtain one from a live [`RequestProcessor`] with [`AppProfile::of`], or
+/// construct it directly for apps whose kernels are not
+/// `RequestProcessor`s (e.g. the face-verification pipeline).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AppProfile {
+    /// Kernel name (diagnostics and reports).
+    pub name: &'static str,
+    /// Service time of one request on the reference accelerator (K40m).
+    pub kernel: Duration,
+    /// Dependent child-kernel launches per request (one per fused layer).
+    pub launches: u32,
+    /// Request payload bytes on the wire.
+    pub request_bytes: usize,
+    /// Response payload bytes on the wire.
+    pub response_bytes: usize,
+}
+
+impl AppProfile {
+    /// Profiles a [`RequestProcessor`] by probing it with a representative
+    /// zero-filled request of `request_bytes`.
+    pub fn of(name: &'static str, proc: &dyn RequestProcessor, request_bytes: usize) -> AppProfile {
+        let request = vec![0u8; request_bytes];
+        AppProfile {
+            name,
+            kernel: proc.service_time(&request),
+            launches: proc.launches(),
+            request_bytes,
+            response_bytes: proc.process(&request).len(),
+        }
+    }
+
+    /// The §6.2 microbenchmark app: echo with an artificial processing
+    /// `delay`, `payload` bytes each way.
+    pub fn delay_echo(delay: Duration, payload: usize) -> AppProfile {
+        let copy =
+            Duration::from_secs_f64(payload as f64 / GpuProfile::reference().thread_copy_bps);
+        AppProfile {
+            name: "delay-echo",
+            kernel: delay + copy,
+            launches: 1,
+            request_bytes: payload,
+            response_bytes: payload,
+        }
+    }
+}
+
+/// Per-message cost surface of one platform running the Lynx server logic.
+///
+/// Implementations are zero-sized views over the calibration constants in
+/// [`calib`], so every method returns exactly the `Duration` the raw const
+/// held — migrating a call site keeps same-seed telemetry byte-identical.
+///
+/// Three method families, each with marginal/batched variants:
+///
+/// * **dispatch/forward** — Message Dispatcher / Message Forwarder CPU
+///   work per message ([`dispatch_cost`](CostProfile::dispatch_cost),
+///   [`dispatch_marginal`](CostProfile::dispatch_marginal),
+///   [`dispatch_batch`](CostProfile::dispatch_batch), and the `forward_*`
+///   mirror).
+/// * **mqueue scanning** — round-robin scan and TX-doorbell poll costs
+///   ([`mq_scan`](CostProfile::mq_scan),
+///   [`mq_scan_cycle`](CostProfile::mq_scan_cycle),
+///   [`mq_poll_rtt`](CostProfile::mq_poll_rtt)).
+/// * **data movement / compute** — RDMA verb and accelerator kernel costs
+///   ([`verb_cost`](CostProfile::verb_cost),
+///   [`verb_batch`](CostProfile::verb_batch),
+///   [`kernel_cost`](CostProfile::kernel_cost)).
+///
+/// ```
+/// use lynx_device::profile::{BluefieldProfile, CostProfile, XeonProfile};
+///
+/// // ARM dispatch is an order of magnitude pricier than Xeon dispatch —
+/// // the reason batching matters on the wimpy-core SmartNIC.
+/// assert!(BluefieldProfile.dispatch_cost() > 5 * XeonProfile.dispatch_cost());
+/// // A batched drain amortizes: 4 messages cost far less than 4 singles.
+/// let b = BluefieldProfile.dispatch_batch(4);
+/// assert!(b < BluefieldProfile.dispatch_cost() * 4);
+/// ```
+pub trait CostProfile: fmt::Debug {
+    /// Platform name (diagnostics and reports).
+    fn name(&self) -> &'static str;
+
+    /// The CPU kind whose speed scales work charged on this platform.
+    fn cpu(&self) -> CpuKind;
+
+    /// Cores available to run the Lynx pipeline on this platform.
+    fn pipeline_cores(&self) -> usize;
+
+    /// Message Dispatcher work for a single (or the first batched)
+    /// request: parse, pick mqueue, build RDMA WQEs, doorbell.
+    fn dispatch_cost(&self) -> Duration;
+
+    /// Marginal dispatcher work per *additional* request in a batched
+    /// drain (hot icache, WQE chain append).
+    fn dispatch_marginal(&self) -> Duration {
+        self.dispatch_cost()
+    }
+
+    /// Total dispatcher work for a drain of `batch` requests: the first
+    /// pays [`dispatch_cost`](CostProfile::dispatch_cost), each further
+    /// one [`dispatch_marginal`](CostProfile::dispatch_marginal).
+    fn dispatch_batch(&self, batch: u32) -> Duration {
+        if batch == 0 {
+            return Duration::ZERO;
+        }
+        self.dispatch_cost() + self.dispatch_marginal() * (batch - 1)
+    }
+
+    /// Message Forwarder work for a single (or the first batched)
+    /// response.
+    fn forward_cost(&self) -> Duration;
+
+    /// Marginal forwarder work per additional response in a batched
+    /// collection.
+    fn forward_marginal(&self) -> Duration {
+        self.forward_cost()
+    }
+
+    /// Total forwarder work for a collection of `batch` responses.
+    fn forward_batch(&self, batch: u32) -> Duration {
+        if batch == 0 {
+            return Duration::ZERO;
+        }
+        self.forward_cost() + self.forward_marginal() * (batch - 1)
+    }
+
+    /// Round-robin scan cost per registered mqueue per message.
+    fn mq_scan(&self) -> Duration;
+
+    /// One full scan cycle over `mqueues` registered queues.
+    fn mq_scan_cycle(&self, mqueues: usize) -> Duration {
+        self.mq_scan() * mqueues as u32
+    }
+
+    /// Time to poll one mqueue's TX doorbell in the forwarder's
+    /// round-robin cycle. RDMA-issue bound, hence platform-independent
+    /// by default; the mean detection delay of a response is half a full
+    /// cycle over all queues.
+    fn mq_poll_rtt(&self) -> Duration {
+        calib::MQ_POLL_RTT_PER_QUEUE
+    }
+
+    /// End-to-end latency of one one-sided RDMA verb moving `size`
+    /// payload bytes between SNIC and accelerator memory (post + landing
+    /// + wire time).
+    fn verb_cost(&self, size: usize) -> Duration {
+        Mechanism::Rdma.cost(size).latency
+    }
+
+    /// CPU occupancy of posting that verb (the blocking portion charged
+    /// to a pipeline core).
+    fn verb_cpu_cost(&self, size: usize) -> Duration {
+        Mechanism::Rdma.cost(size).cpu
+    }
+
+    /// Marginal latency of one additional `size`-byte message in a
+    /// coalesced vectored verb: the wire/landing part without the
+    /// already-paid post.
+    fn verb_marginal(&self, size: usize) -> Duration {
+        self.verb_cost(size)
+            .saturating_sub(self.verb_cpu_cost(size))
+    }
+
+    /// Total latency of a coalesced vectored verb carrying `batch`
+    /// messages of `size` bytes each (one post/doorbell, per-message
+    /// wire time).
+    fn verb_batch(&self, size: usize, batch: u32) -> Duration {
+        if batch == 0 {
+            return Duration::ZERO;
+        }
+        self.verb_cost(size) + self.verb_marginal(size) * (batch - 1)
+    }
+
+    /// Accelerator-side compute for `batch` back-to-back requests of
+    /// `app` on one persistent worker: kernel time plus the
+    /// dynamic-parallelism spawn overhead per child launch (§6.3).
+    fn kernel_cost(&self, app: &AppProfile, batch: u32) -> Duration {
+        let gpu = GpuProfile::reference();
+        (app.kernel + gpu.dynamic_parallelism_gap * app.launches) * batch
+    }
+
+    /// Provisioning delay when the elastic control plane unparks a
+    /// remote worker (driver-managed persistent-kernel spin-up, §3.2).
+    fn provision_cost(&self) -> Duration {
+        GpuProfile::reference().provision
+    }
+}
+
+/// The host Xeon E5-2620 v2 running the Lynx pipeline ("Lynx on the host
+/// CPU", Figure 6's `HostCores` designs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct XeonProfile;
+
+impl XeonProfile {
+    /// Xeon E5-2620 v2 cores available on each testbed server.
+    pub const CORES: usize = calib::XEON_CORES;
+}
+
+impl CostProfile for XeonProfile {
+    fn name(&self) -> &'static str {
+        "xeon-e5"
+    }
+
+    fn cpu(&self) -> CpuKind {
+        CpuKind::XeonE5
+    }
+
+    fn pipeline_cores(&self) -> usize {
+        Self::CORES
+    }
+
+    fn dispatch_cost(&self) -> Duration {
+        calib::DISPATCH_COST_XEON
+    }
+
+    fn dispatch_marginal(&self) -> Duration {
+        calib::DISPATCH_MARGINAL_XEON
+    }
+
+    fn forward_cost(&self) -> Duration {
+        calib::FORWARD_COST_XEON
+    }
+
+    fn forward_marginal(&self) -> Duration {
+        calib::FORWARD_MARGINAL_XEON
+    }
+
+    fn mq_scan(&self) -> Duration {
+        calib::MQ_SCAN_COST_XEON
+    }
+}
+
+/// The Mellanox BlueField SmartNIC: 7 ARM A72 cores running the Lynx
+/// pipeline over the VMA user-level stack (§6.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BluefieldProfile;
+
+impl BluefieldProfile {
+    /// BlueField ARM cores used for Lynx: "We use 7 ARM cores (out of 8)".
+    pub const LYNX_CORES: usize = calib::BLUEFIELD_LYNX_CORES;
+
+    /// Relative speed of an 800 MHz ARM A72 vs a Xeon core for general
+    /// application work (Figure 9's memcached comparison).
+    pub const RELATIVE_SPEED: f64 = calib::ARM_RELATIVE_SPEED;
+}
+
+impl CostProfile for BluefieldProfile {
+    fn name(&self) -> &'static str {
+        "bluefield"
+    }
+
+    fn cpu(&self) -> CpuKind {
+        CpuKind::ArmA72
+    }
+
+    fn pipeline_cores(&self) -> usize {
+        Self::LYNX_CORES
+    }
+
+    fn dispatch_cost(&self) -> Duration {
+        calib::DISPATCH_COST_ARM
+    }
+
+    fn dispatch_marginal(&self) -> Duration {
+        calib::DISPATCH_MARGINAL_ARM
+    }
+
+    fn forward_cost(&self) -> Duration {
+        calib::FORWARD_COST_ARM
+    }
+
+    fn forward_marginal(&self) -> Duration {
+        calib::FORWARD_MARGINAL_ARM
+    }
+
+    fn mq_scan(&self) -> Duration {
+        calib::MQ_SCAN_COST_ARM
+    }
+}
+
+/// The Innova Flex bump-in-the-wire FPGA NIC (§5.2, §6.2): a hardware
+/// pipeline accepting one packet per initiation interval, 15× the packet
+/// rate of BlueField's ARM cores.
+///
+/// Dispatch and forward cost *one initiation interval each* — the pipeline
+/// is fully overlapped, so the marginal cost of an additional packet
+/// equals the full cost (no batching advantage, none needed), and the
+/// round-robin scan is free (parallel hardware comparators).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FpgaProfile;
+
+impl FpgaProfile {
+    /// One 64 B packet accepted every 135 ns → 7.4 M pkt/s (§6.2).
+    pub const INITIATION_INTERVAL: Duration = calib::FPGA_INITIATION_INTERVAL;
+
+    /// Depth of the processing pipeline (ingress to mqueue write).
+    pub const PIPELINE_LATENCY: Duration = calib::FPGA_PIPELINE_LATENCY;
+
+    /// Host-core cost per message of the UC-ring refill helper thread.
+    pub const HELPER_COST: Duration = calib::FPGA_HELPER_COST;
+
+    /// Theoretical packet rate ceiling (1 / initiation interval).
+    pub fn peak_pps(&self) -> f64 {
+        1.0 / Self::INITIATION_INTERVAL.as_secs_f64()
+    }
+}
+
+impl CostProfile for FpgaProfile {
+    fn name(&self) -> &'static str {
+        "innova-fpga"
+    }
+
+    /// The host CPU kind of the helper thread that refills the UC QP
+    /// receive ring (§5.2) — the only instruction-stream CPU on this
+    /// platform's request path.
+    fn cpu(&self) -> CpuKind {
+        CpuKind::XeonE5
+    }
+
+    fn pipeline_cores(&self) -> usize {
+        1
+    }
+
+    fn dispatch_cost(&self) -> Duration {
+        Self::INITIATION_INTERVAL
+    }
+
+    fn forward_cost(&self) -> Duration {
+        Self::INITIATION_INTERVAL
+    }
+
+    fn mq_scan(&self) -> Duration {
+        Duration::ZERO
+    }
+}
+
+/// The Intel Visual Compute Accelerator's enclave-side cost surface
+/// (§5.4, §6.2): three E3 nodes polling mqueues that live in *host*
+/// memory mapped over PCIe (the paper's workaround for the RDMA-into-VCA
+/// bug — "a sub-optimal configuration").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VcaProfile;
+
+impl VcaProfile {
+    /// SGX enclave transition (ecall or ocall) on the E3 processors.
+    pub const SGX_TRANSITION: Duration = calib::SGX_TRANSITION;
+
+    /// Per-message forwarding cost of the host-based network bridge.
+    pub const BRIDGE_FORWARD: Duration = calib::VCA_BRIDGE_FORWARD;
+
+    /// One-way latency of IP-over-PCIe tunneling between host and node.
+    pub const IP_OVER_PCIE: Duration = calib::VCA_IP_OVER_PCIE;
+
+    /// VCA node kernel network stack receive cost per message.
+    pub const KERNEL_RX: Duration = calib::VCA_KERNEL_RX;
+
+    /// VCA node kernel network stack send cost per message.
+    pub const KERNEL_TX: Duration = calib::VCA_KERNEL_TX;
+
+    /// Enclave poll of an mqueue in mapped host memory over PCIe.
+    pub const MAPPED_POLL: Duration = calib::VCA_MAPPED_POLL;
+
+    /// Mapped PCIe read/write of a small payload from the VCA node.
+    pub const MAPPED_ACCESS: Duration = calib::VCA_MAPPED_ACCESS;
+
+    /// One-way latency of the baseline network path into a node: host
+    /// bridge forwarding plus IP-over-PCIe tunneling.
+    pub fn bridge_path_latency(&self) -> Duration {
+        Self::BRIDGE_FORWARD + Self::IP_OVER_PCIE
+    }
+
+    /// Per-message kernel network stack costs on a node `(rx, tx)` —
+    /// paid by the baseline, bypassed by Lynx.
+    pub fn kernel_stack_cost(&self) -> (Duration, Duration) {
+        (Self::KERNEL_RX, Self::KERNEL_TX)
+    }
+}
+
+impl CostProfile for VcaProfile {
+    fn name(&self) -> &'static str {
+        "vca-e3"
+    }
+
+    fn cpu(&self) -> CpuKind {
+        CpuKind::E3
+    }
+
+    /// Three independent E3 nodes behind the PCIe switch.
+    fn pipeline_cores(&self) -> usize {
+        3
+    }
+
+    /// Pulling one request: mapped PCIe read of the slot.
+    fn dispatch_cost(&self) -> Duration {
+        Self::MAPPED_ACCESS
+    }
+
+    /// Writing one response back through the mapped window.
+    fn forward_cost(&self) -> Duration {
+        Self::MAPPED_ACCESS
+    }
+
+    /// Uncached PCIe-mapped doorbell poll, per queue.
+    fn mq_scan(&self) -> Duration {
+        Self::MAPPED_POLL
+    }
+
+    /// The app kernel runs on the E3 itself (no GPU, no dynamic
+    /// parallelism), scaled by the E3's relative speed.
+    fn kernel_cost(&self, app: &AppProfile, batch: u32) -> Duration {
+        app.kernel.div_f64(CpuKind::E3.speed()) * batch
+    }
+}
+
+/// The platform profile whose *server-logic* costs apply when Lynx
+/// pipeline code runs on the given CPU kind.
+///
+/// E3 maps to [`XeonProfile`]: the VCA's nodes run the same x86 host code
+/// path (its enclave-side surface is [`VcaProfile`], selected explicitly
+/// by the VCA experiments).
+pub fn profile_for(kind: CpuKind) -> &'static dyn CostProfile {
+    match kind {
+        CpuKind::XeonE5 | CpuKind::E3 => &XeonProfile,
+        CpuKind::ArmA72 => &BluefieldProfile,
+    }
+}
+
+/// Analytic profile of a K40m/K80-class GPU: the accelerator-side numbers
+/// that used to be read as raw [`calib`] consts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GpuProfile {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Maximum concurrently resident threadblocks.
+    pub max_threadblocks: usize,
+    /// Kernel speed relative to the reference K40m.
+    pub relative_speed: f64,
+    /// Single-thread payload copy bandwidth (the echo kernel).
+    pub thread_copy_bps: f64,
+    /// Latency for a polling threadblock to notice a doorbell update.
+    pub poll_detect: Duration,
+    /// Local read/write of an mqueue slot in device memory.
+    pub local_io: Duration,
+    /// Gap between dependent kernel launches on the host-centric path.
+    pub launch_gap: Duration,
+    /// Overhead of spawning one child kernel with dynamic parallelism.
+    pub dynamic_parallelism_gap: Duration,
+    /// Serialized driver occupancy per host-centric request.
+    pub driver_occupancy: Duration,
+    /// Per-request latency overhead of the host-centric path (§3.2).
+    pub hostcentric_overhead: Duration,
+    /// Extra per-message cost of the RDMA-read write barrier (§5.1).
+    pub write_barrier: Duration,
+    /// Persistent-kernel spin-up when the control plane unparks a worker.
+    pub provision: Duration,
+}
+
+impl GpuProfile {
+    /// NVIDIA Tesla K40m — the paper's primary microbenchmark GPU.
+    pub const fn k40m() -> GpuProfile {
+        GpuProfile {
+            name: "K40m",
+            max_threadblocks: calib::K40M_MAX_THREADBLOCKS,
+            relative_speed: 1.0,
+            thread_copy_bps: calib::GPU_THREAD_COPY_BPS,
+            poll_detect: calib::GPU_POLL_DETECT,
+            local_io: Duration::from_nanos(200),
+            launch_gap: calib::KERNEL_LAUNCH_GAP,
+            dynamic_parallelism_gap: calib::DYNAMIC_PARALLELISM_GAP,
+            driver_occupancy: calib::DRIVER_OCCUPANCY_PER_REQUEST,
+            hostcentric_overhead: calib::HOSTCENTRIC_LATENCY_OVERHEAD,
+            write_barrier: calib::WRITE_BARRIER_PENALTY,
+            provision: calib::GPU_WORKER_PROVISION,
+        }
+    }
+
+    /// NVIDIA Tesla K80 (one die): "slower than K40m and achieves
+    /// 3 300 req/sec at most" (§6.3, footnote 2).
+    pub const fn k80() -> GpuProfile {
+        let mut p = GpuProfile::k40m();
+        p.name = "K80";
+        p.relative_speed = calib::K80_RELATIVE_SPEED;
+        p
+    }
+
+    /// The reference accelerator all service times are denominated in.
+    pub const fn reference() -> GpuProfile {
+        GpuProfile::k40m()
+    }
+}
+
+/// Parameters of the LLC noisy-neighbor interference model (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterferenceProfile {
+    /// Probability a victim request hits a long LLC-refill stall.
+    pub stall_prob: f64,
+    /// Mean of the exponential stall added on such hits.
+    pub stall_mean: Duration,
+    /// Uniform victim service-time inflation while the neighbor runs.
+    pub victim_inflation: f64,
+    /// Neighbor slowdown while the victim server runs.
+    pub neighbor_slowdown: f64,
+}
+
+impl InterferenceProfile {
+    /// The calibrated §3.2 parameters (13× victim p99 inflation, 21 %
+    /// neighbor slowdown).
+    pub const fn xeon_llc() -> InterferenceProfile {
+        InterferenceProfile {
+            stall_prob: calib::LLC_STALL_PROB,
+            stall_mean: calib::LLC_STALL_MEAN,
+            victim_inflation: calib::LLC_VICTIM_INFLATION,
+            neighbor_slowdown: calib::LLC_NEIGHBOR_SLOWDOWN,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_return_the_exact_calib_values() {
+        assert_eq!(XeonProfile.dispatch_cost(), calib::DISPATCH_COST_XEON);
+        assert_eq!(XeonProfile.forward_cost(), calib::FORWARD_COST_XEON);
+        assert_eq!(XeonProfile.mq_scan(), calib::MQ_SCAN_COST_XEON);
+        assert_eq!(BluefieldProfile.dispatch_cost(), calib::DISPATCH_COST_ARM);
+        assert_eq!(
+            BluefieldProfile.dispatch_marginal(),
+            calib::DISPATCH_MARGINAL_ARM
+        );
+        assert_eq!(BluefieldProfile.mq_poll_rtt(), calib::MQ_POLL_RTT_PER_QUEUE);
+        assert_eq!(FpgaProfile.dispatch_cost(), calib::FPGA_INITIATION_INTERVAL);
+        assert_eq!(VcaProfile.mq_scan(), calib::VCA_MAPPED_POLL);
+    }
+
+    #[test]
+    fn batch_variants_amortize() {
+        let p = &BluefieldProfile;
+        assert_eq!(p.dispatch_batch(1), p.dispatch_cost());
+        assert_eq!(
+            p.dispatch_batch(4),
+            p.dispatch_cost() + p.dispatch_marginal() * 3
+        );
+        assert!(p.forward_batch(8) < p.forward_cost() * 8);
+        assert_eq!(p.dispatch_batch(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn verb_cost_matches_fabric_rdma() {
+        let c = Mechanism::Rdma.cost(1024);
+        assert_eq!(XeonProfile.verb_cost(1024), c.latency);
+        assert_eq!(XeonProfile.verb_cpu_cost(1024), c.cpu);
+        assert!(XeonProfile.verb_batch(64, 4) < XeonProfile.verb_cost(64) * 4);
+    }
+
+    #[test]
+    fn kernel_cost_includes_dynamic_parallelism() {
+        let app = AppProfile::delay_echo(Duration::from_micros(20), 64);
+        let one = BluefieldProfile.kernel_cost(&app, 1);
+        assert!(one > Duration::from_micros(20));
+        assert_eq!(BluefieldProfile.kernel_cost(&app, 3), one * 3);
+    }
+
+    #[test]
+    fn profile_for_matches_legacy_cost_mapping() {
+        assert_eq!(profile_for(CpuKind::ArmA72).name(), "bluefield");
+        assert_eq!(profile_for(CpuKind::XeonE5).name(), "xeon-e5");
+        // E3 historically used the Xeon server-logic costs.
+        assert_eq!(profile_for(CpuKind::E3).name(), "xeon-e5");
+    }
+
+    #[test]
+    fn app_profile_of_probes_the_processor() {
+        let p = crate::DelayProcessor::new(Duration::from_micros(50));
+        let app = AppProfile::of("delay-echo", &p, 64);
+        assert_eq!(app, AppProfile::delay_echo(Duration::from_micros(50), 64));
+    }
+
+    #[test]
+    fn gpu_profile_variants() {
+        assert_eq!(GpuProfile::k40m().relative_speed, 1.0);
+        assert!(GpuProfile::k80().relative_speed < 1.0);
+        assert_eq!(GpuProfile::reference(), GpuProfile::k40m());
+    }
+}

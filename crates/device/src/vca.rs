@@ -6,7 +6,8 @@ use std::time::Duration;
 
 use lynx_sim::{Server, Sim, SiteCounter};
 
-use crate::{calib, CpuKind};
+use crate::profile::VcaProfile;
+use crate::CpuKind;
 
 /// One of the VCA's three independent Intel E3 processors.
 ///
@@ -38,7 +39,7 @@ impl fmt::Debug for VcaNode {
 impl VcaNode {
     /// Executes `work` inside the SGX enclave with `transitions` enclave
     /// boundary crossings (ecalls/ocalls), each costing
-    /// [`calib::SGX_TRANSITION`].
+    /// [`VcaProfile::SGX_TRANSITION`].
     ///
     /// The Lynx path uses **zero** transitions per request: the 20-line I/O
     /// library is statically linked *into* the enclave and polls the mqueue
@@ -57,7 +58,7 @@ impl VcaNode {
                 .transitions
                 .add(t, "device.vca.sgx_transitions", u64::from(transitions));
         }
-        let total = work + calib::SGX_TRANSITION * transitions;
+        let total = work + VcaProfile::SGX_TRANSITION * transitions;
         self.core.submit(sim, total, done);
     }
 
@@ -69,7 +70,7 @@ impl VcaNode {
     /// Latency for enclave code to poll + access an mqueue in mapped host
     /// memory over PCIe (the paper's workaround for the RDMA-into-VCA bug).
     pub fn mapped_mqueue_access(&self) -> Duration {
-        calib::VCA_MAPPED_POLL + calib::VCA_MAPPED_ACCESS
+        VcaProfile::MAPPED_POLL + VcaProfile::MAPPED_ACCESS
     }
 }
 
@@ -117,13 +118,13 @@ impl Vca {
     /// bridge forwarding plus IP-over-PCIe tunneling. The Lynx path skips
     /// both (SmartNIC writes the mqueue in mapped memory directly).
     pub fn bridge_path_latency(&self) -> Duration {
-        calib::VCA_BRIDGE_FORWARD + calib::VCA_IP_OVER_PCIE
+        VcaProfile.bridge_path_latency()
     }
 
     /// Per-message kernel network stack costs on a VCA node `(rx, tx)` —
     /// paid by the baseline, bypassed by Lynx.
     pub fn kernel_stack_cost(&self) -> (Duration, Duration) {
-        (calib::VCA_KERNEL_RX, calib::VCA_KERNEL_TX)
+        VcaProfile.kernel_stack_cost()
     }
 }
 

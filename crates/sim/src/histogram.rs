@@ -147,9 +147,20 @@ impl Histogram {
     ///
     /// Panics if `p` is not within `0.0..=100.0`.
     pub fn percentile(&self, p: f64) -> Duration {
+        self.try_percentile(p).unwrap_or(Duration::ZERO)
+    }
+
+    /// The value at percentile `p` (0–100), or `None` when the histogram
+    /// holds no samples — so an empty measurement window is
+    /// distinguishable from a genuinely zero latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=100.0`.
+    pub fn try_percentile(&self, p: f64) -> Option<Duration> {
         assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
         if self.count == 0 {
-            return Duration::ZERO;
+            return None;
         }
         let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
@@ -157,10 +168,10 @@ impl Histogram {
             seen += c;
             if seen >= target {
                 let mid = Self::bucket_mid(idx).clamp(self.min_ns, self.max_ns);
-                return Duration::from_nanos(mid);
+                return Some(Duration::from_nanos(mid));
             }
         }
-        Duration::from_nanos(self.max_ns)
+        Some(Duration::from_nanos(self.max_ns))
     }
 
     /// Merges another histogram into this one.

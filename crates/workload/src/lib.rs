@@ -17,6 +17,10 @@
 //!   load–latency curves, saturation capacities and SLO operating points.
 //! * [`report`] — fixed-width tables and CSV output used by every bench
 //!   harness to print the paper's rows.
+//! * [`mod@tune`] — the cost-model-driven deployment auto-tuner: an analytic
+//!   throughput/latency predictor over the typed
+//!   [`lynx_device::CostProfile`] surface and a deterministic search that
+//!   emits validated deployment configurations.
 
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -25,9 +29,13 @@ mod client;
 pub mod report;
 mod runner;
 pub mod sweep;
+pub mod tune;
 
 pub use client::{
     ClientStats, ClosedLoopClient, LoadClient, OpenLoopClient, PayloadFn, TcpClosedLoopClient,
     ValidateFn,
 };
 pub use runner::{run_measured, RunSpec, RunSummary};
+pub use tune::{
+    predict, tune, Candidate, Prediction, Stage, TuneError, TuneGoal, TuneSpace, TunedConfig,
+};

@@ -61,16 +61,21 @@ impl fmt::Debug for RunSummary {
         f.debug_struct("RunSummary")
             .field("throughput", &self.throughput)
             .field("received", &self.received)
-            .field("p50", &self.latency.percentile(50.0))
-            .field("p99", &self.latency.percentile(99.0))
+            .field("p50", &self.latency.try_percentile(50.0))
+            .field("p99", &self.latency.try_percentile(99.0))
             .finish()
     }
 }
 
 impl RunSummary {
-    /// Latency percentile shortcut (µs).
-    pub fn percentile_us(&self, p: f64) -> f64 {
-        self.latency.percentile(p).as_secs_f64() * 1e6
+    /// Latency percentile shortcut (µs), or `None` when the measurement
+    /// window recorded no responses — an empty window is a measurement
+    /// failure, not a zero-microsecond latency, and conflating the two
+    /// silently passed SLO assertions that should have failed.
+    pub fn percentile_us(&self, p: f64) -> Option<f64> {
+        self.latency
+            .try_percentile(p)
+            .map(|d| d.as_secs_f64() * 1e6)
     }
 
     /// Mean latency in µs.

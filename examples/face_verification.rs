@@ -162,8 +162,8 @@ fn main() {
     println!(
         "  throughput {:.1} Kreq/s | p50 {:.0} us | p99 {:.0} us",
         summary.kreq_per_sec(),
-        summary.percentile_us(50.0),
-        summary.percentile_us(99.0),
+        summary.percentile_us(50.0).expect("no latency samples"),
+        summary.percentile_us(99.0).expect("no latency samples"),
     );
     println!(
         "  genuine probes accepted : {accepted}/{genuine} ({:.1}%)",

@@ -119,7 +119,7 @@ fn main() {
         summary.sent,
         summary.received,
         summary.throughput,
-        summary.percentile_us(99.0),
+        summary.percentile_us(99.0).expect("no latency samples"),
     );
     println!(
         "  server books: {} requests, {} dispatched, {} dropped",

@@ -109,12 +109,12 @@ fn main() {
     println!(
         "  Lynx on Bluefield : {:.2} Kreq/s, p90 {:.0} us",
         lynx.kreq_per_sec(),
-        lynx.percentile_us(90.0)
+        lynx.percentile_us(90.0).expect("no latency samples")
     );
     println!(
         "  host-centric      : {:.2} Kreq/s, p90 {:.0} us",
         baseline.kreq_per_sec(),
-        baseline.percentile_us(90.0)
+        baseline.percentile_us(90.0).expect("no latency samples")
     );
     println!(
         "  speedup           : {:.2}x (paper: 1.25x)",

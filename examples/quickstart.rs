@@ -73,8 +73,8 @@ fn main() {
     println!(
         "throughput: {:.1} Kreq/s | latency p50 {:.1} us, p99 {:.1} us",
         summary.kreq_per_sec(),
-        summary.percentile_us(50.0),
-        summary.percentile_us(99.0),
+        summary.percentile_us(50.0).expect("no latency samples"),
+        summary.percentile_us(99.0).expect("no latency samples"),
     );
     println!(
         "GPU workers completed {} requests across {} mqueues",

@@ -55,16 +55,24 @@ pub use lynx_sim::{FaultAction, FaultPlan, FaultRule, Trigger};
 /// ```
 ///
 /// Everything a typical server — builder, pipeline, mqueue, fault and
-/// telemetry — needs, without digging through sub-crates. Specialised
-/// types (baselines, device models, workload generators) stay in their
-/// modules.
+/// telemetry — needs, without digging through sub-crates, plus the typed
+/// platform cost profiles and the deployment auto-tuner built on them.
+/// Specialised types (baselines, device models, workload generators) stay
+/// in their modules.
 pub mod prelude {
     pub use lynx_core::testbed::{DeployConfig, Deployment, GpuSite, Machine};
     pub use lynx_core::{
-        BatchPolicy, DispatchPolicy, Error, LynxServer, LynxServerBuilder, Mqueue, MqueueConfig,
-        MqueueKind, Pipeline, PipelineConfig, RecoveryConfig, RemoteMqManager, Result, ReturnAddr,
-        RmqConfig, ServiceId, SnicPlatform,
+        BatchPolicy, ControlConfig, DispatchPolicy, Error, LynxServer, LynxServerBuilder, Mqueue,
+        MqueueConfig, MqueueKind, Pipeline, PipelineConfig, RecoveryConfig, RemoteMqManager,
+        Result, ReturnAddr, RmqConfig, ServiceId, SnicPlatform, Validate,
+    };
+    pub use lynx_device::{
+        profile_for, AppProfile, BluefieldProfile, CostProfile, FpgaProfile, GpuProfile,
+        VcaProfile, XeonProfile,
     };
     pub use lynx_net::{Network, SockAddr, StackKind};
     pub use lynx_sim::{FaultAction, FaultPlan, FaultRule, Sim, Telemetry, Trigger};
+    pub use lynx_workload::tune::{
+        predict, tune, Candidate, Prediction, Stage, TuneError, TuneGoal, TuneSpace, TunedConfig,
+    };
 }

@@ -196,10 +196,11 @@ fn crashed_worker_is_quarantined_and_survivors_absorb_the_load() {
     // ... but not for free: 3 workers at 80% utilisation queue deeper
     // than 4 at 60%, so the tail degrades.
     assert!(
-        faulted.percentile_us(99.0) > clean.percentile_us(99.0),
+        faulted.percentile_us(99.0).expect("no latency samples")
+            > clean.percentile_us(99.0).expect("no latency samples"),
         "p99 should reflect the degraded capacity: {:.1}us vs {:.1}us",
-        faulted.percentile_us(99.0),
-        clean.percentile_us(99.0)
+        faulted.percentile_us(99.0).expect("no latency samples"),
+        clean.percentile_us(99.0).expect("no latency samples")
     );
 }
 
