@@ -6,7 +6,7 @@
 //!
 //! * **events/sec** — a self-rescheduling actor mesh driven through each
 //!   scheduler backend. `wheel_interned` vs `heap_string` reproduces the
-//!   PR 4 before/after (scheduler + interned counters + `Bytes` clones vs
+//!   PR 4 before/after (scheduler + interned counters + `Payload` clones vs
 //!   heap + `format!` counters + deep clones); `heap_interned` isolates
 //!   the scheduler itself, counters and payloads held equal.
 //! * **ns/counter-add** — interned [`SiteCounter`] handle vs. the string
@@ -19,20 +19,30 @@
 //!   stays within noise of the heap, so the microbench win can never
 //!   again cost the workload the paper cares about.
 //!
-//! Results land in `BENCH_6.json` at the workspace root (override with
+//! * **partitioned pkts/sec** (PR 8) — the same ping-pong replicated over
+//!   8 shards of a [`ReplicaSet`], run at 1, 2 and 8 worker threads. On a
+//!   many-core host this shows the sharded engine's wall-clock scaling;
+//!   the simulated results are byte-identical at every thread count.
+//!
+//! Results land in `BENCH_8.json` at the workspace root (override with
 //! `LYNX_BENCH_OUT`). CI smoke-runs this bench (`--smoke` or
 //! `LYNX_BENCH_SMOKE=1` shrinks the iteration counts) and fails if either
 //! `events_per_sec.wheel_interned` or `sim_pkts_per_sec.default`
-//! regresses more than 20% against the committed baseline.
+//! regresses more than 20% against the committed single-thread baseline
+//! (`BENCH_6.json` numbers, carried forward into `BENCH_8.json`).
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use lynx_core::shard::ReplicaSet;
 use lynx_net::{HostStack, LinkSpec, Network, Platform, SockAddr, StackKind, StackProfile};
-use lynx_sim::{Bytes, MultiServer, SchedulerKind, Sim, SiteCounter};
+use lynx_sim::{MultiServer, Payload, SchedulerKind, Sim, SimConfig, SiteCounter};
 
 /// Payload size for the clone-cost comparison: a full MTU frame.
 const PAYLOAD: usize = 1500;
+
+/// Independent ping-pong replicas in the partitioned e2e run.
+const PART_REPLICAS: usize = 8;
 
 struct Scale {
     /// Events executed per scheduler+counter engine run.
@@ -81,7 +91,7 @@ fn engine_run(kind: SchedulerKind, interned: bool, events: u64) -> Duration {
         left: u64,
         interned: bool,
         sites: std::rc::Rc<(SiteCounter, SiteCounter)>,
-        payload: Bytes,
+        payload: Payload,
     ) {
         if left == 0 {
             return;
@@ -118,7 +128,7 @@ fn engine_run(kind: SchedulerKind, interned: bool, events: u64) -> Duration {
     let start = Instant::now();
     for id in 0..ACTORS {
         let sites = std::rc::Rc::new((SiteCounter::new(), SiteCounter::new()));
-        let payload = Bytes::from(vec![id as u8; PAYLOAD]);
+        let payload = Payload::from(vec![id as u8; PAYLOAD]);
         actor(&mut sim, id, budget, interned, sites, payload);
     }
     sim.run();
@@ -154,6 +164,17 @@ fn counter_run(interned: bool, adds: u64) -> Duration {
 fn e2e_run(kind: SchedulerKind, pkts: u64) -> Duration {
     let mut sim = Sim::with_scheduler(3, kind);
     sim.enable_telemetry();
+    let remaining = pingpong(&mut sim, pkts);
+    let start = Instant::now();
+    sim.run();
+    assert_eq!(remaining.get(), 0);
+    start.elapsed()
+}
+
+/// Builds the two-stack UDP ping-pong inside `sim` and fires the first
+/// packet; the returned counter drains to zero after `pkts` round trips.
+/// Shared by the single-sim e2e runs and the partitioned replicas.
+fn pingpong(sim: &mut Sim, pkts: u64) -> std::rc::Rc<std::cell::Cell<u64>> {
     let net = Network::new();
     let server_host = net.add_host("server", LinkSpec::gbps40());
     let client_host = net.add_host("client", LinkSpec::gbps40());
@@ -176,12 +197,31 @@ fn e2e_run(kind: SchedulerKind, pkts: u64) -> Duration {
             client2.send_udp(sim, 5000, server_addr, vec![0u8; 64]);
         }
     });
+    client.send_udp(sim, 5000, server_addr, vec![0u8; 64]);
+    remaining
+}
 
+/// Partitioned e2e: `PART_REPLICAS` independent ping-pong pairs, one per
+/// shard, driven by `threads` worker threads. The replicas share no
+/// links, so the engine runs them in a single conservative window; the
+/// wall-clock difference across thread counts is pure engine scaling.
+fn partitioned_run(threads: usize, pkts: u64) -> Duration {
+    let mut set: ReplicaSet<u64> = ReplicaSet::new(3, SimConfig::new().threads(threads));
+    for r in 0..PART_REPLICAS {
+        set.add_replica(&format!("pingpong/{r}"), move |sim| {
+            let remaining = pingpong(sim, pkts);
+            Box::new(move |_sim: &mut Sim| pkts - remaining.get())
+        });
+    }
     let start = Instant::now();
-    client.send_udp(&mut sim, 5000, server_addr, vec![0u8; 64]);
-    sim.run();
-    assert_eq!(remaining.get(), 0);
-    start.elapsed()
+    let report = set.run();
+    let wall = start.elapsed();
+    assert!(
+        report.outputs.iter().all(|&done| done == pkts),
+        "every replica must retire its full packet budget: {:?}",
+        report.outputs
+    );
+    wall
 }
 
 /// Interleaved best-of-N e2e rates for the given kinds.
@@ -241,9 +281,18 @@ fn main() {
     );
     let (pkts_default, pkts_wheel, pkts_heap) = (e2e[0], e2e[1], e2e[2]);
 
+    // Partitioned e2e: the same ping-pong replicated over 8 shards, at 1,
+    // 2 and 8 worker threads. Totals are identical by construction (the
+    // replicas assert their packet budgets); only wall-clock moves.
+    partitioned_run(1, scale.pkts / 10); // warm-up
+    let total = PART_REPLICAS as u64 * scale.pkts;
+    let part_1 = rate(total, partitioned_run(1, scale.pkts));
+    let part_2 = rate(total, partitioned_run(2, scale.pkts));
+    let part_8 = rate(total, partitioned_run(8, scale.pkts));
+
     let speedup = events_new / events_old;
     let json = format!(
-        "{{\n  \"bench\": \"engine_hotpath\",\n  \"smoke\": {smoke},\n  \"scale\": {{ \"engine_events\": {}, \"counter_adds\": {}, \"pkts\": {} }},\n  \"events_per_sec\": {{ \"wheel_interned\": {:.0}, \"heap_interned\": {:.0}, \"heap_string\": {:.0}, \"speedup\": {:.2} }},\n  \"ns_per_counter_add\": {{ \"string\": {:.1}, \"interned\": {:.1} }},\n  \"sim_pkts_per_sec\": {{ \"default\": {:.0}, \"wheel\": {:.0}, \"heap\": {:.0}, \"default_kind\": \"hybrid\" }}\n}}\n",
+        "{{\n  \"bench\": \"engine_hotpath\",\n  \"smoke\": {smoke},\n  \"scale\": {{ \"engine_events\": {}, \"counter_adds\": {}, \"pkts\": {} }},\n  \"events_per_sec\": {{ \"wheel_interned\": {:.0}, \"heap_interned\": {:.0}, \"heap_string\": {:.0}, \"speedup\": {:.2} }},\n  \"ns_per_counter_add\": {{ \"string\": {:.1}, \"interned\": {:.1} }},\n  \"sim_pkts_per_sec\": {{ \"default\": {:.0}, \"wheel\": {:.0}, \"heap\": {:.0}, \"default_kind\": \"hybrid\" }},\n  \"partitioned_pkts_per_sec\": {{ \"replicas\": {}, \"pkts_per_replica\": {}, \"threads_1\": {:.0}, \"threads_2\": {:.0}, \"threads_8\": {:.0}, \"speedup_8\": {:.2} }}\n}}\n",
         scale.engine_events,
         scale.counter_adds,
         scale.pkts,
@@ -256,11 +305,17 @@ fn main() {
         pkts_default,
         pkts_wheel,
         pkts_heap,
+        PART_REPLICAS,
+        scale.pkts,
+        part_1,
+        part_2,
+        part_8,
+        part_8 / part_1,
     );
 
     let out = std::env::var("LYNX_BENCH_OUT")
-        .unwrap_or_else(|_| format!("{}/../../BENCH_6.json", env!("CARGO_MANIFEST_DIR")));
-    std::fs::write(&out, &json).expect("write BENCH_6.json");
+        .unwrap_or_else(|_| format!("{}/../../BENCH_8.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_8.json");
     println!("{json}");
     println!("wrote {out}");
 

@@ -6,14 +6,15 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lynx_apps::nn::{DigitGenerator, LeNetProcessor};
 use lynx_bench::{client_stack, ShapeReport};
+use lynx_core::shard::ReplicaSet;
 use lynx_core::testbed::{deploy_processor, DeployConfig, Machine};
 use lynx_core::{ControlConfig, MqueueConfig, ServiceId, SnicPlatform};
 use lynx_device::GpuSpec;
-use lynx_sim::Sim;
+use lynx_sim::{Sim, SimConfig, Time};
 use lynx_workload::report::{banner, Table};
 use lynx_workload::{run_measured, ClosedLoopClient, LoadClient, RunSpec, RunSummary};
 
@@ -90,6 +91,71 @@ fn run_with_control(
     assert_eq!(summary.invalid, 0);
     let workers = d.server.active_workers(ServiceId::DEFAULT);
     (summary, workers)
+}
+
+/// Partitioned scale-out: `replicas` complete copies of the 4-local-GPU
+/// deployment, one per shard, driven by `threads` worker threads. The
+/// replicas share no links, so the engine runs them embarrassingly
+/// parallel in a single conservative window. Returns the wall-clock time
+/// and total responses received across all replicas (sim-deterministic —
+/// identical at every thread count).
+fn run_partitioned(replicas: usize, threads: usize, spec: RunSpec) -> (Duration, u64) {
+    let mut set: ReplicaSet<u64> = ReplicaSet::new(1234, SimConfig::new().threads(threads));
+    for r in 0..replicas as u64 {
+        set.add_replica(&format!("replica/{r}"), move |sim| {
+            let net = lynx_net::Network::new();
+            let machine = Machine::new(&net, format!("server-{r}"));
+            let sites: Vec<_> = (0..4)
+                .map(|_| {
+                    let gpu = machine.add_gpu(GpuSpec::k80());
+                    machine.gpu_site(&gpu)
+                })
+                .collect();
+            let cfg = DeployConfig {
+                platform: SnicPlatform::Bluefield,
+                mqueues_per_gpu: 1,
+                mq: MqueueConfig {
+                    slots: 16,
+                    slot_size: 1024,
+                    ..MqueueConfig::default()
+                },
+                ..DeployConfig::default()
+            };
+            let proc = Rc::new(LeNetProcessor::new(MODEL_SEED));
+            let d = deploy_processor(sim, &net, &machine, &sites, &cfg, proc);
+            let clients: Vec<ClosedLoopClient> = (0..2)
+                .map(|i| {
+                    ClosedLoopClient::new(
+                        client_stack(&net, &format!("client-{r}-{i}"), 2),
+                        d.server_addr,
+                        8,
+                        payload_fn(),
+                    )
+                })
+                .collect();
+            for c in &clients {
+                c.start(sim);
+            }
+            let cs = clients.clone();
+            sim.schedule_in(spec.warmup, move |sim| {
+                for c in &cs {
+                    c.begin_measure(sim.now());
+                }
+            });
+            let cs = clients.clone();
+            sim.schedule_in(spec.warmup + spec.measure, move |sim| {
+                for c in &cs {
+                    c.end_measure(sim.now());
+                }
+            });
+            Box::new(move |_sim: &mut Sim| clients.iter().map(|c| c.stats().received).sum())
+        });
+    }
+    let deadline = Time::from_nanos((spec.warmup + spec.measure).as_nanos() as u64);
+    let start = Instant::now();
+    let report = set.run_until(deadline);
+    let wall = start.elapsed();
+    (wall, report.outputs.iter().sum())
 }
 
 fn main() {
@@ -171,6 +237,40 @@ fn main() {
         shed.percentile_us(99.0).expect("no latency samples")
     );
 
+    // Partitioned scale-out: 8 complete replicas of the 4-local-GPU
+    // deployment sharded across worker threads. Same seed, any thread
+    // count → identical responses; wall-clock is the only thing allowed
+    // to move.
+    const PART_REPLICAS: usize = 8;
+    let part_spec = RunSpec {
+        warmup: Duration::from_millis(20),
+        measure: Duration::from_millis(200),
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut part = Vec::new();
+    for threads in [1usize, 2, 8] {
+        part.push((threads, run_partitioned(PART_REPLICAS, threads, part_spec)));
+    }
+    let (_, (wall_1, recv_1)) = part[0];
+    let mut ptable = Table::new(&["threads", "wall ms", "Kreq/s (sim)", "speedup"]);
+    for &(threads, (wall, recv)) in &part {
+        ptable.row(&[
+            format!("{threads}"),
+            format!("{:.0}", wall.as_secs_f64() * 1e3),
+            format!("{:.1}", recv as f64 / part_spec.measure.as_secs_f64() / 1e3),
+            format!("{:.2}x", wall_1.as_secs_f64() / wall.as_secs_f64()),
+        ]);
+    }
+    println!(
+        "partitioned scale-out: {PART_REPLICAS} replicas x 4 K80s, {cores} host cores\n{}",
+        ptable.render()
+    );
+    ptable
+        .write_csv(lynx_bench::results_dir().join("fig8b_partitioned.csv"))
+        .expect("write csv");
+
     let mut report = ShapeReport::new();
     report.check(
         "4 K80s deliver ~13.2 Kreq/s (4 x 3.3K, paper footnote 2)",
@@ -210,6 +310,21 @@ fn main() {
         "admission control serves ~the configured rate, shedding the rest",
         (0.85 * ADMIT..=1.1 * ADMIT).contains(&shed.throughput) && shed.rejected > 0,
         format!("{:.1} Kreq/s, {} shed", shed.kreq_per_sec(), shed.rejected),
+    );
+    report.check(
+        "partitioned replicas are thread-invariant (same recv at 1/2/8 threads)",
+        part.iter().all(|&(_, (_, recv))| recv == recv_1) && recv_1 > 0,
+        part.iter()
+            .map(|&(t, (_, recv))| format!("{t}t={recv}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    let (_, (wall_8, _)) = part[2];
+    let part_speedup = wall_1.as_secs_f64() / wall_8.as_secs_f64();
+    report.check(
+        "8 threads give >=3x wall-clock over 1 (needs >=8 host cores)",
+        part_speedup >= 3.0 || cores < 8,
+        format!("{part_speedup:.2}x on {cores} cores"),
     );
     report.check(
         "admitted p99 under admission control beats the queueing p99",

@@ -127,7 +127,7 @@ impl KvServer {
 pub struct FaceVerApp;
 
 impl AccelApp for FaceVerApp {
-    fn on_request(&self, sim: &mut Sim, request: lynx_sim::Bytes, ctx: WorkerCtx) {
+    fn on_request(&self, sim: &mut Sim, request: lynx_sim::Payload, ctx: WorkerCtx) {
         let Some((label, probe)) = lbp::decode_request(&request) else {
             ctx.reply(sim, &[0xFF]);
             return;

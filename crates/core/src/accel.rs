@@ -15,7 +15,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use lynx_device::{GpuProfile, RequestProcessor, Threadblock};
-use lynx_sim::{Bytes, Sim, TraceEvent};
+use lynx_sim::{Payload, Sim, TraceEvent};
 
 use crate::Mqueue;
 
@@ -73,7 +73,7 @@ pub trait AccelApp {
     /// Handles one request. The implementation must eventually call
     /// [`WorkerCtx::reply`] (possibly after [`WorkerCtx::compute`] steps
     /// and [`WorkerCtx::call_backend`] round trips).
-    fn on_request(&self, sim: &mut Sim, request: Bytes, ctx: WorkerCtx);
+    fn on_request(&self, sim: &mut Sim, request: Payload, ctx: WorkerCtx);
 
     /// Name for diagnostics.
     fn name(&self) -> &str {
@@ -105,7 +105,7 @@ impl ProcessorApp {
 }
 
 impl AccelApp for ProcessorApp {
-    fn on_request(&self, sim: &mut Sim, request: Bytes, ctx: WorkerCtx) {
+    fn on_request(&self, sim: &mut Sim, request: Payload, ctx: WorkerCtx) {
         let work = self.proc.service_time(&request)
             + GpuProfile::reference().dynamic_parallelism_gap * self.proc.launches();
         let response = self.proc.process(&request);
@@ -119,7 +119,7 @@ impl AccelApp for ProcessorApp {
     }
 }
 
-type BackendCont = Box<dyn FnOnce(&mut Sim, Bytes)>;
+type BackendCont = Box<dyn FnOnce(&mut Sim, Payload)>;
 
 struct ClientPort {
     mq: Mqueue,
@@ -323,7 +323,7 @@ impl WorkerCtx {
         sim: &mut Sim,
         backend: usize,
         payload: &[u8],
-        then: impl FnOnce(&mut Sim, WorkerCtx, Bytes) + 'static,
+        then: impl FnOnce(&mut Sim, WorkerCtx, Payload) + 'static,
     ) {
         let port = {
             let clients = self.inner.clients.borrow();
@@ -336,7 +336,7 @@ impl WorkerCtx {
         {
             let mut pending = port.pending.borrow_mut();
             assert!(pending.is_none(), "backend call already pending");
-            *pending = Some(Box::new(move |sim: &mut Sim, resp: Bytes| {
+            *pending = Some(Box::new(move |sim: &mut Sim, resp: Payload| {
                 then(sim, self, resp);
             }));
         }
@@ -442,7 +442,7 @@ mod tests {
     fn backend_call_blocks_until_response() {
         struct DbApp;
         impl AccelApp for DbApp {
-            fn on_request(&self, sim: &mut Sim, req: Bytes, ctx: WorkerCtx) {
+            fn on_request(&self, sim: &mut Sim, req: Payload, ctx: WorkerCtx) {
                 ctx.call_backend(sim, 0, &req, |sim, ctx, db_resp| {
                     ctx.compute(sim, Duration::from_micros(50), move |sim, ctx| {
                         ctx.reply(sim, &db_resp);

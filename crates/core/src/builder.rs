@@ -8,7 +8,7 @@
 //! silently-broken servers. See [`LynxServerBuilder`] for an example.
 
 use lynx_net::{HostStack, SockAddr};
-use lynx_sim::{SchedulerKind, Sim, Telemetry};
+use lynx_sim::{SchedulerKind, Sim, SimConfig, Telemetry};
 
 use crate::pipeline::{BatchPolicy, PipelineConfig};
 use crate::{
@@ -75,7 +75,7 @@ pub struct LynxServerBuilder {
     accels: Vec<RemoteMqManager>,
     services: Vec<ServiceSpec>,
     bridges: Vec<(usize, Mqueue, SockAddr)>,
-    scheduler: Option<SchedulerKind>,
+    sim_config: Option<SimConfig>,
     errors: Vec<String>,
 }
 
@@ -108,12 +108,36 @@ impl LynxServerBuilder {
                 listeners: Vec::new(),
             }],
             bridges: Vec::new(),
-            scheduler: None,
+            sim_config: None,
             errors: Vec::new(),
         }
     }
 
-    /// Pins the simulator's event-queue backend for this deployment.
+    /// Sets the typed engine configuration for this deployment.
+    ///
+    /// This is the programmatic replacement for the ad-hoc `LYNX_SCHED` /
+    /// `LYNX_SIM_THREADS` plumbing: construct a [`SimConfig`] (optionally
+    /// seeded from the environment via [`SimConfig::from_env`]), pass it
+    /// here, and [`LynxServerBuilder::build`] validates it alongside every
+    /// other config and applies the scheduler choice through
+    /// [`Sim::set_scheduler`]. The `threads` field is carried for the
+    /// partitioned harness (`lynx_core::shard`); a single-`Sim` deployment
+    /// always runs on one thread.
+    ///
+    /// A `SimConfig` that fails [`SimConfig::validate`] is reported in the
+    /// aggregate [`Error::Config`](crate::Error::Config) at build time,
+    /// consistent with the rest of the builder.
+    pub fn sim_config(mut self, cfg: SimConfig) -> Self {
+        if let Err(reason) = cfg.validate() {
+            self.errors.push(format!("sim.threads: {reason}"));
+        }
+        self.sim_config = Some(cfg);
+        self
+    }
+
+    /// Pins the simulator's event-queue backend for this deployment —
+    /// sugar for [`LynxServerBuilder::sim_config`] touching only the
+    /// scheduler field.
     ///
     /// Applied at [`LynxServerBuilder::build`] time through
     /// [`Sim::set_scheduler`], which migrates any already-pending events
@@ -123,7 +147,8 @@ impl LynxServerBuilder {
     /// ([`SchedulerKind::Hybrid`]). When unset, whatever the `Sim` was
     /// created with (the `LYNX_SCHED` env var, by default) stays in force.
     pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
-        self.scheduler = Some(kind);
+        let cfg = self.sim_config.unwrap_or_default().scheduler(kind);
+        self.sim_config = Some(cfg);
         self
     }
 
@@ -312,8 +337,8 @@ impl LynxServerBuilder {
         if !errors.is_empty() {
             return Err(crate::Error::Config(errors.join("; ")));
         }
-        if let Some(kind) = self.scheduler {
-            sim.set_scheduler(kind);
+        if let Some(cfg) = self.sim_config {
+            sim.set_scheduler(cfg.scheduler);
         }
 
         let costs = self

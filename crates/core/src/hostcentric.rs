@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use lynx_device::{Gpu, RequestProcessor};
 use lynx_net::{ConnId, HostStack, SockAddr};
-use lynx_sim::{Bytes, Sim};
+use lynx_sim::{Payload, Sim};
 
 /// Counters of a [`HostCentricServer`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -36,9 +36,9 @@ struct BackendState {
     conn: Option<ConnId>,
     /// Requests waiting for their backend response (FIFO per connection),
     /// each carrying the original request and its reply address.
-    pending: VecDeque<(Bytes, SockAddr)>,
+    pending: VecDeque<(Payload, SockAddr)>,
     /// Requests that arrived before the connection established.
-    preconnect: Vec<(Bytes, SockAddr)>,
+    preconnect: Vec<(Payload, SockAddr)>,
     make_key: PayloadHook,
     extract: PayloadHook,
 }
@@ -118,7 +118,7 @@ impl HostCentricServer {
         }
         let stack = self.inner.borrow().stack.clone();
         let this = self.clone();
-        let on_msg = move |sim: &mut Sim, _conn: ConnId, payload: Bytes| {
+        let on_msg = move |sim: &mut Sim, _conn: ConnId, payload: Payload| {
             this.on_backend_response(sim, payload);
         };
         let this2 = self.clone();
@@ -141,7 +141,7 @@ impl HostCentricServer {
         self.inner.borrow().stats
     }
 
-    fn on_request(&self, sim: &mut Sim, from: SockAddr, payload: Bytes) {
+    fn on_request(&self, sim: &mut Sim, from: SockAddr, payload: Payload) {
         let has_backend = {
             let mut inner = self.inner.borrow_mut();
             inner.stats.requests += 1;
@@ -154,7 +154,7 @@ impl HostCentricServer {
         }
     }
 
-    fn fetch_backend(&self, sim: &mut Sim, request: Bytes, from: SockAddr) {
+    fn fetch_backend(&self, sim: &mut Sim, request: Payload, from: SockAddr) {
         let (stack, conn, key) = {
             let mut inner = self.inner.borrow_mut();
             let stack = inner.stack.clone();
@@ -175,7 +175,7 @@ impl HostCentricServer {
         stack.send_tcp(sim, conn, key);
     }
 
-    fn on_backend_response(&self, sim: &mut Sim, db_payload: Bytes) {
+    fn on_backend_response(&self, sim: &mut Sim, db_payload: Payload) {
         let (request, from, extracted) = {
             let mut inner = self.inner.borrow_mut();
             let b = inner.backend.as_mut().expect("response requires a backend");
@@ -188,10 +188,10 @@ impl HostCentricServer {
         };
         let mut input = request.to_vec();
         input.extend_from_slice(&extracted);
-        self.run_kernel(sim, Bytes::from(input), from);
+        self.run_kernel(sim, Payload::from(input), from);
     }
 
-    fn run_kernel(&self, sim: &mut Sim, input: Bytes, from: SockAddr) {
+    fn run_kernel(&self, sim: &mut Sim, input: Payload, from: SockAddr) {
         let (gpu, work, launches, response, stack, port) = {
             let inner = self.inner.borrow();
             (

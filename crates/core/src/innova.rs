@@ -113,7 +113,7 @@ impl InnovaReceiver {
         )
     }
 
-    fn on_packet(&self, sim: &mut Sim, src: lynx_net::SockAddr, payload: lynx_sim::Bytes) {
+    fn on_packet(&self, sim: &mut Sim, src: lynx_net::SockAddr, payload: lynx_sim::Payload) {
         let fpga = {
             let mut inner = self.inner.borrow_mut();
             inner.stats.ingested += 1;
@@ -127,7 +127,7 @@ impl InnovaReceiver {
         });
     }
 
-    fn deliver(&self, sim: &mut Sim, src: lynx_net::SockAddr, payload: lynx_sim::Bytes) {
+    fn deliver(&self, sim: &mut Sim, src: lynx_net::SockAddr, payload: lynx_sim::Payload) {
         let (mq, seq, helper, helper_cost, qp) = {
             let mut inner = self.inner.borrow_mut();
             if inner.mqs.is_empty() {

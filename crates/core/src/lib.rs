@@ -51,6 +51,7 @@ mod mqueue;
 pub mod pipeline;
 mod rmq;
 mod server;
+pub mod shard;
 pub mod testbed;
 mod validate;
 
@@ -65,4 +66,5 @@ pub use mqueue::{Mqueue, MqueueConfig, MqueueKind, ReturnAddr, SLOT_HEADER};
 pub use pipeline::{BatchPolicy, Pipeline, PipelineConfig};
 pub use rmq::{RemoteMqManager, RmqConfig};
 pub use server::{CostModel, LynxServer, RecoveryConfig, ServerStats, ServiceId, SnicPlatform};
+pub use shard::{conservative_window, ReplicaSet, ShardPlan};
 pub use validate::Validate;

@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use lynx_fabric::MemRegion;
 use lynx_net::{ConnId, SockAddr};
-use lynx_sim::{BufferPool, Bytes, Sim, SiteCounter, SiteGauge, Telemetry, TraceEvent};
+use lynx_sim::{BufferPool, Payload, Sim, SiteCounter, SiteGauge, Telemetry, TraceEvent};
 
 use crate::Error;
 
@@ -155,7 +155,7 @@ struct Inner {
     /// by sequence. Each buffer returns to `pool` when its response
     /// completes (or when the queue is drained at scale-in), so
     /// steady-state encoding reuses scratch instead of allocating.
-    staged: VecDeque<Bytes>,
+    staged: VecDeque<Payload>,
     /// Scratch pool the staged slot images came from and return to.
     pool: Option<BufferPool>,
 }
@@ -426,7 +426,7 @@ impl Mqueue {
     /// [`Mqueue::drain`]ed at scale-in) the image's buffer is recycled
     /// into `pool` rather than dropped. Server queues only; on other
     /// kinds the image is simply dropped.
-    pub(crate) fn stage_slot(&self, pool: &BufferPool, image: Bytes) {
+    pub(crate) fn stage_slot(&self, pool: &BufferPool, image: Payload) {
         let mut inner = self.inner.borrow_mut();
         if inner.kind != MqueueKind::Server {
             return;
@@ -600,7 +600,7 @@ impl Mqueue {
 
     /// Pops the next pending request (local-memory access on the
     /// accelerator): returns `(seq, payload)`.
-    pub fn acc_pop_request(&self) -> Option<(u64, Bytes)> {
+    pub fn acc_pop_request(&self) -> Option<(u64, Payload)> {
         let mut inner = self.inner.borrow_mut();
         if inner.rx_popped >= inner.rx_pushed {
             return None;
@@ -613,7 +613,7 @@ impl Mqueue {
             return None;
         }
         let len = inner.mem.read_u32(off) as usize;
-        let payload = Bytes::from(inner.mem.read(off + SLOT_HEADER, len));
+        let payload = Payload::from(inner.mem.read(off + SLOT_HEADER, len));
         inner.rx_popped += 1;
         Some((seq, payload))
     }
@@ -957,7 +957,7 @@ mod tests {
             let seq = q.try_reserve(ReturnAddr::Fixed).unwrap();
             let slot = q.encode_slot_pooled(&pool, seq, &[round as u8]);
             q.mem().write(q.rx_slot_offset(seq), &slot);
-            q.stage_slot(&pool, Bytes::from(slot));
+            q.stage_slot(&pool, Payload::from(slot));
             q.acc_pop_request().unwrap();
             q.acc_push_response(&mut sim, seq, &[round as u8]);
             let (s, _, _) = q.peek_response().unwrap();
@@ -980,7 +980,7 @@ mod tests {
         let seq = q.try_reserve(ReturnAddr::Fixed).unwrap();
         let slot = q.encode_slot_pooled(&pool, seq, b"x");
         q.mem().write(q.rx_slot_offset(seq), &slot);
-        q.stage_slot(&pool, Bytes::from(slot));
+        q.stage_slot(&pool, Payload::from(slot));
         q.acc_pop_request().unwrap();
         q.acc_push_response(&mut sim, seq, b"y");
         let (s, _, _) = q.peek_response().unwrap();

@@ -178,7 +178,7 @@ pub(crate) struct StagedRequest {
     pub(crate) service: ServiceId,
     pub(crate) ret: ReturnAddr,
     pub(crate) key: u64,
-    pub(crate) payload: lynx_sim::Bytes,
+    pub(crate) payload: lynx_sim::Payload,
 }
 
 struct CoreState {
@@ -379,7 +379,7 @@ mod tests {
             service: ServiceId::DEFAULT,
             ret: ReturnAddr::Fixed,
             key,
-            payload: lynx_sim::Bytes::new(),
+            payload: lynx_sim::Payload::new(),
         };
         assert!(p.stage(0, req(0)), "first stage on a core schedules");
         assert!(!p.stage(0, req(2)), "second rides the pending drain");
@@ -409,7 +409,7 @@ mod tests {
                     service: ServiceId::DEFAULT,
                     ret: ReturnAddr::Fixed,
                     key: k,
-                    payload: lynx_sim::Bytes::new(),
+                    payload: lynx_sim::Payload::new(),
                 },
             );
         }

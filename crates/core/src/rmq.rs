@@ -25,7 +25,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use lynx_fabric::QueuePair;
-use lynx_sim::{Bytes, Sim, TraceEvent};
+use lynx_sim::{Payload, Sim, TraceEvent};
 
 use crate::mqueue::SLOT_HEADER;
 use crate::{Error, Mqueue, ReturnAddr};
@@ -105,7 +105,7 @@ type AttemptFn = Rc<dyn Fn(&mut Sim, u32)>;
 type AttemptHolder = Rc<RefCell<Option<AttemptFn>>>;
 
 /// One collected response: its return address and payload.
-type Response = (ReturnAddr, Bytes);
+type Response = (ReturnAddr, Payload);
 
 /// Delivery continuation of a batched [`RemoteMqManager::pull_responses`].
 type CollectFn = dyn FnOnce(&mut Sim, Vec<Response>);
@@ -303,7 +303,7 @@ impl RemoteMqManager {
                 // its scratch buffer returns to the pool at completion (or
                 // at scale-in drain) instead of being dropped.
                 let pool = sim.buffers();
-                let slot = Bytes::from(mq.encode_slot_pooled(&pool, seq, payload));
+                let slot = Payload::from(mq.encode_slot_pooled(&pool, seq, payload));
                 mq.stage_slot(&pool, slot.clone());
                 self.qp.post_write(sim, slot, &mem, offset, move |sim| {
                     mq2.notify_rx(sim);
@@ -336,7 +336,7 @@ impl RemoteMqManager {
             // Bytes: each retry attempt reposts the same shared buffer
             // (an `Rc` bump), instead of deep-copying the slot image.
             let pool = sim.buffers();
-            let slot = Bytes::from(mq.encode_slot_pooled(&pool, seq, payload));
+            let slot = Payload::from(mq.encode_slot_pooled(&pool, seq, payload));
             mq.stage_slot(&pool, slot.clone());
             let qp = self.qp.clone();
             let post: Rc<PostFn<()>> = Rc::new(move |sim, cb| {
@@ -366,8 +366,8 @@ impl RemoteMqManager {
             let mut data = ((payload.len() as u32).to_le_bytes()).to_vec();
             data.extend_from_slice(&[0; 4]);
             data.extend_from_slice(payload);
-            let data = Bytes::from(data);
-            let bell = Bytes::from(((seq + 1) as u32).to_le_bytes().to_vec());
+            let data = Payload::from(data);
+            let bell = Payload::from(((seq + 1) as u32).to_le_bytes().to_vec());
             let write_barrier = cfg.write_barrier;
             let qp_bell = self.qp.clone();
             let mem_bell = mem.clone();
@@ -446,13 +446,13 @@ impl RemoteMqManager {
     /// remaining spans of the batch are unaffected. The accelerator's
     /// doorbell gating handles late-landing retried slots: consumption
     /// stalls at the missing slot and resumes once it lands.
-    pub fn push_requests<B: Into<Bytes>>(
+    pub fn push_requests<B: Into<Payload>>(
         &self,
         sim: &mut Sim,
         mq: &Mqueue,
         items: Vec<(ReturnAddr, B)>,
     ) -> Vec<crate::Result<u64>> {
-        let items: Vec<(ReturnAddr, Bytes)> =
+        let items: Vec<(ReturnAddr, Payload)> =
             items.into_iter().map(|(ret, p)| (ret, p.into())).collect();
         let cfg = mq.config();
         if !cfg.coalesce_metadata || cfg.write_barrier {
@@ -462,7 +462,7 @@ impl RemoteMqManager {
                 .collect();
         }
         let mut results = Vec::with_capacity(items.len());
-        let mut reserved: Vec<(u64, Bytes)> = Vec::new();
+        let mut reserved: Vec<(u64, Payload)> = Vec::new();
         for (ret, payload) in items {
             match mq.try_reserve(ret) {
                 Ok(seq) => {
@@ -486,7 +486,7 @@ impl RemoteMqManager {
         let mem = mq.mem();
         // Split the reserved run at ring-wrap boundaries: a chained verb
         // covers ascending offsets only.
-        let mut runs: Vec<Vec<(u64, usize, Bytes)>> = Vec::new();
+        let mut runs: Vec<Vec<(u64, usize, Payload)>> = Vec::new();
         let mut prev_offset: Option<usize> = None;
         for (seq, payload) in reserved {
             let offset = mq.rx_slot_offset(seq);
@@ -500,10 +500,10 @@ impl RemoteMqManager {
         let faults = sim.faults_enabled();
         let pool = sim.buffers();
         for run in runs {
-            let spans: Vec<(usize, Bytes)> = run
+            let spans: Vec<(usize, Payload)> = run
                 .iter()
                 .map(|(seq, offset, payload)| {
-                    let slot = Bytes::from(mq.encode_slot_pooled(&pool, *seq, payload));
+                    let slot = Payload::from(mq.encode_slot_pooled(&pool, *seq, payload));
                     mq.stage_slot(&pool, slot.clone());
                     (*offset, slot)
                 })
@@ -589,7 +589,7 @@ impl RemoteMqManager {
         sim: &mut Sim,
         mq: &Mqueue,
         max: usize,
-        collected: impl FnOnce(&mut Sim, Vec<(ReturnAddr, Bytes)>) + 'static,
+        collected: impl FnOnce(&mut Sim, Vec<(ReturnAddr, Payload)>) + 'static,
     ) {
         let mut claims = Vec::new();
         while claims.len() < max {
@@ -654,7 +654,7 @@ impl RemoteMqManager {
                         let remaining = Rc::clone(&remaining);
                         let collected = Rc::clone(&collected);
                         let mq_evt = mq2.clone();
-                        move |sim: &mut Sim, bytes: Option<Bytes>| {
+                        move |sim: &mut Sim, bytes: Option<Payload>| {
                             if let Some(bytes) = bytes {
                                 let payload = bytes.slice_from(SLOT_HEADER);
                                 let bytes_out = payload.len();
@@ -695,7 +695,7 @@ impl RemoteMqManager {
                             let (offset, len) = retry_spans[i];
                             let qp2 = qp.clone();
                             let mem3 = mem2.clone();
-                            let post: Rc<PostFn<Bytes>> = Rc::new(move |sim, cb| {
+                            let post: Rc<PostFn<Payload>> = Rc::new(move |sim, cb| {
                                 qp2.post_read_checked(sim, &mem3, offset, len, move |sim, r| {
                                     cb(sim, r.map_err(|_| ()));
                                 });
@@ -734,7 +734,7 @@ impl RemoteMqManager {
         &self,
         sim: &mut Sim,
         mq: &Mqueue,
-        collected: impl FnOnce(&mut Sim, ReturnAddr, Bytes) + 'static,
+        collected: impl FnOnce(&mut Sim, ReturnAddr, Payload) + 'static,
     ) {
         let Some((seq, ret, len)) = mq.begin_pull() else {
             return;
@@ -764,7 +764,7 @@ impl RemoteMqManager {
         }
         let qp = self.qp.clone();
         let label = mq.label();
-        let post: Rc<PostFn<Bytes>> = Rc::new(move |sim, cb| {
+        let post: Rc<PostFn<Payload>> = Rc::new(move |sim, cb| {
             qp.post_read_checked(sim, &mem, offset, SLOT_HEADER + len, move |sim, r| {
                 cb(sim, r.map_err(|_| ()));
             });

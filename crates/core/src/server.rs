@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use lynx_device::{profile_for, BluefieldProfile, CostProfile, CpuKind};
 use lynx_net::{ConnId, HostStack, SockAddr};
-use lynx_sim::{Bytes, Sim, SiteCounter, Telemetry, Time, TraceEvent};
+use lynx_sim::{Payload, Sim, SiteCounter, Telemetry, Time, TraceEvent};
 
 use crate::control::{ControlConfig, ScaleDecision, SvcControl};
 use crate::pipeline::{Pipeline, PipelineConfig, StagedRequest};
@@ -169,7 +169,7 @@ pub struct ServerStats {
 
 struct BackendBridge {
     conn: Option<ConnId>,
-    queued: Vec<Bytes>,
+    queued: Vec<Payload>,
 }
 
 /// Pre-interned handles for the server-wide per-message counters. Each
@@ -419,7 +419,7 @@ impl LynxServer {
         let this = self.clone();
         let mq_rx = mq.clone();
         let rmq_rx = Rc::clone(&rmq);
-        let on_msg = move |sim: &mut Sim, _conn: ConnId, payload: Bytes| {
+        let on_msg = move |sim: &mut Sim, _conn: ConnId, payload: Payload| {
             this.on_backend_response(sim, mq_rx.clone(), Rc::clone(&rmq_rx), payload);
         };
         let bridge2 = Rc::clone(&bridge);
@@ -582,7 +582,7 @@ impl LynxServer {
         service: ServiceId,
         ret: ReturnAddr,
         key: u64,
-        payload: Bytes,
+        payload: Payload,
     ) {
         let (batched, stack, cost) = {
             let inner = self.inner.borrow();
@@ -605,7 +605,7 @@ impl LynxServer {
             // Early reject: no dispatch cost charged, no RDMA verb issued.
             // The empty (0-byte) reply is the shed marker — closed-loop
             // clients observe it instead of timing out on silence.
-            self.send_reply(sim, service, ret, Bytes::from(Vec::new()));
+            self.send_reply(sim, service, ret, Payload::from(Vec::new()));
             return;
         }
         self.arm_monitor(sim);
@@ -701,7 +701,7 @@ impl LynxServer {
             qi: usize,
             rmq: Rc<RemoteMqManager>,
             mq: Mqueue,
-            items: Vec<(ReturnAddr, Bytes)>,
+            items: Vec<(ReturnAddr, Payload)>,
         }
         let mut groups: Vec<Group> = Vec::new();
         let mut traces: Vec<(&'static str, Option<String>)> = Vec::new();
@@ -780,7 +780,7 @@ impl LynxServer {
         service: ServiceId,
         ret: ReturnAddr,
         key: u64,
-        payload: Bytes,
+        payload: Payload,
     ) {
         let (policy, picked) = {
             let mut inner = self.inner.borrow_mut();
@@ -927,7 +927,7 @@ impl LynxServer {
         });
     }
 
-    fn send_reply(&self, sim: &mut Sim, service: ServiceId, ret: ReturnAddr, payload: Bytes) {
+    fn send_reply(&self, sim: &mut Sim, service: ServiceId, ret: ReturnAddr, payload: Payload) {
         if let Err(e) = self.try_send_reply(sim, service, ret, payload) {
             // Shed, counted; a UDP client sees a lost reply.
             debug_assert!(matches!(e, Error::Unroutable { .. }));
@@ -943,7 +943,7 @@ impl LynxServer {
         sim: &mut Sim,
         service: ServiceId,
         ret: ReturnAddr,
-        payload: Bytes,
+        payload: Payload,
     ) -> crate::Result<()> {
         let (stack, port) = {
             let inner = self.inner.borrow();
@@ -980,12 +980,17 @@ impl LynxServer {
     /// which need per-connection framing — individually. Unroutable
     /// responses are shed and counted without disturbing the rest of the
     /// batch.
-    fn send_replies(&self, sim: &mut Sim, service: ServiceId, responses: Vec<(ReturnAddr, Bytes)>) {
+    fn send_replies(
+        &self,
+        sim: &mut Sim,
+        service: ServiceId,
+        responses: Vec<(ReturnAddr, Payload)>,
+    ) {
         let (stack, port) = {
             let inner = self.inner.borrow();
             (inner.stack.clone(), inner.services[service.0].udp_port)
         };
-        let mut udp: Vec<(SockAddr, Bytes)> = Vec::new();
+        let mut udp: Vec<(SockAddr, Payload)> = Vec::new();
         for (ret, payload) in responses {
             match ret {
                 ReturnAddr::Udp(addr) => match port {
@@ -1064,7 +1069,7 @@ impl LynxServer {
         sim: &mut Sim,
         mq: Mqueue,
         rmq: Rc<RemoteMqManager>,
-        payload: Bytes,
+        payload: Payload,
     ) {
         let (stack, cost) = {
             let inner = self.inner.borrow();

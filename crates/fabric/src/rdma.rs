@@ -13,7 +13,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use lynx_sim::telemetry::SiteCounter;
-use lynx_sim::{Bytes, FaultAction, Server, Sim};
+use lynx_sim::{FaultAction, Payload, Server, Sim};
 
 use crate::{MemRegion, NodeId, PcieFabric};
 
@@ -87,6 +87,19 @@ impl WireProfile {
             bandwidth_bps: 5.0e9,
             per_wqe: Duration::from_nanos(100),
         }
+    }
+
+    /// The earliest a one-sided verb on this wire can land at the peer:
+    /// propagation plus one WQE of NIC processing, before any
+    /// serialization or PCIe hop.
+    ///
+    /// This lower bound is what a partitioned simulation uses as the
+    /// conservative lookahead for a cross-shard RDMA path — no completion
+    /// can cross the wire faster, so it is a safe
+    /// [`lynx_sim::Partition::link`] latency when the two NICs live on
+    /// different shards.
+    pub fn min_one_way(&self) -> Duration {
+        self.latency + self.per_wqe
     }
 }
 
@@ -235,7 +248,7 @@ impl QueuePair {
     ///
     /// The bytes become visible in `dst` and `done` runs when the write
     /// lands. Writes posted on the same QP land in posting order. `data`
-    /// is any [`Bytes`]-convertible payload; passing a `Bytes` handle the
+    /// is any [`Payload`]-convertible payload; passing a `Payload` handle the
     /// caller retains for retries costs an `Rc` bump, not a copy.
     ///
     /// # Panics
@@ -245,7 +258,7 @@ impl QueuePair {
     pub fn post_write(
         &self,
         sim: &mut Sim,
-        data: impl Into<Bytes>,
+        data: impl Into<Payload>,
         dst: &MemRegion,
         dst_off: usize,
         done: impl FnOnce(&mut Sim) + 'static,
@@ -271,7 +284,7 @@ impl QueuePair {
     pub fn post_write_checked(
         &self,
         sim: &mut Sim,
-        data: impl Into<Bytes>,
+        data: impl Into<Payload>,
         dst: &MemRegion,
         dst_off: usize,
         done: impl FnOnce(&mut Sim, Result<(), CqeError>) + 'static,
@@ -336,7 +349,7 @@ impl QueuePair {
     ///
     /// Panics if `spans` is empty, a destination range is out of bounds, or
     /// the target node is unreachable from the QP's remote NIC.
-    pub fn post_write_vectored<B: Into<Bytes>>(
+    pub fn post_write_vectored<B: Into<Payload>>(
         &self,
         sim: &mut Sim,
         spans: Vec<(usize, B)>,
@@ -344,7 +357,7 @@ impl QueuePair {
         done: impl FnOnce(&mut Sim, Vec<Result<(), CqeError>>) + 'static,
     ) {
         assert!(!spans.is_empty(), "vectored write needs at least one span");
-        let spans: Vec<(usize, Bytes)> =
+        let spans: Vec<(usize, Payload)> =
             spans.into_iter().map(|(off, d)| (off, d.into())).collect();
         let total: usize = spans.iter().map(|(_, d)| d.len()).sum();
         let (occupancy, mut delay) = self.landing_delay(dst.node(), total);
@@ -406,7 +419,7 @@ impl QueuePair {
 
     /// Posts a one-sided RDMA READ of `len` bytes from `src[src_off..]`.
     ///
-    /// `done` receives the bytes (as a shared [`Bytes`] buffer) as they
+    /// `done` receives the bytes (as a shared [`Payload`] buffer) as they
     /// were at the moment the read reached the target memory. Total
     /// latency is a full round trip.
     ///
@@ -421,7 +434,7 @@ impl QueuePair {
         src: &MemRegion,
         src_off: usize,
         len: usize,
-        done: impl FnOnce(&mut Sim, Bytes) + 'static,
+        done: impl FnOnce(&mut Sim, Payload) + 'static,
     ) {
         self.post_read_checked(sim, src, src_off, len, move |sim, result| {
             // Unchecked legacy path: an injected CQE error silently drops
@@ -450,7 +463,7 @@ impl QueuePair {
         src: &MemRegion,
         src_off: usize,
         len: usize,
-        done: impl FnOnce(&mut Sim, Result<Bytes, CqeError>) + 'static,
+        done: impl FnOnce(&mut Sim, Result<Payload, CqeError>) + 'static,
     ) {
         assert!(
             self.kind == QpKind::ReliableConnection,
@@ -489,7 +502,7 @@ impl QueuePair {
             // there and returns after another `delay`.
             sim.schedule_in(delay, move |sim| match cqe {
                 None => {
-                    let data = Bytes::from(src.read(src_off, len));
+                    let data = Payload::from(src.read(src_off, len));
                     sim.schedule_in(delay, move |sim| done(sim, Ok(data)));
                 }
                 Some(err) => sim.schedule_in(delay, move |sim| done(sim, Err(err))),
@@ -517,7 +530,7 @@ impl QueuePair {
         sim: &mut Sim,
         src: &MemRegion,
         spans: Vec<(usize, usize)>,
-        done: impl FnOnce(&mut Sim, Vec<Result<Bytes, CqeError>>) + 'static,
+        done: impl FnOnce(&mut Sim, Vec<Result<Payload, CqeError>>) + 'static,
     ) {
         assert!(
             self.kind == QpKind::ReliableConnection,
@@ -564,11 +577,11 @@ impl QueuePair {
         let src = src.clone();
         self.queue.submit(sim, occupancy, move |sim| {
             sim.schedule_in(delay, move |sim| {
-                let results: Vec<Result<Bytes, CqeError>> = spans
+                let results: Vec<Result<Payload, CqeError>> = spans
                     .into_iter()
                     .zip(cqes)
                     .map(|((off, len), cqe)| match cqe {
-                        None => Ok(Bytes::from(src.read(off, len))),
+                        None => Ok(Payload::from(src.read(off, len))),
                         Some(err) => Err(err),
                     })
                     .collect();
@@ -658,7 +671,7 @@ mod tests {
         let (mut sim, nic, gpu_mem) = rig();
         gpu_mem.write(0, b"resp");
         let qp = nic.loopback_qp();
-        let got = Rc::new(RefCell::new(Bytes::new()));
+        let got = Rc::new(RefCell::new(Payload::new()));
         let g = Rc::clone(&got);
         let write_landed = Rc::new(Cell::new(Time::ZERO));
         let read_done = Rc::new(Cell::new(Time::ZERO));

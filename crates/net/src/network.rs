@@ -5,7 +5,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
-use lynx_sim::{Bytes, Server, Sim};
+use lynx_sim::{Payload, Server, Sim};
 
 use crate::{ConnId, HostId, Proto, SockAddr};
 
@@ -54,14 +54,14 @@ pub struct Datagram {
     pub proto: Proto,
     /// Connection id for TCP messages (assigned by [`crate::HostStack`]).
     pub conn: Option<ConnId>,
-    /// Application payload — a shared [`Bytes`] buffer, so cloning a
+    /// Application payload — a shared [`Payload`] buffer, so cloning a
     /// datagram (fan-out, injected duplicates) never copies the payload.
-    pub payload: Bytes,
+    pub payload: Payload,
 }
 
 impl Datagram {
     /// Creates a UDP datagram.
-    pub fn udp(src: SockAddr, dst: SockAddr, payload: impl Into<Bytes>) -> Datagram {
+    pub fn udp(src: SockAddr, dst: SockAddr, payload: impl Into<Payload>) -> Datagram {
         Datagram {
             src,
             dst,
@@ -186,6 +186,38 @@ impl Network {
     /// Datagrams dropped because the destination had no handler.
     pub fn dropped(&self) -> u64 {
         self.inner.borrow().dropped
+    }
+
+    /// One-way propagation latency between two attached hosts, excluding
+    /// serialization: `src link + switch + dst link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either host id is unknown.
+    pub fn path_latency(&self, src: HostId, dst: HostId) -> Duration {
+        let inner = self.inner.borrow();
+        let n = inner.hosts.len();
+        let (s, d) = (src.0 as usize, dst.0 as usize);
+        assert!(s < n && d < n, "path between unknown hosts");
+        inner.hosts[s].link.latency + inner.switch_latency + inner.hosts[d].link.latency
+    }
+
+    /// The smallest one-way host-to-host propagation latency in the
+    /// topology, or `None` when fewer than two hosts are attached.
+    ///
+    /// This is the lookahead bound a conservatively partitioned simulation
+    /// needs: no message between any two hosts of this network can arrive
+    /// sooner than this, so it is a safe time-window width for
+    /// [`lynx_sim::Partition::link`] when the network is split across
+    /// shards.
+    pub fn min_path_latency(&self) -> Option<Duration> {
+        let inner = self.inner.borrow();
+        if inner.hosts.len() < 2 {
+            return None;
+        }
+        let mut lats: Vec<Duration> = inner.hosts.iter().map(|h| h.link.latency).collect();
+        lats.sort_unstable();
+        Some(lats[0] + inner.switch_latency + lats[1])
     }
 
     /// Injects a datagram into the network at its source host.

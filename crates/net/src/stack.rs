@@ -6,7 +6,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
-use lynx_sim::{Bytes, MultiServer, Sim, SiteCounter, TraceEvent};
+use lynx_sim::{MultiServer, Payload, Sim, SiteCounter, TraceEvent};
 
 use crate::tcp::ConnRole;
 use crate::{ConnId, Datagram, HostId, Network, Proto, SockAddr, TcpConn};
@@ -173,7 +173,7 @@ impl StackProfile {
 }
 
 type UdpHandler = Rc<RefCell<dyn FnMut(&mut Sim, Datagram)>>;
-type TcpHandler = Rc<RefCell<dyn FnMut(&mut Sim, ConnId, Bytes)>>;
+type TcpHandler = Rc<RefCell<dyn FnMut(&mut Sim, ConnId, Payload)>>;
 type ConnectCb = Box<dyn FnOnce(&mut Sim, ConnId)>;
 
 struct Inner {
@@ -390,10 +390,16 @@ impl HostStack {
 
     /// Sends a UDP datagram from `src_port`, charging the send-side cost.
     ///
-    /// The payload is anything convertible to [`Bytes`]; passing a
-    /// `Bytes` handle (e.g. one forwarded from a received datagram) is an
+    /// The payload is anything convertible to [`Payload`]; passing a
+    /// `Payload` handle (e.g. one forwarded from a received datagram) is an
     /// `Rc` bump, not a copy.
-    pub fn send_udp(&self, sim: &mut Sim, src_port: u16, dst: SockAddr, payload: impl Into<Bytes>) {
+    pub fn send_udp(
+        &self,
+        sim: &mut Sim,
+        src_port: u16,
+        dst: SockAddr,
+        payload: impl Into<Payload>,
+    ) {
         let payload = payload.into();
         let (cost, src) = {
             let mut inner = self.inner.borrow_mut();
@@ -422,7 +428,7 @@ impl HostStack {
     /// wire together when that work completes, in batch order. A
     /// single-element batch costs exactly what [`HostStack::send_udp`]
     /// charges; an empty batch is a no-op.
-    pub fn send_udp_batch<B: Into<Bytes>>(
+    pub fn send_udp_batch<B: Into<Payload>>(
         &self,
         sim: &mut Sim,
         src_port: u16,
@@ -431,7 +437,7 @@ impl HostStack {
         if msgs.is_empty() {
             return;
         }
-        let msgs: Vec<(SockAddr, Bytes)> =
+        let msgs: Vec<(SockAddr, Payload)> =
             msgs.into_iter().map(|(dst, p)| (dst, p.into())).collect();
         let (cost, src) = {
             let mut inner = self.inner.borrow_mut();
@@ -462,7 +468,7 @@ impl HostStack {
     /// # Panics
     ///
     /// Panics if the port already has a listener.
-    pub fn listen_tcp(&self, port: u16, on_msg: impl FnMut(&mut Sim, ConnId, Bytes) + 'static) {
+    pub fn listen_tcp(&self, port: u16, on_msg: impl FnMut(&mut Sim, ConnId, Payload) + 'static) {
         let prev = self
             .inner
             .borrow_mut()
@@ -480,7 +486,7 @@ impl HostStack {
         &self,
         sim: &mut Sim,
         dst: SockAddr,
-        on_msg: impl FnMut(&mut Sim, ConnId, Bytes) + 'static,
+        on_msg: impl FnMut(&mut Sim, ConnId, Payload) + 'static,
         on_connected: impl FnOnce(&mut Sim, ConnId) + 'static,
     ) -> ConnId {
         let (id, local_port, syn_cost, src_host) = {
@@ -517,7 +523,7 @@ impl HostStack {
                     dst,
                     proto: Proto::Tcp,
                     conn: Some(id),
-                    payload: Bytes::new(),
+                    payload: Payload::new(),
                 },
             );
         });
@@ -531,7 +537,7 @@ impl HostStack {
     /// Panics if the connection is unknown or not yet established, or if
     /// `payload` is empty (zero-length messages are reserved for the
     /// handshake).
-    pub fn send_tcp(&self, sim: &mut Sim, conn: ConnId, payload: impl Into<Bytes>) {
+    pub fn send_tcp(&self, sim: &mut Sim, conn: ConnId, payload: impl Into<Payload>) {
         let payload = payload.into();
         assert!(!payload.is_empty(), "zero-length TCP messages are reserved");
         let (cost, src, dst) = {
@@ -658,7 +664,7 @@ impl HostStack {
                     dst: reply_to,
                     proto: Proto::Tcp,
                     conn: Some(conn_id),
-                    payload: Bytes::new(),
+                    payload: Payload::new(),
                 },
             );
         });

@@ -11,9 +11,11 @@
 //!   binary-heap oracle for differential testing). Event sequence numbers
 //!   make execution **fully deterministic**: two runs with the same seed
 //!   replay the same event order bit-for-bit under either scheduler.
-//! * [`Bytes`] / [`BufferPool`] — cheaply-clonable shared payload buffers
-//!   and a per-`Sim` scratch pool, so moving a message through the model
-//!   costs an `Rc` bump instead of a payload copy.
+//! * [`Payload`] / [`BufferPool`] — cheaply-clonable shared payload
+//!   buffers (`Arc`-backed, `Send + Sync`) and a per-`Sim` scratch pool,
+//!   so moving a message through the model costs a refcount bump instead
+//!   of a payload copy, and cross-shard envelopes carry bytes between
+//!   worker threads without serialising.
 //! * [`Server`] / [`MultiServer`] — FIFO work-conserving service resources
 //!   used to model CPU cores, DMA engines and pipeline stages.
 //! * [`Histogram`] — HDR-style log-bucketed latency histogram (≤1.6 %
@@ -47,11 +49,13 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-pub mod bytes;
+mod config;
 pub mod faults;
 mod fifo;
 mod histogram;
+pub mod payload;
 mod server;
+pub mod shard;
 mod sim;
 pub mod stats;
 pub mod telemetry;
@@ -59,11 +63,40 @@ mod time;
 
 pub mod rng;
 
-pub use bytes::{BufferPool, Bytes};
+/// Deprecated 0.5 location of the payload types.
+///
+/// The module was renamed to [`payload`] in 0.6.0 when the `Rc`-backed
+/// `Bytes` became the `Arc`-backed, `Send + Sync` [`Payload`]. This shim
+/// re-exports the new types under the old paths for one release.
+#[deprecated(
+    since = "0.6.0",
+    note = "module renamed to `payload`; `Bytes` is now `Payload`"
+)]
+pub mod bytes {
+    pub use crate::payload::{BufferPool, Payload, Payload as Bytes};
+}
+
+pub use payload::{BufferPool, Payload};
+
+/// Deprecated alias for [`Payload`] (renamed in 0.6.0).
+///
+/// `Bytes` was `Rc`-backed and single-threaded; [`Payload`] keeps the
+/// exact same API and zero-copy behaviour but is `Send + Sync`, which the
+/// partitioned engine needs to move messages between shards. The alias is
+/// kept for one release; see CHANGELOG 0.6.0 for the migration table.
+#[deprecated(
+    since = "0.6.0",
+    note = "renamed to `Payload`; the alias will be removed next release"
+)]
+pub type Bytes = Payload;
+pub use config::{SimConfig, ENV_SCHED, ENV_THREADS};
 pub use faults::{FaultAction, FaultInjector, FaultPlan, FaultRule, Trigger};
 pub use fifo::{Fifo, FifoFullError};
 pub use histogram::{Histogram, WindowedHistogram};
 pub use server::{MultiServer, Server};
+pub use shard::{
+    CrossShardMsg, Partition, PartitionReport, ShardCtx, ShardId, ShardReport, ShardSender,
+};
 pub use sim::{SchedStatus, SchedulerKind, Sim};
 pub use telemetry::{
     CounterId, CounterRegistry, GaugeId, SiteCounter, SiteGauge, Telemetry, TraceEvent, TraceRecord,

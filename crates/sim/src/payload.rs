@@ -3,20 +3,27 @@
 //! Every message the simulator moves — UDP datagrams, mqueue slots, RDMA
 //! verb payloads — used to be a bare `Vec<u8>` that was deep-copied at
 //! each hand-off (stage → slot encode → verb retry closure → forward →
-//! reply). [`Bytes`] replaces those copies with a reference-counted slice:
-//! cloning is an `Rc` bump, and [`Bytes::slice`] carves a sub-range (for
-//! example, stripping a slot header off a pulled response) without
-//! touching the payload bytes.
+//! reply). [`Payload`] replaces those copies with a reference-counted
+//! slice: cloning is a refcount bump, and [`Payload::slice`] carves a
+//! sub-range (for example, stripping a slot header off a pulled response)
+//! without touching the payload bytes.
+//!
+//! Unlike the `Rc`-backed `Bytes` it replaces (0.6.0), `Payload` is
+//! `Send + Sync`: the backing storage is an `Arc` (or a borrowed
+//! `&'static` slice for [`Payload::from_static`]), so cross-shard
+//! envelopes in the partitioned engine ([`shard`](crate::shard)) can carry
+//! payloads between worker threads without copying. The representation is
+//! sealed — callers construct a `Payload` only through the conversions
+//! below and can never observe or depend on which variant backs a value,
+//! which is what lets the storage strategy evolve without API breaks.
 //!
 //! [`BufferPool`] complements it on the *write* side: encoders that build
 //! short-lived scratch buffers (slot images, batched frames) can
 //! [`take`](BufferPool::take) a recycled `Vec<u8>` and
 //! [`recycle`](BufferPool::recycle) it once the bytes have been copied
 //! into simulated memory, so steady-state encoding allocates nothing.
-//!
-//! Like every handle in this crate, both types are single-threaded
-//! (`Rc`-based, not `Send`) — the simulator is single-threaded by
-//! construction and this is what keeps the clone cheap.
+//! The pool stays `Rc`-based and per-[`Sim`] (per shard): scratch reuse is
+//! a shard-local affair and never crosses threads.
 //!
 //! [`Sim`]: crate::Sim
 
@@ -25,49 +32,82 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Deref, Range};
 use std::rc::Rc;
+use std::sync::Arc;
 
-/// An immutable, cheaply-clonable byte buffer (an `Rc`-backed slice).
+/// Sealed backing storage for [`Payload`]. Private by design: callers can
+/// neither construct nor match on a variant, so the set of strategies can
+/// change without breaking the API.
+#[derive(Clone)]
+enum Repr {
+    /// Reference-counted heap allocation, shared across clones and shards.
+    Shared(Arc<Vec<u8>>),
+    /// Borrowed program data (`Payload::from_static`), no allocation at all.
+    Static(&'static [u8]),
+}
+
+/// An immutable, cheaply-clonable, thread-safe byte buffer.
 ///
-/// `Bytes` dereferences to `&[u8]`, so existing slice-based code keeps
-/// working; `From<Vec<u8>>` is zero-copy, and [`Bytes::slice`] /
-/// [`Bytes::slice_from`] produce views that share the same allocation.
+/// `Payload` dereferences to `&[u8]`, so slice-based code keeps working;
+/// `From<Vec<u8>>` is zero-copy, and [`Payload::slice`] /
+/// [`Payload::slice_from`] produce views that share the same allocation.
+/// Because the storage is an `Arc` (never an `Rc`), a `Payload` is
+/// `Send + Sync` and may ride a cross-shard envelope between worker
+/// threads in the partitioned engine.
 ///
 /// ```
-/// use lynx_sim::Bytes;
+/// use lynx_sim::Payload;
 ///
-/// let b = Bytes::from(vec![1u8, 2, 3, 4]);
+/// let b = Payload::from(vec![1u8, 2, 3, 4]);
 /// let tail = b.slice_from(2);          // shares the allocation
 /// assert_eq!(&tail[..], &[3, 4]);
 /// assert_eq!(b.len(), 4);
-/// let c = b.clone();                   // Rc bump, no copy
+/// let c = b.clone();                   // refcount bump, no copy
 /// assert_eq!(c, b);
+/// fn takes_send<T: Send + Sync>(_: &T) {}
+/// takes_send(&b);
 /// ```
-#[derive(Clone, Default)]
-pub struct Bytes {
-    data: Rc<Vec<u8>>,
+#[derive(Clone)]
+pub struct Payload {
+    repr: Repr,
     off: usize,
     len: usize,
 }
 
-impl Bytes {
+impl Default for Payload {
+    fn default() -> Payload {
+        Payload::from_static(&[])
+    }
+}
+
+impl Payload {
     /// An empty buffer.
-    pub fn new() -> Bytes {
-        Bytes::default()
+    pub fn new() -> Payload {
+        Payload::default()
     }
 
     /// Wraps an owned vector without copying it.
-    pub fn from_vec(v: Vec<u8>) -> Bytes {
+    pub fn from_vec(v: Vec<u8>) -> Payload {
         let len = v.len();
-        Bytes {
-            data: Rc::new(v),
+        Payload {
+            repr: Repr::Shared(Arc::new(v)),
             off: 0,
             len,
         }
     }
 
+    /// Wraps borrowed program data (for example a protocol literal)
+    /// without allocating.
+    pub fn from_static(s: &'static [u8]) -> Payload {
+        Payload {
+            repr: Repr::Static(s),
+            off: 0,
+            len: s.len(),
+        }
+    }
+
     /// Copies a slice into a fresh buffer.
-    pub fn copy_from_slice(s: &[u8]) -> Bytes {
-        Bytes::from_vec(s.to_vec())
+    pub fn copy_from_slice(s: &[u8]) -> Payload {
+        Payload::from_vec(s.to_vec())
     }
 
     /// Number of bytes in this view.
@@ -85,7 +125,11 @@ impl Bytes {
     /// The bytes of this view.
     #[inline]
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.off..self.off + self.len]
+        let backing: &[u8] = match &self.repr {
+            Repr::Shared(v) => v,
+            Repr::Static(s) => s,
+        };
+        &backing[self.off..self.off + self.len]
     }
 
     /// A sub-view of `range`, sharing the underlying allocation.
@@ -93,21 +137,21 @@ impl Bytes {
     /// # Panics
     ///
     /// Panics when `range` falls outside the view.
-    pub fn slice(&self, range: Range<usize>) -> Bytes {
+    pub fn slice(&self, range: Range<usize>) -> Payload {
         assert!(
             range.start <= range.end && range.end <= self.len,
             "slice {range:?} out of bounds of {} bytes",
             self.len
         );
-        Bytes {
-            data: Rc::clone(&self.data),
+        Payload {
+            repr: self.repr.clone(),
             off: self.off + range.start,
             len: range.end - range.start,
         }
     }
 
     /// A sub-view from `start` to the end, sharing the allocation.
-    pub fn slice_from(&self, start: usize) -> Bytes {
+    pub fn slice_from(&self, start: usize) -> Payload {
         self.slice(start..self.len)
     }
 
@@ -119,17 +163,20 @@ impl Bytes {
     /// Recovers the backing vector without copying when this view is the
     /// only handle and spans the whole allocation; copies otherwise.
     pub fn into_vec(self) -> Vec<u8> {
-        if self.off == 0 && self.len == self.data.len() {
-            match Rc::try_unwrap(self.data) {
-                Ok(v) => return v,
-                Err(rc) => return rc[..self.len].to_vec(),
+        if let Repr::Shared(data) = self.repr {
+            if self.off == 0 && self.len == data.len() {
+                return match Arc::try_unwrap(data) {
+                    Ok(v) => v,
+                    Err(arc) => arc[..self.len].to_vec(),
+                };
             }
+            return data[self.off..self.off + self.len].to_vec();
         }
         self.to_vec()
     }
 }
 
-impl Deref for Bytes {
+impl Deref for Payload {
     type Target = [u8];
     #[inline]
     fn deref(&self) -> &[u8] {
@@ -137,82 +184,82 @@ impl Deref for Bytes {
     }
 }
 
-impl AsRef<[u8]> for Bytes {
+impl AsRef<[u8]> for Payload {
     #[inline]
     fn as_ref(&self) -> &[u8] {
         self.as_slice()
     }
 }
 
-impl From<Vec<u8>> for Bytes {
-    fn from(v: Vec<u8>) -> Bytes {
-        Bytes::from_vec(v)
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        Payload::from_vec(v)
     }
 }
 
-impl From<&[u8]> for Bytes {
-    fn from(s: &[u8]) -> Bytes {
-        Bytes::copy_from_slice(s)
+impl From<&[u8]> for Payload {
+    fn from(s: &[u8]) -> Payload {
+        Payload::copy_from_slice(s)
     }
 }
 
-impl<const N: usize> From<&[u8; N]> for Bytes {
-    fn from(s: &[u8; N]) -> Bytes {
-        Bytes::copy_from_slice(s)
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(s: &[u8; N]) -> Payload {
+        Payload::copy_from_slice(s)
     }
 }
 
-impl From<Bytes> for Vec<u8> {
-    fn from(b: Bytes) -> Vec<u8> {
+impl From<Payload> for Vec<u8> {
+    fn from(b: Payload) -> Vec<u8> {
         b.into_vec()
     }
 }
 
-impl fmt::Debug for Bytes {
+impl fmt::Debug for Payload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Bytes({} bytes)", self.len)
+        write!(f, "Payload({} bytes)", self.len)
     }
 }
 
-impl PartialEq for Bytes {
-    fn eq(&self, other: &Bytes) -> bool {
+impl PartialEq for Payload {
+    fn eq(&self, other: &Payload) -> bool {
         self.as_slice() == other.as_slice()
     }
 }
-impl Eq for Bytes {}
+impl Eq for Payload {}
 
-impl Hash for Bytes {
+impl Hash for Payload {
     fn hash<H: Hasher>(&self, state: &mut H) {
         self.as_slice().hash(state);
     }
 }
 
-impl PartialEq<[u8]> for Bytes {
+impl PartialEq<[u8]> for Payload {
     fn eq(&self, other: &[u8]) -> bool {
         self.as_slice() == other
     }
 }
-impl PartialEq<&[u8]> for Bytes {
+impl PartialEq<&[u8]> for Payload {
     fn eq(&self, other: &&[u8]) -> bool {
         self.as_slice() == *other
     }
 }
-impl PartialEq<Vec<u8>> for Bytes {
+impl PartialEq<Vec<u8>> for Payload {
     fn eq(&self, other: &Vec<u8>) -> bool {
         self.as_slice() == other.as_slice()
     }
 }
-impl PartialEq<Bytes> for Vec<u8> {
-    fn eq(&self, other: &Bytes) -> bool {
+impl PartialEq<Payload> for Vec<u8> {
+    fn eq(&self, other: &Payload) -> bool {
         self.as_slice() == other.as_slice()
     }
 }
-impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
     fn eq(&self, other: &[u8; N]) -> bool {
         self.as_slice() == other
     }
 }
-impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+impl<const N: usize> PartialEq<&[u8; N]> for Payload {
     fn eq(&self, other: &&[u8; N]) -> bool {
         self.as_slice() == *other
     }
@@ -240,7 +287,9 @@ struct PoolInner {
 ///
 /// The pool is deterministic: it touches no wall clock or randomness,
 /// and pooling only changes *where* a scratch `Vec` comes from, never
-/// the bytes written through it.
+/// the bytes written through it. It is deliberately `Rc`-based (one pool
+/// per [`Sim`], i.e. per shard) — scratch reuse never crosses threads, so
+/// it pays no atomic refcount on the encode hot path.
 ///
 /// [`Sim`]: crate::Sim
 #[derive(Clone, Debug, Default)]
@@ -304,7 +353,7 @@ mod tests {
     fn from_vec_is_zero_copy_and_clone_shares() {
         let v = vec![9u8; 1000];
         let ptr = v.as_ptr();
-        let b = Bytes::from(v);
+        let b = Payload::from(v);
         assert_eq!(b.as_slice().as_ptr(), ptr, "no copy on From<Vec<u8>>");
         let c = b.clone();
         assert_eq!(c.as_slice().as_ptr(), ptr, "clone shares the allocation");
@@ -312,8 +361,30 @@ mod tests {
     }
 
     #[test]
+    fn payload_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Payload>();
+    }
+
+    #[test]
+    fn from_static_does_not_allocate_and_slices() {
+        static GREETING: &[u8] = b"hello, shard";
+        let b = Payload::from_static(GREETING);
+        assert_eq!(
+            b.as_slice().as_ptr(),
+            GREETING.as_ptr(),
+            "borrowed in place"
+        );
+        let word = b.slice(7..12);
+        assert_eq!(&word[..], b"shard");
+        assert_eq!(word.as_slice().as_ptr(), unsafe {
+            GREETING.as_ptr().add(7)
+        });
+    }
+
+    #[test]
     fn slicing_shares_and_bounds_check() {
-        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let b = Payload::from(vec![0u8, 1, 2, 3, 4, 5]);
         let mid = b.slice(2..5);
         assert_eq!(&mid[..], &[2, 3, 4]);
         assert_eq!(mid.slice_from(1), [3u8, 4]);
@@ -328,7 +399,7 @@ mod tests {
 
     #[test]
     fn equality_against_common_shapes() {
-        let b = Bytes::from(&b"ping"[..]);
+        let b = Payload::from(&b"ping"[..]);
         assert_eq!(b, b"ping");
         assert_eq!(b, &b"ping"[..]);
         assert_eq!(b, b"ping".to_vec());
@@ -341,13 +412,14 @@ mod tests {
     fn into_vec_avoids_copy_when_unique() {
         let v = vec![7u8; 64];
         let ptr = v.as_ptr();
-        let b = Bytes::from(v);
+        let b = Payload::from(v);
         let back = b.into_vec();
         assert_eq!(back.as_ptr(), ptr, "unique whole-view unwrap is free");
 
-        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let b = Payload::from(vec![1u8, 2, 3, 4]);
         let tail = b.slice_from(2);
         assert_eq!(tail.into_vec(), vec![3, 4], "partial view copies");
+        assert_eq!(Payload::from_static(b"xy").into_vec(), b"xy".to_vec());
     }
 
     #[test]

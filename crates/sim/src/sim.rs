@@ -34,8 +34,8 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::bytes::BufferPool;
 use crate::faults::{FaultAction, FaultInjector, FaultPlan};
+use crate::payload::BufferPool;
 use crate::telemetry::{SiteGauge, Telemetry, TraceEvent};
 use crate::Time;
 
@@ -91,16 +91,29 @@ pub enum SchedulerKind {
 }
 
 impl SchedulerKind {
-    /// Reads the scheduler choice from the `LYNX_SCHED` environment
-    /// variable: `"wheel"`, `"heap"`, or `"hybrid"` (case-insensitive)
-    /// select that backend; anything else — including unset — selects the
-    /// default adaptive [`SchedulerKind::Hybrid`].
-    pub fn from_env() -> SchedulerKind {
-        match std::env::var("LYNX_SCHED") {
-            Ok(v) if v.eq_ignore_ascii_case("heap") => SchedulerKind::Heap,
-            Ok(v) if v.eq_ignore_ascii_case("wheel") => SchedulerKind::Wheel,
-            _ => SchedulerKind::Hybrid,
+    /// Parses a backend name: `"wheel"`, `"heap"`, or `"hybrid"`
+    /// (case-insensitive). Returns `None` for anything else, letting the
+    /// caller decide whether that means "default" or "reject".
+    pub fn parse(s: &str) -> Option<SchedulerKind> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("heap") {
+            Some(SchedulerKind::Heap)
+        } else if s.eq_ignore_ascii_case("wheel") {
+            Some(SchedulerKind::Wheel)
+        } else if s.eq_ignore_ascii_case("hybrid") {
+            Some(SchedulerKind::Hybrid)
+        } else {
+            None
         }
+    }
+
+    /// Reads the scheduler choice from the `LYNX_SCHED` environment
+    /// variable via the typed [`SimConfig`](crate::SimConfig) surface:
+    /// `"wheel"`, `"heap"`, or `"hybrid"` (case-insensitive) select that
+    /// backend; anything else — including unset — selects the default
+    /// adaptive [`SchedulerKind::Hybrid`].
+    pub fn from_env() -> SchedulerKind {
+        crate::SimConfig::from_env().scheduler
     }
 }
 
@@ -341,6 +354,17 @@ impl TimingWheel {
         self.len -= 1;
         self.active.pop()
     }
+
+    /// Timestamp of the earliest pending entry without popping it. Takes
+    /// `&mut self` because it may advance the wheel to the next occupied
+    /// slot — exactly the structural change the next pop would make, so
+    /// peeking never perturbs execution order.
+    fn peek_next_at(&mut self) -> Option<Time> {
+        if !self.refill() {
+            return None;
+        }
+        self.active.peek().map(|e| e.at)
+    }
 }
 
 /// Pops the earliest heap entry if due at or before `deadline`.
@@ -499,6 +523,18 @@ impl Queue {
             Queue::Hybrid(q) => match &q.backend {
                 Backend::Wheel(w) => w.len,
                 Backend::Heap(h) => h.len(),
+            },
+        }
+    }
+
+    /// Timestamp of the earliest pending entry, without popping it.
+    fn peek_next_at(&mut self) -> Option<Time> {
+        match self {
+            Queue::Wheel(w) => w.peek_next_at(),
+            Queue::Heap(h) => h.peek().map(|e| e.at),
+            Queue::Hybrid(q) => match &mut q.backend {
+                Backend::Wheel(w) => w.peek_next_at(),
+                Backend::Heap(h) => h.peek().map(|e| e.at),
             },
         }
     }
@@ -814,6 +850,24 @@ impl Sim {
     #[inline]
     pub fn rng(&mut self) -> &mut StdRng {
         &mut self.rng
+    }
+
+    /// Derives a named random stream from this simulator's seed (see
+    /// [`rng::derive_seed`](crate::rng::derive_seed)).
+    ///
+    /// Unlike [`Sim::rng`], draws from a named stream are insensitive to
+    /// every other consumer's draw order, so components that must stay
+    /// reproducible under refactoring — or that run on different shards
+    /// of a partitioned run — should derive their own stream.
+    pub fn rng_stream(&self, name: &str) -> crate::rng::RngStream {
+        crate::rng::RngStream::derive(self.seed, name)
+    }
+
+    /// Timestamp of the earliest pending event, or `None` when the queue
+    /// is empty. The partitioned engine uses this to fast-forward idle
+    /// windows deterministically; it never changes execution order.
+    pub fn next_event_at(&mut self) -> Option<Time> {
+        self.queue.peek_next_at()
     }
 
     /// Number of events waiting in the queue.

@@ -316,12 +316,12 @@ impl std::error::Error for DuplicateCounterError {}
 /// API: per-packet instrumentation sites pay one integer index per
 /// increment instead of a name lookup (and, for dynamic names, a
 /// `format!`) per packet.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CounterId(u32);
 
 /// An interned handle to one gauge in a [`CounterRegistry`]; the gauge
 /// counterpart of [`CounterId`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GaugeId(u32);
 
 /// Registry of named monotonic counters and point-in-time gauges.
@@ -473,6 +473,68 @@ impl CounterRegistry {
                 }
             })
             .collect()
+    }
+
+    /// The id `name` was interned under, without interning it.
+    ///
+    /// Unlike [`CounterRegistry::intern`] this never mutates the registry,
+    /// so it is safe to call from read-only merge/inspection paths that
+    /// must not perturb id assignment.
+    pub fn id_of(&self, name: &str) -> Option<CounterId> {
+        self.counter_ids.get(name).map(|&id| CounterId(id))
+    }
+
+    /// The id gauge `name` was interned under, without interning it.
+    pub fn gauge_id_of(&self, name: &str) -> Option<GaugeId> {
+        self.gauge_ids.get(name).map(|&id| GaugeId(id))
+    }
+
+    /// Folds another registry into this one **shard-safely**: counter
+    /// values are summed, gauges overwritten (the caller controls "later
+    /// wins" by merge order), and — critically — new names are interned in
+    /// **sorted name order**, not in `other`'s first-touch order.
+    ///
+    /// First-touch order differs between a single-threaded run (one global
+    /// interleaving) and a partitioned run (per-shard registries merged at
+    /// the end), so interning in arrival order would hand out different
+    /// [`CounterId`]s depending on the thread count. Sorting first makes
+    /// the id assignment a pure function of the merged *name set*: merging
+    /// the same shard registries in any grouping yields the same ids, which
+    /// is what keeps `LYNX_SIM_THREADS=1,2,8` byte-identical.
+    pub fn merge_from(&mut self, other: &CounterRegistry) {
+        // BTreeMap iteration is already sorted by name.
+        for (name, &id) in &other.counter_ids {
+            let mine = self.intern(name);
+            self.add_by_id(mine, other.counter_values[id as usize]);
+        }
+        for (name, &id) in &other.gauge_ids {
+            let v = other.gauge_values[id as usize];
+            if !v.is_nan() {
+                let mine = self.intern_gauge(name);
+                self.set_gauge_by_id(mine, v);
+            }
+        }
+    }
+
+    /// Folds a sorted `(name, value)` counter snapshot (as produced by
+    /// [`CounterRegistry::snapshot`], possibly from another thread) into
+    /// this registry with the same sorted-intern guarantee as
+    /// [`CounterRegistry::merge_from`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is not sorted by name — an unsorted merge
+    /// would silently reintroduce the thread-count-dependent id bug this
+    /// API exists to prevent.
+    pub fn merge_counters(&mut self, snapshot: &[(String, u64)]) {
+        assert!(
+            snapshot.windows(2).all(|w| w[0].0 <= w[1].0),
+            "merge_counters requires a name-sorted snapshot"
+        );
+        for (name, value) in snapshot {
+            let id = self.intern(name);
+            self.add_by_id(id, *value);
+        }
     }
 
     /// Iterates `(name, value)` counter pairs in sorted name order without
@@ -877,6 +939,59 @@ mod tests {
         assert_eq!(reg.get_gauge("depth"), Some(3.5));
         reg.set_gauge("depth", 4.5);
         assert_eq!(reg.get_gauge("depth"), Some(4.5));
+    }
+
+    #[test]
+    fn merge_from_assigns_thread_invariant_ids() {
+        // Two shards touch overlapping counter sets in different
+        // first-touch orders. Whatever grouping the merge arrives in, the
+        // merged registry must hand out the same CounterId per name.
+        let mut shard_a = CounterRegistry::new();
+        shard_a.add("zeta.pkts", 10);
+        shard_a.add("alpha.pkts", 1);
+        let mut shard_b = CounterRegistry::new();
+        shard_b.add("mid.pkts", 5);
+        shard_b.add("alpha.pkts", 2);
+        shard_b.set_gauge("mq.depth", 7.0);
+
+        // "1 thread": merge a then b. "2 threads": merge b then a.
+        let mut one = CounterRegistry::new();
+        one.merge_from(&shard_a);
+        one.merge_from(&shard_b);
+        let mut two = CounterRegistry::new();
+        two.merge_from(&shard_b);
+        two.merge_from(&shard_a);
+
+        assert_eq!(one.snapshot(), two.snapshot());
+        assert_eq!(one.get("alpha.pkts"), 3, "overlapping counters sum");
+        assert_eq!(one.get_gauge("mq.depth"), Some(7.0));
+        // Within one merge call, ids are a function of the sorted name
+        // set, not of first-touch order inside the source shard.
+        assert!(one.id_of("alpha.pkts").unwrap() < one.id_of("zeta.pkts").unwrap());
+        assert_eq!(one.id_of("missing"), None);
+        assert!(one.gauge_id_of("mq.depth").is_some());
+        assert_eq!(one.gauge_id_of("missing"), None);
+    }
+
+    #[test]
+    fn merge_counters_folds_sorted_snapshots() {
+        let mut shard = CounterRegistry::new();
+        shard.add("b", 4);
+        shard.add("a", 1);
+        let mut merged = CounterRegistry::new();
+        merged.add("b", 1);
+        merged.merge_counters(&shard.snapshot());
+        assert_eq!(
+            merged.snapshot(),
+            vec![("a".to_string(), 1), ("b".to_string(), 5)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "name-sorted")]
+    fn merge_counters_rejects_unsorted_input() {
+        let mut merged = CounterRegistry::new();
+        merged.merge_counters(&[("b".to_string(), 1), ("a".to_string(), 2)]);
     }
 
     #[test]

@@ -321,6 +321,255 @@ impl LoadClient for ClosedLoopClient {
     }
 }
 
+/// State of one logical client inside a [`FleetClient`].
+#[derive(Clone, Copy)]
+struct FleetSlot {
+    seq: u64,
+    sent_at: Time,
+    inflight: bool,
+}
+
+struct FleetShared {
+    stack: HostStack,
+    dst: SockAddr,
+    port: u16,
+    req_bytes: usize,
+    think: Duration,
+    slots: Vec<FleetSlot>,
+    latency: Histogram,
+    sent_meter: Meter,
+    recv_meter: Meter,
+    invalid: u64,
+    rejected: u64,
+    measuring: bool,
+}
+
+impl FleetShared {
+    fn send_for(&mut self, sim: &mut Sim, client: usize) {
+        let slot = &mut self.slots[client];
+        debug_assert!(!slot.inflight, "logical client already has a request out");
+        slot.seq += 1;
+        slot.sent_at = sim.now();
+        slot.inflight = true;
+        let (seq, n) = (slot.seq, self.req_bytes);
+        let mut payload = vec![0u8; n];
+        payload[..8].copy_from_slice(&(client as u64).to_le_bytes());
+        payload[8..16].copy_from_slice(&seq.to_le_bytes());
+        self.sent_meter.record();
+        let stack = self.stack.clone();
+        let (port, dst) = (self.port, self.dst);
+        stack.send_udp(sim, port, dst, payload);
+    }
+}
+
+/// Multiplexes a fleet of logical closed-loop clients over **one** UDP
+/// port of one stack — the harness for client-count scalability runs
+/// (e.g. one million simulated clients), where one simulated host and
+/// ephemeral port per client would exhaust both the port range and
+/// memory.
+///
+/// Each logical client keeps one request outstanding and sends its next
+/// request a think-time after each response. Requests are identified by a
+/// 16-byte header *inside the payload* — logical client id and per-client
+/// sequence number, little-endian — so any echo-style service that
+/// returns the request payload routes the response back to the right
+/// logical client; the UDP port carries no identity. Responses with a
+/// stale sequence number (duplicates) are dropped; responses shorter than
+/// the header count as `invalid`.
+///
+/// Limitation: an admission-control reject is an *empty* reply, which
+/// cannot name the logical client it belongs to. Rejects are counted but
+/// the shed client's loop stalls — run fleets against deployments without
+/// admission control (the intended scalability-experiment setup).
+///
+/// Think times draw from the simulator's own seeded RNG, so a fleet is
+/// exactly as deterministic as the rest of the run.
+#[derive(Clone)]
+pub struct FleetClient {
+    shared: Rc<RefCell<FleetShared>>,
+    ramp: Duration,
+}
+
+impl fmt::Debug for FleetClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.shared.borrow();
+        f.debug_struct("FleetClient")
+            .field("clients", &s.slots.len())
+            .field("port", &s.port)
+            .field("req_bytes", &s.req_bytes)
+            .finish()
+    }
+}
+
+/// UDP source port a [`FleetClient`] binds by default — outside the
+/// per-request ephemeral range used by the port-matched clients.
+pub const FLEET_PORT: u16 = 45_000;
+
+impl FleetClient {
+    /// Creates a fleet of `clients` logical clients sending `req_bytes`
+    /// requests (≥ 16 — the multiplexing header) from `stack` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients == 0` or `req_bytes < 16`.
+    pub fn new(stack: HostStack, dst: SockAddr, clients: usize, req_bytes: usize) -> FleetClient {
+        assert!(clients > 0, "a fleet needs at least one client");
+        assert!(req_bytes >= 16, "payload must fit the 16-byte fleet header");
+        let fleet = FleetClient {
+            shared: Rc::new(RefCell::new(FleetShared {
+                stack,
+                dst,
+                port: FLEET_PORT,
+                req_bytes,
+                think: Duration::ZERO,
+                slots: vec![
+                    FleetSlot {
+                        seq: 0,
+                        sent_at: Time::ZERO,
+                        inflight: false,
+                    };
+                    clients
+                ],
+                latency: Histogram::new(),
+                sent_meter: Meter::new(),
+                recv_meter: Meter::new(),
+                invalid: 0,
+                rejected: 0,
+                measuring: false,
+            })),
+            ramp: Duration::ZERO,
+        };
+        fleet.install_rx();
+        fleet
+    }
+
+    /// Sets the mean exponential think time between a response and the
+    /// client's next request (default: none — saturating closed loop).
+    pub fn think(self, mean: Duration) -> FleetClient {
+        self.shared.borrow_mut().think = mean;
+        self
+    }
+
+    /// Spreads the fleet's first requests evenly over `ramp` instead of
+    /// firing all of them at time zero.
+    pub fn ramp(mut self, ramp: Duration) -> FleetClient {
+        self.ramp = ramp;
+        self
+    }
+
+    /// Uses `port` as the fleet's UDP source port instead of
+    /// [`FLEET_PORT`] (several fleets can then share one stack).
+    pub fn port(self, port: u16) -> FleetClient {
+        self.shared.borrow_mut().port = port;
+        self
+    }
+
+    /// Number of logical clients in the fleet.
+    pub fn clients(&self) -> usize {
+        self.shared.borrow().slots.len()
+    }
+
+    fn install_rx(&self) {
+        let shared = Rc::clone(&self.shared);
+        let (stack, port) = {
+            let s = self.shared.borrow();
+            (s.stack.clone(), s.port)
+        };
+        stack.bind_udp(port, move |sim, dgram| {
+            FleetClient::on_response(&shared, sim, &dgram.payload);
+        });
+    }
+
+    fn on_response(shared: &Rc<RefCell<FleetShared>>, sim: &mut Sim, payload: &[u8]) {
+        let client = {
+            let mut s = shared.borrow_mut();
+            if payload.is_empty() {
+                // Admission-control reject marker: anonymous, the shed
+                // logical client cannot be identified (see type docs).
+                s.rejected += 1;
+                return;
+            }
+            if payload.len() < 16 {
+                s.invalid += 1;
+                return;
+            }
+            let client = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes")) as usize;
+            let seq = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+            if client >= s.slots.len() {
+                s.invalid += 1;
+                return;
+            }
+            let slot = s.slots[client];
+            if !slot.inflight || slot.seq != seq {
+                return; // duplicate or stale response
+            }
+            s.slots[client].inflight = false;
+            if s.measuring {
+                let d = sim.now() - slot.sent_at;
+                s.latency.record(d);
+            }
+            s.recv_meter.record();
+            client
+        };
+        let think = shared.borrow().think;
+        if think.is_zero() {
+            shared.borrow_mut().send_for(sim, client);
+        } else {
+            let gap = rng::exponential(sim.rng(), think);
+            let shared = Rc::clone(shared);
+            sim.schedule_in(gap, move |sim| {
+                shared.borrow_mut().send_for(sim, client);
+            });
+        }
+    }
+}
+
+impl LoadClient for FleetClient {
+    fn start(&self, sim: &mut Sim) {
+        let n = self.clients();
+        let ramp = self.ramp;
+        for client in 0..n {
+            let gap = if ramp.is_zero() {
+                Duration::ZERO
+            } else {
+                // Even spread: client i starts at i/n of the ramp.
+                Duration::from_nanos((ramp.as_nanos() as u64 / n as u64) * client as u64)
+            };
+            let shared = Rc::clone(&self.shared);
+            sim.schedule_in(gap, move |sim| {
+                shared.borrow_mut().send_for(sim, client);
+            });
+        }
+    }
+
+    fn begin_measure(&self, now: Time) {
+        let mut s = self.shared.borrow_mut();
+        s.sent_meter.start(now);
+        s.recv_meter.start(now);
+        s.measuring = true;
+        s.latency.clear();
+    }
+
+    fn end_measure(&self, now: Time) {
+        let mut s = self.shared.borrow_mut();
+        s.sent_meter.stop(now);
+        s.recv_meter.stop(now);
+        s.measuring = false;
+    }
+
+    fn stats(&self) -> ClientStats {
+        let s = self.shared.borrow();
+        ClientStats {
+            sent: s.sent_meter.count(),
+            received: s.recv_meter.count(),
+            invalid: s.invalid,
+            rejected: s.rejected,
+            latency: s.latency.clone(),
+            throughput: s.recv_meter.throughput(),
+        }
+    }
+}
+
 struct TcpSlot {
     conn: Option<ConnId>,
     seq: u64,
@@ -410,7 +659,7 @@ impl LoadClient for TcpClosedLoopClient {
             });
             let shared = Rc::clone(&self.shared);
             let shared2 = Rc::clone(&self.shared);
-            let on_msg = move |sim: &mut Sim, _conn: ConnId, payload: lynx_sim::Bytes| {
+            let on_msg = move |sim: &mut Sim, _conn: ConnId, payload: lynx_sim::Payload| {
                 {
                     let mut s = shared.borrow_mut();
                     if payload.is_empty() {

@@ -32,8 +32,8 @@ pub mod sweep;
 pub mod tune;
 
 pub use client::{
-    ClientStats, ClosedLoopClient, LoadClient, OpenLoopClient, PayloadFn, TcpClosedLoopClient,
-    ValidateFn,
+    ClientStats, ClosedLoopClient, FleetClient, LoadClient, OpenLoopClient, PayloadFn,
+    TcpClosedLoopClient, ValidateFn, FLEET_PORT,
 };
 pub use runner::{run_measured, RunSpec, RunSummary};
 pub use tune::{

@@ -31,7 +31,7 @@ const PERSONS: u32 = 100;
 struct FaceVerify;
 
 impl AccelApp for FaceVerify {
-    fn on_request(&self, sim: &mut Sim, request: lynx::sim::Bytes, ctx: WorkerCtx) {
+    fn on_request(&self, sim: &mut Sim, request: lynx::sim::Payload, ctx: WorkerCtx) {
         let Some((label, probe)) = lbp::decode_request(&request) else {
             ctx.reply(sim, &[0xFF]);
             return;

@@ -43,7 +43,7 @@ pub use lynx_workload as workload;
 // Flat re-exports of the robustness/builder API so downstream code can
 // name the common types without digging through sub-crates.
 pub use lynx_core::{Error, LynxServerBuilder, RecoveryConfig, Result, RmqConfig};
-pub use lynx_sim::{FaultAction, FaultPlan, FaultRule, Trigger};
+pub use lynx_sim::{FaultAction, FaultPlan, FaultRule, SimConfig, Trigger};
 
 /// One-stop import for building and driving a Lynx deployment.
 ///
@@ -60,6 +60,7 @@ pub use lynx_sim::{FaultAction, FaultPlan, FaultRule, Trigger};
 /// Specialised types (baselines, device models, workload generators) stay
 /// in their modules.
 pub mod prelude {
+    pub use lynx_core::shard::{conservative_window, ReplicaSet, ShardPlan};
     pub use lynx_core::testbed::{DeployConfig, Deployment, GpuSite, Machine};
     pub use lynx_core::{
         BatchPolicy, ControlConfig, DispatchPolicy, Error, LynxServer, LynxServerBuilder, Mqueue,
@@ -71,7 +72,10 @@ pub mod prelude {
         VcaProfile, XeonProfile,
     };
     pub use lynx_net::{Network, SockAddr, StackKind};
-    pub use lynx_sim::{FaultAction, FaultPlan, FaultRule, Sim, Telemetry, Trigger};
+    pub use lynx_sim::{
+        FaultAction, FaultPlan, FaultRule, Partition, PartitionReport, Payload, ShardId, Sim,
+        SimConfig, Telemetry, Time, Trigger,
+    };
     pub use lynx_workload::tune::{
         predict, tune, Candidate, Prediction, Stage, TuneError, TuneGoal, TuneSpace, TunedConfig,
     };

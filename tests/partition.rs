@@ -1,0 +1,254 @@
+//! Differential suite for the partitioned engine: the same seed produces
+//! **byte-identical** merged traces, counters and client summaries at 1,
+//! 2 and 8 worker threads — on plain end-to-end runs, fault-injected
+//! runs, control-plane (admission) runs, and ring-linked runs with live
+//! cross-shard traffic. This is the acceptance contract of the sharded
+//! engine: thread count is a performance knob, never an observable one.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx::core::shard::ReplicaSet;
+use lynx::core::testbed::{deploy_processor, DeployConfig, Machine};
+use lynx::core::ControlConfig;
+use lynx::device::{DelayProcessor, GpuSpec};
+use lynx::net::{HostStack, LinkSpec, Network, Platform, StackKind, StackProfile};
+use lynx::sim::shard::FinishFn;
+use lynx::sim::{MultiServer, Partition, ShardId, ShardSender, Sim, SimConfig, Time};
+use lynx::workload::{ClosedLoopClient, LoadClient};
+use lynx::{FaultAction, FaultPlan, Trigger};
+
+const WARMUP: Duration = Duration::from_millis(2);
+const MEASURE: Duration = Duration::from_millis(20);
+const DEADLINE: Time = Time::from_millis(25);
+const REPLICAS: u64 = 4;
+
+/// Per-replica scenario toggles.
+#[derive(Clone, Copy, Default)]
+struct Scenario {
+    faults: bool,
+    admission: bool,
+}
+
+/// Builds one complete Lynx replica — network, machine, GPU, server,
+/// closed-loop client — inside the shard's private simulator, and returns
+/// the finisher that renders the replica's observable outcome as a string
+/// (byte-compared across thread counts).
+fn build_replica(sim: &mut Sim, index: u64, sc: Scenario) -> FinishFn<String> {
+    let net = Network::new();
+    let machine = Machine::new(&net, format!("server-{index}"));
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let mut cfg = DeployConfig {
+        mqueues_per_gpu: 2,
+        ..DeployConfig::default()
+    };
+    if sc.admission {
+        // A tight token bucket so the closed loop sees rejects: the
+        // control plane's shedding path must be as deterministic as the
+        // served path.
+        cfg.control = ControlConfig {
+            admission_rate: 3_000.0,
+            admission_burst: 8.0,
+            ..ControlConfig::default()
+        };
+    }
+    let d = deploy_processor(
+        sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(DelayProcessor::new(Duration::from_micros(30))),
+    );
+    if sc.faults {
+        sim.enable_faults(FaultPlan::new(1_000 + index).rule_limited(
+            "rdma.write",
+            Trigger::Every {
+                period: 40,
+                offset: 7,
+            },
+            FaultAction::CqeError,
+            6,
+        ));
+    }
+    let host = net.add_host(format!("client-{index}"), LinkSpec::gbps40());
+    let stack = HostStack::new(
+        &net,
+        host,
+        MultiServer::new(2, 1.0),
+        StackProfile::of(Platform::Xeon, StackKind::Vma),
+    );
+    let client = ClosedLoopClient::new(stack, d.server_addr, 4, Rc::new(|s| vec![s as u8; 64]));
+    client.start(sim);
+    let c = client.clone();
+    sim.schedule_in(WARMUP, move |sim| c.begin_measure(sim.now()));
+    let c = client.clone();
+    sim.schedule_in(WARMUP + MEASURE, move |sim| c.end_measure(sim.now()));
+    Box::new(move |sim: &mut Sim| {
+        let st = client.stats();
+        format!(
+            "sent={} recv={} invalid={} rejected={} p50={:?} p99={:?} executed={} injected={}",
+            st.sent,
+            st.received,
+            st.invalid,
+            st.rejected,
+            st.latency.try_percentile(50.0),
+            st.latency.try_percentile(99.0),
+            sim.executed(),
+            sim.faults_injected(),
+        )
+    })
+}
+
+/// Pulls `key=<u64>` out of a replica summary string.
+fn field(output: &str, key: &str) -> u64 {
+    output
+        .split(&format!("{key}="))
+        .nth(1)
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no {key}= field in {output:?}"))
+}
+
+/// One partitioned scale-out run: REPLICAS independent server groups,
+/// merged deterministically. Returns everything byte-comparable.
+fn run_scaleout(threads: usize, sc: Scenario) -> (Vec<String>, String, String) {
+    let mut set: ReplicaSet<String> =
+        ReplicaSet::new(4_321, SimConfig::new().threads(threads)).telemetry(true);
+    for r in 0..REPLICAS {
+        set.add_replica(&format!("replica/{r}"), move |sim| {
+            build_replica(sim, r, sc)
+        });
+    }
+    let report = set.run_until(DEADLINE);
+    let (jsonl, csv) = (report.to_jsonl(), report.counters_csv());
+    (report.outputs, jsonl, csv)
+}
+
+fn assert_scenario_is_thread_invariant(sc: Scenario) -> Vec<String> {
+    let (outputs, jsonl, csv) = run_scaleout(1, sc);
+    assert!(!jsonl.is_empty(), "telemetry must record the run");
+    for threads in [2, 8] {
+        let (o, j, c) = run_scaleout(threads, sc);
+        assert_eq!(outputs, o, "summaries diverged at {threads} threads");
+        assert_eq!(jsonl, j, "trace bytes diverged at {threads} threads");
+        assert_eq!(csv, c, "counters diverged at {threads} threads");
+    }
+    outputs
+}
+
+#[test]
+fn e2e_scaleout_is_byte_identical_across_thread_counts() {
+    let outputs = assert_scenario_is_thread_invariant(Scenario::default());
+    for o in &outputs {
+        assert!(field(o, "recv") > 100, "replica too idle: {o}");
+        assert_eq!(field(o, "invalid"), 0, "{o}");
+    }
+}
+
+#[test]
+fn fault_injected_scaleout_is_byte_identical_across_thread_counts() {
+    let outputs = assert_scenario_is_thread_invariant(Scenario {
+        faults: true,
+        ..Scenario::default()
+    });
+    for o in &outputs {
+        assert!(field(o, "injected") >= 1, "fault plan never fired: {o}");
+        assert!(field(o, "recv") > 100, "replica too idle: {o}");
+    }
+}
+
+#[test]
+fn admission_control_scaleout_is_byte_identical_across_thread_counts() {
+    let outputs = assert_scenario_is_thread_invariant(Scenario {
+        admission: true,
+        ..Scenario::default()
+    });
+    let shed: u64 = outputs.iter().map(|o| field(o, "rejected")).sum();
+    assert!(shed > 0, "admission control never shed: {outputs:?}");
+}
+
+/// Ring-linked run with live cross-shard traffic: each replica heartbeats
+/// its ring neighbour every 500 µs on top of its own full server stack,
+/// so window-edge exchange happens *while* the deployments are busy.
+fn run_ring(threads: usize) -> (Vec<String>, String, String, u64, u64) {
+    let mut p: Partition<String> =
+        Partition::new(777, SimConfig::new().threads(threads)).telemetry(true);
+    let mut ids = Vec::new();
+    for r in 0..REPLICAS {
+        let id = p.add_shard(&format!("replica/{r}"), move |sim, ctx| {
+            let finish = build_replica(sim, r, Scenario::default());
+            let telemetry = sim.telemetry().cloned().expect("partition telemetry on");
+            ctx.bind("hb", move |_sim, msg| {
+                telemetry.count("hb.recv", 1);
+                telemetry.count("hb.bytes", msg.payload.len() as u64);
+            });
+            let next = ShardId::new(((r + 1) % REPLICAS) as u16);
+            let tx = ctx.sender(next, "hb");
+            fn beat(sim: &mut Sim, tx: ShardSender, from: u64) {
+                tx.send(sim, vec![from as u8; 8]);
+                sim.schedule_in(Duration::from_micros(500), move |sim| beat(sim, tx, from));
+            }
+            sim.schedule_in(Duration::from_micros(100), move |sim| beat(sim, tx, r));
+            finish
+        });
+        ids.push(id);
+    }
+    for i in 0..ids.len() {
+        p.link(ids[i], ids[(i + 1) % ids.len()], Duration::from_micros(5));
+    }
+    let report = p.run_until(DEADLINE);
+    let hb = report
+        .counters()
+        .iter()
+        .find(|(n, _)| n == "hb.recv")
+        .map(|&(_, v)| v)
+        .unwrap_or(0);
+    let (jsonl, csv) = (report.to_jsonl(), report.counters_csv());
+    (report.outputs, jsonl, csv, report.windows, hb)
+}
+
+#[test]
+fn ring_linked_scaleout_is_byte_identical_across_thread_counts() {
+    let (outputs, jsonl, csv, windows, hb) = run_ring(1);
+    assert!(windows > 1, "a linked run must window");
+    // 4 replicas × one heartbeat per 500 µs over ~25 ms ≈ 200 tokens.
+    assert!(hb > 100, "cross-shard heartbeats must flow (got {hb})");
+    for threads in [2, 8] {
+        let (o, j, c, w, h) = run_ring(threads);
+        assert_eq!(outputs, o, "summaries diverged at {threads} threads");
+        assert_eq!(jsonl, j, "trace bytes diverged at {threads} threads");
+        assert_eq!(csv, c, "counters diverged at {threads} threads");
+        assert_eq!(windows, w, "window count diverged at {threads} threads");
+        assert_eq!(hb, h, "heartbeat count diverged at {threads} threads");
+    }
+}
+
+/// `LYNX_SIM_THREADS` reaches the engine only through the typed config,
+/// and an env-pinned thread count changes nothing observable.
+#[test]
+fn env_thread_override_flows_through_typed_config_and_stays_identical() {
+    let key = lynx::sim::ENV_THREADS;
+    std::env::set_var(key, "8");
+    let cfg = SimConfig::from_env();
+    std::env::remove_var(key);
+    assert_eq!(cfg.threads, 8, "env override must reach the typed config");
+
+    let run = |config: SimConfig| {
+        let mut set: ReplicaSet<String> = ReplicaSet::new(99, config).telemetry(true);
+        for r in 0..2u64 {
+            set.add_replica(&format!("replica/{r}"), move |sim| {
+                build_replica(sim, r, Scenario::default())
+            });
+        }
+        let report = set.run_until(Time::from_millis(10));
+        let jsonl = report.to_jsonl();
+        (report.outputs, jsonl, report.threads)
+    };
+    let (o8, j8, t8) = run(cfg);
+    let (o1, j1, t1) = run(SimConfig::new());
+    assert_eq!(t8, 2, "thread cap is min(threads, replicas)");
+    assert_eq!(t1, 1);
+    assert_eq!(o8, o1);
+    assert_eq!(j8, j1);
+}
