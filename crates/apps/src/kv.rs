@@ -447,4 +447,100 @@ mod tests {
     fn oversized_entry_panics() {
         KvStore::new(4).set(vec![0; 8], vec![]);
     }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_byte_budget_is_rejected() {
+        KvStore::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn value_larger_than_whole_budget_panics() {
+        // The key alone fits; key + value exceeds the full budget.
+        KvStore::new(16).set(b"k".to_vec(), vec![0; 16]);
+    }
+
+    #[test]
+    fn same_key_shrink_and_grow_keeps_byte_accounting() {
+        let mut kv = KvStore::new(64);
+        kv.set(b"key".to_vec(), vec![0; 40]);
+        assert_eq!(kv.bytes(), 43);
+        // Shrink: accounting must drop, not accumulate.
+        kv.set(b"key".to_vec(), vec![0; 4]);
+        assert_eq!(kv.bytes(), 7);
+        // Grow back to near the budget: still one entry, no eviction.
+        kv.set(b"key".to_vec(), vec![0; 60]);
+        assert_eq!(kv.bytes(), 63);
+        assert_eq!(kv.len(), 1);
+        assert_eq!(kv.counters().2, 0, "replacing in place never evicts");
+        // Growing the lone entry to exactly the budget is fine too.
+        kv.set(b"key".to_vec(), vec![0; 61]);
+        assert_eq!(kv.bytes(), 64);
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn repeated_same_key_set_never_evicts_other_entries() {
+        let mut kv = KvStore::new(32);
+        kv.set(b"other".to_vec(), vec![1; 5]);
+        for size in [1usize, 10, 3, 18, 1] {
+            kv.set(b"k".to_vec(), vec![0; size]);
+            assert!(kv.bytes() <= 32);
+            assert!(kv.get(b"other").is_some(), "size {size} evicted `other`");
+        }
+        assert_eq!(kv.counters().2, 0);
+    }
+
+    mod lru_order_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Eviction order matches a reference model: on every SET
+            /// over budget, the least-recently-used entries (GETs and
+            /// SET-replacements refresh recency) disappear first, and the
+            /// byte accounting matches the surviving reference entries.
+            #[test]
+            fn eviction_order_matches_reference_lru(
+                ops in proptest::collection::vec(
+                    (0u8..16, any::<bool>(), 1usize..24), 1..200)
+            ) {
+                const CAP: usize = 64;
+                let mut kv = KvStore::new(CAP);
+                // Reference: Vec of (key, val_len), front = most recent.
+                let mut model: Vec<(Vec<u8>, usize)> = Vec::new();
+                for (k, is_set, len) in ops {
+                    let key = vec![b'a' + k];
+                    if is_set {
+                        kv.set(key.clone(), vec![0; len]);
+                        model.retain(|(mk, _)| *mk != key);
+                        model.insert(0, (key, len));
+                        let mut used: usize =
+                            model.iter().map(|(mk, l)| mk.len() + l).sum();
+                        while used > CAP {
+                            let (ek, el) = model.pop().expect("over budget implies entries");
+                            used -= ek.len() + el;
+                        }
+                    } else {
+                        let hit = kv.get(&key).is_some();
+                        let pos = model.iter().position(|(mk, _)| *mk == key);
+                        prop_assert_eq!(hit, pos.is_some());
+                        if let Some(p) = pos {
+                            let e = model.remove(p);
+                            model.insert(0, e);
+                        }
+                    }
+                    let model_bytes: usize =
+                        model.iter().map(|(mk, l)| mk.len() + l).sum();
+                    prop_assert_eq!(kv.bytes(), model_bytes);
+                    prop_assert_eq!(kv.len(), model.len());
+                }
+                // Final membership check without disturbing recency.
+                for (mk, l) in &model {
+                    prop_assert_eq!(kv.get(mk).map(<[u8]>::len), Some(*l));
+                }
+            }
+        }
+    }
 }

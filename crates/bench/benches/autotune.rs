@@ -64,6 +64,7 @@ fn echo_point(name: &'static str, delay: Duration, slo: Duration) -> Point {
             snic_cores: 1,
             batch: BatchPolicy::Unbatched,
             slots: 32,
+            cache: false,
         },
         slo,
         proc: Box::new(move |/* fresh per deployment */| Rc::new(DelayProcessor::new(delay))),
@@ -87,6 +88,7 @@ fn lenet_point() -> Point {
             snic_cores: 1,
             batch: BatchPolicy::Unbatched,
             slots: 16,
+            cache: false,
         },
         slo: Duration::from_millis(5),
         proc: Box::new(move || Rc::new(LeNetProcessor::new(MODEL_SEED))),

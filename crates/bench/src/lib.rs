@@ -11,11 +11,12 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::time::Duration;
 
 use lynx_apps::kv::{self, KvStore};
 use lynx_apps::lbp;
-use lynx_core::{AccelApp, WorkerCtx};
-use lynx_device::GpuProfile;
+use lynx_core::{AccelApp, CacheOp, CacheProtocol, SnicKernel, WorkerCtx};
+use lynx_device::{GpuProfile, RequestProcessor};
 use lynx_net::{HostStack, LinkSpec, Network, Platform, StackKind, StackProfile};
 use lynx_sim::{MultiServer, Sim};
 
@@ -116,6 +117,128 @@ impl KvServer {
     /// The server's socket address.
     pub fn addr(&self) -> lynx_net::SockAddr {
         lynx_net::SockAddr::new(self.stack.host(), self.port)
+    }
+}
+
+/// The memcached-style store as an accelerator kernel: one simulated GPU
+/// threadblock decodes the kv wire request, executes it against a shared
+/// [`KvStore`], and replies. `work_multiplier` inflates the per-op cost
+/// (GPUs run pointer-chasing hash lookups far slower than a Xeon; the
+/// fig9 cache variant also uses it to make the accelerator the clear
+/// bottleneck the SNIC cache then bypasses).
+pub struct KvProcessor {
+    store: Rc<RefCell<KvStore>>,
+    work_multiplier: f64,
+}
+
+impl std::fmt::Debug for KvProcessor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvProcessor")
+            .field("work_multiplier", &self.work_multiplier)
+            .field("store", &*self.store.borrow())
+            .finish()
+    }
+}
+
+impl KvProcessor {
+    /// Wraps `store` as an accelerator kernel with per-op work scaled by
+    /// `work_multiplier` (1.0 = Xeon-equivalent cost).
+    pub fn new(store: Rc<RefCell<KvStore>>, work_multiplier: f64) -> KvProcessor {
+        assert!(
+            work_multiplier > 0.0 && work_multiplier.is_finite(),
+            "invalid work multiplier"
+        );
+        KvProcessor {
+            store,
+            work_multiplier,
+        }
+    }
+}
+
+impl RequestProcessor for KvProcessor {
+    fn name(&self) -> &str {
+        "kv-store"
+    }
+
+    fn service_time(&self, request: &[u8]) -> Duration {
+        kv::Request::decode(request)
+            .map(|r| r.work())
+            .unwrap_or(kv::KV_GET_WORK)
+            .mul_f64(self.work_multiplier)
+    }
+
+    fn process(&self, request: &[u8]) -> Vec<u8> {
+        kv::execute_wire(&mut self.store.borrow_mut(), request)
+    }
+}
+
+/// The kv wire format as a [`CacheProtocol`]: GETs probe the SNIC cache
+/// by key, SETs write-through-invalidate it, and only `Value` responses
+/// (GET hits) are cached — `Miss`/`Stored`/`BadRequest` must keep taking
+/// the accelerator path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KvCacheProtocol;
+
+impl CacheProtocol for KvCacheProtocol {
+    fn classify(&self, payload: &[u8]) -> CacheOp {
+        match kv::Request::decode(payload) {
+            Some(kv::Request::Get { key }) => CacheOp::Get(key),
+            Some(kv::Request::Set { key, .. }) => CacheOp::Set(key),
+            None => CacheOp::Other,
+        }
+    }
+
+    fn cacheable_response(&self, response: &[u8]) -> bool {
+        matches!(kv::Response::decode(response), Some(kv::Response::Value(_)))
+    }
+}
+
+/// Adapts any [`RequestProcessor`]-style kernel (the `lynx-apps` AES and
+/// vecscale services, or [`KvProcessor`] itself) into a [`SnicKernel`]
+/// runnable on spare SNIC-core cycles. The processor's reference service
+/// time is divided by `relative_speed` — the SNIC ARM core's speed
+/// relative to the reference accelerator — so the simulation charges
+/// honest on-NIC compute time (e.g.
+/// [`lynx_device::BluefieldProfile::RELATIVE_SPEED`]).
+pub struct SnicProcessorKernel {
+    proc: Rc<dyn RequestProcessor>,
+    relative_speed: f64,
+}
+
+impl std::fmt::Debug for SnicProcessorKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnicProcessorKernel")
+            .field("proc", &self.proc.name())
+            .field("relative_speed", &self.relative_speed)
+            .finish()
+    }
+}
+
+impl SnicProcessorKernel {
+    /// Wraps `proc`, charging `service_time / relative_speed` per request.
+    pub fn new(proc: Rc<dyn RequestProcessor>, relative_speed: f64) -> SnicProcessorKernel {
+        assert!(
+            relative_speed > 0.0 && relative_speed.is_finite(),
+            "invalid relative speed"
+        );
+        SnicProcessorKernel {
+            proc,
+            relative_speed,
+        }
+    }
+}
+
+impl SnicKernel for SnicProcessorKernel {
+    fn name(&self) -> &str {
+        self.proc.name()
+    }
+
+    fn work(&self, request: &[u8]) -> Duration {
+        self.proc.service_time(request).div_f64(self.relative_speed)
+    }
+
+    fn execute(&self, request: &[u8]) -> Option<Vec<u8>> {
+        Some(self.proc.process(request))
     }
 }
 

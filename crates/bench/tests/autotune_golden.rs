@@ -50,6 +50,7 @@ fn tuned_fig8b_config_is_pinned() {
             snic_cores: 1,
             batch: BatchPolicy::Unbatched,
             slots: 16,
+            cache: false,
         },
         "tuned fig8b candidate drifted: {:?}",
         tuned.candidate

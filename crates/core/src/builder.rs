@@ -7,9 +7,12 @@
 //! surface as [`Error::Config`](crate::Error::Config) instead of panics or
 //! silently-broken servers. See [`LynxServerBuilder`] for an example.
 
+use std::rc::Rc;
+
 use lynx_net::{HostStack, SockAddr};
 use lynx_sim::{SchedulerKind, Sim, SimConfig, Telemetry};
 
+use crate::cache::{CacheConfig, CacheProtocol, SnicKernel};
 use crate::pipeline::{BatchPolicy, PipelineConfig};
 use crate::{
     ControlConfig, CostModel, DispatchPolicy, LynxServer, Mqueue, RecoveryConfig, RemoteMqManager,
@@ -76,6 +79,9 @@ pub struct LynxServerBuilder {
     services: Vec<ServiceSpec>,
     bridges: Vec<(usize, Mqueue, SockAddr)>,
     sim_config: Option<SimConfig>,
+    cache: CacheConfig,
+    cache_protocol: Option<Rc<dyn CacheProtocol>>,
+    snic_compute: Option<(Rc<dyn SnicKernel>, f64)>,
     errors: Vec<String>,
 }
 
@@ -109,6 +115,9 @@ impl LynxServerBuilder {
             }],
             bridges: Vec::new(),
             sim_config: None,
+            cache: CacheConfig::disabled(),
+            cache_protocol: None,
+            snic_compute: None,
             errors: Vec::new(),
         }
     }
@@ -212,6 +221,38 @@ impl LynxServerBuilder {
     /// [`LynxServerBuilder::snic_cores`] + [`LynxServerBuilder::batch`]).
     pub fn pipeline(mut self, cfg: PipelineConfig) -> Self {
         self.pipeline = cfg;
+        self
+    }
+
+    /// Enables the SNIC-resident hot-key cache (ROADMAP item 4): a
+    /// per-lane CLOCK cache over a byte budget consulted in the dispatch
+    /// stage *before* any mqueue slot or RDMA verb is allocated. A hit
+    /// replies straight from the SNIC via the (batched) UDP path; a miss
+    /// takes the accelerator path unchanged and populates the cache when
+    /// the response is forwarded. Requires a
+    /// [`LynxServerBuilder::cache_protocol`] to classify payloads —
+    /// enabling the cache without one is a build-time error.
+    pub fn cache(mut self, cfg: CacheConfig) -> Self {
+        self.cache = cfg;
+        self
+    }
+
+    /// Sets the protocol lens the cache uses to classify request payloads
+    /// into GET/SET/other and to decide which responses are cacheable
+    /// (e.g. the memcached-style `lynx-apps` KV wire format).
+    pub fn cache_protocol(mut self, protocol: Rc<dyn CacheProtocol>) -> Self {
+        self.cache_protocol = Some(protocol);
+        self
+    }
+
+    /// Registers a SNIC-compute offload kernel: when the mean occupancy of
+    /// a service's mqueues reaches `min_occupancy` (a fraction in `[0, 1]`
+    /// of in-flight slots), dispatch runs `kernel` on spare SNIC-core
+    /// cycles instead of enqueuing to the accelerator, charging
+    /// [`SnicKernel::work`](crate::SnicKernel::work) against the per-lane
+    /// CPU cost model so the simulation stays honest.
+    pub fn snic_compute(mut self, kernel: Rc<dyn SnicKernel>, min_occupancy: f64) -> Self {
+        self.snic_compute = Some((kernel, min_occupancy));
         self
     }
 
@@ -320,6 +361,23 @@ impl LynxServerBuilder {
         if let Err(e) = self.control.validate() {
             errors.push(config_message(e));
         }
+        if let Err(e) = self.cache.validate() {
+            errors.push(config_message(e));
+        }
+        if self.cache.enabled && self.cache_protocol.is_none() {
+            errors.push(
+                "cache.enabled: requires a cache_protocol to classify payloads \
+                 (see LynxServerBuilder::cache_protocol)"
+                    .into(),
+            );
+        }
+        if let Some((_, min_occupancy)) = &self.snic_compute {
+            if !(0.0..=1.0).contains(min_occupancy) {
+                errors.push(format!(
+                    "snic_compute.min_occupancy: must be a fraction in [0, 1], got {min_occupancy}"
+                ));
+            }
+        }
         for (i, rmq) in self.accels.iter().enumerate() {
             if let Err(e) = rmq.config().validate() {
                 errors.push(format!("accelerator {i}: {}", config_message(e)));
@@ -354,6 +412,9 @@ impl LynxServerBuilder {
             self.control,
             stats,
             self.pipeline,
+            self.cache,
+            self.cache_protocol,
+            self.snic_compute,
         );
         for rmq in self.accels {
             server.inner_add_accelerator(rmq);

@@ -105,6 +105,20 @@ pub struct ControlConfig {
     /// Token-bucket depth in requests — the burst the service absorbs
     /// before shedding.
     pub admission_burst: f64,
+    /// Mean occupancy above which a window counts toward *cache-only
+    /// degradation* (serve-stale-on-overload). Only meaningful on
+    /// deployments with an enabled [`CacheConfig`](crate::CacheConfig):
+    /// once `hysteresis` consecutive windows exceed this, the service
+    /// answers cacheable reads from the SNIC cache (stale entries
+    /// included) *before* the token bucket sees them, shedding work from
+    /// the accelerator path without dropping hot-key traffic. Must be at
+    /// least `scale_out_occupancy`, so degradation is the last resort
+    /// after scale-out.
+    pub degrade_occupancy: f64,
+    /// Mean occupancy below which a degraded window counts toward
+    /// recovery; after `hysteresis` such windows the service returns to
+    /// normal cache semantics.
+    pub degrade_recover_occupancy: f64,
 }
 
 impl Default for ControlConfig {
@@ -120,6 +134,8 @@ impl Default for ControlConfig {
             hysteresis: 2,
             admission_rate: 0.0,
             admission_burst: 32.0,
+            degrade_occupancy: 0.9,
+            degrade_recover_occupancy: 0.5,
         }
     }
 }
@@ -186,6 +202,32 @@ impl crate::Validate for ControlConfig {
             return Err(invalid(
                 "control.hysteresis",
                 "hysteresis must be at least 1 window",
+            ));
+        }
+        if self
+            .degrade_occupancy
+            .partial_cmp(&self.scale_out_occupancy)
+            .is_none_or(|o| o == std::cmp::Ordering::Less)
+        {
+            return Err(invalid(
+                "control.degrade_occupancy",
+                format!(
+                    "degrade_occupancy {} below scale_out_occupancy {}",
+                    self.degrade_occupancy, self.scale_out_occupancy
+                ),
+            ));
+        }
+        if self
+            .degrade_recover_occupancy
+            .partial_cmp(&self.degrade_occupancy)
+            .is_none_or(|o| o == std::cmp::Ordering::Greater)
+        {
+            return Err(invalid(
+                "control.degrade_recover_occupancy",
+                format!(
+                    "degrade_recover_occupancy {} above degrade_occupancy {}",
+                    self.degrade_recover_occupancy, self.degrade_occupancy
+                ),
             ));
         }
         Ok(())
@@ -275,6 +317,48 @@ impl Hysteresis {
     }
 }
 
+/// Hysteresis for the cache-only degradation switch: engages after
+/// `cfg.hysteresis` consecutive windows above `degrade_occupancy`,
+/// disengages after as many below `degrade_recover_occupancy`.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct DegradeState {
+    /// Whether the service currently answers cacheable reads stale-OK
+    /// from the SNIC cache, ahead of the admission bucket.
+    pub(crate) active: bool,
+    above: u32,
+    below: u32,
+}
+
+impl DegradeState {
+    /// Folds one closed window's mean occupancy in; returns `Some(state)`
+    /// when the switch flips.
+    pub(crate) fn decide(&mut self, cfg: &ControlConfig, occupancy: f64) -> Option<bool> {
+        self.above = if occupancy > cfg.degrade_occupancy {
+            self.above + 1
+        } else {
+            0
+        };
+        self.below = if occupancy < cfg.degrade_recover_occupancy {
+            self.below + 1
+        } else {
+            0
+        };
+        if !self.active && self.above >= cfg.hysteresis {
+            self.active = true;
+            self.above = 0;
+            self.below = 0;
+            Some(true)
+        } else if self.active && self.below >= cfg.hysteresis {
+            self.active = false;
+            self.above = 0;
+            self.below = 0;
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
 /// Per-service controller state, owned by the server next to the
 /// dispatcher it steers.
 #[derive(Debug)]
@@ -285,6 +369,8 @@ pub(crate) struct SvcControl {
     pub(crate) bucket: TokenBucket,
     /// Scale-decision hysteresis.
     pub(crate) hysteresis: Hysteresis,
+    /// Serve-stale degradation switch (cache-backed deployments only).
+    pub(crate) degrade: DegradeState,
     /// Dispatch timestamps of in-flight requests, FIFO per queue (mqueue
     /// responses complete in order, so front-pop matching is exact).
     pub(crate) pending: Vec<VecDeque<Time>>,
@@ -301,6 +387,7 @@ impl SvcControl {
             latency: WindowedHistogram::new(),
             bucket: TokenBucket::new(burst),
             hysteresis: Hysteresis::default(),
+            degrade: DegradeState::default(),
             pending: Vec::new(),
             draining: BTreeSet::new(),
             provisioning: BTreeSet::new(),
@@ -405,6 +492,43 @@ mod tests {
         let slow = Some(c.slo_p99 * 2);
         assert_eq!(h.decide(&c, 0.1, slow), ScaleDecision::Hold);
         assert_eq!(h.decide(&c, 0.1, slow), ScaleDecision::Out);
+    }
+
+    #[test]
+    fn check_rejects_inverted_degrade_band() {
+        let bad = ControlConfig {
+            degrade_occupancy: 0.5, // below scale_out_occupancy 0.75
+            ..cfg()
+        };
+        assert!(bad.check().is_err());
+        let bad = ControlConfig {
+            degrade_occupancy: 0.8,
+            degrade_recover_occupancy: 0.85,
+            ..cfg()
+        };
+        assert!(bad.check().is_err());
+        let bad = ControlConfig {
+            degrade_occupancy: f64::NAN,
+            ..cfg()
+        };
+        assert!(bad.check().is_err());
+    }
+
+    #[test]
+    fn degrade_engages_and_recovers_with_hysteresis() {
+        let c = cfg(); // hysteresis 2, degrade 0.9, recover 0.5
+        let mut d = DegradeState::default();
+        assert_eq!(d.decide(&c, 0.95), None);
+        // A calm window resets the engage streak.
+        assert_eq!(d.decide(&c, 0.6), None);
+        assert_eq!(d.decide(&c, 0.95), None);
+        assert_eq!(d.decide(&c, 0.95), Some(true));
+        assert!(d.active);
+        // Mid-band windows neither engage further nor recover.
+        assert_eq!(d.decide(&c, 0.7), None);
+        assert_eq!(d.decide(&c, 0.4), None);
+        assert_eq!(d.decide(&c, 0.4), Some(false));
+        assert!(!d.active);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 mod accel;
 mod builder;
+pub mod cache;
 mod control;
 mod dispatch;
 mod error;
@@ -57,6 +58,7 @@ mod validate;
 
 pub use accel::{AccelApp, ExecUnit, ProcessorApp, ThreadblockUnit, Worker, WorkerCtx};
 pub use builder::LynxServerBuilder;
+pub use cache::{CacheConfig, CacheOp, CacheProtocol, FnCacheProtocol, SnicCache, SnicKernel};
 pub use control::ControlConfig;
 pub use dispatch::{DispatchPolicy, Dispatcher};
 pub use error::{Error, Result};
@@ -65,6 +67,8 @@ pub use innova::InnovaReceiver;
 pub use mqueue::{Mqueue, MqueueConfig, MqueueKind, ReturnAddr, SLOT_HEADER};
 pub use pipeline::{BatchPolicy, Pipeline, PipelineConfig};
 pub use rmq::{RemoteMqManager, RmqConfig};
-pub use server::{CostModel, LynxServer, RecoveryConfig, ServerStats, ServiceId, SnicPlatform};
+pub use server::{
+    CacheStats, CostModel, LynxServer, RecoveryConfig, ServerStats, ServiceId, SnicPlatform,
+};
 pub use shard::{conservative_window, ReplicaSet, ShardPlan};
 pub use validate::Validate;

@@ -2,6 +2,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::hash_map::DefaultHasher;
+use std::collections::VecDeque;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
@@ -9,8 +10,9 @@ use std::time::Duration;
 
 use lynx_device::{profile_for, BluefieldProfile, CostProfile, CpuKind};
 use lynx_net::{ConnId, HostStack, SockAddr};
-use lynx_sim::{Payload, Sim, SiteCounter, Telemetry, Time, TraceEvent};
+use lynx_sim::{Histogram, Payload, Sim, SiteCounter, SiteGauge, Telemetry, Time, TraceEvent};
 
+use crate::cache::{CacheConfig, CacheOp, CacheProtocol, SnicCache, SnicKernel};
 use crate::control::{ControlConfig, ScaleDecision, SvcControl};
 use crate::pipeline::{Pipeline, PipelineConfig, StagedRequest};
 use crate::{DispatchPolicy, Dispatcher, Error, Mqueue, RemoteMqManager, ReturnAddr};
@@ -167,6 +169,40 @@ pub struct ServerStats {
     pub backend_calls: u64,
 }
 
+/// Counters of the SNIC-resident hot-key cache and the on-NIC compute
+/// offload, read through [`LynxServer::cache_stats`] from the same
+/// telemetry registry the interned `cache.*` / `snic.compute.*` counters
+/// land in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// GETs answered from the SNIC cache (including stale answers served
+    /// under degradation).
+    pub hits: u64,
+    /// Cacheable GETs that took the accelerator path.
+    pub misses: u64,
+    /// Responses that populated the cache on the forward path.
+    pub fills: u64,
+    /// Cached entries marked stale by write-through SETs.
+    pub invalidations: u64,
+    /// Requests answered by the [`SnicKernel`] on spare SNIC cycles.
+    pub offloaded: u64,
+    /// Simulated SNIC-core nanoseconds spent in offloaded kernels.
+    pub offload_cycles: u64,
+}
+
+impl CacheStats {
+    /// Cache hit rate over classified GETs (`hits / (hits + misses)`),
+    /// or 0 when no GET was seen.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 struct BackendBridge {
     conn: Option<ConnId>,
     queued: Vec<Payload>,
@@ -189,6 +225,13 @@ struct ServerSites {
     batched_msgs: SiteCounter,
     forward_batches: SiteCounter,
     forward_batched_msgs: SiteCounter,
+    cache_hits: SiteCounter,
+    cache_misses: SiteCounter,
+    cache_fills: SiteCounter,
+    cache_invalidations: SiteCounter,
+    cache_bytes: SiteGauge,
+    snic_offloaded: SiteCounter,
+    snic_cycles: SiteCounter,
 }
 
 /// Per-service counter handles (`server.svc<i>.*` and the dispatcher's
@@ -221,6 +264,22 @@ struct QueueHealth {
     last_progress: Time,
 }
 
+/// One accelerator-path request in flight: when it was dispatched and,
+/// for cacheable GET misses, where its response should be cached.
+struct PathEntry {
+    at: Time,
+    fill: Option<(usize, Vec<u8>)>,
+}
+
+/// What the dispatch-stage cache consult decided for one request.
+enum CacheOutcome {
+    /// Fresh cached value: reply from the SNIC, skip the mqueue.
+    Hit(Payload),
+    /// Take the accelerator path; `Some` carries the (lane, key) slot a
+    /// cacheable response should fill on the way back.
+    Miss(Option<(usize, Vec<u8>)>),
+}
+
 struct Service {
     dispatcher: Dispatcher,
     mqs: Vec<Mqueue>,
@@ -229,6 +288,13 @@ struct Service {
     udp_port: Option<u16>,
     sites: SvcSites,
     control: SvcControl,
+    /// Per-queue FIFO matching accelerator-path requests to their
+    /// responses (mqueues complete in order), maintained only when the
+    /// cache or path-latency tracking is on.
+    path: Vec<VecDeque<PathEntry>>,
+    /// Dispatch→collect latency of accelerator-path (miss) requests,
+    /// recorded when [`CacheConfig::track_path_latency`] is set.
+    miss_path: Histogram,
 }
 
 impl Service {
@@ -241,8 +307,19 @@ impl Service {
             udp_port: None,
             sites: SvcSites::default(),
             control: SvcControl::new(admission_burst),
+            path: Vec::new(),
+            miss_path: Histogram::new(),
         }
     }
+}
+
+/// Cache keys are namespaced by tenant service, so two services using
+/// the same application keys never collide in a shared lane cache.
+fn cache_key(service: ServiceId, key: &[u8]) -> Vec<u8> {
+    let mut k = Vec::with_capacity(4 + key.len());
+    k.extend_from_slice(&(service.0 as u32).to_le_bytes());
+    k.extend_from_slice(key);
+    k
 }
 
 struct Inner {
@@ -263,6 +340,23 @@ struct Inner {
     sites: ServerSites,
     /// One `pipeline.core<i>.dispatched` handle per pipeline core.
     core_dispatched: Vec<SiteCounter>,
+    cache_cfg: CacheConfig,
+    /// Wire-format classifier for the cache (application-supplied).
+    protocol: Option<Rc<dyn CacheProtocol>>,
+    /// One private hot-key cache per pipeline lane (shared-nothing,
+    /// matching the dispatch sharding). Empty when the cache is off.
+    caches: Vec<SnicCache>,
+    /// On-NIC compute kernel and the mean mqueue occupancy at which it
+    /// engages.
+    snic_kernel: Option<(Rc<dyn SnicKernel>, f64)>,
+}
+
+impl Inner {
+    /// Whether per-request path entries must be recorded (the cache
+    /// needs them for fills, the latency histogram for the miss tail).
+    fn track_path(&self) -> bool {
+        self.cache_cfg.enabled || self.cache_cfg.track_path_latency
+    }
 }
 
 /// The Lynx network server: the application-agnostic frontend on the
@@ -308,6 +402,7 @@ impl fmt::Debug for LynxServer {
 }
 
 impl LynxServer {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn construct(
         stack: HostStack,
         costs: CostModel,
@@ -316,10 +411,20 @@ impl LynxServer {
         control: ControlConfig,
         stats: Telemetry,
         pipeline: PipelineConfig,
+        cache_cfg: CacheConfig,
+        protocol: Option<Rc<dyn CacheProtocol>>,
+        snic_kernel: Option<(Rc<dyn SnicKernel>, f64)>,
     ) -> LynxServer {
         let core_dispatched = (0..pipeline.snic_cores)
             .map(|_| SiteCounter::new())
             .collect();
+        let caches = if cache_cfg.enabled {
+            (0..pipeline.snic_cores)
+                .map(|_| SnicCache::new(cache_cfg.bytes_per_lane))
+                .collect()
+        } else {
+            Vec::new()
+        };
         LynxServer {
             inner: Rc::new(RefCell::new(Inner {
                 stack,
@@ -336,6 +441,10 @@ impl LynxServer {
                 pipeline: Pipeline::new(pipeline),
                 sites: ServerSites::default(),
                 core_dispatched,
+                cache_cfg,
+                protocol,
+                caches,
+                snic_kernel,
             })),
         }
     }
@@ -377,7 +486,8 @@ impl LynxServer {
                 last_responses: 0,
                 last_progress: Time::ZERO,
             });
-            svc.control.pending.push(std::collections::VecDeque::new());
+            svc.control.pending.push(VecDeque::new());
+            svc.path.push(VecDeque::new());
             (rmq, fwd_core, svc.mqs.len() - 1)
         };
         let this = self.clone();
@@ -551,6 +661,56 @@ impl LynxServer {
         self.inner.borrow().stats.counter("server.unroutable")
     }
 
+    /// Counters of the hot-key cache and SNIC-compute offload, read from
+    /// the telemetry registry (`cache.*`, `snic.compute.*`).
+    pub fn cache_stats(&self) -> CacheStats {
+        let inner = self.inner.borrow();
+        let t = &inner.stats;
+        CacheStats {
+            hits: t.counter("cache.hits"),
+            misses: t.counter("cache.misses"),
+            fills: t.counter("cache.fills"),
+            invalidations: t.counter("cache.invalidations"),
+            offloaded: t.counter("snic.compute.offloaded"),
+            offload_cycles: t.counter("snic.compute.cycles"),
+        }
+    }
+
+    /// Bytes currently held across every lane's hot-key cache.
+    pub fn cache_bytes(&self) -> usize {
+        self.inner.borrow().caches.iter().map(|c| c.bytes()).sum()
+    }
+
+    /// Whether `service` is currently degraded to cache-only answers
+    /// (serve-stale-on-overload; see
+    /// [`ControlConfig::degrade_occupancy`]).
+    pub fn degraded(&self, service: ServiceId) -> bool {
+        let inner = self.inner.borrow();
+        assert!(service.0 < inner.services.len(), "unknown service id");
+        inner.services[service.0].control.degrade.active
+    }
+
+    /// Degradation switch flips so far: `(engaged, recovered)` — the
+    /// `control.degrade_on` / `control.degrade_off` counters.
+    pub fn degrade_transitions(&self) -> (u64, u64) {
+        let inner = self.inner.borrow();
+        (
+            inner.stats.counter("control.degrade_on"),
+            inner.stats.counter("control.degrade_off"),
+        )
+    }
+
+    /// p99 of the dispatch→collect latency over requests that took the
+    /// accelerator (miss) path, when
+    /// [`CacheConfig::track_path_latency`] is on. `None` before any
+    /// such request completed. Cache-on and cache-off runs can compare
+    /// this tail like-for-like: cache hits never enter it.
+    pub fn miss_path_p99(&self, service: ServiceId) -> Option<Duration> {
+        let inner = self.inner.borrow();
+        assert!(service.0 < inner.services.len(), "unknown service id");
+        inner.services[service.0].miss_path.try_percentile(99.0)
+    }
+
     /// Number of currently quarantined mqueues across all services.
     pub fn quarantined_queues(&self) -> usize {
         self.inner
@@ -574,6 +734,149 @@ impl LynxServer {
 
     fn forward_cost(inner: &Inner) -> Duration {
         inner.costs.forward + inner.costs.scan_per_mqueue * Self::total_mqueues(inner)
+    }
+
+    // --- SNIC-resident hot-key cache & compute offload -------------------
+
+    /// Dispatch-stage cache consult for one request on lane `lane`
+    /// (before any mqueue slot or RDMA verb is allocated). Lookup and
+    /// fill bookkeeping are folded into the already-charged dispatch
+    /// cost: the cache lives in the dispatcher's working set, so the
+    /// simulation charges no separate time for it.
+    fn consult_cache(
+        inner: &mut Inner,
+        service: ServiceId,
+        lane: usize,
+        payload: &[u8],
+    ) -> CacheOutcome {
+        if !inner.cache_cfg.enabled {
+            return CacheOutcome::Miss(None);
+        }
+        let Some(protocol) = inner.protocol.clone() else {
+            return CacheOutcome::Miss(None);
+        };
+        match protocol.classify(payload) {
+            CacheOp::Get(key) => {
+                let ckey = cache_key(service, &key);
+                let resp = inner.caches[lane].lookup(&ckey, false).map(<[u8]>::to_vec);
+                match resp {
+                    Some(r) => {
+                        inner.sites.cache_hits.add(&inner.stats, "cache.hits", 1);
+                        CacheOutcome::Hit(Payload::from(r))
+                    }
+                    None => {
+                        inner
+                            .sites
+                            .cache_misses
+                            .add(&inner.stats, "cache.misses", 1);
+                        CacheOutcome::Miss(Some((lane, ckey)))
+                    }
+                }
+            }
+            CacheOp::Set(key) => {
+                // Write-through: the SET still goes to the accelerator;
+                // every lane's cached copy goes stale immediately, so no
+                // fresh read can observe the overwritten value.
+                let ckey = cache_key(service, &key);
+                let mut n = 0u64;
+                for c in inner.caches.iter_mut() {
+                    if c.invalidate(&ckey) {
+                        n += 1;
+                    }
+                }
+                if n > 0 {
+                    inner
+                        .sites
+                        .cache_invalidations
+                        .add(&inner.stats, "cache.invalidations", n);
+                }
+                CacheOutcome::Miss(None)
+            }
+            CacheOp::Other => CacheOutcome::Miss(None),
+        }
+    }
+
+    /// Serve-stale lookup for a degraded service, ahead of admission
+    /// control. Returns `true` when the request was answered from the
+    /// cache (nothing further to do).
+    fn try_degraded_hit(
+        &self,
+        sim: &mut Sim,
+        service: ServiceId,
+        ret: ReturnAddr,
+        key: u64,
+        payload: &Payload,
+    ) -> bool {
+        let resp = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.cache_cfg.enabled || !inner.services[service.0].control.degrade.active {
+                return false;
+            }
+            let Some(protocol) = inner.protocol.clone() else {
+                return false;
+            };
+            let CacheOp::Get(k) = protocol.classify(payload) else {
+                return false;
+            };
+            let ckey = cache_key(service, &k);
+            let lane = inner.pipeline.config().shard_of(key);
+            match inner.caches[lane].lookup(&ckey, true).map(<[u8]>::to_vec) {
+                Some(r) => {
+                    inner.sites.cache_hits.add(&inner.stats, "cache.hits", 1);
+                    r
+                }
+                // A degraded-mode miss is not counted here: the request
+                // continues to admission and, if admitted, the normal
+                // dispatch consult counts it once.
+                None => return false,
+            }
+        };
+        self.send_reply(sim, service, ret, Payload::from(resp));
+        true
+    }
+
+    /// Mean mqueue occupancy over the service's unparked queues — the
+    /// "mqueues backing up" signal the compute offload engages on. A
+    /// fully parked fleet reads as saturated.
+    fn occupancy(inner: &Inner, service: ServiceId) -> f64 {
+        let svc = &inner.services[service.0];
+        let active: Vec<usize> = (0..svc.mqs.len())
+            .filter(|&qi| !svc.dispatcher.is_parked(qi))
+            .collect();
+        if active.is_empty() {
+            return if svc.mqs.is_empty() { 0.0 } else { 1.0 };
+        }
+        active
+            .iter()
+            .map(|&qi| svc.mqs[qi].in_flight() as f64 / svc.mqs[qi].config().slots as f64)
+            .sum::<f64>()
+            / active.len() as f64
+    }
+
+    /// Offers one request to the SNIC compute kernel when the service's
+    /// mqueues are backed up. Returns the kernel's response and its
+    /// SNIC-core cost (to be charged by the caller against the lane's
+    /// CPU model) — or `None` to take the accelerator path.
+    fn try_offload(
+        inner: &mut Inner,
+        service: ServiceId,
+        payload: &[u8],
+    ) -> Option<(Payload, Duration)> {
+        let (kernel, min_occupancy) = inner.snic_kernel.clone()?;
+        if Self::occupancy(inner, service) < min_occupancy {
+            return None;
+        }
+        let out = kernel.execute(payload)?;
+        let work = kernel.work(payload);
+        inner
+            .sites
+            .snic_offloaded
+            .add(&inner.stats, "snic.compute.offloaded", 1);
+        inner
+            .sites
+            .snic_cycles
+            .add(&inner.stats, "snic.compute.cycles", work.as_nanos() as u64);
+        Some((Payload::from(out), work))
     }
 
     fn on_request(
@@ -600,6 +903,13 @@ impl LynxServer {
             )
         };
         self.arm_control(sim);
+        // Serve-stale degradation: a degraded service answers cacheable
+        // reads straight from the SNIC cache — stale entries included —
+        // *before* the token bucket sees them, so hot-key traffic keeps
+        // flowing while the bucket sheds the accelerator-bound remainder.
+        if self.try_degraded_hit(sim, service, ret, key, &payload) {
+            return;
+        }
         if let Err(e) = self.try_admit(sim, service) {
             debug_assert!(matches!(e, Error::Overloaded { .. }));
             // Early reject: no dispatch cost charged, no RDMA verb issued.
@@ -683,7 +993,7 @@ impl LynxServer {
         };
         let this = self.clone();
         stack.charge_on(sim, core, cost, move |sim| {
-            this.dispatch_batch(sim, batch);
+            this.dispatch_batch(sim, core, batch);
             let more = this.inner.borrow().pipeline.end_drain(core);
             if more {
                 this.drain_cycle(sim, core);
@@ -695,56 +1005,114 @@ impl LynxServer {
     /// counters and traces as the unbatched path), then one coalesced
     /// [`RemoteMqManager::push_requests`] per target mqueue — a batch of
     /// `k` requests to one queue costs one doorbell, not `k`.
-    fn dispatch_batch(&self, sim: &mut Sim, batch: Vec<StagedRequest>) {
+    fn dispatch_batch(&self, sim: &mut Sim, core: usize, batch: Vec<StagedRequest>) {
         struct Group {
             service: ServiceId,
             qi: usize,
             rmq: Rc<RemoteMqManager>,
             mq: Mqueue,
             items: Vec<(ReturnAddr, Payload)>,
+            fills: Vec<Option<(usize, Vec<u8>)>>,
         }
         let mut groups: Vec<Group> = Vec::new();
         let mut traces: Vec<(&'static str, Option<String>)> = Vec::new();
+        // SNIC-local answers produced at the dispatch stage: cache hits
+        // go back on the batched UDP reply path; offloaded kernels first
+        // charge their accumulated work on this core's lane.
+        let mut hits: Vec<(ServiceId, ReturnAddr, Payload)> = Vec::new();
+        let mut offloads: Vec<(ServiceId, ReturnAddr, Payload)> = Vec::new();
+        let mut offload_work = Duration::ZERO;
         {
             let mut inner = self.inner.borrow_mut();
             for req in batch {
-                let i = req.service.0;
-                let svc = &mut inner.services[i];
-                let policy = svc.dispatcher.policy().name();
-                let picked = svc
-                    .dispatcher
-                    .pick(&svc.mqs, req.key)
-                    .map(|qi| (qi, Rc::clone(&svc.owners[qi]), svc.mqs[qi].clone()));
-                Self::count_dispatch(&inner, i, policy, picked.is_some());
-                match picked {
-                    Some((qi, rmq, mq)) => {
-                        let label = mq.label();
-                        traces.push((policy, Some(label.clone())));
-                        match groups.iter_mut().find(|g| g.mq.label() == label) {
-                            Some(g) => g.items.push((req.ret, req.payload)),
-                            None => groups.push(Group {
-                                service: req.service,
-                                qi,
-                                rmq,
-                                mq,
-                                items: vec![(req.ret, req.payload)],
-                            }),
+                // The staged batch all sharded here by key, so this
+                // core's private cache is the request's cache lane.
+                match Self::consult_cache(&mut inner, req.service, core, &req.payload) {
+                    CacheOutcome::Hit(resp) => {
+                        hits.push((req.service, req.ret, resp));
+                        continue;
+                    }
+                    CacheOutcome::Miss(fill) => {
+                        if let Some((resp, work)) =
+                            Self::try_offload(&mut inner, req.service, &req.payload)
+                        {
+                            offload_work += work;
+                            offloads.push((req.service, req.ret, resp));
+                            continue;
+                        }
+                        let i = req.service.0;
+                        let svc = &mut inner.services[i];
+                        let policy = svc.dispatcher.policy().name();
+                        let picked = svc
+                            .dispatcher
+                            .pick(&svc.mqs, req.key)
+                            .map(|qi| (qi, Rc::clone(&svc.owners[qi]), svc.mqs[qi].clone()));
+                        Self::count_dispatch(&inner, i, policy, picked.is_some());
+                        match picked {
+                            Some((qi, rmq, mq)) => {
+                                let label = mq.label();
+                                traces.push((policy, Some(label.clone())));
+                                match groups.iter_mut().find(|g| g.mq.label() == label) {
+                                    Some(g) => {
+                                        g.items.push((req.ret, req.payload));
+                                        g.fills.push(fill);
+                                    }
+                                    None => groups.push(Group {
+                                        service: req.service,
+                                        qi,
+                                        rmq,
+                                        mq,
+                                        items: vec![(req.ret, req.payload)],
+                                        fills: vec![fill],
+                                    }),
+                                }
+                            }
+                            None => traces.push((policy, None)),
                         }
                     }
-                    None => traces.push((policy, None)),
                 }
             }
         }
         for (policy, queue) in traces {
             sim.trace(|| TraceEvent::Dispatch { policy, queue });
         }
+        if !hits.is_empty() {
+            // One batched stack invocation per service, like the
+            // forwarder's reply path.
+            let mut by_svc: Vec<(ServiceId, Vec<(ReturnAddr, Payload)>)> = Vec::new();
+            for (svc, ret, resp) in hits {
+                match by_svc.iter_mut().find(|(s, _)| *s == svc) {
+                    Some((_, v)) => v.push((ret, resp)),
+                    None => by_svc.push((svc, vec![(ret, resp)])),
+                }
+            }
+            for (svc, replies) in by_svc {
+                self.send_replies(sim, svc, replies);
+            }
+        }
+        if !offloads.is_empty() {
+            let stack = self.inner.borrow().stack.clone();
+            let this = self.clone();
+            stack.charge_on(sim, core, offload_work, move |sim| {
+                for (svc, ret, resp) in offloads {
+                    this.send_reply(sim, svc, ret, resp);
+                }
+            });
+        }
         for g in groups {
             // Per-item backpressure/transport outcomes were already
             // counted (drops on the mqueue sink, giveups by the retry
             // machinery); a failed item never aborts the batch.
             let results = g.rmq.push_requests(sim, &g.mq, g.items);
-            let accepted = results.iter().filter(|r| r.is_ok()).count();
-            self.note_dispatched(sim.now(), g.service, g.qi, accepted);
+            let now = sim.now();
+            let mut accepted = 0;
+            for (result, fill) in results.iter().zip(g.fills) {
+                if result.is_ok() {
+                    accepted += 1;
+                    self.note_path(now, g.service, g.qi, fill);
+                }
+            }
+            self.note_dispatched(now, g.service, g.qi, accepted);
         }
     }
 
@@ -782,6 +1150,42 @@ impl LynxServer {
         key: u64,
         payload: Payload,
     ) {
+        enum Fast {
+            CacheHit(Payload),
+            Offload(Payload, Duration),
+        }
+        let (fast, fill) = {
+            let mut inner = self.inner.borrow_mut();
+            let lane = inner.pipeline.config().shard_of(key);
+            match Self::consult_cache(&mut inner, service, lane, &payload) {
+                CacheOutcome::Hit(resp) => (Some(Fast::CacheHit(resp)), None),
+                CacheOutcome::Miss(fill) => {
+                    match Self::try_offload(&mut inner, service, &payload) {
+                        Some((resp, work)) => (Some(Fast::Offload(resp, work)), None),
+                        None => (None, fill),
+                    }
+                }
+            }
+        };
+        match fast {
+            Some(Fast::CacheHit(resp)) => {
+                // A hit replies straight from the SNIC: no mqueue slot,
+                // no RDMA verb, no forward cycle.
+                self.send_reply(sim, service, ret, resp);
+                return;
+            }
+            Some(Fast::Offload(resp, work)) => {
+                // The kernel runs on the shared core pool (the unbatched
+                // path charges there too), then replies directly.
+                let stack = self.inner.borrow().stack.clone();
+                let this = self.clone();
+                stack.charge(sim, work, move |sim| {
+                    this.send_reply(sim, service, ret, resp);
+                });
+                return;
+            }
+            None => {}
+        }
         let (policy, picked) = {
             let mut inner = self.inner.borrow_mut();
             let svc = &mut inner.services[service.0];
@@ -804,6 +1208,7 @@ impl LynxServer {
                 // the retry machinery and surfaces as a lost UDP request.
                 if rmq.push_request(sim, &mq, ret, &payload, |_, _| {}).is_ok() {
                     self.note_dispatched(sim.now(), service, qi, 1);
+                    self.note_path(sim.now(), service, qi, fill);
                 }
             }
             None => {
@@ -860,7 +1265,9 @@ impl LynxServer {
                 stack.charge(sim, cost, move |sim| {
                     let this2 = this.clone();
                     rmq.pull_response(sim, &mq, move |sim, ret, payload| {
-                        this2.note_collected(sim.now(), service, qi, 1);
+                        let collected = [(ret, payload)];
+                        this2.on_collected(sim.now(), service, qi, &collected);
+                        let [(ret, payload)] = collected;
                         this2.send_reply(sim, service, ret, payload);
                     });
                 });
@@ -915,7 +1322,7 @@ impl LynxServer {
             let mq2 = mq.clone();
             let rmq2 = Rc::clone(&rmq);
             rmq.pull_responses(sim, &mq, k, move |sim, responses| {
-                this2.note_collected(sim.now(), service, qi, responses.len());
+                this2.on_collected(sim.now(), service, qi, &responses);
                 this2.send_replies(sim, service, responses);
                 gate.set(false);
                 if mq2.pending_responses() > 0 {
@@ -1211,21 +1618,83 @@ impl LynxServer {
         }
     }
 
-    /// Matches `k` collected responses of queue `qi` against their
-    /// dispatch timestamps (FIFO per queue — mqueue responses complete in
-    /// order) and records the dispatch→collection latency into the
-    /// service's sliding window.
-    fn note_collected(&self, now: Time, service: ServiceId, qi: usize, k: usize) {
+    /// Records the path entry of one request accepted into queue `qi`:
+    /// the dispatch timestamp and, for a cacheable GET miss, the cache
+    /// slot its response should fill. No-op unless the cache or
+    /// path-latency tracking needs it.
+    fn note_path(&self, now: Time, service: ServiceId, qi: usize, fill: Option<(usize, Vec<u8>)>) {
         let mut inner = self.inner.borrow_mut();
-        if !inner.control.enabled {
+        if !inner.track_path() {
             return;
         }
         let svc = &mut inner.services[service.0];
-        for _ in 0..k {
-            match svc.control.pending.get_mut(qi).and_then(|q| q.pop_front()) {
-                Some(t0) => svc.control.latency.record(now - t0),
-                None => break,
+        if let Some(q) = svc.path.get_mut(qi) {
+            q.push_back(PathEntry { at: now, fill });
+        }
+    }
+
+    /// Matches collected responses of queue `qi` against their dispatch
+    /// records (FIFO per queue — mqueue responses complete in order):
+    /// records the dispatch→collection latency into the control plane's
+    /// sliding window and the miss-path histogram, and populates the
+    /// cache from responses whose request was a cacheable GET miss —
+    /// "responses arriving on the forward path populate the cache".
+    fn on_collected(
+        &self,
+        now: Time,
+        service: ServiceId,
+        qi: usize,
+        responses: &[(ReturnAddr, Payload)],
+    ) {
+        let mut guard = self.inner.borrow_mut();
+        let inner = &mut *guard;
+        let control_on = inner.control.enabled;
+        let cache_on = inner.cache_cfg.enabled;
+        let track_hist = inner.cache_cfg.track_path_latency;
+        let track = cache_on || track_hist;
+        if !control_on && !track {
+            return;
+        }
+        let svc = &mut inner.services[service.0];
+        let caches = &mut inner.caches;
+        let protocol = inner.protocol.as_deref();
+        let mut fills = 0u64;
+        for (_, payload) in responses {
+            if control_on {
+                if let Some(t0) = svc.control.pending.get_mut(qi).and_then(|q| q.pop_front()) {
+                    svc.control.latency.record(now - t0);
+                }
             }
+            if track {
+                if let Some(entry) = svc.path.get_mut(qi).and_then(|q| q.pop_front()) {
+                    if track_hist {
+                        svc.miss_path.record(now - entry.at);
+                    }
+                    if cache_on {
+                        if let Some((lane, ckey)) = entry.fill {
+                            if protocol.is_some_and(|p| p.cacheable_response(payload))
+                                && caches[lane].fill(&ckey, payload)
+                            {
+                                fills += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if fills > 0 {
+            inner
+                .sites
+                .cache_fills
+                .add(&inner.stats, "cache.fills", fills);
+        }
+        if cache_on {
+            let bytes: usize = inner.caches.iter().map(SnicCache::bytes).sum();
+            inner.sites.cache_bytes.set_with(
+                &inner.stats,
+                || "cache.bytes".to_string(),
+                bytes as f64,
+            );
         }
     }
 
@@ -1263,9 +1732,11 @@ impl LynxServer {
         let mut drains: Vec<Mqueue> = Vec::new();
         let mut provisions: Vec<(ServiceId, usize, String)> = Vec::new();
         let mut parked: Vec<String> = Vec::new();
+        let mut degrade_flips: Vec<(usize, bool)> = Vec::new();
         let (rearm, interval) = {
             let mut inner = self.inner.borrow_mut();
             let cfg = inner.control;
+            let cache_on = inner.cache_cfg.enabled && inner.protocol.is_some();
             let stats = inner.stats.clone();
             stats.count("control.scans", 1);
             let mut live = false;
@@ -1306,7 +1777,28 @@ impl LynxServer {
                 if svc.mqs.iter().any(|m| m.in_flight() > 0) {
                     live = true;
                 }
-                // 4. Act once enough consecutive windows agree.
+                // 4. The serve-stale switch reads the same occupancy
+                //    signal, one band above scale-out pressure: it is the
+                //    step *before* token-bucket shedding, engaged and
+                //    released with its own hysteresis.
+                if cache_on {
+                    if let Some(on) = svc.control.degrade.decide(&cfg, occupancy) {
+                        stats.count(
+                            if on {
+                                "control.degrade_on"
+                            } else {
+                                "control.degrade_off"
+                            },
+                            1,
+                        );
+                        degrade_flips.push((si, on));
+                    }
+                    stats.gauge(
+                        &format!("control.svc{si}.degraded"),
+                        if svc.control.degrade.active { 1.0 } else { 0.0 },
+                    );
+                }
+                // 5. Act once enough consecutive windows agree.
                 match svc.control.hysteresis.decide(&cfg, occupancy, p99) {
                     ScaleDecision::Out => {
                         let max = if cfg.max_workers == 0 {
@@ -1375,6 +1867,16 @@ impl LynxServer {
                 track: "control".into(),
                 name: "ScaleIn".into(),
                 detail: format!("park {label}"),
+            });
+        }
+        for (si, on) in degrade_flips {
+            sim.trace(|| TraceEvent::Custom {
+                track: "control".into(),
+                name: if on { "DegradeOn" } else { "DegradeOff" }.into(),
+                detail: format!(
+                    "svc{si} cache-only serve-stale {}",
+                    if on { "engaged" } else { "released" }
+                ),
             });
         }
         for (service, qi, label) in provisions {

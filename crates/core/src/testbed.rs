@@ -40,6 +40,7 @@ use lynx_fabric::{NodeId, PcieFabric, PcieLink, QpKind, RdmaNic, WireProfile};
 use lynx_net::{HostId, HostStack, LinkSpec, Network, Platform, SockAddr, StackKind, StackProfile};
 use lynx_sim::Sim;
 
+use crate::cache::{CacheConfig, CacheProtocol, SnicKernel};
 use crate::{
     AccelApp, ControlConfig, CostModel, DispatchPolicy, LynxServer, LynxServerBuilder, Mqueue,
     MqueueConfig, MqueueKind, PipelineConfig, ProcessorApp, RecoveryConfig, RemoteMqManager,
@@ -250,6 +251,17 @@ pub struct DeployConfig {
     /// [`ControlConfig::disabled`] so deployments reproduce the paper's
     /// static configurations exactly; the elastic experiments opt in.
     pub control: ControlConfig,
+    /// SNIC-resident hot-key cache consulted before dispatch. Defaults to
+    /// [`CacheConfig::disabled`] — the pure dispatch-and-forward SNIC of
+    /// the paper; enabling it also requires a
+    /// [`DeployConfig::cache_protocol`].
+    pub cache: CacheConfig,
+    /// Protocol lens classifying payloads for the cache (GET/SET/other
+    /// plus which responses are cacheable).
+    pub cache_protocol: Option<Rc<dyn CacheProtocol>>,
+    /// SNIC-compute offload: run this kernel on spare SNIC cycles once the
+    /// mean mqueue occupancy reaches the paired fraction.
+    pub snic_compute: Option<(Rc<dyn SnicKernel>, f64)>,
 }
 
 impl Default for DeployConfig {
@@ -267,6 +279,9 @@ impl Default for DeployConfig {
             rmq: RmqConfig::default(),
             pipeline: PipelineConfig::default(),
             control: ControlConfig::disabled(),
+            cache: CacheConfig::disabled(),
+            cache_protocol: None,
+            snic_compute: None,
         }
     }
 }
@@ -295,7 +310,14 @@ impl DeployConfig {
             .policy(self.policy)
             .recovery(self.recovery)
             .control(self.control)
-            .pipeline(self.pipeline);
+            .pipeline(self.pipeline)
+            .cache(self.cache);
+        if let Some(protocol) = &self.cache_protocol {
+            builder = builder.cache_protocol(Rc::clone(protocol));
+        }
+        if let Some((kernel, min_occupancy)) = &self.snic_compute {
+            builder = builder.snic_compute(Rc::clone(kernel), *min_occupancy);
+        }
         let snic_rdma = snic_machine.rdma_nic();
 
         let mut workers = Vec::new();

@@ -63,36 +63,11 @@ mod time;
 
 pub mod rng;
 
-/// Deprecated 0.5 location of the payload types.
-///
-/// The module was renamed to [`payload`] in 0.6.0 when the `Rc`-backed
-/// `Bytes` became the `Arc`-backed, `Send + Sync` [`Payload`]. This shim
-/// re-exports the new types under the old paths for one release.
-#[deprecated(
-    since = "0.6.0",
-    note = "module renamed to `payload`; `Bytes` is now `Payload`"
-)]
-pub mod bytes {
-    pub use crate::payload::{BufferPool, Payload, Payload as Bytes};
-}
-
-pub use payload::{BufferPool, Payload};
-
-/// Deprecated alias for [`Payload`] (renamed in 0.6.0).
-///
-/// `Bytes` was `Rc`-backed and single-threaded; [`Payload`] keeps the
-/// exact same API and zero-copy behaviour but is `Send + Sync`, which the
-/// partitioned engine needs to move messages between shards. The alias is
-/// kept for one release; see CHANGELOG 0.6.0 for the migration table.
-#[deprecated(
-    since = "0.6.0",
-    note = "renamed to `Payload`; the alias will be removed next release"
-)]
-pub type Bytes = Payload;
 pub use config::{SimConfig, ENV_SCHED, ENV_THREADS};
 pub use faults::{FaultAction, FaultInjector, FaultPlan, FaultRule, Trigger};
 pub use fifo::{Fifo, FifoFullError};
 pub use histogram::{Histogram, WindowedHistogram};
+pub use payload::{BufferPool, Payload};
 pub use server::{MultiServer, Server};
 pub use shard::{
     CrossShardMsg, Partition, PartitionReport, ShardCtx, ShardId, ShardReport, ShardSender,

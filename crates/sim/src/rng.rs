@@ -167,7 +167,14 @@ impl Zipf {
 
     /// Draws a rank in `0..n` (rank 0 is the most popular item).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen_range(0.0..1.0);
+        self.sample_u(rng.gen_range(0.0..1.0))
+    }
+
+    /// Maps a uniform variate `u` in `[0, 1)` to a rank via the inverse
+    /// CDF. Stateless: callers that derive `u` from a counter hash (in
+    /// the spirit of [`derive_seed`]) get a reproducible, seekable key
+    /// stream without threading an RNG through.
+    pub fn sample_u(&self, u: f64) -> usize {
         match self
             .cdf
             .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))

@@ -30,6 +30,7 @@ pub mod report;
 mod runner;
 pub mod sweep;
 pub mod tune;
+pub mod zipf;
 
 pub use client::{
     ClientStats, ClosedLoopClient, FleetClient, LoadClient, OpenLoopClient, PayloadFn,
@@ -39,3 +40,4 @@ pub use runner::{run_measured, RunSpec, RunSummary};
 pub use tune::{
     predict, tune, Candidate, Prediction, Stage, TuneError, TuneGoal, TuneSpace, TunedConfig,
 };
+pub use zipf::ZipfKeyGen;

@@ -33,7 +33,8 @@ use std::time::Duration;
 
 use lynx_core::testbed::DeployConfig;
 use lynx_core::{
-    BatchPolicy, ControlConfig, MqueueConfig, PipelineConfig, SnicPlatform, Validate, SLOT_HEADER,
+    BatchPolicy, CacheConfig, ControlConfig, MqueueConfig, PipelineConfig, SnicPlatform, Validate,
+    SLOT_HEADER,
 };
 use lynx_device::{AppProfile, CostProfile, CpuKind, GpuProfile};
 use lynx_net::{StackKind, StackProfile};
@@ -93,6 +94,19 @@ pub struct TuneSpace {
     pub batch: Vec<BatchPolicy>,
     /// Candidate ring depths (slots per mqueue).
     pub slots: Vec<usize>,
+    /// Whether the SNIC-resident hot-key cache may be enabled. Defaults
+    /// to `vec![false]` (axis pinned off) so existing spaces and goldens
+    /// are unchanged; workloads with a measured hit rate opt in with
+    /// `vec![false, true]`.
+    pub cache: Vec<bool>,
+    /// Expected cache hit rate of the workload's key distribution when
+    /// the cache is enabled (e.g. ~0.9 for Zipf θ=0.99 over a hot set
+    /// that fits the byte budget). Not a tunable — it is a property of
+    /// the workload, measured or estimated by the caller.
+    pub cache_hit_rate: f64,
+    /// Cache byte budget per SNIC lane carried into the emitted
+    /// deployment when the cache axis picks `true`.
+    pub cache_bytes_per_lane: usize,
     /// I/O stack the server uses.
     pub stack_kind: StackKind,
     /// Distinct client machines driving the server. The batched
@@ -137,6 +151,9 @@ impl TuneSpace {
                 BatchPolicy::Fixed(32),
             ],
             slots: vec![16, 32, 64, 128],
+            cache: vec![false],
+            cache_hit_rate: 0.0,
+            cache_bytes_per_lane: 4 << 20,
             stack_kind: StackKind::Vma,
             client_flows: 2, // the paper's two client machines
             gpu: GpuProfile::reference(),
@@ -168,6 +185,7 @@ impl TuneSpace {
             ("snic_cores", self.snic_cores.is_empty()),
             ("batch", self.batch.is_empty()),
             ("slots", self.slots.is_empty()),
+            ("cache", self.cache.is_empty()),
         ] {
             if empty {
                 return Err(TuneError::EmptySpace { axis });
@@ -237,6 +255,8 @@ pub struct Candidate {
     pub batch: BatchPolicy,
     /// Ring depth per mqueue.
     pub slots: usize,
+    /// Whether the SNIC-resident hot-key cache is enabled.
+    pub cache: bool,
 }
 
 /// Effective drain size of a batching policy at saturation. Adaptive
@@ -306,6 +326,26 @@ pub fn predict(
     let req_bytes = goal.app.request_bytes;
     let resp_bytes = goal.app.response_bytes;
 
+    // --- SNIC-resident hot-key cache -----------------------------------
+    // A fraction `h` of requests is answered at the dispatch stage
+    // without touching the accelerator, its ring, or the forwarder, so
+    // those stages only see the miss traffic: their *served* capacity is
+    // the raw capacity divided by `(1 - h)`. Predicted latency stays the
+    // miss path — conservative, since hits are strictly faster.
+    let h = if cand.cache {
+        space.cache_hit_rate.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let miss = 1.0 - h;
+    let served = |raw: f64| {
+        if miss <= 0.0 {
+            f64::INFINITY
+        } else {
+            raw / miss
+        }
+    };
+
     // --- accelerator capacity ------------------------------------------
     // Every worker-side op runs on a threadblock whose wall time is
     // `work / relative_speed` (the K80 is slower than the reference).
@@ -314,7 +354,7 @@ pub fn predict(
     let accel_capacity = if cand.mqueues_per_gpu > gpu.max_threadblocks {
         0.0 // more persistent workers than the GPU has threadblock slots
     } else {
-        q as f64 / worker_time.as_secs_f64()
+        served(q as f64 / worker_time.as_secs_f64())
     };
 
     // --- ring occupancy -------------------------------------------------
@@ -326,7 +366,7 @@ pub fn predict(
         + detection
         + profile.forward_cost()
         + profile.verb_cost(slot_out);
-    let ring_capacity = (q * cand.slots) as f64 / hold.as_secs_f64();
+    let ring_capacity = served((q * cand.slots) as f64 / hold.as_secs_f64());
 
     // --- wire -----------------------------------------------------------
     let wire_capacity =
@@ -350,8 +390,12 @@ pub fn predict(
     let scan_s = scan.as_secs_f64();
     let (snic_capacity, total_cpu) = if k <= 1 {
         // Unbatched work floats across the whole lane pool; every message
-        // pays a full dispatch and forward cycle including the scan.
-        let total = rx + profile.dispatch_cost() + scan + profile.forward_cost() + scan + tx_single;
+        // pays rx, dispatch (where the cache is consulted) and tx, but
+        // only misses pay the scans and the forward cycle.
+        let total = rx
+            + profile.dispatch_cost()
+            + tx_single
+            + (scan + profile.forward_cost() + scan).mul_f64(miss);
         (lanes / total.as_secs_f64(), total)
     } else {
         // The batched dispatcher drains staged requests up to the policy
@@ -381,7 +425,9 @@ pub fn predict(
         let mut cap = 0.0;
         let mut total_s = f64::INFINITY;
         for _ in 0..8 {
-            let forward_msg_s = (scan_s + fwd_s + (kf - 1.0) * fwd_marg_s) / kf;
+            // Only the miss fraction reaches the forwarder — cache hits
+            // are replied from the dispatch stage via the batched tx.
+            let forward_msg_s = miss * (scan_s + fwd_s + (kf - 1.0) * fwd_marg_s) / kf;
             let tx_msg_s = (tx_s + (kf - 1.0) * tx_batched_s) / kf;
             total_s = rx.as_secs_f64() + dispatch_msg_s + forward_msg_s + tx_msg_s;
             // Three CPU constraints: the whole pool, the pinned pipeline
@@ -390,8 +436,8 @@ pub fn predict(
             cap = (lanes / total_s)
                 .min(pinned / (dispatch_msg_s + forward_msg_s))
                 .min(dispatch_cores / dispatch_msg_s);
-            // The saturated arrival rate each mqueue's forwarder sees.
-            let lambda = cap.min(non_cpu_cap);
+            // The saturated *miss* rate each mqueue's forwarder sees.
+            let lambda = cap.min(non_cpu_cap) * miss;
             let cycle_s = detect_s + scan_s + fwd_s + (kf - 1.0) * fwd_marg_s;
             kf = (lambda / q as f64 * cycle_s).clamp(1.0, k as f64);
         }
@@ -425,7 +471,7 @@ pub fn predict(
         1.0
     };
     let accel_utilization = if capacity > 0.0 {
-        load * worker_time.as_secs_f64() / q as f64
+        load * miss * worker_time.as_secs_f64() / q as f64
     } else {
         1.0
     };
@@ -484,6 +530,9 @@ pub struct TunedConfig {
     pub stack_kind: StackKind,
     /// Control plane carried into the deployment.
     pub control: ControlConfig,
+    /// Hot-key cache configuration carried into the deployment (enabled
+    /// iff the cache axis picked `true`).
+    pub cache: CacheConfig,
     /// SNIC platform the profile maps to.
     pub platform: SnicPlatform,
     /// The model's verdict on the winning candidate.
@@ -496,6 +545,10 @@ impl TunedConfig {
     /// Materializes the tuned knobs as a [`DeployConfig`] ready for
     /// [`DeployConfig::deploy`]. The returned configuration has already
     /// passed the same [`Validate`] checks the builder runs.
+    ///
+    /// When the cache axis picked `true` the caller must still attach a
+    /// [`DeployConfig::cache_protocol`] before deploying — which payloads
+    /// are GETs is application knowledge the tuner does not have.
     pub fn deploy_config(&self) -> DeployConfig {
         DeployConfig {
             platform: self.platform,
@@ -511,6 +564,7 @@ impl TunedConfig {
                 batch: self.candidate.batch,
             },
             control: self.control,
+            cache: self.cache,
             ..DeployConfig::default()
         }
     }
@@ -560,6 +614,9 @@ fn resource_cost(c: &Candidate) -> i64 {
         + (c.snic_cores as i64) * 1_000
         + (c.gpus * c.mqueues_per_gpu) as i64 * 10
         + (c.slots as i64)
+        // SNIC memory is cheap but not free: a cache that buys no
+        // throughput loses the tie to cache-off.
+        + (c.cache as i64)
 }
 
 /// Lexicographic score: larger is better. Throughput is quantized to
@@ -605,22 +662,24 @@ pub fn tune(
             pipe.push((cores, batch));
         }
     }
-    let make = |ix: [usize; 4]| Candidate {
+    let make = |ix: [usize; 5]| Candidate {
         gpus: space.gpus[ix[0]],
         mqueues_per_gpu: space.mqueues_per_gpu[ix[1]],
         snic_cores: pipe[ix[2]].0,
         batch: pipe[ix[2]].1,
         slots: space.slots[ix[3]],
+        cache: space.cache[ix[4]],
     };
     let axis_len = [
         space.gpus.len(),
         space.mqueues_per_gpu.len(),
         pipe.len(),
         space.slots.len(),
+        space.cache.len(),
     ];
 
     let mut evaluations = 0usize;
-    let mut eval = |ix: [usize; 4]| {
+    let mut eval = |ix: [usize; 5]| {
         evaluations += 1;
         let cand = make(ix);
         let pred = predict(profile, goal, space, &cand);
@@ -628,11 +687,11 @@ pub fn tune(
         (cand, pred, s)
     };
 
-    let mut ix = [0usize; 4];
+    let mut ix = [0usize; 5];
     let (mut best_cand, mut best_pred, mut best_score) = eval(ix);
     for _pass in 0..8 {
         let mut moved = false;
-        for axis in 0..4 {
+        for axis in 0..5 {
             for j in 0..axis_len[axis] {
                 if j == ix[axis] {
                     continue;
@@ -666,6 +725,15 @@ pub fn tune(
         slot_size,
         stack_kind: space.stack_kind,
         control: space.control,
+        cache: if best_cand.cache {
+            CacheConfig {
+                enabled: true,
+                bytes_per_lane: space.cache_bytes_per_lane,
+                ..CacheConfig::disabled()
+            }
+        } else {
+            CacheConfig::disabled()
+        },
         platform,
         prediction: best_pred,
         evaluations,
@@ -684,6 +752,7 @@ pub fn tune(
         .check(profile.pipeline_cores())
         .and_then(|()| dc.mq.validate())
         .and_then(|()| dc.control.validate())
+        .and_then(|()| dc.cache.validate())
         .and_then(|()| dc.rmq.validate())
         .map_err(TuneError::Rejected)?;
 
@@ -712,6 +781,7 @@ mod tests {
             snic_cores: 4,
             batch: BatchPolicy::Unbatched,
             slots: 32,
+            cache: false,
         };
         let batched = Candidate {
             batch: BatchPolicy::Fixed(16),
@@ -740,6 +810,7 @@ mod tests {
             snic_cores: 1,
             batch: BatchPolicy::Unbatched,
             slots: 32,
+            cache: false,
         };
         let large = Candidate { gpus: 4, ..small };
         let p_small = predict(&BluefieldProfile, &goal, &space, &small);
@@ -763,11 +834,72 @@ mod tests {
             snic_cores: 1,
             batch: BatchPolicy::Unbatched,
             slots: 16,
+            cache: false,
         };
         let p = predict(&BluefieldProfile, &goal, &space, &cand);
         assert_eq!(p.bottleneck, Stage::Accelerator);
         // One worker at a 2 ms kernel: ~500 req/s.
         assert!(p.throughput < 600.0, "got {}", p.throughput);
+    }
+
+    #[test]
+    fn cache_lifts_an_accelerator_bound_deployment() {
+        let mut space = TuneSpace::bluefield();
+        space.cache_hit_rate = 0.9;
+        // A slow kernel leaves the accelerator as the bottleneck; a 90%
+        // hit rate means only 10% of traffic reaches it, so served
+        // throughput should rise close to 10x.
+        let goal = TuneGoal::maximize(
+            AppProfile::delay_echo(Duration::from_millis(2), 64),
+            Duration::from_millis(50),
+        );
+        let base = Candidate {
+            gpus: 1,
+            mqueues_per_gpu: 1,
+            snic_cores: 1,
+            batch: BatchPolicy::Unbatched,
+            slots: 16,
+            cache: false,
+        };
+        let cached = Candidate {
+            cache: true,
+            ..base
+        };
+        let p0 = predict(&BluefieldProfile, &goal, &space, &base);
+        let p1 = predict(&BluefieldProfile, &goal, &space, &cached);
+        assert!(
+            p1.throughput > p0.throughput * 5.0,
+            "expected the cache to absorb 90% of the load: {} vs {}",
+            p1.throughput,
+            p0.throughput
+        );
+    }
+
+    #[test]
+    fn tune_picks_the_cache_when_the_hit_rate_is_high() {
+        let mut space = TuneSpace::bluefield();
+        space.cache = vec![false, true];
+        space.cache_hit_rate = 0.95;
+        let goal = TuneGoal::maximize(
+            AppProfile::delay_echo(Duration::from_millis(2), 64),
+            Duration::from_millis(50),
+        );
+        let tuned = tune(&BluefieldProfile, &goal, &space).expect("tunable");
+        assert!(tuned.candidate.cache, "got {:?}", tuned.candidate);
+        assert!(tuned.cache.enabled);
+        assert_eq!(tuned.cache.bytes_per_lane, space.cache_bytes_per_lane);
+        assert!(tuned.deploy_config().cache.enabled);
+    }
+
+    #[test]
+    fn zero_hit_rate_keeps_the_cache_off() {
+        let mut space = TuneSpace::bluefield();
+        space.cache = vec![false, true];
+        // cache_hit_rate stays 0.0: enabling the cache buys nothing and
+        // costs a resource tie-break point.
+        let tuned = tune(&BluefieldProfile, &echo_goal(), &space).expect("tunable");
+        assert!(!tuned.candidate.cache);
+        assert!(!tuned.cache.enabled);
     }
 
     #[test]

@@ -139,6 +139,7 @@ proptest! {
             snic_cores: cores,
             batch: if k == 0 { BatchPolicy::Unbatched } else { BatchPolicy::Fixed(k) },
             slots,
+            cache: false,
         };
         let space = TuneSpace::bluefield();
         let a = predict(&BluefieldProfile, &goal, &space, &cand);

@@ -1,0 +1,427 @@
+//! The SNIC-resident hot-key cache end to end: write-through
+//! invalidation on the wire, the serve-stale degradation control loop,
+//! and byte-identity of cache-enabled runs across scheduler backends
+//! (the CI matrix reruns this file under `LYNX_SIM_THREADS=1/2/8`).
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use lynx::apps::kv::{self, KvStore};
+use lynx::core::testbed::{deploy_processor, DeployConfig, Machine};
+use lynx::core::{CacheConfig, CacheOp, CacheProtocol, ControlConfig, MqueueConfig, ServiceId};
+use lynx::device::{GpuSpec, RequestProcessor};
+use lynx::net::{HostStack, LinkSpec, Network, Platform, SockAddr, StackKind, StackProfile};
+use lynx::sim::{MultiServer, SchedulerKind, Sim, Telemetry};
+use lynx::workload::{run_measured, ClosedLoopClient, RunSpec, ZipfKeyGen};
+
+/// The kv wire format as a [`CacheProtocol`] (mirrors the adapter
+/// `lynx-bench` uses for fig9b; root tests cannot depend on the bench
+/// crate, so the handful of lines is restated here).
+#[derive(Clone, Copy, Debug, Default)]
+struct KvWire;
+
+impl CacheProtocol for KvWire {
+    fn classify(&self, payload: &[u8]) -> CacheOp {
+        match kv::Request::decode(payload) {
+            Some(kv::Request::Get { key }) => CacheOp::Get(key),
+            Some(kv::Request::Set { key, .. }) => CacheOp::Set(key),
+            None => CacheOp::Other,
+        }
+    }
+
+    fn cacheable_response(&self, response: &[u8]) -> bool {
+        matches!(kv::Response::decode(response), Some(kv::Response::Value(_)))
+    }
+}
+
+/// A kv store as a slow accelerator kernel: every request costs
+/// `service_time` on the reference GPU, so a small fleet saturates at a
+/// few tens of Kreq/s and the SNIC cache's contribution is visible.
+struct SlowKv {
+    store: Rc<RefCell<KvStore>>,
+    service_time: Duration,
+}
+
+impl fmt::Debug for SlowKv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlowKv").finish_non_exhaustive()
+    }
+}
+
+impl RequestProcessor for SlowKv {
+    fn name(&self) -> &str {
+        "slow-kv"
+    }
+
+    fn service_time(&self, _request: &[u8]) -> Duration {
+        self.service_time
+    }
+
+    fn process(&self, request: &[u8]) -> Vec<u8> {
+        kv::execute_wire(&mut self.store.borrow_mut(), request)
+    }
+}
+
+fn client_stack(net: &Network, name: &str) -> HostStack {
+    let host = net.add_host(name, LinkSpec::gbps40());
+    HostStack::new(
+        net,
+        host,
+        MultiServer::new(2, 1.0),
+        StackProfile::of(Platform::Xeon, StackKind::Vma),
+    )
+}
+
+fn get(key: &str) -> Vec<u8> {
+    kv::Request::Get {
+        key: key.as_bytes().to_vec(),
+    }
+    .encode()
+}
+
+fn counter(t: &Telemetry, name: &str) -> u64 {
+    t.counters()
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// GET → fill, GET → hit, write-through SET → invalidate, GET → miss
+/// (the stale entry is invisible outside degradation) → refill → hit,
+/// all observed from the wire with a single outstanding request.
+#[test]
+fn write_through_set_invalidates_and_the_next_get_refills() {
+    let mut sim = Sim::new(11);
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let store = Rc::new(RefCell::new(KvStore::new(1 << 20)));
+    store.borrow_mut().set(b"alpha".to_vec(), b"v1".to_vec());
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 1,
+        cache: CacheConfig {
+            enabled: true,
+            bytes_per_lane: 1 << 16,
+            ..CacheConfig::disabled()
+        },
+        cache_protocol: Some(Rc::new(KvWire)),
+        ..DeployConfig::default()
+    };
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(SlowKv {
+            store,
+            service_time: Duration::from_micros(50),
+        }),
+    );
+    // One outstanding request keeps the script strictly ordered.
+    let client = ClosedLoopClient::new(
+        client_stack(&net, "client"),
+        d.server_addr,
+        1,
+        Rc::new(|seq| match seq {
+            2 => kv::Request::Set {
+                key: b"alpha".to_vec(),
+                val: b"v2".to_vec(),
+            }
+            .encode(),
+            _ => get("alpha"),
+        }),
+    )
+    .validate(|seq, p| match (seq, kv::Response::decode(p)) {
+        (2, Some(kv::Response::Stored)) => true,
+        (0 | 1, Some(kv::Response::Value(v))) => v == b"v1",
+        (_, Some(kv::Response::Value(v))) => v == b"v2",
+        _ => false,
+    });
+    let spec = RunSpec {
+        warmup: Duration::from_millis(1),
+        measure: Duration::from_millis(20),
+    };
+    let summary = run_measured(&mut sim, &[&client], spec);
+    assert_eq!(summary.invalid, 0, "every scripted response must match");
+    assert!(summary.received > 10);
+
+    let stats = d.server.cache_stats();
+    // seq 0 misses cold, seq 3 misses because the SET marked the entry
+    // stale (not evicted — serve-stale keeps it); everything else hits.
+    assert_eq!(stats.misses, 2, "cold miss + post-invalidation miss");
+    assert_eq!(stats.fills, 2, "each miss response refills");
+    assert_eq!(stats.invalidations, 1, "the SET wrote through once");
+    // Count against the server's own request total: `summary.sent` only
+    // covers the measured phase, while the counters span warmup too. The
+    // last request may still be in flight when the run ends, so allow a
+    // one-request gap.
+    let requests = d.server.stats().requests;
+    let expected = requests - 3; // minus 2 misses and 1 SET
+    assert!(
+        stats.hits == expected || stats.hits == expected - 1,
+        "all GETs but two misses and one SET hit: {} vs {expected}",
+        stats.hits
+    );
+    assert!(d.server.cache_bytes() > 0);
+}
+
+/// The serve-stale control loop. A flood of uncacheable (absent-key)
+/// GETs saturates the accelerator fleet while a steady hot-key flow
+/// rides along:
+///
+/// * degradation engages once occupancy crosses the band — with the
+///   token bucket sized above the admitted load, `dispatch.shed` stays
+///   zero, i.e. cache-only degradation acts strictly *before*
+///   token-bucket shedding;
+/// * while degraded, hot-key GETs are answered from the SNIC cache ahead
+///   of admission (the hits counter keeps climbing);
+/// * when the flood stops, occupancy falls and the service disengages
+///   only after `hysteresis` consecutive calm windows.
+#[test]
+fn degradation_engages_before_shedding_and_recovers_with_hysteresis() {
+    let mut sim = Sim::new(33);
+    let telemetry = sim.enable_telemetry();
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let mut sites = Vec::new();
+    for _ in 0..2 {
+        let gpu = machine.add_gpu(GpuSpec::k80());
+        sites.push(machine.gpu_site(&gpu));
+    }
+    let store = Rc::new(RefCell::new(KvStore::new(1 << 20)));
+    for k in 0..16 {
+        store
+            .borrow_mut()
+            .set(format!("hot-{k:03}").into_bytes(), vec![0xCD; 32]);
+    }
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 1,
+        mq: MqueueConfig {
+            slots: 16,
+            slot_size: 512,
+            ..MqueueConfig::default()
+        },
+        control: ControlConfig {
+            min_workers: 2,
+            max_workers: 2,
+            scan_interval: Duration::from_micros(200),
+            hysteresis: 2,
+            // Far above what two 100 µs workers admit: the bucket never
+            // sheds in this test, so any overload response is the
+            // degradation switch, not admission control.
+            admission_rate: 500_000.0,
+            admission_burst: 64.0,
+            degrade_occupancy: 0.85,
+            degrade_recover_occupancy: 0.4,
+            ..ControlConfig::default()
+        },
+        cache: CacheConfig {
+            enabled: true,
+            bytes_per_lane: 1 << 18,
+            ..CacheConfig::disabled()
+        },
+        cache_protocol: Some(Rc::new(KvWire)),
+        ..DeployConfig::default()
+    };
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &sites,
+        &cfg,
+        Rc::new(SlowKv {
+            store,
+            service_time: Duration::from_micros(100),
+        }),
+    );
+    let svc = ServiceId::DEFAULT;
+    let addr = d.server_addr;
+
+    // Hot-key flow: fixed-gap GETs over the preloaded keys; replies are
+    // tallied client-side (a cached Value vs the empty shed marker).
+    let hot_stack = client_stack(&net, "hot-client");
+    let hot_values = Rc::new(Cell::new(0u64));
+    let hot_shed = Rc::new(Cell::new(0u64));
+    {
+        let (values, shed) = (Rc::clone(&hot_values), Rc::clone(&hot_shed));
+        hot_stack.bind_udp_default(move |_, dg| {
+            if dg.payload.is_empty() {
+                shed.set(shed.get() + 1);
+            } else if matches!(
+                kv::Response::decode(&dg.payload),
+                Some(kv::Response::Value(_))
+            ) {
+                values.set(values.get() + 1);
+            }
+        });
+    }
+    // A single source port keeps the whole hot flow on one dispatch
+    // lane (lanes shard by flow), so each key cold-misses exactly once.
+    fn hot_tick(sim: &mut Sim, stack: HostStack, dst: SockAddr, n: u64) {
+        stack.send_udp(sim, 9000, dst, get(&format!("hot-{:03}", n % 16)));
+        sim.schedule_in(Duration::from_micros(250), move |sim| {
+            hot_tick(sim, stack, dst, n + 1)
+        });
+    }
+    {
+        let stack = hot_stack.clone();
+        sim.schedule_in(Duration::from_micros(10), move |sim| {
+            hot_tick(sim, stack, addr, 0)
+        });
+    }
+
+    // Flood: absent-key GETs (their Miss responses are not cacheable, so
+    // they always occupy the accelerator path). Rate switches per phase.
+    let flood_rate = Rc::new(Cell::new(0.0f64));
+    let flood_stack = client_stack(&net, "flood-client");
+    flood_stack.bind_udp_default(|_, _| {});
+    fn flood_tick(sim: &mut Sim, stack: HostStack, dst: SockAddr, rate: Rc<Cell<f64>>, n: u64) {
+        let r = rate.get();
+        if r > 0.0 {
+            stack.send_udp(
+                sim,
+                10_000 + (n % 10_000) as u16,
+                dst,
+                get(&format!("absent-{n:012}")),
+            );
+        }
+        let gap = Duration::from_secs_f64(1.0 / r.max(1_000.0));
+        sim.schedule_in(gap, move |sim| flood_tick(sim, stack, dst, rate, n + 1));
+    }
+    {
+        let (stack, rate) = (flood_stack.clone(), Rc::clone(&flood_rate));
+        sim.schedule_in(Duration::from_micros(5), move |sim| {
+            flood_tick(sim, stack, addr, rate, 0)
+        });
+    }
+
+    // Phase A — hot flow only, well under capacity: the cache warms up
+    // (one cold miss per key and lane) and nothing degrades.
+    sim.run_for(Duration::from_millis(10));
+    assert!(!d.server.degraded(svc), "no overload yet");
+    assert_eq!(d.server.degrade_transitions(), (0, 0));
+    let warm_hits = d.server.cache_stats().hits;
+    assert!(warm_hits > 0, "hot keys must be cache hits after warmup");
+
+    // Phase B — 80 Kreq/s of absent keys against ~20 Kreq/s of fleet
+    // capacity: occupancy pins at 1.0 and the switch must engage.
+    flood_rate.set(80_000.0);
+    sim.run_for(Duration::from_millis(30));
+    assert!(d.server.degraded(svc), "sustained overload must degrade");
+    let (on, _) = d.server.degrade_transitions();
+    assert!(on >= 1);
+    assert_eq!(
+        counter(&telemetry, "dispatch.shed"),
+        0,
+        "degradation must act before the token bucket sheds anything"
+    );
+    let hits_in_b = d.server.cache_stats().hits - warm_hits;
+    assert!(
+        hits_in_b > 50,
+        "hot keys must keep flowing from the cache under degradation, got {hits_in_b}"
+    );
+    assert_eq!(hot_shed.get(), 0, "no hot-key request was shed");
+
+    // Phase C — flood stops; after the queues drain, `hysteresis`
+    // consecutive calm windows release the switch.
+    flood_rate.set(0.0);
+    sim.run_for(Duration::from_millis(30));
+    assert!(!d.server.degraded(svc), "calm traffic must recover");
+    let (on, off) = d.server.degrade_transitions();
+    assert!(on >= 1 && on == off, "every engage has a matching release");
+    assert_eq!(counter(&telemetry, "control.degrade_on"), on);
+    assert_eq!(counter(&telemetry, "control.degrade_off"), off);
+    assert_eq!(telemetry.gauge_value("control.svc0.degraded"), Some(0.0));
+    assert!(hot_values.get() > 100, "hot flow was served throughout");
+}
+
+/// One cache-enabled closed-loop run under an explicit scheduler
+/// backend, fully traced.
+fn traced_cache_run(seed: u64, kind: SchedulerKind) -> (Telemetry, u64, u64, String) {
+    let mut sim = Sim::with_scheduler(seed, kind);
+    let telemetry = sim.enable_telemetry();
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let store = Rc::new(RefCell::new(KvStore::new(1 << 20)));
+    for k in 0..500 {
+        store
+            .borrow_mut()
+            .set(format!("key-{k:06}").into_bytes(), vec![0xEE; 24]);
+    }
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 2,
+        cache: CacheConfig {
+            enabled: true,
+            bytes_per_lane: 1 << 16,
+            ..CacheConfig::disabled()
+        },
+        cache_protocol: Some(Rc::new(KvWire)),
+        ..DeployConfig::default()
+    };
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(SlowKv {
+            store,
+            service_time: Duration::from_micros(40),
+        }),
+    );
+    let keys = ZipfKeyGen::new(500, 0.99, seed);
+    let client = ClosedLoopClient::new(
+        client_stack(&net, "client"),
+        d.server_addr,
+        8,
+        Rc::new(move |seq| get(&keys.key(seq))),
+    )
+    .validate(|_, p| matches!(kv::Response::decode(p), Some(kv::Response::Value(_))));
+    let summary = run_measured(&mut sim, &[&client], RunSpec::quick());
+    assert_eq!(summary.invalid, 0);
+    let stats = d.server.cache_stats();
+    assert!(stats.hits > 0, "a Zipf stream over a warm cache must hit");
+    (
+        telemetry,
+        stats.hits,
+        stats.misses,
+        format!("{:.6}", summary.throughput),
+    )
+}
+
+/// Cache-enabled same-seed runs are byte-identical across every
+/// scheduler backend (the CLOCK cache adds no nondeterminism). The CI
+/// thread matrix reruns this under `LYNX_SIM_THREADS=1/2/8`.
+#[test]
+fn cache_enabled_runs_are_byte_identical_across_schedulers() {
+    let (base_t, base_hits, base_misses, base_tput) = traced_cache_run(4242, SchedulerKind::Heap);
+    assert!(base_t.event_count() > 100, "trace must be non-trivial");
+    for kind in [SchedulerKind::Wheel, SchedulerKind::Hybrid] {
+        let (t, hits, misses, tput) = traced_cache_run(4242, kind);
+        assert_eq!(base_hits, hits, "{kind:?}: hit counts diverge");
+        assert_eq!(base_misses, misses, "{kind:?}: miss counts diverge");
+        assert_eq!(base_tput, tput, "{kind:?}: throughput diverges");
+        assert_eq!(
+            base_t.to_jsonl(),
+            t.to_jsonl(),
+            "{kind:?}: trace bytes diverge"
+        );
+        assert_eq!(
+            base_t.counters(),
+            t.counters(),
+            "{kind:?}: counters diverge"
+        );
+        assert_eq!(base_t.gauges(), t.gauges(), "{kind:?}: gauges diverge");
+    }
+    // And plain same-seed repetition is exact, too.
+    let (t2, hits2, misses2, tput2) = traced_cache_run(4242, SchedulerKind::Heap);
+    assert_eq!(base_hits, hits2);
+    assert_eq!(base_misses, misses2);
+    assert_eq!(base_tput, tput2);
+    assert_eq!(base_t.to_jsonl(), t2.to_jsonl());
+}
