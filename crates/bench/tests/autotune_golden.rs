@@ -75,7 +75,7 @@ fn tuned_fig8b_config_is_pinned() {
 fn tuned_fig8b_deployment_replays_byte_identically() {
     let (goal, space) = fig8b_tuning();
     let tuned = tune(&BluefieldProfile, &goal, &space).expect("fig8b goal is feasible");
-    let cfg: DeployConfig = tuned.deploy_config();
+    let cfg: DeployConfig = tuned.deploy_config(None);
     assert_eq!(cfg.mq.slots, 16);
     assert_eq!(
         cfg.pipeline,

@@ -202,6 +202,18 @@ struct Slot {
 /// control plane degrades to cache-only answers under overload
 /// (serve-stale). Stale entries remain eviction candidates like any
 /// other slot.
+///
+/// # Fill leases
+///
+/// A miss's response only populates the cache after a round trip to the
+/// accelerator, during which a write-through SET may overwrite the key.
+/// Filling unconditionally would resurrect the pre-SET value with the
+/// stale bit cleared — a fresh lookup could then serve the overwritten
+/// value forever. Memcached-style leases close the race: the first miss
+/// takes a lease ([`SnicCache::begin_fill`]; concurrent misses for the
+/// same key get none and simply don't fill), an invalidation voids it,
+/// and the response is only admitted when its lease is still current
+/// ([`SnicCache::fill_leased`]).
 #[derive(Debug)]
 pub struct SnicCache {
     budget: usize,
@@ -211,6 +223,11 @@ pub struct SnicCache {
     free: Vec<usize>,
     hand: usize,
     len: usize,
+    /// Outstanding fill leases: key → the token of the first in-flight
+    /// miss for it. Exact-key access only — no iteration order can leak.
+    leases: HashMap<Vec<u8>, u64>,
+    /// Monotonic lease token source.
+    lease_seq: u64,
 }
 
 impl SnicCache {
@@ -224,6 +241,8 @@ impl SnicCache {
             free: Vec::new(),
             hand: 0,
             len: 0,
+            leases: HashMap::new(),
+            lease_seq: 0,
         }
     }
 
@@ -300,9 +319,55 @@ impl SnicCache {
         true
     }
 
-    /// Marks any entry for `key` stale. Returns whether an entry was
-    /// present (and fresh) to invalidate.
+    /// Takes a fill lease for `key` at miss time. The returned token must
+    /// accompany the eventual [`SnicCache::fill_leased`]. First holder
+    /// wins: while a lease for the key is outstanding, concurrent misses
+    /// get `None` (their responses are served but not cached) — a
+    /// same-key miss storm warms the cache exactly once instead of each
+    /// newcomer voiding its predecessor's fill.
+    pub fn begin_fill(&mut self, key: &[u8]) -> Option<u64> {
+        if self.leases.contains_key(key) {
+            return None;
+        }
+        self.lease_seq += 1;
+        let token = self.lease_seq;
+        self.leases.insert(key.to_vec(), token);
+        Some(token)
+    }
+
+    /// Inserts `key → response` only if the lease taken at miss time is
+    /// still current — i.e. no invalidation happened while the request
+    /// was in flight. The lease is consumed either way; a voided lease
+    /// leaves the cache untouched and returns `false`.
+    pub fn fill_leased(&mut self, key: &[u8], response: &[u8], token: u64) -> bool {
+        if self.leases.get(key) != Some(&token) {
+            return false;
+        }
+        self.leases.remove(key);
+        self.fill(key, response)
+    }
+
+    /// Releases a fill lease whose response will never arrive (request
+    /// dropped, offloaded, lost to a fault, or its response was not
+    /// cacheable), so a later miss can lease the key again. A lease the
+    /// token no longer owns is left alone.
+    pub fn abandon_fill(&mut self, key: &[u8], token: u64) {
+        if self.leases.get(key) == Some(&token) {
+            self.leases.remove(key);
+        }
+    }
+
+    /// Outstanding fill leases (for tests and introspection).
+    pub fn leases(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Marks any entry for `key` stale and voids any outstanding fill
+    /// lease for it, so an in-flight miss response dispatched before this
+    /// write cannot resurrect the overwritten value. Returns whether an
+    /// entry was present (and fresh) to invalidate.
     pub fn invalidate(&mut self, key: &[u8]) -> bool {
+        self.leases.remove(key);
         match self.index.get(key) {
             Some(&i) => {
                 let slot = &mut self.slots[i];
@@ -438,6 +503,58 @@ mod tests {
             .sum();
         assert_eq!(live_bytes, c.bytes());
         assert_eq!(c.index.len(), c.len());
+    }
+
+    #[test]
+    fn invalidation_voids_an_outstanding_fill_lease() {
+        let mut c = SnicCache::new(1024);
+        c.fill(b"k", b"v1");
+        // A miss takes a lease; a racing write-through SET voids it, so
+        // the in-flight pre-SET response must be refused.
+        let token = c.begin_fill(b"k").expect("no lease outstanding");
+        assert!(c.invalidate(b"k"));
+        assert!(!c.fill_leased(b"k", b"v1-stale", token));
+        assert_eq!(
+            c.lookup(b"k", false),
+            None,
+            "stale value must not resurrect"
+        );
+        assert_eq!(
+            c.lookup(b"k", true),
+            Some(&b"v1"[..]),
+            "serve-stale still sees the pre-SET value"
+        );
+        // The next miss re-leases and its response fills normally.
+        let token = c.begin_fill(b"k").expect("invalidation released the lease");
+        assert!(c.fill_leased(b"k", b"v2", token));
+        assert_eq!(c.lookup(b"k", false), Some(&b"v2"[..]));
+        assert_eq!(c.leases(), 0);
+    }
+
+    #[test]
+    fn first_lease_wins_a_concurrent_miss_storm() {
+        let mut c = SnicCache::new(1024);
+        let t1 = c.begin_fill(b"k").expect("first miss leases");
+        // Concurrent misses for the same key get no lease: they must not
+        // void the first holder's fill, or a miss storm on a hot key
+        // would keep the cache cold forever.
+        assert_eq!(c.begin_fill(b"k"), None);
+        assert_eq!(c.begin_fill(b"k"), None);
+        assert!(c.fill_leased(b"k", b"v", t1), "first holder's fill lands");
+        assert_eq!(c.lookup(b"k", false), Some(&b"v"[..]));
+        assert_eq!(c.leases(), 0);
+    }
+
+    #[test]
+    fn abandon_releases_only_the_matching_lease() {
+        let mut c = SnicCache::new(1024);
+        let t1 = c.begin_fill(b"k").expect("first miss leases");
+        c.abandon_fill(b"k", t1);
+        assert_eq!(c.leases(), 0, "abandon lets a later miss re-lease");
+        let t2 = c.begin_fill(b"k").expect("released");
+        c.abandon_fill(b"k", t2.wrapping_add(1)); // stranger's token: no-op
+        assert_eq!(c.leases(), 1);
+        assert!(c.fill_leased(b"k", b"v", t2));
     }
 
     #[test]

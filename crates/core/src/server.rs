@@ -262,22 +262,38 @@ impl ServiceId {
 struct QueueHealth {
     last_responses: u64,
     last_progress: Time,
+    /// The per-queue request↔response FIFO has lost an entry (a request
+    /// was quarantined or a response gave up post-acceptance), so path
+    /// and latency matching is suspended until the queue fully drains —
+    /// a misaligned pop would pair a response with the wrong request and
+    /// fill the cache under the wrong key.
+    path_lost: bool,
+}
+
+/// Where a cacheable GET miss's response should land: the lane cache, the
+/// namespaced key, and the fill lease taken at miss time (see
+/// [`SnicCache::begin_fill`] — a SET dispatched while the miss is in
+/// flight voids the lease, so the pre-SET response cannot resurrect).
+struct FillSlot {
+    lane: usize,
+    key: Vec<u8>,
+    token: u64,
 }
 
 /// One accelerator-path request in flight: when it was dispatched and,
 /// for cacheable GET misses, where its response should be cached.
 struct PathEntry {
     at: Time,
-    fill: Option<(usize, Vec<u8>)>,
+    fill: Option<FillSlot>,
 }
 
 /// What the dispatch-stage cache consult decided for one request.
 enum CacheOutcome {
     /// Fresh cached value: reply from the SNIC, skip the mqueue.
     Hit(Payload),
-    /// Take the accelerator path; `Some` carries the (lane, key) slot a
+    /// Take the accelerator path; `Some` carries the leased cache slot a
     /// cacheable response should fill on the way back.
-    Miss(Option<(usize, Vec<u8>)>),
+    Miss(Option<FillSlot>),
 }
 
 struct Service {
@@ -485,6 +501,7 @@ impl LynxServer {
             svc.health.push(QueueHealth {
                 last_responses: 0,
                 last_progress: Time::ZERO,
+                path_lost: false,
             });
             svc.control.pending.push(VecDeque::new());
             svc.path.push(VecDeque::new());
@@ -769,7 +786,18 @@ impl LynxServer {
                             .sites
                             .cache_misses
                             .add(&inner.stats, "cache.misses", 1);
-                        CacheOutcome::Miss(Some((lane, ckey)))
+                        // Lease the slot now: a SET racing the round trip
+                        // voids the lease, so the response cannot install
+                        // the overwritten value (memcached-style lease).
+                        // While another miss for the key is in flight no
+                        // lease is granted — this response is served but
+                        // not cached.
+                        let fill = inner.caches[lane].begin_fill(&ckey).map(|token| FillSlot {
+                            lane,
+                            key: ckey,
+                            token,
+                        });
+                        CacheOutcome::Miss(fill)
                     }
                 }
             }
@@ -796,9 +824,45 @@ impl LynxServer {
         }
     }
 
+    /// Releases a leased fill slot whose response will never arrive
+    /// (request dropped, offloaded, rejected by the transport, or its
+    /// path entry discarded). A no-op for non-cacheable requests.
+    fn release_fill(inner: &mut Inner, fill: Option<FillSlot>) {
+        if let Some(f) = fill {
+            inner.caches[f.lane].abandon_fill(&f.key, f.token);
+        }
+    }
+
+    /// Discards all request↔response matching state for queue `qi` of
+    /// service `i` and taints the queue: entries already recorded can no
+    /// longer be trusted to line up with the responses still in flight,
+    /// so matching stays suspended (no new entries recorded, collected
+    /// responses unmatched) until the queue fully drains — the only
+    /// point where the FIFO pairing is known-good again.
+    fn reset_queue_path(inner: &mut Inner, i: usize, qi: usize) {
+        let svc = &mut inner.services[i];
+        let was_tainted = svc.health[qi].path_lost;
+        let fills: Vec<Option<FillSlot>> = svc.path[qi].drain(..).map(|e| e.fill).collect();
+        svc.control.pending[qi].clear();
+        svc.health[qi].path_lost = true;
+        for fill in fills {
+            Self::release_fill(inner, fill);
+        }
+        if !was_tainted {
+            inner.stats.count("server.path_resets", 1);
+        }
+    }
+
     /// Serve-stale lookup for a degraded service, ahead of admission
     /// control. Returns `true` when the request was answered from the
     /// cache (nothing further to do).
+    ///
+    /// A degraded answer is not free: the classify + lookup runs in the
+    /// dispatch stage like any other consult, so the full dispatch cost
+    /// is charged on the request's lane before the reply goes out —
+    /// mirroring [`Self::consult_cache`]'s cost story. Degraded-mode
+    /// simulated throughput therefore stays bounded by the same SNIC CPU
+    /// model as normal-mode hits.
     fn try_degraded_hit(
         &self,
         sim: &mut Sim,
@@ -807,7 +871,7 @@ impl LynxServer {
         key: u64,
         payload: &Payload,
     ) -> bool {
-        let resp = {
+        let (resp, stack, cost, lane, batched) = {
             let mut inner = self.inner.borrow_mut();
             if !inner.cache_cfg.enabled || !inner.services[service.0].control.degrade.active {
                 return false;
@@ -820,7 +884,7 @@ impl LynxServer {
             };
             let ckey = cache_key(service, &k);
             let lane = inner.pipeline.config().shard_of(key);
-            match inner.caches[lane].lookup(&ckey, true).map(<[u8]>::to_vec) {
+            let resp = match inner.caches[lane].lookup(&ckey, true).map(<[u8]>::to_vec) {
                 Some(r) => {
                     inner.sites.cache_hits.add(&inner.stats, "cache.hits", 1);
                     r
@@ -829,9 +893,26 @@ impl LynxServer {
                 // continues to admission and, if admitted, the normal
                 // dispatch consult counts it once.
                 None => return false,
-            }
+            };
+            (
+                resp,
+                inner.stack.clone(),
+                Self::dispatch_cost(&inner),
+                lane,
+                inner.pipeline.config().is_batched(),
+            )
         };
-        self.send_reply(sim, service, ret, Payload::from(resp));
+        let this = self.clone();
+        let payload = Payload::from(resp);
+        if batched {
+            stack.charge_on(sim, lane, cost, move |sim| {
+                this.send_reply(sim, service, ret, payload);
+            });
+        } else {
+            stack.charge(sim, cost, move |sim| {
+                this.send_reply(sim, service, ret, payload);
+            });
+        }
         true
     }
 
@@ -1012,7 +1093,7 @@ impl LynxServer {
             rmq: Rc<RemoteMqManager>,
             mq: Mqueue,
             items: Vec<(ReturnAddr, Payload)>,
-            fills: Vec<Option<(usize, Vec<u8>)>>,
+            fills: Vec<Option<FillSlot>>,
         }
         let mut groups: Vec<Group> = Vec::new();
         let mut traces: Vec<(&'static str, Option<String>)> = Vec::new();
@@ -1036,6 +1117,9 @@ impl LynxServer {
                         if let Some((resp, work)) =
                             Self::try_offload(&mut inner, req.service, &req.payload)
                         {
+                            // The kernel answers instead of the
+                            // accelerator: no response will fill.
+                            Self::release_fill(&mut inner, fill);
                             offload_work += work;
                             offloads.push((req.service, req.ret, resp));
                             continue;
@@ -1067,7 +1151,12 @@ impl LynxServer {
                                     }),
                                 }
                             }
-                            None => traces.push((policy, None)),
+                            None => {
+                                // Dropped (all queues full): no response
+                                // will ever fill the leased slot.
+                                Self::release_fill(&mut inner, fill);
+                                traces.push((policy, None));
+                            }
                         }
                     }
                 }
@@ -1110,6 +1199,10 @@ impl LynxServer {
                 if result.is_ok() {
                     accepted += 1;
                     self.note_path(now, g.service, g.qi, fill);
+                } else if fill.is_some() {
+                    // Rejected by backpressure/transport: the leased slot
+                    // will never see a response.
+                    Self::release_fill(&mut self.inner.borrow_mut(), fill);
                 }
             }
             self.note_dispatched(now, g.service, g.qi, accepted);
@@ -1161,7 +1254,12 @@ impl LynxServer {
                 CacheOutcome::Hit(resp) => (Some(Fast::CacheHit(resp)), None),
                 CacheOutcome::Miss(fill) => {
                     match Self::try_offload(&mut inner, service, &payload) {
-                        Some((resp, work)) => (Some(Fast::Offload(resp, work)), None),
+                        Some((resp, work)) => {
+                            // The kernel answers instead of the
+                            // accelerator: no response will fill.
+                            Self::release_fill(&mut inner, fill);
+                            (Some(Fast::Offload(resp, work)), None)
+                        }
                         None => (None, fill),
                     }
                 }
@@ -1209,6 +1307,8 @@ impl LynxServer {
                 if rmq.push_request(sim, &mq, ret, &payload, |_, _| {}).is_ok() {
                     self.note_dispatched(sim.now(), service, qi, 1);
                     self.note_path(sim.now(), service, qi, fill);
+                } else if fill.is_some() {
+                    Self::release_fill(&mut self.inner.borrow_mut(), fill);
                 }
             }
             None => {
@@ -1216,6 +1316,11 @@ impl LynxServer {
                     policy,
                     queue: None,
                 });
+                if fill.is_some() {
+                    // Dropped (all queues full): no response will ever
+                    // fill the leased slot.
+                    Self::release_fill(&mut self.inner.borrow_mut(), fill);
+                }
             }
         }
     }
@@ -1519,7 +1624,8 @@ impl LynxServer {
             let threshold = inner.recovery.stall_threshold;
             let stats = inner.stats.clone();
             let mut live_work = false;
-            for svc in inner.services.iter_mut() {
+            let mut resets: Vec<(usize, usize)> = Vec::new();
+            for (i, svc) in inner.services.iter_mut().enumerate() {
                 for qi in 0..svc.mqs.len() {
                     let mq = &svc.mqs[qi];
                     let responses = mq.responses();
@@ -1529,6 +1635,10 @@ impl LynxServer {
                     if progressed || in_flight == 0 {
                         h.last_responses = responses;
                         h.last_progress = now;
+                    }
+                    if in_flight == 0 && h.path_lost {
+                        // Fully drained: FIFO pairing is back in sync.
+                        h.path_lost = false;
                     }
                     if svc.dispatcher.is_quarantined(qi) {
                         // Re-admit on any sign of life: new responses, or a
@@ -1548,10 +1658,18 @@ impl LynxServer {
                         svc.dispatcher.quarantine(qi);
                         stats.count("dispatch.quarantined", 1);
                         acts.push(Act::Quarantine(mq.label()));
+                        // A quarantined queue may have dropped requests on
+                        // the floor (crash) — its recorded entries can no
+                        // longer be trusted to line up with whatever it
+                        // sends after readmission.
+                        resets.push((i, qi));
                     } else if in_flight > 0 {
                         live_work = true;
                     }
                 }
+            }
+            for (i, qi) in resets {
+                Self::reset_queue_path(&mut inner, i, qi);
             }
             if !live_work {
                 inner.monitor_armed = false;
@@ -1611,6 +1729,10 @@ impl LynxServer {
             return;
         }
         let svc = &mut inner.services[service.0];
+        if svc.health[qi].path_lost {
+            // Matching is suspended until the queue drains.
+            return;
+        }
         if let Some(q) = svc.control.pending.get_mut(qi) {
             for _ in 0..k {
                 q.push_back(now);
@@ -1622,14 +1744,24 @@ impl LynxServer {
     /// the dispatch timestamp and, for a cacheable GET miss, the cache
     /// slot its response should fill. No-op unless the cache or
     /// path-latency tracking needs it.
-    fn note_path(&self, now: Time, service: ServiceId, qi: usize, fill: Option<(usize, Vec<u8>)>) {
+    fn note_path(&self, now: Time, service: ServiceId, qi: usize, fill: Option<FillSlot>) {
         let mut inner = self.inner.borrow_mut();
         if !inner.track_path() {
+            Self::release_fill(&mut inner, fill);
+            return;
+        }
+        if inner.services[service.0].health[qi].path_lost {
+            // Matching is suspended until the queue drains: recording an
+            // entry now would pair it with one of the orphaned responses
+            // still in flight.
+            Self::release_fill(&mut inner, fill);
             return;
         }
         let svc = &mut inner.services[service.0];
-        if let Some(q) = svc.path.get_mut(qi) {
-            q.push_back(PathEntry { at: now, fill });
+        if qi < svc.path.len() {
+            svc.path[qi].push_back(PathEntry { at: now, fill });
+        } else {
+            Self::release_fill(&mut inner, fill);
         }
     }
 
@@ -1655,6 +1787,27 @@ impl LynxServer {
         if !control_on && !track {
             return;
         }
+        // Integrity: every accepted request records one entry and every
+        // collected response pops one, and the transport completes this
+        // batch before handing it over — so the deques must hold exactly
+        // in_flight + responses.len() entries right now. More means a
+        // response was discarded post-acceptance (transport give-up):
+        // popping would pair later responses with earlier requests and
+        // fill the cache under the wrong key. Reset and re-sync once the
+        // queue drains.
+        let lost = {
+            let svc = &inner.services[service.0];
+            let expected = svc.mqs[qi].in_flight() + responses.len();
+            svc.path.get(qi).is_some_and(|q| q.len() > expected)
+                || svc
+                    .control
+                    .pending
+                    .get(qi)
+                    .is_some_and(|q| q.len() > expected)
+        };
+        if lost {
+            Self::reset_queue_path(inner, service.0, qi);
+        }
         let svc = &mut inner.services[service.0];
         let caches = &mut inner.caches;
         let protocol = inner.protocol.as_deref();
@@ -1671,16 +1824,26 @@ impl LynxServer {
                         svc.miss_path.record(now - entry.at);
                     }
                     if cache_on {
-                        if let Some((lane, ckey)) = entry.fill {
-                            if protocol.is_some_and(|p| p.cacheable_response(payload))
-                                && caches[lane].fill(&ckey, payload)
-                            {
-                                fills += 1;
+                        if let Some(f) = entry.fill {
+                            if protocol.is_some_and(|p| p.cacheable_response(payload)) {
+                                // Admitted only while the lease issued at
+                                // miss time is still current: a racing SET
+                                // (or a newer miss for the key) voided it.
+                                if caches[f.lane].fill_leased(&f.key, payload, f.token) {
+                                    fills += 1;
+                                }
+                            } else {
+                                caches[f.lane].abandon_fill(&f.key, f.token);
                             }
                         }
                     }
                 }
             }
+        }
+        // A drained queue is trivially back in sync: lift the matching
+        // suspension imposed by an earlier reset.
+        if svc.health[qi].path_lost && svc.mqs[qi].in_flight() == 0 {
+            svc.health[qi].path_lost = false;
         }
         if fills > 0 {
             inner

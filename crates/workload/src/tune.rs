@@ -29,12 +29,13 @@
 //! predictor accuracy.
 
 use std::fmt;
+use std::rc::Rc;
 use std::time::Duration;
 
 use lynx_core::testbed::DeployConfig;
 use lynx_core::{
-    BatchPolicy, CacheConfig, ControlConfig, MqueueConfig, PipelineConfig, SnicPlatform, Validate,
-    SLOT_HEADER,
+    BatchPolicy, CacheConfig, CacheProtocol, ControlConfig, MqueueConfig, PipelineConfig,
+    SnicPlatform, Validate, SLOT_HEADER,
 };
 use lynx_device::{AppProfile, CostProfile, CpuKind, GpuProfile};
 use lynx_net::{StackKind, StackProfile};
@@ -543,13 +544,22 @@ pub struct TunedConfig {
 
 impl TunedConfig {
     /// Materializes the tuned knobs as a [`DeployConfig`] ready for
-    /// [`DeployConfig::deploy`]. The returned configuration has already
-    /// passed the same [`Validate`] checks the builder runs.
+    /// [`DeployConfig::deploy`]. The returned configuration always passes
+    /// the same [`Validate`] checks the builder runs.
     ///
-    /// When the cache axis picked `true` the caller must still attach a
-    /// [`DeployConfig::cache_protocol`] before deploying — which payloads
-    /// are GETs is application knowledge the tuner does not have.
-    pub fn deploy_config(&self) -> DeployConfig {
+    /// Which payloads are GETs is application knowledge the tuner does
+    /// not have, so the caller supplies the protocol lens here: when the
+    /// cache axis picked `true` and a `cache_protocol` is given, the
+    /// deployment carries the tuned [`CacheConfig`] with the protocol
+    /// attached. Without a protocol the cache is emitted disabled — the
+    /// recommendation stays available as [`TunedConfig::cache`] — so the
+    /// config never pairs an enabled cache with a missing protocol (the
+    /// builder rejects that combination).
+    pub fn deploy_config(&self, cache_protocol: Option<Rc<dyn CacheProtocol>>) -> DeployConfig {
+        let (cache, cache_protocol) = match cache_protocol {
+            Some(p) if self.cache.enabled => (self.cache, Some(p)),
+            _ => (CacheConfig::disabled(), None),
+        };
         DeployConfig {
             platform: self.platform,
             mqueues_per_gpu: self.candidate.mqueues_per_gpu,
@@ -564,7 +574,8 @@ impl TunedConfig {
                 batch: self.candidate.batch,
             },
             control: self.control,
-            cache: self.cache,
+            cache,
+            cache_protocol,
             ..DeployConfig::default()
         }
     }
@@ -746,13 +757,15 @@ pub fn tune(
     }
 
     // The emitted deployment must pass exactly the checks the builder
-    // runs; reject here rather than at deploy time.
-    let dc = tuned.deploy_config();
+    // runs; reject here rather than at deploy time. The recommended cache
+    // config is validated directly — deploy_config(None) emits it
+    // disabled until the caller attaches a protocol.
+    let dc = tuned.deploy_config(None);
     dc.pipeline
         .check(profile.pipeline_cores())
         .and_then(|()| dc.mq.validate())
         .and_then(|()| dc.control.validate())
-        .and_then(|()| dc.cache.validate())
+        .and_then(|()| tuned.cache.validate())
         .and_then(|()| dc.rmq.validate())
         .map_err(TuneError::Rejected)?;
 
@@ -888,7 +901,22 @@ mod tests {
         assert!(tuned.candidate.cache, "got {:?}", tuned.candidate);
         assert!(tuned.cache.enabled);
         assert_eq!(tuned.cache.bytes_per_lane, space.cache_bytes_per_lane);
-        assert!(tuned.deploy_config().cache.enabled);
+        // Without a protocol the emitted config must keep the cache off
+        // (enabled-without-protocol is rejected by the builder)…
+        let bare = tuned.deploy_config(None);
+        assert!(!bare.cache.enabled);
+        assert!(bare.cache_protocol.is_none());
+        assert!(bare.cache.validate().is_ok());
+        // …and with one it carries the tuned cache, protocol attached.
+        let protocol: Rc<dyn CacheProtocol> = Rc::new(lynx_core::FnCacheProtocol::new(
+            |_| lynx_core::CacheOp::Other,
+            |_| false,
+        ));
+        let dc = tuned.deploy_config(Some(protocol));
+        assert!(dc.cache.enabled);
+        assert_eq!(dc.cache, tuned.cache);
+        assert!(dc.cache_protocol.is_some());
+        assert!(dc.cache.validate().is_ok());
     }
 
     #[test]
@@ -908,7 +936,7 @@ mod tests {
             .expect("echo at 20us is tunable on BlueField");
         assert!(tuned.prediction.feasible);
         assert!(tuned.evaluations > 0);
-        let dc = tuned.deploy_config();
+        let dc = tuned.deploy_config(None);
         assert!(dc.pipeline.check(7).is_ok());
         assert!(dc.mq.validate().is_ok());
         // The tuner should discover that batching wins on the ARM cores.

@@ -89,10 +89,13 @@ proptest! {
         let goal = goal_from(delay_us, payload, slo_us, load_kreq);
         if let Ok(t) = tune(&BluefieldProfile, &goal, &space) {
             prop_assert!(t.prediction.feasible, "tune must only return feasible configs");
-            let dc = t.deploy_config();
+            let dc = t.deploy_config(None);
             prop_assert!(dc.pipeline.check(BluefieldProfile.pipeline_cores()).is_ok());
             prop_assert!(dc.mq.validate().is_ok());
             prop_assert!(dc.control.validate().is_ok());
+            prop_assert!(dc.cache.validate().is_ok());
+            prop_assert!(!dc.cache.enabled, "no protocol given, cache must be emitted off");
+            prop_assert!(t.cache.validate().is_ok());
             prop_assert!(dc.rmq.validate().is_ok());
             prop_assert!(space.gpus.contains(&t.candidate.gpus));
             prop_assert!(space.mqueues_per_gpu.contains(&t.candidate.mqueues_per_gpu));

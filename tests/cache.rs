@@ -10,11 +10,13 @@ use std::time::Duration;
 
 use lynx::apps::kv::{self, KvStore};
 use lynx::core::testbed::{deploy_processor, DeployConfig, Machine};
+use lynx::core::RmqConfig;
 use lynx::core::{CacheConfig, CacheOp, CacheProtocol, ControlConfig, MqueueConfig, ServiceId};
 use lynx::device::{GpuSpec, RequestProcessor};
 use lynx::net::{HostStack, LinkSpec, Network, Platform, SockAddr, StackKind, StackProfile};
 use lynx::sim::{MultiServer, SchedulerKind, Sim, Telemetry};
 use lynx::workload::{run_measured, ClosedLoopClient, RunSpec, ZipfKeyGen};
+use lynx::{FaultAction, FaultPlan, Trigger};
 
 /// The kv wire format as a [`CacheProtocol`] (mirrors the adapter
 /// `lynx-bench` uses for fig9b; root tests cannot depend on the bench
@@ -424,4 +426,332 @@ fn cache_enabled_runs_are_byte_identical_across_schedulers() {
     assert_eq!(base_misses, misses2);
     assert_eq!(base_tput, tput2);
     assert_eq!(base_t.to_jsonl(), t2.to_jsonl());
+}
+
+/// The stale-fill race (two outstanding requests): a GET misses and its
+/// fill slot is leased; a SET to the same key is dispatched while the
+/// GET is still on the accelerator. The SET's write-through invalidation
+/// must void the lease so the GET's pre-SET response cannot install
+/// itself — every GET sent after the SET's response must observe `v2`.
+#[test]
+fn racing_set_voids_the_in_flight_fill_lease() {
+    let mut sim = Sim::new(17);
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let store = Rc::new(RefCell::new(KvStore::new(1 << 20)));
+    store.borrow_mut().set(b"alpha".to_vec(), b"v1".to_vec());
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 1,
+        cache: CacheConfig {
+            enabled: true,
+            bytes_per_lane: 1 << 16,
+            ..CacheConfig::disabled()
+        },
+        cache_protocol: Some(Rc::new(KvWire)),
+        ..DeployConfig::default()
+    };
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(SlowKv {
+            store,
+            service_time: Duration::from_micros(50),
+        }),
+    );
+    // Window 2: seq 0 (GET) and seq 1 (SET) are in flight TOGETHER — the
+    // SET races the GET's accelerator round trip. The single mqueue
+    // serializes them in order, so every response from seq 2 on is `v2`.
+    let client = ClosedLoopClient::new(
+        client_stack(&net, "client"),
+        d.server_addr,
+        2,
+        Rc::new(|seq| match seq {
+            1 => kv::Request::Set {
+                key: b"alpha".to_vec(),
+                val: b"v2".to_vec(),
+            }
+            .encode(),
+            _ => get("alpha"),
+        }),
+    )
+    .validate(|seq, p| match (seq, kv::Response::decode(p)) {
+        (0, Some(kv::Response::Value(v))) => v == b"v1",
+        (1, Some(kv::Response::Stored)) => true,
+        // The coherence claim under test: had the in-flight pre-SET
+        // response been allowed to fill, these would hit stale `v1`.
+        (_, Some(kv::Response::Value(v))) => v == b"v2",
+        _ => false,
+    });
+    let spec = RunSpec {
+        warmup: Duration::from_millis(1),
+        measure: Duration::from_millis(20),
+    };
+    let summary = run_measured(&mut sim, &[&client], spec);
+    assert_eq!(summary.invalid, 0, "no GET may observe the overwritten v1");
+    assert!(summary.received > 10);
+
+    let stats = d.server.cache_stats();
+    // seq 0 misses cold (its fill is refused — the SET voided the
+    // lease); seq 2 misses and re-leases; seq 3 overlaps seq 2's round
+    // trip, so it misses without a lease (first holder wins). Everything
+    // after seq 2's fill lands is a hit.
+    assert_eq!(stats.misses, 3, "cold + post-SET + one overlapped miss");
+    assert_eq!(stats.fills, 1, "only seq 2's leased fill is admitted");
+    // The SET raced ahead of any fill: there was no cache entry to mark
+    // stale, yet the lease was still voided — coherence does not depend
+    // on the entry existing.
+    assert_eq!(stats.invalidations, 0);
+}
+
+/// Fix for the degraded-path cost hole: a serve-stale hit must charge
+/// the dispatch-stage CPU like any other consult, so its client-observed
+/// latency can never undercut a normal-mode cache hit in the same
+/// deployment (it skipped admission, not work).
+#[test]
+fn degraded_hit_pays_the_dispatch_cost_like_a_normal_hit() {
+    let mut sim = Sim::new(71);
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k80());
+    let store = Rc::new(RefCell::new(KvStore::new(1 << 20)));
+    store.borrow_mut().set(b"alpha".to_vec(), b"v1".to_vec());
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 1,
+        mq: MqueueConfig {
+            slots: 4,
+            slot_size: 512,
+            ..MqueueConfig::default()
+        },
+        control: ControlConfig {
+            min_workers: 1,
+            max_workers: 1,
+            scan_interval: Duration::from_micros(200),
+            hysteresis: 2,
+            admission_rate: 1_000_000.0,
+            admission_burst: 64.0,
+            degrade_occupancy: 0.8,
+            degrade_recover_occupancy: 0.4,
+            ..ControlConfig::default()
+        },
+        cache: CacheConfig {
+            enabled: true,
+            bytes_per_lane: 1 << 16,
+            ..CacheConfig::disabled()
+        },
+        cache_protocol: Some(Rc::new(KvWire)),
+        ..DeployConfig::default()
+    };
+    // A 1 s service time makes the accelerator an occupancy dial: four
+    // parked absent-key GETs pin the lone mqueue at 1.0 for seconds
+    // without generating any concurrent SNIC work that could blur the
+    // latency comparison below.
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(SlowKv {
+            store,
+            service_time: Duration::from_secs(1),
+        }),
+    );
+    let svc = ServiceId::DEFAULT;
+    let addr = d.server_addr;
+
+    // Probe client: strictly one outstanding `GET alpha` at a time, each
+    // reply's latency collected in order.
+    let probe = client_stack(&net, "probe");
+    let sent_at: Rc<Cell<Option<lynx::sim::Time>>> = Rc::new(Cell::new(None));
+    let latencies: Rc<RefCell<Vec<Duration>>> = Rc::new(RefCell::new(Vec::new()));
+    {
+        let (sent_at, latencies) = (Rc::clone(&sent_at), Rc::clone(&latencies));
+        probe.bind_udp_default(move |sim, dg| {
+            assert!(
+                matches!(
+                    kv::Response::decode(&dg.payload),
+                    Some(kv::Response::Value(_))
+                ),
+                "every probe reply is a Value"
+            );
+            let t0 = sent_at.take().expect("exactly one probe in flight");
+            latencies.borrow_mut().push(sim.now() - t0);
+        });
+    }
+    let send_probe = {
+        let probe = probe.clone();
+        let sent_at = Rc::clone(&sent_at);
+        move |sim: &mut Sim| {
+            assert!(sent_at.get().is_none());
+            sent_at.set(Some(sim.now()));
+            probe.send_udp(sim, 9000, addr, get("alpha"));
+        }
+    };
+
+    // Occupier: four absent-key GETs camp on the mqueue's four slots.
+    let occupier = client_stack(&net, "occupier");
+    occupier.bind_udp_default(|_, _| {});
+
+    // Phase 1 — cold fill: the first probe takes the 1 s accelerator
+    // round trip and populates the cache.
+    send_probe(&mut sim);
+    sim.run_for(Duration::from_millis(1100));
+    assert_eq!(latencies.borrow().len(), 1, "cold miss served");
+
+    // Phase 2 — normal-mode hit on an idle SNIC.
+    send_probe(&mut sim);
+    sim.run_for(Duration::from_millis(10));
+    assert_eq!(latencies.borrow().len(), 2, "warm hit served");
+    assert!(!d.server.degraded(svc));
+
+    // Phase 3 — pin occupancy at 1.0 and wait out the hysteresis.
+    {
+        let occupier = occupier.clone();
+        sim.schedule_in(Duration::ZERO, move |sim| {
+            for k in 0..4 {
+                occupier.send_udp(sim, 11_000 + k, addr, get(&format!("absent-{k}")));
+            }
+        });
+    }
+    sim.run_for(Duration::from_millis(5));
+    assert!(d.server.degraded(svc), "pinned occupancy must degrade");
+
+    // Phase 4 — degraded serve-stale hit, SNIC otherwise idle again.
+    send_probe(&mut sim);
+    sim.run_for(Duration::from_millis(10));
+    let lat = latencies.borrow();
+    assert_eq!(lat.len(), 3, "degraded hit served ahead of admission");
+    let (cold, normal_hit, degraded_hit) = (lat[0], lat[1], lat[2]);
+    assert!(
+        cold >= Duration::from_secs(1),
+        "cold miss rode the accelerator"
+    );
+    assert!(normal_hit < Duration::from_millis(1));
+    // The regression under test: the degraded path used to reply before
+    // any dispatch-stage charge, undercutting the normal hit by exactly
+    // the dispatch cost. Charged equally, it can never be faster.
+    assert!(
+        degraded_hit >= normal_hit,
+        "a degraded hit must pay at least a normal hit's SNIC cost: {degraded_hit:?} < {normal_hit:?}"
+    );
+    assert_eq!(
+        d.server.cache_stats().hits,
+        2,
+        "one normal + one degraded hit"
+    );
+}
+
+/// A response lost *after* acceptance (pull-side retry give-up) breaks
+/// the per-queue FIFO's request↔response pairing. The matcher must
+/// detect the desync before popping anything — a shifted pop would fill
+/// the cache under the *previous* request's key — discard its state, and
+/// re-sync once the queue drains. Verified from the wire: after the
+/// loss, every key still reads back its own value.
+#[test]
+fn lost_response_resets_path_matching_instead_of_filling_the_wrong_key() {
+    let mut sim = Sim::new(23);
+    let telemetry = sim.enable_telemetry();
+    let net = Network::new();
+    let machine = Machine::new(&net, "server-0");
+    let gpu = machine.add_gpu(GpuSpec::k40m());
+    let store = Rc::new(RefCell::new(KvStore::new(1 << 20)));
+    for i in 0..6 {
+        store
+            .borrow_mut()
+            .set(format!("k{i}").into_bytes(), format!("v{i}").into_bytes());
+    }
+    let cfg = DeployConfig {
+        mqueues_per_gpu: 1,
+        // No retry budget: the single injected read error becomes an
+        // immediate give-up, i.e. one discarded response.
+        rmq: RmqConfig {
+            max_retries: 0,
+            ..RmqConfig::default()
+        },
+        cache: CacheConfig {
+            enabled: true,
+            bytes_per_lane: 1 << 16,
+            ..CacheConfig::disabled()
+        },
+        cache_protocol: Some(Rc::new(KvWire)),
+        ..DeployConfig::default()
+    };
+    let d = deploy_processor(
+        &mut sim,
+        &net,
+        &machine,
+        &[machine.gpu_site(&gpu)],
+        &cfg,
+        Rc::new(SlowKv {
+            store,
+            service_time: Duration::from_micros(50),
+        }),
+    );
+    // The second response pull (k1's) errors once; with max_retries 0
+    // the slot is released but the response is discarded.
+    sim.enable_faults(FaultPlan::new(23).rule("rdma.read", Trigger::Nth(2), FaultAction::CqeError));
+    let addr = d.server_addr;
+
+    // One stack, one source port: every request rides the same dispatch
+    // lane, so the probes below read the very cache the burst filled.
+    let stack = client_stack(&net, "client");
+    let responses = Rc::new(Cell::new(0u64));
+    let expected: Rc<RefCell<Option<Vec<u8>>>> = Rc::new(RefCell::new(None));
+    {
+        let (responses, expected) = (Rc::clone(&responses), Rc::clone(&expected));
+        stack.bind_udp_default(move |_, dg| {
+            responses.set(responses.get() + 1);
+            if let Some(want) = expected.borrow().as_deref() {
+                match kv::Response::decode(&dg.payload) {
+                    Some(kv::Response::Value(v)) => {
+                        assert_eq!(v, want, "a key served a value that is not its own");
+                    }
+                    other => panic!("probe expected a Value, got {other:?}"),
+                }
+            }
+        });
+    }
+
+    // Burst: five cold GETs queue together on the lone mqueue, so five
+    // path entries are outstanding when k1's response is discarded.
+    {
+        let stack = stack.clone();
+        sim.schedule_in(Duration::ZERO, move |sim| {
+            for i in 0..5 {
+                stack.send_udp(sim, 9000, addr, get(&format!("k{i}")));
+            }
+        });
+    }
+    sim.run_for(Duration::from_millis(5));
+    assert_eq!(responses.get(), 4, "exactly k1's reply was lost");
+    assert_eq!(counter(&telemetry, "rmq.giveups"), 1);
+    assert_eq!(
+        counter(&telemetry, "server.path_resets"),
+        1,
+        "the desync must be detected before any shifted pop"
+    );
+
+    // Probes, strictly one at a time: every key must read back its own
+    // value. (Without the reset, k2's response would have popped k1's
+    // entry and cached v2 under k1 — the probe would hit the wrong
+    // value straight from the SNIC.)
+    for i in 0..5 {
+        let before = responses.get();
+        *expected.borrow_mut() = Some(format!("v{i}").into_bytes());
+        stack.send_udp(&mut sim, 9000, addr, get(&format!("k{i}")));
+        sim.run_for(Duration::from_millis(2));
+        assert_eq!(responses.get(), before + 1, "probe k{i} must be answered");
+    }
+
+    let stats = d.server.cache_stats();
+    // Burst: 5 cold misses, only k0's fill lands (k1's response is lost;
+    // k2–k4 arrive while matching is suspended). Probes: k0 hits, k1–k4
+    // miss again — the queue drained, so matching resumed and they fill.
+    assert_eq!(stats.misses, 9, "5 burst misses + 4 probe misses");
+    assert_eq!(stats.hits, 1, "only k0's probe hits");
+    assert_eq!(stats.fills, 5, "k0's burst fill + the four probe refills");
 }
