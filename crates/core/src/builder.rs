@@ -14,6 +14,7 @@ use lynx_sim::{SchedulerKind, Sim, SimConfig, Telemetry};
 
 use crate::cache::{CacheConfig, CacheProtocol, SnicKernel};
 use crate::pipeline::{BatchPolicy, PipelineConfig};
+use crate::tenancy::{FunctionRegistry, Tenancy, TenancyConfig};
 use crate::{
     ControlConfig, CostModel, DispatchPolicy, LynxServer, Mqueue, RecoveryConfig, RemoteMqManager,
     ServiceId, Validate,
@@ -82,6 +83,7 @@ pub struct LynxServerBuilder {
     cache: CacheConfig,
     cache_protocol: Option<Rc<dyn CacheProtocol>>,
     snic_compute: Option<(Rc<dyn SnicKernel>, f64)>,
+    tenancy: Option<(TenancyConfig, FunctionRegistry)>,
     errors: Vec<String>,
 }
 
@@ -118,6 +120,7 @@ impl LynxServerBuilder {
             cache: CacheConfig::disabled(),
             cache_protocol: None,
             snic_compute: None,
+            tenancy: None,
             errors: Vec::new(),
         }
     }
@@ -256,6 +259,21 @@ impl LynxServerBuilder {
         self
     }
 
+    /// Installs the λ-NIC-style multi-tenancy stage
+    /// ([`crate::tenancy`]): a function registry matched against every
+    /// request header, per-tenant quotas and token buckets, deterministic
+    /// cold-start latency and LRU residency eviction over the configured
+    /// accelerator-memory budget.
+    ///
+    /// Validation happens in [`LynxServerBuilder::build`]; an enabled
+    /// config with an empty registry, a zero memory budget or an invalid
+    /// quota is reported through the aggregate
+    /// [`Error::Config`](crate::Error::Config).
+    pub fn tenancy(mut self, cfg: TenancyConfig, registry: FunctionRegistry) -> Self {
+        self.tenancy = Some((cfg, registry));
+        self
+    }
+
     /// Registers an accelerator through its Remote MQ Manager.
     /// Accelerators receive sequential ids starting at 0, used by
     /// [`LynxServerBuilder::server_mqueue`] and
@@ -378,6 +396,19 @@ impl LynxServerBuilder {
                 ));
             }
         }
+        // The tenancy stage validates as a unit (config + registry +
+        // every quota) so a 10k-function registry reports each problem
+        // once, through the same aggregate error as the rest.
+        let tenancy = match self.tenancy {
+            Some((cfg, registry)) => match Tenancy::new(cfg, registry) {
+                Ok(t) => Some(t),
+                Err(e) => {
+                    errors.push(format!("tenancy: {}", config_message(e)));
+                    None
+                }
+            },
+            None => None,
+        };
         for (i, rmq) in self.accels.iter().enumerate() {
             if let Err(e) = rmq.config().validate() {
                 errors.push(format!("accelerator {i}: {}", config_message(e)));
@@ -415,6 +446,7 @@ impl LynxServerBuilder {
             self.cache,
             self.cache_protocol,
             self.snic_compute,
+            tenancy,
         );
         for rmq in self.accels {
             server.inner_add_accelerator(rmq);

@@ -53,6 +53,7 @@ pub mod pipeline;
 mod rmq;
 mod server;
 pub mod shard;
+pub mod tenancy;
 pub mod testbed;
 mod validate;
 
@@ -71,4 +72,8 @@ pub use server::{
     CacheStats, CostModel, LynxServer, RecoveryConfig, ServerStats, ServiceId, SnicPlatform,
 };
 pub use shard::{conservative_window, ReplicaSet, ShardPlan};
+pub use tenancy::{
+    Admission, FnId, FunctionRegistry, FunctionSpec, MatchRule, Tenancy, TenancyConfig,
+    TenancyStats, TenantCacheMode, TenantQuota,
+};
 pub use validate::Validate;

@@ -15,6 +15,7 @@ use lynx_sim::{Histogram, Payload, Sim, SiteCounter, SiteGauge, Telemetry, Time,
 use crate::cache::{CacheConfig, CacheOp, CacheProtocol, SnicCache, SnicKernel};
 use crate::control::{ControlConfig, ScaleDecision, SvcControl};
 use crate::pipeline::{Pipeline, PipelineConfig, StagedRequest};
+use crate::tenancy::{FnId, Tenancy, TenancyStats, TenantCacheMode};
 use crate::{DispatchPolicy, Dispatcher, Error, Mqueue, RemoteMqManager, ReturnAddr};
 
 /// Where the Lynx server logic runs — selects core counts and cost models
@@ -232,6 +233,14 @@ struct ServerSites {
     cache_bytes: SiteGauge,
     snic_offloaded: SiteCounter,
     snic_cycles: SiteCounter,
+    tenancy_matched: SiteCounter,
+    tenancy_unmatched: SiteCounter,
+    tenancy_shed: SiteCounter,
+    tenancy_cold: SiteCounter,
+    tenancy_evictions: SiteCounter,
+    tenancy_deferred: SiteCounter,
+    tenancy_resident_fns: SiteGauge,
+    tenancy_resident_bytes: SiteGauge,
 }
 
 /// Per-service counter handles (`server.svc<i>.*` and the dispatcher's
@@ -311,6 +320,11 @@ struct Service {
     /// Dispatch→collect latency of accelerator-path (miss) requests,
     /// recorded when [`CacheConfig::track_path_latency`] is set.
     miss_path: Histogram,
+    /// Per-queue FIFO of the tenant function behind each accelerator-path
+    /// request (mqueues complete in order), maintained only when the
+    /// tenancy stage is on: collection releases the function's in-flight
+    /// slot, which is what gates deferred residency eviction.
+    tfifo: Vec<VecDeque<u32>>,
 }
 
 impl Service {
@@ -325,15 +339,20 @@ impl Service {
             control: SvcControl::new(admission_burst),
             path: Vec::new(),
             miss_path: Histogram::new(),
+            tfifo: Vec::new(),
         }
     }
 }
 
-/// Cache keys are namespaced by tenant service, so two services using
-/// the same application keys never collide in a shared lane cache.
-fn cache_key(service: ServiceId, key: &[u8]) -> Vec<u8> {
-    let mut k = Vec::with_capacity(4 + key.len());
+/// Cache keys are namespaced by tenant service — and, when the tenancy
+/// stage matched a registered function, by that function — so two tenants
+/// using the same application keys never collide in a shared lane cache.
+fn cache_key(service: ServiceId, func: Option<FnId>, key: &[u8]) -> Vec<u8> {
+    let mut k = Vec::with_capacity(8 + key.len());
     k.extend_from_slice(&(service.0 as u32).to_le_bytes());
+    if let Some(f) = func {
+        k.extend_from_slice(&f.0.to_le_bytes());
+    }
     k.extend_from_slice(key);
     k
 }
@@ -365,6 +384,13 @@ struct Inner {
     /// On-NIC compute kernel and the mean mqueue occupancy at which it
     /// engages.
     snic_kernel: Option<(Rc<dyn SnicKernel>, f64)>,
+    /// λ-NIC-style match-action tenancy stage (`lynx_core::tenancy`):
+    /// function registry, per-tenant admission and LRU residency. `None`
+    /// (or a disabled config) leaves the request path exactly as before.
+    tenancy: Option<Tenancy>,
+    /// Last tenancy-stats snapshot mirrored into the telemetry counters —
+    /// the delta source for `tenancy.*`.
+    tenancy_seen: TenancyStats,
 }
 
 impl Inner {
@@ -373,6 +399,106 @@ impl Inner {
     fn track_path(&self) -> bool {
         self.cache_cfg.enabled || self.cache_cfg.track_path_latency
     }
+
+    /// Whether the tenancy match-action stage gates requests.
+    fn tenancy_on(&self) -> bool {
+        self.tenancy.as_ref().is_some_and(Tenancy::enabled)
+    }
+
+    /// Re-matches a payload to its tenant function (requests past the
+    /// gate always match; O(1) on the registry's key table).
+    fn tenancy_func(&self, payload: &[u8]) -> Option<FnId> {
+        self.tenancy
+            .as_ref()
+            .filter(|t| t.enabled())
+            .and_then(|t| t.match_request(payload))
+    }
+
+    /// Releases one in-flight tenancy slot for the function behind
+    /// `payload` (request answered at the SNIC, dropped or rejected).
+    fn tenancy_complete_payload(&mut self, payload: &[u8]) {
+        let Some(func) = self.tenancy_func(payload) else {
+            return;
+        };
+        if let Some(t) = self.tenancy.as_mut() {
+            t.complete(func);
+        }
+        self.sync_tenancy();
+    }
+
+    /// Mirrors the tenancy runtime's cumulative stats into the interned
+    /// `tenancy.*` telemetry sites. Delta-based against the last snapshot,
+    /// so it can run at every gate/complete site and counters stay
+    /// monotonic and exact.
+    fn sync_tenancy(&mut self) {
+        let Some(cur) = self.tenancy.as_ref().map(Tenancy::stats) else {
+            return;
+        };
+        let prev = self.tenancy_seen;
+        if cur == prev {
+            return;
+        }
+        let sites = &self.sites;
+        let stats = &self.stats;
+        if cur.matched > prev.matched {
+            sites
+                .tenancy_matched
+                .add(stats, "tenancy.matched", cur.matched - prev.matched);
+        }
+        if cur.unmatched > prev.unmatched {
+            sites
+                .tenancy_unmatched
+                .add(stats, "tenancy.unmatched", cur.unmatched - prev.unmatched);
+        }
+        if cur.shed > prev.shed {
+            sites
+                .tenancy_shed
+                .add(stats, "tenancy.shed", cur.shed - prev.shed);
+        }
+        if cur.cold_starts > prev.cold_starts {
+            sites.tenancy_cold.add(
+                stats,
+                "tenancy.cold_starts",
+                cur.cold_starts - prev.cold_starts,
+            );
+        }
+        if cur.evictions > prev.evictions {
+            sites
+                .tenancy_evictions
+                .add(stats, "tenancy.evictions", cur.evictions - prev.evictions);
+        }
+        if cur.evictions_deferred > prev.evictions_deferred {
+            sites.tenancy_deferred.add(
+                stats,
+                "tenancy.evictions_deferred",
+                cur.evictions_deferred - prev.evictions_deferred,
+            );
+        }
+        sites.tenancy_resident_fns.set_with(
+            stats,
+            || "tenancy.resident_fns".to_string(),
+            cur.resident_fns as f64,
+        );
+        sites.tenancy_resident_bytes.set_with(
+            stats,
+            || "tenancy.resident_bytes".to_string(),
+            cur.resident_bytes as f64,
+        );
+        self.tenancy_seen = cur;
+    }
+}
+
+/// Outcome of the tenancy match-action gate for one request.
+enum TenancyGate {
+    /// No stage installed, or matched a warm admitted function: dispatch
+    /// proceeds immediately.
+    Pass,
+    /// Matched a cold (or still-warming) function: dispatch proceeds
+    /// after this warm-up delay elapses on the simulated clock.
+    Warm(Duration),
+    /// Unmatched, or over the tenant's quota: answer with the empty
+    /// shed marker and stop.
+    Shed,
 }
 
 /// The Lynx network server: the application-agnostic frontend on the
@@ -430,6 +556,7 @@ impl LynxServer {
         cache_cfg: CacheConfig,
         protocol: Option<Rc<dyn CacheProtocol>>,
         snic_kernel: Option<(Rc<dyn SnicKernel>, f64)>,
+        tenancy: Option<Tenancy>,
     ) -> LynxServer {
         let core_dispatched = (0..pipeline.snic_cores)
             .map(|_| SiteCounter::new())
@@ -461,6 +588,8 @@ impl LynxServer {
                 protocol,
                 caches,
                 snic_kernel,
+                tenancy,
+                tenancy_seen: TenancyStats::default(),
             })),
         }
     }
@@ -505,6 +634,7 @@ impl LynxServer {
             });
             svc.control.pending.push(VecDeque::new());
             svc.path.push(VecDeque::new());
+            svc.tfifo.push(VecDeque::new());
             (rmq, fwd_core, svc.mqs.len() - 1)
         };
         let this = self.clone();
@@ -698,6 +828,29 @@ impl LynxServer {
         self.inner.borrow().caches.iter().map(|c| c.bytes()).sum()
     }
 
+    /// Counters of the tenancy match-action stage (zeroed when no stage
+    /// is installed). The same values are mirrored into the `tenancy.*`
+    /// telemetry counters.
+    pub fn tenancy_stats(&self) -> TenancyStats {
+        self.inner
+            .borrow()
+            .tenancy
+            .as_ref()
+            .map(Tenancy::stats)
+            .unwrap_or_default()
+    }
+
+    /// Whether a registered tenant function currently holds accelerator
+    /// memory (resident or warming). `false` when no tenancy stage is
+    /// installed.
+    pub fn tenancy_resident(&self, func: FnId) -> bool {
+        self.inner
+            .borrow()
+            .tenancy
+            .as_ref()
+            .is_some_and(|t| t.is_resident(func))
+    }
+
     /// Whether `service` is currently degraded to cache-only answers
     /// (serve-stale-on-overload; see
     /// [`ControlConfig::degrade_occupancy`]).
@@ -772,9 +925,21 @@ impl LynxServer {
         let Some(protocol) = inner.protocol.clone() else {
             return CacheOutcome::Miss(None);
         };
+        // Tenancy composition: a matched function either partitions the
+        // cache under its own key namespace or bypasses it entirely.
+        let func = inner.tenancy_func(payload);
+        if let Some(f) = func {
+            let bypass = inner
+                .tenancy
+                .as_ref()
+                .is_some_and(|t| t.registry().spec(f).cache == TenantCacheMode::Bypass);
+            if bypass {
+                return CacheOutcome::Miss(None);
+            }
+        }
         match protocol.classify(payload) {
             CacheOp::Get(key) => {
-                let ckey = cache_key(service, &key);
+                let ckey = cache_key(service, func, &key);
                 let resp = inner.caches[lane].lookup(&ckey, false).map(<[u8]>::to_vec);
                 match resp {
                     Some(r) => {
@@ -805,7 +970,7 @@ impl LynxServer {
                 // Write-through: the SET still goes to the accelerator;
                 // every lane's cached copy goes stale immediately, so no
                 // fresh read can observe the overwritten value.
-                let ckey = cache_key(service, &key);
+                let ckey = cache_key(service, func, &key);
                 let mut n = 0u64;
                 for c in inner.caches.iter_mut() {
                     if c.invalidate(&ckey) {
@@ -844,9 +1009,25 @@ impl LynxServer {
         let was_tainted = svc.health[qi].path_lost;
         let fills: Vec<Option<FillSlot>> = svc.path[qi].drain(..).map(|e| e.fill).collect();
         svc.control.pending[qi].clear();
+        // Orphaned tenant dispatches can no longer be paired with their
+        // completions: release their in-flight slots now so residency
+        // eviction is not wedged by a desynced queue.
+        let funcs: Vec<u32> = svc
+            .tfifo
+            .get_mut(qi)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default();
         svc.health[qi].path_lost = true;
         for fill in fills {
             Self::release_fill(inner, fill);
+        }
+        if !funcs.is_empty() {
+            if let Some(t) = inner.tenancy.as_mut() {
+                for f in funcs {
+                    t.complete(FnId(f));
+                }
+            }
+            inner.sync_tenancy();
         }
         if !was_tainted {
             inner.stats.count("server.path_resets", 1);
@@ -882,7 +1063,20 @@ impl LynxServer {
             let CacheOp::Get(k) = protocol.classify(payload) else {
                 return false;
             };
-            let ckey = cache_key(service, &k);
+            // Tenancy composition mirrors the normal consult: a bypass
+            // function never gets stale answers; partitioned functions
+            // look up under their own namespace.
+            let func = inner.tenancy_func(payload);
+            if let Some(f) = func {
+                let bypass = inner
+                    .tenancy
+                    .as_ref()
+                    .is_some_and(|t| t.registry().spec(f).cache == TenantCacheMode::Bypass);
+                if bypass {
+                    return false;
+                }
+            }
+            let ckey = cache_key(service, func, &k);
             let lane = inner.pipeline.config().shard_of(key);
             let resp = match inner.caches[lane].lookup(&ckey, true).map(<[u8]>::to_vec) {
                 Some(r) => {
@@ -968,7 +1162,7 @@ impl LynxServer {
         key: u64,
         payload: Payload,
     ) {
-        let (batched, stack, cost) = {
+        {
             let inner = self.inner.borrow();
             inner.sites.requests.add(&inner.stats, "server.requests", 1);
             let i = service.0;
@@ -977,12 +1171,7 @@ impl LynxServer {
                 || format!("server.svc{i}.requests"),
                 1,
             );
-            (
-                inner.pipeline.config().is_batched(),
-                inner.stack.clone(),
-                Self::dispatch_cost(&inner),
-            )
-        };
+        }
         self.arm_control(sim);
         // Serve-stale degradation: a degraded service answers cacheable
         // reads straight from the SNIC cache — stale entries included —
@@ -999,6 +1188,51 @@ impl LynxServer {
             self.send_reply(sim, service, ret, Payload::from(Vec::new()));
             return;
         }
+        // λ-NIC match-action stage: match the payload to a registered
+        // tenant function and enforce its quota and residency — after the
+        // service-wide token bucket, before any dispatch cost.
+        match self.tenancy_gate(sim, service, &payload) {
+            TenancyGate::Pass => {}
+            TenancyGate::Shed => {
+                // Unmatched or over the tenant's quota: the empty reply is
+                // the same shed marker admission control uses.
+                self.send_reply(sim, service, ret, Payload::from(Vec::new()));
+                return;
+            }
+            TenancyGate::Warm(delay) => {
+                // Cold start: the function's state loads on the
+                // accelerator for `delay`; dispatch proceeds once warm.
+                // Pure simulated wall time — no SNIC core is held.
+                let this = self.clone();
+                sim.schedule_in(delay, move |sim| {
+                    this.dispatch_admitted(sim, service, ret, key, payload);
+                });
+                return;
+            }
+        }
+        self.dispatch_admitted(sim, service, ret, key, payload);
+    }
+
+    /// The post-admission half of the request path: stage into the
+    /// batched pipeline or charge the legacy immediate dispatch. Split
+    /// from [`Self::on_request`] so a cold start can delay exactly this
+    /// part.
+    fn dispatch_admitted(
+        &self,
+        sim: &mut Sim,
+        service: ServiceId,
+        ret: ReturnAddr,
+        key: u64,
+        payload: Payload,
+    ) {
+        let (batched, stack, cost) = {
+            let inner = self.inner.borrow();
+            (
+                inner.pipeline.config().is_batched(),
+                inner.stack.clone(),
+                Self::dispatch_cost(&inner),
+            )
+        };
         self.arm_monitor(sim);
         if !batched {
             // Legacy immediate dispatch on the shared core pool — the
@@ -1094,6 +1328,9 @@ impl LynxServer {
             mq: Mqueue,
             items: Vec<(ReturnAddr, Payload)>,
             fills: Vec<Option<FillSlot>>,
+            // Tenant function behind each item, resolved before payload
+            // ownership moves to the transport.
+            funcs: Vec<Option<FnId>>,
         }
         let mut groups: Vec<Group> = Vec::new();
         let mut traces: Vec<(&'static str, Option<String>)> = Vec::new();
@@ -1110,6 +1347,9 @@ impl LynxServer {
                 // core's private cache is the request's cache lane.
                 match Self::consult_cache(&mut inner, req.service, core, &req.payload) {
                     CacheOutcome::Hit(resp) => {
+                        // Answered at the SNIC: release the tenant's
+                        // in-flight slot here, nothing will complete it.
+                        inner.tenancy_complete_payload(&req.payload);
                         hits.push((req.service, req.ret, resp));
                         continue;
                     }
@@ -1120,10 +1360,12 @@ impl LynxServer {
                             // The kernel answers instead of the
                             // accelerator: no response will fill.
                             Self::release_fill(&mut inner, fill);
+                            inner.tenancy_complete_payload(&req.payload);
                             offload_work += work;
                             offloads.push((req.service, req.ret, resp));
                             continue;
                         }
+                        let func = inner.tenancy_func(&req.payload);
                         let i = req.service.0;
                         let svc = &mut inner.services[i];
                         let policy = svc.dispatcher.policy().name();
@@ -1140,6 +1382,7 @@ impl LynxServer {
                                     Some(g) => {
                                         g.items.push((req.ret, req.payload));
                                         g.fills.push(fill);
+                                        g.funcs.push(func);
                                     }
                                     None => groups.push(Group {
                                         service: req.service,
@@ -1148,13 +1391,16 @@ impl LynxServer {
                                         mq,
                                         items: vec![(req.ret, req.payload)],
                                         fills: vec![fill],
+                                        funcs: vec![func],
                                     }),
                                 }
                             }
                             None => {
                                 // Dropped (all queues full): no response
-                                // will ever fill the leased slot.
+                                // will ever fill the leased slot or
+                                // complete the tenant's dispatch.
                                 Self::release_fill(&mut inner, fill);
+                                inner.tenancy_complete_payload(&req.payload);
                                 traces.push((policy, None));
                             }
                         }
@@ -1195,14 +1441,21 @@ impl LynxServer {
             let results = g.rmq.push_requests(sim, &g.mq, g.items);
             let now = sim.now();
             let mut accepted = 0;
-            for (result, fill) in results.iter().zip(g.fills) {
+            for ((result, fill), func) in results.iter().zip(g.fills).zip(g.funcs) {
                 if result.is_ok() {
                     accepted += 1;
                     self.note_path(now, g.service, g.qi, fill);
-                } else if fill.is_some() {
+                    self.note_tenancy(g.service, g.qi, func);
+                } else {
                     // Rejected by backpressure/transport: the leased slot
-                    // will never see a response.
-                    Self::release_fill(&mut self.inner.borrow_mut(), fill);
+                    // will never see a response, and no completion will
+                    // release the tenant's in-flight slot.
+                    let mut inner = self.inner.borrow_mut();
+                    Self::release_fill(&mut inner, fill);
+                    if let (Some(f), Some(t)) = (func, inner.tenancy.as_mut()) {
+                        t.complete(f);
+                    }
+                    inner.sync_tenancy();
                 }
             }
             self.note_dispatched(now, g.service, g.qi, accepted);
@@ -1268,13 +1521,16 @@ impl LynxServer {
         match fast {
             Some(Fast::CacheHit(resp)) => {
                 // A hit replies straight from the SNIC: no mqueue slot,
-                // no RDMA verb, no forward cycle.
+                // no RDMA verb, no forward cycle. The tenant's in-flight
+                // slot is released here — no completion will arrive.
+                self.inner.borrow_mut().tenancy_complete_payload(&payload);
                 self.send_reply(sim, service, ret, resp);
                 return;
             }
             Some(Fast::Offload(resp, work)) => {
                 // The kernel runs on the shared core pool (the unbatched
                 // path charges there too), then replies directly.
+                self.inner.borrow_mut().tenancy_complete_payload(&payload);
                 let stack = self.inner.borrow().stack.clone();
                 let this = self.clone();
                 stack.charge(sim, work, move |sim| {
@@ -1307,8 +1563,14 @@ impl LynxServer {
                 if rmq.push_request(sim, &mq, ret, &payload, |_, _| {}).is_ok() {
                     self.note_dispatched(sim.now(), service, qi, 1);
                     self.note_path(sim.now(), service, qi, fill);
-                } else if fill.is_some() {
-                    Self::release_fill(&mut self.inner.borrow_mut(), fill);
+                    let func = self.inner.borrow().tenancy_func(&payload);
+                    self.note_tenancy(service, qi, func);
+                } else {
+                    let mut inner = self.inner.borrow_mut();
+                    Self::release_fill(&mut inner, fill);
+                    // Rejected by the transport: no completion will
+                    // release the tenant slot.
+                    inner.tenancy_complete_payload(&payload);
                 }
             }
             None => {
@@ -1316,11 +1578,11 @@ impl LynxServer {
                     policy,
                     queue: None,
                 });
-                if fill.is_some() {
-                    // Dropped (all queues full): no response will ever
-                    // fill the leased slot.
-                    Self::release_fill(&mut self.inner.borrow_mut(), fill);
-                }
+                // Dropped (all queues full): no response will ever fill
+                // the leased slot or complete the tenant's dispatch.
+                let mut inner = self.inner.borrow_mut();
+                Self::release_fill(&mut inner, fill);
+                inner.tenancy_complete_payload(&payload);
             }
         }
     }
@@ -1718,6 +1980,68 @@ impl LynxServer {
         Err(Error::Overloaded { service: i })
     }
 
+    /// Runs the λ-NIC match-action stage for one request: match the
+    /// payload to a registered function, charge its quota and decide its
+    /// residency. Admitted requests hold one tenant in-flight slot until
+    /// a matching completion (see [`Self::note_tenancy`]).
+    fn tenancy_gate(&self, sim: &Sim, service: ServiceId, payload: &Payload) -> TenancyGate {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.tenancy_on() {
+            return TenancyGate::Pass;
+        }
+        let now = sim.now();
+        let decision = inner
+            .tenancy
+            .as_mut()
+            .expect("tenancy_on() implies Some")
+            .decide(now, service.0, payload);
+        let gate = match decision {
+            Ok(a) if a.delay.is_zero() => TenancyGate::Pass,
+            Ok(a) => TenancyGate::Warm(a.delay),
+            Err(e) => {
+                debug_assert!(matches!(
+                    e,
+                    Error::Overloaded { .. } | Error::Unroutable { .. }
+                ));
+                TenancyGate::Shed
+            }
+        };
+        inner.sync_tenancy();
+        gate
+    }
+
+    /// Records the tenant function behind one request accepted into queue
+    /// `qi`, so the in-order mqueue completion can release its in-flight
+    /// slot. Mirrors [`Self::note_path`]'s suspension rule: while
+    /// matching is suspended after a desync reset, the slot is released
+    /// immediately instead of recorded (the response cannot be paired).
+    fn note_tenancy(&self, service: ServiceId, qi: usize, func: Option<FnId>) {
+        let Some(func) = func else {
+            return;
+        };
+        let mut inner = self.inner.borrow_mut();
+        if !inner.tenancy_on() {
+            return;
+        }
+        let recorded = {
+            let svc = &mut inner.services[service.0];
+            if svc.health[qi].path_lost {
+                false
+            } else if let Some(q) = svc.tfifo.get_mut(qi) {
+                q.push_back(func.0);
+                true
+            } else {
+                false
+            }
+        };
+        if !recorded {
+            if let Some(t) = inner.tenancy.as_mut() {
+                t.complete(func);
+            }
+            inner.sync_tenancy();
+        }
+    }
+
     /// Records the dispatch timestamps of `k` requests accepted into
     /// queue `qi` (control plane only — the deques stay empty otherwise).
     fn note_dispatched(&self, now: Time, service: ServiceId, qi: usize, k: usize) {
@@ -1784,7 +2108,8 @@ impl LynxServer {
         let cache_on = inner.cache_cfg.enabled;
         let track_hist = inner.cache_cfg.track_path_latency;
         let track = cache_on || track_hist;
-        if !control_on && !track {
+        let tenancy_on = inner.tenancy_on();
+        if !control_on && !track && !tenancy_on {
             return;
         }
         // Integrity: every accepted request records one entry and every
@@ -1804,6 +2129,7 @@ impl LynxServer {
                     .pending
                     .get(qi)
                     .is_some_and(|q| q.len() > expected)
+                || svc.tfifo.get(qi).is_some_and(|q| q.len() > expected)
         };
         if lost {
             Self::reset_queue_path(inner, service.0, qi);
@@ -1812,10 +2138,18 @@ impl LynxServer {
         let caches = &mut inner.caches;
         let protocol = inner.protocol.as_deref();
         let mut fills = 0u64;
+        // Tenant functions completed by this batch (per-queue FIFO, like
+        // the path entries) — released after the borrow on `svc` ends.
+        let mut done_funcs: Vec<u32> = Vec::new();
         for (_, payload) in responses {
             if control_on {
                 if let Some(t0) = svc.control.pending.get_mut(qi).and_then(|q| q.pop_front()) {
                     svc.control.latency.record(now - t0);
+                }
+            }
+            if tenancy_on {
+                if let Some(f) = svc.tfifo.get_mut(qi).and_then(|q| q.pop_front()) {
+                    done_funcs.push(f);
                 }
             }
             if track {
@@ -1844,6 +2178,14 @@ impl LynxServer {
         // suspension imposed by an earlier reset.
         if svc.health[qi].path_lost && svc.mqs[qi].in_flight() == 0 {
             svc.health[qi].path_lost = false;
+        }
+        if !done_funcs.is_empty() {
+            if let Some(t) = inner.tenancy.as_mut() {
+                for f in done_funcs {
+                    t.complete(FnId(f));
+                }
+            }
+            inner.sync_tenancy();
         }
         if fills > 0 {
             inner

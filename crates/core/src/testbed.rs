@@ -41,6 +41,7 @@ use lynx_net::{HostId, HostStack, LinkSpec, Network, Platform, SockAddr, StackKi
 use lynx_sim::Sim;
 
 use crate::cache::{CacheConfig, CacheProtocol, SnicKernel};
+use crate::tenancy::{FunctionRegistry, TenancyConfig};
 use crate::{
     AccelApp, ControlConfig, CostModel, DispatchPolicy, LynxServer, LynxServerBuilder, Mqueue,
     MqueueConfig, MqueueKind, PipelineConfig, ProcessorApp, RecoveryConfig, RemoteMqManager,
@@ -262,6 +263,11 @@ pub struct DeployConfig {
     /// SNIC-compute offload: run this kernel on spare SNIC cycles once the
     /// mean mqueue occupancy reaches the paired fraction.
     pub snic_compute: Option<(Rc<dyn SnicKernel>, f64)>,
+    /// λ-NIC-style multi-tenancy: the function registry and tenancy
+    /// config installed on the SNIC's match-action stage
+    /// ([`crate::tenancy`]). `None` (the default) deploys the static
+    /// multi-service server of earlier releases.
+    pub tenancy: Option<(TenancyConfig, FunctionRegistry)>,
 }
 
 impl Default for DeployConfig {
@@ -282,6 +288,7 @@ impl Default for DeployConfig {
             cache: CacheConfig::disabled(),
             cache_protocol: None,
             snic_compute: None,
+            tenancy: None,
         }
     }
 }
@@ -317,6 +324,9 @@ impl DeployConfig {
         }
         if let Some((kernel, min_occupancy)) = &self.snic_compute {
             builder = builder.snic_compute(Rc::clone(kernel), *min_occupancy);
+        }
+        if let Some((cfg, registry)) = &self.tenancy {
+            builder = builder.tenancy(*cfg, registry.clone());
         }
         let snic_rdma = snic_machine.rdma_nic();
 
